@@ -1,0 +1,26 @@
+//! # cronus-baselines — the paper's comparison systems
+//!
+//! Fig. 7/8/10 compare CRONUS against:
+//!
+//! * **native Linux / native gdev** — unprotected execution
+//!   ([`direct::native_backend`]),
+//! * **monolithic TrustZone** — all device drivers inside one secure-world
+//!   OS; near-native per-operation costs but no fault/security isolation
+//!   ([`direct::trustzone_backend`]),
+//! * **HIX-TrustZone** — the paper's emulation of HIX: a GPU enclave with
+//!   dedicated device access, reached via *encrypted RPC over untrusted
+//!   memory* in lock-step, paying encryption plus a full context-switch
+//!   round trip per hardware control message
+//!   ([`direct::hix_backend`]).
+//!
+//! All baselines drive the *same* simulated GPU as CRONUS, so workload
+//! checksums must be identical across systems — the integration tests
+//! assert this — and only the protection costs differ.
+//!
+//! [`comparison`] reproduces Table I's qualitative grid.
+
+pub mod comparison;
+pub mod direct;
+
+pub use comparison::{comparison_table, SystemRow};
+pub use direct::{hix_backend, native_backend, trustzone_backend, DirectBackend, Protection};

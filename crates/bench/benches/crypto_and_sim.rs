@@ -1,0 +1,67 @@
+//! Criterion benches for the substrate crates: crypto primitives and the
+//! simulated machine's checked memory path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use cronus_crypto::{hmac_sha256, sha256, KeyPair, StreamCipher};
+use cronus_sim::machine::AsId;
+use cronus_sim::pagetable::PagePerms;
+use cronus_sim::{Machine, MachineConfig, World};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    let data_4k = vec![0xA5u8; 4096];
+
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("sha256_4k", |b| b.iter(|| sha256(&data_4k)));
+    group.bench_function("hmac_sha256_4k", |b| b.iter(|| hmac_sha256(b"key", &data_4k)));
+
+    let cipher = StreamCipher::new([9u8; 32]);
+    group.bench_function("seal_open_4k", |b| {
+        b.iter(|| {
+            let sealed = cipher.seal(1, &data_4k);
+            cipher.open(&sealed).expect("authentic")
+        })
+    });
+
+    group.throughput(Throughput::Elements(1));
+    let kp = KeyPair::from_seed("bench");
+    let sig = kp.sign(b"report");
+    group.bench_function("schnorr_sign", |b| b.iter(|| kp.sign(b"report")));
+    group.bench_function("schnorr_verify", |b| {
+        b.iter(|| kp.public().verify(b"report", &sig).expect("valid"))
+    });
+    group.finish();
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+    let mut machine = Machine::new(MachineConfig::default());
+    let asid = AsId::new(1);
+    machine.register_partition(asid);
+    let frame = machine.alloc_frame(World::Secure).expect("frame");
+    machine
+        .stage2_grant(asid, frame.page(), PagePerms::RW)
+        .expect("grant");
+    let buf = [7u8; 64];
+
+    group.throughput(Throughput::Bytes(64));
+    group.bench_function("checked_write_64b", |b| {
+        b.iter(|| machine.mem_write(asid, World::Secure, frame.base(), &buf).expect("write"))
+    });
+    group.bench_function("checked_read_64b", |b| {
+        b.iter(|| machine.mem_read_vec(asid, World::Secure, frame.base(), 64).expect("read"))
+    });
+
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("stage2_invalidate_revalidate", |b| {
+        b.iter(|| {
+            machine.stage2_invalidate(asid, frame.page());
+            machine.stage2_revalidate(asid, frame.page());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto, bench_machine);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benches for the failover machinery: proceed (step 1),
+//! clear+reload (step 2) and trap handling (step 3), plus the ablation
+//! against a full-machine reset.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use cronus_devices::DeviceKind;
+use cronus_mos::manager::Owner;
+use cronus_mos::manifest::{Manifest, MosId};
+use cronus_spm::spm::{asid_of, BootConfig, DeviceSpec, PartitionSpec, Spm};
+
+fn booted_with_share() -> (Spm, cronus_sim::machine::AsId, u64) {
+    let mut spm = Spm::boot(BootConfig {
+        partitions: vec![
+            PartitionSpec::new(1, b"cpu-mos", "v1", DeviceSpec::Cpu),
+            PartitionSpec::new(2, b"cuda-mos", "v3", DeviceSpec::Gpu { memory: 1 << 26, sms: 46 }),
+        ],
+        ..Default::default()
+    });
+    let cpu = asid_of(MosId(1));
+    let gpu = asid_of(MosId(2));
+    let a = spm
+        .create_enclave(cpu, Manifest::new(DeviceKind::Cpu), &BTreeMap::new(), Owner::App(1), 7)
+        .expect("cpu enclave");
+    let b = spm
+        .create_enclave(
+            gpu,
+            Manifest::new(DeviceKind::Gpu).with_memory(1 << 20),
+            &BTreeMap::new(),
+            Owner::Enclave(a),
+            7,
+        )
+        .expect("gpu enclave");
+    let (handle, _, _) = spm.share_memory((cpu, a), (gpu, b), 16).expect("share");
+    let page = spm.share_pages(handle).expect("pages")[0];
+    (spm, gpu, page)
+}
+
+fn bench_failover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("failover");
+
+    group.bench_function("proceed_step1_16_shared_pages", |b| {
+        b.iter_batched(
+            booted_with_share,
+            |(mut spm, gpu, _)| spm.fail_partition(gpu).expect("proceed"),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("full_recovery_cycle", |b| {
+        b.iter_batched(
+            booted_with_share,
+            |(mut spm, gpu, _)| {
+                spm.fail_partition(gpu).expect("proceed");
+                spm.recover_partition(gpu, b"cuda-mos", "v3").expect("recover")
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("trap_handling_step3", |b| {
+        b.iter_batched(
+            || {
+                let (mut spm, gpu, page) = booted_with_share();
+                spm.fail_partition(gpu).expect("proceed");
+                (spm, page)
+            },
+            |(mut spm, page)| {
+                spm.handle_trap(asid_of(MosId(1)), page).expect("trap")
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_failover);
+criterion_main!(benches);

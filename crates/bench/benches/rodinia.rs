@@ -1,0 +1,47 @@
+//! Criterion benches over the Rodinia workloads (Fig. 7's engine): one
+//! bench per workload on the CRONUS stack, plus a native-baseline group for
+//! wall-clock comparison of the harness itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cronus_baselines::direct::native_backend;
+use cronus_bench::experiments::{cpu_enclave, standard_boot};
+use cronus_core::CronusSystem;
+use cronus_runtime::{CudaContext, CudaOptions};
+use cronus_workloads::backend::CronusGpuBackend;
+use cronus_workloads::kernels::register_standard_kernels;
+use cronus_workloads::rodinia;
+
+fn bench_rodinia_cronus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rodinia_cronus");
+    group.sample_size(10);
+    for (name, f) in rodinia::suite() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &f, |b, f| {
+            // One long-lived system per bench target; workloads allocate and
+            // free their own buffers.
+            let mut sys = CronusSystem::boot(standard_boot());
+            let cpu = cpu_enclave(&mut sys);
+            let cuda = CudaContext::new(&mut sys, cpu, CudaOptions::default()).expect("cuda");
+            let mut backend = CronusGpuBackend::new(&mut sys, cuda);
+            register_standard_kernels(&mut backend).expect("kernels");
+            b.iter(|| f(&mut backend, 1).expect("workload"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rodinia_native(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rodinia_native");
+    group.sample_size(10);
+    for (name, f) in rodinia::suite() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &f, |b, f| {
+            let mut backend = native_backend();
+            register_standard_kernels(&mut backend).expect("kernels");
+            b.iter(|| f(&mut backend, 1).expect("workload"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rodinia_cronus, bench_rodinia_native);
+criterion_main!(benches);

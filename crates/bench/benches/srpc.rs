@@ -1,0 +1,99 @@
+//! Criterion benches for the sRPC hot path (wall-clock cost of the
+//! implementation itself, complementing the simulated-time figures).
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use cronus_bench::experiments::{cpu_enclave, standard_boot};
+use cronus_core::{Actor, CronusSystem, EnclaveRef, StreamId, DEFAULT_RING_PAGES};
+use cronus_devices::DeviceKind;
+use cronus_mos::manifest::{Manifest, McallDecl};
+use cronus_sim::SimNs;
+
+fn echo_setup() -> (CronusSystem, EnclaveRef, EnclaveRef, StreamId) {
+    let mut sys = CronusSystem::boot(standard_boot());
+    let cpu = cpu_enclave(&mut sys);
+    let gpu = sys
+        .create_enclave(
+            Actor::Enclave(cpu),
+            Manifest::new(DeviceKind::Gpu)
+                .with_mecall(McallDecl::asynchronous("echo"))
+                .with_mecall(McallDecl::synchronous("echo_sync"))
+                .with_memory(1 << 20),
+            &BTreeMap::new(),
+        )
+        .expect("gpu enclave");
+    for name in ["echo", "echo_sync"] {
+        sys.register_handler(gpu, name, Box::new(|_, p| Ok((p.to_vec(), SimNs::from_nanos(100)))));
+    }
+    let stream = sys.open_stream(cpu, gpu, DEFAULT_RING_PAGES).expect("stream");
+    (sys, cpu, gpu, stream)
+}
+
+fn bench_srpc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("srpc");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("call_async_64b", |b| {
+        let (mut sys, _, _, stream) = echo_setup();
+        let payload = [7u8; 64];
+        b.iter(|| {
+            sys.call_async(stream, "echo", &payload).expect("call");
+            // Keep the ring from monotonically filling.
+            if sys.stream_stats(stream).expect("stats").calls % 128 == 0 {
+                sys.sync(stream).expect("sync");
+            }
+        });
+    });
+
+    group.bench_function("call_sync_64b", |b| {
+        let (mut sys, _, _, stream) = echo_setup();
+        let payload = [7u8; 64];
+        b.iter(|| {
+            sys.call_sync(stream, "echo_sync", &payload).expect("call");
+        });
+    });
+
+    group.bench_function("open_stream", |b| {
+        b.iter_batched(
+            || {
+                let mut sys = CronusSystem::boot(standard_boot());
+                let cpu = cpu_enclave(&mut sys);
+                let gpu = sys
+                    .create_enclave(
+                        Actor::Enclave(cpu),
+                        Manifest::new(DeviceKind::Gpu)
+                            .with_mecall(McallDecl::asynchronous("echo"))
+                            .with_memory(1 << 20),
+                        &BTreeMap::new(),
+                    )
+                    .expect("gpu enclave");
+                (sys, cpu, gpu)
+            },
+            |(mut sys, cpu, gpu)| {
+                sys.open_stream(cpu, gpu, DEFAULT_RING_PAGES).expect("stream");
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+fn bench_ring_codec(c: &mut Criterion) {
+    use cronus_core::ring::{decode_request, encode_request, Request};
+    let mut group = c.benchmark_group("ring_codec");
+    let req = Request { name: "cuLaunchKernel".to_string(), payload: vec![5u8; 256] };
+    group.throughput(Throughput::Bytes(256));
+    group.bench_function("encode_decode_256b", |b| {
+        b.iter(|| {
+            let slot = encode_request(&req).expect("fits");
+            decode_request(&slot).expect("valid")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_srpc, bench_ring_codec);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benches for the evaluation workloads: DNN training step,
+//! vta-bench GEMM, and the spatial-sharing ablation (the design choices
+//! DESIGN.md lists for ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cronus_bench::experiments::{cpu_enclave, standard_boot};
+use cronus_core::CronusSystem;
+use cronus_runtime::{CudaContext, CudaOptions, VtaContext, VtaOptions};
+use cronus_workloads::backend::CronusGpuBackend;
+use cronus_workloads::dnn::models::lenet5;
+use cronus_workloads::dnn::{train, Dataset, TrainConfig};
+use cronus_workloads::kernels::register_standard_kernels;
+use cronus_workloads::vta_bench;
+
+fn bench_dnn_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dnn_training");
+    group.sample_size(10);
+    group.bench_function("lenet_iteration_cronus", |b| {
+        let mut sys = CronusSystem::boot(standard_boot());
+        let cpu = cpu_enclave(&mut sys);
+        let cuda = CudaContext::new(&mut sys, cpu, CudaOptions::default()).expect("cuda");
+        let mut backend = CronusGpuBackend::new(&mut sys, cuda);
+        register_standard_kernels(&mut backend).expect("kernels");
+        let model = lenet5();
+        let dataset = Dataset::mnist();
+        let cfg = TrainConfig { batch: 64, iterations: 1, ..Default::default() };
+        b.iter(|| train(&mut backend, &model, &dataset, cfg).expect("training"));
+    });
+    group.finish();
+}
+
+fn bench_vta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vta_bench");
+    group.sample_size(10);
+    for dim in [16usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("gemm", dim), &dim, |b, &dim| {
+            let mut sys = CronusSystem::boot(standard_boot());
+            let cpu = cpu_enclave(&mut sys);
+            let mut vta = VtaContext::new(&mut sys, cpu, VtaOptions::default()).expect("vta");
+            b.iter(|| vta_bench::run_gemm(&mut sys, &mut vta, dim, 16).expect("gemm"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sharing_ablation(c: &mut Criterion) {
+    // Spatial sharing on/off: simulated throughput per tenant count,
+    // exercised end-to-end (this is a wall-clock bench of the whole
+    // experiment, guarding against harness regressions).
+    let mut group = c.benchmark_group("sharing_ablation");
+    group.sample_size(10);
+    for k in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("tenants", k), &k, |b, &k| {
+            b.iter(|| cronus_bench::experiments::fig11::run_11a(&[k]));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dnn_training, bench_vta, bench_sharing_ablation);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Runs every experiment and prints every table and figure in paper order.
+use cronus_bench::experiments::{fig10, fig11, fig7, fig8, fig9, rpc_micro, tables};
+
+fn main() {
+    println!("{}", tables::table1());
+    println!("{}", tables::table2());
+    println!("{}", fig7::print(&fig7::run(4)));
+    println!("{}", fig8::print(&fig8::run()));
+    println!("{}", fig9::print(&fig9::run()));
+    println!("{}", fig10::print_10a(&fig10::run_10a(1)));
+    println!("{}", fig10::print_10b(&fig10::run_10b()));
+    println!("{}", fig11::print_11a(&fig11::run_11a(&[1, 2, 4])));
+    println!("{}", fig11::print_11b(&fig11::run_11b(&[1, 2, 4])));
+    println!(
+        "{}",
+        rpc_micro::print(&rpc_micro::run(1000), &rpc_micro::ring_sweep(400, &[1, 4, 16, 64]))
+    );
+    println!("{}", tables::table3());
+}

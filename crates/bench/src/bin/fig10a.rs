@@ -1,0 +1,8 @@
+//! Regenerates Figure 10a (vta-bench throughput).
+use cronus_bench::experiments::fig10;
+
+fn main() {
+    let scale = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let rows = fig10::run_10a(scale);
+    print!("{}", fig10::print_10a(&rows));
+}

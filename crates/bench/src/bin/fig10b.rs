@@ -1,0 +1,7 @@
+//! Regenerates Figure 10b (NPU inference latency).
+use cronus_bench::experiments::fig10;
+
+fn main() {
+    let rows = fig10::run_10b();
+    print!("{}", fig10::print_10b(&rows));
+}

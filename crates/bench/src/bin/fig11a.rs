@@ -1,0 +1,7 @@
+//! Regenerates Figure 11a (spatial sharing of one GPU).
+use cronus_bench::experiments::fig11;
+
+fn main() {
+    let points = fig11::run_11a(&[1, 2, 4]);
+    print!("{}", fig11::print_11a(&points));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 11b (multi-GPU gradient exchange paths).
+use cronus_bench::experiments::fig11;
+
+fn main() {
+    let points = fig11::run_11b(&[1, 2, 4]);
+    print!("{}", fig11::print_11b(&points));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 7 (Rodinia computation time across systems).
+use cronus_bench::experiments::fig7;
+
+fn main() {
+    let scale = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let rows = fig7::run(scale);
+    print!("{}", fig7::print(&rows));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 8 (DNN training time across systems).
+use cronus_bench::experiments::fig8;
+
+fn main() {
+    let rows = fig8::run();
+    print!("{}", fig8::print(&rows));
+}

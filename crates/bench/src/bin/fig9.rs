@@ -1,0 +1,7 @@
+//! Regenerates Figure 9 (failover throughput timeline).
+use cronus_bench::experiments::fig9;
+
+fn main() {
+    let data = fig9::run();
+    print!("{}", fig9::print(&data));
+}

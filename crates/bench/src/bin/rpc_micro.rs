@@ -1,0 +1,9 @@
+//! RPC microbenchmark: sRPC vs synchronous vs encrypted RPC, plus the
+//! ring-size ablation.
+use cronus_bench::experiments::rpc_micro;
+
+fn main() {
+    let costs = rpc_micro::run(1000);
+    let sweep = rpc_micro::ring_sweep(400, &[1, 4, 16, 64]);
+    print!("{}", rpc_micro::print(&costs, &sweep));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table I (qualitative comparison grid).
+fn main() {
+    print!("{}", cronus_bench::experiments::tables::table1());
+}

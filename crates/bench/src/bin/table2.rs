@@ -1,0 +1,4 @@
+//! Regenerates Table II (platform configuration).
+fn main() {
+    print!("{}", cronus_bench::experiments::tables::table2());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table III (lines-of-code inventory).
+fn main() {
+    print!("{}", cronus_bench::experiments::tables::table3());
+}

@@ -1,0 +1,53 @@
+//! Experiment implementations, one module per paper artifact.
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod rpc_micro;
+pub mod tables;
+
+use cronus_core::{Actor, CronusSystem, EnclaveRef};
+use cronus_devices::DeviceKind;
+use cronus_mos::manifest::Manifest;
+use cronus_spm::spm::{BootConfig, DeviceSpec, PartitionSpec};
+use std::collections::BTreeMap;
+
+/// Boots the standard evaluation platform: one CPU partition, one GPU
+/// partition, one NPU partition (Table II analogue).
+pub fn standard_boot() -> BootConfig {
+    BootConfig {
+        partitions: vec![
+            PartitionSpec::new(1, b"cpu-mos-v1", "v1", DeviceSpec::Cpu),
+            PartitionSpec::new(2, b"cuda-mos-v3", "v3", DeviceSpec::Gpu { memory: 8 << 30, sms: 46 }),
+            PartitionSpec::new(3, b"npu-mos-v1", "v1", DeviceSpec::Npu { memory: 256 << 20 }),
+        ],
+        ..Default::default()
+    }
+}
+
+/// Boots a platform with `gpus` GPU partitions (Fig. 11b).
+pub fn multi_gpu_boot(gpus: u8) -> BootConfig {
+    let mut partitions = vec![PartitionSpec::new(1, b"cpu-mos-v1", "v1", DeviceSpec::Cpu)];
+    for g in 0..gpus {
+        partitions.push(PartitionSpec::new(
+            2 + g,
+            b"cuda-mos-v3",
+            "v3",
+            DeviceSpec::Gpu { memory: 8 << 30, sms: 46 },
+        ));
+    }
+    BootConfig { partitions, ..Default::default() }
+}
+
+/// Creates a driving CPU mEnclave owned by a fresh app.
+pub fn cpu_enclave(sys: &mut CronusSystem) -> EnclaveRef {
+    let app = sys.create_app();
+    sys.create_enclave(
+        Actor::App(app),
+        Manifest::new(DeviceKind::Cpu).with_memory(1 << 20),
+        &BTreeMap::new(),
+    )
+    .expect("cpu enclave creation")
+}

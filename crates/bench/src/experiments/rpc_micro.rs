@@ -1,0 +1,175 @@
+//! §VI-B RPC microbenchmark: sRPC vs synchronous RPC vs encrypted RPC.
+//!
+//! Measures the caller-side cost per call and the context switches each
+//! protocol performs, plus an sRPC ring-size ablation (one of the design
+//! choices DESIGN.md calls out).
+
+use std::collections::BTreeMap;
+
+use cronus_core::{Actor, CronusSystem, SrpcError};
+use cronus_devices::DeviceKind;
+use cronus_mos::manifest::{Manifest, McallDecl};
+use cronus_sim::{CostModel, SimNs};
+
+use crate::report::Table;
+
+/// Result of one protocol measurement.
+#[derive(Clone, Debug)]
+pub struct RpcCost {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Caller-side cost per asynchronous call.
+    pub per_call: SimNs,
+    /// Context switches per call.
+    pub context_switches_per_call: f64,
+}
+
+fn echo_system() -> (CronusSystem, cronus_core::EnclaveRef, cronus_core::EnclaveRef) {
+    let mut sys = CronusSystem::boot(super::standard_boot());
+    let cpu = super::cpu_enclave(&mut sys);
+    let gpu = sys
+        .create_enclave(
+            Actor::Enclave(cpu),
+            Manifest::new(DeviceKind::Gpu)
+                .with_mecall(McallDecl::asynchronous("echo"))
+                .with_memory(1 << 20),
+            &BTreeMap::new(),
+        )
+        .expect("gpu enclave");
+    sys.register_handler(gpu, "echo", Box::new(|_, p| Ok((p.to_vec(), SimNs::from_micros(5)))));
+    (sys, cpu, gpu)
+}
+
+/// Measures the three protocols with `calls` iterations of a 64-byte call.
+pub fn run(calls: u64) -> Vec<RpcCost> {
+    let cm = CostModel::default();
+
+    // sRPC: measured on the real stack.
+    let (mut sys, cpu, gpu) = echo_system();
+    let stream = sys.open_stream(cpu, gpu, 64).expect("stream");
+    let switches_before = sys.spm().machine().log().context_switches();
+    let t0 = sys.enclave_time(cpu);
+    for _ in 0..calls {
+        sys.call_async(stream, "echo", &[0u8; 64]).expect("call");
+    }
+    let srpc_caller = (sys.enclave_time(cpu) - t0) / calls;
+    sys.sync(stream).expect("sync");
+    let srpc_switches =
+        (sys.spm().machine().log().context_switches() - switches_before) as f64 / calls as f64;
+
+    // Synchronous (unencrypted) RPC: four context switches in, four out,
+    // per the paper's analysis, plus the callee's execution in lock-step.
+    let sync_per_call = cm.sync_rpc_transport() + cm.srpc_enqueue + cm.srpc_dequeue
+        + SimNs::from_micros(5);
+
+    // Encrypted RPC over untrusted memory (HIX/Panoply style): sync RPC
+    // plus encryption of request and acknowledged response.
+    let encrypted_per_call = sync_per_call + cm.encrypt(64) * 2;
+
+    vec![
+        RpcCost {
+            protocol: "srpc (cronus)",
+            per_call: srpc_caller,
+            context_switches_per_call: srpc_switches,
+        },
+        RpcCost {
+            protocol: "synchronous rpc",
+            per_call: sync_per_call,
+            context_switches_per_call: 8.0,
+        },
+        RpcCost {
+            protocol: "encrypted rpc (hix)",
+            per_call: encrypted_per_call,
+            context_switches_per_call: 8.0,
+        },
+    ]
+}
+
+/// Ring-size ablation point.
+#[derive(Clone, Debug)]
+pub struct RingSweepPoint {
+    /// Ring pages.
+    pub pages: usize,
+    /// Producer stalls over the run.
+    pub stalls: u64,
+    /// Caller cost per call.
+    pub per_call: SimNs,
+}
+
+/// Sweeps the sRPC ring size with a slow consumer (50 µs kernels).
+pub fn ring_sweep(calls: u64, page_sizes: &[usize]) -> Vec<RingSweepPoint> {
+    page_sizes
+        .iter()
+        .map(|&pages| {
+            let (mut sys, cpu, gpu) = echo_system();
+            sys.register_handler(
+                gpu,
+                "echo",
+                Box::new(|_, p| Ok((p.to_vec(), SimNs::from_micros(50)))),
+            );
+            let stream = sys.open_stream(cpu, gpu, pages).expect("stream");
+            let t0 = sys.enclave_time(cpu);
+            for _ in 0..calls {
+                match sys.call_async(stream, "echo", &[0u8; 32]) {
+                    Ok(()) => {}
+                    Err(SrpcError::Closed) => break,
+                    Err(e) => panic!("unexpected srpc error: {e}"),
+                }
+            }
+            let per_call = (sys.enclave_time(cpu) - t0) / calls;
+            let stalls = sys.stream_stats(stream).expect("stats").ring_full_stalls;
+            RingSweepPoint { pages, stalls, per_call }
+        })
+        .collect()
+}
+
+/// Renders the microbenchmark.
+pub fn print(costs: &[RpcCost], sweep: &[RingSweepPoint]) -> String {
+    let mut out = String::new();
+    let mut t = Table::new(
+        "RPC microbenchmark: caller-side cost per inter-mEnclave call",
+        &["protocol", "per call", "ctx switches/call"],
+    );
+    for c in costs {
+        t.row(&[
+            c.protocol.to_string(),
+            c.per_call.to_string(),
+            format!("{:.2}", c.context_switches_per_call),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    let mut t = Table::new(
+        "sRPC ring-size ablation (50us kernels, slow consumer)",
+        &["ring pages", "producer stalls", "caller cost/call"],
+    );
+    for p in sweep {
+        t.row(&[p.pages.to_string(), p.stalls.to_string(), p.per_call.to_string()]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srpc_beats_lockstep_protocols() {
+        let costs = run(500);
+        let srpc = &costs[0];
+        let sync = &costs[1];
+        let enc = &costs[2];
+        assert_eq!(srpc.context_switches_per_call, 0.0, "sRPC needs no per-call switches");
+        assert!(srpc.per_call * 10 < sync.per_call, "{} vs {}", srpc.per_call, sync.per_call);
+        assert!(enc.per_call > sync.per_call);
+    }
+
+    #[test]
+    fn bigger_rings_stall_less() {
+        let sweep = ring_sweep(400, &[1, 4, 64]);
+        assert!(sweep[0].stalls > sweep[2].stalls);
+        assert!(sweep[0].per_call >= sweep[2].per_call);
+        assert!(print(&run(100), &sweep).contains("ablation"));
+    }
+}

@@ -1,0 +1,25 @@
+//! # cronus-bench — the figure/table harness
+//!
+//! One module per experiment in the paper's evaluation (§VI), each with a
+//! pure `run()` returning structured data and a `print()` rendering the
+//! same rows/series the paper reports. Thin binaries in `src/bin/` wrap
+//! them (`cargo run -p cronus-bench --bin fig7`, etc.), and the Criterion
+//! benches under `benches/` measure the implementation itself.
+//!
+//! | binary      | paper artifact | experiment |
+//! |-------------|----------------|-----------|
+//! | `fig7`      | Figure 7       | Rodinia computation time across systems |
+//! | `fig8`      | Figure 8       | DNN training time across systems |
+//! | `fig9`      | Figure 9       | failover throughput timeline |
+//! | `fig10a`    | Figure 10a     | vta-bench throughput |
+//! | `fig10b`    | Figure 10b     | NPU inference latency |
+//! | `fig11a`    | Figure 11a     | spatial sharing of one GPU |
+//! | `fig11b`    | Figure 11b     | multi-GPU gradient exchange paths |
+//! | `rpc_micro` | §VI-B          | sRPC vs sync vs encrypted RPC |
+//! | `table1`    | Table I        | qualitative comparison |
+//! | `table2`    | Table II       | platform configuration |
+//! | `table3`    | Table III      | lines-of-code inventory |
+//! | `all`       | everything     | runs the lot, writes EXPERIMENTS data |
+
+pub mod experiments;
+pub mod report;

@@ -1,0 +1,76 @@
+//! # cronus-core — the CRONUS TEE architecture
+//!
+//! This crate is the paper's primary contribution, assembled over the
+//! substrate crates:
+//!
+//! * the **MicroEnclave model**: heterogeneous computation partitioned into
+//!   per-device-kind enclaves with manifests, eids and ownership
+//!   (`cronus-mos` supplies the Enclave Manager; this crate supplies the
+//!   application-facing lifecycle in [`system::CronusSystem`]);
+//! * the **Enclave Dispatcher** ([`dispatcher`]) in the untrusted normal
+//!   world, including malicious-dispatch attack injection;
+//! * **streaming RPC (sRPC)** ([`ring`], [`srpc`], driven by
+//!   [`system::CronusSystem`]): requests flow through a ring in trusted
+//!   shared TEE memory with `Rid`/`Sid` indices, dCheck channel
+//!   authentication and streamCheck completion checks. Callers stream
+//!   without context switches and synchronize only when they need data;
+//! * **secure failover**: stage-2 faults on streams convert into the
+//!   proceed-trap failure signals of §IV-D (the heavy lifting lives in
+//!   `cronus-spm`; this crate wires it into the RPC path);
+//! * **attestation** glue: remote reports per partition and automatic local
+//!   attestation at stream establishment.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use std::collections::BTreeMap;
+//! use cronus_core::{Actor, CronusSystem, DEFAULT_RING_PAGES};
+//! use cronus_devices::DeviceKind;
+//! use cronus_mos::manifest::{Manifest, McallDecl};
+//! use cronus_sim::SimNs;
+//! use cronus_spm::spm::{BootConfig, DeviceSpec, PartitionSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut system = CronusSystem::boot(BootConfig {
+//!     partitions: vec![
+//!         PartitionSpec::new(1, b"cpu-mos", "v1", DeviceSpec::Cpu),
+//!         PartitionSpec::new(2, b"cuda-mos", "v3", DeviceSpec::Gpu { memory: 1 << 26, sms: 46 }),
+//!     ],
+//!     ..Default::default()
+//! });
+//! let app = system.create_app();
+//! let cpu = system.create_enclave(
+//!     Actor::App(app),
+//!     Manifest::new(DeviceKind::Cpu),
+//!     &BTreeMap::new(),
+//! )?;
+//! let gpu = system.create_enclave(
+//!     Actor::Enclave(cpu),
+//!     Manifest::new(DeviceKind::Gpu)
+//!         .with_mecall(McallDecl::asynchronous("launch"))
+//!         .with_memory(1 << 20),
+//!     &BTreeMap::new(),
+//! )?;
+//! system.register_handler(gpu, "launch", Box::new(|_ctx, args| {
+//!     Ok((args.to_vec(), SimNs::from_micros(50)))
+//! }));
+//! let stream = system.open_stream(cpu, gpu, DEFAULT_RING_PAGES)?;
+//! system.call_async(stream, "launch", &[1, 2, 3])?;
+//! system.sync(stream)?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dispatcher;
+pub mod pipe;
+pub mod ring;
+pub mod srpc;
+pub mod system;
+
+pub use dispatcher::{Dispatcher, PartitionInfo};
+pub use pipe::PipeId;
+pub use srpc::{SrpcError, StreamId, StreamStats};
+pub use system::{
+    Actor, AppId, CronusSystem, EnclaveRef, McallHandler, ServerCtx, SystemError,
+    DEFAULT_RING_PAGES,
+};

@@ -1,0 +1,300 @@
+//! sRPC ring-buffer layout and slot encoding.
+//!
+//! An sRPC stream stores its state entirely inside a trusted shared memory
+//! region (§IV-C): a request index `Rid`, a progress index `Sid`, a dCheck
+//! tag, and two slot arrays (requests and results). This module defines the
+//! byte layout and the slot codec; the protocol driver in [`crate::srpc`]
+//! moves these bytes through the simulated machine so every access is
+//! checked by stage-1/stage-2/TZASC.
+//!
+//! Layout within the shared region (`pages * 4096` bytes):
+//!
+//! ```text
+//! 0x000  rid: u64           next request index (producer-owned)
+//! 0x008  sid: u64           executed-request count (consumer-owned)
+//! 0x010  dcheck: [u8; 32]   HMAC(secret_dhke, nonce) written by the callee
+//! 0x030  closed: u8         stream close flag
+//! 0x040  request slots      (half of the remaining space)
+//! ....   result slots       (the other half)
+//! ```
+
+use cronus_sim::addr::PAGE_SIZE;
+
+/// Maximum encoded message (name + payload) per slot. Slots carry RPC
+/// *descriptors* (names, handles, offsets, scalar args); bulk data moves
+/// through dedicated shared data buffers set up by the runtimes, exactly as
+/// real `cudaMemcpy` bounce buffers do.
+pub const SLOT_PAYLOAD: usize = 480;
+/// On-wire slot size: u32 name_len + u32 payload_len + payload area.
+pub const SLOT_SIZE: usize = 8 + SLOT_PAYLOAD;
+/// Result slot size: u32 status + u32 len + payload area.
+pub const RESULT_SLOT_SIZE: usize = 8 + SLOT_PAYLOAD;
+/// Header bytes reserved at the start of the region.
+pub const HEADER_SIZE: u64 = 0x40;
+
+/// Offset of the `Rid` word.
+pub const RID_OFFSET: u64 = 0x0;
+/// Offset of the `Sid` word.
+pub const SID_OFFSET: u64 = 0x8;
+/// Offset of the dCheck tag.
+pub const DCHECK_OFFSET: u64 = 0x10;
+/// Offset of the close flag.
+pub const CLOSED_OFFSET: u64 = 0x30;
+
+/// Computed geometry of a ring over `pages` shared pages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RingLayout {
+    /// Shared pages backing the stream.
+    pub pages: usize,
+    /// Number of request slots (== number of result slots).
+    pub slots: u64,
+    /// Byte offset of the request slot array.
+    pub requests_offset: u64,
+    /// Byte offset of the result slot array.
+    pub results_offset: u64,
+}
+
+impl RingLayout {
+    /// Computes the layout for a region of `pages` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is too small for at least one slot pair.
+    pub fn new(pages: usize) -> Self {
+        let total = pages as u64 * PAGE_SIZE - HEADER_SIZE;
+        let slots = total / (SLOT_SIZE as u64 + RESULT_SLOT_SIZE as u64);
+        assert!(slots >= 1, "shared region too small for an sRPC ring");
+        RingLayout {
+            pages,
+            slots,
+            requests_offset: HEADER_SIZE,
+            results_offset: HEADER_SIZE + slots * SLOT_SIZE as u64,
+        }
+    }
+
+    /// Byte offset of request slot `index` (wrapped).
+    pub fn request_slot(&self, index: u64) -> u64 {
+        self.requests_offset + (index % self.slots) * SLOT_SIZE as u64
+    }
+
+    /// Byte offset of result slot `index` (wrapped).
+    pub fn result_slot(&self, index: u64) -> u64 {
+        self.results_offset + (index % self.slots) * RESULT_SLOT_SIZE as u64
+    }
+
+    /// True when the ring is full: the producer must wait for the consumer
+    /// ("checks the progress of mE_B ... when it needs synchronization").
+    pub fn is_full(&self, rid: u64, sid: u64) -> bool {
+        rid - sid >= self.slots
+    }
+}
+
+/// A request message: the mECall name and its serialized arguments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// mECall name.
+    pub name: String,
+    /// Serialized arguments.
+    pub payload: Vec<u8>,
+}
+
+/// Errors from slot encoding/decoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// name + payload exceed [`SLOT_PAYLOAD`].
+    TooLarge { size: usize },
+    /// The slot contains lengths that do not fit — corrupted or foreign data.
+    Corrupt,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::TooLarge { size } => {
+                write!(f, "message of {size} bytes exceeds slot capacity {SLOT_PAYLOAD}")
+            }
+            CodecError::Corrupt => f.write_str("slot contents are corrupt"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Encodes a request into a `SLOT_SIZE` byte buffer.
+///
+/// # Errors
+///
+/// [`CodecError::TooLarge`] when the message exceeds the slot capacity —
+/// large transfers use dedicated data buffers, not ring slots.
+pub fn encode_request(req: &Request) -> Result<Vec<u8>, CodecError> {
+    let total = req.name.len() + req.payload.len();
+    if total > SLOT_PAYLOAD {
+        return Err(CodecError::TooLarge { size: total });
+    }
+    let mut out = vec![0u8; SLOT_SIZE];
+    out[0..4].copy_from_slice(&(req.name.len() as u32).to_le_bytes());
+    out[4..8].copy_from_slice(&(req.payload.len() as u32).to_le_bytes());
+    out[8..8 + req.name.len()].copy_from_slice(req.name.as_bytes());
+    out[8 + req.name.len()..8 + total].copy_from_slice(&req.payload);
+    Ok(out)
+}
+
+/// Decodes a request slot.
+///
+/// # Errors
+///
+/// [`CodecError::Corrupt`] on impossible lengths or non-UTF-8 names.
+pub fn decode_request(slot: &[u8]) -> Result<Request, CodecError> {
+    if slot.len() < 8 {
+        return Err(CodecError::Corrupt);
+    }
+    let name_len = u32::from_le_bytes(slot[0..4].try_into().expect("4 bytes")) as usize;
+    let payload_len = u32::from_le_bytes(slot[4..8].try_into().expect("4 bytes")) as usize;
+    if name_len + payload_len > SLOT_PAYLOAD || 8 + name_len + payload_len > slot.len() {
+        return Err(CodecError::Corrupt);
+    }
+    let name = std::str::from_utf8(&slot[8..8 + name_len])
+        .map_err(|_| CodecError::Corrupt)?
+        .to_string();
+    let payload = slot[8 + name_len..8 + name_len + payload_len].to_vec();
+    Ok(Request { name, payload })
+}
+
+/// Execution status stored in a result slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResultStatus {
+    /// Handler completed; payload is its return bytes.
+    Ok,
+    /// Handler failed; payload is an error string.
+    Err,
+}
+
+/// Encodes a result into a `RESULT_SLOT_SIZE` buffer.
+///
+/// # Errors
+///
+/// [`CodecError::TooLarge`].
+pub fn encode_result(status: ResultStatus, payload: &[u8]) -> Result<Vec<u8>, CodecError> {
+    if payload.len() > SLOT_PAYLOAD {
+        return Err(CodecError::TooLarge { size: payload.len() });
+    }
+    let mut out = vec![0u8; RESULT_SLOT_SIZE];
+    out[0..4].copy_from_slice(&match status {
+        ResultStatus::Ok => 1u32,
+        ResultStatus::Err => 2u32,
+    }
+    .to_le_bytes());
+    out[4..8].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    out[8..8 + payload.len()].copy_from_slice(payload);
+    Ok(out)
+}
+
+/// Decodes a result slot.
+///
+/// # Errors
+///
+/// [`CodecError::Corrupt`].
+pub fn decode_result(slot: &[u8]) -> Result<(ResultStatus, Vec<u8>), CodecError> {
+    if slot.len() < 8 {
+        return Err(CodecError::Corrupt);
+    }
+    let status = match u32::from_le_bytes(slot[0..4].try_into().expect("4 bytes")) {
+        1 => ResultStatus::Ok,
+        2 => ResultStatus::Err,
+        _ => return Err(CodecError::Corrupt),
+    };
+    let len = u32::from_le_bytes(slot[4..8].try_into().expect("4 bytes")) as usize;
+    if len > SLOT_PAYLOAD || 8 + len > slot.len() {
+        return Err(CodecError::Corrupt);
+    }
+    Ok((status, slot[8..8 + len].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_fits_slots() {
+        let l = RingLayout::new(4);
+        assert!(l.slots >= 2);
+        assert_eq!(l.requests_offset, HEADER_SIZE);
+        assert!(l.results_offset > l.requests_offset);
+        assert!(
+            l.result_slot(l.slots - 1) + RESULT_SLOT_SIZE as u64 <= 4 * PAGE_SIZE,
+            "slots stay within the region"
+        );
+    }
+
+    #[test]
+    fn slot_offsets_wrap() {
+        let l = RingLayout::new(4);
+        assert_eq!(l.request_slot(0), l.request_slot(l.slots));
+        assert_eq!(l.result_slot(1), l.result_slot(l.slots + 1));
+        assert_ne!(l.request_slot(0), l.request_slot(1));
+    }
+
+    #[test]
+    fn fullness() {
+        let l = RingLayout::new(4);
+        assert!(!l.is_full(0, 0));
+        assert!(!l.is_full(l.slots - 1, 0));
+        assert!(l.is_full(l.slots, 0));
+        assert!(!l.is_full(l.slots, 1));
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request { name: "cudaLaunchKernel".into(), payload: vec![1, 2, 3, 4] };
+        let encoded = encode_request(&req).unwrap();
+        assert_eq!(encoded.len(), SLOT_SIZE);
+        assert_eq!(decode_request(&encoded).unwrap(), req);
+    }
+
+    #[test]
+    fn empty_payload_round_trip() {
+        let req = Request { name: "sync".into(), payload: vec![] };
+        assert_eq!(decode_request(&encode_request(&req).unwrap()).unwrap(), req);
+    }
+
+    #[test]
+    fn oversized_request_rejected() {
+        let req = Request { name: "f".into(), payload: vec![0u8; SLOT_PAYLOAD] };
+        assert!(matches!(encode_request(&req), Err(CodecError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn corrupt_request_rejected() {
+        let mut encoded = encode_request(&Request { name: "f".into(), payload: vec![1] }).unwrap();
+        encoded[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_request(&encoded), Err(CodecError::Corrupt));
+        assert_eq!(decode_request(&[0u8; 4]), Err(CodecError::Corrupt));
+    }
+
+    #[test]
+    fn non_utf8_name_rejected() {
+        let mut encoded = encode_request(&Request { name: "ab".into(), payload: vec![] }).unwrap();
+        encoded[8] = 0xff;
+        encoded[9] = 0xfe;
+        assert_eq!(decode_request(&encoded), Err(CodecError::Corrupt));
+    }
+
+    #[test]
+    fn result_round_trip() {
+        for (status, payload) in [
+            (ResultStatus::Ok, vec![5u8; 100]),
+            (ResultStatus::Err, b"unknown mecall".to_vec()),
+            (ResultStatus::Ok, vec![]),
+        ] {
+            let enc = encode_result(status, &payload).unwrap();
+            assert_eq!(decode_result(&enc).unwrap(), (status, payload));
+        }
+    }
+
+    #[test]
+    fn zeroed_result_slot_is_corrupt_not_ok() {
+        // A result slot that was never written decodes as corrupt, so a
+        // caller can never mistake "no result yet" for a success.
+        assert_eq!(decode_result(&[0u8; RESULT_SLOT_SIZE]), Err(CodecError::Corrupt));
+    }
+}

@@ -1,0 +1,186 @@
+//! sRPC stream state and errors.
+//!
+//! A stream connects one caller mEnclave to one callee mEnclave through a
+//! trusted shared-memory ring (§IV-C). The caller continuously appends
+//! requests (bumping `Rid`) without waiting; a per-stream executor thread in
+//! the callee drains them (bumping `Sid`); the caller only synchronizes when
+//! it needs data or ordering. Virtual time models this with two clocks: the
+//! caller's enclave clock advances by enqueue costs only, the executor clock
+//! advances by dequeue + execution costs, and synchronization points merge
+//! them with `max` — which is precisely why sRPC beats lock-step RPC.
+//!
+//! The protocol driver lives in [`crate::system::CronusSystem`], which owns
+//! the SPM and the handler registry.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use cronus_mos::manifest::Eid;
+use cronus_mos::mos::MosError;
+use cronus_sim::addr::VirtAddr;
+use cronus_sim::machine::AsId;
+use cronus_sim::{SimClock, SimNs};
+use cronus_spm::spm::{ShareHandle, SpmError};
+
+use crate::ring::{CodecError, RingLayout};
+
+/// Handle to an open sRPC stream.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct StreamId(pub(crate) u64);
+
+/// Errors raised by sRPC operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SrpcError {
+    /// The peer's partition failed; the proceed-trap protocol delivered a
+    /// failure signal to the surviving enclave (§IV-D step 3). The stream
+    /// is dead; sRPC "automatically clears state when getting the signal".
+    PeerFailed {
+        /// The enclave that received the signal.
+        signalled: Eid,
+    },
+    /// The stream was closed.
+    Closed,
+    /// The mECall name is not in the callee's static mECall list.
+    UnknownMcall(String),
+    /// The caller does not own the callee ("only the owner can invoke
+    /// mECall of the created mEnclave").
+    NotOwner,
+    /// dCheck failed during establishment: the far side of the shared
+    /// memory is not the authenticated peer.
+    DcheckFailed,
+    /// Local attestation of the callee failed.
+    AttestationFailed,
+    /// Slot encoding/decoding failure.
+    Codec(CodecError),
+    /// The handler reported an application-level error.
+    HandlerFailed(String),
+    /// No handler registered for a declared mECall (runtime not loaded).
+    NoHandler(String),
+    /// Underlying mOS error that is not a peer failure.
+    Mos(MosError),
+    /// Underlying SPM error.
+    Spm(SpmError),
+    /// Unknown stream id.
+    UnknownStream(StreamId),
+}
+
+impl fmt::Display for SrpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SrpcError::PeerFailed { signalled } => {
+                write!(f, "peer partition failed; {signalled} received failure signal")
+            }
+            SrpcError::Closed => f.write_str("stream is closed"),
+            SrpcError::UnknownMcall(name) => {
+                write!(f, "mecall {name:?} is not in the callee's mecall list")
+            }
+            SrpcError::NotOwner => f.write_str("caller is not the owner of the callee"),
+            SrpcError::DcheckFailed => f.write_str("dcheck failed: shared memory peer mismatch"),
+            SrpcError::AttestationFailed => f.write_str("local attestation failed"),
+            SrpcError::Codec(e) => write!(f, "codec: {e}"),
+            SrpcError::HandlerFailed(msg) => write!(f, "handler failed: {msg}"),
+            SrpcError::NoHandler(name) => write!(f, "no handler registered for {name:?}"),
+            SrpcError::Mos(e) => write!(f, "mos: {e}"),
+            SrpcError::Spm(e) => write!(f, "spm: {e}"),
+            SrpcError::UnknownStream(id) => write!(f, "unknown stream {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SrpcError {}
+
+impl From<CodecError> for SrpcError {
+    fn from(e: CodecError) -> Self {
+        SrpcError::Codec(e)
+    }
+}
+
+impl From<SpmError> for SrpcError {
+    fn from(e: SpmError) -> Self {
+        SrpcError::Spm(e)
+    }
+}
+
+/// Per-stream counters (feed the RPC microbenchmarks).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Total mECalls issued.
+    pub calls: u64,
+    /// Calls that required a synchronous result.
+    pub sync_calls: u64,
+    /// Explicit synchronization points.
+    pub sync_points: u64,
+    /// Request payload bytes moved through the ring.
+    pub request_bytes: u64,
+    /// Result payload bytes returned.
+    pub result_bytes: u64,
+    /// Times the producer found the ring full and had to drain.
+    pub ring_full_stalls: u64,
+}
+
+/// The state of one open stream.
+#[derive(Debug)]
+pub struct StreamState {
+    /// Stream id.
+    pub id: StreamId,
+    /// Caller (partition, enclave).
+    pub caller: (AsId, Eid),
+    /// Callee (partition, enclave).
+    pub callee: (AsId, Eid),
+    /// Backing shared-memory region.
+    pub share: ShareHandle,
+    /// Ring base VA in the caller's address space.
+    pub caller_va: VirtAddr,
+    /// Ring base VA in the callee's address space.
+    pub callee_va: VirtAddr,
+    /// Ring geometry.
+    pub layout: RingLayout,
+    /// Producer index (cached copy of the shared word).
+    pub rid: u64,
+    /// Consumer index (cached copy of the shared word).
+    pub sid: u64,
+    /// The executor thread's virtual clock.
+    pub executor_clock: SimClock,
+    /// Enqueue timestamps of requests not yet executed, so the executor
+    /// never starts a request before it was issued.
+    pub pending_enqueue_times: VecDeque<SimNs>,
+    /// True until closed or poisoned.
+    pub open: bool,
+    /// Counters.
+    pub stats: StreamStats,
+}
+
+impl StreamState {
+    /// Number of requests enqueued but not yet executed.
+    pub fn backlog(&self) -> u64 {
+        self.rid - self.sid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_nonempty() {
+        let errors: Vec<SrpcError> = vec![
+            SrpcError::Closed,
+            SrpcError::UnknownMcall("f".into()),
+            SrpcError::NotOwner,
+            SrpcError::DcheckFailed,
+            SrpcError::AttestationFailed,
+            SrpcError::HandlerFailed("boom".into()),
+            SrpcError::NoHandler("g".into()),
+            SrpcError::UnknownStream(StreamId(3)),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn codec_error_converts() {
+        let e: SrpcError = CodecError::Corrupt.into();
+        assert_eq!(e, SrpcError::Codec(CodecError::Corrupt));
+    }
+}

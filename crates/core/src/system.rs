@@ -1,0 +1,1295 @@
+//! The CRONUS system facade.
+//!
+//! [`CronusSystem`] is the top-level object a PaaS application (or the
+//! benchmark harness) interacts with. It owns the Secure Partition Manager,
+//! the normal-world Enclave Dispatcher, per-enclave virtual clocks, the
+//! mECall handler registry (filled in by the execution-model runtimes), and
+//! the open sRPC streams. It drives the full paper workflow of §III-D:
+//! create a CPU mEnclave, attest, create accelerator mEnclaves from inside
+//! it, connect them with sRPC, compute, and survive partition failures.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use cronus_crypto::dh::DhKeyPair;
+use cronus_crypto::hmac::hmac_sha256;
+use cronus_devices::DeviceKind;
+use cronus_mos::manager::Owner;
+use cronus_mos::manifest::{Eid, Manifest};
+use cronus_mos::mos::MosError;
+use cronus_sim::machine::AsId;
+use cronus_sim::trace::EventKind;
+use cronus_sim::{Fault, SimClock, SimNs};
+use cronus_spm::attest::{LocalAttestation, SignedReport};
+use cronus_spm::spm::{BootConfig, RecoveryStats, Spm, SpmError};
+
+use crate::dispatcher::{Dispatcher, PartitionInfo};
+use crate::pipe::{PipeId, PipeState};
+use crate::ring::{
+    decode_request, decode_result, encode_request, encode_result, Request, ResultStatus,
+    RingLayout, CLOSED_OFFSET, DCHECK_OFFSET, RID_OFFSET, SID_OFFSET,
+};
+use crate::srpc::{SrpcError, StreamId, StreamState, StreamStats};
+
+/// A handle to a created mEnclave.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EnclaveRef {
+    /// Hosting partition.
+    pub asid: AsId,
+    /// Enclave id.
+    pub eid: Eid,
+}
+
+/// A normal-world application id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct AppId(pub u32);
+
+/// Who is creating an enclave / making a call.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Actor {
+    /// A normal-world app.
+    App(AppId),
+    /// An existing mEnclave.
+    Enclave(EnclaveRef),
+}
+
+impl Actor {
+    fn owner(&self) -> Owner {
+        match self {
+            Actor::App(id) => Owner::App(id.0),
+            Actor::Enclave(e) => Owner::Enclave(e.eid),
+        }
+    }
+}
+
+/// Context handed to an mECall handler executing inside the callee's
+/// partition: full access to the SPM (and through it the machine, bus and
+/// the partition's mOS/HAL).
+pub struct ServerCtx<'a> {
+    /// The SPM.
+    pub spm: &'a mut Spm,
+    /// The partition the handler runs in.
+    pub asid: AsId,
+    /// The enclave the handler belongs to.
+    pub eid: Eid,
+}
+
+/// An mECall implementation: takes serialized arguments, returns serialized
+/// results plus the simulated device-execution time.
+pub type McallHandler =
+    Box<dyn FnMut(&mut ServerCtx<'_>, &[u8]) -> Result<(Vec<u8>, SimNs), String> + Send>;
+
+/// Default number of shared pages per stream ring (256 KiB ≈ 268 slots).
+pub const DEFAULT_RING_PAGES: usize = 64;
+
+/// System-level errors (enclave lifecycle; sRPC errors are [`SrpcError`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SystemError {
+    /// No partition manages the requested device kind.
+    NoPartitionFor(DeviceKind),
+    /// The SPM rejected the operation.
+    Spm(SpmError),
+    /// The caller is not the enclave's owner.
+    NotOwner,
+    /// mECall not declared in the manifest.
+    UnknownMcall(String),
+    /// No handler registered.
+    NoHandler(String),
+    /// Handler failed.
+    HandlerFailed(String),
+    /// Unknown enclave reference.
+    UnknownEnclave(Eid),
+}
+
+impl std::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemError::NoPartitionFor(kind) => {
+                write!(f, "no partition manages a {kind} device")
+            }
+            SystemError::Spm(e) => write!(f, "spm: {e}"),
+            SystemError::NotOwner => f.write_str("caller is not the owner"),
+            SystemError::UnknownMcall(n) => write!(f, "mecall {n:?} not declared"),
+            SystemError::NoHandler(n) => write!(f, "no handler for {n:?}"),
+            SystemError::HandlerFailed(m) => write!(f, "handler failed: {m}"),
+            SystemError::UnknownEnclave(e) => write!(f, "unknown enclave {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl From<SpmError> for SystemError {
+    fn from(e: SpmError) -> Self {
+        SystemError::Spm(e)
+    }
+}
+
+/// The CRONUS system.
+pub struct CronusSystem {
+    spm: Spm,
+    dispatcher: Dispatcher,
+    clocks: HashMap<Eid, SimClock>,
+    app_clocks: HashMap<AppId, SimClock>,
+    owner_secrets: HashMap<Eid, [u8; 32]>,
+    handlers: HashMap<(Eid, String), McallHandler>,
+    streams: HashMap<StreamId, StreamState>,
+    pub(crate) pipes: HashMap<PipeId, PipeState>,
+    next_stream: u64,
+    pub(crate) next_pipe: u64,
+    next_app: u32,
+    next_dh: u64,
+}
+
+impl std::fmt::Debug for CronusSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CronusSystem")
+            .field("enclaves", &self.clocks.len())
+            .field("streams", &self.streams.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CronusSystem {
+    /// Boots the secure world and registers every partition with the
+    /// dispatcher.
+    pub fn boot(config: BootConfig) -> Self {
+        let partitions = config.partitions.clone();
+        let spm = Spm::boot(config);
+        let mut dispatcher = Dispatcher::new();
+        for spec in &partitions {
+            let asid = cronus_spm::spm::asid_of(spec.mos_id);
+            let kind = spm.mos(asid).expect("partition booted").device_kind();
+            dispatcher.register(PartitionInfo {
+                asid,
+                mos_id: spec.mos_id,
+                kind,
+                image: spec.image.clone(),
+                version: spec.version.clone(),
+            });
+        }
+        CronusSystem {
+            spm,
+            dispatcher,
+            clocks: HashMap::new(),
+            app_clocks: HashMap::new(),
+            owner_secrets: HashMap::new(),
+            handlers: HashMap::new(),
+            streams: HashMap::new(),
+            pipes: HashMap::new(),
+            next_stream: 1,
+            next_pipe: 1,
+            next_app: 1,
+            next_dh: 1,
+        }
+    }
+
+    /// The SPM (read side).
+    pub fn spm(&self) -> &Spm {
+        &self.spm
+    }
+
+    /// The SPM (write side) — runtimes use this for HAL operations outside
+    /// handler contexts (e.g. tests).
+    pub fn spm_mut(&mut self) -> &mut Spm {
+        &mut self.spm
+    }
+
+    /// The dispatcher (for attack injection and routing queries).
+    pub fn dispatcher_mut(&mut self) -> &mut Dispatcher {
+        &mut self.dispatcher
+    }
+
+    /// Registers a normal-world application.
+    pub fn create_app(&mut self) -> AppId {
+        let id = AppId(self.next_app);
+        self.next_app += 1;
+        self.app_clocks.insert(id, SimClock::new());
+        id
+    }
+
+    // ---- clocks -------------------------------------------------------------
+
+    /// An enclave's current virtual time.
+    pub fn enclave_time(&self, e: EnclaveRef) -> SimNs {
+        self.clocks.get(&e.eid).map(|c| c.now()).unwrap_or(SimNs::ZERO)
+    }
+
+    /// An app's current virtual time.
+    pub fn app_time(&self, app: AppId) -> SimNs {
+        self.app_clocks.get(&app).map(|c| c.now()).unwrap_or(SimNs::ZERO)
+    }
+
+    /// Charges local computation time to an enclave (e.g. CPU preprocessing
+    /// between kernel launches).
+    pub fn advance_enclave(&mut self, e: EnclaveRef, d: SimNs) {
+        self.clocks.entry(e.eid).or_default().advance(d);
+    }
+
+    fn clock_mut(&mut self, eid: Eid) -> &mut SimClock {
+        self.clocks.entry(eid).or_default()
+    }
+
+    // ---- enclave lifecycle --------------------------------------------------
+
+    /// Creates an mEnclave on behalf of `actor`. The manifest's device type
+    /// selects the partition via the (untrusted) dispatcher; the partition's
+    /// mOS re-checks everything.
+    ///
+    /// # Errors
+    ///
+    /// Routing failures, manifest rejection, failed partitions.
+    pub fn create_enclave(
+        &mut self,
+        actor: Actor,
+        manifest: Manifest,
+        images: &BTreeMap<String, Vec<u8>>,
+    ) -> Result<EnclaveRef, SystemError> {
+        let kind = manifest.device_type;
+        let asid = self
+            .dispatcher
+            .route_with_balancing(kind)
+            .ok_or(SystemError::NoPartitionFor(kind))?;
+
+        // Owner-side DH share.
+        let dh = DhKeyPair::from_seed(&format!("owner-dh:{}", self.next_dh));
+        self.next_dh += 1;
+
+        let eid = self
+            .spm
+            .create_enclave(asid, manifest, images, actor.owner(), dh.public())
+            .map_err(SystemError::Spm)?;
+
+        // Complete the owner side of the DH exchange.
+        let enclave_dh_public = self
+            .spm
+            .mos(asid)
+            .expect("partition exists")
+            .manager()
+            .entry(eid)
+            .expect("just created")
+            .dh_public;
+        let secret = dh.agree(enclave_dh_public);
+        self.owner_secrets.insert(eid, *secret.as_bytes());
+
+        // Charge creation costs to the creating actor.
+        let cost = {
+            let cm = self.spm.machine().cost();
+            cm.enclave_create + cm.dh_exchange + cm.world_switch * 2
+        };
+        let start = match actor {
+            Actor::App(app) => {
+                let c = self.app_clocks.entry(app).or_default();
+                c.advance(cost);
+                c.now()
+            }
+            Actor::Enclave(parent) => {
+                let c = self.clock_mut(parent.eid);
+                c.advance(cost);
+                c.now()
+            }
+        };
+        self.clocks.insert(eid, SimClock::at(start));
+        Ok(EnclaveRef { asid, eid })
+    }
+
+    /// Destroys an mEnclave and closes any streams it terminates.
+    ///
+    /// # Errors
+    ///
+    /// Unknown enclaves.
+    pub fn destroy_enclave(&mut self, e: EnclaveRef) -> Result<(), SystemError> {
+        // Reclaim untouched poisoned shares of this enclave's streams and
+        // pipes.
+        let stream_ids: Vec<StreamId> = self
+            .streams
+            .values()
+            .filter(|s| s.caller.1 == e.eid || s.callee.1 == e.eid)
+            .map(|s| s.id)
+            .collect();
+        for id in stream_ids {
+            if let Some(s) = self.streams.remove(&id) {
+                let _ = self.spm.reclaim_share(s.share);
+            }
+        }
+        let pipe_ids: Vec<PipeId> = self
+            .pipes
+            .values()
+            .filter(|p| p.writer.1.eid == e.eid || p.reader.1.eid == e.eid)
+            .map(|p| p.id)
+            .collect();
+        for id in pipe_ids {
+            if let Some(p) = self.pipes.remove(&id) {
+                let _ = self.spm.reclaim_share(p.share);
+            }
+        }
+        let (mos, machine) = self.spm.mos_and_machine(e.asid)?;
+        mos.destroy_enclave(machine, e.eid)
+            .map_err(|err| SystemError::Spm(SpmError::Mos(err)))?;
+        self.clocks.remove(&e.eid);
+        self.owner_secrets.remove(&e.eid);
+        self.handlers.retain(|(eid, _), _| *eid != e.eid);
+        Ok(())
+    }
+
+    /// Registers an mECall handler (the execution-model runtime's job).
+    pub fn register_handler(&mut self, e: EnclaveRef, name: &str, handler: McallHandler) {
+        self.handlers.insert((e.eid, name.to_string()), handler);
+    }
+
+    /// Produces the signed remote-attestation report for an enclave's
+    /// partition.
+    ///
+    /// # Errors
+    ///
+    /// Unknown partition.
+    pub fn attestation_report(&self, e: EnclaveRef) -> Result<SignedReport, SystemError> {
+        Ok(self.spm.make_report(e.asid)?)
+    }
+
+    // ---- direct (normal-world) ECalls ----------------------------------------
+
+    /// A synchronous ECall from a normal-world app into an mEnclave it owns
+    /// (the §III-D step where App-1 passes encrypted data to mEnclave A).
+    /// Costs two world switches plus the handler's execution time.
+    ///
+    /// # Errors
+    ///
+    /// Ownership violations, undeclared mECalls, missing handlers.
+    pub fn app_ecall(
+        &mut self,
+        app: AppId,
+        target: EnclaveRef,
+        name: &str,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, SystemError> {
+        // Ownership assurance: the mOS checks the caller is the owner.
+        {
+            let mos = self.spm.mos(target.asid)?;
+            mos.manager()
+                .authorize(target.eid, Owner::App(app.0))
+                .map_err(|_| SystemError::NotOwner)?;
+            let entry = mos.manager().entry(target.eid).expect("authorized above");
+            if entry.manifest.mecall(name).is_none() {
+                return Err(SystemError::UnknownMcall(name.to_string()));
+            }
+        }
+        let (result, exec) = self.run_handler(target, name, payload).map_err(|e| match e {
+            SrpcError::NoHandler(n) => SystemError::NoHandler(n),
+            SrpcError::HandlerFailed(m) => SystemError::HandlerFailed(m),
+            other => SystemError::HandlerFailed(other.to_string()),
+        })?;
+        let switches = self.spm.machine().cost().world_switch * 2;
+        self.spm.machine_mut().record(EventKind::WorldSwitch);
+        self.spm.machine_mut().record(EventKind::WorldSwitch);
+        // The enclave runs the call, then the app resumes after it.
+        let app_now = self.app_clocks.entry(app).or_default().now();
+        let c = self.clock_mut(target.eid);
+        c.advance_to(app_now);
+        c.advance(exec);
+        let done = c.now();
+        let ac = self.app_clocks.entry(app).or_default();
+        ac.advance_to(done);
+        ac.advance(switches);
+        Ok(result)
+    }
+
+    fn run_handler(
+        &mut self,
+        target: EnclaveRef,
+        name: &str,
+        payload: &[u8],
+    ) -> Result<(Vec<u8>, SimNs), SrpcError> {
+        let key = (target.eid, name.to_string());
+        let mut handler = self
+            .handlers
+            .remove(&key)
+            .ok_or_else(|| SrpcError::NoHandler(name.to_string()))?;
+        let mut ctx = ServerCtx { spm: &mut self.spm, asid: target.asid, eid: target.eid };
+        let result = handler(&mut ctx, payload);
+        self.handlers.insert(key, handler);
+        result.map_err(SrpcError::HandlerFailed)
+    }
+
+    // ---- sRPC ---------------------------------------------------------------
+
+    /// Opens an sRPC stream from `caller` to a `callee` it owns: local
+    /// attestation, trusted shared memory establishment, and dCheck (§IV-C).
+    ///
+    /// # Errors
+    ///
+    /// [`SrpcError::NotOwner`], attestation/dCheck failures, SPM errors.
+    pub fn open_stream(
+        &mut self,
+        caller: EnclaveRef,
+        callee: EnclaveRef,
+        pages: usize,
+    ) -> Result<StreamId, SrpcError> {
+        // Ownership assurance.
+        self.spm
+            .mos(callee.asid)?
+            .manager()
+            .authorize(callee.eid, Owner::Enclave(caller.eid))
+            .map_err(|_| SrpcError::NotOwner)?;
+
+        let secret = *self
+            .owner_secrets
+            .get(&callee.eid)
+            .ok_or(SrpcError::NotOwner)?;
+
+        // Local attestation of the callee (automatic, §IV-C).
+        let measurement = self
+            .spm
+            .mos(callee.asid)?
+            .manager()
+            .entry(callee.eid)
+            .map_err(|_| SrpcError::AttestationFailed)?
+            .measurement;
+        let la = LocalAttestation {
+            challenger: caller.eid,
+            attested: callee.eid,
+            nonce: self.next_stream,
+        };
+        let req_tag = la.make_request_tag(&secret);
+        let (seal, tag) = {
+            let monitor = self.spm.monitor();
+            la.answer(&secret, &req_tag, measurement, monitor)
+                .ok_or(SrpcError::AttestationFailed)?
+        };
+        if !la.verify(&secret, measurement, &seal, &tag, self.spm.monitor()) {
+            return Err(SrpcError::AttestationFailed);
+        }
+
+        // Trusted shared memory (Figure 6).
+        let (share, caller_va, callee_va) = self.spm.share_memory(
+            (caller.asid, caller.eid),
+            (callee.asid, callee.eid),
+            pages,
+        )?;
+        let layout = RingLayout::new(pages);
+        let id = StreamId(self.next_stream);
+        self.next_stream += 1;
+
+        // dCheck: the callee proves ownership of secret_dhke *through the
+        // shared memory*, so the caller knows smem really is shared with the
+        // authenticated peer.
+        let dcheck = hmac_sha256(&secret, &id.0.to_le_bytes());
+        {
+            let (mos, machine) = self.spm.mos_and_machine(callee.asid)?;
+            mos.enclave_write(machine, callee.eid, callee_va.add(DCHECK_OFFSET), dcheck.as_bytes())
+                .map_err(SrpcError::Mos)?;
+            // Initialize indices.
+            mos.enclave_write(machine, callee.eid, callee_va.add(RID_OFFSET), &0u64.to_le_bytes())
+                .map_err(SrpcError::Mos)?;
+            mos.enclave_write(machine, callee.eid, callee_va.add(SID_OFFSET), &0u64.to_le_bytes())
+                .map_err(SrpcError::Mos)?;
+        }
+        let observed = {
+            let (mos, machine) = self.spm.mos_and_machine(caller.asid)?;
+            let mut buf = [0u8; 32];
+            mos.enclave_read(machine, caller.eid, caller_va.add(DCHECK_OFFSET), &mut buf)
+                .map_err(SrpcError::Mos)?;
+            buf
+        };
+        if observed != *dcheck.as_bytes() {
+            return Err(SrpcError::DcheckFailed);
+        }
+
+        // Costs: local attestation + mapping + stream setup on the caller;
+        // the executor thread starts at the caller's time.
+        let setup = {
+            let cm = self.spm.machine().cost();
+            cm.local_attest + cm.page_map * (2 * pages as u64) + cm.srpc_stream_setup
+        };
+        let c = self.clock_mut(caller.eid);
+        c.advance(setup);
+        let executor_clock = SimClock::at(c.now());
+
+        self.streams.insert(
+            id,
+            StreamState {
+                id,
+                caller: (caller.asid, caller.eid),
+                callee: (callee.asid, callee.eid),
+                share,
+                caller_va,
+                callee_va,
+                layout,
+                rid: 0,
+                sid: 0,
+                executor_clock,
+                pending_enqueue_times: VecDeque::new(),
+                open: true,
+                stats: StreamStats::default(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Physical pages backing a stream's ring (diagnostics and security
+    /// tests that inspect raw memory through the monitor).
+    ///
+    /// # Errors
+    ///
+    /// [`SrpcError::UnknownStream`].
+    pub fn stream_share_pages(&self, id: StreamId) -> Result<Vec<u64>, SrpcError> {
+        let share = self.streams.get(&id).ok_or(SrpcError::UnknownStream(id))?.share;
+        Ok(self.spm.share_pages(share)?.to_vec())
+    }
+
+    /// Stream statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`SrpcError::UnknownStream`].
+    pub fn stream_stats(&self, id: StreamId) -> Result<StreamStats, SrpcError> {
+        Ok(self.streams.get(&id).ok_or(SrpcError::UnknownStream(id))?.stats)
+    }
+
+    /// The executor's current virtual time for a stream.
+    ///
+    /// # Errors
+    ///
+    /// [`SrpcError::UnknownStream`].
+    pub fn executor_time(&self, id: StreamId) -> Result<SimNs, SrpcError> {
+        Ok(self
+            .streams
+            .get(&id)
+            .ok_or(SrpcError::UnknownStream(id))?
+            .executor_clock
+            .now())
+    }
+
+    /// Converts a stage-2 fault on a shared-memory access into the
+    /// proceed-trap failure signal of §IV-D step 3 (when it applies).
+    fn trap_convert(&mut self, survivor: AsId, fallback_eid: Eid, err: MosError) -> SrpcError {
+        if let MosError::Fault(f) = err {
+            let page = match f {
+                Fault::Stage2Unmapped { pa, .. } | Fault::Stage2Permission { pa, .. } => {
+                    Some(pa.page_number())
+                }
+                _ => None,
+            };
+            if let Some(ppn) = page {
+                if let Ok(outcome) = self.spm.handle_trap(survivor, ppn) {
+                    return SrpcError::PeerFailed { signalled: outcome.signalled };
+                }
+            }
+            if let Fault::PartitionFailed { .. } = f {
+                return SrpcError::PeerFailed { signalled: fallback_eid };
+            }
+        }
+        SrpcError::Mos(err)
+    }
+
+    /// Converts a stage-2 fault on a stream access into the proceed-trap
+    /// failure signal, closing the stream.
+    fn stream_fault(&mut self, id: StreamId, survivor: AsId, err: MosError) -> SrpcError {
+        let fallback = self
+            .streams
+            .get(&id)
+            .map(|s| s.caller.1)
+            .unwrap_or(Eid::new(cronus_mos::manifest::MosId(0), 0));
+        let converted = self.trap_convert(survivor, fallback, err);
+        if matches!(converted, SrpcError::PeerFailed { .. }) {
+            if let Some(s) = self.streams.get_mut(&id) {
+                s.open = false;
+                s.pending_enqueue_times.clear();
+            }
+        }
+        converted
+    }
+
+    /// Writes into an enclave's (shared) memory, converting stage-2 faults
+    /// into failure signals. Runtimes use this for bulk-data staging
+    /// buffers that live outside the descriptor ring.
+    ///
+    /// # Errors
+    ///
+    /// [`SrpcError::PeerFailed`] after a peer-partition failure, or the
+    /// underlying mOS error.
+    pub fn shared_write(
+        &mut self,
+        e: EnclaveRef,
+        va: cronus_sim::VirtAddr,
+        data: &[u8],
+    ) -> Result<(), SrpcError> {
+        let result = {
+            let (mos, machine) = self.spm.mos_and_machine(e.asid)?;
+            mos.enclave_write(machine, e.eid, va, data)
+        };
+        result.map_err(|err| self.trap_convert(e.asid, e.eid, err))
+    }
+
+    /// Reads from an enclave's (shared) memory; see [`CronusSystem::shared_write`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CronusSystem::shared_write`].
+    pub fn shared_read(
+        &mut self,
+        e: EnclaveRef,
+        va: cronus_sim::VirtAddr,
+        buf: &mut [u8],
+    ) -> Result<(), SrpcError> {
+        let result = {
+            let (mos, machine) = self.spm.mos_and_machine(e.asid)?;
+            mos.enclave_read(machine, e.eid, va, buf)
+        };
+        result.map_err(|err| self.trap_convert(e.asid, e.eid, err))
+    }
+
+    fn stream(&self, id: StreamId) -> Result<&StreamState, SrpcError> {
+        self.streams.get(&id).ok_or(SrpcError::UnknownStream(id))
+    }
+
+    /// Enqueues a request into the ring on the caller side.
+    fn enqueue(&mut self, id: StreamId, name: &str, payload: &[u8]) -> Result<(), SrpcError> {
+        // Validate against the callee's static mECall list.
+        {
+            let s = self.stream(id)?;
+            if !s.open {
+                return Err(SrpcError::Closed);
+            }
+            let entry = self
+                .spm
+                .mos(s.callee.0)?
+                .manager()
+                .entry(s.callee.1)
+                .map_err(|_| SrpcError::Closed)?;
+            if entry.manifest.mecall(name).is_none() {
+                return Err(SrpcError::UnknownMcall(name.to_string()));
+            }
+        }
+
+        // Ring full? The producer waits until the consumer frees one slot
+        // (bounded-buffer pipelining, not a full synchronization).
+        let full = {
+            let s = self.stream(id)?;
+            s.layout.is_full(s.rid, s.sid)
+        };
+        if full {
+            self.drain_one(id)?;
+            let s = self.streams.get_mut(&id).expect("checked");
+            s.stats.ring_full_stalls += 1;
+            let executor_now = s.executor_clock.now();
+            let caller_eid = s.caller.1;
+            self.clock_mut(caller_eid).advance_to(executor_now);
+        }
+
+        let slot = encode_request(&Request { name: name.to_string(), payload: payload.to_vec() })?;
+        let (caller, caller_va, rid, slot_off) = {
+            let s = self.stream(id)?;
+            (s.caller, s.caller_va, s.rid, s.layout.request_slot(s.rid))
+        };
+        {
+            let (mos, machine) = self.spm.mos_and_machine(caller.0)?;
+            let write = mos
+                .enclave_write(machine, caller.1, caller_va.add(slot_off), &slot)
+                .and_then(|()| {
+                    mos.enclave_write(
+                        machine,
+                        caller.1,
+                        caller_va.add(RID_OFFSET),
+                        &(rid + 1).to_le_bytes(),
+                    )
+                });
+            if let Err(e) = write {
+                return Err(self.stream_fault(id, caller.0, e));
+            }
+        }
+        let enqueue_cost = self.spm.machine().cost().srpc_enqueue;
+        let c = self.clock_mut(caller.1);
+        c.advance(enqueue_cost);
+        let now = c.now();
+        self.spm.machine_mut().record(EventKind::RpcEnqueue { stream: id.0 });
+        let s = self.streams.get_mut(&id).expect("checked");
+        s.rid += 1;
+        s.pending_enqueue_times.push_back(now);
+        s.stats.calls += 1;
+        s.stats.request_bytes += payload.len() as u64;
+        Ok(())
+    }
+
+    /// The executor loop: drains all pending requests (Sid → Rid),
+    /// dispatching each to its registered handler sequentially — "the
+    /// execution loop fetches RPC requests only when there are no executing
+    /// RPC, so all RPC calls are executed sequentially" (§IV-C).
+    fn drain(&mut self, id: StreamId) -> Result<(), SrpcError> {
+        while self.drain_one(id)? {}
+        Ok(())
+    }
+
+    /// Executes the oldest pending request, if any. Returns whether one ran.
+    fn drain_one(&mut self, id: StreamId) -> Result<bool, SrpcError> {
+        {
+            let (callee, callee_va, sid, slot_off) = {
+                let s = self.stream(id)?;
+                if s.sid >= s.rid {
+                    return Ok(false);
+                }
+                (s.callee, s.callee_va, s.sid, s.layout.request_slot(s.sid))
+            };
+
+            // Fetch + decode the request on the callee side.
+            let mut slot = vec![0u8; crate::ring::SLOT_SIZE];
+            {
+                let (mos, machine) = self.spm.mos_and_machine(callee.0)?;
+                if let Err(e) = mos.enclave_read(machine, callee.1, callee_va.add(slot_off), &mut slot)
+                {
+                    return Err(self.stream_fault(id, callee.0, e));
+                }
+            }
+            let request = decode_request(&slot)?;
+            self.spm.machine_mut().record(EventKind::RpcDispatch { stream: id.0 });
+
+            // Execute.
+            let target = EnclaveRef { asid: callee.0, eid: callee.1 };
+            let outcome = self.run_handler(target, &request.name, &request.payload);
+            let (status, result_bytes, exec_time) = match outcome {
+                Ok((bytes, t)) => (ResultStatus::Ok, bytes, t),
+                Err(SrpcError::NoHandler(n)) => {
+                    (ResultStatus::Err, format!("no handler: {n}").into_bytes(), SimNs::ZERO)
+                }
+                Err(SrpcError::HandlerFailed(m)) => {
+                    (ResultStatus::Err, m.into_bytes(), SimNs::ZERO)
+                }
+                Err(other) => return Err(other),
+            };
+
+            // Write the result and bump Sid.
+            let result_slot = encode_result(status, &result_bytes)?;
+            let result_off = {
+                let s = self.stream(id)?;
+                s.layout.result_slot(sid)
+            };
+            {
+                let (mos, machine) = self.spm.mos_and_machine(callee.0)?;
+                let write = mos
+                    .enclave_write(machine, callee.1, callee_va.add(result_off), &result_slot)
+                    .and_then(|()| {
+                        mos.enclave_write(
+                            machine,
+                            callee.1,
+                            callee_va.add(SID_OFFSET),
+                            &(sid + 1).to_le_bytes(),
+                        )
+                    });
+                if let Err(e) = write {
+                    return Err(self.stream_fault(id, callee.0, e));
+                }
+            }
+
+            // Service the device's completion interrupts raised by the
+            // handler (the mOS HAL's ISR).
+            let serviced = self
+                .spm
+                .mos_mut(callee.0)
+                .map(|mos| mos.hal_mut().service_irqs())
+                .unwrap_or(0);
+            if serviced > 0 {
+                self.spm
+                    .machine_mut()
+                    .record(EventKind::DeviceIrq { count: serviced });
+            }
+
+            let dequeue_cost = self.spm.machine().cost().srpc_dequeue;
+            let s = self.streams.get_mut(&id).expect("checked");
+            let enq_t = s.pending_enqueue_times.pop_front().unwrap_or(SimNs::ZERO);
+            s.executor_clock.advance_to(enq_t);
+            s.executor_clock.advance(dequeue_cost + exec_time);
+            s.sid += 1;
+            s.stats.result_bytes += result_bytes.len() as u64;
+        }
+        Ok(true)
+    }
+
+    /// Issues an asynchronous mECall: the caller pays only the enqueue cost
+    /// and streams ahead without waiting.
+    ///
+    /// # Errors
+    ///
+    /// sRPC errors, including [`SrpcError::PeerFailed`] on partition failure.
+    pub fn call_async(&mut self, id: StreamId, name: &str, payload: &[u8]) -> Result<(), SrpcError> {
+        self.enqueue(id, name, payload)
+    }
+
+    /// Issues a synchronous mECall: enqueues, drains the executor, merges
+    /// clocks, and returns the result bytes.
+    ///
+    /// # Errors
+    ///
+    /// sRPC errors; [`SrpcError::HandlerFailed`] if the handler errored.
+    pub fn call_sync(&mut self, id: StreamId, name: &str, payload: &[u8]) -> Result<Vec<u8>, SrpcError> {
+        self.enqueue(id, name, payload)?;
+        let result_index = self.stream(id)?.rid - 1;
+        self.drain(id)?;
+
+        // Synchronization point: the caller waits for the executor, plus
+        // the shared-memory polling wakeup latency.
+        let wakeup = self.spm.machine().cost().srpc_sync_wakeup;
+        let (caller, caller_va, result_off, executor_now) = {
+            let s = self.stream(id)?;
+            (s.caller, s.caller_va, s.layout.result_slot(result_index), s.executor_clock.now())
+        };
+        {
+            let c = self.clock_mut(caller.1);
+            c.advance_to(executor_now);
+            c.advance(wakeup);
+        }
+        self.spm.machine_mut().record(EventKind::RpcSync { stream: id.0 });
+
+        let mut slot = vec![0u8; crate::ring::RESULT_SLOT_SIZE];
+        {
+            let (mos, machine) = self.spm.mos_and_machine(caller.0)?;
+            if let Err(e) = mos.enclave_read(machine, caller.1, caller_va.add(result_off), &mut slot)
+            {
+                return Err(self.stream_fault(id, caller.0, e));
+            }
+        }
+        let (status, payload) = decode_result(&slot)?;
+        let s = self.streams.get_mut(&id).expect("checked");
+        s.stats.sync_calls += 1;
+        match status {
+            ResultStatus::Ok => Ok(payload),
+            ResultStatus::Err => Err(SrpcError::HandlerFailed(
+                String::from_utf8_lossy(&payload).into_owned(),
+            )),
+        }
+    }
+
+    /// Explicit synchronization: drains the executor and merges clocks.
+    /// Performs the streamCheck (`Sid == Rid`).
+    ///
+    /// # Errors
+    ///
+    /// sRPC errors.
+    pub fn sync(&mut self, id: StreamId) -> Result<(), SrpcError> {
+        self.drain(id)?;
+        let wakeup = self.spm.machine().cost().srpc_sync_wakeup;
+        let (caller_eid, executor_now, check) = {
+            let s = self.stream(id)?;
+            (s.caller.1, s.executor_clock.now(), s.sid == s.rid)
+        };
+        debug_assert!(check, "streamCheck: Sid must equal Rid after a full drain");
+        {
+            let c = self.clock_mut(caller_eid);
+            c.advance_to(executor_now);
+            c.advance(wakeup);
+        }
+        self.spm.machine_mut().record(EventKind::RpcSync { stream: id.0 });
+        let s = self.streams.get_mut(&id).expect("checked");
+        s.stats.sync_points += 1;
+        Ok(())
+    }
+
+    /// Closes a stream: drains, marks the shared flag, and stops the
+    /// executor thread. The shared region is kept for reuse ("to reduce the
+    /// stream creating cost") until the enclave is destroyed.
+    ///
+    /// # Errors
+    ///
+    /// sRPC errors from the final drain.
+    pub fn close_stream(&mut self, id: StreamId) -> Result<(), SrpcError> {
+        self.sync(id)?;
+        let (callee, callee_va) = {
+            let s = self.stream(id)?;
+            (s.callee, s.callee_va)
+        };
+        let (mos, machine) = self.spm.mos_and_machine(callee.0)?;
+        let _ = mos.enclave_write(machine, callee.1, callee_va.add(CLOSED_OFFSET), &[1]);
+        if let Some(s) = self.streams.get_mut(&id) {
+            s.open = false;
+        }
+        Ok(())
+    }
+
+    // ---- failover ------------------------------------------------------------
+
+    /// Injects a partition failure (a crash, panic, or malicious kill by the
+    /// untrusted OS) and runs failover step 1 (proceed). Returns
+    /// `(invalidated stage-2 entries, proceed time)`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown partitions.
+    pub fn inject_partition_failure(&mut self, asid: AsId) -> Result<(usize, SimNs), SystemError> {
+        self.spm.mos_mut(asid)?.fail();
+        Ok(self.spm.fail_partition(asid)?)
+    }
+
+    /// Runs failover step 2 using the dispatcher's recorded mOS image:
+    /// clear device + smem, reload, re-init.
+    ///
+    /// # Errors
+    ///
+    /// [`SpmError::NotFailed`] if the partition is healthy.
+    pub fn recover_partition(&mut self, asid: AsId) -> Result<RecoveryStats, SystemError> {
+        let (image, version) = self
+            .dispatcher
+            .mos_image(asid)
+            .map(|(i, v)| (i.to_vec(), v.to_string()))
+            .unwrap_or_else(|| (b"recovered-mos".to_vec(), "recovered".to_string()));
+        Ok(self.spm.recover_partition(asid, &image, &version)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cronus_mos::manifest::McallDecl;
+    use cronus_sim::World;
+    use cronus_spm::spm::{DeviceSpec, PartitionSpec};
+
+    fn config() -> BootConfig {
+        BootConfig {
+            partitions: vec![
+                PartitionSpec::new(1, b"cpu-mos", "v1", DeviceSpec::Cpu),
+                PartitionSpec::new(2, b"cuda-mos", "v3", DeviceSpec::Gpu { memory: 1 << 26, sms: 46 }),
+                PartitionSpec::new(3, b"npu-mos", "v1", DeviceSpec::Npu { memory: 1 << 24 }),
+            ],
+            ..Default::default()
+        }
+    }
+
+    fn cpu_manifest() -> Manifest {
+        Manifest::new(DeviceKind::Cpu)
+            .with_mecall(McallDecl::synchronous("process"))
+            .with_memory(1 << 16)
+    }
+
+    fn gpu_manifest() -> Manifest {
+        Manifest::new(DeviceKind::Gpu)
+            .with_mecall(McallDecl::asynchronous("launch"))
+            .with_mecall(McallDecl::synchronous("memcpy_d2h"))
+            .with_memory(1 << 20)
+    }
+
+    /// Registers a trivial echo handler that charges `exec` time.
+    fn echo_handler(exec: SimNs) -> McallHandler {
+        Box::new(move |_ctx, payload| Ok((payload.to_vec(), exec)))
+    }
+
+    fn setup_pair(sys: &mut CronusSystem) -> (EnclaveRef, EnclaveRef, StreamId) {
+        let app = sys.create_app();
+        let cpu = sys
+            .create_enclave(Actor::App(app), cpu_manifest(), &BTreeMap::new())
+            .unwrap();
+        let gpu = sys
+            .create_enclave(Actor::Enclave(cpu), gpu_manifest(), &BTreeMap::new())
+            .unwrap();
+        sys.register_handler(gpu, "launch", echo_handler(SimNs::from_micros(50)));
+        sys.register_handler(gpu, "memcpy_d2h", echo_handler(SimNs::from_micros(10)));
+        let stream = sys.open_stream(cpu, gpu, DEFAULT_RING_PAGES).unwrap();
+        (cpu, gpu, stream)
+    }
+
+    #[test]
+    fn full_heterogeneous_flow() {
+        let mut sys = CronusSystem::boot(config());
+        let (_cpu, _gpu, stream) = setup_pair(&mut sys);
+        for i in 0..10u8 {
+            sys.call_async(stream, "launch", &[i]).unwrap();
+        }
+        let result = sys.call_sync(stream, "memcpy_d2h", b"fetch").unwrap();
+        assert_eq!(result, b"fetch");
+        let stats = sys.stream_stats(stream).unwrap();
+        assert_eq!(stats.calls, 11);
+        assert_eq!(stats.sync_calls, 1);
+        sys.close_stream(stream).unwrap();
+    }
+
+    #[test]
+    fn async_calls_do_not_block_the_caller() {
+        let mut sys = CronusSystem::boot(config());
+        let (cpu, _gpu, stream) = setup_pair(&mut sys);
+        let t0 = sys.enclave_time(cpu);
+        for _ in 0..100 {
+            sys.call_async(stream, "launch", &[0]).unwrap();
+        }
+        let t1 = sys.enclave_time(cpu);
+        let caller_cost = t1 - t0;
+        // 100 enqueues at ~120ns each, far below 100 kernels at 50us each.
+        assert!(caller_cost < SimNs::from_micros(100), "caller streamed: {caller_cost}");
+        sys.sync(stream).unwrap();
+        let t2 = sys.enclave_time(cpu);
+        assert!(t2 - t1 >= SimNs::from_millis(4), "sync waits for ~100x50us of work");
+    }
+
+    #[test]
+    fn sync_rpc_transport_is_much_slower_than_enqueue() {
+        let sys = CronusSystem::boot(config());
+        let cm = sys.spm().machine().cost();
+        assert!(cm.sync_rpc_transport() > cm.srpc_enqueue * 20);
+    }
+
+    #[test]
+    fn srpc_makes_no_context_switches() {
+        let mut sys = CronusSystem::boot(config());
+        let (_cpu, _gpu, stream) = setup_pair(&mut sys);
+        for _ in 0..50 {
+            sys.call_async(stream, "launch", &[1]).unwrap();
+        }
+        sys.sync(stream).unwrap();
+        assert_eq!(sys.spm().machine().log().context_switches(), 0);
+    }
+
+    #[test]
+    fn undeclared_mecall_rejected() {
+        let mut sys = CronusSystem::boot(config());
+        let (_cpu, _gpu, stream) = setup_pair(&mut sys);
+        assert_eq!(
+            sys.call_async(stream, "not_declared", &[]).unwrap_err(),
+            SrpcError::UnknownMcall("not_declared".into())
+        );
+    }
+
+    #[test]
+    fn non_owner_cannot_open_stream() {
+        let mut sys = CronusSystem::boot(config());
+        let app = sys.create_app();
+        let cpu1 = sys
+            .create_enclave(Actor::App(app), cpu_manifest(), &BTreeMap::new())
+            .unwrap();
+        let cpu2 = sys
+            .create_enclave(Actor::App(app), cpu_manifest(), &BTreeMap::new())
+            .unwrap();
+        let gpu = sys
+            .create_enclave(Actor::Enclave(cpu1), gpu_manifest(), &BTreeMap::new())
+            .unwrap();
+        // cpu2 did not create gpu; it may not call into it.
+        assert_eq!(
+            sys.open_stream(cpu2, gpu, DEFAULT_RING_PAGES).unwrap_err(),
+            SrpcError::NotOwner
+        );
+    }
+
+    #[test]
+    fn misrouted_create_fails_manifest_check() {
+        let mut sys = CronusSystem::boot(config());
+        let app = sys.create_app();
+        // The untrusted dispatcher routes GPU requests to the CPU partition.
+        sys.dispatcher_mut().inject_misroute(DeviceKind::Gpu, AsId::new(1));
+        let err = sys
+            .create_enclave(Actor::App(app), gpu_manifest(), &BTreeMap::new())
+            .unwrap_err();
+        assert!(matches!(err, SystemError::Spm(_)), "mOS rejects the mismatched manifest: {err:?}");
+    }
+
+    #[test]
+    fn attacker_cannot_touch_ring_from_normal_world() {
+        let mut sys = CronusSystem::boot(config());
+        let (_cpu, _gpu, stream) = setup_pair(&mut sys);
+        let pages = {
+            let share = sys.streams.get(&stream).unwrap().share;
+            sys.spm().share_pages(share).unwrap().to_vec()
+        };
+        // The untrusted OS tries to rewrite Rid in the ring.
+        let pa = cronus_sim::PhysAddr::from_page_number(pages[0]);
+        let err = sys
+            .spm_mut()
+            .machine_mut()
+            .mem_write(AsId::NORMAL_WORLD, World::Normal, pa, &99u64.to_le_bytes())
+            .unwrap_err();
+        assert!(err.is_world_filter(), "TZASC filters the attacker: {err}");
+    }
+
+    #[test]
+    fn app_ecall_round_trip_and_ownership() {
+        let mut sys = CronusSystem::boot(config());
+        let app = sys.create_app();
+        let other_app = sys.create_app();
+        let cpu = sys
+            .create_enclave(Actor::App(app), cpu_manifest(), &BTreeMap::new())
+            .unwrap();
+        sys.register_handler(cpu, "process", echo_handler(SimNs::from_micros(5)));
+        let out = sys.app_ecall(app, cpu, "process", b"data").unwrap();
+        assert_eq!(out, b"data");
+        assert!(sys.app_time(app) > SimNs::ZERO);
+        // A different app cannot invoke the mECall.
+        assert_eq!(
+            sys.app_ecall(other_app, cpu, "process", b"x").unwrap_err(),
+            SystemError::NotOwner
+        );
+    }
+
+    #[test]
+    fn partition_failure_surfaces_as_peer_failed() {
+        let mut sys = CronusSystem::boot(config());
+        let (cpu, gpu, stream) = setup_pair(&mut sys);
+        sys.call_async(stream, "launch", &[1]).unwrap();
+        sys.sync(stream).unwrap();
+
+        let (invalidated, t) = sys.inject_partition_failure(gpu.asid).unwrap();
+        assert!(invalidated >= DEFAULT_RING_PAGES);
+        assert!(t > SimNs::ZERO);
+
+        // The next call faults on the invalidated ring and converts into a
+        // failure signal; the stream closes and state clears automatically.
+        let err = sys.call_async(stream, "launch", &[2]).unwrap_err();
+        assert_eq!(err, SrpcError::PeerFailed { signalled: cpu.eid });
+        assert_eq!(
+            sys.call_async(stream, "launch", &[3]).unwrap_err(),
+            SrpcError::Closed
+        );
+
+        // Recovery restarts only the GPU partition; the CPU partition's
+        // enclave is still alive and can open a fresh accelerator enclave.
+        let stats = sys.recover_partition(gpu.asid).unwrap();
+        assert!(stats.total() < SimNs::from_secs(1));
+        let gpu2 = sys
+            .create_enclave(Actor::Enclave(cpu), gpu_manifest(), &BTreeMap::new())
+            .unwrap();
+        sys.register_handler(gpu2, "launch", echo_handler(SimNs::from_micros(50)));
+        let s2 = sys.open_stream(cpu, gpu2, DEFAULT_RING_PAGES).unwrap();
+        sys.call_async(s2, "launch", &[1]).unwrap();
+        sys.sync(s2).unwrap();
+    }
+
+    #[test]
+    fn ring_wraps_and_stalls_when_full() {
+        let mut sys = CronusSystem::boot(config());
+        let (_cpu, _gpu, stream) = setup_pair(&mut sys);
+        let slots = sys.streams.get(&stream).unwrap().layout.slots;
+        for i in 0..(slots as usize * 2 + 3) {
+            sys.call_async(stream, "launch", &[i as u8]).unwrap();
+        }
+        sys.sync(stream).unwrap();
+        let stats = sys.stream_stats(stream).unwrap();
+        assert!(stats.ring_full_stalls >= 1, "producer outran the ring");
+        assert_eq!(stats.calls, slots * 2 + 3);
+    }
+
+    #[test]
+    fn handler_error_propagates_on_sync_call() {
+        let mut sys = CronusSystem::boot(config());
+        let (_cpu, gpu, stream) = setup_pair(&mut sys);
+        sys.register_handler(
+            gpu,
+            "memcpy_d2h",
+            Box::new(|_, _| Err("device exploded".to_string())),
+        );
+        let err = sys.call_sync(stream, "memcpy_d2h", &[]).unwrap_err();
+        assert_eq!(err, SrpcError::HandlerFailed("device exploded".into()));
+    }
+
+    #[test]
+    fn destroy_enclave_reclaims_streams() {
+        let mut sys = CronusSystem::boot(config());
+        let (cpu, gpu, stream) = setup_pair(&mut sys);
+        sys.call_async(stream, "launch", &[1]).unwrap();
+        sys.sync(stream).unwrap();
+        sys.destroy_enclave(gpu).unwrap();
+        assert!(matches!(
+            sys.call_async(stream, "launch", &[1]).unwrap_err(),
+            SrpcError::UnknownStream(_)
+        ));
+        // The CPU enclave survives.
+        assert!(sys.clocks.contains_key(&cpu.eid));
+    }
+
+    #[test]
+    fn multiple_streams_per_pair_support_multithreading() {
+        // "To support multi-threading, CRONUS makes each thread create its
+        // own stream for RPCs" (§IV-C).
+        let mut sys = CronusSystem::boot(config());
+        let (cpu, gpu, s1) = {
+            let (cpu, gpu, s1) = setup_pair(&mut sys);
+            (cpu, gpu, s1)
+        };
+        let s2 = sys.open_stream(cpu, gpu, DEFAULT_RING_PAGES).unwrap();
+        assert_ne!(s1, s2);
+        // Both streams run independently against the same callee.
+        for i in 0..20u8 {
+            sys.call_async(s1, "launch", &[i]).unwrap();
+            sys.call_async(s2, "launch", &[i]).unwrap();
+        }
+        sys.sync(s1).unwrap();
+        sys.sync(s2).unwrap();
+        assert_eq!(sys.stream_stats(s1).unwrap().calls, 20);
+        assert_eq!(sys.stream_stats(s2).unwrap().calls, 20);
+        let _ = gpu;
+    }
+
+    #[test]
+    fn oversized_handler_result_is_a_codec_error() {
+        let mut sys = CronusSystem::boot(config());
+        let (_cpu, gpu, stream) = setup_pair(&mut sys);
+        sys.register_handler(
+            gpu,
+            "memcpy_d2h",
+            Box::new(|_, _| Ok((vec![0u8; crate::ring::SLOT_PAYLOAD + 1], SimNs::ZERO))),
+        );
+        let err = sys.call_sync(stream, "memcpy_d2h", &[]).unwrap_err();
+        assert!(matches!(err, SrpcError::Codec(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn sync_on_empty_stream_is_cheap_and_safe() {
+        let mut sys = CronusSystem::boot(config());
+        let (cpu, _gpu, stream) = setup_pair(&mut sys);
+        let t0 = sys.enclave_time(cpu);
+        sys.sync(stream).unwrap();
+        sys.sync(stream).unwrap();
+        let dt = sys.enclave_time(cpu) - t0;
+        assert!(dt < SimNs::from_micros(10));
+    }
+
+    #[test]
+    fn device_irqs_serviced_per_dispatch() {
+        let mut sys = CronusSystem::boot(config());
+        let (_cpu, gpu, stream) = setup_pair(&mut sys);
+        // Replace the echo handler with one that really launches a kernel.
+        sys.register_handler(
+            gpu,
+            "launch",
+            Box::new(|ctx, _| {
+                let cm = ctx.spm.machine().cost().clone();
+                let mos = ctx.spm.mos_mut(ctx.asid).map_err(|e| e.to_string())?;
+                let dev = mos.hal_mut().gpu_mut().map_err(|e| e.to_string())?;
+                let gctx = dev.create_context(4096).map_err(|e| e.to_string())?;
+                dev.register_kernel(gctx, "k", std::sync::Arc::new(|_, _| Ok(())))
+                    .map_err(|e| e.to_string())?;
+                let t = dev
+                    .launch(
+                        &cm,
+                        gctx,
+                        "k",
+                        &[],
+                        cronus_devices::gpu::GpuKernelDesc {
+                            flops: 1.0,
+                            mem_bytes: 0.0,
+                            sm_demand: 1,
+                        },
+                    )
+                    .map_err(|e| e.to_string())?;
+                dev.destroy_context(gctx).map_err(|e| e.to_string())?;
+                Ok((Vec::new(), t))
+            }),
+        );
+        for _ in 0..5 {
+            sys.call_async(stream, "launch", &[]).unwrap();
+        }
+        sys.sync(stream).unwrap();
+        let irqs: usize = sys
+            .spm()
+            .machine()
+            .log()
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::DeviceIrq { count } => Some(count as usize),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(irqs, 5, "one completion interrupt per kernel launch");
+    }
+
+    #[test]
+    fn attestation_report_for_gpu_partition() {
+        let mut sys = CronusSystem::boot(config());
+        let (_cpu, gpu, _stream) = setup_pair(&mut sys);
+        let signed = sys.attestation_report(gpu).unwrap();
+        assert_eq!(signed.report.enclaves.len(), 1);
+        assert_eq!(signed.report.vendor, "nvidia");
+    }
+}

@@ -1,0 +1,109 @@
+//! Diffie–Hellman key agreement over the shared group.
+//!
+//! CRONUS integrates DH into mEnclave creation so the creator and the new
+//! mEnclave share `secret_dhke`; every message between them before the
+//! trusted shared-memory channel exists is authenticated under this secret
+//! (§IV-A). This matters because mOSes are mutually untrusted before
+//! attestation and can fail arbitrarily.
+
+use std::fmt;
+
+use crate::group::Group;
+use crate::sha256::Sha256;
+
+/// An ephemeral DH key pair.
+#[derive(Clone)]
+pub struct DhKeyPair {
+    secret: u64,
+    public: u64,
+}
+
+impl fmt::Debug for DhKeyPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DhKeyPair(public: {:#x})", self.public)
+    }
+}
+
+/// The agreed shared secret — the paper's `secret_dhke`.
+///
+/// The raw group element is hashed into 32 key bytes; `SharedSecret`
+/// deliberately does not implement `Display` to discourage logging it.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SharedSecret([u8; 32]);
+
+impl fmt::Debug for SharedSecret {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SharedSecret(..)")
+    }
+}
+
+impl SharedSecret {
+    /// Key bytes for use with HMAC / the stream cipher.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+impl DhKeyPair {
+    /// Derives an ephemeral key pair from a deterministic seed (party
+    /// identity + session nonce).
+    pub fn from_seed(seed: &str) -> Self {
+        let grp = Group::shared();
+        let d = crate::measure("dh-seed", seed.as_bytes());
+        let secret = grp.reduce_scalar(d.to_u64());
+        DhKeyPair {
+            secret,
+            public: grp.gen_pow(secret),
+        }
+    }
+
+    /// The public share `g^a`.
+    pub fn public(&self) -> u64 {
+        self.public
+    }
+
+    /// Combines with the peer's public share into the shared secret.
+    pub fn agree(&self, peer_public: u64) -> SharedSecret {
+        let grp = Group::shared();
+        let raw = grp.pow(peer_public, self.secret);
+        let mut h = Sha256::new();
+        h.update(b"cronus-dhke");
+        h.update(&raw.to_le_bytes());
+        SharedSecret(h.finalize().0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_sides_agree() {
+        let a = DhKeyPair::from_seed("mEnclaveA:nonce1");
+        let b = DhKeyPair::from_seed("mEnclaveB:nonce1");
+        assert_eq!(a.agree(b.public()), b.agree(a.public()));
+    }
+
+    #[test]
+    fn different_peers_disagree() {
+        let a = DhKeyPair::from_seed("a");
+        let b = DhKeyPair::from_seed("b");
+        let c = DhKeyPair::from_seed("c");
+        assert_ne!(a.agree(b.public()), a.agree(c.public()));
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a1 = DhKeyPair::from_seed("same");
+        let a2 = DhKeyPair::from_seed("same");
+        assert_eq!(a1.public(), a2.public());
+    }
+
+    #[test]
+    fn debug_hides_secret_material() {
+        let a = DhKeyPair::from_seed("hidden");
+        let s = format!("{:?} {:?}", a, a.agree(a.public()));
+        assert!(s.contains("SharedSecret(..)"));
+        assert!(!s.contains(&format!("{}", a.secret)));
+    }
+}

@@ -1,0 +1,221 @@
+//! A deterministic safe-prime group for the toy Schnorr/DH schemes.
+//!
+//! The group is the order-`q` subgroup of squares in `Z_p^*` where
+//! `p = 2q + 1` is the first safe prime at or above `2^62`, found by a
+//! deterministic Miller–Rabin search. 62 bits is laughably small for real
+//! security, but the subgroup structure is the genuine article, so the
+//! protocol logic built on top (nonces, challenges, verification equations)
+//! is faithful.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Multiplies `a * b mod m` without overflow using u128 intermediates.
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Computes `base^exp mod m` by square-and-multiply.
+pub fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    if m == 1 {
+        return 0;
+    }
+    let mut acc: u64 = 1;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64` inputs
+/// using the first 12 prime bases.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // Write n-1 = d * 2^s.
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        s += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// The shared group parameters.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Group {
+    /// Safe prime modulus.
+    pub p: u64,
+    /// Subgroup order, `q = (p - 1) / 2`.
+    pub q: u64,
+    /// Generator of the order-`q` subgroup (a square mod `p`).
+    pub g: u64,
+}
+
+impl fmt::Debug for Group {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Group(p={:#x}, q={:#x}, g={})", self.p, self.q, self.g)
+    }
+}
+
+static GROUP: OnceLock<Group> = OnceLock::new();
+
+impl Group {
+    /// Returns the process-wide shared group, computing it on first use.
+    ///
+    /// The search is deterministic: the first `p >= 2^62` with both `p` and
+    /// `(p-1)/2` prime, generator `g = 4 = 2^2` (a square, hence of order
+    /// `q`; `4` never has order 1 or 2 for `p > 5`).
+    pub fn shared() -> Group {
+        *GROUP.get_or_init(|| {
+            let mut p = (1u64 << 62) + 1;
+            loop {
+                if is_prime(p) && is_prime((p - 1) / 2) {
+                    break;
+                }
+                p += 2;
+            }
+            let q = (p - 1) / 2;
+            let g = 4u64;
+            debug_assert_eq!(pow_mod(g, q, p), 1, "generator must lie in the subgroup");
+            Group { p, q, g }
+        })
+    }
+
+    /// Group exponentiation `g^x mod p`.
+    pub fn gen_pow(&self, x: u64) -> u64 {
+        pow_mod(self.g, x, self.p)
+    }
+
+    /// Arbitrary-base exponentiation in the group.
+    pub fn pow(&self, base: u64, x: u64) -> u64 {
+        pow_mod(base, x, self.p)
+    }
+
+    /// Inverse of a subgroup element: `a^(q-1)` since `a^q = 1`.
+    pub fn invert(&self, a: u64) -> u64 {
+        pow_mod(a, self.q - 1, self.p)
+    }
+
+    /// Group multiplication.
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        mul_mod(a, b, self.p)
+    }
+
+    /// Reduces an arbitrary u64 into a nonzero exponent modulo `q`.
+    pub fn reduce_scalar(&self, x: u64) -> u64 {
+        let r = x % self.q;
+        if r == 0 {
+            1
+        } else {
+            r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality_small_cases() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 7919];
+        let composites = [0u64, 1, 4, 6, 9, 15, 91, 7917, 561, 41041]; // incl. Carmichael
+        for p in primes {
+            assert!(is_prime(p), "{p} is prime");
+        }
+        for c in composites {
+            assert!(!is_prime(c), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn primality_large_known() {
+        assert!(is_prime(2_147_483_647)); // 2^31 - 1
+        assert!(is_prime(u64::MAX - 58)); // 2^64 - 59, largest 64-bit prime
+        assert!(!is_prime(u64::MAX));
+    }
+
+    #[test]
+    fn shared_group_is_safe_prime() {
+        let g = Group::shared();
+        assert!(is_prime(g.p));
+        assert!(is_prime(g.q));
+        assert_eq!(g.p, 2 * g.q + 1);
+        assert!(g.p >= 1 << 62);
+    }
+
+    #[test]
+    fn generator_has_order_q() {
+        let grp = Group::shared();
+        assert_eq!(grp.pow(grp.g, grp.q), 1);
+        assert_ne!(grp.g, 1);
+        assert_ne!(grp.pow(grp.g, 2), 1);
+    }
+
+    #[test]
+    fn inversion_round_trips() {
+        let grp = Group::shared();
+        for x in [1u64, 2, 3, 12345, 999_999] {
+            let a = grp.gen_pow(x);
+            assert_eq!(grp.mul(a, grp.invert(a)), 1);
+        }
+    }
+
+    #[test]
+    fn pow_mod_agrees_with_naive() {
+        let m = 1_000_003u64;
+        for (b, e) in [(2u64, 10u64), (7, 13), (123, 456), (999_999, 2)] {
+            let mut naive = 1u64;
+            for _ in 0..e {
+                naive = naive * b % m;
+            }
+            assert_eq!(pow_mod(b, e, m), naive);
+        }
+        assert_eq!(pow_mod(5, 100, 1), 0);
+    }
+
+    #[test]
+    fn reduce_scalar_never_zero() {
+        let grp = Group::shared();
+        assert_eq!(grp.reduce_scalar(0), 1);
+        assert_eq!(grp.reduce_scalar(grp.q), 1);
+        assert_eq!(grp.reduce_scalar(grp.q + 5), 5);
+    }
+
+    #[test]
+    fn mul_mod_no_overflow_at_extremes() {
+        let m = u64::MAX - 58;
+        let a = m - 1;
+        // (m-1)^2 mod m == 1
+        assert_eq!(mul_mod(a, a, m), 1);
+    }
+}

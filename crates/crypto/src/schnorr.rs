@@ -1,0 +1,237 @@
+//! Toy Schnorr signatures over the shared safe-prime group.
+//!
+//! These stand in for the hardware root-of-trust keys of the paper: the
+//! platform key `(PubK, PvK)` burned into the TEE, per-accelerator keys
+//! `(PubK_acc, PvK_acc)`, the derived attestation key `AtK`, and vendor
+//! endorsement keys. Signing uses deterministic nonces (RFC-6979 style) so
+//! the whole simulation is reproducible.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::group::Group;
+use crate::hmac::hmac_sha256;
+use crate::sha256::{Digest, Sha256};
+
+/// A public verification key (group element `g^x`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PublicKey(pub u64);
+
+impl fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PublicKey({:#x})", self.0)
+    }
+}
+
+/// A Schnorr signature `(e, s)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Signature {
+    /// Fiat–Shamir challenge.
+    pub e: u64,
+    /// Response scalar.
+    pub s: u64,
+}
+
+/// Why verification failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VerifyError {
+    /// The recomputed challenge did not match the signature's.
+    BadSignature,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("signature verification failed")
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// A signing key pair.
+#[derive(Clone)]
+pub struct KeyPair {
+    secret: u64,
+    public: PublicKey,
+}
+
+impl fmt::Debug for KeyPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the secret.
+        write!(f, "KeyPair(public: {:?})", self.public)
+    }
+}
+
+fn challenge(r: u64, public: PublicKey, msg: &[u8]) -> u64 {
+    let mut h = Sha256::new();
+    h.update(b"cronus-schnorr-e");
+    h.update(&r.to_le_bytes());
+    h.update(&public.0.to_le_bytes());
+    h.update(msg);
+    Group::shared().reduce_scalar(h.finalize().to_u64())
+}
+
+impl KeyPair {
+    /// Derives a key pair deterministically from a seed string, e.g.
+    /// `"platform-root"` or `"vendor:nvidia"`.
+    pub fn from_seed(seed: &str) -> Self {
+        let grp = Group::shared();
+        let d = crate::measure("schnorr-seed", seed.as_bytes());
+        let secret = grp.reduce_scalar(d.to_u64());
+        let public = PublicKey(grp.gen_pow(secret));
+        KeyPair { secret, public }
+    }
+
+    /// Derives a child key pair (e.g. the attestation key `AtK` derived from
+    /// the platform root `PvK`).
+    pub fn derive(&self, label: &str) -> KeyPair {
+        let grp = Group::shared();
+        let mut h = Sha256::new();
+        h.update(b"cronus-schnorr-derive");
+        h.update(&self.secret.to_le_bytes());
+        h.update(label.as_bytes());
+        let secret = grp.reduce_scalar(h.finalize().to_u64());
+        let public = PublicKey(grp.gen_pow(secret));
+        KeyPair { secret, public }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Signs `msg` with a deterministic nonce.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        let grp = Group::shared();
+        // Deterministic nonce: k = H(secret || msg) mod q, never zero.
+        let tag = hmac_sha256(&self.secret.to_le_bytes(), msg);
+        let k = grp.reduce_scalar(tag.to_u64());
+        let r = grp.gen_pow(k);
+        let e = challenge(r, self.public, msg);
+        // s = k + e * x mod q
+        let s = (k as u128 + e as u128 * self.secret as u128) % grp.q as u128;
+        Signature { e, s: s as u64 }
+    }
+
+    /// Signs a digest (convenience for attestation reports).
+    pub fn sign_digest(&self, digest: &Digest) -> Signature {
+        self.sign(digest.as_bytes())
+    }
+}
+
+impl PublicKey {
+    /// Verifies `sig` over `msg`.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::BadSignature`] when the Schnorr verification equation
+    /// does not hold.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> Result<(), VerifyError> {
+        let grp = Group::shared();
+        // r' = g^s * P^{-e}
+        let gs = grp.gen_pow(sig.s % grp.q);
+        let pe_inv = grp.invert(grp.pow(self.0, sig.e % grp.q));
+        let r = grp.mul(gs, pe_inv);
+        if challenge(r, *self, msg) == sig.e {
+            Ok(())
+        } else {
+            Err(VerifyError::BadSignature)
+        }
+    }
+
+    /// Verifies a digest signature.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PublicKey::verify`].
+    pub fn verify_digest(&self, digest: &Digest, sig: &Signature) -> Result<(), VerifyError> {
+        self.verify(digest.as_bytes(), sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let kp = KeyPair::from_seed("platform-root");
+        let sig = kp.sign(b"attestation report");
+        kp.public().verify(b"attestation report", &sig).unwrap();
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let kp = KeyPair::from_seed("k");
+        let sig = kp.sign(b"msg");
+        assert_eq!(
+            kp.public().verify(b"msG", &sig),
+            Err(VerifyError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = KeyPair::from_seed("k");
+        let mut sig = kp.sign(b"msg");
+        sig.s ^= 1;
+        assert!(kp.public().verify(b"msg", &sig).is_err());
+        let mut sig2 = kp.sign(b"msg");
+        sig2.e ^= 1;
+        assert!(kp.public().verify(b"msg", &sig2).is_err());
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let a = KeyPair::from_seed("a");
+        let b = KeyPair::from_seed("b");
+        let sig = a.sign(b"msg");
+        assert!(b.public().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn deterministic_signatures() {
+        let kp = KeyPair::from_seed("det");
+        assert_eq!(kp.sign(b"m"), kp.sign(b"m"));
+        assert_ne!(kp.sign(b"m"), kp.sign(b"n"));
+    }
+
+    #[test]
+    fn derived_keys_differ_and_verify() {
+        let root = KeyPair::from_seed("root");
+        let atk = root.derive("attestation");
+        assert_ne!(root.public(), atk.public());
+        let sig = atk.sign(b"report");
+        atk.public().verify(b"report", &sig).unwrap();
+        assert!(root.public().verify(b"report", &sig).is_err());
+        // Derivation is deterministic.
+        assert_eq!(root.derive("attestation").public(), atk.public());
+    }
+
+    #[test]
+    fn debug_never_leaks_secret() {
+        let kp = KeyPair::from_seed("secret-key");
+        let s = format!("{kp:?}");
+        assert!(s.contains("PublicKey"));
+        assert!(!s.contains(&format!("{}", kp.secret)));
+    }
+
+    #[test]
+    fn digest_signing_matches_bytes() {
+        let kp = KeyPair::from_seed("d");
+        let d = crate::sha256(b"content");
+        let sig = kp.sign_digest(&d);
+        kp.public().verify_digest(&d, &sig).unwrap();
+        kp.public().verify(d.as_bytes(), &sig).unwrap();
+    }
+
+    #[test]
+    fn many_messages_round_trip() {
+        let kp = KeyPair::from_seed("bulk");
+        for i in 0..50u32 {
+            let msg = format!("message-{i}");
+            let sig = kp.sign(msg.as_bytes());
+            kp.public().verify(msg.as_bytes(), &sig).unwrap();
+        }
+    }
+}

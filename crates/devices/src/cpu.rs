@@ -1,0 +1,241 @@
+//! The CPU "device".
+//!
+//! CRONUS treats CPU TEE computation as just another mEnclave kind (§IV-A):
+//! "both launching a CUDA kernel and doing ECalls in a CPU enclave offload
+//! the computation of a function to a device". Modeling the CPU as a device
+//! lets the mOS/HAL layers stay uniform. The CPU executes registered
+//! functions over byte buffers with a scalar-ops cost model.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use cronus_crypto::{KeyPair, PublicKey, Signature};
+use cronus_sim::tzpc::DeviceId;
+use cronus_sim::{CostModel, SimNs, StreamId};
+
+use crate::{device_rot_keypair, DeviceKind, SimDevice};
+
+/// A registered CPU function: bytes in, bytes out.
+pub type CpuFn = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
+
+/// Errors raised by the CPU device.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CpuError {
+    /// No function registered under this name in this context.
+    UnknownFunction(String),
+    /// Stale context id.
+    UnknownContext(u32),
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuError::UnknownFunction(name) => write!(f, "unknown cpu function {name:?}"),
+            CpuError::UnknownContext(id) => write!(f, "unknown cpu context {id}"),
+        }
+    }
+}
+
+impl std::error::Error for CpuError {}
+
+#[derive(Default)]
+struct CpuContext {
+    functions: HashMap<String, CpuFn>,
+    calls: u64,
+}
+
+/// The simulated CPU device.
+pub struct CpuDevice {
+    id: DeviceId,
+    stream: StreamId,
+    rot: KeyPair,
+    contexts: HashMap<u32, CpuContext>,
+    next_ctx: u32,
+}
+
+impl fmt::Debug for CpuDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CpuDevice")
+            .field("id", &self.id)
+            .field("contexts", &self.contexts.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CpuDevice {
+    /// Creates a CPU device.
+    pub fn new(id: DeviceId, stream: StreamId) -> Self {
+        CpuDevice {
+            id,
+            stream,
+            rot: device_rot_keypair("arm", id),
+            contexts: HashMap::new(),
+            next_ctx: 1,
+        }
+    }
+
+    /// Opens a context (one CPU mEnclave's function table).
+    pub fn create_context(&mut self) -> u32 {
+        let id = self.next_ctx;
+        self.next_ctx += 1;
+        self.contexts.insert(id, CpuContext::default());
+        id
+    }
+
+    /// Destroys a context.
+    ///
+    /// # Errors
+    ///
+    /// [`CpuError::UnknownContext`].
+    pub fn destroy_context(&mut self, ctx: u32) -> Result<(), CpuError> {
+        self.contexts
+            .remove(&ctx)
+            .map(|_| ())
+            .ok_or(CpuError::UnknownContext(ctx))
+    }
+
+    /// Registers `f` as callable function `name` in `ctx` (the analogue of
+    /// loading a `.so` mEnclave image and resolving its mECall table).
+    ///
+    /// # Errors
+    ///
+    /// [`CpuError::UnknownContext`].
+    pub fn register_function(&mut self, ctx: u32, name: &str, f: CpuFn) -> Result<(), CpuError> {
+        self.contexts
+            .get_mut(&ctx)
+            .ok_or(CpuError::UnknownContext(ctx))?
+            .functions
+            .insert(name.to_string(), f);
+        Ok(())
+    }
+
+    /// Calls function `name` with `input`, returning the output bytes and
+    /// the simulated execution time for `ops` scalar operations.
+    ///
+    /// # Errors
+    ///
+    /// [`CpuError::UnknownContext`] or [`CpuError::UnknownFunction`].
+    pub fn call(
+        &mut self,
+        cost: &CostModel,
+        ctx: u32,
+        name: &str,
+        input: &[u8],
+        ops: f64,
+    ) -> Result<(Vec<u8>, SimNs), CpuError> {
+        let state = self
+            .contexts
+            .get_mut(&ctx)
+            .ok_or(CpuError::UnknownContext(ctx))?;
+        let f = state
+            .functions
+            .get(name)
+            .ok_or_else(|| CpuError::UnknownFunction(name.to_string()))?
+            .clone();
+        state.calls += 1;
+        let out = f(input);
+        Ok((out, cost.cpu_ops(ops)))
+    }
+
+    /// Number of calls made in a context.
+    pub fn calls(&self, ctx: u32) -> u64 {
+        self.contexts.get(&ctx).map(|c| c.calls).unwrap_or(0)
+    }
+}
+
+impl SimDevice for CpuDevice {
+    fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    fn dma_stream(&self) -> StreamId {
+        self.stream
+    }
+
+    fn compatible(&self) -> &str {
+        "arm,cortex-a53"
+    }
+
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Cpu
+    }
+
+    fn rot_public(&self) -> PublicKey {
+        self.rot.public()
+    }
+
+    fn sign_config(&self, config: &[u8]) -> Signature {
+        self.rot.sign(config)
+    }
+
+    fn context_count(&self) -> usize {
+        self.contexts.len()
+    }
+
+    fn reset(&mut self) {
+        self.contexts.clear();
+        self.next_ctx = 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_call() {
+        let cm = CostModel::default();
+        let mut cpu = CpuDevice::new(DeviceId::new(0), StreamId::new(0));
+        let ctx = cpu.create_context();
+        cpu.register_function(
+            ctx,
+            "sum",
+            Arc::new(|input| {
+                let s: u64 = input.iter().map(|b| *b as u64).sum();
+                s.to_le_bytes().to_vec()
+            }),
+        )
+        .unwrap();
+        let (out, t) = cpu.call(&cm, ctx, "sum", &[1, 2, 3], 3.0).unwrap();
+        assert_eq!(u64::from_le_bytes(out.try_into().unwrap()), 6);
+        assert!(t > SimNs::ZERO);
+        assert_eq!(cpu.calls(ctx), 1);
+    }
+
+    #[test]
+    fn unknown_function_and_context() {
+        let cm = CostModel::default();
+        let mut cpu = CpuDevice::new(DeviceId::new(0), StreamId::new(0));
+        let ctx = cpu.create_context();
+        assert_eq!(
+            cpu.call(&cm, ctx, "nope", &[], 1.0).unwrap_err(),
+            CpuError::UnknownFunction("nope".into())
+        );
+        assert_eq!(
+            cpu.call(&cm, 999, "nope", &[], 1.0).unwrap_err(),
+            CpuError::UnknownContext(999)
+        );
+    }
+
+    #[test]
+    fn destroy_and_reset() {
+        let mut cpu = CpuDevice::new(DeviceId::new(0), StreamId::new(0));
+        let ctx = cpu.create_context();
+        assert_eq!(cpu.context_count(), 1);
+        cpu.destroy_context(ctx).unwrap();
+        assert_eq!(cpu.context_count(), 0);
+        assert!(cpu.destroy_context(ctx).is_err());
+        let _ = cpu.create_context();
+        cpu.reset();
+        assert_eq!(cpu.context_count(), 0);
+    }
+
+    #[test]
+    fn rot_key_signs() {
+        let cpu = CpuDevice::new(DeviceId::new(0), StreamId::new(0));
+        let sig = cpu.sign_config(b"cfg");
+        assert!(cpu.rot_public().verify(b"cfg", &sig).is_ok());
+        assert_eq!(cpu.kind(), DeviceKind::Cpu);
+    }
+}

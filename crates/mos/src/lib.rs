@@ -1,0 +1,32 @@
+//! # cronus-mos — the MicroOS layer
+//!
+//! A MicroOS (mOS) runs inside one S-EL2 partition, manages exactly one
+//! device, and hosts the mEnclaves of that device kind (paper §III-A,
+//! Figure 2). Per the paper, each mOS runs two components:
+//!
+//! * an **Enclave Manager** ([`manager::EnclaveManager`]) that loads and
+//!   initializes mEnclaves, measures their images, enforces ownership (only
+//!   the creator may invoke an mEnclave's mECalls), and integrates
+//!   Diffie–Hellman into creation so each caller/enclave pair shares
+//!   `secret_dhke` (§IV-A);
+//! * a **Hardware Adaptation Layer** ([`hal::DeviceHal`]) that configures,
+//!   attests, accesses and virtualizes the device for multiple mEnclaves,
+//!   backed by the off-the-shelf "drivers" in `cronus-devices` and the
+//!   [`shim`] kernel library (the paper integrates nouveau/OP-TEE/VTA driver
+//!   code through a LibOS-style shim providing `ioremap`, locks, etc.).
+//!
+//! [`mos::MicroOs`] ties the two together with per-enclave stage-1 page
+//! tables, so that every enclave memory access in the simulation walks
+//! `stage-1 → stage-2 → TZASC` exactly as on hardware.
+
+pub mod hal;
+pub mod manager;
+pub mod manifest;
+pub mod mos;
+pub mod shim;
+
+pub use hal::{DeviceAttestation, DeviceCtx, DeviceHal, HalError};
+pub use manager::{EnclaveEntry, EnclaveManager, ManagerError, Owner};
+pub use manifest::{Eid, Manifest, ManifestError, McallDecl, MosId, Resources};
+pub use mos::{MicroOs, MosError, MosStatus};
+pub use shim::{ShimKernel, SharedSpinLock, SpinLockError};

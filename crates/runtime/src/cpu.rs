@@ -1,0 +1,174 @@
+//! The CPU mEnclave execution model.
+//!
+//! "We built the CPU mEnclave runtime using musl and a library OS ... to run
+//! applications within mEnclave with few modifications" (§V-B). Here the
+//! "application" is a set of Rust closures registered both on the simulated
+//! CPU device (for bookkeeping) and as mECall handlers, each annotated with
+//! a scalar-operation count that drives the simulated clock.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use cronus_core::{Actor, CronusSystem, EnclaveRef, SystemError};
+use cronus_devices::DeviceKind;
+use cronus_mos::hal::DeviceCtx;
+use cronus_mos::manifest::{Manifest, McallDecl};
+
+/// A CPU mEnclave manifest declaring the given synchronous mECalls.
+pub fn cpu_manifest(mecalls: &[&str], memory: u64) -> Manifest {
+    let mut m = Manifest::new(DeviceKind::Cpu).with_memory(memory);
+    for name in mecalls {
+        m = m.with_mecall(McallDecl::synchronous(name));
+    }
+    m
+}
+
+/// A registered CPU function body.
+type CpuFnBody = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
+
+/// Builder that creates a CPU mEnclave and installs its functions.
+pub struct CpuEnclaveBuilder {
+    functions: Vec<(String, CpuFnBody, f64)>,
+    memory: u64,
+}
+
+impl std::fmt::Debug for CpuEnclaveBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CpuEnclaveBuilder")
+            .field("functions", &self.functions.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for CpuEnclaveBuilder {
+    fn default() -> Self {
+        CpuEnclaveBuilder::new()
+    }
+}
+
+impl CpuEnclaveBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        CpuEnclaveBuilder { functions: Vec::new(), memory: 16 << 20 }
+    }
+
+    /// Sets the memory quota.
+    pub fn memory(mut self, bytes: u64) -> Self {
+        self.memory = bytes;
+        self
+    }
+
+    /// Adds a function with its simulated scalar-op cost.
+    pub fn function<F>(mut self, name: &str, ops: f64, f: F) -> Self
+    where
+        F: Fn(&[u8]) -> Vec<u8> + Send + Sync + 'static,
+    {
+        self.functions.push((name.to_string(), Arc::new(f), ops));
+        self
+    }
+
+    /// Creates the enclave owned by `actor` and registers every function as
+    /// an mECall handler running on the CPU device.
+    ///
+    /// # Errors
+    ///
+    /// Enclave creation failures.
+    pub fn build(
+        self,
+        sys: &mut CronusSystem,
+        actor: Actor,
+    ) -> Result<EnclaveRef, SystemError> {
+        let names: Vec<&str> = self.functions.iter().map(|(n, _, _)| n.as_str()).collect();
+        let manifest = cpu_manifest(&names, self.memory);
+        let enclave = sys.create_enclave(actor, manifest, &BTreeMap::new())?;
+
+        // Resolve the device context and install the functions on the CPU
+        // device so the device's call counters are live.
+        let ctx_id = {
+            let entry = sys
+                .spm()
+                .mos(enclave.asid)?
+                .manager()
+                .entry(enclave.eid)
+                .expect("just created");
+            match entry.ctx {
+                DeviceCtx::Cpu(id) => id,
+                other => panic!("cpu manifest produced non-cpu ctx {other:?}"),
+            }
+        };
+
+        for (name, f, ops) in self.functions {
+            {
+                let device_fn = Arc::clone(&f);
+                let mos = sys.spm_mut().mos_mut(enclave.asid)?;
+                mos.hal_mut()
+                    .cpu_mut()
+                    .expect("cpu partition")
+                    .register_function(ctx_id, &name, device_fn)
+                    .expect("ctx created above");
+            }
+            let handler_fn = Arc::clone(&f);
+            sys.register_handler(
+                enclave,
+                &name,
+                Box::new(move |ctx, payload| {
+                    let out = handler_fn(payload);
+                    let t = ctx.spm.machine().cost().cpu_ops(ops);
+                    Ok((out, t))
+                }),
+            );
+        }
+        Ok(enclave)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cronus_spm::spm::{BootConfig, DeviceSpec, PartitionSpec};
+
+    fn boot() -> CronusSystem {
+        CronusSystem::boot(BootConfig {
+            partitions: vec![PartitionSpec::new(1, b"cpu-mos", "v1", DeviceSpec::Cpu)],
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn build_and_ecall() {
+        let mut sys = boot();
+        let app = sys.create_app();
+        let enclave = CpuEnclaveBuilder::new()
+            .function("double", 100.0, |input| input.iter().map(|b| b * 2).collect())
+            .function("len", 10.0, |input| (input.len() as u64).to_le_bytes().to_vec())
+            .build(&mut sys, Actor::App(app))
+            .unwrap();
+        let out = sys.app_ecall(app, enclave, "double", &[1, 2, 3]).unwrap();
+        assert_eq!(out, vec![2, 4, 6]);
+        let out = sys.app_ecall(app, enclave, "len", &[9; 5]).unwrap();
+        assert_eq!(u64::from_le_bytes(out.try_into().unwrap()), 5);
+        assert!(sys.app_time(app).as_nanos() > 0);
+    }
+
+    #[test]
+    fn undeclared_function_rejected() {
+        let mut sys = boot();
+        let app = sys.create_app();
+        let enclave = CpuEnclaveBuilder::new()
+            .function("f", 1.0, |_| vec![])
+            .build(&mut sys, Actor::App(app))
+            .unwrap();
+        assert!(matches!(
+            sys.app_ecall(app, enclave, "g", &[]).unwrap_err(),
+            SystemError::UnknownMcall(_)
+        ));
+    }
+
+    #[test]
+    fn manifest_helper_declares_all() {
+        let m = cpu_manifest(&["a", "b"], 1 << 20);
+        assert!(m.mecall("a").is_some());
+        assert!(m.mecall("b").is_some());
+        assert_eq!(m.resources.memory_bytes, 1 << 20);
+    }
+}

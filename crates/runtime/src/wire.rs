@@ -1,0 +1,231 @@
+//! Tiny byte codec for RPC descriptors.
+//!
+//! sRPC ring slots carry serialized call descriptors (handles, offsets,
+//! scalars, kernel names). This module is the runtime's wire format; it is
+//! deliberately simple and fully checked, since descriptors cross the
+//! trust boundary between mEnclaves.
+
+use std::fmt;
+
+/// Decoding error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireError;
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("malformed rpc descriptor")
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Serializer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Appends a u64.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a u32.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends an i64.
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends an f32.
+    pub fn f32(&mut self, v: f32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends an f64.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a single byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a length-prefixed string.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+        self
+    }
+
+    /// Appends length-prefixed bytes.
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// Finishes, returning the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Deserializer.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a u64.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncation.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a u32.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncation.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads an i64.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncation.
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an f32.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncation.
+    pub fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads an f64.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncation.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncation.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a length-prefixed string.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncation or non-UTF-8.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError)
+    }
+
+    /// Reads length-prefixed bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncation.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Returns true if everything has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_types() {
+        let mut w = Writer::new();
+        w.u64(7).u32(8).i64(-9).f32(1.5).f64(-2.25).u8(3).str("name").bytes(&[1, 2]);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u64().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 8);
+        assert_eq!(r.i64().unwrap(), -9);
+        assert_eq!(r.f32().unwrap(), 1.5);
+        assert_eq!(r.f64().unwrap(), -2.25);
+        assert_eq!(r.u8().unwrap(), 3);
+        assert_eq!(r.str().unwrap(), "name");
+        assert_eq!(r.bytes().unwrap(), vec![1, 2]);
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert_eq!(r.u64(), Err(WireError));
+        let mut r = Reader::new(&[255, 255, 255, 255]);
+        assert_eq!(r.str(), Err(WireError));
+        assert_eq!(Reader::new(&[]).u8(), Err(WireError));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut w = Writer::new();
+        w.u32(2);
+        let mut buf = w.finish();
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        assert_eq!(Reader::new(&buf).str(), Err(WireError));
+    }
+}

@@ -1,0 +1,233 @@
+//! Physical and virtual address newtypes.
+//!
+//! The simulator uses 4 KiB pages, matching the AArch64 granule used by the
+//! paper's OP-TEE/Hafnium prototype. [`PhysAddr`] and [`VirtAddr`] are
+//! deliberately distinct types so that a stage-1 translation result cannot be
+//! fed back into a stage-1 lookup by accident (C-NEWTYPE).
+
+use std::fmt;
+
+/// Size of one page/frame in bytes (AArch64 4 KiB granule).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A physical address in the simulated machine.
+///
+/// ```
+/// use cronus_sim::addr::{PhysAddr, PAGE_SIZE};
+/// let pa = PhysAddr::new(0x8000_0123);
+/// assert_eq!(pa.page_number(), 0x8000_0123 / PAGE_SIZE);
+/// assert_eq!(pa.page_offset(), 0x123);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+/// A virtual address inside one enclave/mOS address space.
+///
+/// ```
+/// use cronus_sim::addr::VirtAddr;
+/// let va = VirtAddr::new(0x4000).add(0x10);
+/// assert_eq!(va.as_u64(), 0x4010);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+macro_rules! addr_impl {
+    ($ty:ident, $name:expr) => {
+        impl $ty {
+            /// Creates an address from a raw 64-bit value.
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw 64-bit value.
+            pub const fn as_u64(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the page number (address divided by [`PAGE_SIZE`]).
+            pub const fn page_number(self) -> u64 {
+                self.0 / PAGE_SIZE
+            }
+
+            /// Returns the offset of this address within its page.
+            pub const fn page_offset(self) -> u64 {
+                self.0 % PAGE_SIZE
+            }
+
+            /// Returns the base address of the page containing this address.
+            pub const fn page_base(self) -> Self {
+                Self(self.0 - self.0 % PAGE_SIZE)
+            }
+
+            /// Returns true if the address is page-aligned.
+            pub const fn is_page_aligned(self) -> bool {
+                self.0 % PAGE_SIZE == 0
+            }
+
+            /// Returns the address advanced by `offset` bytes.
+            ///
+            /// # Panics
+            ///
+            /// Panics on address-space overflow, which indicates a simulator
+            /// bug rather than a modeled hardware fault.
+            #[allow(clippy::should_implement_trait)] // offset math, not Add
+            pub fn add(self, offset: u64) -> Self {
+                Self(self.0.checked_add(offset).expect("address overflow"))
+            }
+
+            /// Constructs the address of the first byte of page `page_number`.
+            pub const fn from_page_number(page_number: u64) -> Self {
+                Self(page_number * PAGE_SIZE)
+            }
+        }
+
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($name, "({:#x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u64> for $ty {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+addr_impl!(PhysAddr, "PhysAddr");
+addr_impl!(VirtAddr, "VirtAddr");
+
+/// An inclusive-exclusive range of physical addresses `[start, end)`.
+///
+/// Used by the TZASC region table, device BARs and the device tree.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PhysRange {
+    start: PhysAddr,
+    end: PhysAddr,
+}
+
+impl PhysRange {
+    /// Creates a range; `start` must not exceed `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: PhysAddr, end: PhysAddr) -> Self {
+        assert!(start <= end, "invalid physical range {start}..{end}");
+        Self { start, end }
+    }
+
+    /// Creates a range from a base address and a length in bytes.
+    pub fn from_base_len(base: PhysAddr, len: u64) -> Self {
+        Self::new(base, base.add(len))
+    }
+
+    /// First address in the range.
+    pub const fn start(self) -> PhysAddr {
+        self.start
+    }
+
+    /// One-past-the-last address in the range.
+    pub const fn end(self) -> PhysAddr {
+        self.end
+    }
+
+    /// Length of the range in bytes.
+    pub const fn len(self) -> u64 {
+        self.end.as_u64() - self.start.as_u64()
+    }
+
+    /// Returns true for zero-length ranges.
+    pub const fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns true if `addr` lies within the range.
+    pub fn contains(self, addr: PhysAddr) -> bool {
+        self.start <= addr && addr < self.end
+    }
+
+    /// Returns true if the two ranges share at least one address.
+    /// Empty ranges contain no addresses and therefore overlap nothing.
+    pub fn overlaps(self, other: PhysRange) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.start < other.end
+            && other.start < self.end
+    }
+}
+
+impl fmt::Display for PhysRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_arithmetic_round_trips() {
+        let pa = PhysAddr::new(5 * PAGE_SIZE + 17);
+        assert_eq!(pa.page_number(), 5);
+        assert_eq!(pa.page_offset(), 17);
+        assert_eq!(pa.page_base(), PhysAddr::from_page_number(5));
+        assert!(!pa.is_page_aligned());
+        assert!(pa.page_base().is_page_aligned());
+    }
+
+    #[test]
+    fn add_advances_by_bytes() {
+        let va = VirtAddr::new(100);
+        assert_eq!(va.add(28).as_u64(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "address overflow")]
+    fn add_panics_on_overflow() {
+        let _ = PhysAddr::new(u64::MAX).add(1);
+    }
+
+    #[test]
+    fn range_contains_and_overlaps() {
+        let a = PhysRange::from_base_len(PhysAddr::new(0x1000), 0x1000);
+        let b = PhysRange::from_base_len(PhysAddr::new(0x1800), 0x1000);
+        let c = PhysRange::from_base_len(PhysAddr::new(0x2000), 0x1000);
+        assert!(a.contains(PhysAddr::new(0x1fff)));
+        assert!(!a.contains(PhysAddr::new(0x2000)));
+        assert!(a.overlaps(b));
+        assert!(b.overlaps(a));
+        assert!(!a.overlaps(c));
+        assert_eq!(a.len(), 0x1000);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn zero_length_range_is_empty_and_overlaps_nothing() {
+        let z = PhysRange::from_base_len(PhysAddr::new(0x1000), 0);
+        let a = PhysRange::from_base_len(PhysAddr::new(0x0), 0x10000);
+        assert!(z.is_empty());
+        assert!(!z.overlaps(a));
+        assert!(!a.overlaps(z));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(PhysAddr::new(0x1234).to_string(), "0x1234");
+        assert_eq!(format!("{:?}", VirtAddr::new(16)), "VirtAddr(0x10)");
+    }
+}

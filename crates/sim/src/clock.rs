@@ -1,0 +1,428 @@
+//! Deterministic virtual time and the calibrated cost model.
+//!
+//! Everything the benchmark harness reports is *simulated* time: each actor
+//! (an mEnclave, an sRPC executor thread, a device queue) owns a [`SimClock`]
+//! that advances by [`CostModel`] charges. Asynchrony is modeled by letting
+//! clocks drift apart and merging them with `max` at synchronization points —
+//! exactly the semantics that make streaming RPC cheaper than lock-step RPC.
+//!
+//! The default cost constants are calibrated to the magnitudes the paper and
+//! its citations report (S-EL2 context switch costs, PCIe bandwidth, mOS
+//! restart in hundreds of milliseconds, machine reboot ≈ 2 minutes). Absolute
+//! values are not the reproduction target; *ratios and shapes* are.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A duration/instant in simulated nanoseconds.
+///
+/// ```
+/// use cronus_sim::SimNs;
+/// let t = SimNs::from_micros(3) + SimNs::from_nanos(500);
+/// assert_eq!(t.as_nanos(), 3_500);
+/// assert_eq!(t.max(SimNs::from_millis(1)), SimNs::from_millis(1));
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimNs(u64);
+
+impl SimNs {
+    /// Zero duration.
+    pub const ZERO: SimNs = SimNs(0);
+
+    /// Creates a duration from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimNs(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimNs(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimNs(ms * 1_000_000)
+    }
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimNs(s * 1_000_000_000)
+    }
+
+    /// Value in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Value in (truncated) microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Value in (truncated) milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Value in seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimNs) -> SimNs {
+        SimNs(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Scales the duration by a float factor (rounds to nearest ns).
+    pub fn scale(self, factor: f64) -> SimNs {
+        SimNs((self.0 as f64 * factor).round().max(0.0) as u64)
+    }
+}
+
+impl Add for SimNs {
+    type Output = SimNs;
+    fn add(self, rhs: SimNs) -> SimNs {
+        SimNs(self.0.checked_add(rhs.0).expect("sim time overflow"))
+    }
+}
+
+impl AddAssign for SimNs {
+    fn add_assign(&mut self, rhs: SimNs) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimNs {
+    type Output = SimNs;
+    fn sub(self, rhs: SimNs) -> SimNs {
+        SimNs(self.0.checked_sub(rhs.0).expect("sim time underflow"))
+    }
+}
+
+impl Mul<u64> for SimNs {
+    type Output = SimNs;
+    fn mul(self, rhs: u64) -> SimNs {
+        SimNs(self.0.checked_mul(rhs).expect("sim time overflow"))
+    }
+}
+
+impl Div<u64> for SimNs {
+    type Output = SimNs;
+    fn div(self, rhs: u64) -> SimNs {
+        SimNs(self.0 / rhs)
+    }
+}
+
+impl Sum for SimNs {
+    fn sum<I: Iterator<Item = SimNs>>(iter: I) -> SimNs {
+        iter.fold(SimNs::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for SimNs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimNs({})", self.0)
+    }
+}
+
+impl fmt::Display for SimNs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// A per-actor virtual clock.
+///
+/// ```
+/// use cronus_sim::{SimClock, SimNs};
+/// let mut caller = SimClock::new();
+/// let mut executor = SimClock::new();
+/// caller.advance(SimNs::from_nanos(100));   // enqueue cost only
+/// executor.advance(SimNs::from_micros(50)); // kernel runs asynchronously
+/// caller.sync_with(&executor);              // cudaMemcpy-style barrier
+/// assert_eq!(caller.now(), SimNs::from_micros(50));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SimClock {
+    now: SimNs,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Creates a clock at a given instant.
+    pub fn at(now: SimNs) -> Self {
+        SimClock { now }
+    }
+
+    /// Current instant.
+    pub fn now(&self) -> SimNs {
+        self.now
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&mut self, d: SimNs) {
+        self.now += d;
+    }
+
+    /// Merges with another clock: both semantics of a synchronization point
+    /// ("wait until the other actor has caught up") collapse to `max`.
+    pub fn sync_with(&mut self, other: &SimClock) {
+        self.now = self.now.max(other.now);
+    }
+
+    /// Ensures the clock is at least at `t` (e.g. a device becomes available
+    /// only after its queue drains).
+    pub fn advance_to(&mut self, t: SimNs) {
+        self.now = self.now.max(t);
+    }
+}
+
+/// Calibrated cost constants for the simulated platform.
+///
+/// All fields are public so experiments can ablate individual costs; the
+/// [`CostModel::default`] values are the baseline used by every figure.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Normal-world <-> secure-world switch (SMC + monitor).
+    pub world_switch: SimNs,
+    /// One S-EL2 partition context switch. A synchronous inter-mEnclave RPC
+    /// needs *four* of these each way (§IV-C).
+    pub sel2_context_switch: SimNs,
+    /// Writing one sRPC request descriptor into the trusted shared ring.
+    pub srpc_enqueue: SimNs,
+    /// Fetching + dispatching one sRPC request in the executor loop.
+    pub srpc_dequeue: SimNs,
+    /// Creating an sRPC stream (thread spawn + ring setup), amortized by the
+    /// paper's stream reuse.
+    pub srpc_stream_setup: SimNs,
+    /// Latency for the caller to observe the executor's progress at a
+    /// synchronization point (shared-memory polling wakeup).
+    pub srpc_sync_wakeup: SimNs,
+    /// Fixed cost of an encrypted RPC message (key schedule, MAC) — the
+    /// HIX-TrustZone baseline pays this per call.
+    pub encrypt_base: SimNs,
+    /// Per-byte cost of encryption/decryption.
+    pub encrypt_per_byte_ns: f64,
+    /// Per-byte cost of hashing (attestation measurements).
+    pub hash_per_byte_ns: f64,
+    /// Signature creation/verification (toy Schnorr stands in for ECDSA).
+    pub sign: SimNs,
+    /// Diffie-Hellman key exchange step.
+    pub dh_exchange: SimNs,
+    /// Mapping one page (stage-1 + stage-2 updates + TLB maintenance).
+    pub page_map: SimNs,
+    /// Unmapping/invalidating one page.
+    pub page_unmap: SimNs,
+    /// PCIe copy bandwidth in bytes per nanosecond (≈ 12 GB/s ⇒ 12).
+    pub pcie_bytes_per_ns: f64,
+    /// CPU memcpy bandwidth in bytes per nanosecond (≈ 8 GB/s).
+    pub memcpy_bytes_per_ns: f64,
+    /// Fixed GPU kernel launch latency (driver + doorbell).
+    pub gpu_kernel_launch: SimNs,
+    /// GPU per-SM throughput in f32 FLOPs per nanosecond.
+    pub gpu_flops_per_sm_ns: f64,
+    /// Number of SMs on the simulated GPU (GTX 2080-class ⇒ 46).
+    pub gpu_sm_count: u32,
+    /// GPU memory bandwidth in bytes per nanosecond (≈ 448 GB/s).
+    pub gpu_mem_bytes_per_ns: f64,
+    /// NPU (VTA-class) GEMM throughput in int8 MACs per nanosecond.
+    pub npu_macs_per_ns: f64,
+    /// NPU instruction issue overhead.
+    pub npu_issue: SimNs,
+    /// CPU scalar throughput in ops per nanosecond.
+    pub cpu_ops_per_ns: f64,
+    /// Restarting a failed partition's mOS (clear + reload + init).
+    pub mos_restart: SimNs,
+    /// Clearing device + shared memory state of a failed partition.
+    pub partition_clear: SimNs,
+    /// Rebooting the whole machine (monolithic recovery baseline).
+    pub machine_reboot: SimNs,
+    /// mEnclave creation (manifest parse, image load, measurement).
+    pub enclave_create: SimNs,
+    /// Local attestation round (report request + verify over secret_dhke).
+    pub local_attest: SimNs,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            world_switch: SimNs::from_nanos(4_000),
+            sel2_context_switch: SimNs::from_nanos(3_500),
+            srpc_enqueue: SimNs::from_nanos(120),
+            srpc_dequeue: SimNs::from_nanos(150),
+            srpc_stream_setup: SimNs::from_micros(25),
+            srpc_sync_wakeup: SimNs::from_nanos(800),
+            encrypt_base: SimNs::from_nanos(600),
+            encrypt_per_byte_ns: 0.35,
+            hash_per_byte_ns: 0.5,
+            sign: SimNs::from_micros(40),
+            dh_exchange: SimNs::from_micros(60),
+            page_map: SimNs::from_nanos(900),
+            page_unmap: SimNs::from_nanos(700),
+            pcie_bytes_per_ns: 12.0,
+            memcpy_bytes_per_ns: 8.0,
+            gpu_kernel_launch: SimNs::from_micros(5),
+            gpu_flops_per_sm_ns: 220.0,
+            gpu_sm_count: 46,
+            gpu_mem_bytes_per_ns: 448.0,
+            npu_macs_per_ns: 64.0,
+            npu_issue: SimNs::from_nanos(400),
+            cpu_ops_per_ns: 4.0,
+            mos_restart: SimNs::from_millis(280),
+            partition_clear: SimNs::from_millis(45),
+            machine_reboot: SimNs::from_secs(120),
+            enclave_create: SimNs::from_millis(2),
+            local_attest: SimNs::from_micros(180),
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of copying `bytes` over PCIe.
+    pub fn pcie_copy(&self, bytes: u64) -> SimNs {
+        SimNs::from_nanos((bytes as f64 / self.pcie_bytes_per_ns).ceil() as u64)
+    }
+
+    /// Cost of a CPU memcpy of `bytes`.
+    pub fn memcpy(&self, bytes: u64) -> SimNs {
+        SimNs::from_nanos((bytes as f64 / self.memcpy_bytes_per_ns).ceil() as u64)
+    }
+
+    /// Cost of encrypting (or decrypting) a `bytes`-long message.
+    pub fn encrypt(&self, bytes: u64) -> SimNs {
+        self.encrypt_base
+            + SimNs::from_nanos((bytes as f64 * self.encrypt_per_byte_ns).ceil() as u64)
+    }
+
+    /// Cost of hashing `bytes` (measurement).
+    pub fn hash(&self, bytes: u64) -> SimNs {
+        SimNs::from_nanos((bytes as f64 * self.hash_per_byte_ns).ceil() as u64)
+    }
+
+    /// Cost of a synchronous inter-partition RPC *transport* (excluding the
+    /// callee's work): four context switches in, four out, per the paper.
+    pub fn sync_rpc_transport(&self) -> SimNs {
+        self.sel2_context_switch * 8
+    }
+
+    /// Execution time of a GPU kernel with `flops` floating-point work and
+    /// `mem_bytes` memory traffic when `active_contexts` share the GPU and
+    /// this kernel's context occupies `sm_share` of the SMs (0 < share ≤ 1).
+    ///
+    /// The model is roofline-style: compute and memory time take the max,
+    /// plus launch overhead. Spatial sharing divides SMs among contexts but
+    /// only hurts when aggregate demand exceeds the machine (modeling MPS).
+    pub fn gpu_kernel(&self, flops: f64, mem_bytes: f64, sm_share: f64) -> SimNs {
+        let share = sm_share.clamp(1.0 / self.gpu_sm_count as f64, 1.0);
+        let sms = self.gpu_sm_count as f64 * share;
+        let compute_ns = flops / (self.gpu_flops_per_sm_ns * sms);
+        let mem_ns = mem_bytes / (self.gpu_mem_bytes_per_ns * share.max(0.5));
+        self.gpu_kernel_launch + SimNs::from_nanos(compute_ns.max(mem_ns).ceil() as u64)
+    }
+
+    /// Execution time of an NPU GEMM with `macs` multiply-accumulates.
+    pub fn npu_gemm(&self, macs: f64) -> SimNs {
+        self.npu_issue + SimNs::from_nanos((macs / self.npu_macs_per_ns).ceil() as u64)
+    }
+
+    /// Execution time of `ops` scalar CPU operations.
+    pub fn cpu_ops(&self, ops: f64) -> SimNs {
+        SimNs::from_nanos((ops / self.cpu_ops_per_ns).ceil() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simns_arithmetic() {
+        let a = SimNs::from_micros(2);
+        let b = SimNs::from_nanos(500);
+        assert_eq!((a + b).as_nanos(), 2_500);
+        assert_eq!((a - b).as_nanos(), 1_500);
+        assert_eq!((a * 3).as_micros(), 6);
+        assert_eq!((a / 2).as_nanos(), 1_000);
+        assert_eq!(b.saturating_sub(a), SimNs::ZERO);
+        assert_eq!(a.scale(1.5).as_nanos(), 3_000);
+        let total: SimNs = [a, b, b].into_iter().sum();
+        assert_eq!(total.as_nanos(), 3_000);
+    }
+
+    #[test]
+    fn simns_display_scales_units() {
+        assert_eq!(SimNs::from_nanos(15).to_string(), "15ns");
+        assert_eq!(SimNs::from_micros(15).to_string(), "15.000us");
+        assert_eq!(SimNs::from_millis(15).to_string(), "15.000ms");
+        assert_eq!(SimNs::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "sim time underflow")]
+    fn simns_sub_underflow_panics() {
+        let _ = SimNs::ZERO - SimNs::from_nanos(1);
+    }
+
+    #[test]
+    fn clock_sync_is_max() {
+        let mut a = SimClock::new();
+        let mut b = SimClock::new();
+        a.advance(SimNs::from_nanos(10));
+        b.advance(SimNs::from_nanos(100));
+        a.sync_with(&b);
+        assert_eq!(a.now(), SimNs::from_nanos(100));
+        b.sync_with(&a);
+        assert_eq!(b.now(), SimNs::from_nanos(100));
+        a.advance_to(SimNs::from_nanos(50));
+        assert_eq!(a.now(), SimNs::from_nanos(100), "advance_to never rewinds");
+    }
+
+    #[test]
+    fn default_costs_have_papers_ordering() {
+        let cm = CostModel::default();
+        // Streaming enqueue must be far cheaper than a sync RPC transport.
+        assert!(cm.srpc_enqueue * 20 < cm.sync_rpc_transport());
+        // mOS restart must be orders of magnitude below machine reboot.
+        assert!(cm.mos_restart * 100 < cm.machine_reboot);
+        // An encrypted message costs more than a shared-memory enqueue.
+        assert!(cm.encrypt(256) > cm.srpc_enqueue);
+    }
+
+    #[test]
+    fn gpu_kernel_scales_with_share() {
+        let cm = CostModel::default();
+        let full = cm.gpu_kernel(1e9, 1e6, 1.0);
+        let half = cm.gpu_kernel(1e9, 1e6, 0.5);
+        assert!(half > full);
+        assert!(half < full * 3);
+    }
+
+    #[test]
+    fn bandwidth_helpers_are_monotonic() {
+        let cm = CostModel::default();
+        assert!(cm.pcie_copy(1 << 20) < cm.pcie_copy(1 << 22));
+        assert!(cm.memcpy(4096) > SimNs::ZERO);
+        assert!(cm.encrypt(0) == cm.encrypt_base);
+        assert_eq!(cm.hash(0), SimNs::ZERO);
+        assert!(cm.npu_gemm(1e6) > cm.npu_issue);
+        assert!(cm.cpu_ops(4.0) >= SimNs::from_nanos(1));
+    }
+}

@@ -1,0 +1,240 @@
+//! Device tree model and validation.
+//!
+//! CRONUS's attestation protocol includes the device tree (DT) in the
+//! attestation report and "accepts only valid DT (e.g., no overlapping IRQ
+//! and MMIO ...)" to defeat MMIO-remapping and interrupt-spoofing attacks
+//! (§IV-A). The DT is retrieved once at SPM initialization and is immutable
+//! until reboot.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::PhysRange;
+use crate::mem::World;
+use crate::tzpc::DeviceId;
+
+/// One device node in the tree.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DtNode {
+    /// Device identifier, matching the bus/TZPC id.
+    pub device: DeviceId,
+    /// Human-readable compatible string, e.g. `"nvidia,gtx2080"`.
+    pub compatible: String,
+    /// MMIO register window claimed by the device.
+    pub mmio: PhysRange,
+    /// Interrupt line number.
+    pub irq: u32,
+    /// Which world the device is configured into at boot.
+    pub world: World,
+}
+
+// DeviceId/PhysRange live in modules without serde derives; provide manual
+// serde support via compact tuple representations.
+impl Serialize for DeviceId {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_u32(self.as_u32())
+    }
+}
+
+impl<'de> Deserialize<'de> for DeviceId {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(DeviceId::new(u32::deserialize(d)?))
+    }
+}
+
+impl Serialize for PhysRange {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (self.start().as_u64(), self.end().as_u64()).serialize(s)
+    }
+}
+
+impl<'de> Deserialize<'de> for PhysRange {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let (start, end) = <(u64, u64)>::deserialize(d)?;
+        if start > end {
+            return Err(serde::de::Error::custom("invalid physical range"));
+        }
+        Ok(PhysRange::new(
+            crate::addr::PhysAddr::new(start),
+            crate::addr::PhysAddr::new(end),
+        ))
+    }
+}
+
+/// Why a device tree was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DtValidationError {
+    /// Two nodes claim overlapping MMIO windows.
+    OverlappingMmio(DeviceId, DeviceId),
+    /// Two nodes claim the same IRQ line.
+    DuplicateIrq(DeviceId, DeviceId, u32),
+    /// The same device id appears twice.
+    DuplicateDevice(DeviceId),
+    /// A node claims an empty MMIO window.
+    EmptyMmio(DeviceId),
+}
+
+impl fmt::Display for DtValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DtValidationError::OverlappingMmio(a, b) => {
+                write!(f, "devices {a} and {b} claim overlapping mmio windows")
+            }
+            DtValidationError::DuplicateIrq(a, b, irq) => {
+                write!(f, "devices {a} and {b} both claim irq {irq}")
+            }
+            DtValidationError::DuplicateDevice(d) => {
+                write!(f, "device {d} appears twice in the tree")
+            }
+            DtValidationError::EmptyMmio(d) => {
+                write!(f, "device {d} claims an empty mmio window")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DtValidationError {}
+
+/// A validated, immutable device tree.
+///
+/// Construction via [`DeviceTree::validate`] is the only way to obtain one,
+/// so holding a `DeviceTree` is proof the overlap checks passed — the same
+/// property the SPM relies on before including the DT in attestation reports.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct DeviceTree {
+    nodes: Vec<DtNode>,
+}
+
+impl DeviceTree {
+    /// Validates `nodes` and constructs the tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DtValidationError`] found: duplicate device ids,
+    /// empty or overlapping MMIO windows, or duplicate IRQs.
+    pub fn validate(nodes: Vec<DtNode>) -> Result<Self, DtValidationError> {
+        for (i, a) in nodes.iter().enumerate() {
+            if a.mmio.is_empty() {
+                return Err(DtValidationError::EmptyMmio(a.device));
+            }
+            for b in nodes.iter().skip(i + 1) {
+                if a.device == b.device {
+                    return Err(DtValidationError::DuplicateDevice(a.device));
+                }
+                if a.mmio.overlaps(b.mmio) {
+                    return Err(DtValidationError::OverlappingMmio(a.device, b.device));
+                }
+                if a.irq == b.irq {
+                    return Err(DtValidationError::DuplicateIrq(a.device, b.device, a.irq));
+                }
+            }
+        }
+        Ok(DeviceTree { nodes })
+    }
+
+    /// All nodes, in declaration order.
+    pub fn nodes(&self) -> &[DtNode] {
+        &self.nodes
+    }
+
+    /// Looks up the node of a device.
+    pub fn node(&self, device: DeviceId) -> Option<&DtNode> {
+        self.nodes.iter().find(|n| n.device == device)
+    }
+
+    /// Nodes assigned to the secure world at boot.
+    pub fn secure_nodes(&self) -> impl Iterator<Item = &DtNode> {
+        self.nodes.iter().filter(|n| n.world == World::Secure)
+    }
+
+    /// A canonical byte encoding of the tree, hashed into attestation
+    /// reports. Stable across runs for identical trees.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for n in &self.nodes {
+            out.extend_from_slice(&n.device.as_u32().to_le_bytes());
+            out.extend_from_slice(n.compatible.as_bytes());
+            out.push(0);
+            out.extend_from_slice(&n.mmio.start().as_u64().to_le_bytes());
+            out.extend_from_slice(&n.mmio.end().as_u64().to_le_bytes());
+            out.extend_from_slice(&n.irq.to_le_bytes());
+            out.push(match n.world {
+                World::Normal => 0,
+                World::Secure => 1,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PhysAddr;
+
+    fn node(id: u32, mmio_base: u64, irq: u32) -> DtNode {
+        DtNode {
+            device: DeviceId::new(id),
+            compatible: format!("sim,dev{id}"),
+            mmio: PhysRange::from_base_len(PhysAddr::new(mmio_base), 0x1000),
+            irq,
+            world: World::Secure,
+        }
+    }
+
+    #[test]
+    fn valid_tree_accepts_and_looks_up() {
+        let dt = DeviceTree::validate(vec![node(1, 0x1000, 10), node(2, 0x3000, 11)]).unwrap();
+        assert_eq!(dt.nodes().len(), 2);
+        assert!(dt.node(DeviceId::new(2)).is_some());
+        assert!(dt.node(DeviceId::new(3)).is_none());
+        assert_eq!(dt.secure_nodes().count(), 2);
+    }
+
+    #[test]
+    fn overlapping_mmio_rejected() {
+        let err =
+            DeviceTree::validate(vec![node(1, 0x1000, 10), node(2, 0x1800, 11)]).unwrap_err();
+        assert!(matches!(err, DtValidationError::OverlappingMmio(..)));
+    }
+
+    #[test]
+    fn duplicate_irq_rejected() {
+        let err =
+            DeviceTree::validate(vec![node(1, 0x1000, 10), node(2, 0x3000, 10)]).unwrap_err();
+        assert!(matches!(err, DtValidationError::DuplicateIrq(_, _, 10)));
+    }
+
+    #[test]
+    fn duplicate_device_rejected() {
+        let err =
+            DeviceTree::validate(vec![node(1, 0x1000, 10), node(1, 0x3000, 11)]).unwrap_err();
+        assert!(matches!(err, DtValidationError::DuplicateDevice(_)));
+    }
+
+    #[test]
+    fn empty_mmio_rejected() {
+        let mut n = node(1, 0x1000, 10);
+        n.mmio = PhysRange::from_base_len(PhysAddr::new(0x1000), 0);
+        let err = DeviceTree::validate(vec![n]).unwrap_err();
+        assert!(matches!(err, DtValidationError::EmptyMmio(_)));
+    }
+
+    #[test]
+    fn canonical_bytes_stable_and_distinguishing() {
+        let a = DeviceTree::validate(vec![node(1, 0x1000, 10)]).unwrap();
+        let b = DeviceTree::validate(vec![node(1, 0x1000, 10)]).unwrap();
+        let c = DeviceTree::validate(vec![node(1, 0x1000, 11)]).unwrap();
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        assert_ne!(a.canonical_bytes(), c.canonical_bytes());
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_prose() {
+        let err = DtValidationError::DuplicateIrq(DeviceId::new(1), DeviceId::new(2), 4);
+        let msg = err.to_string();
+        assert!(msg.contains("irq 4"));
+        assert_eq!(msg, msg.to_lowercase());
+    }
+}

@@ -1,0 +1,131 @@
+//! Architectural faults raised by the simulated machine.
+//!
+//! CRONUS's proceed-trap failover protocol (§IV-D of the paper) is defined in
+//! terms of the faults that invalidated stage-2 / SMMU entries generate. The
+//! simulator therefore surfaces every blocked access as a typed [`Fault`]
+//! value instead of silently succeeding or panicking.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::addr::{PhysAddr, VirtAddr};
+use crate::machine::AsId;
+use crate::mem::World;
+use crate::smmu::StreamId;
+use crate::tzpc::DeviceId;
+
+/// A fault raised by one of the simulated translation/filter stages.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Fault {
+    /// A stage-1 lookup found no valid mapping for the virtual address.
+    Stage1Unmapped { asid: AsId, va: VirtAddr },
+    /// A stage-1 mapping exists but forbids the attempted access.
+    Stage1Permission { asid: AsId, va: VirtAddr },
+    /// The stage-2 table of the owning partition has no (or an invalidated)
+    /// entry for the physical page. This is the trap the proceed-trap
+    /// protocol relies on after a peer partition fails.
+    Stage2Unmapped { asid: AsId, pa: PhysAddr },
+    /// A stage-2 entry exists but forbids the attempted access.
+    Stage2Permission { asid: AsId, pa: PhysAddr },
+    /// The TZASC filtered a normal-world access to secure memory.
+    TzascDenied { world: World, pa: PhysAddr },
+    /// A DMA access was blocked by the device's SMMU table.
+    SmmuDenied { stream: StreamId, pa: PhysAddr },
+    /// The TZPC blocked a normal-world access to a secure device.
+    TzpcDenied { world: World, device: DeviceId },
+    /// The physical address does not exist in the machine (beyond DRAM and
+    /// not claimed by any MMIO region).
+    BusAbort { pa: PhysAddr },
+    /// The target partition has been marked failed by the secure monitor;
+    /// new memory-sharing requests and accesses are blocked.
+    PartitionFailed { asid: AsId },
+}
+
+impl Fault {
+    /// Returns true if the fault comes from a stage-2 (partition isolation)
+    /// check, i.e. the kind of fault the proceed-trap handler consumes.
+    pub fn is_stage2(&self) -> bool {
+        matches!(
+            self,
+            Fault::Stage2Unmapped { .. } | Fault::Stage2Permission { .. }
+        )
+    }
+
+    /// Returns true if the fault was raised by a world-isolation filter
+    /// (TZASC or TZPC).
+    pub fn is_world_filter(&self) -> bool {
+        matches!(self, Fault::TzascDenied { .. } | Fault::TzpcDenied { .. })
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Stage1Unmapped { asid, va } => {
+                write!(f, "stage-1 translation fault in {asid:?} at {va}")
+            }
+            Fault::Stage1Permission { asid, va } => {
+                write!(f, "stage-1 permission fault in {asid:?} at {va}")
+            }
+            Fault::Stage2Unmapped { asid, pa } => {
+                write!(f, "stage-2 translation fault for {asid:?} at {pa}")
+            }
+            Fault::Stage2Permission { asid, pa } => {
+                write!(f, "stage-2 permission fault for {asid:?} at {pa}")
+            }
+            Fault::TzascDenied { world, pa } => {
+                write!(f, "tzasc filtered {world:?}-world access to {pa}")
+            }
+            Fault::SmmuDenied { stream, pa } => {
+                write!(f, "smmu blocked dma from {stream:?} to {pa}")
+            }
+            Fault::TzpcDenied { world, device } => {
+                write!(f, "tzpc blocked {world:?}-world access to {device:?}")
+            }
+            Fault::BusAbort { pa } => write!(f, "bus abort at {pa}"),
+            Fault::PartitionFailed { asid } => {
+                write!(f, "partition {asid:?} is marked failed")
+            }
+        }
+    }
+}
+
+impl Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_helpers() {
+        let s2 = Fault::Stage2Unmapped {
+            asid: AsId::new(1),
+            pa: PhysAddr::new(0x1000),
+        };
+        assert!(s2.is_stage2());
+        assert!(!s2.is_world_filter());
+
+        let tz = Fault::TzascDenied {
+            world: World::Normal,
+            pa: PhysAddr::new(0x2000),
+        };
+        assert!(tz.is_world_filter());
+        assert!(!tz.is_stage2());
+    }
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let f = Fault::BusAbort {
+            pa: PhysAddr::new(0xdead_0000),
+        };
+        let msg = f.to_string();
+        assert!(!msg.is_empty());
+        assert_eq!(msg, msg.to_lowercase());
+    }
+
+    #[test]
+    fn fault_is_std_error() {
+        fn takes_error<E: Error>(_: E) {}
+        takes_error(Fault::PartitionFailed { asid: AsId::new(3) });
+    }
+}

@@ -1,0 +1,164 @@
+//! Event trace of architecturally visible actions.
+//!
+//! Tests and figure harnesses assert on this log: e.g. "an sRPC-based run
+//! performs no per-call context switches" or "failover invalidated every
+//! shared stage-2 entry before any clear".
+
+use std::fmt;
+
+use crate::clock::SimNs;
+use crate::fault::Fault;
+use crate::machine::AsId;
+
+/// What happened.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// Normal <-> secure world switch.
+    WorldSwitch,
+    /// S-EL2 partition context switch.
+    ContextSwitch { from: AsId, to: AsId },
+    /// An sRPC request was enqueued into a trusted shared ring.
+    RpcEnqueue { stream: u64 },
+    /// An sRPC request was dequeued and dispatched.
+    RpcDispatch { stream: u64 },
+    /// A synchronization point merged two actor clocks.
+    RpcSync { stream: u64 },
+    /// An encrypted RPC message crossed untrusted memory (HIX baseline).
+    EncryptedRpc { bytes: u64 },
+    /// A memory/DMA access faulted.
+    Faulted(Fault),
+    /// The secure monitor marked a partition failed.
+    PartitionFailed { partition: AsId },
+    /// A failed partition finished clearing (device + smem zeroed).
+    PartitionCleared { partition: AsId },
+    /// A partition's mOS finished restarting.
+    PartitionRecovered { partition: AsId },
+    /// Pages were shared between two partitions.
+    MemoryShared { from: AsId, to: AsId, pages: usize },
+    /// A trap handler delivered a failure signal to an mEnclave.
+    FailureSignal { partition: AsId },
+    /// A device raised (and the HAL serviced) completion interrupts.
+    DeviceIrq {
+        /// Interrupts serviced in this batch.
+        count: u32,
+    },
+    /// Free-form marker for experiment phases.
+    Marker(&'static str),
+}
+
+/// A timestamped event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Simulated instant at which the event occurred.
+    pub at: SimNs,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {:?}", self.at, self.kind)
+    }
+}
+
+/// An append-only event log.
+#[derive(Clone, Debug, Default)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Appends an event.
+    pub fn record(&mut self, at: SimNs, kind: EventKind) {
+        self.events.push(Event { at, kind });
+    }
+
+    /// All events in order of recording.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events satisfying `pred`.
+    pub fn count<F: Fn(&EventKind) -> bool>(&self, pred: F) -> usize {
+        self.events.iter().filter(|e| pred(&e.kind)).count()
+    }
+
+    /// Number of recorded context switches.
+    pub fn context_switches(&self) -> usize {
+        self.count(|k| matches!(k, EventKind::ContextSwitch { .. }))
+    }
+
+    /// Number of recorded world switches.
+    pub fn world_switches(&self) -> usize {
+        self.count(|k| matches!(k, EventKind::WorldSwitch))
+    }
+
+    /// Number of recorded faults.
+    pub fn faults(&self) -> usize {
+        self.count(|k| matches!(k, EventKind::Faulted(_)))
+    }
+
+    /// First event satisfying `pred`, if any.
+    pub fn find<F: Fn(&EventKind) -> bool>(&self, pred: F) -> Option<&Event> {
+        self.events.iter().find(|e| pred(&e.kind))
+    }
+
+    /// Clears the log (between experiment phases).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Total number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns true when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut log = EventLog::new();
+        assert!(log.is_empty());
+        log.record(SimNs::from_nanos(1), EventKind::WorldSwitch);
+        log.record(
+            SimNs::from_nanos(2),
+            EventKind::ContextSwitch { from: AsId::new(0), to: AsId::new(1) },
+        );
+        log.record(SimNs::from_nanos(3), EventKind::RpcEnqueue { stream: 7 });
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.world_switches(), 1);
+        assert_eq!(log.context_switches(), 1);
+        assert_eq!(log.faults(), 0);
+        let e = log
+            .find(|k| matches!(k, EventKind::RpcEnqueue { stream: 7 }))
+            .unwrap();
+        assert_eq!(e.at, SimNs::from_nanos(3));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut log = EventLog::new();
+        log.record(SimNs::ZERO, EventKind::Marker("phase-1"));
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn display_includes_time() {
+        let e = Event { at: SimNs::from_micros(3), kind: EventKind::WorldSwitch };
+        assert!(e.to_string().contains("3.000us"));
+    }
+}

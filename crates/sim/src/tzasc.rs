@@ -1,0 +1,122 @@
+//! TrustZone Address Space Controller (TZASC) model.
+//!
+//! The TZASC (a TZC-400 in the paper's QEMU prototype) sits between the
+//! interconnect and DRAM and filters normal-world accesses to regions
+//! configured as secure. We model it as an ordered list of secure regions;
+//! anything outside them is normal-world memory.
+
+use crate::addr::{PhysAddr, PhysRange};
+use crate::fault::Fault;
+use crate::mem::World;
+
+/// A simulated TZC-400-style address space controller.
+///
+/// ```
+/// use cronus_sim::addr::{PhysAddr, PhysRange};
+/// use cronus_sim::{Tzasc, World};
+///
+/// let secure = PhysRange::from_base_len(PhysAddr::new(0x9000_0000), 0x1000);
+/// let tzasc = Tzasc::new(secure);
+/// assert!(tzasc.check(World::Normal, PhysAddr::new(0x9000_0000)).is_err());
+/// assert!(tzasc.check(World::Normal, PhysAddr::new(0x8000_0000)).is_ok());
+/// assert!(tzasc.check(World::Secure, PhysAddr::new(0x9000_0000)).is_ok());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Tzasc {
+    secure_regions: Vec<PhysRange>,
+}
+
+impl Tzasc {
+    /// Creates a TZASC with a single secure region.
+    pub fn new(secure: PhysRange) -> Self {
+        Tzasc {
+            secure_regions: vec![secure],
+        }
+    }
+
+    /// Creates a TZASC with no secure regions (everything normal-world).
+    pub fn empty() -> Self {
+        Tzasc::default()
+    }
+
+    /// Marks an additional region as secure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region overlaps an existing secure region; the boot code
+    /// configures disjoint regions and an overlap indicates a configuration
+    /// bug.
+    pub fn add_secure_region(&mut self, region: PhysRange) {
+        assert!(
+            !self.secure_regions.iter().any(|r| r.overlaps(region)),
+            "overlapping secure region {region}"
+        );
+        self.secure_regions.push(region);
+    }
+
+    /// Returns the world attribute of a physical address.
+    pub fn world_of(&self, pa: PhysAddr) -> World {
+        if self.secure_regions.iter().any(|r| r.contains(pa)) {
+            World::Secure
+        } else {
+            World::Normal
+        }
+    }
+
+    /// Checks whether `world` may access `pa`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::TzascDenied`] when the normal world touches a secure
+    /// region. The secure world is never filtered.
+    pub fn check(&self, world: World, pa: PhysAddr) -> Result<(), Fault> {
+        if world.may_access(self.world_of(pa)) {
+            Ok(())
+        } else {
+            Err(Fault::TzascDenied { world, pa })
+        }
+    }
+
+    /// The configured secure regions (for attestation/config dumps).
+    pub fn secure_regions(&self) -> &[PhysRange] {
+        &self.secure_regions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tzasc_filters_nothing() {
+        let tzasc = Tzasc::empty();
+        assert!(tzasc.check(World::Normal, PhysAddr::new(0)).is_ok());
+        assert_eq!(tzasc.world_of(PhysAddr::new(u64::MAX)), World::Normal);
+    }
+
+    #[test]
+    fn multiple_disjoint_regions() {
+        let mut tzasc = Tzasc::new(PhysRange::from_base_len(PhysAddr::new(0x1000), 0x1000));
+        tzasc.add_secure_region(PhysRange::from_base_len(PhysAddr::new(0x4000), 0x1000));
+        assert_eq!(tzasc.world_of(PhysAddr::new(0x1000)), World::Secure);
+        assert_eq!(tzasc.world_of(PhysAddr::new(0x2000)), World::Normal);
+        assert_eq!(tzasc.world_of(PhysAddr::new(0x4fff)), World::Secure);
+        assert_eq!(tzasc.secure_regions().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping secure region")]
+    fn overlapping_region_panics() {
+        let mut tzasc = Tzasc::new(PhysRange::from_base_len(PhysAddr::new(0x1000), 0x1000));
+        tzasc.add_secure_region(PhysRange::from_base_len(PhysAddr::new(0x1800), 0x1000));
+    }
+
+    #[test]
+    fn boundary_addresses() {
+        let tzasc = Tzasc::new(PhysRange::from_base_len(PhysAddr::new(0x1000), 0x1000));
+        assert!(tzasc.check(World::Normal, PhysAddr::new(0xfff)).is_ok());
+        assert!(tzasc.check(World::Normal, PhysAddr::new(0x1000)).is_err());
+        assert!(tzasc.check(World::Normal, PhysAddr::new(0x1fff)).is_err());
+        assert!(tzasc.check(World::Normal, PhysAddr::new(0x2000)).is_ok());
+    }
+}

@@ -1,0 +1,28 @@
+//! # cronus-spm — the Secure Partition Manager and secure monitor
+//!
+//! The SPM "runs as the hypervisor in the secure world and isolates physical
+//! resources (e.g., memory and devices) into different partitions" (§II-A).
+//! This crate provides:
+//!
+//! * [`monitor::SecureMonitor`] — the EL3 root of trust: holds the platform
+//!   key `(PubK, PvK)`, derives the attestation key `AtK` and the local seal
+//!   key `LSK`, and signs attestation reports (§IV-A);
+//! * [`attest`] — remote and local attestation report structures and their
+//!   client-side verification, including device-tree and accelerator
+//!   authenticity checks;
+//! * [`spm::Spm`] — partition lifecycle (boot, per-partition mOS + device),
+//!   trusted shared memory between partitions (Figure 6), failure detection,
+//!   and the **proceed-trap** failover protocol of §IV-D: invalidate all
+//!   peers' stage-2/SMMU entries, mark the partition failed, clear device
+//!   and shared memory, reload the mOS, and convert subsequent accesses into
+//!   failure signals.
+
+pub mod attest;
+pub mod monitor;
+pub mod spm;
+
+pub use attest::{
+    AttestationError, AttestationReport, ClientVerifier, LocalAttestation, SignedReport,
+};
+pub use monitor::SecureMonitor;
+pub use spm::{BootConfig, PartitionSpec, RecoveryStats, ShareHandle, Spm, SpmError};

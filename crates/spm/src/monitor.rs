@@ -1,0 +1,114 @@
+//! The secure monitor (EL3).
+//!
+//! "CRONUS adopts the same root of trust (a secret key (PubK, PvK)) for the
+//! platform ... CRONUS's secure monitor proves the ownership of the root key
+//! for generating an attestation key (AtK)" (§IV-A). Local attestation uses
+//! "a local seal key LSK in SM".
+
+use cronus_crypto::{Digest, KeyPair, PublicKey, Signature};
+
+/// The secure monitor's key material and signing services.
+pub struct SecureMonitor {
+    platform: KeyPair,
+    atk: KeyPair,
+    lsk: KeyPair,
+}
+
+impl std::fmt::Debug for SecureMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecureMonitor")
+            .field("platform_public", &self.platform.public())
+            .field("atk_public", &self.atk.public())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SecureMonitor {
+    /// Boots the monitor with the platform root key derived from
+    /// `platform_seed` (standing in for the fused ROM secret).
+    pub fn new(platform_seed: &str) -> Self {
+        let platform = KeyPair::from_seed(platform_seed);
+        let atk = platform.derive("attestation-key");
+        let lsk = platform.derive("local-seal-key");
+        SecureMonitor { platform, atk, lsk }
+    }
+
+    /// The platform public key (`PubK`), known to the attestation service.
+    pub fn platform_public(&self) -> PublicKey {
+        self.platform.public()
+    }
+
+    /// The attestation public key (`AtK`'s public half) sent to clients.
+    pub fn atk_public(&self) -> PublicKey {
+        self.atk.public()
+    }
+
+    /// The platform's endorsement of `AtK` — clients "verify that AtK is
+    /// endorsed by the attestation service".
+    pub fn atk_endorsement(&self) -> Signature {
+        self.platform.sign(&self.atk.public().0.to_le_bytes())
+    }
+
+    /// Signs a remote attestation report digest with `AtK`.
+    pub fn sign_report(&self, report_digest: &Digest) -> Signature {
+        self.atk.sign_digest(report_digest)
+    }
+
+    /// Seals a *local* measurement report with `LSK` (never leaves the
+    /// machine; co-located enclaves verify via [`SecureMonitor::verify_local`]).
+    pub fn seal_local(&self, report_digest: &Digest) -> Signature {
+        self.lsk.sign_digest(report_digest)
+    }
+
+    /// Verifies a local seal. Only the SPM on the same machine can do this,
+    /// which is exactly the co-location proof local attestation needs.
+    pub fn verify_local(&self, report_digest: &Digest, sig: &Signature) -> bool {
+        self.lsk.public().verify_digest(report_digest, sig).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cronus_crypto::sha256;
+
+    #[test]
+    fn atk_is_endorsed_by_platform() {
+        let sm = SecureMonitor::new("platform-root");
+        let endorsement = sm.atk_endorsement();
+        assert!(sm
+            .platform_public()
+            .verify(&sm.atk_public().0.to_le_bytes(), &endorsement)
+            .is_ok());
+    }
+
+    #[test]
+    fn report_signatures_verify_under_atk() {
+        let sm = SecureMonitor::new("platform-root");
+        let digest = sha256(b"report");
+        let sig = sm.sign_report(&digest);
+        assert!(sm.atk_public().verify_digest(&digest, &sig).is_ok());
+        // And not under the platform key.
+        assert!(sm.platform_public().verify_digest(&digest, &sig).is_err());
+    }
+
+    #[test]
+    fn local_seal_round_trip() {
+        let sm = SecureMonitor::new("platform-root");
+        let digest = sha256(b"local measurement");
+        let sig = sm.seal_local(&digest);
+        assert!(sm.verify_local(&digest, &sig));
+        assert!(!sm.verify_local(&sha256(b"other"), &sig));
+        // A different machine's monitor cannot forge local seals.
+        let other = SecureMonitor::new("other-machine");
+        assert!(!other.verify_local(&digest, &sig));
+    }
+
+    #[test]
+    fn different_seeds_are_different_platforms() {
+        let a = SecureMonitor::new("a");
+        let b = SecureMonitor::new("b");
+        assert_ne!(a.platform_public(), b.platform_public());
+        assert_ne!(a.atk_public(), b.atk_public());
+    }
+}

@@ -1,0 +1,90 @@
+//! Synthetic datasets standing in for MNIST, CIFAR-10 and ImageNet.
+//!
+//! The paper trains on the real datasets; reproducing system behaviour only
+//! needs batches with the right *shape and volume*, so each dataset here
+//! generates deterministic pseudo-random samples with the correct
+//! dimensions and an honest byte count per batch (this is what sizes the
+//! host→device transfers in Fig. 8).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dataset description plus a deterministic sample generator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dataset {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Channels.
+    pub channels: usize,
+    /// Spatial size (square).
+    pub hw: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Nominal training-set size (drives epoch accounting).
+    pub train_size: usize,
+}
+
+impl Dataset {
+    /// MNIST: 60k 28x28 grayscale digits.
+    pub fn mnist() -> Self {
+        Dataset { name: "mnist", channels: 1, hw: 28, classes: 10, train_size: 60_000 }
+    }
+
+    /// CIFAR-10: 50k 32x32 RGB images.
+    pub fn cifar10() -> Self {
+        Dataset { name: "cifar-10", channels: 3, hw: 32, classes: 10, train_size: 50_000 }
+    }
+
+    /// ImageNet (ILSVRC-2012): 1.28M 224x224 RGB images.
+    pub fn imagenet() -> Self {
+        Dataset { name: "imagenet", channels: 3, hw: 224, classes: 1000, train_size: 1_281_167 }
+    }
+
+    /// Elements per sample.
+    pub fn sample_elems(&self) -> usize {
+        self.channels * self.hw * self.hw
+    }
+
+    /// Bytes per f32 batch.
+    pub fn batch_bytes(&self, batch: usize) -> u64 {
+        (batch * self.sample_elems() * 4) as u64
+    }
+
+    /// Generates a deterministic batch (inputs flattened) plus labels.
+    pub fn synthetic_batch(&self, seed: u64, batch: usize) -> (Vec<f32>, Vec<u32>) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0DA7_A5E7);
+        let inputs = (0..batch * self.sample_elems())
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
+        let labels = (0..batch)
+            .map(|_| rng.gen_range(0..self.classes as u32))
+            .collect();
+        (inputs, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_the_real_datasets() {
+        assert_eq!(Dataset::mnist().sample_elems(), 784);
+        assert_eq!(Dataset::cifar10().sample_elems(), 3072);
+        assert_eq!(Dataset::imagenet().sample_elems(), 150_528);
+        assert_eq!(Dataset::cifar10().batch_bytes(64), 64 * 3072 * 4);
+    }
+
+    #[test]
+    fn batches_are_deterministic_per_seed() {
+        let d = Dataset::mnist();
+        let (a, la) = d.synthetic_batch(7, 4);
+        let (b, lb) = d.synthetic_batch(7, 4);
+        let (c, _) = d.synthetic_batch(8, 4);
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 4 * 784);
+        assert!(la.iter().all(|l| *l < 10));
+    }
+}

@@ -1,0 +1,19 @@
+//! Miniature DNN framework for the training/inference experiments.
+//!
+//! The paper trains LeNet, ResNet-50, VGG-16 and DenseNet with PyTorch on
+//! the GPU (Fig. 8, Fig. 11) and runs TVM-compiled inference on the NPU
+//! (Fig. 10b). This module provides the equivalent: layer descriptions with
+//! exact FLOP accounting ([`layers`]), model constructors matching the
+//! paper's networks ([`models`]), synthetic stand-ins for MNIST/CIFAR-10/
+//! ImageNet ([`data`]), and a training loop ([`train()`]) that drives any
+//! [`crate::backend::GpuBackend`].
+
+pub mod data;
+pub mod layers;
+pub mod models;
+pub mod train;
+
+pub use data::Dataset;
+pub use layers::Layer;
+pub use models::Model;
+pub use train::{train, TrainConfig, TrainMode, TrainReport};

@@ -1,0 +1,97 @@
+//! # cronus-workloads — the paper's evaluation workloads
+//!
+//! Everything §VI of the paper runs, rebuilt over the simulated stack:
+//!
+//! * [`rodinia`] — the ten-program GPU microbenchmark suite of Fig. 7, each
+//!   a faithful scaled-down implementation with CPU-verified results;
+//! * [`vta_bench`] — the NPU microbenchmark of Fig. 10a (GEMM/ALU
+//!   throughput programs over the VTA ISA);
+//! * [`dnn`] — a miniature DNN framework (layers, models, synthetic
+//!   datasets, a training loop) driving the GPU backend: LeNet, ResNet-50,
+//!   VGG-16 and DenseNet for Fig. 8 and Fig. 11;
+//! * [`inference`] — TVM-style quantized inference on the NPU for Fig. 10b;
+//! * [`backend`] — the [`backend::GpuBackend`] seam that lets the same
+//!   workloads run on CRONUS and on every baseline system.
+
+pub mod backend;
+pub mod dnn;
+pub mod inference;
+pub mod kernels;
+pub mod rodinia;
+pub mod vta_bench;
+
+pub use backend::{Arg, BackendError, CronusGpuBackend, GpuBackend};
+
+/// Test/benchmark fixtures shared across the workspace.
+pub mod testutil {
+    use std::collections::BTreeMap;
+
+    use cronus_core::{Actor, CronusSystem, EnclaveRef};
+    use cronus_devices::DeviceKind;
+    use cronus_mos::manifest::Manifest;
+    use cronus_runtime::{CudaContext, CudaOptions, VtaContext, VtaOptions};
+    use cronus_spm::spm::{BootConfig, DeviceSpec, PartitionSpec};
+
+    use crate::backend::CronusGpuBackend;
+
+    /// Boots a CPU + GPU system and creates the driving CPU mEnclave.
+    pub fn cronus_gpu_system() -> (CronusSystem, EnclaveRef) {
+        let mut sys = CronusSystem::boot(BootConfig {
+            partitions: vec![
+                PartitionSpec::new(1, b"cpu-mos", "v1", DeviceSpec::Cpu),
+                PartitionSpec::new(
+                    2,
+                    b"cuda-mos",
+                    "v3",
+                    DeviceSpec::Gpu { memory: 1 << 28, sms: 46 },
+                ),
+            ],
+            ..Default::default()
+        });
+        let app = sys.create_app();
+        let cpu = sys
+            .create_enclave(
+                Actor::App(app),
+                Manifest::new(DeviceKind::Cpu).with_memory(1 << 20),
+                &BTreeMap::new(),
+            )
+            .expect("cpu enclave");
+        (sys, cpu)
+    }
+
+    /// Boots a CPU + NPU system and creates the driving CPU mEnclave.
+    pub fn cronus_npu_system() -> (CronusSystem, EnclaveRef) {
+        let mut sys = CronusSystem::boot(BootConfig {
+            partitions: vec![
+                PartitionSpec::new(1, b"cpu-mos", "v1", DeviceSpec::Cpu),
+                PartitionSpec::new(3, b"npu-mos", "v1", DeviceSpec::Npu { memory: 1 << 26 }),
+            ],
+            ..Default::default()
+        });
+        let app = sys.create_app();
+        let cpu = sys
+            .create_enclave(
+                Actor::App(app),
+                Manifest::new(DeviceKind::Cpu).with_memory(1 << 20),
+                &BTreeMap::new(),
+            )
+            .expect("cpu enclave");
+        (sys, cpu)
+    }
+
+    /// Runs `f` with a fresh CRONUS GPU backend (standard kernels loaded).
+    pub fn cronus_backend_fixture<F: FnOnce(&mut CronusGpuBackend<'_>)>(f: F) {
+        let (mut sys, cpu) = cronus_gpu_system();
+        let cuda = CudaContext::new(&mut sys, cpu, CudaOptions::default()).expect("cuda ctx");
+        let mut backend = CronusGpuBackend::new(&mut sys, cuda);
+        crate::kernels::register_standard_kernels(&mut backend).expect("kernels");
+        f(&mut backend);
+    }
+
+    /// Creates a VTA context on a fresh NPU system.
+    pub fn cronus_vta_fixture() -> (CronusSystem, VtaContext) {
+        let (mut sys, cpu) = cronus_npu_system();
+        let vta = VtaContext::new(&mut sys, cpu, VtaOptions::default()).expect("vta ctx");
+        (sys, vta)
+    }
+}

@@ -1,0 +1,25 @@
+//! Spatial sharing (R2, Fig. 11a): several mEnclaves time-share one GPU's
+//! SMs concurrently instead of queueing for dedicated access.
+//!
+//! ```text
+//! cargo run --example spatial_sharing
+//! ```
+
+use cronus::bench::experiments::fig11;
+
+fn main() {
+    println!("training LeNet with k mEnclaves spatially sharing one GPU...\n");
+    let points = fig11::run_11a(&[1, 2, 4]);
+    print!("{}", fig11::print_11a(&points));
+
+    let base = points[0].throughput;
+    let best = points
+        .iter()
+        .map(|p| p.throughput)
+        .fold(0.0f64, f64::max);
+    println!(
+        "\npeak gain from spatial sharing: +{:.1}% (paper reports up to +63.4%)",
+        (best / base - 1.0) * 100.0
+    );
+    println!("spatial_sharing OK");
+}

@@ -1,0 +1,118 @@
+//! Paper-claim shape tests: the quantitative statements of §I and §VI,
+//! asserted against the reproduction with tolerant bands. These are the
+//! repository's "does it reproduce the paper" gate.
+
+use cronus::bench::experiments::{fig10, fig11, fig7, fig8, fig9, rpc_micro};
+use cronus::sim::SimNs;
+
+/// R1: "CRONUS incurs less than 7.1% extra computation time on diverse
+/// workloads computed on CPU, GPU and NPU."
+#[test]
+fn r1_low_overhead_on_general_accelerators() {
+    // GPU (Rodinia suite average).
+    let rows = fig7::run(2);
+    let avg: f64 =
+        rows.iter().map(fig7::Fig7Row::cronus_normalized).sum::<f64>() / rows.len() as f64;
+    assert!(avg < 1.071, "GPU suite average overhead {:.1}%", (avg - 1.0) * 100.0);
+
+    // NPU (vta-bench).
+    let npu = fig10::run_10a(2);
+    let ratio = npu[0].cronus_gops / npu[0].native_gops;
+    assert!(ratio > 0.9, "NPU throughput ratio {ratio:.3}");
+
+    // DNN training end to end.
+    for row in fig8::run() {
+        assert!(
+            row.cronus_overhead() < 0.15,
+            "{}: training overhead {:.1}%",
+            row.model,
+            row.cronus_overhead() * 100.0
+        );
+    }
+}
+
+/// R2: "an accelerator spatially shared by multiple mEnclaves has an up to
+/// 63.4% higher throughput" — we assert a gain of at least 30% at two
+/// tenants and saturation by four.
+#[test]
+fn r2_spatial_sharing_gains() {
+    let points = fig11::run_11a(&[1, 2, 4]);
+    let gain2 = points[1].throughput / points[0].throughput;
+    let gain4 = points[2].throughput / points[0].throughput;
+    assert!(gain2 > 1.3, "two tenants gain {gain2:.2}x");
+    assert!(gain2 < 2.0, "two tenants cannot be superlinear: {gain2:.2}x");
+    assert!(gain4 < gain2 * 1.5, "four tenants saturate: {gain4:.2}x vs {gain2:.2}x");
+}
+
+/// R3.1: "CRONUS recovers from an accelerator failure by restarting only
+/// the fault-inducing accelerator's mOS (in hundreds of milliseconds),
+/// instead of rebooting the whole machine (in minutes)."
+#[test]
+fn r3_1_fault_isolated_recovery() {
+    let data = fig9::run();
+    assert!(data.recovery.total() >= SimNs::from_millis(100), "hundreds of ms");
+    assert!(data.recovery.total() < SimNs::from_secs(1), "not seconds");
+    assert!(data.reboot_time >= SimNs::from_secs(60), "reboot is minutes");
+    // The healthy task's throughput is untouched by the crash.
+    let full = data.cronus[0].task_a;
+    assert!(data.cronus.iter().all(|p| p.task_a == full));
+}
+
+/// §VI-B: "CRONUS is also faster than HIX-TrustZone ... because of
+/// HIX-TrustZone's expensive RPC protocol and more frequent RPCs."
+#[test]
+fn cronus_beats_hix_on_every_gpu_workload() {
+    for row in fig7::run(2) {
+        assert!(
+            row.hix >= row.cronus,
+            "{}: HIX {} must not beat CRONUS {}",
+            row.workload,
+            row.hix,
+            row.cronus
+        );
+    }
+}
+
+/// §IV-C: sRPC avoids per-call context switches entirely, unlike the
+/// synchronous approach's 4-in/4-out.
+#[test]
+fn srpc_eliminates_context_switches() {
+    let costs = rpc_micro::run(300);
+    let srpc = &costs[0];
+    assert_eq!(srpc.context_switches_per_call, 0.0);
+    assert!(srpc.per_call < SimNs::from_micros(10));
+    let sync = &costs[1];
+    assert_eq!(sync.context_switches_per_call, 8.0);
+    assert!(sync.per_call > srpc.per_call * 5);
+}
+
+/// Fig. 10b ordering: ResNet-18 < ResNet-50 < YOLOv3, and the NPU beats
+/// scalar CPU inference on every model.
+#[test]
+fn inference_latency_ordering() {
+    let rows = fig10::run_10b();
+    assert!(rows[0].npu < rows[1].npu);
+    assert!(rows[1].npu < rows[2].npu);
+    for r in &rows {
+        assert!(r.npu < r.cpu, "{}", r.model);
+    }
+}
+
+/// Fig. 11b: PCIe P2P through trusted shared device memory beats staging
+/// through secure memory, which beats encrypted memory.
+#[test]
+fn multi_gpu_exchange_ordering() {
+    use fig11::ExchangePath;
+    let points = fig11::run_11b(&[2, 4]);
+    for k in [2usize, 4] {
+        let of = |path: ExchangePath| {
+            points
+                .iter()
+                .find(|p| p.gpus == k && p.path == path)
+                .expect("point")
+                .throughput
+        };
+        assert!(of(ExchangePath::PciP2p) > of(ExchangePath::SecureMemory));
+        assert!(of(ExchangePath::SecureMemory) > of(ExchangePath::EncryptedMemory));
+    }
+}
