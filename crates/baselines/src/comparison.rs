@@ -48,9 +48,14 @@ pub struct SystemRow {
 impl SystemRow {
     /// True if every requirement is met.
     pub fn meets_all(&self) -> bool {
-        [self.r1_general, self.r2_spatial, self.r3_1_fault, self.r3_2_security]
-            .iter()
-            .all(|s| *s == Support::Yes)
+        [
+            self.r1_general,
+            self.r2_spatial,
+            self.r3_1_fault,
+            self.r3_2_security,
+        ]
+        .iter()
+        .all(|s| *s == Support::Yes)
     }
 }
 

@@ -14,8 +14,8 @@
 //! for each hardware control message" and its RPCs are synchronous and
 //! encrypted over untrusted memory.
 
-use cronus_devices::gpu::{GpuDevice, GpuKernelDesc, KernelArg, KernelFn};
 use cronus_devices::gpu::GpuContextId;
+use cronus_devices::gpu::{GpuDevice, GpuKernelDesc, KernelArg, KernelFn};
 use cronus_sim::tzpc::DeviceId;
 use cronus_sim::{CostModel, SimClock, SimNs, StreamId};
 use cronus_workloads::backend::{Arg, BackendError, GpuBackend};
@@ -76,7 +76,9 @@ impl DirectBackend {
     /// Creates a backend over a fresh GTX 2080-class device.
     pub fn new(protection: Protection, cost: CostModel) -> Self {
         let mut device = GpuDevice::new(DeviceId::new(1), StreamId::new(1), 8 << 30, 46);
-        let ctx = device.create_context(1 << 30).expect("fresh device has room");
+        let ctx = device
+            .create_context(1 << 30)
+            .expect("fresh device has room");
         DirectBackend {
             protection,
             cost,
@@ -155,7 +157,12 @@ impl GpuBackend for DirectBackend {
         self.caller.advance(self.call_overhead(64, 1));
         self.caller.advance(self.data_cost(data.len() as u64));
         self.device
-            .write_buffer(self.ctx, cronus_devices::gpu::GpuBuffer::from_raw(dst), 0, data)
+            .write_buffer(
+                self.ctx,
+                cronus_devices::gpu::GpuBuffer::from_raw(dst),
+                0,
+                data,
+            )
             .map_err(Self::gpu_err)?;
         self.device_clock.advance_to(self.caller.now());
         Ok(())
@@ -168,7 +175,12 @@ impl GpuBackend for DirectBackend {
         self.caller.advance(self.data_cost(len));
         let mut out = vec![0u8; len as usize];
         self.device
-            .read_buffer(self.ctx, cronus_devices::gpu::GpuBuffer::from_raw(src), 0, &mut out)
+            .read_buffer(
+                self.ctx,
+                cronus_devices::gpu::GpuBuffer::from_raw(src),
+                0,
+                &mut out,
+            )
             .map_err(Self::gpu_err)?;
         Ok(out)
     }
@@ -272,7 +284,15 @@ mod tests {
         let t0 = backend.elapsed();
         for _ in 0..20 {
             backend
-                .launch("noop", &[], GpuKernelDesc { flops: 1e8, mem_bytes: 0.0, sm_demand: 46 })
+                .launch(
+                    "noop",
+                    &[],
+                    GpuKernelDesc {
+                        flops: 1e8,
+                        mem_bytes: 0.0,
+                        sm_demand: 46,
+                    },
+                )
                 .unwrap();
         }
         let streamed = backend.elapsed() - t0;

@@ -1,7 +1,8 @@
-//! Criterion benches for the substrate crates: crypto primitives and the
+//! Wall-clock benches for the substrate crates: crypto primitives and the
 //! simulated machine's checked memory path.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cronus_bench::harness::{Criterion, Throughput};
+use cronus_bench::{criterion_group, criterion_main};
 
 use cronus_crypto::{hmac_sha256, sha256, KeyPair, StreamCipher};
 use cronus_sim::machine::AsId;
@@ -14,7 +15,9 @@ fn bench_crypto(c: &mut Criterion) {
 
     group.throughput(Throughput::Bytes(4096));
     group.bench_function("sha256_4k", |b| b.iter(|| sha256(&data_4k)));
-    group.bench_function("hmac_sha256_4k", |b| b.iter(|| hmac_sha256(b"key", &data_4k)));
+    group.bench_function("hmac_sha256_4k", |b| {
+        b.iter(|| hmac_sha256(b"key", &data_4k))
+    });
 
     let cipher = StreamCipher::new([9u8; 32]);
     group.bench_function("seal_open_4k", |b| {
@@ -47,10 +50,18 @@ fn bench_machine(c: &mut Criterion) {
 
     group.throughput(Throughput::Bytes(64));
     group.bench_function("checked_write_64b", |b| {
-        b.iter(|| machine.mem_write(asid, World::Secure, frame.base(), &buf).expect("write"))
+        b.iter(|| {
+            machine
+                .mem_write(asid, World::Secure, frame.base(), &buf)
+                .expect("write")
+        })
     });
     group.bench_function("checked_read_64b", |b| {
-        b.iter(|| machine.mem_read_vec(asid, World::Secure, frame.base(), 64).expect("read"))
+        b.iter(|| {
+            machine
+                .mem_read_vec(asid, World::Secure, frame.base(), 64)
+                .expect("read")
+        })
     });
 
     group.throughput(Throughput::Elements(1));

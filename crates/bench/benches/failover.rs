@@ -1,10 +1,11 @@
-//! Criterion benches for the failover machinery: proceed (step 1),
+//! Wall-clock benches for the failover machinery: proceed (step 1),
 //! clear+reload (step 2) and trap handling (step 3), plus the ablation
 //! against a full-machine reset.
 
 use std::collections::BTreeMap;
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cronus_bench::harness::{BatchSize, Criterion};
+use cronus_bench::{criterion_group, criterion_main};
 
 use cronus_devices::DeviceKind;
 use cronus_mos::manager::Owner;
@@ -15,14 +16,28 @@ fn booted_with_share() -> (Spm, cronus_sim::machine::AsId, u64) {
     let mut spm = Spm::boot(BootConfig {
         partitions: vec![
             PartitionSpec::new(1, b"cpu-mos", "v1", DeviceSpec::Cpu),
-            PartitionSpec::new(2, b"cuda-mos", "v3", DeviceSpec::Gpu { memory: 1 << 26, sms: 46 }),
+            PartitionSpec::new(
+                2,
+                b"cuda-mos",
+                "v3",
+                DeviceSpec::Gpu {
+                    memory: 1 << 26,
+                    sms: 46,
+                },
+            ),
         ],
         ..Default::default()
     });
     let cpu = asid_of(MosId(1));
     let gpu = asid_of(MosId(2));
     let a = spm
-        .create_enclave(cpu, Manifest::new(DeviceKind::Cpu), &BTreeMap::new(), Owner::App(1), 7)
+        .create_enclave(
+            cpu,
+            Manifest::new(DeviceKind::Cpu),
+            &BTreeMap::new(),
+            Owner::App(1),
+            7,
+        )
         .expect("cpu enclave");
     let b = spm
         .create_enclave(
@@ -54,7 +69,8 @@ fn bench_failover(c: &mut Criterion) {
             booted_with_share,
             |(mut spm, gpu, _)| {
                 spm.fail_partition(gpu).expect("proceed");
-                spm.recover_partition(gpu, b"cuda-mos", "v3").expect("recover")
+                spm.recover_partition(gpu, b"cuda-mos", "v3")
+                    .expect("recover")
             },
             BatchSize::SmallInput,
         );
@@ -67,9 +83,7 @@ fn bench_failover(c: &mut Criterion) {
                 spm.fail_partition(gpu).expect("proceed");
                 (spm, page)
             },
-            |(mut spm, page)| {
-                spm.handle_trap(asid_of(MosId(1)), page).expect("trap")
-            },
+            |(mut spm, page)| spm.handle_trap(asid_of(MosId(1)), page).expect("trap"),
             BatchSize::SmallInput,
         );
     });

@@ -1,8 +1,9 @@
-//! Criterion benches over the Rodinia workloads (Fig. 7's engine): one
+//! Wall-clock benches over the Rodinia workloads (Fig. 7's engine): one
 //! bench per workload on the CRONUS stack, plus a native-baseline group for
 //! wall-clock comparison of the harness itself.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cronus_bench::harness::{BenchmarkId, Criterion};
+use cronus_bench::{criterion_group, criterion_main};
 
 use cronus_baselines::direct::native_backend;
 use cronus_bench::experiments::{cpu_enclave, standard_boot};

@@ -1,9 +1,10 @@
-//! Criterion benches for the sRPC hot path (wall-clock cost of the
+//! Wall-clock benches for the sRPC hot path (wall-clock cost of the
 //! implementation itself, complementing the simulated-time figures).
 
 use std::collections::BTreeMap;
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use cronus_bench::harness::{BatchSize, Criterion, Throughput};
+use cronus_bench::{criterion_group, criterion_main};
 
 use cronus_bench::experiments::{cpu_enclave, standard_boot};
 use cronus_core::{Actor, CronusSystem, EnclaveRef, StreamId, DEFAULT_RING_PAGES};
@@ -25,9 +26,15 @@ fn echo_setup() -> (CronusSystem, EnclaveRef, EnclaveRef, StreamId) {
         )
         .expect("gpu enclave");
     for name in ["echo", "echo_sync"] {
-        sys.register_handler(gpu, name, Box::new(|_, p| Ok((p.to_vec(), SimNs::from_nanos(100)))));
+        sys.register_handler(
+            gpu,
+            name,
+            Box::new(|_, p| Ok((p.to_vec(), SimNs::from_nanos(100)))),
+        );
     }
-    let stream = sys.open_stream(cpu, gpu, DEFAULT_RING_PAGES).expect("stream");
+    let stream = sys
+        .open_stream(cpu, gpu, DEFAULT_RING_PAGES)
+        .expect("stream");
     (sys, cpu, gpu, stream)
 }
 
@@ -72,7 +79,8 @@ fn bench_srpc(c: &mut Criterion) {
                 (sys, cpu, gpu)
             },
             |(mut sys, cpu, gpu)| {
-                sys.open_stream(cpu, gpu, DEFAULT_RING_PAGES).expect("stream");
+                sys.open_stream(cpu, gpu, DEFAULT_RING_PAGES)
+                    .expect("stream");
             },
             BatchSize::SmallInput,
         );
@@ -84,7 +92,10 @@ fn bench_srpc(c: &mut Criterion) {
 fn bench_ring_codec(c: &mut Criterion) {
     use cronus_core::ring::{decode_request, encode_request, Request};
     let mut group = c.benchmark_group("ring_codec");
-    let req = Request { name: "cuLaunchKernel".to_string(), payload: vec![5u8; 256] };
+    let req = Request {
+        name: "cuLaunchKernel".to_string(),
+        payload: vec![5u8; 256],
+    };
     group.throughput(Throughput::Bytes(256));
     group.bench_function("encode_decode_256b", |b| {
         b.iter(|| {

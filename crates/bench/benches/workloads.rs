@@ -1,8 +1,9 @@
-//! Criterion benches for the evaluation workloads: DNN training step,
+//! Wall-clock benches for the evaluation workloads: DNN training step,
 //! vta-bench GEMM, and the spatial-sharing ablation (the design choices
 //! DESIGN.md lists for ablation).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cronus_bench::harness::{BenchmarkId, Criterion};
+use cronus_bench::{criterion_group, criterion_main};
 
 use cronus_bench::experiments::{cpu_enclave, standard_boot};
 use cronus_core::CronusSystem;
@@ -24,7 +25,11 @@ fn bench_dnn_training(c: &mut Criterion) {
         register_standard_kernels(&mut backend).expect("kernels");
         let model = lenet5();
         let dataset = Dataset::mnist();
-        let cfg = TrainConfig { batch: 64, iterations: 1, ..Default::default() };
+        let cfg = TrainConfig {
+            batch: 64,
+            iterations: 1,
+            ..Default::default()
+        };
         b.iter(|| train(&mut backend, &model, &dataset, cfg).expect("training"));
     });
     group.finish();
@@ -58,5 +63,10 @@ fn bench_sharing_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dnn_training, bench_vta, bench_sharing_ablation);
+criterion_group!(
+    benches,
+    bench_dnn_training,
+    bench_vta,
+    bench_sharing_ablation
+);
 criterion_main!(benches);

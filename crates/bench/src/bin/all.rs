@@ -1,19 +1,37 @@
-//! Runs every experiment and prints every table and figure in paper order.
+//! Runs every experiment and prints every table and figure in paper order,
+//! dumping each figure's flight-recorder artifacts under `target/bench/`.
+use cronus_bench::artifacts::dump_and_report;
 use cronus_bench::experiments::{fig10, fig11, fig7, fig8, fig9, rpc_micro, tables};
 
 fn main() {
     println!("{}", tables::table1());
     println!("{}", tables::table2());
-    println!("{}", fig7::print(&fig7::run(4)));
-    println!("{}", fig8::print(&fig8::run()));
-    println!("{}", fig9::print(&fig9::run()));
-    println!("{}", fig10::print_10a(&fig10::run_10a(1)));
-    println!("{}", fig10::print_10b(&fig10::run_10b()));
-    println!("{}", fig11::print_11a(&fig11::run_11a(&[1, 2, 4])));
-    println!("{}", fig11::print_11b(&fig11::run_11b(&[1, 2, 4])));
+    let (fig7_rows, rec) = fig7::run_recorded(4);
+    println!("{}", fig7::print(&fig7_rows));
+    dump_and_report("fig7", &rec);
+    let (fig8_rows, rec) = fig8::run_recorded();
+    println!("{}", fig8::print(&fig8_rows));
+    dump_and_report("fig8", &rec);
+    let fig9_data = fig9::run();
+    println!("{}", fig9::print(&fig9_data));
+    dump_and_report("fig9", &fig9_data.recorder);
+    let (fig10a_rows, rec) = fig10::run_10a_recorded(1);
+    println!("{}", fig10::print_10a(&fig10a_rows));
+    dump_and_report("fig10a", &rec);
+    let (fig10b_rows, rec) = fig10::run_10b_recorded();
+    println!("{}", fig10::print_10b(&fig10b_rows));
+    dump_and_report("fig10b", &rec);
+    let (fig11a_points, rec) = fig11::run_11a_recorded(&[1, 2, 4]);
+    println!("{}", fig11::print_11a(&fig11a_points));
+    dump_and_report("fig11a", &rec);
+    let (fig11b_points, rec) = fig11::run_11b_recorded(&[1, 2, 4]);
+    println!("{}", fig11::print_11b(&fig11b_points));
+    dump_and_report("fig11b", &rec);
+    let (rpc_costs, rec) = rpc_micro::run_recorded(1000);
     println!(
         "{}",
-        rpc_micro::print(&rpc_micro::run(1000), &rpc_micro::ring_sweep(400, &[1, 4, 16, 64]))
+        rpc_micro::print(&rpc_costs, &rpc_micro::ring_sweep(400, &[1, 4, 16, 64]))
     );
+    dump_and_report("rpc_micro", &rec);
     println!("{}", tables::table3());
 }

@@ -1,8 +1,13 @@
 //! Regenerates Figure 10a (vta-bench throughput).
+use cronus_bench::artifacts;
 use cronus_bench::experiments::fig10;
 
 fn main() {
-    let scale = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
-    let rows = fig10::run_10a(scale);
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let (rows, rec) = fig10::run_10a_recorded(scale);
     print!("{}", fig10::print_10a(&rows));
+    artifacts::dump_and_report("fig10a", &rec);
 }

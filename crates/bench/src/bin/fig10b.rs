@@ -1,7 +1,9 @@
 //! Regenerates Figure 10b (NPU inference latency).
+use cronus_bench::artifacts;
 use cronus_bench::experiments::fig10;
 
 fn main() {
-    let rows = fig10::run_10b();
+    let (rows, rec) = fig10::run_10b_recorded();
     print!("{}", fig10::print_10b(&rows));
+    artifacts::dump_and_report("fig10b", &rec);
 }

@@ -1,7 +1,9 @@
 //! Regenerates Figure 11a (spatial sharing of one GPU).
+use cronus_bench::artifacts;
 use cronus_bench::experiments::fig11;
 
 fn main() {
-    let points = fig11::run_11a(&[1, 2, 4]);
+    let (points, rec) = fig11::run_11a_recorded(&[1, 2, 4]);
     print!("{}", fig11::print_11a(&points));
+    artifacts::dump_and_report("fig11a", &rec);
 }

@@ -1,7 +1,9 @@
 //! Regenerates Figure 11b (multi-GPU gradient exchange paths).
+use cronus_bench::artifacts;
 use cronus_bench::experiments::fig11;
 
 fn main() {
-    let points = fig11::run_11b(&[1, 2, 4]);
+    let (points, rec) = fig11::run_11b_recorded(&[1, 2, 4]);
     print!("{}", fig11::print_11b(&points));
+    artifacts::dump_and_report("fig11b", &rec);
 }

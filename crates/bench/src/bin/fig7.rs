@@ -1,8 +1,13 @@
 //! Regenerates Figure 7 (Rodinia computation time across systems).
+use cronus_bench::artifacts;
 use cronus_bench::experiments::fig7;
 
 fn main() {
-    let scale = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
-    let rows = fig7::run(scale);
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let (rows, rec) = fig7::run_recorded(scale);
     print!("{}", fig7::print(&rows));
+    artifacts::dump_and_report("fig7", &rec);
 }

@@ -1,7 +1,9 @@
 //! Regenerates Figure 8 (DNN training time across systems).
+use cronus_bench::artifacts;
 use cronus_bench::experiments::fig8;
 
 fn main() {
-    let rows = fig8::run();
+    let (rows, rec) = fig8::run_recorded();
     print!("{}", fig8::print(&rows));
+    artifacts::dump_and_report("fig8", &rec);
 }

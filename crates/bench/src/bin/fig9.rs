@@ -1,7 +1,9 @@
 //! Regenerates Figure 9 (failover throughput timeline).
+use cronus_bench::artifacts;
 use cronus_bench::experiments::fig9;
 
 fn main() {
     let data = fig9::run();
     print!("{}", fig9::print(&data));
+    artifacts::dump_and_report("fig9", &data.recorder);
 }

@@ -1,9 +1,11 @@
 //! RPC microbenchmark: sRPC vs synchronous vs encrypted RPC, plus the
 //! ring-size ablation.
+use cronus_bench::artifacts;
 use cronus_bench::experiments::rpc_micro;
 
 fn main() {
-    let costs = rpc_micro::run(1000);
+    let (costs, rec) = rpc_micro::run_recorded(1000);
     let sweep = rpc_micro::ring_sweep(400, &[1, 4, 16, 64]);
     print!("{}", rpc_micro::print(&costs, &sweep));
+    artifacts::dump_and_report("rpc_micro", &rec);
 }

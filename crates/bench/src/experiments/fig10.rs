@@ -9,8 +9,9 @@
 
 use cronus_core::CronusSystem;
 use cronus_devices::npu::NpuDevice;
-use cronus_sim::tzpc::DeviceId;
+use cronus_obs::FlightRecorder;
 use cronus_runtime::{VtaContext, VtaOptions};
+use cronus_sim::tzpc::DeviceId;
 use cronus_sim::{CostModel, SimNs, StreamId};
 use cronus_workloads::dnn::models::{resnet18, resnet50, yolov3};
 use cronus_workloads::inference::{latency_table, InferenceRow};
@@ -59,6 +60,12 @@ fn direct_gemm(dim: usize, per_call_overhead: SimNs) -> (u64, SimNs) {
 
 /// Runs the Fig. 10a experiment.
 pub fn run_10a(scale: usize) -> Vec<Fig10aRow> {
+    run_10a_recorded(scale).0
+}
+
+/// [`run_10a`], also returning the CRONUS system's flight recorder (the
+/// native/TrustZone baselines drive a raw device and record nothing).
+pub fn run_10a_recorded(scale: usize) -> (Vec<Fig10aRow>, FlightRecorder) {
     let dim = 32 * scale.max(1);
     // Native: bare driver submit. TrustZone: submit + secure entry.
     let (ops, t_native) = direct_gemm(dim, SimNs::from_nanos(1_200));
@@ -68,20 +75,44 @@ pub fn run_10a(scale: usize) -> Vec<Fig10aRow> {
     let mut sys = CronusSystem::boot(super::standard_boot());
     let cpu = super::cpu_enclave(&mut sys);
     let mut vta = VtaContext::new(&mut sys, cpu, VtaOptions::default()).expect("vta ctx");
+    sys.mark("fig10a:cronus-gemm");
     let cronus_run = vta_bench::run_gemm(&mut sys, &mut vta, dim, 16).expect("cronus gemm");
 
     let gops = |ops: u64, t: SimNs| ops as f64 / t.as_nanos().max(1) as f64;
-    vec![Fig10aRow {
+    let rows = vec![Fig10aRow {
         workload: "gemm",
         native_gops: gops(ops, t_native),
         trustzone_gops: gops(ops, t_tz),
         cronus_gops: gops(cronus_run.ops, cronus_run.sim_time),
-    }]
+    }];
+    (rows, sys.recorder())
 }
 
 /// Runs the Fig. 10b experiment.
 pub fn run_10b() -> Vec<InferenceRow> {
     latency_table(&[resnet18(), resnet50(), yolov3()], &CostModel::default())
+}
+
+/// [`run_10b`], also returning a recorder describing the inference latencies
+/// (this experiment is computed from the cost model, so the spans are
+/// reconstructed from its output rather than captured from a live system).
+pub fn run_10b_recorded() -> (Vec<InferenceRow>, FlightRecorder) {
+    let rows = run_10b();
+    let rec = FlightRecorder::new();
+    let npu_track = rec.track("npu-inference");
+    let cpu_track = rec.track("cpu-inference");
+    let mut npu_at = SimNs::ZERO;
+    let mut cpu_at = SimNs::ZERO;
+    for r in &rows {
+        rec.complete_span(npu_track, r.model, "inference", npu_at, npu_at + r.npu);
+        rec.complete_span(cpu_track, r.model, "inference", cpu_at, cpu_at + r.cpu);
+        rec.counter_add("inference.models", &[("model", r.model)], 1);
+        rec.observe("inference.npu_ns", &[("model", r.model)], r.npu);
+        rec.observe("inference.cpu_ns", &[("model", r.model)], r.cpu);
+        npu_at += r.npu;
+        cpu_at += r.cpu;
+    }
+    (rows, rec)
 }
 
 /// Renders Fig. 10a.

@@ -11,6 +11,7 @@
 //!   performance."
 
 use cronus_core::CronusSystem;
+use cronus_obs::FlightRecorder;
 use cronus_runtime::{CudaContext, CudaOptions};
 use cronus_sim::{CostModel, SimNs};
 use cronus_workloads::backend::CronusGpuBackend;
@@ -31,10 +32,19 @@ pub struct SharingPoint {
 
 /// Runs Fig. 11a: `k` mEnclaves train LeNet concurrently on one GPU.
 pub fn run_11a(counts: &[usize]) -> Vec<SharingPoint> {
-    counts
+    run_11a_recorded(counts).0
+}
+
+/// [`run_11a`], also returning the flight recorder of the last (most
+/// contended) sharing level's system.
+pub fn run_11a_recorded(counts: &[usize]) -> (Vec<SharingPoint>, FlightRecorder) {
+    let mut recorder = FlightRecorder::new();
+    let points = counts
         .iter()
         .map(|&k| {
             let mut sys = CronusSystem::boot(super::standard_boot());
+            sys.mark("fig11a:spatial-sharing");
+            recorder = sys.recorder();
             // Create all k CUDA mEnclaves first: they spatially share the
             // GPU, so every kernel in the measurement runs under
             // k-tenant contention.
@@ -44,12 +54,19 @@ pub fn run_11a(counts: &[usize]) -> Vec<SharingPoint> {
                 let cuda = CudaContext::new(
                     &mut sys,
                     cpu,
-                    CudaOptions { memory: 1 << 30, ..Default::default() },
+                    CudaOptions {
+                        memory: 1 << 30,
+                        ..Default::default()
+                    },
                 )
                 .expect("cuda ctx");
                 contexts.push(cuda);
             }
-            let cfg = TrainConfig { batch: 64, iterations: 4, ..Default::default() };
+            let cfg = TrainConfig {
+                batch: 64,
+                iterations: 4,
+                ..Default::default()
+            };
             let model = lenet5();
             let dataset = Dataset::mnist();
             let mut worst = SimNs::ZERO;
@@ -62,9 +79,13 @@ pub fn run_11a(counts: &[usize]) -> Vec<SharingPoint> {
             // All k tenants train in parallel wall-clock; aggregate
             // throughput is k runs' samples over the slowest tenant's time.
             let samples = (k * cfg.batch * cfg.iterations) as f64;
-            SharingPoint { enclaves: k, throughput: samples / worst.as_secs_f64().max(1e-12) }
+            SharingPoint {
+                enclaves: k,
+                throughput: samples / worst.as_secs_f64().max(1e-12),
+            }
         })
-        .collect()
+        .collect();
+    (points, recorder)
 }
 
 /// Gradient-exchange path for data-parallel training.
@@ -119,13 +140,25 @@ pub struct MultiGpuPoint {
 /// all-reduce cost (2 (k-1)/k of the gradient bytes per step) is computed
 /// from the cost model per path.
 pub fn run_11b(gpu_counts: &[usize]) -> Vec<MultiGpuPoint> {
+    run_11b_recorded(gpu_counts).0
+}
+
+/// [`run_11b`], also returning the flight recorder of the single-GPU
+/// measurement system (the multi-GPU points are scaled from it).
+pub fn run_11b_recorded(gpu_counts: &[usize]) -> (Vec<MultiGpuPoint>, FlightRecorder) {
     // Measure the single-GPU iteration time.
     let mut sys = CronusSystem::boot(super::multi_gpu_boot(1));
     let cpu = super::cpu_enclave(&mut sys);
     let cuda = CudaContext::new(&mut sys, cpu, CudaOptions::default()).expect("cuda ctx");
+    sys.mark("fig11b:single-gpu-measure");
+    let recorder = sys.recorder();
     let mut backend = CronusGpuBackend::new(&mut sys, cuda);
     register_standard_kernels(&mut backend).expect("kernels");
-    let cfg = TrainConfig { batch: 64, iterations: 4, ..Default::default() };
+    let cfg = TrainConfig {
+        batch: 64,
+        iterations: 4,
+        ..Default::default()
+    };
     let model = lenet5();
     let report = train(&mut backend, &model, &Dataset::mnist(), cfg).expect("training");
     let compute_iter = report.time_per_iter();
@@ -134,7 +167,11 @@ pub fn run_11b(gpu_counts: &[usize]) -> Vec<MultiGpuPoint> {
 
     let mut points = Vec::new();
     for &k in gpu_counts {
-        for path in [ExchangePath::PciP2p, ExchangePath::SecureMemory, ExchangePath::EncryptedMemory] {
+        for path in [
+            ExchangePath::PciP2p,
+            ExchangePath::SecureMemory,
+            ExchangePath::EncryptedMemory,
+        ] {
             let allreduce = if k > 1 {
                 // Ring all-reduce: each GPU sends 2(k-1)/k of the gradients.
                 path.transfer_time(&cm, grad_bytes * 2 * (k as u64 - 1) / k as u64)
@@ -143,10 +180,15 @@ pub fn run_11b(gpu_counts: &[usize]) -> Vec<MultiGpuPoint> {
             };
             let iter_time = compute_iter + allreduce;
             let throughput = (k * cfg.batch) as f64 / iter_time.as_secs_f64().max(1e-12);
-            points.push(MultiGpuPoint { gpus: k, path, iter_time, throughput });
+            points.push(MultiGpuPoint {
+                gpus: k,
+                path,
+                iter_time,
+                throughput,
+            });
         }
     }
-    points
+    (points, recorder)
 }
 
 /// Renders Fig. 11a.
@@ -220,10 +262,17 @@ mod tests {
             let secure = of(ExchangePath::SecureMemory);
             let enc = of(ExchangePath::EncryptedMemory);
             assert!(p2p > secure, "k={k}: p2p {p2p:.0} > secure {secure:.0}");
-            assert!(secure > enc, "k={k}: secure {secure:.0} > encrypted {enc:.0}");
+            assert!(
+                secure > enc,
+                "k={k}: secure {secure:.0} > encrypted {enc:.0}"
+            );
         }
         // Scaling: 2 GPUs with p2p beat 1 GPU.
-        let one = points.iter().find(|p| p.gpus == 1).expect("1 gpu").throughput;
+        let one = points
+            .iter()
+            .find(|p| p.gpus == 1)
+            .expect("1 gpu")
+            .throughput;
         let two_p2p = points
             .iter()
             .find(|p| p.gpus == 2 && p.path == ExchangePath::PciP2p)

@@ -6,6 +6,7 @@
 
 use cronus_baselines::direct::{hix_backend, native_backend, trustzone_backend};
 use cronus_core::CronusSystem;
+use cronus_obs::FlightRecorder;
 use cronus_runtime::{CudaContext, CudaOptions};
 use cronus_sim::SimNs;
 use cronus_workloads::backend::{CronusGpuBackend, GpuBackend};
@@ -61,6 +62,12 @@ fn run_suite_on(backend: &mut dyn GpuBackend, scale: usize) -> Vec<(SimNs, f64)>
 
 /// Runs the full Fig. 7 experiment at the given problem scale.
 pub fn run(scale: usize) -> Vec<Fig7Row> {
+    run_recorded(scale).0
+}
+
+/// [`run`], also returning the CRONUS system's flight recorder (the three
+/// baselines run outside the simulated platform and record nothing).
+pub fn run_recorded(scale: usize) -> (Vec<Fig7Row>, FlightRecorder) {
     let mut native = native_backend();
     let native_runs = run_suite_on(&mut native, scale);
     let mut tz = trustzone_backend();
@@ -72,10 +79,12 @@ pub fn run(scale: usize) -> Vec<Fig7Row> {
     let mut sys = CronusSystem::boot(super::standard_boot());
     let cpu = super::cpu_enclave(&mut sys);
     let cuda = CudaContext::new(&mut sys, cpu, CudaOptions::default()).expect("cuda ctx");
+    sys.mark("fig7:rodinia-suite");
+    let rec = sys.recorder();
     let mut cronus = CronusGpuBackend::new(&mut sys, cuda);
     let cronus_runs = run_suite_on(&mut cronus, scale);
 
-    rodinia::suite()
+    let rows = rodinia::suite()
         .iter()
         .enumerate()
         .map(|(i, (name, _))| Fig7Row {
@@ -88,14 +97,22 @@ pub fn run(scale: usize) -> Vec<Fig7Row> {
                 && tz_runs[i].1 == hix_runs[i].1
                 && hix_runs[i].1 == cronus_runs[i].1,
         })
-        .collect()
+        .collect();
+    (rows, rec)
 }
 
 /// Renders the figure as a table (normalized to native, as the paper plots).
 pub fn print(rows: &[Fig7Row]) -> String {
     let mut t = Table::new(
         "Figure 7: normalized Rodinia computation time (native gdev = 1.0)",
-        &["workload", "native", "trustzone", "hix-trustzone", "cronus", "results-match"],
+        &[
+            "workload",
+            "native",
+            "trustzone",
+            "hix-trustzone",
+            "cronus",
+            "results-match",
+        ],
     );
     for r in rows {
         t.row(&[
@@ -111,8 +128,7 @@ pub fn print(rows: &[Fig7Row]) -> String {
         .iter()
         .map(|r| r.cronus_normalized())
         .fold(0.0f64, f64::max);
-    let avg_overhead =
-        rows.iter().map(|r| r.cronus_normalized()).sum::<f64>() / rows.len() as f64;
+    let avg_overhead = rows.iter().map(|r| r.cronus_normalized()).sum::<f64>() / rows.len() as f64;
     let mut out = t.render();
     out.push_str(&format!(
         "CRONUS overhead vs native: average {:+.1}%, worst workload {:+.1}% (paper: < 7.1%).\n\
@@ -145,8 +161,7 @@ mod tests {
         }
         // Average CRONUS overhead stays within the paper's < 7.1% band
         // (individual launch-dominated workloads may exceed it slightly).
-        let avg: f64 =
-            rows.iter().map(Fig7Row::cronus_normalized).sum::<f64>() / rows.len() as f64;
+        let avg: f64 = rows.iter().map(Fig7Row::cronus_normalized).sum::<f64>() / rows.len() as f64;
         assert!(avg < 1.071, "average CRONUS overhead {avg:.3} exceeds 7.1%");
         let worst = rows
             .iter()
@@ -155,7 +170,11 @@ mod tests {
         assert!(worst < 1.15, "worst-workload CRONUS overhead {worst:.3}");
         // HIX suffers on the launch-heavy workload.
         let nw = rows.iter().find(|r| r.workload == "nw").expect("nw row");
-        assert!(nw.hix_normalized() > 1.15, "nw under HIX: {:.3}", nw.hix_normalized());
+        assert!(
+            nw.hix_normalized() > 1.15,
+            "nw under HIX: {:.3}",
+            nw.hix_normalized()
+        );
         let printed = print(&rows);
         assert!(printed.contains("Figure 7"));
     }

@@ -6,6 +6,7 @@
 
 use cronus_baselines::direct::{hix_backend, native_backend, trustzone_backend};
 use cronus_core::CronusSystem;
+use cronus_obs::FlightRecorder;
 use cronus_runtime::{CudaContext, CudaOptions};
 use cronus_sim::SimNs;
 use cronus_workloads::backend::{CronusGpuBackend, GpuBackend};
@@ -41,26 +42,51 @@ impl Fig8Row {
 
 fn workloads() -> Vec<(Model, Dataset, TrainConfig)> {
     vec![
-        (lenet5(), Dataset::mnist(), TrainConfig { batch: 64, iterations: 3, ..Default::default() }),
+        (
+            lenet5(),
+            Dataset::mnist(),
+            TrainConfig {
+                batch: 64,
+                iterations: 3,
+                ..Default::default()
+            },
+        ),
         (
             resnet50_cifar(),
             Dataset::cifar10(),
-            TrainConfig { batch: 32, iterations: 2, ..Default::default() },
+            TrainConfig {
+                batch: 32,
+                iterations: 2,
+                ..Default::default()
+            },
         ),
         (
             vgg16_cifar(),
             Dataset::cifar10(),
-            TrainConfig { batch: 32, iterations: 2, ..Default::default() },
+            TrainConfig {
+                batch: 32,
+                iterations: 2,
+                ..Default::default()
+            },
         ),
         (
             densenet121(),
             Dataset::imagenet(),
-            TrainConfig { batch: 8, iterations: 2, ..Default::default() },
+            TrainConfig {
+                batch: 8,
+                iterations: 2,
+                ..Default::default()
+            },
         ),
     ]
 }
 
-fn train_on(backend: &mut dyn GpuBackend, model: &Model, dataset: &Dataset, cfg: TrainConfig) -> SimNs {
+fn train_on(
+    backend: &mut dyn GpuBackend,
+    model: &Model,
+    dataset: &Dataset,
+    cfg: TrainConfig,
+) -> SimNs {
     register_standard_kernels(backend).expect("kernels");
     train(backend, model, dataset, cfg)
         .expect("training run")
@@ -69,7 +95,15 @@ fn train_on(backend: &mut dyn GpuBackend, model: &Model, dataset: &Dataset, cfg:
 
 /// Runs the Fig. 8 experiment.
 pub fn run() -> Vec<Fig8Row> {
-    workloads()
+    run_recorded().0
+}
+
+/// [`run`], also returning the flight recorder of the last workload's CRONUS
+/// system (each workload trains on a fresh system; the baselines record
+/// nothing).
+pub fn run_recorded() -> (Vec<Fig8Row>, FlightRecorder) {
+    let mut recorder = FlightRecorder::new();
+    let rows = workloads()
         .into_iter()
         .map(|(model, dataset, cfg)| {
             let native = {
@@ -88,19 +122,37 @@ pub fn run() -> Vec<Fig8Row> {
                 let mut sys = CronusSystem::boot(super::standard_boot());
                 let cpu = super::cpu_enclave(&mut sys);
                 let cuda = CudaContext::new(&mut sys, cpu, CudaOptions::default()).expect("cuda");
+                sys.mark("fig8:train");
+                recorder = sys.recorder();
                 let mut b = CronusGpuBackend::new(&mut sys, cuda);
                 train_on(&mut b, &model, &dataset, cfg)
             };
-            Fig8Row { model: model.name, dataset: dataset.name, native, trustzone, hix, cronus }
+            Fig8Row {
+                model: model.name,
+                dataset: dataset.name,
+                native,
+                trustzone,
+                hix,
+                cronus,
+            }
         })
-        .collect()
+        .collect();
+    (rows, recorder)
 }
 
 /// Renders the figure.
 pub fn print(rows: &[Fig8Row]) -> String {
     let mut t = Table::new(
         "Figure 8: DNN training time per iteration",
-        &["model", "dataset", "linux", "trustzone", "hix-trustzone", "cronus", "cronus-vs-native"],
+        &[
+            "model",
+            "dataset",
+            "linux",
+            "trustzone",
+            "hix-trustzone",
+            "cronus",
+            "cronus-vs-native",
+        ],
     );
     for r in rows {
         t.row(&[
@@ -136,7 +188,10 @@ mod tests {
         }
         // Bigger models take longer everywhere.
         let lenet = rows.iter().find(|r| r.model == "lenet").expect("lenet");
-        let dense = rows.iter().find(|r| r.model == "densenet").expect("densenet");
+        let dense = rows
+            .iter()
+            .find(|r| r.model == "densenet")
+            .expect("densenet");
         assert!(dense.native > lenet.native * 10);
         assert!(print(&rows).contains("Figure 8"));
     }

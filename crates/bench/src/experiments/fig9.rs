@@ -11,6 +11,7 @@
 //! reconstructed from the measured recovery durations.
 
 use cronus_core::CronusSystem;
+use cronus_obs::FlightRecorder;
 use cronus_runtime::{CudaContext, CudaOptions};
 use cronus_sim::SimNs;
 use cronus_spm::spm::RecoveryStats;
@@ -39,6 +40,8 @@ pub struct Fig9Data {
     pub recovery: RecoveryStats,
     /// Simulated machine reboot duration.
     pub reboot_time: SimNs,
+    /// Flight recorder of the failover run (recovery-phase spans live here).
+    pub recorder: FlightRecorder,
 }
 
 /// Duration of one matrix job.
@@ -77,7 +80,11 @@ fn timeline(
             }
             t = done;
         }
-        points.push(Fig9Point { t_ms: start.as_millis(), task_a: a, task_b: bb });
+        points.push(Fig9Point {
+            t_ms: start.as_millis(),
+            task_a: a,
+            task_b: bb,
+        });
     }
     points
 }
@@ -94,12 +101,47 @@ pub fn run() -> Fig9Data {
     let mut sys = CronusSystem::boot(super::multi_gpu_boot(2));
     let cpu = super::cpu_enclave(&mut sys);
     let _task_a = CudaContext::new(&mut sys, cpu, CudaOptions::default()).expect("task A");
-    let task_b = CudaContext::new(&mut sys, cpu, CudaOptions::default()).expect("task B");
+    let mut task_b = CudaContext::new(&mut sys, cpu, CudaOptions::default()).expect("task B");
     // The dispatcher placed the second context on the second GPU partition.
     let crashed = task_b.gpu.asid;
-    sys.inject_partition_failure(crashed).expect("failure injection");
+    let stale = task_b.malloc(&mut sys, 4096).expect("task B buffer");
+    sys.mark("fig9:crash");
+    sys.inject_partition_failure(crashed)
+        .expect("failure injection");
+    // The survivor touches the poisoned share before recovery completes:
+    // proceed-trap converts the stage-2 fault into a failure signal instead
+    // of letting the caller hang (this is the "trap" phase in the trace).
+    let poked = task_b.memcpy_h2d(&mut sys, stale, &[0u8; 64]);
+    assert!(
+        poked.is_err(),
+        "survivor access to the failed partition must trap"
+    );
     let recovery = sys.recover_partition(crashed).expect("recovery");
+    sys.mark("fig9:recovered");
     let reboot_time = sys.spm().machine().cost().machine_reboot;
+
+    // Acceptance checks: sink counters agree exactly with the event log and
+    // the profiler attributes every elapsed nanosecond.
+    let recorder = sys.recorder();
+    {
+        let log = sys.spm().machine().log();
+        let inner = recorder.lock();
+        assert_eq!(
+            inner.metrics.counter_total("context_switches"),
+            log.context_switches() as u64
+        );
+        assert_eq!(
+            inner.metrics.counter_total("world_switches"),
+            log.world_switches() as u64
+        );
+        let attributed: u64 = inner
+            .profiler
+            .attribution()
+            .iter()
+            .map(|(_, d)| d.as_nanos())
+            .sum();
+        assert_eq!(attributed, inner.profiler.total_elapsed().as_nanos());
+    }
 
     // Task B is down from the crash until detection + recovery + resubmit.
     let b_down_until = CRASH + DETECT + recovery.total() + RESUBMIT;
@@ -119,7 +161,13 @@ pub fn run() -> Fig9Data {
         &[both_down],
     );
 
-    Fig9Data { cronus, reboot, recovery, reboot_time }
+    Fig9Data {
+        cronus,
+        reboot,
+        recovery,
+        reboot_time,
+        recorder,
+    }
 }
 
 /// Renders the figure.
@@ -130,7 +178,11 @@ pub fn print(data: &Fig9Data) -> String {
         &["t (ms)", "task A (healthy)", "task B (crashed)"],
     );
     for p in &data.cronus {
-        t.row(&[p.t_ms.to_string(), p.task_a.to_string(), p.task_b.to_string()]);
+        t.row(&[
+            p.t_ms.to_string(),
+            p.task_a.to_string(),
+            p.task_b.to_string(),
+        ]);
     }
     out.push_str(&t.render());
     out.push_str(&format!(
@@ -182,5 +234,20 @@ mod tests {
         let outage = data.reboot.iter().filter(|p| p.task_a == 0).count();
         assert!(outage > 100, "reboot outage ~2min: {outage}s");
         assert!(print(&data).contains("Figure 9"));
+
+        // The trace carries each recovery step as its own span.
+        let inner = data.recorder.lock();
+        let names: Vec<&str> = inner
+            .spans
+            .spans()
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        for phase in ["invalidate", "clear", "reload", "trap"] {
+            assert!(
+                names.iter().any(|n| n.starts_with(phase)),
+                "missing {phase} span in {names:?}"
+            );
+        }
     }
 }

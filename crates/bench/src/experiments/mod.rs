@@ -20,8 +20,21 @@ pub fn standard_boot() -> BootConfig {
     BootConfig {
         partitions: vec![
             PartitionSpec::new(1, b"cpu-mos-v1", "v1", DeviceSpec::Cpu),
-            PartitionSpec::new(2, b"cuda-mos-v3", "v3", DeviceSpec::Gpu { memory: 8 << 30, sms: 46 }),
-            PartitionSpec::new(3, b"npu-mos-v1", "v1", DeviceSpec::Npu { memory: 256 << 20 }),
+            PartitionSpec::new(
+                2,
+                b"cuda-mos-v3",
+                "v3",
+                DeviceSpec::Gpu {
+                    memory: 8 << 30,
+                    sms: 46,
+                },
+            ),
+            PartitionSpec::new(
+                3,
+                b"npu-mos-v1",
+                "v1",
+                DeviceSpec::Npu { memory: 256 << 20 },
+            ),
         ],
         ..Default::default()
     }
@@ -35,10 +48,16 @@ pub fn multi_gpu_boot(gpus: u8) -> BootConfig {
             2 + g,
             b"cuda-mos-v3",
             "v3",
-            DeviceSpec::Gpu { memory: 8 << 30, sms: 46 },
+            DeviceSpec::Gpu {
+                memory: 8 << 30,
+                sms: 46,
+            },
         ));
     }
-    BootConfig { partitions, ..Default::default() }
+    BootConfig {
+        partitions,
+        ..Default::default()
+    }
 }
 
 /// Creates a driving CPU mEnclave owned by a fresh app.

@@ -9,6 +9,7 @@ use std::collections::BTreeMap;
 use cronus_core::{Actor, CronusSystem, SrpcError};
 use cronus_devices::DeviceKind;
 use cronus_mos::manifest::{Manifest, McallDecl};
+use cronus_obs::FlightRecorder;
 use cronus_sim::{CostModel, SimNs};
 
 use crate::report::Table;
@@ -24,7 +25,11 @@ pub struct RpcCost {
     pub context_switches_per_call: f64,
 }
 
-fn echo_system() -> (CronusSystem, cronus_core::EnclaveRef, cronus_core::EnclaveRef) {
+fn echo_system() -> (
+    CronusSystem,
+    cronus_core::EnclaveRef,
+    cronus_core::EnclaveRef,
+) {
     let mut sys = CronusSystem::boot(super::standard_boot());
     let cpu = super::cpu_enclave(&mut sys);
     let gpu = sys
@@ -36,37 +41,74 @@ fn echo_system() -> (CronusSystem, cronus_core::EnclaveRef, cronus_core::Enclave
             &BTreeMap::new(),
         )
         .expect("gpu enclave");
-    sys.register_handler(gpu, "echo", Box::new(|_, p| Ok((p.to_vec(), SimNs::from_micros(5)))));
+    sys.register_handler(
+        gpu,
+        "echo",
+        Box::new(|_, p| Ok((p.to_vec(), SimNs::from_micros(5)))),
+    );
     (sys, cpu, gpu)
 }
 
 /// Measures the three protocols with `calls` iterations of a 64-byte call.
 pub fn run(calls: u64) -> Vec<RpcCost> {
+    run_recorded(calls).0
+}
+
+/// [`run`], also returning the sRPC system's flight recorder (the
+/// synchronous and encrypted baselines are computed from the cost model, so
+/// only the sRPC measurement records spans and metrics).
+pub fn run_recorded(calls: u64) -> (Vec<RpcCost>, FlightRecorder) {
     let cm = CostModel::default();
 
     // sRPC: measured on the real stack.
     let (mut sys, cpu, gpu) = echo_system();
     let stream = sys.open_stream(cpu, gpu, 64).expect("stream");
     let switches_before = sys.spm().machine().log().context_switches();
+    sys.mark("rpc_micro:srpc-measure");
     let t0 = sys.enclave_time(cpu);
     for _ in 0..calls {
         sys.call_async(stream, "echo", &[0u8; 64]).expect("call");
     }
     let srpc_caller = (sys.enclave_time(cpu) - t0) / calls;
     sys.sync(stream).expect("sync");
+    sys.mark("rpc_micro:srpc-drained");
     let srpc_switches =
         (sys.spm().machine().log().context_switches() - switches_before) as f64 / calls as f64;
 
+    // The recorder's event-sink counters and the simulator's event log are
+    // fed by the same `Machine::record` calls: they must agree exactly, and
+    // the profiler must attribute every elapsed nanosecond.
+    let rec = sys.recorder();
+    {
+        let log = sys.spm().machine().log();
+        let inner = rec.lock();
+        assert_eq!(
+            inner.metrics.counter_total("context_switches"),
+            log.context_switches() as u64
+        );
+        assert_eq!(
+            inner.metrics.counter_total("world_switches"),
+            log.world_switches() as u64
+        );
+        let attributed: u64 = inner
+            .profiler
+            .attribution()
+            .iter()
+            .map(|(_, d)| d.as_nanos())
+            .sum();
+        assert_eq!(attributed, inner.profiler.total_elapsed().as_nanos());
+    }
+
     // Synchronous (unencrypted) RPC: four context switches in, four out,
     // per the paper's analysis, plus the callee's execution in lock-step.
-    let sync_per_call = cm.sync_rpc_transport() + cm.srpc_enqueue + cm.srpc_dequeue
-        + SimNs::from_micros(5);
+    let sync_per_call =
+        cm.sync_rpc_transport() + cm.srpc_enqueue + cm.srpc_dequeue + SimNs::from_micros(5);
 
     // Encrypted RPC over untrusted memory (HIX/Panoply style): sync RPC
     // plus encryption of request and acknowledged response.
     let encrypted_per_call = sync_per_call + cm.encrypt(64) * 2;
 
-    vec![
+    let costs = vec![
         RpcCost {
             protocol: "srpc (cronus)",
             per_call: srpc_caller,
@@ -82,7 +124,8 @@ pub fn run(calls: u64) -> Vec<RpcCost> {
             per_call: encrypted_per_call,
             context_switches_per_call: 8.0,
         },
-    ]
+    ];
+    (costs, rec)
 }
 
 /// Ring-size ablation point.
@@ -108,6 +151,7 @@ pub fn ring_sweep(calls: u64, page_sizes: &[usize]) -> Vec<RingSweepPoint> {
                 Box::new(|_, p| Ok((p.to_vec(), SimNs::from_micros(50)))),
             );
             let stream = sys.open_stream(cpu, gpu, pages).expect("stream");
+            sys.mark("rpc_micro:ring-sweep");
             let t0 = sys.enclave_time(cpu);
             for _ in 0..calls {
                 match sys.call_async(stream, "echo", &[0u8; 32]) {
@@ -118,7 +162,11 @@ pub fn ring_sweep(calls: u64, page_sizes: &[usize]) -> Vec<RingSweepPoint> {
             }
             let per_call = (sys.enclave_time(cpu) - t0) / calls;
             let stalls = sys.stream_stats(stream).expect("stats").ring_full_stalls;
-            RingSweepPoint { pages, stalls, per_call }
+            RingSweepPoint {
+                pages,
+                stalls,
+                per_call,
+            }
         })
         .collect()
 }
@@ -144,7 +192,11 @@ pub fn print(costs: &[RpcCost], sweep: &[RingSweepPoint]) -> String {
         &["ring pages", "producer stalls", "caller cost/call"],
     );
     for p in sweep {
-        t.row(&[p.pages.to_string(), p.stalls.to_string(), p.per_call.to_string()]);
+        t.row(&[
+            p.pages.to_string(),
+            p.stalls.to_string(),
+            p.per_call.to_string(),
+        ]);
     }
     out.push_str(&t.render());
     out
@@ -160,8 +212,16 @@ mod tests {
         let srpc = &costs[0];
         let sync = &costs[1];
         let enc = &costs[2];
-        assert_eq!(srpc.context_switches_per_call, 0.0, "sRPC needs no per-call switches");
-        assert!(srpc.per_call * 10 < sync.per_call, "{} vs {}", srpc.per_call, sync.per_call);
+        assert_eq!(
+            srpc.context_switches_per_call, 0.0,
+            "sRPC needs no per-call switches"
+        );
+        assert!(
+            srpc.per_call * 10 < sync.per_call,
+            "{} vs {}",
+            srpc.per_call,
+            sync.per_call
+        );
         assert!(enc.per_call > sync.per_call);
     }
 

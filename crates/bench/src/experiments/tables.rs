@@ -31,16 +31,34 @@ pub fn table1() -> String {
 pub fn table2() -> String {
     let config = MachineConfig::default();
     let cm = &config.cost;
-    let mut t = Table::new("Table II: simulated platform configuration", &["item", "value"]);
-    t.row_str(&["platform", "simulated AArch64 TrustZone machine (cronus-sim)"]);
-    t.row(&["normal memory".into(), format!("{} pages", config.normal_pages)]);
-    t.row(&["secure memory".into(), format!("{} pages", config.secure_pages)]);
+    let mut t = Table::new(
+        "Table II: simulated platform configuration",
+        &["item", "value"],
+    );
+    t.row_str(&[
+        "platform",
+        "simulated AArch64 TrustZone machine (cronus-sim)",
+    ]);
+    t.row(&[
+        "normal memory".into(),
+        format!("{} pages", config.normal_pages),
+    ]);
+    t.row(&[
+        "secure memory".into(),
+        format!("{} pages", config.secure_pages),
+    ]);
     t.row_str(&["gpu", "GTX 2080-class simulator, 46 SMs, 8 GiB"]);
     t.row_str(&["npu", "VTA-class ISA interpreter, 256 MiB"]);
     t.row(&["world switch".into(), cm.world_switch.to_string()]);
-    t.row(&["s-el2 context switch".into(), cm.sel2_context_switch.to_string()]);
+    t.row(&[
+        "s-el2 context switch".into(),
+        cm.sel2_context_switch.to_string(),
+    ]);
     t.row(&["srpc enqueue".into(), cm.srpc_enqueue.to_string()]);
-    t.row(&["pcie bandwidth".into(), format!("{} B/ns", cm.pcie_bytes_per_ns)]);
+    t.row(&[
+        "pcie bandwidth".into(),
+        format!("{} B/ns", cm.pcie_bytes_per_ns),
+    ]);
     t.row(&["mos restart".into(), cm.mos_restart.to_string()]);
     t.row(&["machine reboot".into(), cm.machine_reboot.to_string()]);
     t.render()
@@ -77,7 +95,10 @@ pub fn table3() -> String {
         ("cronus-spm (SPM + monitor + failover)", "crates/spm"),
         ("cronus-core (mEnclave + sRPC + dispatcher)", "crates/core"),
         ("cronus-runtime (CUDA/VTA/CPU runtimes)", "crates/runtime"),
-        ("cronus-workloads (rodinia, vta-bench, DNN)", "crates/workloads"),
+        (
+            "cronus-workloads (rodinia, vta-bench, DNN)",
+            "crates/workloads",
+        ),
         ("cronus-baselines (linux/trustzone/hix)", "crates/baselines"),
         ("cronus-bench (figure harness)", "crates/bench"),
     ];
@@ -115,8 +136,16 @@ mod tests {
         let rendered = table3();
         assert!(rendered.contains("cronus-core"));
         // The workspace is well past 10k lines by the time this test exists.
-        let total_line = rendered.lines().find(|l| l.starts_with("total")).expect("total row");
-        let total: u64 = total_line.split_whitespace().nth(1).expect("count").parse().expect("number");
+        let total_line = rendered
+            .lines()
+            .find(|l| l.starts_with("total"))
+            .expect("total row");
+        let total: u64 = total_line
+            .split_whitespace()
+            .nth(1)
+            .expect("count")
+            .parse()
+            .expect("number");
         assert!(total > 10_000, "workspace loc = {total}");
     }
 }

@@ -1,0 +1,295 @@
+//! Minimal wall-clock micro-benchmark harness with a Criterion-shaped API.
+//!
+//! The workspace builds fully offline, so the `benches/` targets run against
+//! this harness instead of crates.io Criterion. It keeps the subset of the
+//! API those benches use — `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::{iter, iter_batched}`, `Throughput`,
+//! `BatchSize`, `BenchmarkId` — with plain-text mean/min reporting. Benches
+//! stay opt-in: nothing here runs under `cargo build` or `cargo test`; use
+//! `cargo bench -p cronus-bench [--bench <name>] [filter]`.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level driver; construct with [`Criterion::from_args`] in `main`.
+pub struct Criterion {
+    filter: Option<String>,
+    /// Wall-clock budget for the measurement phase of each benchmark.
+    measure_for: Duration,
+}
+
+impl Criterion {
+    pub fn from_args() -> Self {
+        // libtest-style invocation: flags are ignored, the first free
+        // argument is a substring filter on "group/name".
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            measure_for: Duration::from_millis(300),
+        }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            owner: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 50,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rates in the report.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Accepted for API compatibility; this harness re-runs setup per batch
+/// regardless of the hint.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier, optionally parameterized.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), param))
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    owner: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().0;
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.owner.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measure_for: self.owner.measure_for,
+        };
+        f(&mut bencher);
+        report(&full, &bencher.samples, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Collects per-iteration timings for one benchmark target.
+pub struct Bencher {
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+    sample_size: usize,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warmup + calibration: find an iteration count that makes one
+        // sample long enough to time reliably.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            if start.elapsed() > Duration::from_micros(200) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 4;
+        }
+
+        let deadline = Instant::now() + self.measure_for;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        // Setup cost dominates these benches' inputs, so time exactly one
+        // routine invocation per sample and re-run setup outside the timer.
+        let deadline = Instant::now() + self.measure_for;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos() as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn report(name: &str, samples: &[f64], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<44} (no samples)");
+        return;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) => format!("  {:>10}/s", scale_bytes(b as f64 / mean * 1e9)),
+        Some(Throughput::Elements(e)) => {
+            format!("  {:>10.3} Melem/s", e as f64 / mean * 1e9 / 1e6)
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<44} mean {:>12}  min {:>12}  ({} samples){rate}",
+        scale_ns(mean),
+        scale_ns(min),
+        samples.len(),
+    );
+}
+
+fn scale_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn scale_bytes(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} GB", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} MB", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} KB", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.0} B")
+    }
+}
+
+/// Drop-in for Criterion's `criterion_group!`: defines a function running
+/// each target against a shared [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::harness::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Drop-in for Criterion's `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_compose() {
+        assert_eq!(BenchmarkId::new("gemm", 64).0, "gemm/64");
+        assert_eq!(BenchmarkId::from_parameter("bfs").0, "bfs");
+    }
+
+    #[test]
+    fn scaling_is_humane() {
+        assert_eq!(scale_ns(12.0), "12.0 ns");
+        assert_eq!(scale_ns(4_200.0), "4.200 us");
+        assert_eq!(scale_ns(3.1e9), "3.100 s");
+        assert_eq!(scale_bytes(2.5e9), "2.50 GB");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion {
+            filter: None,
+            measure_for: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("self");
+        let mut ran = 0u64;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

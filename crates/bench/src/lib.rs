@@ -3,8 +3,10 @@
 //! One module per experiment in the paper's evaluation (§VI), each with a
 //! pure `run()` returning structured data and a `print()` rendering the
 //! same rows/series the paper reports. Thin binaries in `src/bin/` wrap
-//! them (`cargo run -p cronus-bench --bin fig7`, etc.), and the Criterion
-//! benches under `benches/` measure the implementation itself.
+//! them (`cargo run -p cronus-bench --bin fig7`, etc.), and the wall-clock
+//! benches under `benches/` (driven by the in-repo [`harness`]) measure the
+//! implementation itself. Every figure binary also drops a metrics snapshot
+//! and a Chrome trace next to its table output via [`artifacts`].
 //!
 //! | binary      | paper artifact | experiment |
 //! |-------------|----------------|-----------|
@@ -21,5 +23,7 @@
 //! | `table3`    | Table III      | lines-of-code inventory |
 //! | `all`       | everything     | runs the lot, writes EXPERIMENTS data |
 
+pub mod artifacts;
 pub mod experiments;
+pub mod harness;
 pub mod report;

@@ -145,7 +145,11 @@ impl CronusSystem {
             )?;
             written += chunk;
         }
-        self.shared_write(writer, writer_va.add(TAIL_OFFSET), &(tail + n).to_le_bytes())?;
+        self.shared_write(
+            writer,
+            writer_va.add(TAIL_OFFSET),
+            &(tail + n).to_le_bytes(),
+        )?;
         let cost = self.spm().machine().cost().memcpy(n);
         self.advance_enclave(writer, cost);
         Ok(n as usize)
@@ -181,7 +185,11 @@ impl CronusSystem {
             out[read as usize..(read + chunk) as usize].copy_from_slice(&buf);
             read += chunk;
         }
-        self.shared_write(reader, reader_va.add(HEAD_OFFSET), &(head + n).to_le_bytes())?;
+        self.shared_write(
+            reader,
+            reader_va.add(HEAD_OFFSET),
+            &(head + n).to_le_bytes(),
+        )?;
         let cost = self.spm().machine().cost().memcpy(n.max(1));
         self.advance_enclave(reader, cost);
         // Modeled synchronization latency for observing the producer.
@@ -220,7 +228,15 @@ mod tests {
         let mut sys = CronusSystem::boot(BootConfig {
             partitions: vec![
                 PartitionSpec::new(1, b"cpu-mos", "v1", DeviceSpec::Cpu),
-                PartitionSpec::new(2, b"cuda-mos", "v3", DeviceSpec::Gpu { memory: 1 << 24, sms: 46 }),
+                PartitionSpec::new(
+                    2,
+                    b"cuda-mos",
+                    "v3",
+                    DeviceSpec::Gpu {
+                        memory: 1 << 24,
+                        sms: 46,
+                    },
+                ),
             ],
             ..Default::default()
         });
@@ -277,7 +293,11 @@ mod tests {
         let big = vec![1u8; capacity + 500];
         let accepted = sys.pipe_write(pipe, &big).unwrap();
         assert_eq!(accepted, capacity, "short write at capacity");
-        assert_eq!(sys.pipe_write(pipe, &[2u8]).unwrap(), 0, "full pipe accepts nothing");
+        assert_eq!(
+            sys.pipe_write(pipe, &[2u8]).unwrap(),
+            0,
+            "full pipe accepts nothing"
+        );
         let _ = sys.pipe_read(pipe, 500).unwrap();
         assert_eq!(sys.pipe_write(pipe, &[2u8; 600]).unwrap(), 500);
     }
@@ -293,7 +313,10 @@ mod tests {
                 &BTreeMap::new(),
             )
             .unwrap();
-        assert_eq!(sys.open_pipe(other, gpu, 1).unwrap_err(), SrpcError::NotOwner);
+        assert_eq!(
+            sys.open_pipe(other, gpu, 1).unwrap_err(),
+            SrpcError::NotOwner
+        );
     }
 
     #[test]

@@ -111,7 +111,10 @@ impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CodecError::TooLarge { size } => {
-                write!(f, "message of {size} bytes exceeds slot capacity {SLOT_PAYLOAD}")
+                write!(
+                    f,
+                    "message of {size} bytes exceeds slot capacity {SLOT_PAYLOAD}"
+                )
             }
             CodecError::Corrupt => f.write_str("slot contents are corrupt"),
         }
@@ -176,14 +179,18 @@ pub enum ResultStatus {
 /// [`CodecError::TooLarge`].
 pub fn encode_result(status: ResultStatus, payload: &[u8]) -> Result<Vec<u8>, CodecError> {
     if payload.len() > SLOT_PAYLOAD {
-        return Err(CodecError::TooLarge { size: payload.len() });
+        return Err(CodecError::TooLarge {
+            size: payload.len(),
+        });
     }
     let mut out = vec![0u8; RESULT_SLOT_SIZE];
-    out[0..4].copy_from_slice(&match status {
-        ResultStatus::Ok => 1u32,
-        ResultStatus::Err => 2u32,
-    }
-    .to_le_bytes());
+    out[0..4].copy_from_slice(
+        &match status {
+            ResultStatus::Ok => 1u32,
+            ResultStatus::Err => 2u32,
+        }
+        .to_le_bytes(),
+    );
     out[4..8].copy_from_slice(&(payload.len() as u32).to_le_bytes());
     out[8..8 + payload.len()].copy_from_slice(payload);
     Ok(out)
@@ -245,7 +252,10 @@ mod tests {
 
     #[test]
     fn request_round_trip() {
-        let req = Request { name: "cudaLaunchKernel".into(), payload: vec![1, 2, 3, 4] };
+        let req = Request {
+            name: "cudaLaunchKernel".into(),
+            payload: vec![1, 2, 3, 4],
+        };
         let encoded = encode_request(&req).unwrap();
         assert_eq!(encoded.len(), SLOT_SIZE);
         assert_eq!(decode_request(&encoded).unwrap(), req);
@@ -253,19 +263,32 @@ mod tests {
 
     #[test]
     fn empty_payload_round_trip() {
-        let req = Request { name: "sync".into(), payload: vec![] };
+        let req = Request {
+            name: "sync".into(),
+            payload: vec![],
+        };
         assert_eq!(decode_request(&encode_request(&req).unwrap()).unwrap(), req);
     }
 
     #[test]
     fn oversized_request_rejected() {
-        let req = Request { name: "f".into(), payload: vec![0u8; SLOT_PAYLOAD] };
-        assert!(matches!(encode_request(&req), Err(CodecError::TooLarge { .. })));
+        let req = Request {
+            name: "f".into(),
+            payload: vec![0u8; SLOT_PAYLOAD],
+        };
+        assert!(matches!(
+            encode_request(&req),
+            Err(CodecError::TooLarge { .. })
+        ));
     }
 
     #[test]
     fn corrupt_request_rejected() {
-        let mut encoded = encode_request(&Request { name: "f".into(), payload: vec![1] }).unwrap();
+        let mut encoded = encode_request(&Request {
+            name: "f".into(),
+            payload: vec![1],
+        })
+        .unwrap();
         encoded[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(decode_request(&encoded), Err(CodecError::Corrupt));
         assert_eq!(decode_request(&[0u8; 4]), Err(CodecError::Corrupt));
@@ -273,7 +296,11 @@ mod tests {
 
     #[test]
     fn non_utf8_name_rejected() {
-        let mut encoded = encode_request(&Request { name: "ab".into(), payload: vec![] }).unwrap();
+        let mut encoded = encode_request(&Request {
+            name: "ab".into(),
+            payload: vec![],
+        })
+        .unwrap();
         encoded[8] = 0xff;
         encoded[9] = 0xfe;
         assert_eq!(decode_request(&encoded), Err(CodecError::Corrupt));
@@ -295,6 +322,9 @@ mod tests {
     fn zeroed_result_slot_is_corrupt_not_ok() {
         // A result slot that was never written decodes as corrupt, so a
         // caller can never mistake "no result yet" for a success.
-        assert_eq!(decode_result(&[0u8; RESULT_SLOT_SIZE]), Err(CodecError::Corrupt));
+        assert_eq!(
+            decode_result(&[0u8; RESULT_SLOT_SIZE]),
+            Err(CodecError::Corrupt)
+        );
     }
 }

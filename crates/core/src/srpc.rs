@@ -68,7 +68,10 @@ impl fmt::Display for SrpcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SrpcError::PeerFailed { signalled } => {
-                write!(f, "peer partition failed; {signalled} received failure signal")
+                write!(
+                    f,
+                    "peer partition failed; {signalled} received failure signal"
+                )
             }
             SrpcError::Closed => f.write_str("stream is closed"),
             SrpcError::UnknownMcall(name) => {

@@ -16,6 +16,7 @@ use cronus_devices::DeviceKind;
 use cronus_mos::manager::Owner;
 use cronus_mos::manifest::{Eid, Manifest};
 use cronus_mos::mos::MosError;
+use cronus_obs::{FlightRecorder, TimeCategory};
 use cronus_sim::machine::AsId;
 use cronus_sim::trace::EventKind;
 use cronus_sim::{Fault, SimClock, SimNs};
@@ -154,7 +155,11 @@ impl CronusSystem {
     /// dispatcher.
     pub fn boot(config: BootConfig) -> Self {
         let partitions = config.partitions.clone();
-        let spm = Spm::boot(config);
+        let mut spm = Spm::boot(config);
+        // Every system carries a flight recorder: the machine's event stream
+        // feeds its counters, and the sRPC/recovery paths charge simulated
+        // time to it. Harnesses export it via `CronusSystem::recorder`.
+        spm.set_recorder(FlightRecorder::new());
         let mut dispatcher = Dispatcher::new();
         for spec in &partitions {
             let asid = cronus_spm::spm::asid_of(spec.mos_id);
@@ -199,6 +204,17 @@ impl CronusSystem {
         &mut self.dispatcher
     }
 
+    /// A handle to the system's flight recorder (clones share state).
+    pub fn recorder(&self) -> FlightRecorder {
+        self.spm.recorder().cloned().unwrap_or_default()
+    }
+
+    /// Records a phase marker in the event log (and as a trace instant):
+    /// figure harnesses mark warmup/measure/failure phases with this.
+    pub fn mark(&mut self, label: &'static str) {
+        self.spm.machine_mut().record(EventKind::Marker(label));
+    }
+
     /// Registers a normal-world application.
     pub fn create_app(&mut self) -> AppId {
         let id = AppId(self.next_app);
@@ -211,12 +227,18 @@ impl CronusSystem {
 
     /// An enclave's current virtual time.
     pub fn enclave_time(&self, e: EnclaveRef) -> SimNs {
-        self.clocks.get(&e.eid).map(|c| c.now()).unwrap_or(SimNs::ZERO)
+        self.clocks
+            .get(&e.eid)
+            .map(|c| c.now())
+            .unwrap_or(SimNs::ZERO)
     }
 
     /// An app's current virtual time.
     pub fn app_time(&self, app: AppId) -> SimNs {
-        self.app_clocks.get(&app).map(|c| c.now()).unwrap_or(SimNs::ZERO)
+        self.app_clocks
+            .get(&app)
+            .map(|c| c.now())
+            .unwrap_or(SimNs::ZERO)
     }
 
     /// Charges local computation time to an enclave (e.g. CPU preprocessing
@@ -276,6 +298,13 @@ impl CronusSystem {
             let cm = self.spm.machine().cost();
             cm.enclave_create + cm.dh_exchange + cm.world_switch * 2
         };
+        if let Some(rec) = self.spm.recorder() {
+            let cm = self.spm.machine().cost();
+            rec.charge_detail(TimeCategory::Mgmt, "enclave_create", cm.enclave_create);
+            rec.charge_detail(TimeCategory::Crypto, "dh_exchange", cm.dh_exchange);
+            rec.charge(TimeCategory::WorldSwitch, cm.world_switch * 2);
+            rec.counter_add("enclaves.created", &[("partition", &asid.to_string())], 1);
+        }
         let start = match actor {
             Actor::App(app) => {
                 let c = self.app_clocks.entry(app).or_default();
@@ -288,6 +317,16 @@ impl CronusSystem {
                 c.now()
             }
         };
+        if let Some(rec) = self.spm.recorder() {
+            let track = rec.track("spm");
+            rec.complete_span(
+                track,
+                format!("create {eid}"),
+                "mgmt",
+                start.saturating_sub(cost),
+                start,
+            );
+        }
         self.clocks.insert(eid, SimClock::at(start));
         Ok(EnclaveRef { asid, eid })
     }
@@ -373,11 +412,13 @@ impl CronusSystem {
                 return Err(SystemError::UnknownMcall(name.to_string()));
             }
         }
-        let (result, exec) = self.run_handler(target, name, payload).map_err(|e| match e {
-            SrpcError::NoHandler(n) => SystemError::NoHandler(n),
-            SrpcError::HandlerFailed(m) => SystemError::HandlerFailed(m),
-            other => SystemError::HandlerFailed(other.to_string()),
-        })?;
+        let (result, exec) = self
+            .run_handler(target, name, payload)
+            .map_err(|e| match e {
+                SrpcError::NoHandler(n) => SystemError::NoHandler(n),
+                SrpcError::HandlerFailed(m) => SystemError::HandlerFailed(m),
+                other => SystemError::HandlerFailed(other.to_string()),
+            })?;
         let switches = self.spm.machine().cost().world_switch * 2;
         self.spm.machine_mut().record(EventKind::WorldSwitch);
         self.spm.machine_mut().record(EventKind::WorldSwitch);
@@ -390,6 +431,16 @@ impl CronusSystem {
         let ac = self.app_clocks.entry(app).or_default();
         ac.advance_to(done);
         ac.advance(switches);
+        let resumed = ac.now();
+        if let Some(rec) = self.spm.recorder() {
+            rec.charge(TimeCategory::WorldSwitch, switches);
+            rec.charge_detail(TimeCategory::Kernel, name, exec);
+            rec.counter_add("app.ecalls", &[("mcall", name)], 1);
+            let track = rec.track(&format!("app:{}", app.0));
+            let ecall = rec.begin_span(track, format!("ecall:{name}"), "app", app_now);
+            rec.complete_span(track, "exec", "kernel", app_now, done);
+            rec.end_span(track, ecall, resumed);
+        }
         Ok(result)
     }
 
@@ -404,7 +455,11 @@ impl CronusSystem {
             .handlers
             .remove(&key)
             .ok_or_else(|| SrpcError::NoHandler(name.to_string()))?;
-        let mut ctx = ServerCtx { spm: &mut self.spm, asid: target.asid, eid: target.eid };
+        let mut ctx = ServerCtx {
+            spm: &mut self.spm,
+            asid: target.asid,
+            eid: target.eid,
+        };
         let result = handler(&mut ctx, payload);
         self.handlers.insert(key, handler);
         result.map_err(SrpcError::HandlerFailed)
@@ -460,11 +515,9 @@ impl CronusSystem {
         }
 
         // Trusted shared memory (Figure 6).
-        let (share, caller_va, callee_va) = self.spm.share_memory(
-            (caller.asid, caller.eid),
-            (callee.asid, callee.eid),
-            pages,
-        )?;
+        let (share, caller_va, callee_va) =
+            self.spm
+                .share_memory((caller.asid, caller.eid), (callee.asid, callee.eid), pages)?;
         let layout = RingLayout::new(pages);
         let id = StreamId(self.next_stream);
         self.next_stream += 1;
@@ -475,13 +528,28 @@ impl CronusSystem {
         let dcheck = hmac_sha256(&secret, &id.0.to_le_bytes());
         {
             let (mos, machine) = self.spm.mos_and_machine(callee.asid)?;
-            mos.enclave_write(machine, callee.eid, callee_va.add(DCHECK_OFFSET), dcheck.as_bytes())
-                .map_err(SrpcError::Mos)?;
+            mos.enclave_write(
+                machine,
+                callee.eid,
+                callee_va.add(DCHECK_OFFSET),
+                dcheck.as_bytes(),
+            )
+            .map_err(SrpcError::Mos)?;
             // Initialize indices.
-            mos.enclave_write(machine, callee.eid, callee_va.add(RID_OFFSET), &0u64.to_le_bytes())
-                .map_err(SrpcError::Mos)?;
-            mos.enclave_write(machine, callee.eid, callee_va.add(SID_OFFSET), &0u64.to_le_bytes())
-                .map_err(SrpcError::Mos)?;
+            mos.enclave_write(
+                machine,
+                callee.eid,
+                callee_va.add(RID_OFFSET),
+                &0u64.to_le_bytes(),
+            )
+            .map_err(SrpcError::Mos)?;
+            mos.enclave_write(
+                machine,
+                callee.eid,
+                callee_va.add(SID_OFFSET),
+                &0u64.to_le_bytes(),
+            )
+            .map_err(SrpcError::Mos)?;
         }
         let observed = {
             let (mos, machine) = self.spm.mos_and_machine(caller.asid)?;
@@ -502,7 +570,17 @@ impl CronusSystem {
         };
         let c = self.clock_mut(caller.eid);
         c.advance(setup);
-        let executor_clock = SimClock::at(c.now());
+        let opened = c.now();
+        let executor_clock = SimClock::at(opened);
+        if let Some(rec) = self.spm.recorder() {
+            let cm = self.spm.machine().cost();
+            // The page_map share is charged by the SPM's share_memory.
+            rec.charge_detail(TimeCategory::Crypto, "local_attest", cm.local_attest);
+            rec.charge_detail(TimeCategory::Ring, "stream_setup", cm.srpc_stream_setup);
+            rec.counter_add("srpc.streams_opened", &[], 1);
+            let track = rec.track(&format!("stream:{}", id.0));
+            rec.complete_span(track, "open", "srpc", opened.saturating_sub(setup), opened);
+        }
 
         self.streams.insert(
             id,
@@ -532,7 +610,11 @@ impl CronusSystem {
     ///
     /// [`SrpcError::UnknownStream`].
     pub fn stream_share_pages(&self, id: StreamId) -> Result<Vec<u64>, SrpcError> {
-        let share = self.streams.get(&id).ok_or(SrpcError::UnknownStream(id))?.share;
+        let share = self
+            .streams
+            .get(&id)
+            .ok_or(SrpcError::UnknownStream(id))?
+            .share;
         Ok(self.spm.share_pages(share)?.to_vec())
     }
 
@@ -542,7 +624,11 @@ impl CronusSystem {
     ///
     /// [`SrpcError::UnknownStream`].
     pub fn stream_stats(&self, id: StreamId) -> Result<StreamStats, SrpcError> {
-        Ok(self.streams.get(&id).ok_or(SrpcError::UnknownStream(id))?.stats)
+        Ok(self
+            .streams
+            .get(&id)
+            .ok_or(SrpcError::UnknownStream(id))?
+            .stats)
     }
 
     /// The executor's current virtual time for a stream.
@@ -571,11 +657,15 @@ impl CronusSystem {
             };
             if let Some(ppn) = page {
                 if let Ok(outcome) = self.spm.handle_trap(survivor, ppn) {
-                    return SrpcError::PeerFailed { signalled: outcome.signalled };
+                    return SrpcError::PeerFailed {
+                        signalled: outcome.signalled,
+                    };
                 }
             }
             if let Fault::PartitionFailed { .. } = f {
-                return SrpcError::PeerFailed { signalled: fallback_eid };
+                return SrpcError::PeerFailed {
+                    signalled: fallback_eid,
+                };
             }
         }
         SrpcError::Mos(err)
@@ -676,7 +766,10 @@ impl CronusSystem {
             self.clock_mut(caller_eid).advance_to(executor_now);
         }
 
-        let slot = encode_request(&Request { name: name.to_string(), payload: payload.to_vec() })?;
+        let slot = encode_request(&Request {
+            name: name.to_string(),
+            payload: payload.to_vec(),
+        })?;
         let (caller, caller_va, rid, slot_off) = {
             let s = self.stream(id)?;
             (s.caller, s.caller_va, s.rid, s.layout.request_slot(s.rid))
@@ -701,12 +794,23 @@ impl CronusSystem {
         let c = self.clock_mut(caller.1);
         c.advance(enqueue_cost);
         let now = c.now();
-        self.spm.machine_mut().record(EventKind::RpcEnqueue { stream: id.0 });
+        self.spm
+            .machine_mut()
+            .record(EventKind::RpcEnqueue { stream: id.0 });
         let s = self.streams.get_mut(&id).expect("checked");
         s.rid += 1;
         s.pending_enqueue_times.push_back(now);
         s.stats.calls += 1;
         s.stats.request_bytes += payload.len() as u64;
+        let occupancy = (s.rid - s.sid) as i64;
+        if let Some(rec) = self.spm.recorder() {
+            rec.charge_detail(TimeCategory::Ring, "enqueue", enqueue_cost);
+            rec.gauge_set(
+                "srpc.ring_occupancy",
+                &[("stream", &id.0.to_string())],
+                occupancy,
+            );
+        }
         Ok(())
     }
 
@@ -734,22 +838,30 @@ impl CronusSystem {
             let mut slot = vec![0u8; crate::ring::SLOT_SIZE];
             {
                 let (mos, machine) = self.spm.mos_and_machine(callee.0)?;
-                if let Err(e) = mos.enclave_read(machine, callee.1, callee_va.add(slot_off), &mut slot)
+                if let Err(e) =
+                    mos.enclave_read(machine, callee.1, callee_va.add(slot_off), &mut slot)
                 {
                     return Err(self.stream_fault(id, callee.0, e));
                 }
             }
             let request = decode_request(&slot)?;
-            self.spm.machine_mut().record(EventKind::RpcDispatch { stream: id.0 });
+            self.spm
+                .machine_mut()
+                .record(EventKind::RpcDispatch { stream: id.0 });
 
             // Execute.
-            let target = EnclaveRef { asid: callee.0, eid: callee.1 };
+            let target = EnclaveRef {
+                asid: callee.0,
+                eid: callee.1,
+            };
             let outcome = self.run_handler(target, &request.name, &request.payload);
             let (status, result_bytes, exec_time) = match outcome {
                 Ok((bytes, t)) => (ResultStatus::Ok, bytes, t),
-                Err(SrpcError::NoHandler(n)) => {
-                    (ResultStatus::Err, format!("no handler: {n}").into_bytes(), SimNs::ZERO)
-                }
+                Err(SrpcError::NoHandler(n)) => (
+                    ResultStatus::Err,
+                    format!("no handler: {n}").into_bytes(),
+                    SimNs::ZERO,
+                ),
                 Err(SrpcError::HandlerFailed(m)) => {
                     (ResultStatus::Err, m.into_bytes(), SimNs::ZERO)
                 }
@@ -795,10 +907,30 @@ impl CronusSystem {
             let dequeue_cost = self.spm.machine().cost().srpc_dequeue;
             let s = self.streams.get_mut(&id).expect("checked");
             let enq_t = s.pending_enqueue_times.pop_front().unwrap_or(SimNs::ZERO);
+            // The executor starts this request when both it and the request
+            // are ready; the gap from enqueue is the dispatch latency.
+            let started = s.executor_clock.now().max(enq_t);
             s.executor_clock.advance_to(enq_t);
             s.executor_clock.advance(dequeue_cost + exec_time);
             s.sid += 1;
             s.stats.result_bytes += result_bytes.len() as u64;
+            let occupancy = (s.rid - s.sid) as i64;
+            if let Some(rec) = self.spm.recorder() {
+                let stream_lbl = id.0.to_string();
+                rec.observe(
+                    "srpc.enqueue_to_dispatch",
+                    &[("stream", &stream_lbl)],
+                    started - enq_t,
+                );
+                rec.gauge_set("srpc.ring_occupancy", &[("stream", &stream_lbl)], occupancy);
+                rec.charge_detail(TimeCategory::Ring, "dequeue", dequeue_cost);
+                rec.charge_detail(TimeCategory::Kernel, &request.name, exec_time);
+                let track = rec.track(&format!("stream:{}", id.0));
+                let finished = started + dequeue_cost + exec_time;
+                let call = rec.begin_span(track, request.name.clone(), "srpc", started);
+                rec.complete_span(track, "exec", "kernel", started + dequeue_cost, finished);
+                rec.end_span(track, call, finished);
+            }
         }
         Ok(true)
     }
@@ -809,7 +941,12 @@ impl CronusSystem {
     /// # Errors
     ///
     /// sRPC errors, including [`SrpcError::PeerFailed`] on partition failure.
-    pub fn call_async(&mut self, id: StreamId, name: &str, payload: &[u8]) -> Result<(), SrpcError> {
+    pub fn call_async(
+        &mut self,
+        id: StreamId,
+        name: &str,
+        payload: &[u8],
+    ) -> Result<(), SrpcError> {
         self.enqueue(id, name, payload)
     }
 
@@ -819,7 +956,12 @@ impl CronusSystem {
     /// # Errors
     ///
     /// sRPC errors; [`SrpcError::HandlerFailed`] if the handler errored.
-    pub fn call_sync(&mut self, id: StreamId, name: &str, payload: &[u8]) -> Result<Vec<u8>, SrpcError> {
+    pub fn call_sync(
+        &mut self,
+        id: StreamId,
+        name: &str,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, SrpcError> {
         self.enqueue(id, name, payload)?;
         let result_index = self.stream(id)?.rid - 1;
         self.drain(id)?;
@@ -829,19 +971,30 @@ impl CronusSystem {
         let wakeup = self.spm.machine().cost().srpc_sync_wakeup;
         let (caller, caller_va, result_off, executor_now) = {
             let s = self.stream(id)?;
-            (s.caller, s.caller_va, s.layout.result_slot(result_index), s.executor_clock.now())
+            (
+                s.caller,
+                s.caller_va,
+                s.layout.result_slot(result_index),
+                s.executor_clock.now(),
+            )
         };
         {
             let c = self.clock_mut(caller.1);
             c.advance_to(executor_now);
             c.advance(wakeup);
         }
-        self.spm.machine_mut().record(EventKind::RpcSync { stream: id.0 });
+        self.spm
+            .machine_mut()
+            .record(EventKind::RpcSync { stream: id.0 });
+        if let Some(rec) = self.spm.recorder() {
+            rec.charge_detail(TimeCategory::Ring, "sync_wakeup", wakeup);
+        }
 
         let mut slot = vec![0u8; crate::ring::RESULT_SLOT_SIZE];
         {
             let (mos, machine) = self.spm.mos_and_machine(caller.0)?;
-            if let Err(e) = mos.enclave_read(machine, caller.1, caller_va.add(result_off), &mut slot)
+            if let Err(e) =
+                mos.enclave_read(machine, caller.1, caller_va.add(result_off), &mut slot)
             {
                 return Err(self.stream_fault(id, caller.0, e));
             }
@@ -876,7 +1029,12 @@ impl CronusSystem {
             c.advance_to(executor_now);
             c.advance(wakeup);
         }
-        self.spm.machine_mut().record(EventKind::RpcSync { stream: id.0 });
+        self.spm
+            .machine_mut()
+            .record(EventKind::RpcSync { stream: id.0 });
+        if let Some(rec) = self.spm.recorder() {
+            rec.charge_detail(TimeCategory::Ring, "sync_wakeup", wakeup);
+        }
         let s = self.streams.get_mut(&id).expect("checked");
         s.stats.sync_points += 1;
         Ok(())
@@ -944,7 +1102,15 @@ mod tests {
         BootConfig {
             partitions: vec![
                 PartitionSpec::new(1, b"cpu-mos", "v1", DeviceSpec::Cpu),
-                PartitionSpec::new(2, b"cuda-mos", "v3", DeviceSpec::Gpu { memory: 1 << 26, sms: 46 }),
+                PartitionSpec::new(
+                    2,
+                    b"cuda-mos",
+                    "v3",
+                    DeviceSpec::Gpu {
+                        memory: 1 << 26,
+                        sms: 46,
+                    },
+                ),
                 PartitionSpec::new(3, b"npu-mos", "v1", DeviceSpec::Npu { memory: 1 << 24 }),
             ],
             ..Default::default()
@@ -1009,10 +1175,16 @@ mod tests {
         let t1 = sys.enclave_time(cpu);
         let caller_cost = t1 - t0;
         // 100 enqueues at ~120ns each, far below 100 kernels at 50us each.
-        assert!(caller_cost < SimNs::from_micros(100), "caller streamed: {caller_cost}");
+        assert!(
+            caller_cost < SimNs::from_micros(100),
+            "caller streamed: {caller_cost}"
+        );
         sys.sync(stream).unwrap();
         let t2 = sys.enclave_time(cpu);
-        assert!(t2 - t1 >= SimNs::from_millis(4), "sync waits for ~100x50us of work");
+        assert!(
+            t2 - t1 >= SimNs::from_millis(4),
+            "sync waits for ~100x50us of work"
+        );
     }
 
     #[test]
@@ -1068,11 +1240,15 @@ mod tests {
         let mut sys = CronusSystem::boot(config());
         let app = sys.create_app();
         // The untrusted dispatcher routes GPU requests to the CPU partition.
-        sys.dispatcher_mut().inject_misroute(DeviceKind::Gpu, AsId::new(1));
+        sys.dispatcher_mut()
+            .inject_misroute(DeviceKind::Gpu, AsId::new(1));
         let err = sys
             .create_enclave(Actor::App(app), gpu_manifest(), &BTreeMap::new())
             .unwrap_err();
-        assert!(matches!(err, SystemError::Spm(_)), "mOS rejects the mismatched manifest: {err:?}");
+        assert!(
+            matches!(err, SystemError::Spm(_)),
+            "mOS rejects the mismatched manifest: {err:?}"
+        );
     }
 
     #[test]

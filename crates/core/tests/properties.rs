@@ -1,142 +1,226 @@
 //! Property-based tests for the sRPC protocol and pipes.
+//!
+//! The full generated suite lives in the gated `full` module (enable with the
+//! non-default `proptest` feature, e.g. `cargo test --all-features`); the
+//! `smoke` module keeps a deterministic subset always on.
 
-use std::collections::BTreeMap;
+#[cfg(feature = "proptest")]
+mod full {
+    use std::collections::BTreeMap;
 
-use proptest::prelude::*;
+    use proptest::prelude::*;
 
-use cronus_core::{Actor, CronusSystem, DEFAULT_RING_PAGES};
-use cronus_devices::DeviceKind;
-use cronus_mos::manifest::{Manifest, McallDecl};
-use cronus_sim::SimNs;
-use cronus_spm::spm::{BootConfig, DeviceSpec, PartitionSpec};
+    use cronus_core::{Actor, CronusSystem, DEFAULT_RING_PAGES};
+    use cronus_devices::DeviceKind;
+    use cronus_mos::manifest::{Manifest, McallDecl};
+    use cronus_sim::SimNs;
+    use cronus_spm::spm::{BootConfig, DeviceSpec, PartitionSpec};
 
-fn setup() -> (CronusSystem, cronus_core::EnclaveRef, cronus_core::EnclaveRef) {
-    let mut sys = CronusSystem::boot(BootConfig {
-        partitions: vec![
-            PartitionSpec::new(1, b"cpu-mos", "v1", DeviceSpec::Cpu),
-            PartitionSpec::new(2, b"cuda-mos", "v3", DeviceSpec::Gpu { memory: 1 << 24, sms: 46 }),
-        ],
-        ..Default::default()
-    });
-    let app = sys.create_app();
-    let cpu = sys
-        .create_enclave(
-            Actor::App(app),
-            Manifest::new(DeviceKind::Cpu).with_memory(1 << 20),
-            &BTreeMap::new(),
-        )
-        .expect("cpu");
-    let gpu = sys
-        .create_enclave(
-            Actor::Enclave(cpu),
-            Manifest::new(DeviceKind::Gpu)
-                .with_mecall(McallDecl::asynchronous("append"))
-                .with_mecall(McallDecl::synchronous("drain"))
-                .with_memory(1 << 20),
-            &BTreeMap::new(),
-        )
-        .expect("gpu");
-    (sys, cpu, gpu)
+    fn setup() -> (
+        CronusSystem,
+        cronus_core::EnclaveRef,
+        cronus_core::EnclaveRef,
+    ) {
+        let mut sys = CronusSystem::boot(BootConfig {
+            partitions: vec![
+                PartitionSpec::new(1, b"cpu-mos", "v1", DeviceSpec::Cpu),
+                PartitionSpec::new(
+                    2,
+                    b"cuda-mos",
+                    "v3",
+                    DeviceSpec::Gpu {
+                        memory: 1 << 24,
+                        sms: 46,
+                    },
+                ),
+            ],
+            ..Default::default()
+        });
+        let app = sys.create_app();
+        let cpu = sys
+            .create_enclave(
+                Actor::App(app),
+                Manifest::new(DeviceKind::Cpu).with_memory(1 << 20),
+                &BTreeMap::new(),
+            )
+            .expect("cpu");
+        let gpu = sys
+            .create_enclave(
+                Actor::Enclave(cpu),
+                Manifest::new(DeviceKind::Gpu)
+                    .with_mecall(McallDecl::asynchronous("append"))
+                    .with_mecall(McallDecl::synchronous("drain"))
+                    .with_memory(1 << 20),
+                &BTreeMap::new(),
+            )
+            .expect("gpu");
+        (sys, cpu, gpu)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// sRPC executes every request exactly once, in submission order,
+        /// regardless of how async calls and syncs interleave — the integrity
+        /// property replay/reorder/drop attacks try to break.
+        #[test]
+        fn srpc_preserves_order_and_exactly_once(
+            ops in proptest::collection::vec((any::<u8>(), any::<bool>()), 1..120),
+        ) {
+            let (mut sys, cpu, gpu) = setup();
+            // The handler appends each payload byte to a log and returns it on
+            // "drain".
+            let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::<u8>::new()));
+            let log_append = std::sync::Arc::clone(&log);
+            sys.register_handler(
+                gpu,
+                "append",
+                Box::new(move |_, p| {
+                    log_append.lock().expect("lock").push(p[0]);
+                    Ok((Vec::new(), SimNs::from_nanos(500)))
+                }),
+            );
+            let log_drain = std::sync::Arc::clone(&log);
+            sys.register_handler(
+                gpu,
+                "drain",
+                Box::new(move |_, _| Ok((log_drain.lock().expect("lock").clone(), SimNs::ZERO))),
+            );
+            let stream = sys.open_stream(cpu, gpu, DEFAULT_RING_PAGES).expect("stream");
+
+            let mut expected = Vec::new();
+            for (byte, sync_now) in &ops {
+                sys.call_async(stream, "append", &[*byte]).expect("append");
+                expected.push(*byte);
+                if *sync_now {
+                    sys.sync(stream).expect("sync");
+                }
+            }
+            let observed = sys.call_sync(stream, "drain", &[]).expect("drain");
+            prop_assert_eq!(observed, expected);
+        }
+
+        /// Pipes deliver bytes FIFO for arbitrary write/read chunkings.
+        #[test]
+        fn pipe_is_fifo(
+            writes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..200), 1..20),
+            read_chunk in 1usize..300,
+        ) {
+            let (mut sys, cpu, gpu) = setup();
+            let pipe = sys.open_pipe(cpu, gpu, 2).expect("pipe");
+            let mut sent = Vec::new();
+            let mut received = Vec::new();
+            for w in &writes {
+                let mut remaining: &[u8] = w;
+                while !remaining.is_empty() {
+                    let n = sys.pipe_write(pipe, remaining).expect("write");
+                    sent.extend_from_slice(&remaining[..n]);
+                    remaining = &remaining[n..];
+                    if n == 0 {
+                        // Back-pressure: drain some.
+                        let got = sys.pipe_read(pipe, read_chunk).expect("read");
+                        prop_assert!(!got.is_empty(), "full pipe must have data");
+                        received.extend_from_slice(&got);
+                    }
+                }
+            }
+            loop {
+                let got = sys.pipe_read(pipe, read_chunk).expect("read");
+                if got.is_empty() {
+                    break;
+                }
+                received.extend_from_slice(&got);
+            }
+            prop_assert_eq!(received, sent);
+        }
+
+        /// The caller's clock is monotone and never exceeds the executor's by
+        /// more than its own enqueue work (async never waits).
+        #[test]
+        fn async_calls_never_wait(n in 1usize..100) {
+            let (mut sys, cpu, gpu) = setup();
+            sys.register_handler(
+                gpu,
+                "append",
+                Box::new(|_, _| Ok((Vec::new(), SimNs::from_micros(30)))),
+            );
+            let stream = sys.open_stream(cpu, gpu, DEFAULT_RING_PAGES).expect("stream");
+            let t0 = sys.enclave_time(cpu);
+            let mut last = t0;
+            for _ in 0..n.min(200) {
+                sys.call_async(stream, "append", &[1]).expect("call");
+                let now = sys.enclave_time(cpu);
+                prop_assert!(now >= last, "clock is monotone");
+                last = now;
+            }
+            let per_call = (last - t0).as_nanos() / n as u64;
+            // Ring capacity (268 slots) exceeds n, so no stall can occur.
+            prop_assert!(per_call < 1_000, "async call cost {per_call}ns");
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+mod smoke {
+    use std::collections::BTreeMap;
+    use std::sync::{Arc, Mutex};
 
-    /// sRPC executes every request exactly once, in submission order,
-    /// regardless of how async calls and syncs interleave — the integrity
-    /// property replay/reorder/drop attacks try to break.
+    use cronus_core::{Actor, CronusSystem, DEFAULT_RING_PAGES};
+    use cronus_devices::DeviceKind;
+    use cronus_mos::manifest::{Manifest, McallDecl};
+    use cronus_sim::SimNs;
+    use cronus_spm::spm::{BootConfig, DeviceSpec, PartitionSpec};
+
     #[test]
-    fn srpc_preserves_order_and_exactly_once(
-        ops in proptest::collection::vec((any::<u8>(), any::<bool>()), 1..120),
-    ) {
-        let (mut sys, cpu, gpu) = setup();
-        // The handler appends each payload byte to a log and returns it on
-        // "drain".
-        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::<u8>::new()));
-        let log_append = std::sync::Arc::clone(&log);
+    fn srpc_exactly_once_in_order_fixed() {
+        let mut sys = CronusSystem::boot(BootConfig {
+            partitions: vec![
+                PartitionSpec::new(1, b"cpu-mos", "v1", DeviceSpec::Cpu),
+                PartitionSpec::new(
+                    2,
+                    b"cuda-mos",
+                    "v3",
+                    DeviceSpec::Gpu {
+                        memory: 1 << 24,
+                        sms: 46,
+                    },
+                ),
+            ],
+            ..Default::default()
+        });
+        let app = sys.create_app();
+        let cpu = sys
+            .create_enclave(
+                Actor::App(app),
+                Manifest::new(DeviceKind::Cpu).with_memory(1 << 20),
+                &BTreeMap::new(),
+            )
+            .expect("cpu");
+        let gpu = sys
+            .create_enclave(
+                Actor::Enclave(cpu),
+                Manifest::new(DeviceKind::Gpu)
+                    .with_mecall(McallDecl::asynchronous("append"))
+                    .with_memory(1 << 20),
+                &BTreeMap::new(),
+            )
+            .expect("gpu");
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
         sys.register_handler(
             gpu,
             "append",
             Box::new(move |_, p| {
-                log_append.lock().expect("lock").push(p[0]);
-                Ok((Vec::new(), SimNs::from_nanos(500)))
+                sink.lock().expect("lock").push(p[0]);
+                Ok((Vec::new(), SimNs::from_nanos(50)))
             }),
         );
-        let log_drain = std::sync::Arc::clone(&log);
-        sys.register_handler(
-            gpu,
-            "drain",
-            Box::new(move |_, _| Ok((log_drain.lock().expect("lock").clone(), SimNs::ZERO))),
-        );
-        let stream = sys.open_stream(cpu, gpu, DEFAULT_RING_PAGES).expect("stream");
-
-        let mut expected = Vec::new();
-        for (byte, sync_now) in &ops {
-            sys.call_async(stream, "append", &[*byte]).expect("append");
-            expected.push(*byte);
-            if *sync_now {
-                sys.sync(stream).expect("sync");
-            }
+        let stream = sys
+            .open_stream(cpu, gpu, DEFAULT_RING_PAGES)
+            .expect("stream");
+        for i in 0..32u8 {
+            sys.call_async(stream, "append", &[i]).expect("call");
         }
-        let observed = sys.call_sync(stream, "drain", &[]).expect("drain");
-        prop_assert_eq!(observed, expected);
-    }
-
-    /// Pipes deliver bytes FIFO for arbitrary write/read chunkings.
-    #[test]
-    fn pipe_is_fifo(
-        writes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..200), 1..20),
-        read_chunk in 1usize..300,
-    ) {
-        let (mut sys, cpu, gpu) = setup();
-        let pipe = sys.open_pipe(cpu, gpu, 2).expect("pipe");
-        let mut sent = Vec::new();
-        let mut received = Vec::new();
-        for w in &writes {
-            let mut remaining: &[u8] = w;
-            while !remaining.is_empty() {
-                let n = sys.pipe_write(pipe, remaining).expect("write");
-                sent.extend_from_slice(&remaining[..n]);
-                remaining = &remaining[n..];
-                if n == 0 {
-                    // Back-pressure: drain some.
-                    let got = sys.pipe_read(pipe, read_chunk).expect("read");
-                    prop_assert!(!got.is_empty(), "full pipe must have data");
-                    received.extend_from_slice(&got);
-                }
-            }
-        }
-        loop {
-            let got = sys.pipe_read(pipe, read_chunk).expect("read");
-            if got.is_empty() {
-                break;
-            }
-            received.extend_from_slice(&got);
-        }
-        prop_assert_eq!(received, sent);
-    }
-
-    /// The caller's clock is monotone and never exceeds the executor's by
-    /// more than its own enqueue work (async never waits).
-    #[test]
-    fn async_calls_never_wait(n in 1usize..100) {
-        let (mut sys, cpu, gpu) = setup();
-        sys.register_handler(
-            gpu,
-            "append",
-            Box::new(|_, _| Ok((Vec::new(), SimNs::from_micros(30)))),
-        );
-        let stream = sys.open_stream(cpu, gpu, DEFAULT_RING_PAGES).expect("stream");
-        let t0 = sys.enclave_time(cpu);
-        let mut last = t0;
-        for _ in 0..n.min(200) {
-            sys.call_async(stream, "append", &[1]).expect("call");
-            let now = sys.enclave_time(cpu);
-            prop_assert!(now >= last, "clock is monotone");
-            last = now;
-        }
-        let per_call = (last - t0).as_nanos() / n as u64;
-        // Ring capacity (268 slots) exceeds n, so no stall can occur.
-        prop_assert!(per_call < 1_000, "async call cost {per_call}ns");
+        sys.sync(stream).expect("sync");
+        assert_eq!(*seen.lock().expect("lock"), (0..32u8).collect::<Vec<u8>>());
     }
 }

@@ -8,14 +8,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::group::Group;
 use crate::hmac::hmac_sha256;
 use crate::sha256::{Digest, Sha256};
 
 /// A public verification key (group element `g^x`).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PublicKey(pub u64);
 
 impl fmt::Debug for PublicKey {
@@ -25,7 +23,7 @@ impl fmt::Debug for PublicKey {
 }
 
 /// A Schnorr signature `(e, s)`.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Signature {
     /// Fiat–Shamir challenge.
     pub e: u64,

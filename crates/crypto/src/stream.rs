@@ -51,7 +51,11 @@ impl StreamCipher {
         let mut ct = plaintext.to_vec();
         self.apply(nonce, &mut ct);
         let tag = self.tag(nonce, &ct);
-        SealedMessage { nonce, ciphertext: ct, tag }
+        SealedMessage {
+            nonce,
+            ciphertext: ct,
+            tag,
+        }
     }
 
     /// Verifies and decrypts a sealed message.
@@ -61,7 +65,11 @@ impl StreamCipher {
     /// Returns `None` if the MAC does not verify (tampered ciphertext, wrong
     /// nonce — i.e. a replayed/reordered message — or wrong key).
     pub fn open(&self, msg: &SealedMessage) -> Option<Vec<u8>> {
-        if !verify_hmac(&self.key, &Self::mac_input(msg.nonce, &msg.ciphertext), &msg.tag) {
+        if !verify_hmac(
+            &self.key,
+            &Self::mac_input(msg.nonce, &msg.ciphertext),
+            &msg.tag,
+        ) {
             return None;
         }
         let mut pt = msg.ciphertext.clone();

@@ -224,7 +224,9 @@ mod tests {
         bus.register(s).unwrap();
 
         let frame = machine.alloc_frame(World::Secure).unwrap();
-        machine.smmu_mut().grant(stream, frame.page(), PagePerms::RW);
+        machine
+            .smmu_mut()
+            .grant(stream, frame.page(), PagePerms::RW);
         machine
             .phys_write(World::Secure, frame.base(), b"weights")
             .unwrap();
@@ -267,7 +269,9 @@ mod tests {
         let stream = s.stream;
         bus.register(s).unwrap();
         let frame = machine.alloc_frame(World::Secure).unwrap();
-        machine.smmu_mut().grant(stream, frame.page(), PagePerms::RW);
+        machine
+            .smmu_mut()
+            .grant(stream, frame.page(), PagePerms::RW);
         let err = bus
             .dma_from_device(&mut machine, DeviceId::new(1), frame.base(), &[1])
             .unwrap_err();

@@ -18,6 +18,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use cronus_crypto::{KeyPair, PublicKey, Signature};
+use cronus_obs::FlightRecorder;
 use cronus_sim::tzpc::DeviceId;
 use cronus_sim::{CostModel, SimNs, StreamId};
 
@@ -68,7 +69,11 @@ pub enum GpuError {
     /// No kernel with this name is loaded in the context.
     UnknownKernel(String),
     /// A buffer access fell outside the allocation.
-    OutOfBounds { buffer: GpuBuffer, offset: u64, len: u64 },
+    OutOfBounds {
+        buffer: GpuBuffer,
+        offset: u64,
+        len: u64,
+    },
     /// The kernel rejected its arguments.
     BadArg(String),
 }
@@ -78,11 +83,21 @@ impl fmt::Display for GpuError {
         match self {
             GpuError::UnknownContext(c) => write!(f, "unknown gpu context {c:?}"),
             GpuError::UnknownBuffer(b) => write!(f, "unknown gpu buffer {b:?}"),
-            GpuError::OutOfMemory { requested, available } => {
-                write!(f, "gpu out of memory: requested {requested}, available {available}")
+            GpuError::OutOfMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "gpu out of memory: requested {requested}, available {available}"
+                )
             }
             GpuError::UnknownKernel(k) => write!(f, "unknown kernel {k:?}"),
-            GpuError::OutOfBounds { buffer, offset, len } => {
+            GpuError::OutOfBounds {
+                buffer,
+                offset,
+                len,
+            } => {
                 write!(f, "access [{offset}, +{len}) out of bounds for {buffer:?}")
             }
             GpuError::BadArg(msg) => write!(f, "bad kernel argument: {msg}"),
@@ -146,7 +161,8 @@ pub trait GpuMemAccess {
 }
 
 /// A kernel implementation: the Rust closure standing in for compiled SASS.
-pub type KernelFn = Arc<dyn Fn(&mut dyn GpuMemAccess, &[KernelArg]) -> Result<(), GpuError> + Send + Sync>;
+pub type KernelFn =
+    Arc<dyn Fn(&mut dyn GpuMemAccess, &[KernelArg]) -> Result<(), GpuError> + Send + Sync>;
 
 /// Description of a kernel launch's cost for the contention model.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -173,10 +189,17 @@ struct ContextMem<'a> {
 
 impl GpuMemAccess for ContextMem<'_> {
     fn read_bytes(&self, buf: GpuBuffer, offset: u64, out: &mut [u8]) -> Result<(), GpuError> {
-        let data = self.buffers.get(&buf.0).ok_or(GpuError::UnknownBuffer(buf))?;
+        let data = self
+            .buffers
+            .get(&buf.0)
+            .ok_or(GpuError::UnknownBuffer(buf))?;
         let end = offset as usize + out.len();
         if end > data.len() {
-            return Err(GpuError::OutOfBounds { buffer: buf, offset, len: out.len() as u64 });
+            return Err(GpuError::OutOfBounds {
+                buffer: buf,
+                offset,
+                len: out.len() as u64,
+            });
         }
         out.copy_from_slice(&data[offset as usize..end]);
         Ok(())
@@ -189,7 +212,11 @@ impl GpuMemAccess for ContextMem<'_> {
             .ok_or(GpuError::UnknownBuffer(buf))?;
         let end = offset as usize + data.len();
         if end > dst.len() {
-            return Err(GpuError::OutOfBounds { buffer: buf, offset, len: data.len() as u64 });
+            return Err(GpuError::OutOfBounds {
+                buffer: buf,
+                offset,
+                len: data.len() as u64,
+            });
         }
         dst[offset as usize..end].copy_from_slice(data);
         Ok(())
@@ -216,6 +243,7 @@ pub struct GpuDevice {
     next_buf: u64,
     total_launches: u64,
     pending_irqs: u32,
+    recorder: Option<FlightRecorder>,
 }
 
 impl fmt::Debug for GpuDevice {
@@ -245,7 +273,14 @@ impl GpuDevice {
             next_buf: 1,
             total_launches: 0,
             pending_irqs: 0,
+            recorder: None,
         }
+    }
+
+    /// Installs a flight recorder: kernel launches gain spans on the
+    /// `gpu:<id>` track plus launch/latency/occupancy metrics.
+    pub fn set_recorder(&mut self, rec: FlightRecorder) {
+        self.recorder = Some(rec);
     }
 
     /// Creates a GTX 2080-class GPU (8 GiB, 46 SMs) scaled to the cost
@@ -301,7 +336,9 @@ impl GpuDevice {
     }
 
     fn ctx(&self, ctx: GpuContextId) -> Result<&GpuContextState, GpuError> {
-        self.contexts.get(&ctx.0).ok_or(GpuError::UnknownContext(ctx))
+        self.contexts
+            .get(&ctx.0)
+            .ok_or(GpuError::UnknownContext(ctx))
     }
 
     fn ctx_mut(&mut self, ctx: GpuContextId) -> Result<&mut GpuContextState, GpuError> {
@@ -360,8 +397,14 @@ impl GpuDevice {
         offset: u64,
         data: &[u8],
     ) -> Result<(), GpuError> {
+        if let Some(rec) = &self.recorder {
+            rec.counter_add("gpu.dma_bytes", &[("dir", "h2d")], data.len() as u64);
+        }
         let state = self.ctx_mut(ctx)?;
-        ContextMem { buffers: &mut state.buffers }.write_bytes(buf, offset, data)
+        ContextMem {
+            buffers: &mut state.buffers,
+        }
+        .write_bytes(buf, offset, data)
     }
 
     /// Copies a device buffer out to host bytes (`cudaMemcpyDeviceToHost`).
@@ -376,8 +419,14 @@ impl GpuDevice {
         offset: u64,
         out: &mut [u8],
     ) -> Result<(), GpuError> {
+        if let Some(rec) = &self.recorder {
+            rec.counter_add("gpu.dma_bytes", &[("dir", "d2h")], out.len() as u64);
+        }
         let state = self.ctx_mut(ctx)?;
-        ContextMem { buffers: &mut state.buffers }.read_bytes(buf, offset, out)
+        ContextMem {
+            buffers: &mut state.buffers,
+        }
+        .read_bytes(buf, offset, out)
     }
 
     /// Length of a buffer.
@@ -432,12 +481,34 @@ impl GpuDevice {
             .get(kernel)
             .ok_or_else(|| GpuError::UnknownKernel(kernel.to_string()))?
             .clone();
-        f(&mut ContextMem { buffers: &mut state.buffers }, args)?;
+        f(
+            &mut ContextMem {
+                buffers: &mut state.buffers,
+            },
+            args,
+        )?;
         state.kernels_launched += 1;
         self.total_launches += 1;
         // Completion interrupt for the driver to service.
         self.pending_irqs += 1;
-        Ok(Self::exec_time(cost, sm_count, active, desc))
+        let t = Self::exec_time(cost, sm_count, active, desc);
+        if let Some(rec) = &self.recorder {
+            rec.counter_add("gpu.kernel_launches", &[("kernel", kernel)], 1);
+            rec.observe("gpu.kernel_ns", &[("kernel", kernel)], t);
+            rec.gauge_set("gpu.active_contexts", &[], active as i64);
+            rec.gauge_set("gpu.mem_used", &[], self.used as i64);
+            // Device-wide SM occupancy under the MPS split.
+            let sms_avail = (sm_count as f64 / active as f64).max(1.0);
+            let sms_used = (desc.sm_demand.max(1) as f64).min(sms_avail);
+            let pct = (sms_used * active as f64 / sm_count as f64 * 100.0).min(100.0);
+            rec.gauge_set("gpu.sm_occupancy_pct", &[], pct as i64);
+            // Span on the device track (time profiling stays in the sRPC
+            // layer, which charges the handler's execution time).
+            let track = rec.track(&format!("gpu:{}", self.id.as_u32()));
+            let start = rec.total_elapsed();
+            rec.complete_span(track, kernel.to_string(), "kernel", start, start + t);
+        }
+        Ok(t)
     }
 
     /// The contention model: concurrent contexts split SMs (MPS-style) and
@@ -616,9 +687,19 @@ mod tests {
             .collect();
         g.write_buffer(ctx, buf, 0, &init).unwrap();
         g.register_kernel(ctx, "scale", scale_kernel()).unwrap();
-        let desc = GpuKernelDesc { flops: 4.0, mem_bytes: 32.0, sm_demand: 1 };
+        let desc = GpuKernelDesc {
+            flops: 4.0,
+            mem_bytes: 32.0,
+            sm_demand: 1,
+        };
         let t = g
-            .launch(&cm, ctx, "scale", &[KernelArg::Buffer(buf), KernelArg::Float(2.0)], desc)
+            .launch(
+                &cm,
+                ctx,
+                "scale",
+                &[KernelArg::Buffer(buf), KernelArg::Float(2.0)],
+                desc,
+            )
             .unwrap();
         assert!(t >= cm.gpu_kernel_launch);
         let mut out = [0u8; 4];
@@ -633,7 +714,11 @@ mod tests {
         let cm = CostModel::default();
         let mut g = gpu();
         let ctx = g.create_context(4096).unwrap();
-        let desc = GpuKernelDesc { flops: 1.0, mem_bytes: 1.0, sm_demand: 1 };
+        let desc = GpuKernelDesc {
+            flops: 1.0,
+            mem_bytes: 1.0,
+            sm_demand: 1,
+        };
         let err = g.launch(&cm, ctx, "nope", &[], desc).unwrap_err();
         assert_eq!(err, GpuError::UnknownKernel("nope".into()));
     }
@@ -643,7 +728,11 @@ mod tests {
         let cm = CostModel::default();
         // A small kernel (8 SM demand) should not slow down with 2 tenants on
         // a 46-SM machine but must slow down with 16.
-        let small = GpuKernelDesc { flops: 1e8, mem_bytes: 0.0, sm_demand: 8 };
+        let small = GpuKernelDesc {
+            flops: 1e8,
+            mem_bytes: 0.0,
+            sm_demand: 8,
+        };
         let t1 = GpuDevice::exec_time(&cm, 46, 1, small);
         let t2 = GpuDevice::exec_time(&cm, 46, 2, small);
         let t16 = GpuDevice::exec_time(&cm, 46, 16, small);
@@ -652,7 +741,11 @@ mod tests {
         assert!(t2 < t1.scale(1.3));
         assert!(t16 > t2);
         // A machine-filling kernel slows down immediately.
-        let big = GpuKernelDesc { flops: 1e9, mem_bytes: 0.0, sm_demand: 46 };
+        let big = GpuKernelDesc {
+            flops: 1e9,
+            mem_bytes: 0.0,
+            sm_demand: 46,
+        };
         assert!(GpuDevice::exec_time(&cm, 46, 2, big) > GpuDevice::exec_time(&cm, 46, 1, big));
     }
 
@@ -663,7 +756,10 @@ mod tests {
         g.destroy_context(ctx).unwrap();
         assert_eq!(g.memory_used(), 0);
         assert!(g.create_context(600).is_ok());
-        assert_eq!(g.destroy_context(ctx).unwrap_err(), GpuError::UnknownContext(ctx));
+        assert_eq!(
+            g.destroy_context(ctx).unwrap_err(),
+            GpuError::UnknownContext(ctx)
+        );
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub mod npu;
 
 pub use bus::{BusError, PcieBus, PcieSlot};
 pub use cpu::CpuDevice;
-pub use gpu::{GpuBuffer, GpuContextId, GpuDevice, GpuError, GpuKernelDesc, GpuMemAccess, KernelArg, KernelFn};
+pub use gpu::{
+    GpuBuffer, GpuContextId, GpuDevice, GpuError, GpuKernelDesc, GpuMemAccess, KernelArg, KernelFn,
+};
 pub use npu::{AluOp, NpuBuffer, NpuContextId, NpuDevice, NpuError, VtaInsn, VtaProgram};
 
 use cronus_crypto::{KeyPair, PublicKey};
@@ -37,7 +39,7 @@ use cronus_sim::StreamId;
 
 /// The kind of computation a device accelerates; matches the manifest's
 /// `device_type` field.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum DeviceKind {
     /// General-purpose CPU (the paper's CPU mEnclave substrate).
     Cpu,

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use cronus_crypto::{KeyPair, PublicKey, Signature};
+use cronus_obs::FlightRecorder;
 use cronus_sim::tzpc::DeviceId;
 use cronus_sim::{CostModel, SimNs, StreamId};
 
@@ -55,10 +56,22 @@ pub enum VtaInsn {
     /// Loads an `rows x cols` i8 matrix from device memory into the input
     /// scratchpad. `stride` is the row pitch in bytes (2-D DMA); pass
     /// `cols` for a dense matrix.
-    LoadInp { src: NpuBuffer, offset: u64, rows: usize, cols: usize, stride: usize },
+    LoadInp {
+        src: NpuBuffer,
+        offset: u64,
+        rows: usize,
+        cols: usize,
+        stride: usize,
+    },
     /// Loads an `rows x cols` i8 matrix into the weight scratchpad (same
     /// 2-D addressing as `LoadInp`).
-    LoadWgt { src: NpuBuffer, offset: u64, rows: usize, cols: usize, stride: usize },
+    LoadWgt {
+        src: NpuBuffer,
+        offset: u64,
+        rows: usize,
+        cols: usize,
+        stride: usize,
+    },
     /// Zeroes the accumulator and shapes it `rows x cols` (i32).
     ResetAcc { rows: usize, cols: usize },
     /// `acc[m x n] += inp[m x k] * wgt[n x k]^T` (VTA weight layout).
@@ -67,7 +80,11 @@ pub enum VtaInsn {
     Alu(AluOp),
     /// Stores the accumulator, saturated to i8, into device memory with a
     /// row pitch of `stride` bytes.
-    StoreAcc { dst: NpuBuffer, offset: u64, stride: usize },
+    StoreAcc {
+        dst: NpuBuffer,
+        offset: u64,
+        stride: usize,
+    },
 }
 
 /// A compiled NPU program (what the TVM-like compiler emits).
@@ -106,9 +123,17 @@ pub enum NpuError {
     /// Context quota or device capacity exhausted.
     OutOfMemory { requested: u64, available: u64 },
     /// Buffer access out of bounds.
-    OutOfBounds { buffer: NpuBuffer, offset: u64, len: u64 },
+    OutOfBounds {
+        buffer: NpuBuffer,
+        offset: u64,
+        len: u64,
+    },
     /// GEMM with mismatched scratchpad shapes.
-    ShapeMismatch { inp: (usize, usize), wgt: (usize, usize), acc: (usize, usize) },
+    ShapeMismatch {
+        inp: (usize, usize),
+        wgt: (usize, usize),
+        acc: (usize, usize),
+    },
     /// Instruction needs scratchpad state that was never loaded.
     ScratchpadEmpty(&'static str),
 }
@@ -118,10 +143,20 @@ impl fmt::Display for NpuError {
         match self {
             NpuError::UnknownContext(c) => write!(f, "unknown npu context {c:?}"),
             NpuError::UnknownBuffer(b) => write!(f, "unknown npu buffer {b:?}"),
-            NpuError::OutOfMemory { requested, available } => {
-                write!(f, "npu out of memory: requested {requested}, available {available}")
+            NpuError::OutOfMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "npu out of memory: requested {requested}, available {available}"
+                )
             }
-            NpuError::OutOfBounds { buffer, offset, len } => {
+            NpuError::OutOfBounds {
+                buffer,
+                offset,
+                len,
+            } => {
                 write!(f, "access [{offset}, +{len}) out of bounds for {buffer:?}")
             }
             NpuError::ShapeMismatch { inp, wgt, acc } => write!(
@@ -163,6 +198,7 @@ pub struct NpuDevice {
     next_ctx: u32,
     next_buf: u64,
     pending_irqs: u32,
+    recorder: Option<FlightRecorder>,
 }
 
 impl fmt::Debug for NpuDevice {
@@ -187,7 +223,14 @@ impl NpuDevice {
             next_ctx: 1,
             next_buf: 1,
             pending_irqs: 0,
+            recorder: None,
         }
+    }
+
+    /// Installs a flight recorder: program runs gain spans on the `npu:<id>`
+    /// track plus run-count/latency metrics.
+    pub fn set_recorder(&mut self, rec: FlightRecorder) {
+        self.recorder = Some(rec);
     }
 
     /// A VTA-class device (256 MiB).
@@ -278,6 +321,9 @@ impl NpuDevice {
         offset: u64,
         data: &[u8],
     ) -> Result<(), NpuError> {
+        if let Some(rec) = &self.recorder {
+            rec.counter_add("npu.dma_bytes", &[("dir", "h2d")], data.len() as u64);
+        }
         let state = self.ctx_mut(ctx)?;
         let dst = state
             .buffers
@@ -285,7 +331,11 @@ impl NpuDevice {
             .ok_or(NpuError::UnknownBuffer(buf))?;
         let end = offset as usize + data.len();
         if end > dst.len() {
-            return Err(NpuError::OutOfBounds { buffer: buf, offset, len: data.len() as u64 });
+            return Err(NpuError::OutOfBounds {
+                buffer: buf,
+                offset,
+                len: data.len() as u64,
+            });
         }
         dst[offset as usize..end].copy_from_slice(data);
         Ok(())
@@ -303,6 +353,9 @@ impl NpuDevice {
         offset: u64,
         out: &mut [u8],
     ) -> Result<(), NpuError> {
+        if let Some(rec) = &self.recorder {
+            rec.counter_add("npu.dma_bytes", &[("dir", "d2h")], out.len() as u64);
+        }
         let state = self.ctx_mut(ctx)?;
         let src = state
             .buffers
@@ -310,7 +363,11 @@ impl NpuDevice {
             .ok_or(NpuError::UnknownBuffer(buf))?;
         let end = offset as usize + out.len();
         if end > src.len() {
-            return Err(NpuError::OutOfBounds { buffer: buf, offset, len: out.len() as u64 });
+            return Err(NpuError::OutOfBounds {
+                buffer: buf,
+                offset,
+                len: out.len() as u64,
+            });
         }
         out.copy_from_slice(&src[offset as usize..end]);
         Ok(())
@@ -336,6 +393,20 @@ impl NpuDevice {
         }
         state.programs_run += 1;
         self.pending_irqs += 1;
+        if let Some(rec) = &self.recorder {
+            rec.counter_add("npu.programs_run", &[], 1);
+            rec.counter_add("npu.insns_run", &[], program.insns.len() as u64);
+            rec.observe("npu.program_ns", &[], total);
+            let track = rec.track(&format!("npu:{}", self.id.as_u32()));
+            let start = rec.total_elapsed();
+            rec.complete_span(
+                track,
+                "vta-program".to_string(),
+                "kernel",
+                start,
+                start + total,
+            );
+        }
         Ok(total)
     }
 
@@ -346,12 +417,24 @@ impl NpuDevice {
     ) -> Result<SimNs, NpuError> {
         let issue = cost.npu_issue;
         match *insn {
-            VtaInsn::LoadInp { src, offset, rows, cols, stride } => {
+            VtaInsn::LoadInp {
+                src,
+                offset,
+                rows,
+                cols,
+                stride,
+            } => {
                 let data = Self::load_i8_2d(state, src, offset, rows, cols, stride)?;
                 state.pads.inp = Some((data, rows, cols));
                 Ok(issue + cost.pcie_copy((rows * cols) as u64))
             }
-            VtaInsn::LoadWgt { src, offset, rows, cols, stride } => {
+            VtaInsn::LoadWgt {
+                src,
+                offset,
+                rows,
+                cols,
+                stride,
+            } => {
                 let data = Self::load_i8_2d(state, src, offset, rows, cols, stride)?;
                 state.pads.wgt = Some((data, rows, cols));
                 Ok(issue + cost.pcie_copy((rows * cols) as u64))
@@ -411,7 +494,11 @@ impl NpuDevice {
                 }
                 Ok(issue + SimNs::from_nanos(acc.len() as u64 / 16 + 1))
             }
-            VtaInsn::StoreAcc { dst, offset, stride } => {
+            VtaInsn::StoreAcc {
+                dst,
+                offset,
+                stride,
+            } => {
                 let (acc, rows, cols) = state
                     .pads
                     .acc
@@ -462,7 +549,11 @@ impl NpuDevice {
         }
         let end = offset as usize + (rows - 1) * stride + cols;
         if end > buf.len() {
-            return Err(NpuError::OutOfBounds { buffer: src, offset, len: (rows * cols) as u64 });
+            return Err(NpuError::OutOfBounds {
+                buffer: src,
+                offset,
+                len: (rows * cols) as u64,
+            });
         }
         let mut out = Vec::with_capacity(rows * cols);
         for r in 0..rows {
@@ -560,12 +651,28 @@ mod tests {
         dev.write_buffer(ctx, a, 0, &inp_u8).unwrap();
         dev.write_buffer(ctx, b, 0, &wgt_u8).unwrap();
         let mut prog = VtaProgram::new();
-        prog.push(VtaInsn::LoadInp { src: a, offset: 0, rows: m, cols: k, stride: k })
-            .push(VtaInsn::LoadWgt { src: b, offset: 0, rows: n, cols: k, stride: k })
-            .push(VtaInsn::ResetAcc { rows: m, cols: n })
-            .push(VtaInsn::Gemm)
-            .push(VtaInsn::Alu(AluOp::MaxImm(0)))
-            .push(VtaInsn::StoreAcc { dst: out, offset: 0, stride: n });
+        prog.push(VtaInsn::LoadInp {
+            src: a,
+            offset: 0,
+            rows: m,
+            cols: k,
+            stride: k,
+        })
+        .push(VtaInsn::LoadWgt {
+            src: b,
+            offset: 0,
+            rows: n,
+            cols: k,
+            stride: k,
+        })
+        .push(VtaInsn::ResetAcc { rows: m, cols: n })
+        .push(VtaInsn::Gemm)
+        .push(VtaInsn::Alu(AluOp::MaxImm(0)))
+        .push(VtaInsn::StoreAcc {
+            dst: out,
+            offset: 0,
+            stride: n,
+        });
         let t = dev.run(&cm, ctx, &prog).unwrap();
         assert!(t > SimNs::ZERO);
         let mut bytes = vec![0u8; m * n];
@@ -608,10 +715,22 @@ mod tests {
         let a = dev.alloc(ctx, 4).unwrap();
         dev.write_buffer(ctx, a, 0, &[1, 1, 1, 1]).unwrap();
         let mut prog = VtaProgram::new();
-        prog.push(VtaInsn::LoadInp { src: a, offset: 0, rows: 2, cols: 2, stride: 2 })
-            .push(VtaInsn::LoadWgt { src: a, offset: 0, rows: 1, cols: 4, stride: 4 })
-            .push(VtaInsn::ResetAcc { rows: 2, cols: 1 })
-            .push(VtaInsn::Gemm);
+        prog.push(VtaInsn::LoadInp {
+            src: a,
+            offset: 0,
+            rows: 2,
+            cols: 2,
+            stride: 2,
+        })
+        .push(VtaInsn::LoadWgt {
+            src: a,
+            offset: 0,
+            rows: 1,
+            cols: 4,
+            stride: 4,
+        })
+        .push(VtaInsn::ResetAcc { rows: 2, cols: 1 })
+        .push(VtaInsn::Gemm);
         let err = dev.run(&cm, ctx, &prog).unwrap_err();
         assert!(matches!(err, NpuError::ShapeMismatch { .. }));
     }
@@ -651,12 +770,28 @@ mod tests {
         let out = dev.alloc(ctx, 1).unwrap();
         dev.write_buffer(ctx, a, 0, &[64]).unwrap();
         let mut prog = VtaProgram::new();
-        prog.push(VtaInsn::LoadInp { src: a, offset: 0, rows: 1, cols: 1, stride: 1 })
-            .push(VtaInsn::LoadWgt { src: a, offset: 0, rows: 1, cols: 1, stride: 1 })
-            .push(VtaInsn::ResetAcc { rows: 1, cols: 1 })
-            .push(VtaInsn::Gemm) // 64 * 64 = 4096
-            .push(VtaInsn::Alu(AluOp::ShrImm(6))) // 4096 >> 6 = 64
-            .push(VtaInsn::StoreAcc { dst: out, offset: 0, stride: 1 });
+        prog.push(VtaInsn::LoadInp {
+            src: a,
+            offset: 0,
+            rows: 1,
+            cols: 1,
+            stride: 1,
+        })
+        .push(VtaInsn::LoadWgt {
+            src: a,
+            offset: 0,
+            rows: 1,
+            cols: 1,
+            stride: 1,
+        })
+        .push(VtaInsn::ResetAcc { rows: 1, cols: 1 })
+        .push(VtaInsn::Gemm) // 64 * 64 = 4096
+        .push(VtaInsn::Alu(AluOp::ShrImm(6))) // 4096 >> 6 = 64
+        .push(VtaInsn::StoreAcc {
+            dst: out,
+            offset: 0,
+            stride: 1,
+        });
         dev.run(&cm, ctx, &prog).unwrap();
         let mut b = [0u8; 1];
         dev.read_buffer(ctx, out, 0, &mut b).unwrap();
@@ -680,10 +815,25 @@ mod tests {
         ) -> SimNs {
             let a = dev.alloc(ctx, (dim * dim) as u64).unwrap();
             let mut prog = VtaProgram::new();
-            prog.push(VtaInsn::LoadInp { src: a, offset: 0, rows: dim, cols: dim, stride: dim })
-                .push(VtaInsn::LoadWgt { src: a, offset: 0, rows: dim, cols: dim, stride: dim })
-                .push(VtaInsn::ResetAcc { rows: dim, cols: dim })
-                .push(VtaInsn::Gemm);
+            prog.push(VtaInsn::LoadInp {
+                src: a,
+                offset: 0,
+                rows: dim,
+                cols: dim,
+                stride: dim,
+            })
+            .push(VtaInsn::LoadWgt {
+                src: a,
+                offset: 0,
+                rows: dim,
+                cols: dim,
+                stride: dim,
+            })
+            .push(VtaInsn::ResetAcc {
+                rows: dim,
+                cols: dim,
+            })
+            .push(VtaInsn::Gemm);
             dev.run(cm, ctx, &prog).unwrap()
         }
     }

@@ -24,7 +24,10 @@ use cronus_sim::{Machine, SimNs, StreamId};
 #[derive(Clone, Debug, PartialEq)]
 pub enum HalError {
     /// Operation targeted the wrong device kind (e.g. GPU op on an NPU mOS).
-    WrongKind { expected: DeviceKind, actual: DeviceKind },
+    WrongKind {
+        expected: DeviceKind,
+        actual: DeviceKind,
+    },
     /// GPU driver error.
     Gpu(GpuError),
     /// NPU driver error.
@@ -39,7 +42,10 @@ impl fmt::Display for HalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HalError::WrongKind { expected, actual } => {
-                write!(f, "hal manages a {actual} device, operation expects {expected}")
+                write!(
+                    f,
+                    "hal manages a {actual} device, operation expects {expected}"
+                )
             }
             HalError::Gpu(e) => write!(f, "gpu: {e}"),
             HalError::Npu(e) => write!(f, "npu: {e}"),
@@ -107,7 +113,9 @@ impl DeviceAttestation {
     /// Verifies the device's self-signature (authenticity step 1; step 2,
     /// vendor endorsement, happens at the client).
     pub fn verify_self(&self) -> bool {
-        self.rot_public.verify(&self.config, &self.signature).is_ok()
+        self.rot_public
+            .verify(&self.config, &self.signature)
+            .is_ok()
     }
 }
 
@@ -190,19 +198,48 @@ impl DeviceHal {
         let (kind, compatible, config, rot_public, signature) = match self {
             DeviceHal::Cpu(d) => {
                 let cfg = format!("cpu:{}", d.id()).into_bytes();
-                (d.kind(), d.compatible().to_string(), cfg.clone(), d.rot_public(), d.sign_config(&cfg))
+                (
+                    d.kind(),
+                    d.compatible().to_string(),
+                    cfg.clone(),
+                    d.rot_public(),
+                    d.sign_config(&cfg),
+                )
             }
             DeviceHal::Gpu(d) => {
-                let cfg = format!("gpu:{}:sms={}:mem={}", d.id(), d.sm_count(), d.memory_capacity())
-                    .into_bytes();
-                (d.kind(), d.compatible().to_string(), cfg.clone(), d.rot_public(), d.sign_config(&cfg))
+                let cfg = format!(
+                    "gpu:{}:sms={}:mem={}",
+                    d.id(),
+                    d.sm_count(),
+                    d.memory_capacity()
+                )
+                .into_bytes();
+                (
+                    d.kind(),
+                    d.compatible().to_string(),
+                    cfg.clone(),
+                    d.rot_public(),
+                    d.sign_config(&cfg),
+                )
             }
             DeviceHal::Npu(d) => {
                 let cfg = format!("npu:{}", d.id()).into_bytes();
-                (d.kind(), d.compatible().to_string(), cfg.clone(), d.rot_public(), d.sign_config(&cfg))
+                (
+                    d.kind(),
+                    d.compatible().to_string(),
+                    cfg.clone(),
+                    d.rot_public(),
+                    d.sign_config(&cfg),
+                )
             }
         };
-        DeviceAttestation { kind, compatible, rot_public, config, signature }
+        DeviceAttestation {
+            kind,
+            compatible,
+            rot_public,
+            config,
+            signature,
+        }
     }
 
     /// Opens a device context with a memory quota (intra-accelerator
@@ -244,7 +281,10 @@ impl DeviceHal {
     pub fn gpu_mut(&mut self) -> Result<&mut GpuDevice, HalError> {
         match self {
             DeviceHal::Gpu(d) => Ok(d),
-            other => Err(HalError::WrongKind { expected: DeviceKind::Gpu, actual: other.kind() }),
+            other => Err(HalError::WrongKind {
+                expected: DeviceKind::Gpu,
+                actual: other.kind(),
+            }),
         }
     }
 
@@ -256,7 +296,10 @@ impl DeviceHal {
     pub fn gpu(&self) -> Result<&GpuDevice, HalError> {
         match self {
             DeviceHal::Gpu(d) => Ok(d),
-            other => Err(HalError::WrongKind { expected: DeviceKind::Gpu, actual: other.kind() }),
+            other => Err(HalError::WrongKind {
+                expected: DeviceKind::Gpu,
+                actual: other.kind(),
+            }),
         }
     }
 
@@ -268,7 +311,10 @@ impl DeviceHal {
     pub fn npu_mut(&mut self) -> Result<&mut NpuDevice, HalError> {
         match self {
             DeviceHal::Npu(d) => Ok(d),
-            other => Err(HalError::WrongKind { expected: DeviceKind::Npu, actual: other.kind() }),
+            other => Err(HalError::WrongKind {
+                expected: DeviceKind::Npu,
+                actual: other.kind(),
+            }),
         }
     }
 
@@ -280,7 +326,10 @@ impl DeviceHal {
     pub fn cpu_mut(&mut self) -> Result<&mut CpuDevice, HalError> {
         match self {
             DeviceHal::Cpu(d) => Ok(d),
-            other => Err(HalError::WrongKind { expected: DeviceKind::Cpu, actual: other.kind() }),
+            other => Err(HalError::WrongKind {
+                expected: DeviceKind::Cpu,
+                actual: other.kind(),
+            }),
         }
     }
 
@@ -391,7 +440,12 @@ mod tests {
     use cronus_sim::{MachineConfig, World};
 
     fn gpu_hal() -> DeviceHal {
-        DeviceHal::Gpu(GpuDevice::new(DeviceId::new(1), StreamId::new(1), 1 << 20, 46))
+        DeviceHal::Gpu(GpuDevice::new(
+            DeviceId::new(1),
+            StreamId::new(1),
+            1 << 20,
+            46,
+        ))
     }
 
     fn secure_bus(device: DeviceId, stream: StreamId) -> PcieBus {
@@ -421,9 +475,15 @@ mod tests {
         let mut hal = gpu_hal();
         assert!(matches!(
             hal.npu_mut().unwrap_err(),
-            HalError::WrongKind { expected: DeviceKind::Npu, actual: DeviceKind::Gpu }
+            HalError::WrongKind {
+                expected: DeviceKind::Npu,
+                actual: DeviceKind::Gpu
+            }
         ));
-        assert!(matches!(hal.cpu_mut().unwrap_err(), HalError::WrongKind { .. }));
+        assert!(matches!(
+            hal.cpu_mut().unwrap_err(),
+            HalError::WrongKind { .. }
+        ));
         assert!(hal.gpu_mut().is_ok());
     }
 
@@ -470,7 +530,9 @@ mod tests {
             .unwrap();
         hal.gpu_copy_d2h(&mut machine, &bus, ctx, buf, 0, frame.base(), 8)
             .unwrap();
-        let host = machine.phys_read_vec(World::Secure, frame.base(), 8).unwrap();
+        let host = machine
+            .phys_read_vec(World::Secure, frame.base(), 8)
+            .unwrap();
         assert_eq!(host, vec![9, 8, 7, 6, 5, 4, 3, 2]);
     }
 

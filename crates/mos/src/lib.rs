@@ -29,4 +29,4 @@ pub use hal::{DeviceAttestation, DeviceCtx, DeviceHal, HalError};
 pub use manager::{EnclaveEntry, EnclaveManager, ManagerError, Owner};
 pub use manifest::{Eid, Manifest, ManifestError, McallDecl, MosId, Resources};
 pub use mos::{MicroOs, MosError, MosStatus};
-pub use shim::{ShimKernel, SharedSpinLock, SpinLockError};
+pub use shim::{SharedSpinLock, ShimKernel, SpinLockError};

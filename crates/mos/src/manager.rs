@@ -121,7 +121,11 @@ pub struct EnclaveManager {
 impl EnclaveManager {
     /// Creates a manager for `mos`.
     pub fn new(mos: MosId) -> Self {
-        EnclaveManager { mos, next_local: 1, enclaves: HashMap::new() }
+        EnclaveManager {
+            mos,
+            next_local: 1,
+            enclaves: HashMap::new(),
+        }
     }
 
     /// The hosting mOS id.
@@ -194,7 +198,9 @@ impl EnclaveManager {
     ///
     /// [`ManagerError::UnknownEnclave`].
     pub fn entry(&self, eid: Eid) -> Result<&EnclaveEntry, ManagerError> {
-        self.enclaves.get(&eid).ok_or(ManagerError::UnknownEnclave(eid))
+        self.enclaves
+            .get(&eid)
+            .ok_or(ManagerError::UnknownEnclave(eid))
     }
 
     /// Checks that `caller` owns `eid` (mECall authorization).
@@ -263,8 +269,14 @@ mod tests {
     fn create_one(mgr: &mut EnclaveManager, owner: Owner) -> Eid {
         let manifest = Manifest::new(DeviceKind::Gpu);
         let dh = DhKeyPair::from_seed("owner");
-        mgr.create(manifest, &BTreeMap::new(), owner, dh.public(), DeviceCtx::Cpu(0))
-            .unwrap()
+        mgr.create(
+            manifest,
+            &BTreeMap::new(),
+            owner,
+            dh.public(),
+            DeviceCtx::Cpu(0),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -326,7 +338,10 @@ mod tests {
         let err = mgr
             .create(manifest, &images, Owner::App(1), 1, DeviceCtx::Cpu(0))
             .unwrap_err();
-        assert!(matches!(err, ManagerError::Manifest(ManifestError::ImageHashMismatch { .. })));
+        assert!(matches!(
+            err,
+            ManagerError::Manifest(ManifestError::ImageHashMismatch { .. })
+        ));
         assert!(mgr.is_empty());
     }
 
@@ -336,7 +351,10 @@ mod tests {
         let eid = create_one(&mut mgr, Owner::App(1));
         assert_eq!(mgr.destroy(eid).unwrap(), DeviceCtx::Cpu(0));
         assert!(mgr.entry(eid).is_err());
-        assert_eq!(mgr.destroy(eid).unwrap_err(), ManagerError::UnknownEnclave(eid));
+        assert_eq!(
+            mgr.destroy(eid).unwrap_err(),
+            ManagerError::UnknownEnclave(eid)
+        );
     }
 
     #[test]

@@ -9,13 +9,11 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use cronus_crypto::{measure, Digest};
 use cronus_devices::DeviceKind;
 
 /// An mOS identifier: the top 8 bits of every [`Eid`] minted by that mOS.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct MosId(pub u8);
 
 impl fmt::Display for MosId {
@@ -27,7 +25,7 @@ impl fmt::Display for MosId {
 /// A 32-bit enclave identifier: "the first 8 bits are the mOS id, and the
 /// last 24 bits are for the enclave id within the mOS" (§IV-A). The SPM
 /// "uses the mOS part for validating cross-mOS messages".
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Eid(u32);
 
 impl Eid {
@@ -73,7 +71,7 @@ impl fmt::Display for Eid {
 ///
 /// The paper "reused SGX's edl format ... and instrumented the format with
 /// the synchronization/asynchronization flag for sRPC" (§IV-A).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct McallDecl {
     /// Function name.
     pub name: String,
@@ -86,17 +84,23 @@ pub struct McallDecl {
 impl McallDecl {
     /// Declares an asynchronous (streamable) mECall.
     pub fn asynchronous(name: &str) -> Self {
-        McallDecl { name: name.to_string(), synchronous: false }
+        McallDecl {
+            name: name.to_string(),
+            synchronous: false,
+        }
     }
 
     /// Declares a synchronous mECall.
     pub fn synchronous(name: &str) -> Self {
-        McallDecl { name: name.to_string(), synchronous: true }
+        McallDecl {
+            name: name.to_string(),
+            synchronous: true,
+        }
     }
 }
 
 /// Resource capacity requested by the mEnclave.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Resources {
     /// Device/enclave memory in bytes (the manifest's `"memory": "1G"`).
     pub memory_bytes: u64,
@@ -104,7 +108,9 @@ pub struct Resources {
 
 impl Default for Resources {
     fn default() -> Self {
-        Resources { memory_bytes: 64 << 20 }
+        Resources {
+            memory_bytes: 64 << 20,
+        }
     }
 }
 
@@ -112,7 +118,10 @@ impl Default for Resources {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ManifestError {
     /// The manifest's device type does not match the hosting mOS's device.
-    DeviceMismatch { manifest: DeviceKind, mos: DeviceKind },
+    DeviceMismatch {
+        manifest: DeviceKind,
+        mos: DeviceKind,
+    },
     /// A provided image's hash does not match the manifest entry.
     ImageHashMismatch { name: String },
     /// The manifest references an image that was not provided.
@@ -135,7 +144,10 @@ impl fmt::Display for ManifestError {
             ManifestError::MissingImage { name } => {
                 write!(f, "image {name:?} declared but not provided")
             }
-            ManifestError::InsufficientResources { requested, available } => {
+            ManifestError::InsufficientResources {
+                requested,
+                available,
+            } => {
                 write!(f, "requested {requested} bytes, only {available} available")
             }
             ManifestError::DuplicateMcall { name } => {
@@ -148,7 +160,7 @@ impl fmt::Display for ManifestError {
 impl std::error::Error for ManifestError {}
 
 /// An mEnclave manifest (paper Figure 3).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Manifest {
     /// Device kind the enclave computes on.
     pub device_type: DeviceKind,
@@ -199,7 +211,9 @@ impl Manifest {
     pub fn validate(&self) -> Result<(), ManifestError> {
         for (i, a) in self.mecalls.iter().enumerate() {
             if self.mecalls.iter().skip(i + 1).any(|b| b.name == a.name) {
-                return Err(ManifestError::DuplicateMcall { name: a.name.clone() });
+                return Err(ManifestError::DuplicateMcall {
+                    name: a.name.clone(),
+                });
             }
         }
         Ok(())
@@ -303,13 +317,17 @@ mod tests {
         let mut images = BTreeMap::new();
         assert_eq!(
             m.check_images(&images).unwrap_err(),
-            ManifestError::MissingImage { name: "k.cubin".into() }
+            ManifestError::MissingImage {
+                name: "k.cubin".into()
+            }
         );
 
         images.insert("k.cubin".to_string(), b"tampered".to_vec());
         assert_eq!(
             m.check_images(&images).unwrap_err(),
-            ManifestError::ImageHashMismatch { name: "k.cubin".into() }
+            ManifestError::ImageHashMismatch {
+                name: "k.cubin".into()
+            }
         );
 
         images.insert("k.cubin".to_string(), good);

@@ -422,7 +422,13 @@ mod tests {
         let asid = AsId::new(2);
         machine.register_partition(asid);
         let gpu = GpuDevice::new(DeviceId::new(1), StreamId::new(1), 1 << 24, 46);
-        let mos = MicroOs::new(MosId(2), asid, b"cuda-mos-image-v3", "v3", DeviceHal::Gpu(gpu));
+        let mos = MicroOs::new(
+            MosId(2),
+            asid,
+            b"cuda-mos-image-v3",
+            "v3",
+            DeviceHal::Gpu(gpu),
+        );
         (machine, mos)
     }
 
@@ -440,7 +446,8 @@ mod tests {
         assert_eq!(mos.hal().context_count(), 1);
 
         let va = mos.alloc_enclave_pages(&mut machine, eid, 2).unwrap();
-        mos.enclave_write(&mut machine, eid, va, b"hello enclave").unwrap();
+        mos.enclave_write(&mut machine, eid, va, b"hello enclave")
+            .unwrap();
         let mut buf = [0u8; 13];
         mos.enclave_read(&mut machine, eid, va, &mut buf).unwrap();
         assert_eq!(&buf, b"hello enclave");
@@ -457,7 +464,8 @@ mod tests {
         mos.enclave_write(&mut machine, eid, end_of_first, &[1, 2, 3, 4])
             .unwrap();
         let mut buf = [0u8; 4];
-        mos.enclave_read(&mut machine, eid, end_of_first, &mut buf).unwrap();
+        mos.enclave_read(&mut machine, eid, end_of_first, &mut buf)
+            .unwrap();
         assert_eq!(buf, [1, 2, 3, 4]);
     }
 
@@ -465,7 +473,12 @@ mod tests {
     fn device_type_mismatch_rejected() {
         let (_machine, mut mos) = setup();
         let err = mos
-            .create_enclave(Manifest::new(DeviceKind::Npu), &BTreeMap::new(), Owner::App(1), 1)
+            .create_enclave(
+                Manifest::new(DeviceKind::Npu),
+                &BTreeMap::new(),
+                Owner::App(1),
+                1,
+            )
             .unwrap_err();
         assert!(matches!(
             err,
@@ -520,7 +533,8 @@ mod tests {
         );
         let mut buf = [0u8; 1];
         assert_eq!(
-            mos.enclave_read(&mut machine, eid, va, &mut buf).unwrap_err(),
+            mos.enclave_read(&mut machine, eid, va, &mut buf)
+                .unwrap_err(),
             MosError::NotRunning
         );
     }
@@ -542,7 +556,9 @@ mod tests {
         assert_ne!(mos.image_digest(), old_digest);
         assert_eq!(mos.version(), "v4");
         // The old eid is gone.
-        assert!(mos.translate(eid, VirtAddr::new(ENCLAVE_VA_BASE), Access::Read).is_err());
+        assert!(mos
+            .translate(eid, VirtAddr::new(ENCLAVE_VA_BASE), Access::Read)
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,363 @@
+//! Hand-rolled JSON emission (and a small validating parser for tests).
+//!
+//! The workspace builds offline with no serde, so the observability exports
+//! build their documents from this value type. Integers are emitted
+//! losslessly (no f64 round-trip for `u64` nanosecond timestamps).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::U64(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::U64(v as u64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::I64(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::F64(v)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+
+impl Json {
+    /// Convenience constructor for objects.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => {
+                if v.is_finite() {
+                    // Always keep a decimal point so the token stays a JSON
+                    // number even for integral values.
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        let _ = write!(out, "{v:.1}");
+                    } else {
+                        let _ = write!(out, "{v}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Validates that `input` is a single well-formed JSON document. Used by the
+/// export tests; intentionally strict (no trailing garbage, no NaN tokens).
+pub fn is_well_formed(input: &str) -> bool {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    if p.value().is_err() {
+        return false;
+    }
+    p.skip_ws();
+    p.pos == p.bytes.len()
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, tok: &str) -> Result<(), ()> {
+        if self.bytes[self.pos..].starts_with(tok.as_bytes()) {
+            self.pos += tok.len();
+            Ok(())
+        } else {
+            Err(())
+        }
+    }
+
+    fn value(&mut self) -> Result<(), ()> {
+        self.skip_ws();
+        match self.peek().ok_or(())? {
+            b'n' => self.eat("null"),
+            b't' => self.eat("true"),
+            b'f' => self.eat("false"),
+            b'"' => self.string(),
+            b'[' => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.value()?;
+                    self.skip_ws();
+                    match self.bump().ok_or(())? {
+                        b',' => continue,
+                        b']' => return Ok(()),
+                        _ => return Err(()),
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.skip_ws();
+                    self.string()?;
+                    self.skip_ws();
+                    if self.bump() != Some(b':') {
+                        return Err(());
+                    }
+                    self.value()?;
+                    self.skip_ws();
+                    match self.bump().ok_or(())? {
+                        b',' => continue,
+                        b'}' => return Ok(()),
+                        _ => return Err(()),
+                    }
+                }
+            }
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => Err(()),
+        }
+    }
+
+    fn string(&mut self) -> Result<(), ()> {
+        if self.bump() != Some(b'"') {
+            return Err(());
+        }
+        loop {
+            match self.bump().ok_or(())? {
+                b'"' => return Ok(()),
+                b'\\' => match self.bump().ok_or(())? {
+                    b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {}
+                    b'u' => {
+                        for _ in 0..4 {
+                            if !self.bump().ok_or(())?.is_ascii_hexdigit() {
+                                return Err(());
+                            }
+                        }
+                    }
+                    _ => return Err(()),
+                },
+                b if b < 0x20 => return Err(()),
+                _ => {}
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), ()> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(());
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(());
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact_documents() {
+        let doc = Json::obj([
+            ("name", Json::from("sRPC \"fast\"\npath")),
+            ("count", Json::from(18_446_744_073_709_551_615u64)),
+            ("delta", Json::from(-3i64)),
+            ("ratio", Json::from(0.5)),
+            ("whole", Json::from(2.0)),
+            ("flags", Json::Arr(vec![Json::Bool(true), Json::Null])),
+        ]);
+        let s = doc.render();
+        assert!(s.contains("\"sRPC \\\"fast\\\"\\npath\""));
+        assert!(s.contains("18446744073709551615"));
+        assert!(s.contains("\"whole\":2.0"));
+        assert!(is_well_formed(&s), "rendered JSON must parse: {s}");
+    }
+
+    #[test]
+    fn nan_becomes_null() {
+        let s = Json::F64(f64::NAN).render();
+        assert_eq!(s, "null");
+        assert!(is_well_formed(&s));
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        for good in [
+            "{}",
+            "[]",
+            "[1,2.5,-3,1e9,\"x\",null,true,{\"k\":[false]}]",
+            "  {\"a\" : \"b\\u0041\"} ",
+        ] {
+            assert!(is_well_formed(good), "{good}");
+        }
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "nul",
+            "[1] trailing",
+            "\"unterminated",
+            "01e",
+            "NaN",
+        ] {
+            assert!(!is_well_formed(bad), "{bad}");
+        }
+    }
+}

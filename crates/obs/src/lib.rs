@@ -1,0 +1,32 @@
+//! # cronus-obs — the flight recorder
+//!
+//! Observability for the CRONUS reproduction, entirely in simulated time:
+//!
+//! - [`span`]: hierarchical spans (app → mEnclave → sRPC call → device
+//!   kernel → recovery phase) exportable as Chrome trace-event JSON that
+//!   loads in Perfetto / `chrome://tracing`.
+//! - [`metrics`]: labeled counters, gauges and log-bucketed latency
+//!   histograms (p50/p95/p99/max) keyed by partition/stream/device.
+//! - [`profile`]: charges every simulated nanosecond to a category
+//!   (world-switch, context-switch, crypto, memcpy, ring, kernel, recovery,
+//!   mgmt, idle) and emits folded-stack flamegraph lines.
+//! - [`recorder`]: the [`FlightRecorder`] handle tying the three together,
+//!   plus the [`cronus_sim::EventSink`] bridge that keeps metric counters in
+//!   exact agreement with the simulator's event log.
+//! - [`json`]: the offline (serde-free) JSON emission all exports use.
+//!
+//! The crate sits between `cronus-sim` and the policy layers: `spm`, `core`,
+//! `devices` and `runtime` take an optional recorder and instrument their
+//! hot paths; the bench harness dumps snapshots next to its table output.
+
+pub mod json;
+pub mod metrics;
+pub mod profile;
+pub mod recorder;
+pub mod span;
+
+pub use json::{is_well_formed, Json};
+pub use metrics::{bucket_index, labels, Histogram, LabelSet, MetricsRegistry};
+pub use profile::{TimeCategory, TimeProfiler};
+pub use recorder::{charge_opt, FlightRecorder, RecorderInner, RecorderSink};
+pub use span::{Span, SpanId, SpanTracer, TrackId};

@@ -1,0 +1,458 @@
+//! Labeled counters, gauges, and log-bucketed latency histograms.
+//!
+//! Every metric is keyed by name plus a sorted label set (e.g.
+//! `("partition","2"), ("stream","3")`), mirroring the Prometheus data model
+//! without any wire protocol. Histograms bucket by powers of two of
+//! nanoseconds — 64 buckets cover the full `u64` range — and report
+//! interpolated p50/p95/p99 plus the exact min/max.
+
+use std::collections::BTreeMap;
+
+use cronus_sim::SimNs;
+
+use crate::json::Json;
+
+/// A sorted `key=value` label set.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelSet(Vec<(String, String)>);
+
+impl LabelSet {
+    /// An empty label set.
+    pub fn empty() -> Self {
+        LabelSet(Vec::new())
+    }
+
+    /// Builds a label set from `key=value` pairs (order-insensitive).
+    pub fn from_pairs(pairs: &[(&str, &str)]) -> Self {
+        let mut v: Vec<(String, String)> = pairs
+            .iter()
+            .map(|(k, val)| (k.to_string(), val.to_string()))
+            .collect();
+        v.sort();
+        LabelSet(v)
+    }
+
+    /// The pairs, sorted by key.
+    pub fn pairs(&self) -> &[(String, String)] {
+        &self.0
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            self.0
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                .collect(),
+        )
+    }
+}
+
+/// Number of power-of-two buckets; covers every representable `u64` ns value.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A log-bucketed histogram of simulated durations.
+///
+/// Bucket `i` holds values whose floor(log2) is `i`, i.e. the interval
+/// `[2^i, 2^(i+1))`, with bucket 0 also holding the value 0.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index for a nanosecond value: floor(log2(v)), with 0 → bucket 0.
+pub fn bucket_index(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        63 - ns.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (0 for bucket 0).
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, d: SimNs) {
+        let ns = d.as_nanos();
+        self.buckets[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum += ns as u128;
+        self.min = self.min.min(ns);
+        self.max = self.max.max(ns);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations in nanoseconds.
+    pub fn sum_ns(&self) -> u128 {
+        self.sum
+    }
+
+    /// Mean observation, zero if empty.
+    pub fn mean(&self) -> SimNs {
+        if self.count == 0 {
+            SimNs::ZERO
+        } else {
+            SimNs::from_nanos((self.sum / self.count as u128) as u64)
+        }
+    }
+
+    /// Smallest observation (exact), zero if empty.
+    pub fn min(&self) -> SimNs {
+        if self.count == 0 {
+            SimNs::ZERO
+        } else {
+            SimNs::from_nanos(self.min)
+        }
+    }
+
+    /// Largest observation (exact), zero if empty.
+    pub fn max(&self) -> SimNs {
+        SimNs::from_nanos(self.max)
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Estimated `q`-quantile (0 ≤ q ≤ 1), linearly interpolated within the
+    /// containing bucket and clamped to the exact observed min/max.
+    pub fn quantile(&self, q: f64) -> SimNs {
+        if self.count == 0 {
+            return SimNs::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = bucket_lower_bound(i) as f64;
+                let hi = if i >= 63 {
+                    u64::MAX as f64
+                } else {
+                    (1u64 << (i + 1)) as f64
+                };
+                let frac = (rank - seen) as f64 / n as f64;
+                let est = lo + (hi - lo) * frac;
+                let est = est.min(self.max as f64).max(self.min as f64);
+                return SimNs::from_nanos(est as u64);
+            }
+            seen += n;
+        }
+        SimNs::from_nanos(self.max)
+    }
+
+    /// Median.
+    pub fn p50(&self) -> SimNs {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> SimNs {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> SimNs {
+        self.quantile(0.99)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::U64(self.count)),
+            ("sum_ns", Json::F64(self.sum as f64)),
+            ("mean_ns", Json::U64(self.mean().as_nanos())),
+            ("min_ns", Json::U64(self.min().as_nanos())),
+            ("p50_ns", Json::U64(self.p50().as_nanos())),
+            ("p95_ns", Json::U64(self.p95().as_nanos())),
+            ("p99_ns", Json::U64(self.p99().as_nanos())),
+            ("max_ns", Json::U64(self.max().as_nanos())),
+        ])
+    }
+}
+
+/// The registry: all counters, gauges and histograms for one run.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<(String, LabelSet), u64>,
+    gauges: BTreeMap<(String, LabelSet), GaugeCell>,
+    histograms: BTreeMap<(String, LabelSet), Histogram>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct GaugeCell {
+    value: i64,
+    max: i64,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the counter `name{labels}`.
+    pub fn counter_add(&mut self, name: &str, labels: LabelSet, delta: u64) {
+        *self.counters.entry((name.to_string(), labels)).or_insert(0) += delta;
+    }
+
+    /// Current value of the counter `name{labels}` (zero if never touched).
+    pub fn counter(&self, name: &str, labels: &LabelSet) -> u64 {
+        self.counters
+            .get(&(name.to_string(), labels.clone()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sum of `name` across all label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Sets the gauge `name{labels}`, tracking its high-water mark.
+    pub fn gauge_set(&mut self, name: &str, labels: LabelSet, value: i64) {
+        let cell = self.gauges.entry((name.to_string(), labels)).or_default();
+        cell.value = value;
+        cell.max = cell.max.max(value);
+    }
+
+    /// Current value of a gauge (zero if never set).
+    pub fn gauge(&self, name: &str, labels: &LabelSet) -> i64 {
+        self.gauges
+            .get(&(name.to_string(), labels.clone()))
+            .map_or(0, |c| c.value)
+    }
+
+    /// High-water mark of a gauge (zero if never set).
+    pub fn gauge_max(&self, name: &str, labels: &LabelSet) -> i64 {
+        self.gauges
+            .get(&(name.to_string(), labels.clone()))
+            .map_or(0, |c| c.max)
+    }
+
+    /// Records one duration into the histogram `name{labels}`.
+    pub fn observe(&mut self, name: &str, labels: LabelSet, d: SimNs) {
+        self.histograms
+            .entry((name.to_string(), labels))
+            .or_default()
+            .observe(d);
+    }
+
+    /// The histogram `name{labels}`, if any observation was recorded.
+    pub fn histogram(&self, name: &str, labels: &LabelSet) -> Option<&Histogram> {
+        self.histograms.get(&(name.to_string(), labels.clone()))
+    }
+
+    /// Iterates all histograms (name, labels, histogram).
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &LabelSet, &Histogram)> {
+        self.histograms.iter().map(|((n, l), h)| (n.as_str(), l, h))
+    }
+
+    /// Serializes the whole registry as a JSON snapshot. `meta` fields are
+    /// placed at the top of the document (run name, simulated elapsed, …).
+    pub fn snapshot_json(&self, meta: &[(&'static str, Json)]) -> String {
+        let counters = self
+            .counters
+            .iter()
+            .map(|((n, l), v)| {
+                Json::obj([
+                    ("name", Json::from(n.as_str())),
+                    ("labels", l.to_json()),
+                    ("value", Json::U64(*v)),
+                ])
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|((n, l), c)| {
+                Json::obj([
+                    ("name", Json::from(n.as_str())),
+                    ("labels", l.to_json()),
+                    ("value", Json::I64(c.value)),
+                    ("max", Json::I64(c.max)),
+                ])
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|((n, l), h)| {
+                let mut fields = vec![
+                    ("name".to_string(), Json::Str(n.clone())),
+                    ("labels".to_string(), l.to_json()),
+                ];
+                if let Json::Obj(stat_fields) = h.to_json() {
+                    fields.extend(stat_fields);
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        let mut doc: Vec<(String, Json)> = meta
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        doc.push(("counters".to_string(), Json::Arr(counters)));
+        doc.push(("gauges".to_string(), Json::Arr(gauges)));
+        doc.push(("histograms".to_string(), Json::Arr(histograms)));
+        Json::Obj(doc).render()
+    }
+}
+
+/// Shorthand for [`LabelSet::from_pairs`].
+pub fn labels(pairs: &[(&str, &str)]) -> LabelSet {
+    LabelSet::from_pairs(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::is_well_formed;
+
+    fn ns(v: u64) -> SimNs {
+        SimNs::from_nanos(v)
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        for i in 1..HISTOGRAM_BUCKETS {
+            let lo = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lo), i, "lower bound lands in its bucket");
+            assert_eq!(bucket_index(lo - 1), i - 1, "below the bound is previous");
+        }
+    }
+
+    #[test]
+    fn histogram_counts_and_extremes_are_exact() {
+        let mut h = Histogram::default();
+        for v in [100u64, 200, 300, 4_000, 50_000] {
+            h.observe(ns(v));
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), ns(100));
+        assert_eq!(h.max(), ns(50_000));
+        assert_eq!(h.sum_ns(), 54_600);
+        assert_eq!(h.mean(), ns(54_600 / 5));
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.observe(ns(v * 17));
+        }
+        let (p50, p95, p99, max) = (h.p50(), h.p95(), h.p99(), h.max());
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= max);
+        assert!(p50 >= h.min());
+        // The median of 17..=17000 is ~8500; log-bucket resolution gives a
+        // factor-of-two estimate at worst.
+        let p50ns = p50.as_nanos();
+        assert!(
+            (4_250..=17_000).contains(&p50ns),
+            "p50 ≈ median, got {p50ns}"
+        );
+    }
+
+    #[test]
+    fn quantile_of_single_observation_is_that_value() {
+        let mut h = Histogram::default();
+        h.observe(ns(777));
+        assert_eq!(h.p50(), ns(777));
+        assert_eq!(h.p99(), ns(777));
+        assert_eq!(h.quantile(0.0), ns(777));
+        assert_eq!(h.quantile(1.0), ns(777));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), SimNs::ZERO);
+        assert_eq!(h.min(), SimNs::ZERO);
+        assert_eq!(h.max(), SimNs::ZERO);
+    }
+
+    #[test]
+    fn counters_and_gauges_are_label_scoped() {
+        let mut m = MetricsRegistry::new();
+        let s1 = labels(&[("stream", "1")]);
+        let s2 = labels(&[("stream", "2")]);
+        m.counter_add("srpc.enqueued", s1.clone(), 3);
+        m.counter_add("srpc.enqueued", s2.clone(), 4);
+        assert_eq!(m.counter("srpc.enqueued", &s1), 3);
+        assert_eq!(m.counter("srpc.enqueued", &s2), 4);
+        assert_eq!(m.counter_total("srpc.enqueued"), 7);
+        assert_eq!(m.counter("srpc.enqueued", &LabelSet::empty()), 0);
+
+        m.gauge_set("ring.occupancy", s1.clone(), 5);
+        m.gauge_set("ring.occupancy", s1.clone(), 2);
+        assert_eq!(m.gauge("ring.occupancy", &s1), 2);
+        assert_eq!(m.gauge_max("ring.occupancy", &s1), 5);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let a = labels(&[("partition", "2"), ("stream", "3")]);
+        let b = labels(&[("stream", "3"), ("partition", "2")]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshot_is_well_formed_json() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("faults", LabelSet::empty(), 2);
+        m.gauge_set("occupancy", labels(&[("stream", "1")]), 9);
+        m.observe("latency", labels(&[("device", "gpu")]), ns(12_345));
+        let json = m.snapshot_json(&[
+            ("run", Json::from("test")),
+            ("elapsed_ns", Json::U64(1_000_000)),
+        ]);
+        assert!(is_well_formed(&json), "snapshot must parse: {json}");
+        assert!(json.contains("\"run\":\"test\""));
+        assert!(json.contains("\"p99_ns\""));
+        assert!(json.contains("\"counters\""));
+    }
+}

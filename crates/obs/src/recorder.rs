@@ -1,0 +1,357 @@
+//! The flight recorder: one shared handle bundling spans, metrics and the
+//! time profiler, plus the [`cronus_sim::EventSink`] bridge that keeps the
+//! metrics counters in exact agreement with the simulator's [`EventLog`]
+//! (both are driven by the same `Machine::record` call).
+//!
+//! [`EventLog`]: cronus_sim::EventLog
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use cronus_sim::{EventKind, EventSink, SimNs};
+
+use crate::json::Json;
+use crate::metrics::{labels, LabelSet, MetricsRegistry};
+use crate::profile::{TimeCategory, TimeProfiler};
+use crate::span::{SpanId, SpanTracer, TrackId};
+
+/// Everything one run records.
+#[derive(Default, Debug)]
+pub struct RecorderInner {
+    /// Hierarchical spans.
+    pub spans: SpanTracer,
+    /// Counters, gauges, histograms.
+    pub metrics: MetricsRegistry,
+    /// Time attribution.
+    pub profiler: TimeProfiler,
+}
+
+/// A cheaply-cloneable handle to one run's observability state.
+///
+/// Clones share the same underlying store; one clone is typically boxed as
+/// the machine's event sink while others live in the SPM, devices and
+/// runtime shims.
+#[derive(Clone, Default, Debug)]
+pub struct FlightRecorder {
+    inner: Arc<Mutex<RecorderInner>>,
+}
+
+impl FlightRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        FlightRecorder::default()
+    }
+
+    /// Locks the store for direct access (tests, exporters).
+    pub fn lock(&self) -> MutexGuard<'_, RecorderInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Runs `f` with the locked store.
+    pub fn with<R>(&self, f: impl FnOnce(&mut RecorderInner) -> R) -> R {
+        f(&mut self.lock())
+    }
+
+    // --- span conveniences ---------------------------------------------
+
+    /// Returns (creating if needed) the track named `name`.
+    pub fn track(&self, name: &str) -> TrackId {
+        self.with(|r| r.spans.track(name))
+    }
+
+    /// Opens a span; see [`SpanTracer::begin`].
+    pub fn begin_span(
+        &self,
+        track: TrackId,
+        name: impl Into<String>,
+        cat: &'static str,
+        at: SimNs,
+    ) -> SpanId {
+        self.with(|r| {
+            r.profiler.observe_instant(at);
+            r.spans.begin(track, name, cat, at)
+        })
+    }
+
+    /// Closes a span; see [`SpanTracer::end`].
+    pub fn end_span(&self, track: TrackId, id: SpanId, at: SimNs) {
+        self.with(|r| {
+            r.profiler.observe_instant(at);
+            r.spans.end(track, id, at)
+        })
+    }
+
+    /// Records a closed interval span; see [`SpanTracer::complete`].
+    pub fn complete_span(
+        &self,
+        track: TrackId,
+        name: impl Into<String>,
+        cat: &'static str,
+        start: SimNs,
+        end: SimNs,
+    ) -> SpanId {
+        self.with(|r| {
+            r.profiler.observe_instant(end);
+            r.spans.complete(track, name, cat, start, end)
+        })
+    }
+
+    // --- metric conveniences -------------------------------------------
+
+    /// Adds to a counter.
+    pub fn counter_add(&self, name: &str, lbls: &[(&str, &str)], delta: u64) {
+        self.with(|r| r.metrics.counter_add(name, labels(lbls), delta));
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&self, name: &str, lbls: &[(&str, &str)], value: i64) {
+        self.with(|r| r.metrics.gauge_set(name, labels(lbls), value));
+    }
+
+    /// Records a histogram observation.
+    pub fn observe(&self, name: &str, lbls: &[(&str, &str)], d: SimNs) {
+        self.with(|r| r.metrics.observe(name, labels(lbls), d));
+    }
+
+    // --- profiler conveniences -----------------------------------------
+
+    /// Charges simulated time to a category.
+    pub fn charge(&self, cat: TimeCategory, d: SimNs) {
+        self.with(|r| r.profiler.charge(cat, d));
+    }
+
+    /// Charges simulated time to a category with a detail frame.
+    pub fn charge_detail(&self, cat: TimeCategory, detail: &str, d: SimNs) {
+        self.with(|r| r.profiler.charge_detail(cat, detail, d));
+    }
+
+    /// Advances the elapsed-time watermark.
+    pub fn observe_instant(&self, at: SimNs) {
+        self.with(|r| r.profiler.observe_instant(at));
+    }
+
+    /// Current elapsed-time watermark (used to place attribution-local
+    /// spans, e.g. recovery phases, back to back).
+    pub fn total_elapsed(&self) -> SimNs {
+        self.with(|r| r.profiler.total_elapsed())
+    }
+
+    // --- exports --------------------------------------------------------
+
+    /// Closes open spans and renders the Chrome trace-event JSON document.
+    pub fn chrome_trace_json(&self) -> String {
+        self.with(|r| {
+            let at = r.profiler.total_elapsed();
+            r.spans.finish_all(at);
+            r.spans.chrome_trace_json()
+        })
+    }
+
+    /// Renders the metrics snapshot JSON for a run named `run`.
+    pub fn metrics_snapshot_json(&self, run: &str) -> String {
+        self.with(|r| {
+            let attribution: Vec<Json> = r
+                .profiler
+                .attribution()
+                .iter()
+                .map(|(cat, d)| {
+                    Json::obj([
+                        ("category", Json::from(cat.name())),
+                        ("ns", Json::U64(d.as_nanos())),
+                    ])
+                })
+                .collect();
+            r.metrics.snapshot_json(&[
+                ("run", Json::from(run)),
+                (
+                    "elapsed_ns",
+                    Json::U64(r.profiler.total_elapsed().as_nanos()),
+                ),
+                ("busy_ns", Json::U64(r.profiler.total_busy().as_nanos())),
+                ("idle_ns", Json::U64(r.profiler.idle().as_nanos())),
+                ("attribution", Json::Arr(attribution)),
+            ])
+        })
+    }
+
+    /// Renders folded-stack lines for flamegraph tooling.
+    pub fn folded_stacks(&self) -> String {
+        self.with(|r| r.profiler.folded_stacks())
+    }
+
+    /// Boxes a sink for [`cronus_sim::Machine::set_event_sink`]; events then
+    /// feed this recorder's counters.
+    pub fn sink(&self) -> Box<dyn EventSink> {
+        Box::new(RecorderSink(self.clone()))
+    }
+}
+
+/// Bridges the simulator's event stream into the recorder.
+///
+/// Counter names mirror [`EventKind`] variants one-to-one, so equality with
+/// `EventLog` query helpers (`context_switches()`, `world_switches()`, …)
+/// holds by construction: the same `record` call drives both.
+pub struct RecorderSink(FlightRecorder);
+
+impl RecorderSink {
+    /// Wraps a recorder handle.
+    pub fn new(rec: FlightRecorder) -> Self {
+        RecorderSink(rec)
+    }
+}
+
+impl EventSink for RecorderSink {
+    fn on_event(&mut self, at: SimNs, kind: &EventKind) {
+        self.0.with(|r| {
+            r.profiler.observe_instant(at);
+            let m = &mut r.metrics;
+            match kind {
+                EventKind::WorldSwitch => {
+                    m.counter_add("world_switches", LabelSet::empty(), 1);
+                }
+                EventKind::ContextSwitch { to, .. } => {
+                    m.counter_add("context_switches", labels(&[("to", &to.to_string())]), 1);
+                }
+                EventKind::RpcEnqueue { stream } => {
+                    m.counter_add(
+                        "srpc.enqueued",
+                        labels(&[("stream", &stream.to_string())]),
+                        1,
+                    );
+                }
+                EventKind::RpcDispatch { stream } => {
+                    m.counter_add(
+                        "srpc.dispatched",
+                        labels(&[("stream", &stream.to_string())]),
+                        1,
+                    );
+                }
+                EventKind::RpcSync { stream } => {
+                    m.counter_add("srpc.syncs", labels(&[("stream", &stream.to_string())]), 1);
+                }
+                EventKind::EncryptedRpc { bytes } => {
+                    m.counter_add("encrypted_rpc.messages", LabelSet::empty(), 1);
+                    m.counter_add("encrypted_rpc.bytes", LabelSet::empty(), *bytes);
+                }
+                EventKind::Faulted(_) => {
+                    m.counter_add("faults", LabelSet::empty(), 1);
+                }
+                EventKind::PartitionFailed { partition } => {
+                    m.counter_add(
+                        "partition.failed",
+                        labels(&[("partition", &partition.to_string())]),
+                        1,
+                    );
+                }
+                EventKind::PartitionCleared { partition } => {
+                    m.counter_add(
+                        "partition.cleared",
+                        labels(&[("partition", &partition.to_string())]),
+                        1,
+                    );
+                }
+                EventKind::PartitionRecovered { partition } => {
+                    m.counter_add(
+                        "partition.recovered",
+                        labels(&[("partition", &partition.to_string())]),
+                        1,
+                    );
+                }
+                EventKind::MemoryShared { pages, .. } => {
+                    m.counter_add("memory.shared_pages", LabelSet::empty(), *pages as u64);
+                }
+                EventKind::FailureSignal { partition } => {
+                    m.counter_add(
+                        "failure.signals",
+                        labels(&[("partition", &partition.to_string())]),
+                        1,
+                    );
+                }
+                EventKind::DeviceIrq { count } => {
+                    m.counter_add("device.irqs", LabelSet::empty(), *count as u64);
+                }
+                EventKind::Marker(label) => {
+                    m.counter_add("markers", LabelSet::empty(), 1);
+                    r.spans.instant(*label, at);
+                }
+            }
+        });
+    }
+}
+
+/// Charges the recorder (if present) — a shorthand for the `Option<&FlightRecorder>`
+/// plumbing in instrumented crates.
+pub fn charge_opt(rec: Option<&FlightRecorder>, cat: TimeCategory, d: SimNs) {
+    if let Some(rec) = rec {
+        rec.charge(cat, d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::is_well_formed;
+    use cronus_sim::AsId;
+
+    fn ns(v: u64) -> SimNs {
+        SimNs::from_nanos(v)
+    }
+
+    #[test]
+    fn sink_counts_match_event_stream() {
+        let rec = FlightRecorder::new();
+        let mut sink = RecorderSink::new(rec.clone());
+        let a = AsId::new(1);
+        let b = AsId::new(2);
+        sink.on_event(ns(1), &EventKind::WorldSwitch);
+        sink.on_event(ns(2), &EventKind::WorldSwitch);
+        sink.on_event(ns(3), &EventKind::ContextSwitch { from: a, to: b });
+        sink.on_event(ns(4), &EventKind::RpcEnqueue { stream: 9 });
+        sink.on_event(ns(5), &EventKind::RpcDispatch { stream: 9 });
+        sink.on_event(ns(6), &EventKind::Marker("phase:warmup"));
+        let inner = rec.lock();
+        assert_eq!(inner.metrics.counter_total("world_switches"), 2);
+        assert_eq!(inner.metrics.counter_total("context_switches"), 1);
+        assert_eq!(inner.metrics.counter_total("srpc.enqueued"), 1);
+        assert_eq!(inner.metrics.counter_total("srpc.dispatched"), 1);
+        assert_eq!(inner.metrics.counter_total("markers"), 1);
+        assert_eq!(inner.spans.instants().len(), 1);
+        assert_eq!(inner.profiler.total_elapsed(), ns(6));
+    }
+
+    #[test]
+    fn recorder_clones_share_state() {
+        let rec = FlightRecorder::new();
+        let clone = rec.clone();
+        clone.counter_add("x", &[], 5);
+        assert_eq!(rec.lock().metrics.counter_total("x"), 5);
+    }
+
+    #[test]
+    fn exports_are_well_formed() {
+        let rec = FlightRecorder::new();
+        let t = rec.track("spm");
+        let s = rec.begin_span(t, "boot", "boot", ns(0));
+        rec.end_span(t, s, ns(100));
+        rec.observe("lat", &[("stream", "1")], ns(42));
+        rec.charge(TimeCategory::Ring, ns(10));
+        assert!(is_well_formed(&rec.metrics_snapshot_json("unit")));
+        assert!(is_well_formed(&rec.chrome_trace_json()));
+    }
+
+    #[test]
+    fn attribution_in_snapshot_sums_to_elapsed() {
+        let rec = FlightRecorder::new();
+        rec.charge(TimeCategory::Kernel, ns(700));
+        rec.charge_detail(TimeCategory::Ring, "enqueue", ns(300));
+        rec.observe_instant(ns(2_000));
+        let inner = rec.lock();
+        let sum: u64 = inner
+            .profiler
+            .attribution()
+            .iter()
+            .map(|(_, d)| d.as_nanos())
+            .sum();
+        assert_eq!(sum, inner.profiler.total_elapsed().as_nanos());
+        assert_eq!(sum, 2_000);
+    }
+}

@@ -1,0 +1,370 @@
+//! Hierarchical spans over simulated time, exportable as Chrome trace events.
+//!
+//! A [`SpanTracer`] owns a set of *tracks* (rendered as threads in
+//! Perfetto/`chrome://tracing`) and a flat list of spans. Spans on one track
+//! nest: `begin` pushes onto the track's stack, `end` pops (auto-closing any
+//! children still open above the span being ended), so app → mEnclave →
+//! sRPC call → device kernel hierarchies come out for free.
+
+use std::collections::HashMap;
+
+use cronus_sim::SimNs;
+
+use crate::json::Json;
+
+/// Identifies a span within one tracer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+/// Identifies a track (a Perfetto "thread row") within one tracer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TrackId(pub usize);
+
+/// One span: a named interval on a track, with an optional parent.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// Unique id within the tracer.
+    pub id: SpanId,
+    /// Enclosing span on the same track, if any.
+    pub parent: Option<SpanId>,
+    /// Track the span lives on.
+    pub track: TrackId,
+    /// Display name (e.g. the mcall name).
+    pub name: String,
+    /// Category (e.g. `"srpc"`, `"kernel"`, `"recovery"`).
+    pub cat: &'static str,
+    /// Start instant.
+    pub start: SimNs,
+    /// End instant; `None` while the span is still open.
+    pub end: Option<SimNs>,
+}
+
+/// An instant marker (Chrome trace phase `"I"`), e.g. an experiment phase.
+#[derive(Clone, Debug)]
+pub struct Instant {
+    /// When the marker fired.
+    pub at: SimNs,
+    /// Marker label.
+    pub name: String,
+}
+
+/// The span store. See the module docs for the nesting model.
+#[derive(Default, Debug)]
+pub struct SpanTracer {
+    track_names: Vec<String>,
+    track_index: HashMap<String, TrackId>,
+    spans: Vec<Span>,
+    instants: Vec<Instant>,
+    /// Per-track stack of open span indices into `spans`.
+    open: HashMap<TrackId, Vec<usize>>,
+    next_id: u64,
+}
+
+impl SpanTracer {
+    /// Creates an empty tracer.
+    pub fn new() -> Self {
+        SpanTracer::default()
+    }
+
+    /// Returns the track named `name`, creating it on first use.
+    pub fn track(&mut self, name: &str) -> TrackId {
+        if let Some(&id) = self.track_index.get(name) {
+            return id;
+        }
+        let id = TrackId(self.track_names.len());
+        self.track_names.push(name.to_string());
+        self.track_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Opens a span at `at` on `track`, nested under the track's current top.
+    pub fn begin(
+        &mut self,
+        track: TrackId,
+        name: impl Into<String>,
+        cat: &'static str,
+        at: SimNs,
+    ) -> SpanId {
+        let stack = self.open.entry(track).or_default();
+        let parent = stack.last().map(|&i| self.spans[i].id);
+        let id = SpanId(self.next_id);
+        self.next_id += 1;
+        stack.push(self.spans.len());
+        self.spans.push(Span {
+            id,
+            parent,
+            track,
+            name: name.into(),
+            cat,
+            start: at,
+            end: None,
+        });
+        id
+    }
+
+    /// Closes span `id` at `at`. Any children still open above it on the
+    /// same track are closed at the same instant (a parent cannot outlive
+    /// its enclosing scope in the simulated call structure).
+    pub fn end(&mut self, track: TrackId, id: SpanId, at: SimNs) {
+        let stack = self.open.entry(track).or_default();
+        while let Some(&idx) = stack.last() {
+            let span = &mut self.spans[idx];
+            let done = span.id == id;
+            span.end = Some(at.max(span.start));
+            stack.pop();
+            if done {
+                return;
+            }
+        }
+    }
+
+    /// Records an already-measured interval as a closed span (nested under
+    /// whatever is currently open on the track, but not pushed on the stack).
+    pub fn complete(
+        &mut self,
+        track: TrackId,
+        name: impl Into<String>,
+        cat: &'static str,
+        start: SimNs,
+        end: SimNs,
+    ) -> SpanId {
+        let parent = self
+            .open
+            .get(&track)
+            .and_then(|s| s.last())
+            .map(|&i| self.spans[i].id);
+        let id = SpanId(self.next_id);
+        self.next_id += 1;
+        self.spans.push(Span {
+            id,
+            parent,
+            track,
+            name: name.into(),
+            cat,
+            start,
+            end: Some(end.max(start)),
+        });
+        id
+    }
+
+    /// Records an instant marker.
+    pub fn instant(&mut self, name: impl Into<String>, at: SimNs) {
+        self.instants.push(Instant {
+            at,
+            name: name.into(),
+        });
+    }
+
+    /// Closes every still-open span at `at`.
+    pub fn finish_all(&mut self, at: SimNs) {
+        for stack in self.open.values_mut() {
+            while let Some(idx) = stack.pop() {
+                let span = &mut self.spans[idx];
+                span.end = Some(at.max(span.start));
+            }
+        }
+    }
+
+    /// All spans, in creation order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// All instant markers, in creation order.
+    pub fn instants(&self) -> &[Instant] {
+        &self.instants
+    }
+
+    /// Number of spans currently open on `track`.
+    pub fn open_depth(&self, track: TrackId) -> usize {
+        self.open.get(&track).map_or(0, Vec::len)
+    }
+
+    /// Name of a track.
+    pub fn track_name(&self, track: TrackId) -> &str {
+        &self.track_names[track.0]
+    }
+
+    /// Checks the structural invariants the trace format relies on:
+    /// every closed span has `end >= start`, every child lies within its
+    /// parent's interval, and a child's parent precedes it in creation
+    /// order on the same track.
+    pub fn validate(&self) -> Result<(), String> {
+        let by_id: HashMap<SpanId, &Span> = self.spans.iter().map(|s| (s.id, s)).collect();
+        for span in &self.spans {
+            if let Some(end) = span.end {
+                if end < span.start {
+                    return Err(format!("span {:?} ends before it starts", span.name));
+                }
+            }
+            if let Some(pid) = span.parent {
+                let parent = by_id
+                    .get(&pid)
+                    .ok_or_else(|| format!("span {:?} has unknown parent", span.name))?;
+                if parent.track != span.track {
+                    return Err(format!("span {:?} crosses tracks", span.name));
+                }
+                if span.start < parent.start {
+                    return Err(format!(
+                        "child {:?} starts before parent {:?}",
+                        span.name, parent.name
+                    ));
+                }
+                if let (Some(ce), Some(pe)) = (span.end, parent.end) {
+                    if ce > pe {
+                        return Err(format!(
+                            "child {:?} outlives parent {:?}",
+                            span.name, parent.name
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Exports the closed spans and instants as a Chrome trace-event JSON
+    /// document (loadable in Perfetto / `chrome://tracing`). Timestamps are
+    /// microseconds as floats, preserving nanosecond precision in the
+    /// fraction. Still-open spans are skipped; call [`SpanTracer::finish_all`]
+    /// first if they should appear.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut events = Vec::new();
+        for (i, name) in self.track_names.iter().enumerate() {
+            events.push(Json::obj([
+                ("name", Json::from("thread_name")),
+                ("ph", Json::from("M")),
+                ("pid", Json::U64(1)),
+                ("tid", Json::U64(i as u64 + 1)),
+                ("args", Json::obj([("name", Json::from(name.as_str()))])),
+            ]));
+        }
+        for span in &self.spans {
+            let Some(end) = span.end else { continue };
+            events.push(Json::obj([
+                ("name", Json::from(span.name.as_str())),
+                ("cat", Json::from(span.cat)),
+                ("ph", Json::from("X")),
+                ("ts", Json::F64(span.start.as_nanos() as f64 / 1e3)),
+                ("dur", Json::F64((end - span.start).as_nanos() as f64 / 1e3)),
+                ("pid", Json::U64(1)),
+                ("tid", Json::U64(span.track.0 as u64 + 1)),
+                (
+                    "args",
+                    Json::obj([
+                        ("span_id", Json::U64(span.id.0)),
+                        ("parent", span.parent.map_or(Json::Null, |p| Json::U64(p.0))),
+                    ]),
+                ),
+            ]));
+        }
+        for m in &self.instants {
+            events.push(Json::obj([
+                ("name", Json::from(m.name.as_str())),
+                ("cat", Json::from("marker")),
+                ("ph", Json::from("I")),
+                ("s", Json::from("g")),
+                ("ts", Json::F64(m.at.as_nanos() as f64 / 1e3)),
+                ("pid", Json::U64(1)),
+                ("tid", Json::U64(0)),
+            ]));
+        }
+        Json::obj([
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::from("ns")),
+        ])
+        .render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::is_well_formed;
+
+    fn ns(v: u64) -> SimNs {
+        SimNs::from_nanos(v)
+    }
+
+    #[test]
+    fn nesting_links_parents() {
+        let mut t = SpanTracer::new();
+        let track = t.track("executor");
+        let outer = t.begin(track, "call", "srpc", ns(10));
+        let inner = t.begin(track, "kernel", "kernel", ns(20));
+        assert_eq!(t.open_depth(track), 2);
+        t.end(track, inner, ns(30));
+        t.end(track, outer, ns(40));
+        assert_eq!(t.open_depth(track), 0);
+        let spans = t.spans();
+        assert_eq!(spans[1].parent, Some(outer));
+        assert_eq!(spans[0].parent, None);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn ending_parent_auto_closes_children() {
+        let mut t = SpanTracer::new();
+        let track = t.track("executor");
+        let outer = t.begin(track, "call", "srpc", ns(10));
+        let _inner = t.begin(track, "kernel", "kernel", ns(20));
+        t.end(track, outer, ns(50));
+        assert_eq!(t.open_depth(track), 0);
+        assert!(t.spans().iter().all(|s| s.end == Some(ns(50))));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn tracks_are_deduplicated_and_independent() {
+        let mut t = SpanTracer::new();
+        let a = t.track("gpu:1");
+        let b = t.track("npu:2");
+        assert_eq!(t.track("gpu:1"), a);
+        assert_ne!(a, b);
+        let sa = t.begin(a, "k1", "kernel", ns(0));
+        let _sb = t.begin(b, "k2", "kernel", ns(5));
+        t.end(a, sa, ns(10));
+        assert_eq!(t.open_depth(a), 0);
+        assert_eq!(t.open_depth(b), 1);
+        t.finish_all(ns(20));
+        assert_eq!(t.open_depth(b), 0);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn complete_spans_nest_under_open_parent() {
+        let mut t = SpanTracer::new();
+        let track = t.track("recovery:p2");
+        let outer = t.begin(track, "failover", "recovery", ns(0));
+        let child = t.complete(track, "invalidate", "recovery", ns(1), ns(4));
+        t.end(track, outer, ns(10));
+        let spans = t.spans();
+        let c = spans.iter().find(|s| s.id == child).unwrap();
+        assert_eq!(c.parent, Some(outer));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn chrome_trace_is_well_formed_json() {
+        let mut t = SpanTracer::new();
+        let track = t.track("spm");
+        let s = t.begin(track, "boot \"quoted\"", "boot", ns(0));
+        t.end(track, s, ns(1_000_000));
+        t.instant("phase:crash", ns(500));
+        let json = t.chrome_trace_json();
+        assert!(is_well_formed(&json), "trace must parse: {json}");
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"I\""));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("traceEvents"));
+    }
+
+    #[test]
+    fn zero_length_spans_are_legal() {
+        let mut t = SpanTracer::new();
+        let track = t.track("x");
+        t.complete(track, "instant-ish", "misc", ns(5), ns(5));
+        t.validate().unwrap();
+        assert!(is_well_formed(&t.chrome_trace_json()));
+    }
+}

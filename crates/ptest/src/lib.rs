@@ -1,0 +1,775 @@
+//! A small, dependency-free property-testing harness exposing the subset of
+//! the `proptest` API this workspace uses, so property suites compile and run
+//! without touching crates.io. Crates import it under the name `proptest`
+//! (`proptest = { path = "../ptest", package = "cronus-ptest" }`), so existing
+//! `use proptest::prelude::*;` test files work unchanged.
+//!
+//! Differences from real proptest, by design:
+//! - no shrinking: a failing case reports the raw generated inputs;
+//! - generation is a fixed deterministic stream per test name (override the
+//!   mixing seed with `CRONUS_PTEST_SEED`);
+//! - only the strategies used in this repo are provided: integer ranges,
+//!   `any::<T>()`, tuples, `Just`, `prop_oneof!`, `prop_map`,
+//!   `collection::{vec, btree_set}`, and character-class string patterns like
+//!   `"[a-z0-9]{1,16}"`.
+
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic generator
+// ---------------------------------------------------------------------------
+
+/// xorshift64* generator; deterministic per seed, good enough for test-input
+/// generation (not cryptographic).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        // Avoid the all-zero fixed point and decorrelate nearby seeds.
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        if state == 0 {
+            state = 0x0DDB_1A5E_5BAD_5EED;
+        }
+        TestRng { state }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform usize in `[lo, hi)`; `lo < hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below((hi - lo) as u64) as usize
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn seed_for(name: &str) -> u64 {
+    let base = fnv1a(name.as_bytes());
+    match std::env::var("CRONUS_PTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        Some(extra) => base ^ extra.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        None => base,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (**self).sample(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let idx = rng.range_usize(0, self.options.len());
+        self.options[idx].sample(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer / float ranges and `any`
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a full-domain generator, used by `any::<T>()`.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Arbitrary bit patterns: includes NaNs and infinities, like proptest.
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u32())
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Printable ASCII keeps generated text debuggable.
+        (0x20u8 + rng.below(0x5F) as u8) as char
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Tuples of strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+);)+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+    (A, B, C, D, E, F, G);
+    (A, B, C, D, E, F, G, H);
+    (A, B, C, D, E, F, G, H, I);
+    (A, B, C, D, E, F, G, H, I, J);
+}
+
+// ---------------------------------------------------------------------------
+// String patterns
+// ---------------------------------------------------------------------------
+
+/// One `[class]{m,n}` (or literal-char) atom of a string pattern.
+struct PatternAtom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let mut atoms = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = if c == '[' {
+            let mut class = Vec::new();
+            let mut prev: Option<char> = None;
+            loop {
+                let c = it
+                    .next()
+                    .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                match c {
+                    ']' => break,
+                    '-' if prev.is_some() && it.peek().is_some_and(|&n| n != ']') => {
+                        let lo = prev.take().expect("range start");
+                        let hi = it.next().expect("range end");
+                        for ch in lo..=hi {
+                            class.push(ch);
+                        }
+                    }
+                    _ => {
+                        if let Some(p) = prev.replace(c) {
+                            class.push(p);
+                        }
+                    }
+                }
+            }
+            if let Some(p) = prev {
+                class.push(p);
+            }
+            assert!(!class.is_empty(), "empty character class in {pattern:?}");
+            class
+        } else {
+            vec![c]
+        };
+        let (min, max) = if it.peek() == Some(&'{') {
+            it.next();
+            let mut spec = String::new();
+            for c in it.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repeat lower bound"),
+                    hi.trim().parse().expect("repeat upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(PatternAtom { chars, min, max });
+    }
+    atoms
+}
+
+/// `&'static str` patterns like `"[a-z0-9]{1,16}"` act as string strategies.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(atom.chars[rng.range_usize(0, atom.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+/// Size specification for collection strategies: a fixed `usize` or a range.
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.range_usize(self.min, self.max_exclusive)
+    }
+}
+
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.elem.sample(rng)).collect()
+    }
+}
+
+pub struct BTreeSetStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let n = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        // Duplicates shrink the set; retry a bounded number of times to hit
+        // the requested size.
+        let mut attempts = 0usize;
+        while out.len() < n && attempts < n * 20 + 20 {
+            out.insert(self.elem.sample(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+pub mod collection {
+    use super::{BTreeSetStrategy, SizeRange, Strategy, VecStrategy};
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    pub fn btree_set<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    /// Give up after this many `prop_assume!` rejections per accepted case.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+#[derive(Debug)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// Drives one property: samples `config.cases` accepted inputs from
+/// `strategy` and applies `case` to each. Not usually called directly — the
+/// `proptest!` macro generates calls to it.
+pub fn run_cases<S>(
+    config: &ProptestConfig,
+    name: &str,
+    strategy: &S,
+    mut case: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+) where
+    S: Strategy,
+    S::Value: Clone + Debug,
+{
+    let mut rng = TestRng::from_seed(seed_for(name));
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    while accepted < config.cases {
+        let value = strategy.sample(&mut rng);
+        match case(value.clone()) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "property '{name}': too many prop_assume! rejections \
+                         ({rejected}) after {accepted} accepted cases"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property '{name}' failed: {msg}\ninput: {value:#?}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { (<$crate::ProptestConfig as ::core::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let __strategy = ( $($strat,)+ );
+            $crate::run_cases(&__config, stringify!($name), &__strategy, |__value| {
+                #[allow(unused_mut, unused_parens)]
+                let ($($arg,)+) = __value;
+                $body
+                Ok(())
+            });
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject());
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $( $crate::Strategy::boxed($strat) ),+ ])
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Self-tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::{parse_pattern, TestRng};
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = TestRng::from_seed(7);
+        let mut b = TestRng::from_seed(7);
+        let mut c = TestRng::from_seed(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let s = Strategy::sample(&(-4i8..=4), &mut rng);
+            assert!((-4..=4).contains(&s));
+        }
+    }
+
+    #[test]
+    fn string_pattern_class_and_repeat() {
+        let atoms = parse_pattern("[a-z0-9]{1,16}");
+        assert_eq!(atoms.len(), 1);
+        assert_eq!(atoms[0].chars.len(), 36);
+        assert_eq!((atoms[0].min, atoms[0].max), (1, 16));
+
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[ -~]{0,64}", &mut rng);
+            assert!(s.len() <= 64);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn collections_hit_requested_sizes() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..100 {
+            let v = Strategy::sample(&crate::collection::vec(any::<u8>(), 1..9), &mut rng);
+            assert!((1..9).contains(&v.len()));
+            let s = Strategy::sample(&crate::collection::btree_set(0u64..4096, 1..8), &mut rng);
+            assert!((1..8).contains(&s.len()));
+            let exact = Strategy::sample(&crate::collection::vec(-4i8..=4, 64), &mut rng);
+            assert_eq!(exact.len(), 64);
+        }
+    }
+
+    #[test]
+    fn oneof_map_and_just_compose() {
+        let strat = prop_oneof![
+            Just(0u32),
+            (1u32..10).prop_map(|v| v * 100),
+            any::<bool>().prop_map(|b| if b { 1 } else { 2 }),
+        ];
+        let mut rng = TestRng::from_seed(4);
+        let mut seen_zero = false;
+        let mut seen_big = false;
+        for _ in 0..300 {
+            match Strategy::sample(&strat, &mut rng) {
+                0 => seen_zero = true,
+                v if v >= 100 => {
+                    assert_eq!(v % 100, 0);
+                    seen_big = true;
+                }
+                1 | 2 => {}
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert!(seen_zero && seen_big, "all prop_oneof! arms reachable");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro front-end itself: multiple bindings, assume, asserts.
+        #[test]
+        fn macro_front_end(a in 0u64..1000, b in 1u64..1000, v in crate::collection::vec(any::<u8>(), 0..16)) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+            prop_assert!(v.len() < 16);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'always_fails' failed")]
+    fn failing_property_panics_with_input() {
+        crate::run_cases(
+            &ProptestConfig::with_cases(4),
+            "always_fails",
+            &(0u64..10,),
+            |(_v,)| Err(TestCaseError::fail("forced")),
+        );
+    }
+}

@@ -49,7 +49,10 @@ impl Default for CpuEnclaveBuilder {
 impl CpuEnclaveBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
-        CpuEnclaveBuilder { functions: Vec::new(), memory: 16 << 20 }
+        CpuEnclaveBuilder {
+            functions: Vec::new(),
+            memory: 16 << 20,
+        }
     }
 
     /// Sets the memory quota.
@@ -73,11 +76,7 @@ impl CpuEnclaveBuilder {
     /// # Errors
     ///
     /// Enclave creation failures.
-    pub fn build(
-        self,
-        sys: &mut CronusSystem,
-        actor: Actor,
-    ) -> Result<EnclaveRef, SystemError> {
+    pub fn build(self, sys: &mut CronusSystem, actor: Actor) -> Result<EnclaveRef, SystemError> {
         let names: Vec<&str> = self.functions.iter().map(|(n, _, _)| n.as_str()).collect();
         let manifest = cpu_manifest(&names, self.memory);
         let enclave = sys.create_enclave(actor, manifest, &BTreeMap::new())?;
@@ -139,8 +138,12 @@ mod tests {
         let mut sys = boot();
         let app = sys.create_app();
         let enclave = CpuEnclaveBuilder::new()
-            .function("double", 100.0, |input| input.iter().map(|b| b * 2).collect())
-            .function("len", 10.0, |input| (input.len() as u64).to_le_bytes().to_vec())
+            .function("double", 100.0, |input| {
+                input.iter().map(|b| b * 2).collect()
+            })
+            .function("len", 10.0, |input| {
+                (input.len() as u64).to_le_bytes().to_vec()
+            })
             .build(&mut sys, Actor::App(app))
             .unwrap();
         let out = sys.app_ecall(app, enclave, "double", &[1, 2, 3]).unwrap();

@@ -19,6 +19,7 @@ use cronus_devices::gpu::{GpuBuffer, GpuContextId, GpuKernelDesc, KernelArg, Ker
 use cronus_devices::DeviceKind;
 use cronus_mos::hal::DeviceCtx;
 use cronus_mos::manifest::{Manifest, McallDecl};
+use cronus_obs::TimeCategory;
 use cronus_sim::addr::{VirtAddr, PAGE_SIZE};
 use cronus_sim::pagetable::{Access, PagePerms};
 use cronus_sim::SimNs;
@@ -71,7 +72,11 @@ pub struct CudaOptions {
 
 impl Default for CudaOptions {
     fn default() -> Self {
-        CudaOptions { memory: 128 << 20, ring_pages: DEFAULT_RING_PAGES, staging_pages: 64 }
+        CudaOptions {
+            memory: 128 << 20,
+            ring_pages: DEFAULT_RING_PAGES,
+            staging_pages: 64,
+        }
     }
 }
 
@@ -114,7 +119,11 @@ impl CudaContext {
         opts: CudaOptions,
     ) -> Result<Self, CudaError> {
         let gpu = sys
-            .create_enclave(Actor::Enclave(cpu), cuda_manifest(opts.memory), &BTreeMap::new())
+            .create_enclave(
+                Actor::Enclave(cpu),
+                cuda_manifest(opts.memory),
+                &BTreeMap::new(),
+            )
             .map_err(|e| CudaError::System(e.to_string()))?;
         let stream = sys.open_stream(cpu, gpu, opts.ring_pages)?;
 
@@ -137,7 +146,10 @@ impl CudaContext {
             .hal()
             .dma_stream();
         for ppn in &pages {
-            sys.spm_mut().machine_mut().smmu_mut().grant(dma_stream, *ppn, PagePerms::RW);
+            sys.spm_mut()
+                .machine_mut()
+                .smmu_mut()
+                .grant(dma_stream, *ppn, PagePerms::RW);
         }
 
         // Look up the device context backing the CUDA mEnclave.
@@ -165,7 +177,9 @@ impl CudaContext {
             .map_err(|e| CudaError::System(e.to_string()))?;
         match entry.ctx {
             DeviceCtx::Gpu(ctx) => Ok(ctx),
-            other => Err(CudaError::System(format!("expected gpu ctx, got {other:?}"))),
+            other => Err(CudaError::System(format!(
+                "expected gpu ctx, got {other:?}"
+            ))),
         }
     }
 
@@ -198,7 +212,9 @@ impl CudaContext {
                 let raw = Reader::new(payload).u64().map_err(|e| e.to_string())?;
                 let mos = ctx.spm.mos_mut(ctx.asid).map_err(|e| e.to_string())?;
                 let gpu_dev = mos.hal_mut().gpu_mut().map_err(|e| e.to_string())?;
-                gpu_dev.free(gctx, GpuBuffer::from_raw(raw)).map_err(|e| e.to_string())?;
+                gpu_dev
+                    .free(gctx, GpuBuffer::from_raw(raw))
+                    .map_err(|e| e.to_string())?;
                 Ok((Vec::new(), SimNs::from_micros(1)))
             }),
         );
@@ -214,13 +230,17 @@ impl CudaContext {
                 let staging_off = r.u64().map_err(|e| e.to_string())?;
                 let len = r.u64().map_err(|e| e.to_string())?;
                 let eid = ctx.eid;
-                let (mos, machine, bus) =
-                    ctx.spm.mos_machine_bus(ctx.asid).map_err(|e| e.to_string())?;
+                let (mos, machine, bus) = ctx
+                    .spm
+                    .mos_machine_bus(ctx.asid)
+                    .map_err(|e| e.to_string())?;
                 let mut total = SimNs::ZERO;
                 let mut done = 0u64;
                 while done < len {
                     let va = staging_va.add(staging_off + done);
-                    let pa = mos.translate(eid, va, Access::Read).map_err(|e| e.to_string())?;
+                    let pa = mos
+                        .translate(eid, va, Access::Read)
+                        .map_err(|e| e.to_string())?;
                     let n = (len - done).min(PAGE_SIZE - va.page_offset());
                     total += mos
                         .hal_mut()
@@ -243,13 +263,17 @@ impl CudaContext {
                 let staging_off = r.u64().map_err(|e| e.to_string())?;
                 let len = r.u64().map_err(|e| e.to_string())?;
                 let eid = ctx.eid;
-                let (mos, machine, bus) =
-                    ctx.spm.mos_machine_bus(ctx.asid).map_err(|e| e.to_string())?;
+                let (mos, machine, bus) = ctx
+                    .spm
+                    .mos_machine_bus(ctx.asid)
+                    .map_err(|e| e.to_string())?;
                 let mut total = SimNs::ZERO;
                 let mut done = 0u64;
                 while done < len {
                     let va = staging_va.add(staging_off + done);
-                    let pa = mos.translate(eid, va, Access::Write).map_err(|e| e.to_string())?;
+                    let pa = mos
+                        .translate(eid, va, Access::Write)
+                        .map_err(|e| e.to_string())?;
                     let n = (len - done).min(PAGE_SIZE - va.page_offset());
                     total += mos
                         .hal_mut()
@@ -382,6 +406,9 @@ impl CudaContext {
             )?;
             let cost = sys.spm().machine().cost().memcpy(n);
             sys.advance_enclave(self.cpu, cost);
+            let rec = sys.recorder();
+            rec.charge_detail(TimeCategory::Memcpy, "staging_write", cost);
+            rec.counter_add("cuda.memcpy_bytes", &[("dir", "h2d")], n);
 
             let mut w = Writer::new();
             w.u64(dst.0).u64(done).u64(off).u64(n);
@@ -416,6 +443,9 @@ impl CudaContext {
             sys.shared_read(self.cpu, self.staging_caller_va.add(off), &mut buf)?;
             let cost = sys.spm().machine().cost().memcpy(n);
             sys.advance_enclave(self.cpu, cost);
+            let rec = sys.recorder();
+            rec.charge_detail(TimeCategory::Memcpy, "staging_read", cost);
+            rec.counter_add("cuda.memcpy_bytes", &[("dir", "d2h")], n);
             out.extend_from_slice(&buf);
             done += n;
         }
@@ -497,6 +527,9 @@ impl CudaContext {
                 .map_err(|e| CudaError::System(e.to_string()))?
         };
         sys.advance_enclave(self.cpu, t);
+        let rec = sys.recorder();
+        rec.charge_detail(TimeCategory::Memcpy, "p2p", t);
+        rec.counter_add("cuda.memcpy_bytes", &[("dir", "p2p")], bytes);
         Ok(t)
     }
 }
@@ -524,7 +557,15 @@ mod tests {
         let mut sys = CronusSystem::boot(BootConfig {
             partitions: vec![
                 PartitionSpec::new(1, b"cpu-mos", "v1", DeviceSpec::Cpu),
-                PartitionSpec::new(2, b"cuda-mos", "v3", DeviceSpec::Gpu { memory: 1 << 28, sms: 46 }),
+                PartitionSpec::new(
+                    2,
+                    b"cuda-mos",
+                    "v3",
+                    DeviceSpec::Gpu {
+                        memory: 1 << 28,
+                        sms: 46,
+                    },
+                ),
             ],
             ..Default::default()
         });
@@ -581,8 +622,16 @@ mod tests {
         cuda.launch(
             &mut sys,
             "saxpy",
-            &[LaunchArg::Float(2.0), LaunchArg::Ptr(dx), LaunchArg::Ptr(dy)],
-            GpuKernelDesc { flops: 2.0 * n as f64, mem_bytes: 12.0 * n as f64, sm_demand: 4 },
+            &[
+                LaunchArg::Float(2.0),
+                LaunchArg::Ptr(dx),
+                LaunchArg::Ptr(dy),
+            ],
+            GpuKernelDesc {
+                flops: 2.0 * n as f64,
+                mem_bytes: 12.0 * n as f64,
+                sm_demand: 4,
+            },
         )
         .unwrap();
         let out = cuda.memcpy_d2h(&mut sys, dy, (n * 4) as u64).unwrap();
@@ -601,7 +650,10 @@ mod tests {
         let mut cuda = CudaContext::new(
             &mut sys,
             cpu,
-            CudaOptions { staging_pages: 2, ..Default::default() },
+            CudaOptions {
+                staging_pages: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         // 64 KiB through an 8 KiB staging buffer.
@@ -616,21 +668,29 @@ mod tests {
     fn async_launches_overlap_with_caller() {
         let (mut sys, cpu) = boot();
         let mut cuda = CudaContext::new(&mut sys, cpu, CudaOptions::default()).unwrap();
-        cuda.load_kernel(&mut sys, "noop", Arc::new(|_, _| Ok(()))).unwrap();
+        cuda.load_kernel(&mut sys, "noop", Arc::new(|_, _| Ok(())))
+            .unwrap();
         let t0 = sys.enclave_time(cpu);
         for _ in 0..50 {
             cuda.launch(
                 &mut sys,
                 "noop",
                 &[],
-                GpuKernelDesc { flops: 1e8, mem_bytes: 0.0, sm_demand: 46 },
+                GpuKernelDesc {
+                    flops: 1e8,
+                    mem_bytes: 0.0,
+                    sm_demand: 46,
+                },
             )
             .unwrap();
         }
         let streamed = sys.enclave_time(cpu) - t0;
         cuda.synchronize(&mut sys).unwrap();
         let synced = sys.enclave_time(cpu) - t0;
-        assert!(streamed * 10 < synced, "caller streamed ahead: {streamed} vs {synced}");
+        assert!(
+            streamed * 10 < synced,
+            "caller streamed ahead: {streamed} vs {synced}"
+        );
     }
 
     #[test]
@@ -641,7 +701,11 @@ mod tests {
             &mut sys,
             "never_loaded",
             &[],
-            GpuKernelDesc { flops: 1.0, mem_bytes: 0.0, sm_demand: 1 },
+            GpuKernelDesc {
+                flops: 1.0,
+                mem_bytes: 0.0,
+                sm_demand: 1,
+            },
         )
         .unwrap();
         // Async error: delivered via the result slot; explicit sync succeeds

@@ -13,6 +13,7 @@ use cronus_devices::npu::{AluOp, NpuBuffer, NpuContextId, VtaInsn, VtaProgram};
 use cronus_devices::DeviceKind;
 use cronus_mos::hal::DeviceCtx;
 use cronus_mos::manifest::{Manifest, McallDecl};
+use cronus_obs::TimeCategory;
 use cronus_sim::addr::{VirtAddr, PAGE_SIZE};
 use cronus_sim::pagetable::{Access, PagePerms};
 use cronus_sim::SimNs;
@@ -65,7 +66,11 @@ pub struct VtaOptions {
 
 impl Default for VtaOptions {
     fn default() -> Self {
-        VtaOptions { memory: 64 << 20, ring_pages: DEFAULT_RING_PAGES, staging_pages: 32 }
+        VtaOptions {
+            memory: 64 << 20,
+            ring_pages: DEFAULT_RING_PAGES,
+            staging_pages: 32,
+        }
     }
 }
 
@@ -85,12 +90,32 @@ pub fn encode_program(prog: &VtaProgram) -> Vec<u8> {
     w.u32(prog.insns.len() as u32);
     for insn in &prog.insns {
         match *insn {
-            VtaInsn::LoadInp { src, offset, rows, cols, stride } => {
-                w.u8(0).u64(src.as_raw()).u64(offset).u32(rows as u32).u32(cols as u32);
+            VtaInsn::LoadInp {
+                src,
+                offset,
+                rows,
+                cols,
+                stride,
+            } => {
+                w.u8(0)
+                    .u64(src.as_raw())
+                    .u64(offset)
+                    .u32(rows as u32)
+                    .u32(cols as u32);
                 w.u32(stride as u32);
             }
-            VtaInsn::LoadWgt { src, offset, rows, cols, stride } => {
-                w.u8(1).u64(src.as_raw()).u64(offset).u32(rows as u32).u32(cols as u32);
+            VtaInsn::LoadWgt {
+                src,
+                offset,
+                rows,
+                cols,
+                stride,
+            } => {
+                w.u8(1)
+                    .u64(src.as_raw())
+                    .u64(offset)
+                    .u32(rows as u32)
+                    .u32(cols as u32);
                 w.u32(stride as u32);
             }
             VtaInsn::ResetAcc { rows, cols } => {
@@ -108,7 +133,11 @@ pub fn encode_program(prog: &VtaProgram) -> Vec<u8> {
                     AluOp::ShrImm(v) => w.u8(3).i64(v as i64),
                 };
             }
-            VtaInsn::StoreAcc { dst, offset, stride } => {
+            VtaInsn::StoreAcc {
+                dst,
+                offset,
+                stride,
+            } => {
                 w.u8(5).u64(dst.as_raw()).u64(offset).u32(stride as u32);
             }
         }
@@ -141,7 +170,10 @@ pub fn decode_program(bytes: &[u8]) -> Result<VtaProgram, WireError> {
                 cols: r.u32()? as usize,
                 stride: r.u32()? as usize,
             },
-            2 => VtaInsn::ResetAcc { rows: r.u32()? as usize, cols: r.u32()? as usize },
+            2 => VtaInsn::ResetAcc {
+                rows: r.u32()? as usize,
+                cols: r.u32()? as usize,
+            },
             3 => VtaInsn::Gemm,
             4 => {
                 let tag = r.u8()?;
@@ -192,7 +224,11 @@ impl VtaContext {
         opts: VtaOptions,
     ) -> Result<Self, VtaError> {
         let npu = sys
-            .create_enclave(Actor::Enclave(cpu), vta_manifest(opts.memory), &BTreeMap::new())
+            .create_enclave(
+                Actor::Enclave(cpu),
+                vta_manifest(opts.memory),
+                &BTreeMap::new(),
+            )
             .map_err(|e| VtaError::System(e.to_string()))?;
         let stream = sys.open_stream(cpu, npu, opts.ring_pages)?;
 
@@ -212,7 +248,10 @@ impl VtaContext {
             .hal()
             .dma_stream();
         for ppn in &pages {
-            sys.spm_mut().machine_mut().smmu_mut().grant(dma_stream, *ppn, PagePerms::RW);
+            sys.spm_mut()
+                .machine_mut()
+                .smmu_mut()
+                .grant(dma_stream, *ppn, PagePerms::RW);
         }
 
         let nctx = Self::npu_ctx(sys, npu)?;
@@ -272,13 +311,17 @@ impl VtaContext {
                 let staging_off = r.u64().map_err(|e| e.to_string())?;
                 let len = r.u64().map_err(|e| e.to_string())?;
                 let eid = ctx.eid;
-                let (mos, machine, bus) =
-                    ctx.spm.mos_machine_bus(ctx.asid).map_err(|e| e.to_string())?;
+                let (mos, machine, bus) = ctx
+                    .spm
+                    .mos_machine_bus(ctx.asid)
+                    .map_err(|e| e.to_string())?;
                 let mut total = SimNs::ZERO;
                 let mut done = 0u64;
                 while done < len {
                     let va = staging_va.add(staging_off + done);
-                    let pa = mos.translate(eid, va, Access::Read).map_err(|e| e.to_string())?;
+                    let pa = mos
+                        .translate(eid, va, Access::Read)
+                        .map_err(|e| e.to_string())?;
                     let n = (len - done).min(PAGE_SIZE - va.page_offset());
                     total += mos
                         .hal_mut()
@@ -300,13 +343,17 @@ impl VtaContext {
                 let staging_off = r.u64().map_err(|e| e.to_string())?;
                 let len = r.u64().map_err(|e| e.to_string())?;
                 let eid = ctx.eid;
-                let (mos, machine, bus) =
-                    ctx.spm.mos_machine_bus(ctx.asid).map_err(|e| e.to_string())?;
+                let (mos, machine, bus) = ctx
+                    .spm
+                    .mos_machine_bus(ctx.asid)
+                    .map_err(|e| e.to_string())?;
                 let mut total = SimNs::ZERO;
                 let mut done = 0u64;
                 while done < len {
                     let va = staging_va.add(staging_off + done);
-                    let pa = mos.translate(eid, va, Access::Write).map_err(|e| e.to_string())?;
+                    let pa = mos
+                        .translate(eid, va, Access::Write)
+                        .map_err(|e| e.to_string())?;
                     let n = (len - done).min(PAGE_SIZE - va.page_offset());
                     total += mos
                         .hal_mut()
@@ -341,7 +388,9 @@ impl VtaContext {
         let mut w = Writer::new();
         w.u64(len);
         let out = sys.call_sync(self.stream, "vtaAlloc", &w.finish())?;
-        Ok(NpuPtr(Reader::new(&out).u64().map_err(|_| VtaError::Protocol)?))
+        Ok(NpuPtr(
+            Reader::new(&out).u64().map_err(|_| VtaError::Protocol)?,
+        ))
     }
 
     fn stage_reserve(&mut self, sys: &mut CronusSystem, len: u64) -> Result<u64, VtaError> {
@@ -377,6 +426,9 @@ impl VtaContext {
             )?;
             let cost = sys.spm().machine().cost().memcpy(n);
             sys.advance_enclave(self.cpu, cost);
+            let rec = sys.recorder();
+            rec.charge_detail(TimeCategory::Memcpy, "staging_write", cost);
+            rec.counter_add("vta.memcpy_bytes", &[("dir", "h2d")], n);
             let mut w = Writer::new();
             w.u64(dst.0).u64(done).u64(off).u64(n);
             sys.call_async(self.stream, "vtaMemcpyH2D", &w.finish())?;
@@ -409,6 +461,9 @@ impl VtaContext {
             sys.shared_read(self.cpu, self.staging_caller_va.add(off), &mut buf)?;
             let cost = sys.spm().machine().cost().memcpy(n);
             sys.advance_enclave(self.cpu, cost);
+            let rec = sys.recorder();
+            rec.charge_detail(TimeCategory::Memcpy, "staging_read", cost);
+            rec.counter_add("vta.memcpy_bytes", &[("dir", "d2h")], n);
             out.extend_from_slice(&buf);
             done += n;
         }
@@ -464,13 +519,29 @@ mod tests {
     #[test]
     fn program_codec_round_trips() {
         let mut prog = VtaProgram::new();
-        prog.push(VtaInsn::LoadInp { src: NpuBuffer::from_raw(7), offset: 3, rows: 2, cols: 4, stride: 4 })
-            .push(VtaInsn::LoadWgt { src: NpuBuffer::from_raw(8), offset: 0, rows: 4, cols: 4, stride: 4 })
-            .push(VtaInsn::ResetAcc { rows: 2, cols: 4 })
-            .push(VtaInsn::Gemm)
-            .push(VtaInsn::Alu(AluOp::MaxImm(0)))
-            .push(VtaInsn::Alu(AluOp::ShrImm(3)))
-            .push(VtaInsn::StoreAcc { dst: NpuBuffer::from_raw(9), offset: 16, stride: 4 });
+        prog.push(VtaInsn::LoadInp {
+            src: NpuBuffer::from_raw(7),
+            offset: 3,
+            rows: 2,
+            cols: 4,
+            stride: 4,
+        })
+        .push(VtaInsn::LoadWgt {
+            src: NpuBuffer::from_raw(8),
+            offset: 0,
+            rows: 4,
+            cols: 4,
+            stride: 4,
+        })
+        .push(VtaInsn::ResetAcc { rows: 2, cols: 4 })
+        .push(VtaInsn::Gemm)
+        .push(VtaInsn::Alu(AluOp::MaxImm(0)))
+        .push(VtaInsn::Alu(AluOp::ShrImm(3)))
+        .push(VtaInsn::StoreAcc {
+            dst: NpuBuffer::from_raw(9),
+            offset: 16,
+            stride: 4,
+        });
         let encoded = encode_program(&prog);
         assert_eq!(decode_program(&encoded).unwrap(), prog);
         assert!(decode_program(&encoded[..encoded.len() - 1]).is_err());
@@ -486,7 +557,8 @@ mod tests {
         let inp = vta.alloc(&mut sys, 4).unwrap();
         let wgt = vta.alloc(&mut sys, 4).unwrap();
         let out = vta.alloc(&mut sys, 4).unwrap();
-        vta.memcpy_h2d(&mut sys, inp, &[1, 2, 3u8, 0xFF /* -1 */]).unwrap();
+        vta.memcpy_h2d(&mut sys, inp, &[1, 2, 3u8, 0xFF /* -1 */])
+            .unwrap();
         vta.memcpy_h2d(&mut sys, wgt, &[1, 0, 0, 1]).unwrap();
 
         let mut prog = VtaProgram::new();
@@ -507,7 +579,11 @@ mod tests {
         .push(VtaInsn::ResetAcc { rows: 2, cols: 2 })
         .push(VtaInsn::Gemm)
         .push(VtaInsn::Alu(AluOp::MaxImm(0)))
-        .push(VtaInsn::StoreAcc { dst: NpuBuffer::from_raw(out.0), offset: 0, stride: 2 });
+        .push(VtaInsn::StoreAcc {
+            dst: NpuBuffer::from_raw(out.0),
+            offset: 0,
+            stride: 2,
+        });
         vta.run(&mut sys, &prog).unwrap();
         vta.synchronize(&mut sys).unwrap();
 
@@ -523,6 +599,9 @@ mod tests {
         let buf = vta.alloc(&mut sys, 16).unwrap();
         sys.inject_partition_failure(vta.npu.asid).unwrap();
         let err = vta.memcpy_h2d(&mut sys, buf, &[1, 2, 3]).unwrap_err();
-        assert!(matches!(err, VtaError::Srpc(SrpcError::PeerFailed { .. })), "{err:?}");
+        assert!(
+            matches!(err, VtaError::Srpc(SrpcError::PeerFailed { .. })),
+            "{err:?}"
+        );
     }
 }

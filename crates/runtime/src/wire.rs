@@ -115,7 +115,9 @@ impl<'a> Reader<'a> {
     ///
     /// [`WireError`] on truncation.
     pub fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads a u32.
@@ -124,7 +126,9 @@ impl<'a> Reader<'a> {
     ///
     /// [`WireError`] on truncation.
     pub fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads an i64.
@@ -133,7 +137,9 @@ impl<'a> Reader<'a> {
     ///
     /// [`WireError`] on truncation.
     pub fn i64(&mut self) -> Result<i64, WireError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads an f32.
@@ -142,7 +148,9 @@ impl<'a> Reader<'a> {
     ///
     /// [`WireError`] on truncation.
     pub fn f32(&mut self) -> Result<f32, WireError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(f32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads an f64.
@@ -151,7 +159,9 @@ impl<'a> Reader<'a> {
     ///
     /// [`WireError`] on truncation.
     pub fn f64(&mut self) -> Result<f64, WireError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads a byte.
@@ -197,7 +207,14 @@ mod tests {
     #[test]
     fn round_trips_all_types() {
         let mut w = Writer::new();
-        w.u64(7).u32(8).i64(-9).f32(1.5).f64(-2.25).u8(3).str("name").bytes(&[1, 2]);
+        w.u64(7)
+            .u32(8)
+            .i64(-9)
+            .f32(1.5)
+            .f64(-2.25)
+            .u8(3)
+            .str("name")
+            .bytes(&[1, 2]);
         let buf = w.finish();
         let mut r = Reader::new(&buf);
         assert_eq!(r.u64().unwrap(), 7);

@@ -1,99 +1,179 @@
 //! Property-based tests for the runtime wire formats.
+//!
+//! The full generated suite lives in the gated `full` module (enable with the
+//! non-default `proptest` feature, e.g. `cargo test --all-features`); the
+//! `smoke` module keeps a deterministic subset always on.
 
-use proptest::prelude::*;
+#[cfg(feature = "proptest")]
+mod full {
+    use proptest::prelude::*;
 
-use cronus_devices::npu::{AluOp, NpuBuffer, VtaInsn, VtaProgram};
-use cronus_runtime::vta::{decode_program, encode_program};
-use cronus_runtime::wire::{Reader, Writer};
+    use cronus_devices::npu::{AluOp, NpuBuffer, VtaInsn, VtaProgram};
+    use cronus_runtime::vta::{decode_program, encode_program};
+    use cronus_runtime::wire::{Reader, Writer};
 
-fn arb_insn() -> impl Strategy<Value = VtaInsn> {
-    prop_oneof![
-        (any::<u64>(), any::<u64>(), 1usize..64, 1usize..64, 1usize..64).prop_map(
-            |(src, offset, rows, cols, stride)| VtaInsn::LoadInp {
-                src: NpuBuffer::from_raw(src),
-                offset,
-                rows,
-                cols,
-                stride,
+    fn arb_insn() -> impl Strategy<Value = VtaInsn> {
+        prop_oneof![
+            (
+                any::<u64>(),
+                any::<u64>(),
+                1usize..64,
+                1usize..64,
+                1usize..64
+            )
+                .prop_map(|(src, offset, rows, cols, stride)| VtaInsn::LoadInp {
+                    src: NpuBuffer::from_raw(src),
+                    offset,
+                    rows,
+                    cols,
+                    stride,
+                }),
+            (
+                any::<u64>(),
+                any::<u64>(),
+                1usize..64,
+                1usize..64,
+                1usize..64
+            )
+                .prop_map(|(src, offset, rows, cols, stride)| VtaInsn::LoadWgt {
+                    src: NpuBuffer::from_raw(src),
+                    offset,
+                    rows,
+                    cols,
+                    stride,
+                }),
+            (1usize..64, 1usize..64).prop_map(|(rows, cols)| VtaInsn::ResetAcc { rows, cols }),
+            Just(VtaInsn::Gemm),
+            any::<i32>().prop_map(|v| VtaInsn::Alu(AluOp::AddImm(v))),
+            any::<i32>().prop_map(|v| VtaInsn::Alu(AluOp::MaxImm(v))),
+            any::<i32>().prop_map(|v| VtaInsn::Alu(AluOp::MinImm(v))),
+            (0u8..31).prop_map(|v| VtaInsn::Alu(AluOp::ShrImm(v))),
+            (any::<u64>(), any::<u64>(), 1usize..64).prop_map(|(dst, offset, stride)| {
+                VtaInsn::StoreAcc {
+                    dst: NpuBuffer::from_raw(dst),
+                    offset,
+                    stride,
+                }
+            }),
+        ]
+    }
+
+    proptest! {
+        /// Arbitrary VTA programs survive the wire format.
+        #[test]
+        fn vta_program_roundtrip(insns in proptest::collection::vec(arb_insn(), 0..32)) {
+            let mut prog = VtaProgram::new();
+            for i in insns {
+                prog.push(i);
             }
-        ),
-        (any::<u64>(), any::<u64>(), 1usize..64, 1usize..64, 1usize..64).prop_map(
-            |(src, offset, rows, cols, stride)| VtaInsn::LoadWgt {
-                src: NpuBuffer::from_raw(src),
-                offset,
-                rows,
-                cols,
-                stride,
+            let decoded = decode_program(&encode_program(&prog)).expect("well-formed");
+            prop_assert_eq!(decoded, prog);
+        }
+
+        /// Truncating an encoded program at any point yields an error, never a
+        /// panic or a silently-shorter program that decodes to the full length.
+        #[test]
+        fn vta_truncation_is_detected(insns in proptest::collection::vec(arb_insn(), 1..16), cut in any::<usize>()) {
+            let mut prog = VtaProgram::new();
+            for i in insns {
+                prog.push(i);
             }
-        ),
-        (1usize..64, 1usize..64).prop_map(|(rows, cols)| VtaInsn::ResetAcc { rows, cols }),
-        Just(VtaInsn::Gemm),
-        any::<i32>().prop_map(|v| VtaInsn::Alu(AluOp::AddImm(v))),
-        any::<i32>().prop_map(|v| VtaInsn::Alu(AluOp::MaxImm(v))),
-        any::<i32>().prop_map(|v| VtaInsn::Alu(AluOp::MinImm(v))),
-        (0u8..31).prop_map(|v| VtaInsn::Alu(AluOp::ShrImm(v))),
-        (any::<u64>(), any::<u64>(), 1usize..64).prop_map(|(dst, offset, stride)| {
-            VtaInsn::StoreAcc { dst: NpuBuffer::from_raw(dst), offset, stride }
-        }),
-    ]
+            let encoded = encode_program(&prog);
+            let cut = cut % encoded.len();
+            prop_assume!(cut < encoded.len());
+            // Either an explicit error, or (when the cut lands on an instruction
+            // boundary relative to the declared count) never a wrong-length ok.
+            if let Ok(decoded) = decode_program(&encoded[..cut]) {
+                prop_assert!(decoded.insns.len() < prog.insns.len());
+                // Count header says more instructions than present => must error.
+                prop_assert!(cut >= 4, "the count header itself was truncated");
+            }
+        }
+
+        /// The scalar wire codec round-trips arbitrary interleavings.
+        #[test]
+        fn wire_scalar_roundtrip(
+            u in any::<u64>(),
+            i in any::<i64>(),
+            f in any::<f32>(),
+            d in any::<f64>(),
+            b in any::<u8>(),
+            s in "[ -~]{0,64}",
+            raw in proptest::collection::vec(any::<u8>(), 0..128),
+        ) {
+            let mut w = Writer::new();
+            w.u64(u).i64(i).f32(f).f64(d).u8(b).str(&s).bytes(&raw);
+            let buf = w.finish();
+            let mut r = Reader::new(&buf);
+            prop_assert_eq!(r.u64().expect("u64"), u);
+            prop_assert_eq!(r.i64().expect("i64"), i);
+            let got_f = r.f32().expect("f32");
+            prop_assert!(got_f == f || (got_f.is_nan() && f.is_nan()));
+            let got_d = r.f64().expect("f64");
+            prop_assert!(got_d == d || (got_d.is_nan() && d.is_nan()));
+            prop_assert_eq!(r.u8().expect("u8"), b);
+            prop_assert_eq!(r.str().expect("str"), s);
+            prop_assert_eq!(r.bytes().expect("bytes"), raw);
+            prop_assert!(r.is_done());
+        }
+    }
 }
 
-proptest! {
-    /// Arbitrary VTA programs survive the wire format.
-    #[test]
-    fn vta_program_roundtrip(insns in proptest::collection::vec(arb_insn(), 0..32)) {
-        let mut prog = VtaProgram::new();
-        for i in insns {
-            prog.push(i);
-        }
-        let decoded = decode_program(&encode_program(&prog)).expect("well-formed");
-        prop_assert_eq!(decoded, prog);
-    }
+mod smoke {
+    use cronus_devices::npu::{AluOp, NpuBuffer, VtaInsn, VtaProgram};
+    use cronus_runtime::vta::{decode_program, encode_program};
+    use cronus_runtime::wire::{Reader, Writer};
 
-    /// Truncating an encoded program at any point yields an error, never a
-    /// panic or a silently-shorter program that decodes to the full length.
     #[test]
-    fn vta_truncation_is_detected(insns in proptest::collection::vec(arb_insn(), 1..16), cut in any::<usize>()) {
+    fn vta_program_roundtrip_fixed() {
         let mut prog = VtaProgram::new();
-        for i in insns {
-            prog.push(i);
-        }
+        prog.push(VtaInsn::LoadInp {
+            src: NpuBuffer::from_raw(7),
+            offset: 3,
+            rows: 4,
+            cols: 5,
+            stride: 6,
+        });
+        prog.push(VtaInsn::LoadWgt {
+            src: NpuBuffer::from_raw(9),
+            offset: 0,
+            rows: 2,
+            cols: 2,
+            stride: 2,
+        });
+        prog.push(VtaInsn::ResetAcc { rows: 4, cols: 5 });
+        prog.push(VtaInsn::Gemm);
+        prog.push(VtaInsn::Alu(AluOp::AddImm(-3)));
+        prog.push(VtaInsn::Alu(AluOp::ShrImm(2)));
+        prog.push(VtaInsn::StoreAcc {
+            dst: NpuBuffer::from_raw(11),
+            offset: 1,
+            stride: 5,
+        });
         let encoded = encode_program(&prog);
-        let cut = cut % encoded.len();
-        prop_assume!(cut < encoded.len());
-        // Either an explicit error, or (when the cut lands on an instruction
-        // boundary relative to the declared count) never a wrong-length ok.
-        if let Ok(decoded) = decode_program(&encoded[..cut]) {
-            prop_assert!(decoded.insns.len() < prog.insns.len());
-            // Count header says more instructions than present => must error.
-            prop_assert!(cut >= 4, "the count header itself was truncated");
-        }
+        assert_eq!(decode_program(&encoded).expect("well-formed"), prog);
+        assert!(decode_program(&encoded[..encoded.len() - 1]).is_err());
     }
 
-    /// The scalar wire codec round-trips arbitrary interleavings.
     #[test]
-    fn wire_scalar_roundtrip(
-        u in any::<u64>(),
-        i in any::<i64>(),
-        f in any::<f32>(),
-        d in any::<f64>(),
-        b in any::<u8>(),
-        s in "[ -~]{0,64}",
-        raw in proptest::collection::vec(any::<u8>(), 0..128),
-    ) {
+    fn wire_scalar_roundtrip_fixed() {
         let mut w = Writer::new();
-        w.u64(u).i64(i).f32(f).f64(d).u8(b).str(&s).bytes(&raw);
+        w.u64(42)
+            .i64(-7)
+            .f32(1.5)
+            .f64(-2.25)
+            .u8(9)
+            .str("kernel")
+            .bytes(&[1, 2, 3]);
         let buf = w.finish();
         let mut r = Reader::new(&buf);
-        prop_assert_eq!(r.u64().expect("u64"), u);
-        prop_assert_eq!(r.i64().expect("i64"), i);
-        let got_f = r.f32().expect("f32");
-        prop_assert!(got_f == f || (got_f.is_nan() && f.is_nan()));
-        let got_d = r.f64().expect("f64");
-        prop_assert!(got_d == d || (got_d.is_nan() && d.is_nan()));
-        prop_assert_eq!(r.u8().expect("u8"), b);
-        prop_assert_eq!(r.str().expect("str"), s);
-        prop_assert_eq!(r.bytes().expect("bytes"), raw);
-        prop_assert!(r.is_done());
+        assert_eq!(r.u64().expect("u64"), 42);
+        assert_eq!(r.i64().expect("i64"), -7);
+        assert_eq!(r.f32().expect("f32"), 1.5);
+        assert_eq!(r.f64().expect("f64"), -2.25);
+        assert_eq!(r.u8().expect("u8"), 9);
+        assert_eq!(r.str().expect("str"), "kernel");
+        assert_eq!(r.bytes().expect("bytes"), vec![1, 2, 3]);
+        assert!(r.is_done());
     }
 }

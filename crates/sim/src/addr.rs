@@ -163,10 +163,7 @@ impl PhysRange {
     /// Returns true if the two ranges share at least one address.
     /// Empty ranges contain no addresses and therefore overlap nothing.
     pub fn overlaps(self, other: PhysRange) -> bool {
-        !self.is_empty()
-            && !other.is_empty()
-            && self.start < other.end
-            && other.start < self.end
+        !self.is_empty() && !other.is_empty() && self.start < other.end && other.start < self.end
     }
 }
 

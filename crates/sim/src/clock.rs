@@ -15,8 +15,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A duration/instant in simulated nanoseconds.
 ///
 /// ```
@@ -25,9 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_nanos(), 3_500);
 /// assert_eq!(t.max(SimNs::from_millis(1)), SimNs::from_millis(1));
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimNs(u64);
 
 impl SimNs {
@@ -199,7 +195,7 @@ impl SimClock {
 ///
 /// All fields are public so experiments can ablate individual costs; the
 /// [`CostModel::default`] values are the baseline used by every figure.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CostModel {
     /// Normal-world <-> secure-world switch (SMC + monitor).
     pub world_switch: SimNs,

@@ -8,14 +8,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::PhysRange;
 use crate::mem::World;
 use crate::tzpc::DeviceId;
 
 /// One device node in the tree.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DtNode {
     /// Device identifier, matching the bus/TZPC id.
     pub device: DeviceId,
@@ -27,39 +25,6 @@ pub struct DtNode {
     pub irq: u32,
     /// Which world the device is configured into at boot.
     pub world: World,
-}
-
-// DeviceId/PhysRange live in modules without serde derives; provide manual
-// serde support via compact tuple representations.
-impl Serialize for DeviceId {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_u32(self.as_u32())
-    }
-}
-
-impl<'de> Deserialize<'de> for DeviceId {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        Ok(DeviceId::new(u32::deserialize(d)?))
-    }
-}
-
-impl Serialize for PhysRange {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        (self.start().as_u64(), self.end().as_u64()).serialize(s)
-    }
-}
-
-impl<'de> Deserialize<'de> for PhysRange {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        let (start, end) = <(u64, u64)>::deserialize(d)?;
-        if start > end {
-            return Err(serde::de::Error::custom("invalid physical range"));
-        }
-        Ok(PhysRange::new(
-            crate::addr::PhysAddr::new(start),
-            crate::addr::PhysAddr::new(end),
-        ))
-    }
 }
 
 /// Why a device tree was rejected.
@@ -101,7 +66,7 @@ impl std::error::Error for DtValidationError {}
 /// Construction via [`DeviceTree::validate`] is the only way to obtain one,
 /// so holding a `DeviceTree` is proof the overlap checks passed — the same
 /// property the SPM relies on before including the DT in attestation reports.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DeviceTree {
     nodes: Vec<DtNode>,
 }
@@ -194,22 +159,19 @@ mod tests {
 
     #[test]
     fn overlapping_mmio_rejected() {
-        let err =
-            DeviceTree::validate(vec![node(1, 0x1000, 10), node(2, 0x1800, 11)]).unwrap_err();
+        let err = DeviceTree::validate(vec![node(1, 0x1000, 10), node(2, 0x1800, 11)]).unwrap_err();
         assert!(matches!(err, DtValidationError::OverlappingMmio(..)));
     }
 
     #[test]
     fn duplicate_irq_rejected() {
-        let err =
-            DeviceTree::validate(vec![node(1, 0x1000, 10), node(2, 0x3000, 10)]).unwrap_err();
+        let err = DeviceTree::validate(vec![node(1, 0x1000, 10), node(2, 0x3000, 10)]).unwrap_err();
         assert!(matches!(err, DtValidationError::DuplicateIrq(_, _, 10)));
     }
 
     #[test]
     fn duplicate_device_rejected() {
-        let err =
-            DeviceTree::validate(vec![node(1, 0x1000, 10), node(1, 0x3000, 11)]).unwrap_err();
+        let err = DeviceTree::validate(vec![node(1, 0x1000, 10), node(1, 0x3000, 11)]).unwrap_err();
         assert!(matches!(err, DtValidationError::DuplicateDevice(_)));
     }
 

@@ -53,6 +53,6 @@ pub use machine::{AsId, Frame, Machine, MachineConfig};
 pub use mem::{PhysMem, World};
 pub use pagetable::{PagePerms, PageTable, Stage2Table};
 pub use smmu::{Smmu, StreamId};
-pub use trace::{Event, EventKind, EventLog};
+pub use trace::{Event, EventKind, EventLog, EventSink};
 pub use tzasc::Tzasc;
 pub use tzpc::{DeviceId, Tzpc};

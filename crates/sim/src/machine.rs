@@ -17,7 +17,7 @@ use crate::fault::Fault;
 use crate::mem::{PhysMem, World};
 use crate::pagetable::{Access, PagePerms, Stage2Table};
 use crate::smmu::{Smmu, StreamId};
-use crate::trace::{EventKind, EventLog};
+use crate::trace::{EventKind, EventLog, EventSink};
 use crate::tzasc::Tzasc;
 use crate::tzpc::Tzpc;
 
@@ -78,7 +78,7 @@ impl Frame {
 }
 
 /// Static machine configuration (Table II analogue).
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct MachineConfig {
     /// Physical base address of DRAM.
     pub dram_base: u64,
@@ -115,6 +115,7 @@ pub struct Machine {
     cost: CostModel,
     log: EventLog,
     monotonic: SimNs,
+    sink: Option<Box<dyn EventSink>>,
 }
 
 impl fmt::Debug for Machine {
@@ -148,7 +149,19 @@ impl Machine {
             cost: config.cost,
             log: EventLog::new(),
             monotonic: SimNs::ZERO,
+            sink: None,
         }
+    }
+
+    /// Installs an observer that sees every event exactly as it is recorded
+    /// into the log (same instants, same order). Replaces any previous sink.
+    pub fn set_event_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Removes the installed event sink, if any.
+    pub fn clear_event_sink(&mut self) -> Option<Box<dyn EventSink>> {
+        self.sink.take()
     }
 
     /// The cost model in effect.
@@ -171,12 +184,18 @@ impl Machine {
     pub fn record(&mut self, kind: EventKind) {
         self.monotonic += SimNs::from_nanos(1);
         let at = self.monotonic;
+        if let Some(sink) = self.sink.as_mut() {
+            sink.on_event(at, &kind);
+        }
         self.log.record(at, kind);
     }
 
     /// Records an event at an explicit simulated instant.
     pub fn record_at(&mut self, at: SimNs, kind: EventKind) {
         self.monotonic = self.monotonic.max(at);
+        if let Some(sink) = self.sink.as_mut() {
+            sink.on_event(at, &kind);
+        }
         self.log.record(at, kind);
     }
 
@@ -217,7 +236,10 @@ impl Machine {
     /// Panics if a tree is already installed: the paper requires a reboot to
     /// activate a new DT, so double-installation is a driver bug.
     pub fn install_devtree(&mut self, dt: DeviceTree) {
-        assert!(self.devtree.is_none(), "device tree already installed; reboot required");
+        assert!(
+            self.devtree.is_none(),
+            "device tree already installed; reboot required"
+        );
         self.devtree = Some(dt);
     }
 
@@ -240,7 +262,11 @@ impl Machine {
         if self.mem.free_pages(world) < n {
             return None;
         }
-        Some((0..n).map(|_| self.alloc_frame(world).expect("checked")).collect())
+        Some(
+            (0..n)
+                .map(|_| self.alloc_frame(world).expect("checked"))
+                .collect(),
+        )
     }
 
     /// Frees a frame, zeroing it.
@@ -296,18 +322,16 @@ impl Machine {
     ///
     /// Fails with [`Fault::PartitionFailed`] while the partition is marked
     /// failed (blocking new grants during failover is step 1 of §IV-D).
-    pub fn stage2_grant(
-        &mut self,
-        asid: AsId,
-        ppn: u64,
-        perms: PagePerms,
-    ) -> Result<(), Fault> {
+    pub fn stage2_grant(&mut self, asid: AsId, ppn: u64, perms: PagePerms) -> Result<(), Fault> {
         if self.failed.contains(&asid) {
             return Err(Fault::PartitionFailed { asid });
         }
         self.stage2
             .get_mut(&asid)
-            .ok_or(Fault::Stage2Unmapped { asid, pa: PhysAddr::from_page_number(ppn) })?
+            .ok_or(Fault::Stage2Unmapped {
+                asid,
+                pa: PhysAddr::from_page_number(ppn),
+            })?
             .grant(ppn, perms);
         Ok(())
     }
@@ -561,10 +585,13 @@ mod tests {
         m.register_partition(P1);
         let frame = m.alloc_frame(World::Secure).unwrap();
         // No grant yet: stage-2 fault.
-        let err = m.mem_write(P1, World::Secure, frame.base(), &[1]).unwrap_err();
+        let err = m
+            .mem_write(P1, World::Secure, frame.base(), &[1])
+            .unwrap_err();
         assert!(err.is_stage2());
         m.stage2_grant(P1, frame.page(), PagePerms::RW).unwrap();
-        m.mem_write(P1, World::Secure, frame.base(), &[1, 2, 3]).unwrap();
+        m.mem_write(P1, World::Secure, frame.base(), &[1, 2, 3])
+            .unwrap();
         let data = m.mem_read_vec(P1, World::Secure, frame.base(), 3).unwrap();
         assert_eq!(data, vec![1, 2, 3]);
     }
@@ -576,8 +603,11 @@ mod tests {
         m.register_partition(P2);
         let frame = m.alloc_frame(World::Secure).unwrap();
         m.stage2_grant(P1, frame.page(), PagePerms::RW).unwrap();
-        m.mem_write(P1, World::Secure, frame.base(), b"secret").unwrap();
-        let err = m.mem_read_vec(P2, World::Secure, frame.base(), 6).unwrap_err();
+        m.mem_write(P1, World::Secure, frame.base(), b"secret")
+            .unwrap();
+        let err = m
+            .mem_read_vec(P2, World::Secure, frame.base(), 6)
+            .unwrap_err();
         assert!(err.is_stage2());
         assert_eq!(m.log().faults(), 1);
     }
@@ -603,9 +633,13 @@ mod tests {
         m.stage2_grant(P1, frame.page(), PagePerms::RW).unwrap();
         m.mark_failed(P1);
         assert!(m.is_failed(P1));
-        let err = m.mem_read_vec(P1, World::Secure, frame.base(), 1).unwrap_err();
+        let err = m
+            .mem_read_vec(P1, World::Secure, frame.base(), 1)
+            .unwrap_err();
         assert_eq!(err, Fault::PartitionFailed { asid: P1 });
-        let err = m.stage2_grant(P1, frame.page() + 1, PagePerms::RW).unwrap_err();
+        let err = m
+            .stage2_grant(P1, frame.page() + 1, PagePerms::RW)
+            .unwrap_err();
         assert_eq!(err, Fault::PartitionFailed { asid: P1 });
         m.mark_recovered(P1);
         assert!(m.mem_read_vec(P1, World::Secure, frame.base(), 1).is_ok());
@@ -618,7 +652,9 @@ mod tests {
         let frame = m.alloc_frame(World::Secure).unwrap();
         m.stage2_grant(P1, frame.page(), PagePerms::RW).unwrap();
         assert!(m.stage2_invalidate(P1, frame.page()));
-        let err = m.mem_read_vec(P1, World::Secure, frame.base(), 1).unwrap_err();
+        let err = m
+            .mem_read_vec(P1, World::Secure, frame.base(), 1)
+            .unwrap_err();
         assert!(err.is_stage2());
         assert!(m.stage2_revalidate(P1, frame.page()));
         assert!(m.mem_read_vec(P1, World::Secure, frame.base(), 1).is_ok());
@@ -634,9 +670,11 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, Fault::SmmuDenied { .. }));
         m.smmu_mut().grant(stream, frame.page(), PagePerms::RW);
-        m.dma_write(stream, World::Secure, frame.base(), &[7]).unwrap();
+        m.dma_write(stream, World::Secure, frame.base(), &[7])
+            .unwrap();
         let mut buf = [0u8; 1];
-        m.dma_read(stream, World::Secure, frame.base(), &mut buf).unwrap();
+        m.dma_read(stream, World::Secure, frame.base(), &mut buf)
+            .unwrap();
         assert_eq!(buf, [7]);
     }
 
@@ -659,7 +697,8 @@ mod tests {
         m.register_partition(P1);
         let frame = m.alloc_frame(World::Secure).unwrap();
         m.stage2_grant(P1, frame.page(), PagePerms::RW).unwrap();
-        m.mem_write(P1, World::Secure, frame.base(), &[0xAA; 32]).unwrap();
+        m.mem_write(P1, World::Secure, frame.base(), &[0xAA; 32])
+            .unwrap();
         let cleared = m.clear_partition_pages(P1);
         assert_eq!(cleared, PAGE_SIZE);
         let data = m.mem_read_vec(P1, World::Secure, frame.base(), 32).unwrap();

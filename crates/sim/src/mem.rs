@@ -8,14 +8,12 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::{PhysAddr, PhysRange, PAGE_SIZE};
 use crate::fault::Fault;
 use crate::tzasc::Tzasc;
 
 /// The two TrustZone worlds.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum World {
     /// The untrusted normal world (Linux, applications, Enclave Dispatcher).
     Normal,
@@ -69,15 +67,17 @@ impl PhysMem {
     /// Panics if `base` is not page-aligned or either pool is empty.
     pub fn new(base: PhysAddr, normal_pages: u64, secure_pages: u64) -> Self {
         assert!(base.is_page_aligned(), "dram base must be page aligned");
-        assert!(normal_pages > 0 && secure_pages > 0, "both pools must be non-empty");
+        assert!(
+            normal_pages > 0 && secure_pages > 0,
+            "both pools must be non-empty"
+        );
         let total = normal_pages + secure_pages;
         let first_page = base.page_number();
         let pages = (0..total)
             .map(|_| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
             .collect();
         let normal = PhysRange::from_base_len(base, normal_pages * PAGE_SIZE);
-        let secure =
-            PhysRange::from_base_len(normal.end(), secure_pages * PAGE_SIZE);
+        let secure = PhysRange::from_base_len(normal.end(), secure_pages * PAGE_SIZE);
         PhysMem {
             base,
             pages,
@@ -218,13 +218,7 @@ impl PhysMem {
         Ok(())
     }
 
-    fn check(
-        &self,
-        tzasc: &Tzasc,
-        world: World,
-        pa: PhysAddr,
-        len: u64,
-    ) -> Result<(), Fault> {
+    fn check(&self, tzasc: &Tzasc, world: World, pa: PhysAddr, len: u64) -> Result<(), Fault> {
         if len == 0 {
             return Ok(());
         }
@@ -314,7 +308,9 @@ mod tests {
         assert!(matches!(err, Fault::BusAbort { .. }));
         let below = PhysAddr::new(0x1000);
         let mut buf = [0u8; 1];
-        let err = mem.read(&tzasc, World::Secure, below, &mut buf).unwrap_err();
+        let err = mem
+            .read(&tzasc, World::Secure, below, &mut buf)
+            .unwrap_err();
         assert!(matches!(err, Fault::BusAbort { .. }));
     }
 

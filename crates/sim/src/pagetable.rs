@@ -29,9 +29,15 @@ pub struct PagePerms {
 
 impl PagePerms {
     /// Read-write permissions.
-    pub const RW: PagePerms = PagePerms { read: true, write: true };
+    pub const RW: PagePerms = PagePerms {
+        read: true,
+        write: true,
+    };
     /// Read-only permissions.
-    pub const RO: PagePerms = PagePerms { read: true, write: false };
+    pub const RO: PagePerms = PagePerms {
+        read: true,
+        write: false,
+    };
 
     /// Returns true if these permissions allow the given access kind.
     pub fn allows(self, access: Access) -> bool {
@@ -98,12 +104,7 @@ impl PageTable {
     ///
     /// [`Fault::Stage1Unmapped`] if no entry exists,
     /// [`Fault::Stage1Permission`] if the entry forbids `access`.
-    pub fn translate(
-        &self,
-        asid: AsId,
-        va: VirtAddr,
-        access: Access,
-    ) -> Result<PhysAddr, Fault> {
+    pub fn translate(&self, asid: AsId, va: VirtAddr, access: Access) -> Result<PhysAddr, Fault> {
         let entry = self
             .entries
             .get(&va.page_number())

@@ -10,8 +10,8 @@ use std::fmt;
 
 use crate::addr::PhysAddr;
 use crate::fault::Fault;
-use crate::pagetable::{Access, PagePerms, Stage2Table};
 use crate::machine::AsId;
+use crate::pagetable::{Access, PagePerms, Stage2Table};
 
 /// Identifier of an SMMU stream (one per DMA-capable device).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -62,9 +62,7 @@ impl Smmu {
 
     /// Revokes a grant entirely.
     pub fn revoke(&mut self, stream: StreamId, ppn: u64) -> bool {
-        self.streams
-            .get_mut(&stream)
-            .is_some_and(|t| t.revoke(ppn))
+        self.streams.get_mut(&stream).is_some_and(|t| t.revoke(ppn))
     }
 
     /// Invalidates a grant so later DMA traps (failover step 1).

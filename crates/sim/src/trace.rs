@@ -61,21 +61,88 @@ impl fmt::Display for Event {
     }
 }
 
-/// An append-only event log.
-#[derive(Clone, Debug, Default)]
+/// Observer hook for events as they are recorded.
+///
+/// The simulator deliberately does not depend on any observability crate;
+/// higher layers (e.g. `cronus-obs`'s flight recorder) implement this trait
+/// and install themselves with [`crate::Machine::set_event_sink`], so every
+/// consumer sees exactly the same event stream the [`EventLog`] does.
+pub trait EventSink: Send {
+    /// Called once per recorded event, in recording order.
+    fn on_event(&mut self, at: SimNs, kind: &EventKind);
+}
+
+/// Default retention bound: large enough that unit tests and the figure
+/// harnesses never evict, small enough to bound week-long simulated runs.
+pub const DEFAULT_LOG_CAPACITY: usize = 1 << 20;
+
+/// An append-only event log with bounded retention.
+///
+/// When more than `capacity` events are recorded the oldest quarter is
+/// evicted in one batch (amortizing the memmove) and counted in
+/// [`EventLog::dropped`]. Query helpers operate on the retained window.
+#[derive(Clone, Debug)]
 pub struct EventLog {
     events: Vec<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::with_capacity(DEFAULT_LOG_CAPACITY)
+    }
 }
 
 impl EventLog {
-    /// Creates an empty log.
+    /// Creates an empty log with the default retention bound.
     pub fn new() -> Self {
         EventLog::default()
     }
 
-    /// Appends an event.
+    /// Creates an empty log retaining at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            events: Vec::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest batch if the log is full.
     pub fn record(&mut self, at: SimNs, kind: EventKind) {
+        if self.events.len() >= self.capacity {
+            let evict = (self.capacity / 4).max(1);
+            self.events.drain(..evict);
+            self.dropped += evict as u64;
+        }
         self.events.push(Event { at, kind });
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Changes the retention bound, evicting oldest events immediately if
+    /// the log is over the new bound.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        if self.events.len() > self.capacity {
+            let evict = self.events.len() - self.capacity;
+            self.events.drain(..evict);
+            self.dropped += evict as u64;
+        }
+    }
+
+    /// Events evicted so far to stay within the retention bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever recorded: retained plus evicted.
+    pub fn total_recorded(&self) -> u64 {
+        self.dropped + self.events.len() as u64
     }
 
     /// All events in order of recording.
@@ -108,9 +175,11 @@ impl EventLog {
         self.events.iter().find(|e| pred(&e.kind))
     }
 
-    /// Clears the log (between experiment phases).
+    /// Clears the log (between experiment phases), including the dropped
+    /// counter.
     pub fn clear(&mut self) {
         self.events.clear();
+        self.dropped = 0;
     }
 
     /// Total number of events.
@@ -135,7 +204,10 @@ mod tests {
         log.record(SimNs::from_nanos(1), EventKind::WorldSwitch);
         log.record(
             SimNs::from_nanos(2),
-            EventKind::ContextSwitch { from: AsId::new(0), to: AsId::new(1) },
+            EventKind::ContextSwitch {
+                from: AsId::new(0),
+                to: AsId::new(1),
+            },
         );
         log.record(SimNs::from_nanos(3), EventKind::RpcEnqueue { stream: 7 });
         assert_eq!(log.len(), 3);
@@ -154,11 +226,53 @@ mod tests {
         log.record(SimNs::ZERO, EventKind::Marker("phase-1"));
         log.clear();
         assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_and_counts_drops() {
+        let mut log = EventLog::with_capacity(8);
+        for i in 0..20u64 {
+            log.record(SimNs::from_nanos(i), EventKind::RpcEnqueue { stream: i });
+        }
+        assert!(log.len() <= 8, "retention bound holds");
+        assert_eq!(log.total_recorded(), 20);
+        assert_eq!(log.dropped(), 20 - log.len() as u64);
+        // The retained window is the newest suffix, still in order.
+        let streams: Vec<u64> = log
+            .events()
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::RpcEnqueue { stream } => stream,
+                _ => unreachable!(),
+            })
+            .collect();
+        let expect: Vec<u64> = (20 - streams.len() as u64..20).collect();
+        assert_eq!(streams, expect);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately() {
+        let mut log = EventLog::new();
+        for i in 0..10u64 {
+            log.record(SimNs::from_nanos(i), EventKind::WorldSwitch);
+        }
+        log.set_capacity(4);
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.dropped(), 6);
+        assert_eq!(
+            log.world_switches(),
+            4,
+            "query helpers see the retained window"
+        );
     }
 
     #[test]
     fn display_includes_time() {
-        let e = Event { at: SimNs::from_micros(3), kind: EventKind::WorldSwitch };
+        let e = Event {
+            at: SimNs::from_micros(3),
+            kind: EventKind::WorldSwitch,
+        };
         assert!(e.to_string().contains("3.000us"));
     }
 }

@@ -79,7 +79,10 @@ impl Tzpc {
 
     /// Returns which world owns `device` (normal if never assigned).
     pub fn world_of(&self, device: DeviceId) -> World {
-        self.assignment.get(&device).copied().unwrap_or(World::Normal)
+        self.assignment
+            .get(&device)
+            .copied()
+            .unwrap_or(World::Normal)
     }
 
     /// Checks whether `world` may access `device`.

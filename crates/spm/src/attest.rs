@@ -139,7 +139,10 @@ impl ClientVerifier {
     /// Creates a verifier trusting the given attestation-service key (the
     /// platform's `PubK`).
     pub fn new(attestation_service: PublicKey) -> Self {
-        ClientVerifier { attestation_service, vendors: HashMap::new() }
+        ClientVerifier {
+            attestation_service,
+            vendors: HashMap::new(),
+        }
     }
 
     /// Registers a vendor's endorsement key.
@@ -339,7 +342,9 @@ mod tests {
     fn honest_report_verifies() {
         let sm = SecureMonitor::new("platform");
         let signed = sample_signed_report(&sm);
-        verifier(&sm).verify(&signed, &Expectations::default()).unwrap();
+        verifier(&sm)
+            .verify(&signed, &Expectations::default())
+            .unwrap();
     }
 
     #[test]
@@ -388,7 +393,9 @@ mod tests {
         let mut signed = sample_signed_report(&sm);
         signed.report.mos_version = "vEVIL".into();
         assert_eq!(
-            verifier(&sm).verify(&signed, &Expectations::default()).unwrap_err(),
+            verifier(&sm)
+                .verify(&signed, &Expectations::default())
+                .unwrap_err(),
             AttestationError::BadReportSignature
         );
     }
@@ -399,7 +406,9 @@ mod tests {
         let evil = SecureMonitor::new("evil-platform");
         let signed = sample_signed_report(&evil);
         assert_eq!(
-            verifier(&sm).verify(&signed, &Expectations::default()).unwrap_err(),
+            verifier(&sm)
+                .verify(&signed, &Expectations::default())
+                .unwrap_err(),
             AttestationError::BadAtkEndorsement
         );
     }
@@ -415,7 +424,9 @@ mod tests {
         // Re-sign so only the endorsement is wrong.
         signed.signature = sm.sign_report(&signed.report.digest());
         assert_eq!(
-            verifier(&sm).verify(&signed, &Expectations::default()).unwrap_err(),
+            verifier(&sm)
+                .verify(&signed, &Expectations::default())
+                .unwrap_err(),
             AttestationError::BadVendorEndorsement
         );
     }
@@ -427,7 +438,9 @@ mod tests {
         signed.report.vendor = "unheard-of".into();
         signed.signature = sm.sign_report(&signed.report.digest());
         assert!(matches!(
-            verifier(&sm).verify(&signed, &Expectations::default()).unwrap_err(),
+            verifier(&sm)
+                .verify(&signed, &Expectations::default())
+                .unwrap_err(),
             AttestationError::UnknownVendor(_)
         ));
     }

@@ -29,6 +29,7 @@ use cronus_mos::hal::DeviceHal;
 use cronus_mos::manager::Owner;
 use cronus_mos::manifest::{Eid, Manifest, MosId};
 use cronus_mos::mos::{MicroOs, MosError, MosStatus};
+use cronus_obs::{FlightRecorder, TimeCategory};
 use cronus_sim::addr::{PhysAddr, PhysRange, VirtAddr};
 use cronus_sim::devtree::{DeviceTree, DtNode};
 use cronus_sim::machine::AsId;
@@ -125,7 +126,9 @@ enum ShareState {
     Active,
     /// One side failed; stage-2 entries of the survivor are invalidated and
     /// the next access traps.
-    Poisoned { survivor: AsId },
+    Poisoned {
+        survivor: AsId,
+    },
     Reclaimed,
 }
 
@@ -234,6 +237,7 @@ pub struct Spm {
     vendors: HashMap<DeviceId, (String, cronus_crypto::Signature)>,
     shares: Vec<ShareRecord>,
     next_share: u64,
+    recorder: Option<FlightRecorder>,
 }
 
 impl fmt::Debug for Spm {
@@ -306,8 +310,13 @@ impl Spm {
                 .node(device)
                 .expect("node added above")
                 .clone();
-            bus.register(PcieSlot { device, bar: node.mmio, stream, world: World::Secure })
-                .expect("validated device tree implies disjoint bars");
+            bus.register(PcieSlot {
+                device,
+                bar: node.mmio,
+                stream,
+                world: World::Secure,
+            })
+            .expect("validated device tree implies disjoint bars");
 
             let hal = match spec.device {
                 DeviceSpec::Cpu => DeviceHal::Cpu(CpuDevice::new(device, stream)),
@@ -346,7 +355,29 @@ impl Spm {
             vendors,
             shares: Vec::new(),
             next_share: 1,
+            recorder: None,
         }
+    }
+
+    /// Installs a flight recorder: the machine's event stream feeds its
+    /// counters (so they agree with the `EventLog` by construction), the SPM
+    /// charges recovery phases to it, and every device HAL gains kernel-level
+    /// spans and metrics.
+    pub fn set_recorder(&mut self, rec: FlightRecorder) {
+        self.machine.set_event_sink(rec.sink());
+        for mos in self.partitions.values_mut() {
+            match mos.hal_mut() {
+                DeviceHal::Gpu(g) => g.set_recorder(rec.clone()),
+                DeviceHal::Npu(n) => n.set_recorder(rec.clone()),
+                DeviceHal::Cpu(_) => {}
+            }
+        }
+        self.recorder = Some(rec);
+    }
+
+    /// The installed flight recorder, if any.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_ref()
     }
 
     /// The machine (read side).
@@ -389,7 +420,9 @@ impl Spm {
     ///
     /// [`SpmError::UnknownPartition`].
     pub fn mos(&self, asid: AsId) -> Result<&MicroOs, SpmError> {
-        self.partitions.get(&asid).ok_or(SpmError::UnknownPartition(asid))
+        self.partitions
+            .get(&asid)
+            .ok_or(SpmError::UnknownPartition(asid))
     }
 
     /// Mutable access to a partition's mOS.
@@ -398,7 +431,9 @@ impl Spm {
     ///
     /// [`SpmError::UnknownPartition`].
     pub fn mos_mut(&mut self, asid: AsId) -> Result<&mut MicroOs, SpmError> {
-        self.partitions.get_mut(&asid).ok_or(SpmError::UnknownPartition(asid))
+        self.partitions
+            .get_mut(&asid)
+            .ok_or(SpmError::UnknownPartition(asid))
     }
 
     /// Mutable access to a partition's mOS *and* the machine together
@@ -407,7 +442,10 @@ impl Spm {
     /// # Errors
     ///
     /// [`SpmError::UnknownPartition`].
-    pub fn mos_and_machine(&mut self, asid: AsId) -> Result<(&mut MicroOs, &mut Machine), SpmError> {
+    pub fn mos_and_machine(
+        &mut self,
+        asid: AsId,
+    ) -> Result<(&mut MicroOs, &mut Machine), SpmError> {
         let mos = self
             .partitions
             .get_mut(&asid)
@@ -458,7 +496,10 @@ impl Spm {
     fn validate_eid(&self, asid: AsId, eid: Eid) -> Result<(), SpmError> {
         let mos = self.mos(asid)?;
         if mos.id() != eid.mos() {
-            return Err(SpmError::EidPartitionMismatch { eid, partition: asid });
+            return Err(SpmError::EidPartitionMismatch {
+                eid,
+                partition: asid,
+            });
         }
         Ok(())
     }
@@ -522,6 +563,13 @@ impl Spm {
             to: peer_asid,
             pages,
         });
+        if let Some(rec) = &self.recorder {
+            // Both partitions map the pages (Figure 6 steps 2–3).
+            rec.charge(
+                TimeCategory::Mgmt,
+                self.machine.cost().page_map * (2 * pages as u64),
+            );
+        }
         self.shares.push(ShareRecord {
             handle,
             owner,
@@ -560,6 +608,10 @@ impl Spm {
                 newly.push(asid);
             }
         }
+        if let Some(rec) = &self.recorder {
+            rec.counter_add("failure.detect_sweeps", &[], 1);
+            rec.counter_add("failure.detected", &[], newly.len() as u64);
+        }
         newly
     }
 
@@ -577,7 +629,11 @@ impl Spm {
             .ok_or(SpmError::UnknownPartition(asid))?;
         mos.fail();
         let mut invalidated = 0usize;
-        for share in self.shares.iter_mut().filter(|s| s.state == ShareState::Active) {
+        for share in self
+            .shares
+            .iter_mut()
+            .filter(|s| s.state == ShareState::Active)
+        {
             let survivor = if share.owner.0 == asid {
                 Some(share.peer.0)
             } else if share.peer.0 == asid {
@@ -600,6 +656,22 @@ impl Spm {
         }
         self.machine.mark_failed(asid);
         let t = self.machine.cost().page_unmap * (invalidated.max(1) as u64);
+        // Phase marker after the PartitionFailed event: tests assert the
+        // failed → invalidated → cleared → recovered ordering.
+        self.machine
+            .record(EventKind::Marker("failover:invalidated"));
+        if let Some(rec) = &self.recorder {
+            let track = rec.track("recovery");
+            let start = rec.total_elapsed();
+            rec.complete_span(
+                track,
+                format!("invalidate {asid}"),
+                "recovery",
+                start,
+                start + t,
+            );
+            rec.charge_detail(TimeCategory::Recovery, "invalidate", t);
+        }
         Ok((invalidated, t))
     }
 
@@ -655,16 +727,33 @@ impl Spm {
             }
         }
         mos.restart(&mut self.machine, image, version);
-        self.machine.record(EventKind::PartitionCleared { partition: asid });
+        self.machine
+            .record(EventKind::PartitionCleared { partition: asid });
         self.machine.mark_recovered(asid);
 
         let cost = self.machine.cost();
-        Ok(RecoveryStats {
+        let stats = RecoveryStats {
             invalidated_pages: cleared_pages,
             proceed_time: cost.page_unmap * (cleared_pages.max(1) as u64),
             clear_time: cost.partition_clear,
             restart_time: cost.mos_restart,
-        })
+        };
+        if let Some(rec) = &self.recorder {
+            let track = rec.track("recovery");
+            let t0 = rec.total_elapsed();
+            let t1 = t0 + stats.clear_time;
+            rec.complete_span(track, format!("clear {asid}"), "recovery", t0, t1);
+            rec.complete_span(
+                track,
+                format!("reload {asid}"),
+                "recovery",
+                t1,
+                t1 + stats.restart_time,
+            );
+            rec.charge_detail(TimeCategory::Recovery, "clear", stats.clear_time);
+            rec.charge_detail(TimeCategory::Recovery, "reload", stats.restart_time);
+        }
+        Ok(stats)
     }
 
     /// Proactive mOS restart/update: "a P_a or the untrusted OS proactively
@@ -708,7 +797,11 @@ impl Spm {
 
         let (signalled, pages) = {
             let share = &self.shares[idx];
-            let eid = if share.owner.0 == survivor { share.owner.1 } else { share.peer.1 };
+            let eid = if share.owner.0 == survivor {
+                share.owner.1
+            } else {
+                share.peer.1
+            };
             (eid, share.pages.clone())
         };
 
@@ -725,9 +818,28 @@ impl Spm {
             self.machine.zero_page(*p);
             self.machine.stage2_revalidate(survivor, *p);
         }
-        self.machine.record(EventKind::FailureSignal { partition: survivor });
+        self.machine.record(EventKind::FailureSignal {
+            partition: survivor,
+        });
         self.shares[idx].state = ShareState::Reclaimed;
-        Ok(TrapOutcome { signalled, unmapped, reclaimed: true })
+        if let Some(rec) = &self.recorder {
+            let t = self.machine.cost().page_unmap * (unmapped.max(1) as u64);
+            let track = rec.track("recovery");
+            let start = rec.total_elapsed();
+            rec.complete_span(
+                track,
+                format!("trap {survivor}"),
+                "recovery",
+                start,
+                start + t,
+            );
+            rec.charge_detail(TimeCategory::Recovery, "trap", t);
+        }
+        Ok(TrapOutcome {
+            signalled,
+            unmapped,
+            reclaimed: true,
+        })
     }
 
     /// Reclaims a share when the surviving enclave terminates without ever
@@ -801,7 +913,15 @@ mod tests {
         BootConfig {
             partitions: vec![
                 PartitionSpec::new(1, b"cpu-mos", "v1", DeviceSpec::Cpu),
-                PartitionSpec::new(2, b"cuda-mos", "v3", DeviceSpec::Gpu { memory: 1 << 24, sms: 46 }),
+                PartitionSpec::new(
+                    2,
+                    b"cuda-mos",
+                    "v3",
+                    DeviceSpec::Gpu {
+                        memory: 1 << 24,
+                        sms: 46,
+                    },
+                ),
             ],
             ..Default::default()
         }
@@ -815,7 +935,13 @@ mod tests {
         let cpu = asid_of(MosId(1));
         let gpu = asid_of(MosId(2));
         let a = spm
-            .create_enclave(cpu, Manifest::new(DeviceKind::Cpu), &BTreeMap::new(), Owner::App(1), 7)
+            .create_enclave(
+                cpu,
+                Manifest::new(DeviceKind::Cpu),
+                &BTreeMap::new(),
+                Owner::App(1),
+                7,
+            )
             .unwrap();
         let b = spm
             .create_enclave(
@@ -835,7 +961,10 @@ mod tests {
         assert_eq!(spm.partition_ids().len(), 2);
         assert!(spm.machine().tzpc().is_locked());
         assert!(spm.machine().devtree().is_some());
-        assert_eq!(spm.partition_of_kind(DeviceKind::Gpu), Some(asid_of(MosId(2))));
+        assert_eq!(
+            spm.partition_of_kind(DeviceKind::Gpu),
+            Some(asid_of(MosId(2)))
+        );
         assert_eq!(spm.partition_of_kind(DeviceKind::Npu), None);
     }
 
@@ -846,11 +975,15 @@ mod tests {
         let (_h, owner_va, peer_va) = spm.share_memory(owner, peer, 2).unwrap();
 
         let (mos_a, machine) = spm.mos_and_machine(owner.0).unwrap();
-        mos_a.enclave_write(machine, owner.1, owner_va, b"ring-entry").unwrap();
+        mos_a
+            .enclave_write(machine, owner.1, owner_va, b"ring-entry")
+            .unwrap();
 
         let (mos_b, machine) = spm.mos_and_machine(peer.0).unwrap();
         let mut buf = [0u8; 10];
-        mos_b.enclave_read(machine, peer.1, peer_va, &mut buf).unwrap();
+        mos_b
+            .enclave_read(machine, peer.1, peer_va, &mut buf)
+            .unwrap();
         assert_eq!(&buf, b"ring-entry");
     }
 
@@ -900,7 +1033,10 @@ mod tests {
 
         spm.fail_partition(peer.0).unwrap();
         let stats = spm.recover_partition(peer.0, b"cuda-mos-v4", "v4").unwrap();
-        assert!(stats.total() < SimNs::from_secs(1), "recovery in sub-second range");
+        assert!(
+            stats.total() < SimNs::from_secs(1),
+            "recovery in sub-second range"
+        );
         assert!(stats.total() > SimNs::from_millis(100));
 
         // Crashed information cleared (A3).
@@ -930,7 +1066,9 @@ mod tests {
         // Survivor touches the poisoned memory: stage-2 fault.
         let (mos_a, machine) = spm.mos_and_machine(owner.0).unwrap();
         let mut buf = [0u8; 1];
-        let err = mos_a.enclave_read(machine, owner.1, owner_va, &mut buf).unwrap_err();
+        let err = mos_a
+            .enclave_read(machine, owner.1, owner_va, &mut buf)
+            .unwrap_err();
         let MosError::Fault(Fault::Stage2Unmapped { .. }) = err else {
             panic!("expected stage-2 fault, got {err:?}");
         };
@@ -943,7 +1081,9 @@ mod tests {
 
         // After the trap, the enclave's stage-1 mapping is gone entirely.
         let (mos_a, machine) = spm.mos_and_machine(owner.0).unwrap();
-        let err = mos_a.enclave_read(machine, owner.1, owner_va, &mut buf).unwrap_err();
+        let err = mos_a
+            .enclave_read(machine, owner.1, owner_va, &mut buf)
+            .unwrap_err();
         assert!(matches!(err, MosError::Fault(Fault::Stage1Unmapped { .. })));
 
         // A second trap on the same page is not found (already reclaimed).
@@ -1026,9 +1166,12 @@ mod tests {
     #[test]
     fn concurrent_failures_serialize_step1() {
         let mut config = two_partition_config();
-        config.partitions.push(PartitionSpec::new(3, b"npu-mos", "v1", DeviceSpec::Npu {
-            memory: 1 << 24,
-        }));
+        config.partitions.push(PartitionSpec::new(
+            3,
+            b"npu-mos",
+            "v1",
+            DeviceSpec::Npu { memory: 1 << 24 },
+        ));
         let mut spm = Spm::boot(config);
         let (owner, peer) = create_pair(&mut spm);
         let npu = asid_of(MosId(3));

@@ -38,7 +38,10 @@ pub struct BackendError {
 impl BackendError {
     /// Creates a non-fatal error.
     pub fn msg(message: impl Into<String>) -> Self {
-        BackendError { message: message.into(), peer_failed: false }
+        BackendError {
+            message: message.into(),
+            peer_failed: false,
+        }
     }
 }
 
@@ -56,7 +59,10 @@ impl From<CudaError> for BackendError {
             &e,
             CudaError::Srpc(cronus_core::SrpcError::PeerFailed { .. })
         );
-        BackendError { message: e.to_string(), peer_failed }
+        BackendError {
+            message: e.to_string(),
+            peer_failed,
+        }
     }
 }
 
@@ -105,8 +111,12 @@ pub trait GpuBackend {
     /// # Errors
     ///
     /// Transport failures; execution errors surface at the next sync.
-    fn launch(&mut self, kernel: &str, args: &[Arg], desc: GpuKernelDesc)
-        -> Result<(), BackendError>;
+    fn launch(
+        &mut self,
+        kernel: &str,
+        args: &[Arg],
+        desc: GpuKernelDesc,
+    ) -> Result<(), BackendError>;
 
     /// Waits until all launched work completes.
     ///
@@ -134,7 +144,11 @@ pub fn h2d_f32(backend: &mut dyn GpuBackend, dst: u64, data: &[f32]) -> Result<(
 /// # Errors
 ///
 /// Propagates backend errors.
-pub fn d2h_f32(backend: &mut dyn GpuBackend, src: u64, count: usize) -> Result<Vec<f32>, BackendError> {
+pub fn d2h_f32(
+    backend: &mut dyn GpuBackend,
+    src: u64,
+    count: usize,
+) -> Result<Vec<f32>, BackendError> {
     let bytes = backend.d2h(src, (count * 4) as u64)?;
     Ok(bytes
         .chunks_exact(4)
@@ -199,8 +213,12 @@ impl GpuBackend for CronusGpuBackend<'_> {
         Ok(self.cuda.memcpy_d2h(self.sys, DevPtr(src), len)?)
     }
 
-    fn launch(&mut self, kernel: &str, args: &[Arg], desc: GpuKernelDesc)
-        -> Result<(), BackendError> {
+    fn launch(
+        &mut self,
+        kernel: &str,
+        args: &[Arg],
+        desc: GpuKernelDesc,
+    ) -> Result<(), BackendError> {
         let args: Vec<LaunchArg> = args
             .iter()
             .map(|a| match a {

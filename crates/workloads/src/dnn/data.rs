@@ -6,8 +6,38 @@
 //! dimensions and an honest byte count per batch (this is what sizes the
 //! host→device transfers in Fig. 8).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// xorshift64* stream used for synthetic samples: deterministic per seed and
+/// self-contained (no external PRNG crates in the offline build).
+struct SampleRng(u64);
+
+impl SampleRng {
+    fn new(seed: u64) -> Self {
+        // Splitmix-style scramble so adjacent seeds yield unrelated streams
+        // and the all-zero fixed point is unreachable.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SampleRng((z ^ (z >> 31)) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform f32 in `[-1, 1)`.
+    fn unit_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 23) as f32 * 2.0 - 1.0
+    }
+
+    fn below(&mut self, bound: u32) -> u32 {
+        (self.next_u64() % bound as u64) as u32
+    }
+}
 
 /// A dataset description plus a deterministic sample generator.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -27,17 +57,35 @@ pub struct Dataset {
 impl Dataset {
     /// MNIST: 60k 28x28 grayscale digits.
     pub fn mnist() -> Self {
-        Dataset { name: "mnist", channels: 1, hw: 28, classes: 10, train_size: 60_000 }
+        Dataset {
+            name: "mnist",
+            channels: 1,
+            hw: 28,
+            classes: 10,
+            train_size: 60_000,
+        }
     }
 
     /// CIFAR-10: 50k 32x32 RGB images.
     pub fn cifar10() -> Self {
-        Dataset { name: "cifar-10", channels: 3, hw: 32, classes: 10, train_size: 50_000 }
+        Dataset {
+            name: "cifar-10",
+            channels: 3,
+            hw: 32,
+            classes: 10,
+            train_size: 50_000,
+        }
     }
 
     /// ImageNet (ILSVRC-2012): 1.28M 224x224 RGB images.
     pub fn imagenet() -> Self {
-        Dataset { name: "imagenet", channels: 3, hw: 224, classes: 1000, train_size: 1_281_167 }
+        Dataset {
+            name: "imagenet",
+            channels: 3,
+            hw: 224,
+            classes: 1000,
+            train_size: 1_281_167,
+        }
     }
 
     /// Elements per sample.
@@ -52,13 +100,11 @@ impl Dataset {
 
     /// Generates a deterministic batch (inputs flattened) plus labels.
     pub fn synthetic_batch(&self, seed: u64, batch: usize) -> (Vec<f32>, Vec<u32>) {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x0DA7_A5E7);
+        let mut rng = SampleRng::new(seed ^ 0x0DA7_A5E7);
         let inputs = (0..batch * self.sample_elems())
-            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .map(|_| rng.unit_f32())
             .collect();
-        let labels = (0..batch)
-            .map(|_| rng.gen_range(0..self.classes as u32))
-            .collect();
+        let labels = (0..batch).map(|_| rng.below(self.classes as u32)).collect();
         (inputs, labels)
     }
 }

@@ -59,7 +59,12 @@ impl Layer {
     /// Output spatial size for spatial layers.
     pub fn out_hw(&self) -> Option<usize> {
         match self {
-            Layer::Conv2d { kernel, stride, in_hw, .. } => {
+            Layer::Conv2d {
+                kernel,
+                stride,
+                in_hw,
+                ..
+            } => {
                 // Same-ish padding: floor((hw - k + 2*(k/2)) / stride) + 1.
                 let pad = kernel / 2;
                 Some((in_hw + 2 * pad - kernel) / stride + 1)
@@ -72,9 +77,12 @@ impl Layer {
     /// Trainable parameters.
     pub fn params(&self) -> u64 {
         match self {
-            Layer::Conv2d { in_ch, out_ch, kernel, .. } => {
-                (in_ch * out_ch * kernel * kernel + out_ch) as u64
-            }
+            Layer::Conv2d {
+                in_ch,
+                out_ch,
+                kernel,
+                ..
+            } => (in_ch * out_ch * kernel * kernel + out_ch) as u64,
             Layer::Dense { inputs, outputs } => (inputs * outputs + outputs) as u64,
             Layer::BatchNorm { units } => 2 * *units as u64,
             _ => 0,
@@ -84,12 +92,19 @@ impl Layer {
     /// Forward FLOPs for one sample.
     pub fn forward_flops(&self) -> f64 {
         match self {
-            Layer::Conv2d { in_ch, out_ch, kernel, .. } => {
+            Layer::Conv2d {
+                in_ch,
+                out_ch,
+                kernel,
+                ..
+            } => {
                 let out_hw = self.out_hw().expect("conv has spatial output");
                 2.0 * (*in_ch * *out_ch * kernel * kernel) as f64 * (out_hw * out_hw) as f64
             }
             Layer::Dense { inputs, outputs } => 2.0 * (*inputs * *outputs) as f64,
-            Layer::Pool { channels, in_hw, .. } => (*channels * in_hw * in_hw) as f64,
+            Layer::Pool {
+                channels, in_hw, ..
+            } => (*channels * in_hw * in_hw) as f64,
             Layer::Relu { units } => *units as f64,
             Layer::BatchNorm { units } => 4.0 * *units as f64,
         }
@@ -116,7 +131,12 @@ impl Layer {
     /// `k` = reduction size. Used by the NPU inference compiler.
     pub fn gemm_shape(&self) -> Option<(usize, usize, usize)> {
         match self {
-            Layer::Conv2d { in_ch, out_ch, kernel, .. } => {
+            Layer::Conv2d {
+                in_ch,
+                out_ch,
+                kernel,
+                ..
+            } => {
                 let out_hw = self.out_hw().expect("conv output");
                 Some((out_hw * out_hw, *out_ch, in_ch * kernel * kernel))
             }
@@ -133,23 +153,41 @@ mod tests {
     #[test]
     fn conv_accounting() {
         // 3x3 conv, 16->32 channels, 32x32 input, stride 1, same padding.
-        let conv = Layer::Conv2d { in_ch: 16, out_ch: 32, kernel: 3, stride: 1, in_hw: 32 };
+        let conv = Layer::Conv2d {
+            in_ch: 16,
+            out_ch: 32,
+            kernel: 3,
+            stride: 1,
+            in_hw: 32,
+        };
         assert_eq!(conv.out_hw(), Some(32));
         assert_eq!(conv.params(), (16 * 32 * 9 + 32) as u64);
-        assert_eq!(conv.forward_flops(), 2.0 * (16 * 32 * 9) as f64 * (32 * 32) as f64);
+        assert_eq!(
+            conv.forward_flops(),
+            2.0 * (16 * 32 * 9) as f64 * (32 * 32) as f64
+        );
         assert_eq!(conv.activations(), 32 * 32 * 32);
         assert_eq!(conv.gemm_shape(), Some((32 * 32, 32, 16 * 9)));
     }
 
     #[test]
     fn strided_conv_shrinks_output() {
-        let conv = Layer::Conv2d { in_ch: 3, out_ch: 64, kernel: 7, stride: 2, in_hw: 224 };
+        let conv = Layer::Conv2d {
+            in_ch: 3,
+            out_ch: 64,
+            kernel: 7,
+            stride: 2,
+            in_hw: 224,
+        };
         assert_eq!(conv.out_hw(), Some(112));
     }
 
     #[test]
     fn dense_accounting() {
-        let fc = Layer::Dense { inputs: 400, outputs: 120 };
+        let fc = Layer::Dense {
+            inputs: 400,
+            outputs: 120,
+        };
         assert_eq!(fc.params(), (400 * 120 + 120) as u64);
         assert_eq!(fc.forward_flops(), 2.0 * 400.0 * 120.0);
         assert_eq!(fc.gemm_shape(), Some((1, 120, 400)));
@@ -157,7 +195,11 @@ mod tests {
 
     #[test]
     fn pool_and_relu_have_no_params() {
-        let pool = Layer::Pool { channels: 6, in_hw: 28, window: 2 };
+        let pool = Layer::Pool {
+            channels: 6,
+            in_hw: 28,
+            window: 2,
+        };
         assert_eq!(pool.out_hw(), Some(14));
         assert_eq!(pool.params(), 0);
         let relu = Layer::Relu { units: 100 };

@@ -41,8 +41,21 @@ impl Model {
     }
 }
 
-fn conv_bn_relu(layers: &mut Vec<Layer>, in_ch: usize, out_ch: usize, kernel: usize, stride: usize, in_hw: usize) -> usize {
-    let conv = Layer::Conv2d { in_ch, out_ch, kernel, stride, in_hw };
+fn conv_bn_relu(
+    layers: &mut Vec<Layer>,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    in_hw: usize,
+) -> usize {
+    let conv = Layer::Conv2d {
+        in_ch,
+        out_ch,
+        kernel,
+        stride,
+        in_hw,
+    };
     let out_hw = conv.out_hw().expect("conv output");
     let units = out_ch * out_hw * out_hw;
     layers.push(conv);
@@ -55,25 +68,62 @@ fn conv_bn_relu(layers: &mut Vec<Layer>, in_ch: usize, out_ch: usize, kernel: us
 pub fn lenet5() -> Model {
     let mut layers = Vec::new();
     // conv1: 1 -> 6, 5x5 @ 28
-    let conv1 = Layer::Conv2d { in_ch: 1, out_ch: 6, kernel: 5, stride: 1, in_hw: 28 };
+    let conv1 = Layer::Conv2d {
+        in_ch: 1,
+        out_ch: 6,
+        kernel: 5,
+        stride: 1,
+        in_hw: 28,
+    };
     let hw1 = conv1.out_hw().expect("conv1");
     layers.push(conv1);
-    layers.push(Layer::Relu { units: 6 * hw1 * hw1 });
-    layers.push(Layer::Pool { channels: 6, in_hw: hw1, window: 2 });
+    layers.push(Layer::Relu {
+        units: 6 * hw1 * hw1,
+    });
+    layers.push(Layer::Pool {
+        channels: 6,
+        in_hw: hw1,
+        window: 2,
+    });
     let hw1p = hw1 / 2;
     // conv2: 6 -> 16, 5x5
-    let conv2 = Layer::Conv2d { in_ch: 6, out_ch: 16, kernel: 5, stride: 1, in_hw: hw1p };
+    let conv2 = Layer::Conv2d {
+        in_ch: 6,
+        out_ch: 16,
+        kernel: 5,
+        stride: 1,
+        in_hw: hw1p,
+    };
     let hw2 = conv2.out_hw().expect("conv2");
     layers.push(conv2);
-    layers.push(Layer::Relu { units: 16 * hw2 * hw2 });
-    layers.push(Layer::Pool { channels: 16, in_hw: hw2, window: 2 });
+    layers.push(Layer::Relu {
+        units: 16 * hw2 * hw2,
+    });
+    layers.push(Layer::Pool {
+        channels: 16,
+        in_hw: hw2,
+        window: 2,
+    });
     let hw2p = hw2 / 2;
-    layers.push(Layer::Dense { inputs: 16 * hw2p * hw2p, outputs: 120 });
+    layers.push(Layer::Dense {
+        inputs: 16 * hw2p * hw2p,
+        outputs: 120,
+    });
     layers.push(Layer::Relu { units: 120 });
-    layers.push(Layer::Dense { inputs: 120, outputs: 84 });
+    layers.push(Layer::Dense {
+        inputs: 120,
+        outputs: 84,
+    });
     layers.push(Layer::Relu { units: 84 });
-    layers.push(Layer::Dense { inputs: 84, outputs: 10 });
-    Model { name: "lenet", input_elems: 28 * 28, layers }
+    layers.push(Layer::Dense {
+        inputs: 84,
+        outputs: 10,
+    });
+    Model {
+        name: "lenet",
+        input_elems: 28 * 28,
+        layers,
+    }
 }
 
 /// VGG-16 adapted to 32x32x3 (CIFAR-10), the standard CIFAR variant.
@@ -86,13 +136,27 @@ pub fn vgg16_cifar() -> Model {
             hw = conv_bn_relu(&mut layers, in_ch, out_ch, 3, 1, hw);
             in_ch = out_ch;
         }
-        layers.push(Layer::Pool { channels: in_ch, in_hw: hw, window: 2 });
+        layers.push(Layer::Pool {
+            channels: in_ch,
+            in_hw: hw,
+            window: 2,
+        });
         hw /= 2;
     }
-    layers.push(Layer::Dense { inputs: in_ch * hw * hw, outputs: 512 });
+    layers.push(Layer::Dense {
+        inputs: in_ch * hw * hw,
+        outputs: 512,
+    });
     layers.push(Layer::Relu { units: 512 });
-    layers.push(Layer::Dense { inputs: 512, outputs: 10 });
-    Model { name: "vgg16", input_elems: 3 * 32 * 32, layers }
+    layers.push(Layer::Dense {
+        inputs: 512,
+        outputs: 10,
+    });
+    Model {
+        name: "vgg16",
+        input_elems: 3 * 32 * 32,
+        layers,
+    }
 }
 
 fn residual_stage(
@@ -121,25 +185,50 @@ pub fn resnet50_cifar() -> Model {
     let mut layers = Vec::new();
     let mut hw = conv_bn_relu(&mut layers, 3, 64, 3, 1, 32);
     let (mut ch, _) = (64, hw);
-    let stages = [(3usize, 64usize, 256usize, 1usize), (4, 128, 512, 2), (6, 256, 1024, 2), (3, 512, 2048, 2)];
+    let stages = [
+        (3usize, 64usize, 256usize, 1usize),
+        (4, 128, 512, 2),
+        (6, 256, 1024, 2),
+        (3, 512, 2048, 2),
+    ];
     for (blocks, mid, out, stride) in stages {
         let (c, h) = residual_stage(&mut layers, blocks, ch, mid, out, hw, stride);
         ch = c;
         hw = h;
     }
-    layers.push(Layer::Pool { channels: ch, in_hw: hw, window: hw.max(1) });
-    layers.push(Layer::Dense { inputs: ch, outputs: 10 });
-    Model { name: "resnet50", input_elems: 3 * 32 * 32, layers }
+    layers.push(Layer::Pool {
+        channels: ch,
+        in_hw: hw,
+        window: hw.max(1),
+    });
+    layers.push(Layer::Dense {
+        inputs: ch,
+        outputs: 10,
+    });
+    Model {
+        name: "resnet50",
+        input_elems: 3 * 32 * 32,
+        layers,
+    }
 }
 
 /// ResNet-18 at ImageNet resolution (224x224x3), for NPU inference.
 pub fn resnet18() -> Model {
     let mut layers = Vec::new();
     let mut hw = conv_bn_relu(&mut layers, 3, 64, 7, 2, 224);
-    layers.push(Layer::Pool { channels: 64, in_hw: hw, window: 2 });
+    layers.push(Layer::Pool {
+        channels: 64,
+        in_hw: hw,
+        window: 2,
+    });
     hw /= 2;
     let mut ch = 64;
-    for (blocks, out_ch, stride) in [(2usize, 64usize, 1usize), (2, 128, 2), (2, 256, 2), (2, 512, 2)] {
+    for (blocks, out_ch, stride) in [
+        (2usize, 64usize, 1usize),
+        (2, 128, 2),
+        (2, 256, 2),
+        (2, 512, 2),
+    ] {
         for b in 0..blocks {
             let s = if b == 0 { stride } else { 1 };
             hw = conv_bn_relu(&mut layers, ch, out_ch, 3, s, hw);
@@ -147,28 +236,57 @@ pub fn resnet18() -> Model {
             ch = out_ch;
         }
     }
-    layers.push(Layer::Pool { channels: ch, in_hw: hw, window: hw.max(1) });
-    layers.push(Layer::Dense { inputs: ch, outputs: 1000 });
-    Model { name: "resnet18", input_elems: 3 * 224 * 224, layers }
+    layers.push(Layer::Pool {
+        channels: ch,
+        in_hw: hw,
+        window: hw.max(1),
+    });
+    layers.push(Layer::Dense {
+        inputs: ch,
+        outputs: 1000,
+    });
+    Model {
+        name: "resnet18",
+        input_elems: 3 * 224 * 224,
+        layers,
+    }
 }
 
 /// ResNet-50 at ImageNet resolution (224x224x3), for NPU inference.
 pub fn resnet50() -> Model {
     let mut layers = Vec::new();
     let mut hw = conv_bn_relu(&mut layers, 3, 64, 7, 2, 224);
-    layers.push(Layer::Pool { channels: 64, in_hw: hw, window: 2 });
+    layers.push(Layer::Pool {
+        channels: 64,
+        in_hw: hw,
+        window: 2,
+    });
     hw /= 2;
     let mut ch = 64;
-    for (blocks, mid, out, stride) in
-        [(3usize, 64usize, 256usize, 1usize), (4, 128, 512, 2), (6, 256, 1024, 2), (3, 512, 2048, 2)]
-    {
+    for (blocks, mid, out, stride) in [
+        (3usize, 64usize, 256usize, 1usize),
+        (4, 128, 512, 2),
+        (6, 256, 1024, 2),
+        (3, 512, 2048, 2),
+    ] {
         let (c, h) = residual_stage(&mut layers, blocks, ch, mid, out, hw, stride);
         ch = c;
         hw = h;
     }
-    layers.push(Layer::Pool { channels: ch, in_hw: hw, window: hw.max(1) });
-    layers.push(Layer::Dense { inputs: ch, outputs: 1000 });
-    Model { name: "resnet50", input_elems: 3 * 224 * 224, layers }
+    layers.push(Layer::Pool {
+        channels: ch,
+        in_hw: hw,
+        window: hw.max(1),
+    });
+    layers.push(Layer::Dense {
+        inputs: ch,
+        outputs: 1000,
+    });
+    Model {
+        name: "resnet50",
+        input_elems: 3 * 224 * 224,
+        layers,
+    }
 }
 
 /// DenseNet-121-like network on ImageNet (224x224x3), used for training in
@@ -176,7 +294,11 @@ pub fn resnet50() -> Model {
 pub fn densenet121() -> Model {
     let mut layers = Vec::new();
     let mut hw = conv_bn_relu(&mut layers, 3, 64, 7, 2, 224);
-    layers.push(Layer::Pool { channels: 64, in_hw: hw, window: 2 });
+    layers.push(Layer::Pool {
+        channels: 64,
+        in_hw: hw,
+        window: 2,
+    });
     hw /= 2;
     let growth = 32;
     let mut ch = 64;
@@ -191,13 +313,28 @@ pub fn densenet121() -> Model {
             // Transition: 1x1 halving channels + 2x2 pool.
             conv_bn_relu(&mut layers, ch, ch / 2, 1, 1, hw);
             ch /= 2;
-            layers.push(Layer::Pool { channels: ch, in_hw: hw, window: 2 });
+            layers.push(Layer::Pool {
+                channels: ch,
+                in_hw: hw,
+                window: 2,
+            });
             hw /= 2;
         }
     }
-    layers.push(Layer::Pool { channels: ch, in_hw: hw, window: hw.max(1) });
-    layers.push(Layer::Dense { inputs: ch, outputs: 1000 });
-    Model { name: "densenet", input_elems: 3 * 224 * 224, layers }
+    layers.push(Layer::Pool {
+        channels: ch,
+        in_hw: hw,
+        window: hw.max(1),
+    });
+    layers.push(Layer::Dense {
+        inputs: ch,
+        outputs: 1000,
+    });
+    Model {
+        name: "densenet",
+        input_elems: 3 * 224 * 224,
+        layers,
+    }
 }
 
 /// YOLOv3-like detector at 416x416x3, for NPU inference (Fig. 10b).
@@ -216,7 +353,11 @@ pub fn yolov3() -> Model {
     }
     // Detection head.
     conv_bn_relu(&mut layers, ch, 255, 1, 1, hw);
-    Model { name: "yolov3", input_elems: 3 * 416 * 416, layers }
+    Model {
+        name: "yolov3",
+        input_elems: 3 * 416 * 416,
+        layers,
+    }
 }
 
 #[cfg(test)]
@@ -228,7 +369,11 @@ mod tests {
         let m = lenet5();
         assert_eq!(m.name, "lenet");
         // ~60k params, under a MFLOP forward.
-        assert!(m.params() > 40_000 && m.params() < 120_000, "params = {}", m.params());
+        assert!(
+            m.params() > 40_000 && m.params() < 120_000,
+            "params = {}",
+            m.params()
+        );
         assert!(m.forward_flops() < 2e6, "flops = {}", m.forward_flops());
     }
 

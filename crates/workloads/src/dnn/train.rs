@@ -45,7 +45,12 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { batch: 64, iterations: 4, lr: 0.01, mode: TrainMode::CostModel }
+        TrainConfig {
+            batch: 64,
+            iterations: 4,
+            lr: 0.01,
+            mode: TrainMode::CostModel,
+        }
     }
 }
 
@@ -78,8 +83,7 @@ impl TrainReport {
 
 fn layer_desc(layer: &Layer, batch: usize, backward_factor: f64) -> GpuKernelDesc {
     let flops = layer.forward_flops() * batch as f64 * backward_factor;
-    let bytes = (layer.activations() as f64 * 4.0 * batch as f64
-        + layer.params() as f64 * 4.0)
+    let bytes = (layer.activations() as f64 * 4.0 * batch as f64 + layer.params() as f64 * 4.0)
         * backward_factor;
     GpuKernelDesc {
         flops,
@@ -126,7 +130,11 @@ pub fn train(
 
         // Forward: one launch per layer.
         for layer in &model.layers {
-            backend.launch("noop", &[Arg::Ptr(d_batch)], layer_desc(layer, cfg.batch, 1.0))?;
+            backend.launch(
+                "noop",
+                &[Arg::Ptr(d_batch)],
+                layer_desc(layer, cfg.batch, 1.0),
+            )?;
         }
         // Backward: two launches per parameterized layer (dW, dX), one per
         // other layer.
@@ -135,10 +143,18 @@ pub fn train(
             if layer.params() > 0 {
                 let (_, g) = weights[param_idx % param_layers];
                 backend.launch("noop", &[Arg::Ptr(g)], layer_desc(layer, cfg.batch, 1.0))?;
-                backend.launch("noop", &[Arg::Ptr(d_batch)], layer_desc(layer, cfg.batch, 1.0))?;
+                backend.launch(
+                    "noop",
+                    &[Arg::Ptr(d_batch)],
+                    layer_desc(layer, cfg.batch, 1.0),
+                )?;
                 param_idx += 1;
             } else {
-                backend.launch("noop", &[Arg::Ptr(d_batch)], layer_desc(layer, cfg.batch, 1.0))?;
+                backend.launch(
+                    "noop",
+                    &[Arg::Ptr(d_batch)],
+                    layer_desc(layer, cfg.batch, 1.0),
+                )?;
             }
         }
         // Optimizer step per parameterized layer.
@@ -266,8 +282,12 @@ pub fn train_real_mlp(
             };
             let p = mem.read_f32s(pred)?;
             let yv = mem.read_f32s(y)?;
-            let loss_val: f32 =
-                p.iter().zip(&yv).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / BATCH as f32;
+            let loss_val: f32 = p
+                .iter()
+                .zip(&yv)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                / BATCH as f32;
             mem.write_f32s(loss, &[loss_val])
         }),
     )?;
@@ -333,7 +353,9 @@ pub fn train_real_mlp(
         let loss = d2h_f32(backend, d_loss, 1)?;
         losses.push(loss[0]);
     }
-    for ptr in [d_x, d_y, d_w1, d_w2, d_h, d_pred, d_err, d_gw1, d_gw2, d_loss] {
+    for ptr in [
+        d_x, d_y, d_w1, d_w2, d_h, d_pred, d_err, d_gw1, d_gw2, d_loss,
+    ] {
         backend.free(ptr)?;
     }
     backend.sync()?;
@@ -353,7 +375,10 @@ mod tests {
                 backend,
                 &models::lenet5(),
                 &Dataset::mnist(),
-                TrainConfig { iterations: 3, ..Default::default() },
+                TrainConfig {
+                    iterations: 3,
+                    ..Default::default()
+                },
             )
             .unwrap();
             assert_eq!(report.model, "lenet");
@@ -366,7 +391,11 @@ mod tests {
     #[test]
     fn bigger_models_take_longer() {
         cronus_backend_fixture(|backend| {
-            let cfg = TrainConfig { iterations: 2, batch: 16, ..Default::default() };
+            let cfg = TrainConfig {
+                iterations: 2,
+                batch: 16,
+                ..Default::default()
+            };
             let lenet = train(backend, &models::lenet5(), &Dataset::mnist(), cfg).unwrap();
             let vgg = train(backend, &models::vgg16_cifar(), &Dataset::cifar10(), cfg).unwrap();
             assert!(

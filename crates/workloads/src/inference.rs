@@ -111,20 +111,52 @@ pub fn run_quant_mlp(
 
     let mut prog = VtaProgram::new();
     // h = relu((x W1^T) >> 4)
-    prog.push(VtaInsn::LoadInp { src: NpuBuffer::from_raw(d_x.0), offset: 0, rows: 1, cols: 16, stride: 16 })
-        .push(VtaInsn::LoadWgt { src: NpuBuffer::from_raw(d_w1.0), offset: 0, rows: 16, cols: 16, stride: 16 })
-        .push(VtaInsn::ResetAcc { rows: 1, cols: 16 })
-        .push(VtaInsn::Gemm)
-        .push(VtaInsn::Alu(AluOp::ShrImm(4)))
-        .push(VtaInsn::Alu(AluOp::MaxImm(0)))
-        .push(VtaInsn::StoreAcc { dst: NpuBuffer::from_raw(d_h.0), offset: 0, stride: 16 });
+    prog.push(VtaInsn::LoadInp {
+        src: NpuBuffer::from_raw(d_x.0),
+        offset: 0,
+        rows: 1,
+        cols: 16,
+        stride: 16,
+    })
+    .push(VtaInsn::LoadWgt {
+        src: NpuBuffer::from_raw(d_w1.0),
+        offset: 0,
+        rows: 16,
+        cols: 16,
+        stride: 16,
+    })
+    .push(VtaInsn::ResetAcc { rows: 1, cols: 16 })
+    .push(VtaInsn::Gemm)
+    .push(VtaInsn::Alu(AluOp::ShrImm(4)))
+    .push(VtaInsn::Alu(AluOp::MaxImm(0)))
+    .push(VtaInsn::StoreAcc {
+        dst: NpuBuffer::from_raw(d_h.0),
+        offset: 0,
+        stride: 16,
+    });
     // out = (h W2^T) >> 4
-    prog.push(VtaInsn::LoadInp { src: NpuBuffer::from_raw(d_h.0), offset: 0, rows: 1, cols: 16, stride: 16 })
-        .push(VtaInsn::LoadWgt { src: NpuBuffer::from_raw(d_w2.0), offset: 0, rows: 16, cols: 16, stride: 16 })
-        .push(VtaInsn::ResetAcc { rows: 1, cols: 16 })
-        .push(VtaInsn::Gemm)
-        .push(VtaInsn::Alu(AluOp::ShrImm(4)))
-        .push(VtaInsn::StoreAcc { dst: NpuBuffer::from_raw(d_out.0), offset: 0, stride: 16 });
+    prog.push(VtaInsn::LoadInp {
+        src: NpuBuffer::from_raw(d_h.0),
+        offset: 0,
+        rows: 1,
+        cols: 16,
+        stride: 16,
+    })
+    .push(VtaInsn::LoadWgt {
+        src: NpuBuffer::from_raw(d_w2.0),
+        offset: 0,
+        rows: 16,
+        cols: 16,
+        stride: 16,
+    })
+    .push(VtaInsn::ResetAcc { rows: 1, cols: 16 })
+    .push(VtaInsn::Gemm)
+    .push(VtaInsn::Alu(AluOp::ShrImm(4)))
+    .push(VtaInsn::StoreAcc {
+        dst: NpuBuffer::from_raw(d_out.0),
+        offset: 0,
+        stride: 16,
+    });
     vta.run(sys, &prog)?;
     vta.synchronize(sys)?;
 
@@ -160,7 +192,11 @@ mod tests {
     #[test]
     fn lowering_produces_gemms() {
         let q = lower(&models::resnet18());
-        assert!(q.gemms.len() > 15, "resnet18 has many conv layers: {}", q.gemms.len());
+        assert!(
+            q.gemms.len() > 15,
+            "resnet18 has many conv layers: {}",
+            q.gemms.len()
+        );
         assert!(total_macs(&q) > 1e8);
     }
 
@@ -175,7 +211,13 @@ mod tests {
         assert!(rows[1].npu < rows[2].npu, "resnet50 < yolov3");
         // The NPU beats scalar CPU execution on every model.
         for row in &rows {
-            assert!(row.npu < row.cpu, "{}: npu {} < cpu {}", row.model, row.npu, row.cpu);
+            assert!(
+                row.npu < row.cpu,
+                "{}: npu {} < cpu {}",
+                row.model,
+                row.npu,
+                row.cpu
+            );
         }
     }
 

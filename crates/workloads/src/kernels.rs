@@ -15,21 +15,27 @@ use crate::backend::{BackendError, GpuBackend};
 fn want_buffer(args: &[KernelArg], i: usize) -> Result<cronus_devices::gpu::GpuBuffer, GpuError> {
     match args.get(i) {
         Some(KernelArg::Buffer(b)) => Ok(*b),
-        other => Err(GpuError::BadArg(format!("arg {i}: expected buffer, got {other:?}"))),
+        other => Err(GpuError::BadArg(format!(
+            "arg {i}: expected buffer, got {other:?}"
+        ))),
     }
 }
 
 fn want_int(args: &[KernelArg], i: usize) -> Result<i64, GpuError> {
     match args.get(i) {
         Some(KernelArg::Int(v)) => Ok(*v),
-        other => Err(GpuError::BadArg(format!("arg {i}: expected int, got {other:?}"))),
+        other => Err(GpuError::BadArg(format!(
+            "arg {i}: expected int, got {other:?}"
+        ))),
     }
 }
 
 fn want_float(args: &[KernelArg], i: usize) -> Result<f32, GpuError> {
     match args.get(i) {
         Some(KernelArg::Float(v)) => Ok(*v),
-        other => Err(GpuError::BadArg(format!("arg {i}: expected float, got {other:?}"))),
+        other => Err(GpuError::BadArg(format!(
+            "arg {i}: expected float, got {other:?}"
+        ))),
     }
 }
 
@@ -267,7 +273,11 @@ mod tests {
         fn new() -> Self {
             let mut dev = GpuDevice::new(DeviceId::new(1), StreamId::new(1), 1 << 24, 46);
             let ctx = dev.create_context(1 << 20).unwrap();
-            Raw { dev, ctx, cm: CostModel::default() }
+            Raw {
+                dev,
+                ctx,
+                cm: CostModel::default(),
+            }
         }
 
         fn buf(&mut self, data: &[f32]) -> cronus_devices::gpu::GpuBuffer {
@@ -322,7 +332,11 @@ mod tests {
         let x = raw.buf(&[-1.0, 2.0, -3.0, 4.0]);
         raw.run("relu", relu(), &[KernelArg::Buffer(x)]);
         assert_eq!(raw.read(x, 4), vec![0.0, 2.0, 0.0, 4.0]);
-        raw.run("scale", scale(), &[KernelArg::Buffer(x), KernelArg::Float(0.5)]);
+        raw.run(
+            "scale",
+            scale(),
+            &[KernelArg::Buffer(x), KernelArg::Float(0.5)],
+        );
         assert_eq!(raw.read(x, 4), vec![0.0, 1.0, 0.0, 2.0]);
     }
 
@@ -334,7 +348,11 @@ mod tests {
         raw.run(
             "sgd_update",
             sgd_update(),
-            &[KernelArg::Buffer(w), KernelArg::Buffer(g), KernelArg::Float(0.1)],
+            &[
+                KernelArg::Buffer(w),
+                KernelArg::Buffer(g),
+                KernelArg::Float(0.1),
+            ],
         );
         let out = raw.read(w, 2);
         assert!((out[0] - 0.95).abs() < 1e-6);
@@ -370,7 +388,11 @@ mod tests {
         let mut raw = Raw::new();
         let x = raw.buf(&[1.0, 2.0, 3.0]);
         let out = raw.buf(&[0.0]);
-        raw.run("reduce_sum", reduce_sum(), &[KernelArg::Buffer(x), KernelArg::Buffer(out)]);
+        raw.run(
+            "reduce_sum",
+            reduce_sum(),
+            &[KernelArg::Buffer(x), KernelArg::Buffer(out)],
+        );
         assert_eq!(raw.read(out, 1), vec![6.0]);
 
         let a = raw.buf(&[1.0, 5.0]);
@@ -379,7 +401,11 @@ mod tests {
         raw.run(
             "vec_sub_sq",
             vec_sub_sq(),
-            &[KernelArg::Buffer(a), KernelArg::Buffer(b), KernelArg::Buffer(d)],
+            &[
+                KernelArg::Buffer(a),
+                KernelArg::Buffer(b),
+                KernelArg::Buffer(d),
+            ],
         );
         assert_eq!(raw.read(d, 2), vec![9.0, 16.0]);
     }

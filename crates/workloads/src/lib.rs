@@ -43,7 +43,10 @@ pub mod testutil {
                     2,
                     b"cuda-mos",
                     "v3",
-                    DeviceSpec::Gpu { memory: 1 << 28, sms: 46 },
+                    DeviceSpec::Gpu {
+                        memory: 1 << 28,
+                        sms: 46,
+                    },
                 ),
             ],
             ..Default::default()

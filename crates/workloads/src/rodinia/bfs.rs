@@ -135,7 +135,13 @@ pub fn run(backend: &mut dyn GpuBackend, scale: usize) -> Result<RodiniaRun, Bac
         backend.h2d(d_flag, &[0u8; 4])?;
         backend.launch(
             "bfs_level",
-            &[Arg::Ptr(d_off), Arg::Ptr(d_tgt), Arg::Ptr(d_lvl), Arg::Int(depth), Arg::Ptr(d_flag)],
+            &[
+                Arg::Ptr(d_off),
+                Arg::Ptr(d_tgt),
+                Arg::Ptr(d_lvl),
+                Arg::Int(depth),
+                Arg::Ptr(d_flag),
+            ],
             GpuKernelDesc {
                 flops: edge_work as f64,
                 mem_bytes: 8.0 * edge_work as f64,
@@ -163,7 +169,11 @@ pub fn run(backend: &mut dyn GpuBackend, scale: usize) -> Result<RodiniaRun, Bac
         .iter()
         .map(|l| if *l == UNVISITED { 0.0 } else { *l as f64 })
         .sum::<f64>();
-    Ok(RodiniaRun { name: "bfs", sim_time: backend.elapsed() - start, checksum })
+    Ok(RodiniaRun {
+        name: "bfs",
+        sim_time: backend.elapsed() - start,
+        checksum,
+    })
 }
 
 #[cfg(test)]

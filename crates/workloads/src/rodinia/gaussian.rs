@@ -114,7 +114,12 @@ pub fn run(backend: &mut dyn GpuBackend, scale: usize) -> Result<RodiniaRun, Bac
         let remaining = n - k;
         backend.launch(
             "fan1",
-            &[Arg::Ptr(d_a), Arg::Ptr(d_m), Arg::Int(n as i64), Arg::Int(k as i64)],
+            &[
+                Arg::Ptr(d_a),
+                Arg::Ptr(d_m),
+                Arg::Int(n as i64),
+                Arg::Int(k as i64),
+            ],
             GpuKernelDesc {
                 flops: remaining as f64,
                 mem_bytes: 8.0 * remaining as f64,
@@ -123,7 +128,13 @@ pub fn run(backend: &mut dyn GpuBackend, scale: usize) -> Result<RodiniaRun, Bac
         )?;
         backend.launch(
             "fan2",
-            &[Arg::Ptr(d_a), Arg::Ptr(d_b), Arg::Ptr(d_m), Arg::Int(n as i64), Arg::Int(k as i64)],
+            &[
+                Arg::Ptr(d_a),
+                Arg::Ptr(d_b),
+                Arg::Ptr(d_m),
+                Arg::Int(n as i64),
+                Arg::Int(k as i64),
+            ],
             GpuKernelDesc {
                 flops: 2.0 * (remaining * remaining) as f64,
                 mem_bytes: 12.0 * (remaining * remaining) as f64,
@@ -142,7 +153,11 @@ pub fn run(backend: &mut dyn GpuBackend, scale: usize) -> Result<RodiniaRun, Bac
 
     let x = back_substitute(&a_out, &b_out, n);
     let checksum = x.iter().map(|v| *v as f64).sum();
-    Ok(RodiniaRun { name: "gaussian", sim_time: backend.elapsed() - start, checksum })
+    Ok(RodiniaRun {
+        name: "gaussian",
+        sim_time: backend.elapsed() - start,
+        checksum,
+    })
 }
 
 #[cfg(test)]

@@ -10,7 +10,10 @@ const STEPS: usize = 20;
 
 /// Initial temperature grid.
 pub fn initial_grid(rows: usize, cols: usize) -> Vec<f32> {
-    det_f32s(31, rows * cols).iter().map(|v| 40.0 + v * 10.0).collect()
+    det_f32s(31, rows * cols)
+        .iter()
+        .map(|v| 40.0 + v * 10.0)
+        .collect()
 }
 
 /// CPU reference: the same stencil iterated on the host.
@@ -23,7 +26,11 @@ pub fn reference_final(rows: usize, cols: usize, steps: usize) -> Vec<f32> {
                 let idx = r * cols + c;
                 let center = src[idx];
                 let up = if r > 0 { src[idx - cols] } else { center };
-                let down = if r + 1 < rows { src[idx + cols] } else { center };
+                let down = if r + 1 < rows {
+                    src[idx + cols]
+                } else {
+                    center
+                };
                 let left = if c > 0 { src[idx - 1] } else { center };
                 let right = if c + 1 < cols { src[idx + 1] } else { center };
                 dst[idx] = center + ALPHA * (up + down + left + right - 4.0 * center);
@@ -71,7 +78,11 @@ pub fn run(backend: &mut dyn GpuBackend, scale: usize) -> Result<RodiniaRun, Bac
     backend.sync()?;
 
     let checksum = out.iter().map(|v| *v as f64).sum();
-    Ok(RodiniaRun { name: "hotspot", sim_time: backend.elapsed() - start, checksum })
+    Ok(RodiniaRun {
+        name: "hotspot",
+        sim_time: backend.elapsed() - start,
+        checksum,
+    })
 }
 
 #[cfg(test)]
@@ -83,7 +94,10 @@ mod tests {
     fn grid_matches_cpu_reference() {
         cronus_backend_fixture(|backend| {
             let result = run(backend, 1).unwrap();
-            let reference: f64 = reference_final(16, 16, STEPS).iter().map(|v| *v as f64).sum();
+            let reference: f64 = reference_final(16, 16, STEPS)
+                .iter()
+                .map(|v| *v as f64)
+                .sum();
             assert!(
                 (result.checksum - reference).abs() / reference.abs() < 1e-5,
                 "{} vs {}",

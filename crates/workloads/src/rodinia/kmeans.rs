@@ -115,7 +115,12 @@ pub fn run(backend: &mut dyn GpuBackend, scale: usize) -> Result<RodiniaRun, Bac
         h2d_f32(backend, d_c, &centroids)?;
         backend.launch(
             "kmeans_assign",
-            &[Arg::Ptr(d_p), Arg::Ptr(d_c), Arg::Ptr(d_m), Arg::Int(n as i64)],
+            &[
+                Arg::Ptr(d_p),
+                Arg::Ptr(d_c),
+                Arg::Ptr(d_m),
+                Arg::Int(n as i64),
+            ],
             GpuKernelDesc {
                 flops: (n * K * DIMS * 3) as f64,
                 mem_bytes: (n * DIMS * 4) as f64,
@@ -132,7 +137,11 @@ pub fn run(backend: &mut dyn GpuBackend, scale: usize) -> Result<RodiniaRun, Bac
     backend.sync()?;
 
     let checksum = membership.iter().map(|m| *m as f64).sum();
-    Ok(RodiniaRun { name: "kmeans", sim_time: backend.elapsed() - start, checksum })
+    Ok(RodiniaRun {
+        name: "kmeans",
+        sim_time: backend.elapsed() - start,
+        checksum,
+    })
 }
 
 #[cfg(test)]
@@ -144,8 +153,10 @@ mod tests {
     fn membership_matches_cpu_reference() {
         cronus_backend_fixture(|backend| {
             let result = run(backend, 1).unwrap();
-            let reference: f64 =
-                reference_membership(128, ITERS).iter().map(|m| *m as f64).sum();
+            let reference: f64 = reference_membership(128, ITERS)
+                .iter()
+                .map(|m| *m as f64)
+                .sum();
             assert_eq!(result.checksum, reference);
         });
     }

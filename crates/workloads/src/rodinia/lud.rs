@@ -39,7 +39,13 @@ pub fn reconstruct(lu: &[f32], n: usize) -> Vec<f32> {
             let mut sum = 0.0f32;
             let kmax = i.min(j);
             for k in 0..=kmax {
-                let l = if k == i { 1.0 } else if k < i { lu[i * n + k] } else { 0.0 };
+                let l = if k == i {
+                    1.0
+                } else if k < i {
+                    lu[i * n + k]
+                } else {
+                    0.0
+                };
                 let u = if k <= j { lu[k * n + j] } else { 0.0 };
                 sum += l * u;
             }
@@ -101,7 +107,11 @@ pub fn run(backend: &mut dyn GpuBackend, scale: usize) -> Result<RodiniaRun, Bac
     backend.sync()?;
 
     let checksum = lu.iter().map(|v| *v as f64).sum();
-    Ok(RodiniaRun { name: "lud", sim_time: backend.elapsed() - start, checksum })
+    Ok(RodiniaRun {
+        name: "lud",
+        sim_time: backend.elapsed() - start,
+        checksum,
+    })
 }
 
 #[cfg(test)]
@@ -130,7 +140,12 @@ mod tests {
         let lu = reference_lu(n);
         let back = reconstruct(&lu, n);
         for i in 0..n * n {
-            assert!((a[i] - back[i]).abs() < 1e-3, "element {i}: {} vs {}", a[i], back[i]);
+            assert!(
+                (a[i] - back[i]).abs() < 1e-3,
+                "element {i}: {} vs {}",
+                a[i],
+                back[i]
+            );
         }
     }
 }

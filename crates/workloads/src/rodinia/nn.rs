@@ -97,7 +97,11 @@ pub fn run(backend: &mut dyn GpuBackend, scale: usize) -> Result<RodiniaRun, Bac
 
     let nearest = top_k(&distances, TOP_K);
     let checksum = nearest.iter().map(|v| *v as f64).sum();
-    Ok(RodiniaRun { name: "nn", sim_time: backend.elapsed() - start, checksum })
+    Ok(RodiniaRun {
+        name: "nn",
+        sim_time: backend.elapsed() - start,
+        checksum,
+    })
 }
 
 #[cfg(test)]

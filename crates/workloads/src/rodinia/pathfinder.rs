@@ -10,7 +10,10 @@ use crate::rodinia::{det_u32s, RodiniaRun};
 
 /// Deterministic cost grid (`rows x cols`).
 pub fn build_grid(rows: usize, cols: usize) -> Vec<f32> {
-    det_u32s(81, rows * cols, 10).iter().map(|v| *v as f32).collect()
+    det_u32s(81, rows * cols, 10)
+        .iter()
+        .map(|v| *v as f32)
+        .collect()
 }
 
 /// CPU reference: min-cost values after processing all rows.
@@ -41,7 +44,11 @@ pub fn row_kernel() -> cronus_devices::gpu::KernelFn {
             [KernelArg::Buffer(g), KernelArg::Buffer(c), KernelArg::Buffer(n), KernelArg::Int(cols), KernelArg::Int(row)] => {
                 (*g, *c, *n, *cols as usize, *row as usize)
             }
-            _ => return Err(GpuError::BadArg("pathfinder_row(g, cur, next, cols, row)".into())),
+            _ => {
+                return Err(GpuError::BadArg(
+                    "pathfinder_row(g, cur, next, cols, row)".into(),
+                ))
+            }
         };
         let grid = mem.read_f32s(g_b)?;
         let cur = mem.read_f32s(cur_b)?;
@@ -106,7 +113,11 @@ pub fn run(backend: &mut dyn GpuBackend, scale: usize) -> Result<RodiniaRun, Bac
     backend.sync()?;
 
     let checksum = result.iter().map(|v| *v as f64).sum();
-    Ok(RodiniaRun { name: "pathfinder", sim_time: backend.elapsed() - start, checksum })
+    Ok(RodiniaRun {
+        name: "pathfinder",
+        sim_time: backend.elapsed() - start,
+        checksum,
+    })
 }
 
 #[cfg(test)]

@@ -15,7 +15,10 @@ const ITERS: usize = 6;
 
 /// Initial image (positive intensities).
 pub fn initial_image(rows: usize, cols: usize) -> Vec<f32> {
-    det_f32s(91, rows * cols).iter().map(|v| 1.0 + (v + 0.5).abs()).collect()
+    det_f32s(91, rows * cols)
+        .iter()
+        .map(|v| 1.0 + (v + 0.5).abs())
+        .collect()
 }
 
 fn srad_step_cpu(img: &[f32], rows: usize, cols: usize) -> Vec<f32> {
@@ -30,10 +33,15 @@ fn coefficients(img: &[f32], rows: usize, cols: usize) -> Vec<f32> {
             let idx = r * cols + c;
             let center = img[idx];
             let up = if r > 0 { img[idx - cols] } else { center };
-            let down = if r + 1 < rows { img[idx + cols] } else { center };
+            let down = if r + 1 < rows {
+                img[idx + cols]
+            } else {
+                center
+            };
             let left = if c > 0 { img[idx - 1] } else { center };
             let right = if c + 1 < cols { img[idx + 1] } else { center };
-            let grad = (up - center).abs() + (down - center).abs()
+            let grad = (up - center).abs()
+                + (down - center).abs()
                 + (left - center).abs()
                 + (right - center).abs();
             let q = grad / center.max(1e-6);
@@ -50,7 +58,11 @@ fn update(img: &[f32], coef: &[f32], rows: usize, cols: usize) -> Vec<f32> {
             let idx = r * cols + c;
             let center = img[idx];
             let up = if r > 0 { img[idx - cols] } else { center };
-            let down = if r + 1 < rows { img[idx + cols] } else { center };
+            let down = if r + 1 < rows {
+                img[idx + cols]
+            } else {
+                center
+            };
             let left = if c > 0 { img[idx - 1] } else { center };
             let right = if c + 1 < cols { img[idx + 1] } else { center };
             let div = up + down + left + right - 4.0 * center;
@@ -90,7 +102,11 @@ pub fn update_kernel() -> cronus_devices::gpu::KernelFn {
             [KernelArg::Buffer(i), KernelArg::Buffer(c), KernelArg::Buffer(o), KernelArg::Int(r), KernelArg::Int(cl)] => {
                 (*i, *c, *o, *r as usize, *cl as usize)
             }
-            _ => return Err(GpuError::BadArg("srad_update(img, coef, out, rows, cols)".into())),
+            _ => {
+                return Err(GpuError::BadArg(
+                    "srad_update(img, coef, out, rows, cols)".into(),
+                ))
+            }
         };
         let img = mem.read_f32s(i_b)?;
         let coef = mem.read_f32s(c_b)?;
@@ -121,7 +137,12 @@ pub fn run(backend: &mut dyn GpuBackend, scale: usize) -> Result<RodiniaRun, Bac
     for _ in 0..ITERS {
         backend.launch(
             "srad_coef",
-            &[Arg::Ptr(cur), Arg::Ptr(d_coef), Arg::Int(rows as i64), Arg::Int(cols as i64)],
+            &[
+                Arg::Ptr(cur),
+                Arg::Ptr(d_coef),
+                Arg::Int(rows as i64),
+                Arg::Int(cols as i64),
+            ],
             stencil_desc(rows, cols),
         )?;
         backend.launch(
@@ -145,7 +166,11 @@ pub fn run(backend: &mut dyn GpuBackend, scale: usize) -> Result<RodiniaRun, Bac
     backend.sync()?;
 
     let checksum = out.iter().map(|v| *v as f64).sum();
-    Ok(RodiniaRun { name: "srad", sim_time: backend.elapsed() - start, checksum })
+    Ok(RodiniaRun {
+        name: "srad",
+        sim_time: backend.elapsed() - start,
+        checksum,
+    })
 }
 
 #[cfg(test)]
@@ -157,8 +182,10 @@ mod tests {
     fn image_matches_cpu_reference() {
         cronus_backend_fixture(|backend| {
             let result = run(backend, 1).unwrap();
-            let reference: f64 =
-                reference_final(16, 16, ITERS).iter().map(|v| *v as f64).sum();
+            let reference: f64 = reference_final(16, 16, ITERS)
+                .iter()
+                .map(|v| *v as f64)
+                .sum();
             assert!(
                 (result.checksum - reference).abs() / reference.abs() < 1e-5,
                 "{} vs {}",

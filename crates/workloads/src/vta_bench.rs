@@ -43,7 +43,10 @@ pub fn tiled_gemm_programs(
     for bi in 0..tiles {
         for bj in 0..tiles {
             let mut prog = VtaProgram::new();
-            prog.push(VtaInsn::ResetAcc { rows: tile, cols: tile });
+            prog.push(VtaInsn::ResetAcc {
+                rows: tile,
+                cols: tile,
+            });
             for bk in 0..tiles {
                 prog.push(VtaInsn::LoadInp {
                     src: inp,
@@ -61,11 +64,12 @@ pub fn tiled_gemm_programs(
                 })
                 .push(VtaInsn::Gemm);
             }
-            prog.push(VtaInsn::Alu(AluOp::ShrImm(4))).push(VtaInsn::StoreAcc {
-                dst: out,
-                offset: ((bi * tile) * dim + bj * tile) as u64,
-                stride: dim,
-            });
+            prog.push(VtaInsn::Alu(AluOp::ShrImm(4)))
+                .push(VtaInsn::StoreAcc {
+                    dst: out,
+                    offset: ((bi * tile) * dim + bj * tile) as u64,
+                    stride: dim,
+                });
             progs.push(prog);
         }
     }
@@ -104,7 +108,11 @@ pub fn run_gemm(
     }
     vta.synchronize(sys)?;
     let sim_time = sys.enclave_time(vta.cpu) - start;
-    Ok(VtaBenchRun { name: "gemm", sim_time, ops: (dim * dim * dim) as u64 })
+    Ok(VtaBenchRun {
+        name: "gemm",
+        sim_time,
+        ops: (dim * dim * dim) as u64,
+    })
 }
 
 /// ALU throughput workload: `reps` passes of relu + shift over a
@@ -140,7 +148,10 @@ pub fn run_alu(
         cols: dim,
         stride: dim,
     })
-        .push(VtaInsn::ResetAcc { rows: dim, cols: dim });
+    .push(VtaInsn::ResetAcc {
+        rows: dim,
+        cols: dim,
+    });
     for _ in 0..reps {
         prog.push(VtaInsn::Alu(AluOp::MaxImm(0)))
             .push(VtaInsn::Alu(AluOp::AddImm(1)))
@@ -149,7 +160,11 @@ pub fn run_alu(
     vta.run(sys, &prog)?;
     vta.synchronize(sys)?;
     let sim_time = sys.enclave_time(vta.cpu) - start;
-    Ok(VtaBenchRun { name: "alu", sim_time, ops: (dim * dim * reps * 3) as u64 })
+    Ok(VtaBenchRun {
+        name: "alu",
+        sim_time,
+        ops: (dim * dim * reps * 3) as u64,
+    })
 }
 
 /// The full vta-bench suite at a given scale.
@@ -226,10 +241,17 @@ mod tests {
                 cols: dim,
                 stride: dim,
             })
-            .push(VtaInsn::ResetAcc { rows: dim, cols: dim })
+            .push(VtaInsn::ResetAcc {
+                rows: dim,
+                cols: dim,
+            })
             .push(VtaInsn::Gemm)
             .push(VtaInsn::Alu(AluOp::ShrImm(4)))
-            .push(VtaInsn::StoreAcc { dst: NpuBuffer::from_raw(whole_out.0), offset: 0, stride: dim });
+            .push(VtaInsn::StoreAcc {
+                dst: NpuBuffer::from_raw(whole_out.0),
+                offset: 0,
+                stride: dim,
+            });
         vta.run(&mut sys, &whole).unwrap();
         vta.synchronize(&mut sys).unwrap();
 

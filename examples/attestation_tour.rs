@@ -23,7 +23,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sys = CronusSystem::boot(BootConfig {
         partitions: vec![
             PartitionSpec::new(1, b"cpu-mos-v1", "v1", DeviceSpec::Cpu),
-            PartitionSpec::new(2, b"cuda-mos-v3", "v3", DeviceSpec::Gpu { memory: 1 << 28, sms: 46 }),
+            PartitionSpec::new(
+                2,
+                b"cuda-mos-v3",
+                "v3",
+                DeviceSpec::Gpu {
+                    memory: 1 << 28,
+                    sms: 46,
+                },
+            ),
         ],
         ..Default::default()
     });
@@ -79,7 +87,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (The attacker controls the normal world, so assume they can re-sign
     // nothing — the monitor won't sign a fabricated report. Simulate the
     // report body being replayed with a swapped endorsement.)
-    assert!(verifier.verify(&fabricated, &Expectations::default()).is_err());
+    assert!(verifier
+        .verify(&fabricated, &Expectations::default())
+        .is_err());
     println!("fabricated accelerator rejected");
 
     // Attack 3: report from a different (attacker-controlled) platform.

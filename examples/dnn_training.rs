@@ -41,7 +41,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sys = CronusSystem::boot(BootConfig {
         partitions: vec![
             PartitionSpec::new(1, b"cpu-mos-v1", "v1", DeviceSpec::Cpu),
-            PartitionSpec::new(2, b"cuda-mos-v3", "v3", DeviceSpec::Gpu { memory: 1 << 30, sms: 46 }),
+            PartitionSpec::new(
+                2,
+                b"cuda-mos-v3",
+                "v3",
+                DeviceSpec::Gpu {
+                    memory: 1 << 30,
+                    sms: 46,
+                },
+            ),
         ],
         ..Default::default()
     });
@@ -56,11 +64,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("iter {i:>3}: loss = {loss:.5}");
         }
     }
-    assert!(losses.last().expect("losses") < &(losses[0] * 0.5), "the model learned");
+    assert!(
+        losses.last().expect("losses") < &(losses[0] * 0.5),
+        "the model learned"
+    );
 
     // Part 2: Fig. 8-style measurement for LeNet/MNIST on all systems.
     println!("\n--- part 2: LeNet/MNIST training time per iteration ---");
-    let cfg = TrainConfig { batch: 64, iterations: 4, ..Default::default() };
+    let cfg = TrainConfig {
+        batch: 64,
+        iterations: 4,
+        ..Default::default()
+    };
     let model = lenet5();
     let dataset = Dataset::mnist();
 
@@ -72,7 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     2,
                     b"cuda-mos-v3",
                     "v3",
-                    DeviceSpec::Gpu { memory: 1 << 30, sms: 46 },
+                    DeviceSpec::Gpu {
+                        memory: 1 << 30,
+                        sms: 46,
+                    },
                 ),
             ],
             ..Default::default()
@@ -84,9 +102,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for mut backend in [native_backend(), trustzone_backend(), hix_backend()] {
         register_standard_kernels(&mut backend)?;
         let report = train(&mut backend, &model, &dataset, cfg)?;
-        println!("{:<16} {} / iteration", report.system, report.time_per_iter());
+        println!(
+            "{:<16} {} / iteration",
+            report.system,
+            report.time_per_iter()
+        );
     }
-    println!("{:<16} {} / iteration", cronus_report.system, cronus_report.time_per_iter());
+    println!(
+        "{:<16} {} / iteration",
+        cronus_report.system,
+        cronus_report.time_per_iter()
+    );
     println!("dnn_training OK");
     Ok(())
 }

@@ -21,8 +21,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sys = CronusSystem::boot(BootConfig {
         partitions: vec![
             PartitionSpec::new(1, b"cpu-mos-v1", "v1", DeviceSpec::Cpu),
-            PartitionSpec::new(2, b"cuda-mos-v3", "v3", DeviceSpec::Gpu { memory: 1 << 28, sms: 46 }),
-            PartitionSpec::new(3, b"cuda-mos-v3", "v3", DeviceSpec::Gpu { memory: 1 << 28, sms: 46 }),
+            PartitionSpec::new(
+                2,
+                b"cuda-mos-v3",
+                "v3",
+                DeviceSpec::Gpu {
+                    memory: 1 << 28,
+                    sms: 46,
+                },
+            ),
+            PartitionSpec::new(
+                3,
+                b"cuda-mos-v3",
+                "v3",
+                DeviceSpec::Gpu {
+                    memory: 1 << 28,
+                    sms: 46,
+                },
+            ),
         ],
         ..Default::default()
     });
@@ -36,8 +52,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two tasks on two isolated GPU partitions.
     let mut task_a = CudaContext::new(&mut sys, cpu, CudaOptions::default())?;
     let mut task_b = CudaContext::new(&mut sys, cpu, CudaOptions::default())?;
-    println!("task A on partition {}, task B on partition {}", task_a.gpu.asid, task_b.gpu.asid);
-    assert_ne!(task_a.gpu.asid, task_b.gpu.asid, "dispatcher spread the GPUs");
+    println!(
+        "task A on partition {}, task B on partition {}",
+        task_a.gpu.asid, task_b.gpu.asid
+    );
+    assert_ne!(
+        task_a.gpu.asid, task_b.gpu.asid,
+        "dispatcher spread the GPUs"
+    );
 
     let da = task_a.malloc(&mut sys, 4096)?;
     let db = task_b.malloc(&mut sys, 4096)?;
@@ -90,14 +112,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "events recorded: {} faults, {} partition failures, {} recoveries",
         sys.spm().machine().log().faults(),
-        sys.spm().machine().log().count(|k| matches!(
-            k,
-            cronus::sim::trace::EventKind::PartitionFailed { .. }
-        )),
-        sys.spm().machine().log().count(|k| matches!(
-            k,
-            cronus::sim::trace::EventKind::PartitionRecovered { .. }
-        )),
+        sys.spm()
+            .machine()
+            .log()
+            .count(|k| matches!(k, cronus::sim::trace::EventKind::PartitionFailed { .. })),
+        sys.spm()
+            .machine()
+            .log()
+            .count(|k| matches!(k, cronus::sim::trace::EventKind::PartitionRecovered { .. })),
     );
     println!("failover_demo OK");
     Ok(())

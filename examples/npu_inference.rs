@@ -12,9 +12,7 @@ use cronus::runtime::{VtaContext, VtaOptions};
 use cronus::sim::CostModel;
 use cronus::spm::spm::{BootConfig, DeviceSpec, PartitionSpec};
 use cronus::workloads::dnn::models::{resnet18, resnet50, yolov3};
-use cronus::workloads::inference::{
-    latency_table, reference_quant_mlp, run_quant_mlp,
-};
+use cronus::workloads::inference::{latency_table, reference_quant_mlp, run_quant_mlp};
 use std::collections::BTreeMap;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -48,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let device_logits = run_quant_mlp(&mut sys, &mut vta, &x, &w1, &w2)?;
     let reference = reference_quant_mlp(&x, &w1, &w2);
-    assert_eq!(device_logits, reference, "NPU matches the CPU reference exactly");
+    assert_eq!(
+        device_logits, reference,
+        "NPU matches the CPU reference exactly"
+    );
     println!("quantized MLP logits (NPU == CPU reference): {device_logits:?}");
     let argmax = device_logits
         .iter()

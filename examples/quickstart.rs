@@ -26,11 +26,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sys = CronusSystem::boot(BootConfig {
         partitions: vec![
             PartitionSpec::new(1, b"cpu-mos-v1", "v1", DeviceSpec::Cpu),
-            PartitionSpec::new(2, b"cuda-mos-v3", "v3", DeviceSpec::Gpu { memory: 1 << 30, sms: 46 }),
+            PartitionSpec::new(
+                2,
+                b"cuda-mos-v3",
+                "v3",
+                DeviceSpec::Gpu {
+                    memory: 1 << 30,
+                    sms: 46,
+                },
+            ),
         ],
         ..Default::default()
     });
-    println!("booted secure world with partitions: {:?}", sys.spm().partition_ids());
+    println!(
+        "booted secure world with partitions: {:?}",
+        sys.spm().partition_ids()
+    );
 
     // 2. The app creates its CPU mEnclave (the trusted part of the app).
     let app = sys.create_app();
@@ -45,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    runtime sets up the sRPC stream (with automatic local attestation
     //    and dCheck) plus a DMA staging buffer.
     let mut cuda = CudaContext::new(&mut sys, cpu, CudaOptions::default())?;
-    println!("created CUDA mEnclave {} and opened sRPC stream", cuda.gpu.eid);
+    println!(
+        "created CUDA mEnclave {} and opened sRPC stream",
+        cuda.gpu.eid
+    );
 
     // 4. Load a kernel (the analogue of shipping a .cubin in the manifest).
     cuda.load_kernel(
@@ -54,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Arc::new(|mem, args| {
             let (a, x, y) = match args {
                 [KernelArg::Float(a), KernelArg::Buffer(x), KernelArg::Buffer(y)] => (*a, *x, *y),
-                _ => return Err(cronus::devices::gpu::GpuError::BadArg("saxpy(a, x, y)".into())),
+                _ => {
+                    return Err(cronus::devices::gpu::GpuError::BadArg(
+                        "saxpy(a, x, y)".into(),
+                    ))
+                }
             };
             let xs = mem.read_f32s(x)?;
             let mut ys = mem.read_f32s(y)?;
@@ -77,14 +95,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cuda.launch(
         &mut sys,
         "saxpy",
-        &[LaunchArg::Float(2.0), LaunchArg::Ptr(dx), LaunchArg::Ptr(dy)],
-        GpuKernelDesc { flops: 2.0 * n as f64, mem_bytes: 12.0 * n as f64, sm_demand: 8 },
+        &[
+            LaunchArg::Float(2.0),
+            LaunchArg::Ptr(dx),
+            LaunchArg::Ptr(dy),
+        ],
+        GpuKernelDesc {
+            flops: 2.0 * n as f64,
+            mem_bytes: 12.0 * n as f64,
+            sm_demand: 8,
+        },
     )?;
     let out = cuda.memcpy_d2h(&mut sys, dy, (n * 4) as u64)?;
 
     let y0 = f32::from_le_bytes(out[0..4].try_into()?);
     let y_last = f32::from_le_bytes(out[out.len() - 4..].try_into()?);
-    println!("saxpy: y[0] = {y0} (expect 1.0), y[{}] = {y_last} (expect {})", n - 1, 1.0 + 2.0 * (n - 1) as f32);
+    println!(
+        "saxpy: y[0] = {y0} (expect 1.0), y[{}] = {y_last} (expect {})",
+        n - 1,
+        1.0 + 2.0 * (n - 1) as f32
+    );
     assert_eq!(y0, 1.0);
     assert_eq!(y_last, 1.0 + 2.0 * (n - 1) as f32);
 

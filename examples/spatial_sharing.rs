@@ -13,10 +13,7 @@ fn main() {
     print!("{}", fig11::print_11a(&points));
 
     let base = points[0].throughput;
-    let best = points
-        .iter()
-        .map(|p| p.throughput)
-        .fold(0.0f64, f64::max);
+    let best = points.iter().map(|p| p.throughput).fold(0.0f64, f64::max);
     println!(
         "\npeak gain from spatial sharing: +{:.1}% (paper reports up to +63.4%)",
         (best / base - 1.0) * 100.0

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, offline tier-1 build + tests.
+#
+# Everything runs offline (the workspace has no crates.io dependencies), so
+# this is exactly what a hermetic CI job would run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings denied)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --offline --release
+
+echo "==> tier-1: cargo test -q"
+cargo test --offline -q
+
+echo "==> workspace tests"
+cargo test --offline -q --workspace
+
+echo "CI gate passed."

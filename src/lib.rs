@@ -5,6 +5,8 @@
 //!
 //! * [`sim`] — the simulated TrustZone-class machine (memory, page tables,
 //!   TZASC/TZPC/SMMU, device tree, virtual time),
+//! * [`obs`] — the flight recorder: spans, metrics and simulated-time
+//!   attribution (see `OBSERVABILITY.md`),
 //! * [`crypto`] — simulation-grade crypto for attestation and channels,
 //! * [`devices`] — GPU / VTA-NPU / CPU simulators and the secure PCIe bus,
 //! * [`mos`] — the MicroOS layer (Enclave Manager, HAL, shim kernel),
@@ -26,6 +28,7 @@ pub use cronus_core as core;
 pub use cronus_crypto as crypto;
 pub use cronus_devices as devices;
 pub use cronus_mos as mos;
+pub use cronus_obs as obs;
 pub use cronus_runtime as runtime;
 pub use cronus_sim as sim;
 pub use cronus_spm as spm;

@@ -17,7 +17,15 @@ fn with_cronus_backend<T>(f: impl FnOnce(&mut dyn GpuBackend) -> T) -> T {
     let mut sys = CronusSystem::boot(BootConfig {
         partitions: vec![
             PartitionSpec::new(1, b"cpu-mos", "v1", DeviceSpec::Cpu),
-            PartitionSpec::new(2, b"cuda-mos", "v3", DeviceSpec::Gpu { memory: 1 << 28, sms: 46 }),
+            PartitionSpec::new(
+                2,
+                b"cuda-mos",
+                "v3",
+                DeviceSpec::Gpu {
+                    memory: 1 << 28,
+                    sms: 46,
+                },
+            ),
         ],
         ..Default::default()
     });

@@ -19,7 +19,15 @@ fn full_platform() -> BootConfig {
     BootConfig {
         partitions: vec![
             PartitionSpec::new(1, b"cpu-mos-v1", "v1", DeviceSpec::Cpu),
-            PartitionSpec::new(2, b"cuda-mos-v3", "v3", DeviceSpec::Gpu { memory: 1 << 28, sms: 46 }),
+            PartitionSpec::new(
+                2,
+                b"cuda-mos-v3",
+                "v3",
+                DeviceSpec::Gpu {
+                    memory: 1 << 28,
+                    sms: 46,
+                },
+            ),
             PartitionSpec::new(3, b"npu-mos-v1", "v1", DeviceSpec::Npu { memory: 64 << 20 }),
         ],
         ..Default::default()
@@ -62,7 +70,9 @@ fn paas_application_lifecycle() {
         "ingest",
         Box::new(|_, payload| Ok((vec![payload.len() as u8], SimNs::from_micros(3)))),
     );
-    let ack = sys.app_ecall(app, cpu, "ingest", b"ciphertext....").expect("ecall");
+    let ack = sys
+        .app_ecall(app, cpu, "ingest", b"ciphertext....")
+        .expect("ecall");
     assert_eq!(ack, vec![14]);
 
     // 3. The CPU mEnclave spins up both accelerators.
@@ -87,13 +97,20 @@ fn paas_application_lifecycle() {
     )
     .expect("kernel");
     let d = cuda.malloc(&mut sys, 16).expect("malloc");
-    let input: Vec<u8> = [1.0f32, 2.0, 3.0, 4.0].iter().flat_map(|v| v.to_le_bytes()).collect();
+    let input: Vec<u8> = [1.0f32, 2.0, 3.0, 4.0]
+        .iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect();
     cuda.memcpy_h2d(&mut sys, d, &input).expect("h2d");
     cuda.launch(
         &mut sys,
         "scale2",
         &[LaunchArg::Ptr(d)],
-        GpuKernelDesc { flops: 4.0, mem_bytes: 32.0, sm_demand: 1 },
+        GpuKernelDesc {
+            flops: 4.0,
+            mem_bytes: 32.0,
+            sm_demand: 1,
+        },
     )
     .expect("launch");
     let gpu_out = cuda.memcpy_d2h(&mut sys, d, 16).expect("d2h");
@@ -108,14 +125,33 @@ fn paas_application_lifecycle() {
     vta.memcpy_h2d(&mut sys, w, &[1, 0, 0, 1]).expect("h2d");
     let mut prog = cronus::devices::npu::VtaProgram::new();
     use cronus::devices::npu::{NpuBuffer, VtaInsn};
-    prog.push(VtaInsn::LoadInp { src: NpuBuffer::from_raw(a.0), offset: 0, rows: 2, cols: 2, stride: 2 })
-        .push(VtaInsn::LoadWgt { src: NpuBuffer::from_raw(w.0), offset: 0, rows: 2, cols: 2, stride: 2 })
-        .push(VtaInsn::ResetAcc { rows: 2, cols: 2 })
-        .push(VtaInsn::Gemm)
-        .push(VtaInsn::StoreAcc { dst: NpuBuffer::from_raw(o.0), offset: 0, stride: 2 });
+    prog.push(VtaInsn::LoadInp {
+        src: NpuBuffer::from_raw(a.0),
+        offset: 0,
+        rows: 2,
+        cols: 2,
+        stride: 2,
+    })
+    .push(VtaInsn::LoadWgt {
+        src: NpuBuffer::from_raw(w.0),
+        offset: 0,
+        rows: 2,
+        cols: 2,
+        stride: 2,
+    })
+    .push(VtaInsn::ResetAcc { rows: 2, cols: 2 })
+    .push(VtaInsn::Gemm)
+    .push(VtaInsn::StoreAcc {
+        dst: NpuBuffer::from_raw(o.0),
+        offset: 0,
+        stride: 2,
+    });
     vta.run(&mut sys, &prog).expect("npu run");
     vta.synchronize(&mut sys).expect("sync");
-    assert_eq!(vta.memcpy_d2h(&mut sys, o, 4).expect("d2h"), vec![5, 6, 7, 8]);
+    assert_eq!(
+        vta.memcpy_d2h(&mut sys, o, 4).expect("d2h"),
+        vec![5, 6, 7, 8]
+    );
 
     // 6. Teardown: destroying the accelerator enclaves reclaims everything;
     //    further stream use fails cleanly.
@@ -165,18 +201,25 @@ fn accelerator_failure_does_not_cross_partitions() {
     let mut vta = VtaContext::new(&mut sys, cpu, VtaOptions::default()).expect("vta");
 
     // Kill the GPU partition mid-flight.
-    sys.inject_partition_failure(cuda.gpu.asid).expect("failure");
+    sys.inject_partition_failure(cuda.gpu.asid)
+        .expect("failure");
     let d = cuda.malloc(&mut sys, 4);
     assert!(d.is_err(), "GPU path is dead");
 
     // The NPU path is untouched.
     let buf = vta.alloc(&mut sys, 16).expect("npu alive");
-    vta.memcpy_h2d(&mut sys, buf, &[1, 2, 3]).expect("npu alive");
+    vta.memcpy_h2d(&mut sys, buf, &[1, 2, 3])
+        .expect("npu alive");
 
     // Recover the GPU and start fresh.
     sys.recover_partition(cuda.gpu.asid).expect("recovery");
     let mut cuda2 = CudaContext::new(&mut sys, cpu, CudaOptions::default()).expect("fresh cuda");
-    let d2 = cuda2.malloc(&mut sys, 64).expect("alloc on recovered partition");
+    let d2 = cuda2
+        .malloc(&mut sys, 64)
+        .expect("alloc on recovered partition");
     cuda2.memcpy_h2d(&mut sys, d2, &[9u8; 64]).expect("h2d");
-    assert_eq!(cuda2.memcpy_d2h(&mut sys, d2, 64).expect("d2h"), vec![9u8; 64]);
+    assert_eq!(
+        cuda2.memcpy_d2h(&mut sys, d2, 64).expect("d2h"),
+        vec![9u8; 64]
+    );
 }

@@ -9,25 +9,44 @@ use cronus::mos::manager::Owner;
 use cronus::mos::manifest::{Manifest, MosId};
 use cronus::mos::shim::{SharedSpinLock, SpinLockError};
 use cronus::sim::machine::AsId;
-use cronus::sim::{PhysAddr, SimNs, World};
+use cronus::sim::{EventKind, PhysAddr, SimNs, World};
 use cronus::spm::spm::{asid_of, BootConfig, DeviceSpec, PartitionSpec, Spm};
 
 fn boot() -> Spm {
     Spm::boot(BootConfig {
         partitions: vec![
             PartitionSpec::new(1, b"cpu-mos", "v1", DeviceSpec::Cpu),
-            PartitionSpec::new(2, b"cuda-mos", "v3", DeviceSpec::Gpu { memory: 1 << 26, sms: 46 }),
+            PartitionSpec::new(
+                2,
+                b"cuda-mos",
+                "v3",
+                DeviceSpec::Gpu {
+                    memory: 1 << 26,
+                    sms: 46,
+                },
+            ),
             PartitionSpec::new(3, b"npu-mos", "v1", DeviceSpec::Npu { memory: 1 << 24 }),
         ],
         ..Default::default()
     })
 }
 
-fn enclave_pair(spm: &mut Spm) -> ((AsId, cronus::mos::manifest::Eid), (AsId, cronus::mos::manifest::Eid)) {
+fn enclave_pair(
+    spm: &mut Spm,
+) -> (
+    (AsId, cronus::mos::manifest::Eid),
+    (AsId, cronus::mos::manifest::Eid),
+) {
     let cpu = asid_of(MosId(1));
     let gpu = asid_of(MosId(2));
     let a = spm
-        .create_enclave(cpu, Manifest::new(DeviceKind::Cpu), &BTreeMap::new(), Owner::App(1), 7)
+        .create_enclave(
+            cpu,
+            Manifest::new(DeviceKind::Cpu),
+            &BTreeMap::new(),
+            Owner::App(1),
+            7,
+        )
         .expect("cpu enclave");
     let b = spm
         .create_enclave(
@@ -75,7 +94,11 @@ fn dead_lock_holder_does_not_deadlock_survivor() {
         .machine_mut()
         .phys_read_vec(World::Secure, PhysAddr::from_page_number(page), 4)
         .expect("monitor read");
-    assert_eq!(word, vec![0u8; 4], "the lock word was cleared with the page");
+    assert_eq!(
+        word,
+        vec![0u8; 4],
+        "the lock word was cleared with the page"
+    );
 }
 
 /// Concurrent failures of several partitions recover independently while
@@ -90,10 +113,20 @@ fn concurrent_partition_failures_recover_independently() {
     for round in 0..3 {
         spm.fail_partition(gpu).expect("gpu fails");
         spm.fail_partition(npu).expect("npu fails");
-        let g = spm.recover_partition(gpu, b"cuda-mos", "v3").expect("gpu recovery");
-        let n = spm.recover_partition(npu, b"npu-mos", "v1").expect("npu recovery");
-        assert!(g.total() < SimNs::from_secs(1), "round {round}: gpu fast recovery");
-        assert!(n.total() < SimNs::from_secs(1), "round {round}: npu fast recovery");
+        let g = spm
+            .recover_partition(gpu, b"cuda-mos", "v3")
+            .expect("gpu recovery");
+        let n = spm
+            .recover_partition(npu, b"npu-mos", "v1")
+            .expect("npu recovery");
+        assert!(
+            g.total() < SimNs::from_secs(1),
+            "round {round}: gpu fast recovery"
+        );
+        assert!(
+            n.total() < SimNs::from_secs(1),
+            "round {round}: npu fast recovery"
+        );
         assert!(!spm.machine().is_failed(gpu));
         assert!(!spm.machine().is_failed(npu));
         assert_eq!(
@@ -122,7 +155,8 @@ fn crash_recover_create_cycles() {
             .expect("create after recovery");
         assert_eq!(eid.mos(), MosId(2));
         spm.fail_partition(gpu).expect("fail");
-        spm.recover_partition(gpu, b"cuda-mos", "v3").expect("recover");
+        spm.recover_partition(gpu, b"cuda-mos", "v3")
+            .expect("recover");
         // All enclaves from before the crash are gone.
         assert_eq!(spm.mos(gpu).expect("mos").manager().len(), 0);
     }
@@ -137,8 +171,47 @@ fn detection_sweep_finds_panicked_mos() {
     spm.mos_mut(npu).expect("mos").fail();
     assert_eq!(spm.detect_failures(), vec![npu]);
     spm.fail_partition(npu).expect("proceed");
-    spm.recover_partition(npu, b"npu-mos", "v1").expect("recover");
+    spm.recover_partition(npu, b"npu-mos", "v1")
+        .expect("recover");
     assert!(spm.detect_failures().is_empty());
+}
+
+/// The proceed-trap recovery phases land in the event log in order:
+/// failed → invalidated → cleared → recovered.
+#[test]
+fn recovery_phases_are_ordered() {
+    let mut spm = boot();
+    let gpu = asid_of(MosId(2));
+    spm.fail_partition(gpu).expect("fail");
+    spm.recover_partition(gpu, b"cuda-mos", "v3")
+        .expect("recover");
+
+    let events = spm.machine().log().events();
+    let pos = |want: &dyn Fn(&EventKind) -> bool| {
+        events
+            .iter()
+            .position(|e| want(&e.kind))
+            .expect("phase event present")
+    };
+    let failed =
+        pos(&|k| matches!(k, EventKind::PartitionFailed { partition } if *partition == gpu));
+    let invalidated = pos(&|k| matches!(k, EventKind::Marker("failover:invalidated")));
+    let cleared =
+        pos(&|k| matches!(k, EventKind::PartitionCleared { partition } if *partition == gpu));
+    let recovered =
+        pos(&|k| matches!(k, EventKind::PartitionRecovered { partition } if *partition == gpu));
+    assert!(
+        failed < invalidated,
+        "failed ({failed}) before invalidated ({invalidated})"
+    );
+    assert!(
+        invalidated < cleared,
+        "invalidated ({invalidated}) before cleared ({cleared})"
+    );
+    assert!(
+        cleared < recovered,
+        "cleared ({cleared}) before recovered ({recovered})"
+    );
 }
 
 /// Untouched poisoned shares are reclaimed at enclave termination rather
@@ -150,7 +223,8 @@ fn untouched_poisoned_share_is_reclaimable() {
     let free_before = spm.machine().free_pages(World::Secure);
     let (handle, _, _) = spm.share_memory(cpu, gpu, 4).expect("share");
     spm.fail_partition(gpu.0).expect("fail");
-    spm.recover_partition(gpu.0, b"cuda-mos", "v3").expect("recover");
+    spm.recover_partition(gpu.0, b"cuda-mos", "v3")
+        .expect("recover");
     // The survivor never touched the share; terminating reclaims it.
     spm.reclaim_share(handle).expect("reclaim");
     assert_eq!(spm.machine().free_pages(World::Secure), free_before);

@@ -11,9 +11,16 @@ use cronus::sim::SimNs;
 fn r1_low_overhead_on_general_accelerators() {
     // GPU (Rodinia suite average).
     let rows = fig7::run(2);
-    let avg: f64 =
-        rows.iter().map(fig7::Fig7Row::cronus_normalized).sum::<f64>() / rows.len() as f64;
-    assert!(avg < 1.071, "GPU suite average overhead {:.1}%", (avg - 1.0) * 100.0);
+    let avg: f64 = rows
+        .iter()
+        .map(fig7::Fig7Row::cronus_normalized)
+        .sum::<f64>()
+        / rows.len() as f64;
+    assert!(
+        avg < 1.071,
+        "GPU suite average overhead {:.1}%",
+        (avg - 1.0) * 100.0
+    );
 
     // NPU (vta-bench).
     let npu = fig10::run_10a(2);
@@ -40,8 +47,14 @@ fn r2_spatial_sharing_gains() {
     let gain2 = points[1].throughput / points[0].throughput;
     let gain4 = points[2].throughput / points[0].throughput;
     assert!(gain2 > 1.3, "two tenants gain {gain2:.2}x");
-    assert!(gain2 < 2.0, "two tenants cannot be superlinear: {gain2:.2}x");
-    assert!(gain4 < gain2 * 1.5, "four tenants saturate: {gain4:.2}x vs {gain2:.2}x");
+    assert!(
+        gain2 < 2.0,
+        "two tenants cannot be superlinear: {gain2:.2}x"
+    );
+    assert!(
+        gain4 < gain2 * 1.5,
+        "four tenants saturate: {gain4:.2}x vs {gain2:.2}x"
+    );
 }
 
 /// R3.1: "CRONUS recovers from an accelerator failure by restarting only
@@ -50,9 +63,15 @@ fn r2_spatial_sharing_gains() {
 #[test]
 fn r3_1_fault_isolated_recovery() {
     let data = fig9::run();
-    assert!(data.recovery.total() >= SimNs::from_millis(100), "hundreds of ms");
+    assert!(
+        data.recovery.total() >= SimNs::from_millis(100),
+        "hundreds of ms"
+    );
     assert!(data.recovery.total() < SimNs::from_secs(1), "not seconds");
-    assert!(data.reboot_time >= SimNs::from_secs(60), "reboot is minutes");
+    assert!(
+        data.reboot_time >= SimNs::from_secs(60),
+        "reboot is minutes"
+    );
     // The healthy task's throughput is untouched by the crash.
     let full = data.cronus[0].task_a;
     assert!(data.cronus.iter().all(|p| p.task_a == full));

@@ -1,161 +1,242 @@
 //! Property-based tests over core data structures and protocol invariants.
+//!
+//! The full generated suite lives in the gated `full` module (enable with the
+//! non-default `proptest` feature, e.g. `cargo test --all-features`); the
+//! `smoke` module keeps a deterministic subset always on.
 
-use proptest::prelude::*;
+#[cfg(feature = "proptest")]
+mod full {
+    use proptest::prelude::*;
 
-use cronus::core::ring::{
-    decode_request, decode_result, encode_request, encode_result, Request, ResultStatus,
-    RingLayout, SLOT_PAYLOAD,
-};
-use cronus::crypto::{hmac_sha256, sha256, Digest, KeyPair, Sha256, StreamCipher};
-use cronus::mos::manifest::{Eid, MosId};
-use cronus::sim::machine::AsId;
-use cronus::sim::pagetable::{Access, PagePerms, PageTable, Stage2Table};
-use cronus::sim::{PhysAddr, SimNs, VirtAddr};
+    use cronus::core::ring::{
+        decode_request, decode_result, encode_request, encode_result, Request, ResultStatus,
+        RingLayout, SLOT_PAYLOAD,
+    };
+    use cronus::crypto::{hmac_sha256, sha256, Digest, KeyPair, Sha256, StreamCipher};
+    use cronus::mos::manifest::{Eid, MosId};
+    use cronus::sim::machine::AsId;
+    use cronus::sim::pagetable::{Access, PagePerms, PageTable, Stage2Table};
+    use cronus::sim::{PhysAddr, SimNs, VirtAddr};
 
-proptest! {
-    /// Incremental hashing equals one-shot hashing for any chunking.
-    #[test]
-    fn sha256_incremental_equals_oneshot(
-        data in proptest::collection::vec(any::<u8>(), 0..2048),
-        split in 0usize..2048,
-    ) {
-        let split = split.min(data.len());
-        let mut h = Sha256::new();
-        h.update(&data[..split]);
-        h.update(&data[split..]);
-        prop_assert_eq!(h.finalize(), sha256(&data));
-    }
+    proptest! {
+        /// Incremental hashing equals one-shot hashing for any chunking.
+        #[test]
+        fn sha256_incremental_equals_oneshot(
+            data in proptest::collection::vec(any::<u8>(), 0..2048),
+            split in 0usize..2048,
+        ) {
+            let split = split.min(data.len());
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            prop_assert_eq!(h.finalize(), sha256(&data));
+        }
 
-    /// HMAC verification accepts the genuine tag and rejects any single-bit
-    /// tamper of the message.
-    #[test]
-    fn hmac_rejects_tampering(
-        key in proptest::collection::vec(any::<u8>(), 1..64),
-        mut msg in proptest::collection::vec(any::<u8>(), 1..256),
-        flip in 0usize..256,
-    ) {
-        let tag = hmac_sha256(&key, &msg);
-        prop_assert!(cronus::crypto::hmac::verify_hmac(&key, &msg, &tag));
-        let idx = flip % msg.len();
-        msg[idx] ^= 1;
-        prop_assert!(!cronus::crypto::hmac::verify_hmac(&key, &msg, &tag));
-    }
+        /// HMAC verification accepts the genuine tag and rejects any single-bit
+        /// tamper of the message.
+        #[test]
+        fn hmac_rejects_tampering(
+            key in proptest::collection::vec(any::<u8>(), 1..64),
+            mut msg in proptest::collection::vec(any::<u8>(), 1..256),
+            flip in 0usize..256,
+        ) {
+            let tag = hmac_sha256(&key, &msg);
+            prop_assert!(cronus::crypto::hmac::verify_hmac(&key, &msg, &tag));
+            let idx = flip % msg.len();
+            msg[idx] ^= 1;
+            prop_assert!(!cronus::crypto::hmac::verify_hmac(&key, &msg, &tag));
+        }
 
-    /// Schnorr signatures verify for the signing key and fail for others.
-    #[test]
-    fn schnorr_sound_and_key_bound(seed_a in "[a-z]{1,12}", seed_b in "[a-z]{1,12}", msg in proptest::collection::vec(any::<u8>(), 0..128)) {
-        let a = KeyPair::from_seed(&seed_a);
-        let sig = a.sign(&msg);
-        prop_assert!(a.public().verify(&msg, &sig).is_ok());
-        if seed_a != seed_b {
-            let b = KeyPair::from_seed(&seed_b);
-            prop_assert!(b.public().verify(&msg, &sig).is_err());
+        /// Schnorr signatures verify for the signing key and fail for others.
+        #[test]
+        fn schnorr_sound_and_key_bound(seed_a in "[a-z]{1,12}", seed_b in "[a-z]{1,12}", msg in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let a = KeyPair::from_seed(&seed_a);
+            let sig = a.sign(&msg);
+            prop_assert!(a.public().verify(&msg, &sig).is_ok());
+            if seed_a != seed_b {
+                let b = KeyPair::from_seed(&seed_b);
+                prop_assert!(b.public().verify(&msg, &sig).is_err());
+            }
+        }
+
+        /// The stream cipher round-trips and its MAC binds the nonce.
+        #[test]
+        fn stream_cipher_seal_open(
+            key in any::<[u8; 32]>(),
+            nonce in any::<u64>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let cipher = StreamCipher::new(key);
+            let sealed = cipher.seal(nonce, &payload);
+            prop_assert_eq!(cipher.open(&sealed).expect("authentic"), payload);
+            let mut replayed = sealed;
+            replayed.nonce = replayed.nonce.wrapping_add(1);
+            prop_assert!(cipher.open(&replayed).is_none());
+        }
+
+        /// Ring request slots round-trip any (name, payload) that fits.
+        #[test]
+        fn ring_request_roundtrip(
+            name in "[a-zA-Z0-9_]{1,64}",
+            payload in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            prop_assume!(name.len() + payload.len() <= SLOT_PAYLOAD);
+            let req = Request { name: name.clone(), payload: payload.clone() };
+            let decoded = decode_request(&encode_request(&req).expect("fits")).expect("valid");
+            prop_assert_eq!(decoded.name, name);
+            prop_assert_eq!(decoded.payload, payload);
+        }
+
+        /// Ring result slots round-trip both statuses.
+        #[test]
+        fn ring_result_roundtrip(ok in any::<bool>(), payload in proptest::collection::vec(any::<u8>(), 0..SLOT_PAYLOAD)) {
+            let status = if ok { ResultStatus::Ok } else { ResultStatus::Err };
+            let decoded = decode_result(&encode_result(status, &payload).expect("fits")).expect("valid");
+            prop_assert_eq!(decoded, (status, payload));
+        }
+
+        /// Ring layouts never place a slot outside the region and fullness is
+        /// consistent with capacity.
+        #[test]
+        fn ring_layout_invariants(pages in 1usize..128, rid in 0u64..10_000, backlog in 0u64..10_000) {
+            let layout = RingLayout::new(pages);
+            let region = pages as u64 * 4096;
+            prop_assert!(layout.request_slot(rid) + cronus::core::ring::SLOT_SIZE as u64 <= region);
+            prop_assert!(layout.result_slot(rid) + cronus::core::ring::RESULT_SLOT_SIZE as u64 <= region);
+            let sid = rid.saturating_sub(backlog.min(rid));
+            prop_assert_eq!(layout.is_full(rid, sid), rid - sid >= layout.slots);
+        }
+
+        /// Stage-1 translation preserves the page offset and respects unmapping.
+        #[test]
+        fn stage1_translation_roundtrip(vpn in 0u64..1_000_000, ppn in 0u64..1_000_000, offset in 0u64..4096) {
+            let asid = AsId::new(7);
+            let mut table = PageTable::new();
+            table.map(vpn, ppn, PagePerms::RW);
+            let va = VirtAddr::from_page_number(vpn).add(offset);
+            let pa = table.translate(asid, va, Access::Write).expect("mapped");
+            prop_assert_eq!(pa, PhysAddr::from_page_number(ppn).add(offset));
+            table.unmap(vpn);
+            prop_assert!(table.translate(asid, va, Access::Read).is_err());
+        }
+
+        /// Stage-2 invalidate/revalidate round-trips to the original validity.
+        #[test]
+        fn stage2_invalidate_revalidate(ppns in proptest::collection::btree_set(0u64..4096, 1..64)) {
+            let asid = AsId::new(3);
+            let mut s2 = Stage2Table::new();
+            for ppn in &ppns {
+                s2.grant(*ppn, PagePerms::RW);
+            }
+            for ppn in &ppns {
+                prop_assert!(s2.check(asid, PhysAddr::from_page_number(*ppn), Access::Write).is_ok());
+                prop_assert!(s2.invalidate(*ppn));
+                prop_assert!(s2.check(asid, PhysAddr::from_page_number(*ppn), Access::Read).is_err());
+                prop_assert!(s2.revalidate(*ppn));
+                prop_assert!(s2.check(asid, PhysAddr::from_page_number(*ppn), Access::Read).is_ok());
+            }
+        }
+
+        /// Eids pack and unpack losslessly.
+        #[test]
+        fn eid_roundtrip(mos in 0u8..=255, local in 0u32..(1 << 24)) {
+            let eid = Eid::new(MosId(mos), local);
+            prop_assert_eq!(eid.mos(), MosId(mos));
+            prop_assert_eq!(eid.local(), local);
+        }
+
+        /// SimNs arithmetic: scaling by 1.0 is identity, sums are monotone.
+        #[test]
+        fn simns_arithmetic_sane(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+            let x = SimNs::from_nanos(a);
+            let y = SimNs::from_nanos(b);
+            prop_assert_eq!(x.scale(1.0), x);
+            prop_assert!(x + y >= x);
+            prop_assert!(x + y >= y);
+            prop_assert_eq!((x + y).saturating_sub(y), x);
+        }
+
+        /// measure() is collision-free across labels for identical data.
+        #[test]
+        fn measure_domain_separation(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let a = cronus::crypto::measure("mos-image", &data);
+            let b = cronus::crypto::measure("menclave-image", &data);
+            prop_assert_ne!(a, b);
+            prop_assert_ne!(a, Digest::ZERO);
         }
     }
+}
 
-    /// The stream cipher round-trips and its MAC binds the nonce.
-    #[test]
-    fn stream_cipher_seal_open(
-        key in any::<[u8; 32]>(),
-        nonce in any::<u64>(),
-        payload in proptest::collection::vec(any::<u8>(), 0..512),
-    ) {
-        let cipher = StreamCipher::new(key);
-        let sealed = cipher.seal(nonce, &payload);
-        prop_assert_eq!(cipher.open(&sealed).expect("authentic"), payload);
-        let mut replayed = sealed;
-        replayed.nonce = replayed.nonce.wrapping_add(1);
-        prop_assert!(cipher.open(&replayed).is_none());
-    }
+mod smoke {
+    use cronus::core::ring::{
+        decode_request, decode_result, encode_request, encode_result, Request, ResultStatus,
+        RingLayout,
+    };
+    use cronus::crypto::{sha256, Digest, StreamCipher};
+    use cronus::mos::manifest::{Eid, MosId};
+    use cronus::sim::machine::AsId;
+    use cronus::sim::pagetable::{Access, PagePerms, PageTable, Stage2Table};
+    use cronus::sim::{PhysAddr, SimNs, VirtAddr};
 
-    /// Ring request slots round-trip any (name, payload) that fits.
     #[test]
-    fn ring_request_roundtrip(
-        name in "[a-zA-Z0-9_]{1,64}",
-        payload in proptest::collection::vec(any::<u8>(), 0..256),
-    ) {
-        prop_assume!(name.len() + payload.len() <= SLOT_PAYLOAD);
-        let req = Request { name: name.clone(), payload: payload.clone() };
+    fn codecs_roundtrip_fixed() {
+        let req = Request {
+            name: "cuLaunchKernel".to_string(),
+            payload: vec![5u8; 96],
+        };
         let decoded = decode_request(&encode_request(&req).expect("fits")).expect("valid");
-        prop_assert_eq!(decoded.name, name);
-        prop_assert_eq!(decoded.payload, payload);
+        assert_eq!(
+            (decoded.name.as_str(), decoded.payload.len()),
+            ("cuLaunchKernel", 96)
+        );
+        let decoded =
+            decode_result(&encode_result(ResultStatus::Ok, &[7, 8]).expect("fits")).expect("valid");
+        assert_eq!(decoded, (ResultStatus::Ok, vec![7, 8]));
+
+        let layout = RingLayout::new(4);
+        assert!(!layout.is_full(3, 3));
+        assert!(layout.is_full(layout.slots, 0));
+
+        let cipher = StreamCipher::new([9u8; 32]);
+        let sealed = cipher.seal(1, b"payload");
+        assert_eq!(cipher.open(&sealed).expect("authentic"), b"payload");
     }
 
-    /// Ring result slots round-trip both statuses.
     #[test]
-    fn ring_result_roundtrip(ok in any::<bool>(), payload in proptest::collection::vec(any::<u8>(), 0..SLOT_PAYLOAD)) {
-        let status = if ok { ResultStatus::Ok } else { ResultStatus::Err };
-        let decoded = decode_result(&encode_result(status, &payload).expect("fits")).expect("valid");
-        prop_assert_eq!(decoded, (status, payload));
-    }
-
-    /// Ring layouts never place a slot outside the region and fullness is
-    /// consistent with capacity.
-    #[test]
-    fn ring_layout_invariants(pages in 1usize..128, rid in 0u64..10_000, backlog in 0u64..10_000) {
-        let layout = RingLayout::new(pages);
-        let region = pages as u64 * 4096;
-        prop_assert!(layout.request_slot(rid) + cronus::core::ring::SLOT_SIZE as u64 <= region);
-        prop_assert!(layout.result_slot(rid) + cronus::core::ring::RESULT_SLOT_SIZE as u64 <= region);
-        let sid = rid.saturating_sub(backlog.min(rid));
-        prop_assert_eq!(layout.is_full(rid, sid), rid - sid >= layout.slots);
-    }
-
-    /// Stage-1 translation preserves the page offset and respects unmapping.
-    #[test]
-    fn stage1_translation_roundtrip(vpn in 0u64..1_000_000, ppn in 0u64..1_000_000, offset in 0u64..4096) {
+    fn translation_and_ids_fixed() {
         let asid = AsId::new(7);
         let mut table = PageTable::new();
-        table.map(vpn, ppn, PagePerms::RW);
-        let va = VirtAddr::from_page_number(vpn).add(offset);
-        let pa = table.translate(asid, va, Access::Write).expect("mapped");
-        prop_assert_eq!(pa, PhysAddr::from_page_number(ppn).add(offset));
-        table.unmap(vpn);
-        prop_assert!(table.translate(asid, va, Access::Read).is_err());
-    }
+        table.map(5, 9, PagePerms::RW);
+        let va = VirtAddr::from_page_number(5).add(123);
+        assert_eq!(
+            table.translate(asid, va, Access::Write).expect("mapped"),
+            PhysAddr::from_page_number(9).add(123)
+        );
+        table.unmap(5);
+        assert!(table.translate(asid, va, Access::Read).is_err());
 
-    /// Stage-2 invalidate/revalidate round-trips to the original validity.
-    #[test]
-    fn stage2_invalidate_revalidate(ppns in proptest::collection::btree_set(0u64..4096, 1..64)) {
-        let asid = AsId::new(3);
         let mut s2 = Stage2Table::new();
-        for ppn in &ppns {
-            s2.grant(*ppn, PagePerms::RW);
-        }
-        for ppn in &ppns {
-            prop_assert!(s2.check(asid, PhysAddr::from_page_number(*ppn), Access::Write).is_ok());
-            prop_assert!(s2.invalidate(*ppn));
-            prop_assert!(s2.check(asid, PhysAddr::from_page_number(*ppn), Access::Read).is_err());
-            prop_assert!(s2.revalidate(*ppn));
-            prop_assert!(s2.check(asid, PhysAddr::from_page_number(*ppn), Access::Read).is_ok());
-        }
-    }
+        s2.grant(17, PagePerms::RW);
+        assert!(s2.invalidate(17));
+        assert!(s2
+            .check(asid, PhysAddr::from_page_number(17), Access::Read)
+            .is_err());
+        assert!(s2.revalidate(17));
+        assert!(s2
+            .check(asid, PhysAddr::from_page_number(17), Access::Read)
+            .is_ok());
 
-    /// Eids pack and unpack losslessly.
-    #[test]
-    fn eid_roundtrip(mos in 0u8..=255, local in 0u32..(1 << 24)) {
-        let eid = Eid::new(MosId(mos), local);
-        prop_assert_eq!(eid.mos(), MosId(mos));
-        prop_assert_eq!(eid.local(), local);
-    }
+        let eid = Eid::new(MosId(3), 99);
+        assert_eq!((eid.mos(), eid.local()), (MosId(3), 99));
 
-    /// SimNs arithmetic: scaling by 1.0 is identity, sums are monotone.
-    #[test]
-    fn simns_arithmetic_sane(a in 0u64..1 << 40, b in 0u64..1 << 40) {
-        let x = SimNs::from_nanos(a);
-        let y = SimNs::from_nanos(b);
-        prop_assert_eq!(x.scale(1.0), x);
-        prop_assert!(x + y >= x);
-        prop_assert!(x + y >= y);
-        prop_assert_eq!((x + y).saturating_sub(y), x);
-    }
+        let x = SimNs::from_micros(3);
+        assert_eq!(x.scale(1.0), x);
+        assert_eq!(
+            (x + SimNs::from_nanos(5)).saturating_sub(SimNs::from_nanos(5)),
+            x
+        );
 
-    /// measure() is collision-free across labels for identical data.
-    #[test]
-    fn measure_domain_separation(data in proptest::collection::vec(any::<u8>(), 0..128)) {
-        let a = cronus::crypto::measure("mos-image", &data);
-        let b = cronus::crypto::measure("menclave-image", &data);
-        prop_assert_ne!(a, b);
-        prop_assert_ne!(a, Digest::ZERO);
+        assert_ne!(cronus::crypto::measure("mos-image", b"data"), Digest::ZERO);
+        assert_ne!(sha256(b"a"), sha256(b"b"));
     }
 }

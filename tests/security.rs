@@ -14,7 +14,15 @@ fn platform() -> BootConfig {
     BootConfig {
         partitions: vec![
             PartitionSpec::new(1, b"cpu-mos-v1", "v1", DeviceSpec::Cpu),
-            PartitionSpec::new(2, b"cuda-mos-v3", "v3", DeviceSpec::Gpu { memory: 1 << 26, sms: 46 }),
+            PartitionSpec::new(
+                2,
+                b"cuda-mos-v3",
+                "v3",
+                DeviceSpec::Gpu {
+                    memory: 1 << 26,
+                    sms: 46,
+                },
+            ),
         ],
         ..Default::default()
     }
@@ -26,7 +34,11 @@ fn gpu_manifest() -> Manifest {
         .with_memory(1 << 20)
 }
 
-fn setup() -> (CronusSystem, cronus::core::EnclaveRef, cronus::core::EnclaveRef) {
+fn setup() -> (
+    CronusSystem,
+    cronus::core::EnclaveRef,
+    cronus::core::EnclaveRef,
+) {
     let mut sys = CronusSystem::boot(platform());
     let app = sys.create_app();
     let cpu = sys
@@ -39,7 +51,11 @@ fn setup() -> (CronusSystem, cronus::core::EnclaveRef, cronus::core::EnclaveRef)
     let gpu = sys
         .create_enclave(Actor::Enclave(cpu), gpu_manifest(), &BTreeMap::new())
         .expect("gpu");
-    sys.register_handler(gpu, "work", Box::new(|_, p| Ok((p.to_vec(), SimNs::from_micros(5)))));
+    sys.register_handler(
+        gpu,
+        "work",
+        Box::new(|_, p| Ok((p.to_vec(), SimNs::from_micros(5)))),
+    );
     (sys, cpu, gpu)
 }
 
@@ -49,7 +65,9 @@ fn setup() -> (CronusSystem, cronus::core::EnclaveRef, cronus::core::EnclaveRef)
 #[test]
 fn normal_world_cannot_touch_srpc_state() {
     let (mut sys, cpu, gpu) = setup();
-    let stream = sys.open_stream(cpu, gpu, DEFAULT_RING_PAGES).expect("stream");
+    let stream = sys
+        .open_stream(cpu, gpu, DEFAULT_RING_PAGES)
+        .expect("stream");
     sys.call_async(stream, "work", &[1, 2, 3]).expect("call");
 
     // The attacker targets the ring's physical pages directly.
@@ -61,7 +79,10 @@ fn normal_world_cannot_touch_srpc_state() {
             .machine_mut()
             .mem_write(AsId::NORMAL_WORLD, World::Normal, pa, &99u64.to_le_bytes())
             .unwrap_err();
-        assert!(err.is_world_filter(), "ring page {ppn:#x} is TZASC-protected");
+        assert!(
+            err.is_world_filter(),
+            "ring page {ppn:#x} is TZASC-protected"
+        );
     }
     // And secure memory generally is unreadable/unwritable to it.
     let secure_page = {
@@ -96,7 +117,8 @@ fn non_owner_mecall_rejected() {
         )
         .expect("intruder cpu enclave");
     assert_eq!(
-        sys.open_stream(intruder, gpu, DEFAULT_RING_PAGES).unwrap_err(),
+        sys.open_stream(intruder, gpu, DEFAULT_RING_PAGES)
+            .unwrap_err(),
         SrpcError::NotOwner
     );
     // Direct app ECall into someone else's enclave also fails.
@@ -113,7 +135,8 @@ fn non_owner_mecall_rejected() {
 fn malicious_dispatch_rejected_by_mos() {
     let mut sys = CronusSystem::boot(platform());
     let app = sys.create_app();
-    sys.dispatcher_mut().inject_misroute(DeviceKind::Gpu, AsId::new(1));
+    sys.dispatcher_mut()
+        .inject_misroute(DeviceKind::Gpu, AsId::new(1));
     let err = sys
         .create_enclave(Actor::App(app), gpu_manifest(), &BTreeMap::new())
         .unwrap_err();
@@ -137,7 +160,9 @@ fn malicious_dispatch_rejected_by_mos() {
 #[test]
 fn undeclared_mecalls_rejected() {
     let (mut sys, cpu, gpu) = setup();
-    let stream = sys.open_stream(cpu, gpu, DEFAULT_RING_PAGES).expect("stream");
+    let stream = sys
+        .open_stream(cpu, gpu, DEFAULT_RING_PAGES)
+        .expect("stream");
     assert_eq!(
         sys.call_async(stream, "not_in_manifest", &[]).unwrap_err(),
         SrpcError::UnknownMcall("not_in_manifest".into())
@@ -150,17 +175,24 @@ fn undeclared_mecalls_rejected() {
 #[test]
 fn toctou_window_is_closed_after_failure() {
     let (mut sys, cpu, gpu) = setup();
-    let stream = sys.open_stream(cpu, gpu, DEFAULT_RING_PAGES).expect("stream");
+    let stream = sys
+        .open_stream(cpu, gpu, DEFAULT_RING_PAGES)
+        .expect("stream");
     sys.call_async(stream, "work", b"pre-crash").expect("call");
     sys.sync(stream).expect("sync");
 
     sys.inject_partition_failure(gpu.asid).expect("failure");
     // The caller does NOT know about the failure; its next send traps
     // instead of reaching a potentially substituted peer.
-    let err = sys.call_async(stream, "work", b"would-be-leak").unwrap_err();
+    let err = sys
+        .call_async(stream, "work", b"would-be-leak")
+        .unwrap_err();
     assert_eq!(err, SrpcError::PeerFailed { signalled: cpu.eid });
     // sRPC cleared its state automatically; the stream is unusable.
-    assert_eq!(sys.call_async(stream, "work", b"again").unwrap_err(), SrpcError::Closed);
+    assert_eq!(
+        sys.call_async(stream, "work", b"again").unwrap_err(),
+        SrpcError::Closed
+    );
 }
 
 /// Attack A3: a recovered (possibly malicious) partition reads the crashed
@@ -169,8 +201,11 @@ fn toctou_window_is_closed_after_failure() {
 #[test]
 fn crashed_data_is_cleared_before_recovery() {
     let (mut sys, cpu, gpu) = setup();
-    let stream = sys.open_stream(cpu, gpu, DEFAULT_RING_PAGES).expect("stream");
-    sys.call_async(stream, "work", b"SECRET-GRADIENTS").expect("call");
+    let stream = sys
+        .open_stream(cpu, gpu, DEFAULT_RING_PAGES)
+        .expect("stream");
+    sys.call_async(stream, "work", b"SECRET-GRADIENTS")
+        .expect("call");
 
     // Locate a ring page and confirm the secret is physically there.
     let share_pages = sys.stream_share_pages(stream).expect("stream share pages");
@@ -197,5 +232,8 @@ fn crashed_data_is_cleared_before_recovery() {
             .expect("monitor read");
         bytes.windows(16).any(|w| w == b"SECRET-GRADIENTS")
     });
-    assert!(!found_after, "recovery cleared the crashed partition's shared memory");
+    assert!(
+        !found_after,
+        "recovery cleared the crashed partition's shared memory"
+    );
 }
