@@ -1,6 +1,11 @@
 //! Runs every experiment and prints every table and figure in paper order,
-//! dumping each figure's flight-recorder artifacts under `target/bench/`.
+//! dumping each figure's flight-recorder artifacts under `target/bench/`
+//! and writing every figure's `BENCH_<name>.json` report (so a subsequent
+//! `bench_gate` run compares the whole suite). Uses the same parameters as
+//! the standalone figure binaries so the reports match the committed
+//! baselines.
 use cronus_bench::artifacts::dump_and_report;
+use cronus_bench::baseline;
 use cronus_bench::experiments::{fig10, fig11, fig7, fig8, fig9, rpc_micro, tables};
 
 fn main() {
@@ -9,29 +14,73 @@ fn main() {
     let (fig7_rows, rec) = fig7::run_recorded(4);
     println!("{}", fig7::print(&fig7_rows));
     dump_and_report("fig7", &rec);
+    baseline::emit(
+        "fig7",
+        fig7::headlines(&fig7_rows),
+        vec![("scale".to_string(), "4".to_string())],
+        &rec,
+    );
     let (fig8_rows, rec) = fig8::run_recorded();
     println!("{}", fig8::print(&fig8_rows));
     dump_and_report("fig8", &rec);
+    baseline::emit("fig8", fig8::headlines(&fig8_rows), Vec::new(), &rec);
     let fig9_data = fig9::run();
     println!("{}", fig9::print(&fig9_data));
     dump_and_report("fig9", &fig9_data.recorder);
-    let (fig10a_rows, rec) = fig10::run_10a_recorded(1);
+    baseline::emit(
+        "fig9",
+        fig9::headlines(&fig9_data),
+        Vec::new(),
+        &fig9_data.recorder,
+    );
+    let (fig10a_rows, rec) = fig10::run_10a_recorded(2);
     println!("{}", fig10::print_10a(&fig10a_rows));
     dump_and_report("fig10a", &rec);
+    baseline::emit(
+        "fig10a",
+        fig10::headlines_10a(&fig10a_rows),
+        vec![("scale".to_string(), "2".to_string())],
+        &rec,
+    );
     let (fig10b_rows, rec) = fig10::run_10b_recorded();
     println!("{}", fig10::print_10b(&fig10b_rows));
     dump_and_report("fig10b", &rec);
+    baseline::emit(
+        "fig10b",
+        fig10::headlines_10b(&fig10b_rows),
+        Vec::new(),
+        &rec,
+    );
     let (fig11a_points, rec) = fig11::run_11a_recorded(&[1, 2, 4]);
     println!("{}", fig11::print_11a(&fig11a_points));
     dump_and_report("fig11a", &rec);
+    baseline::emit(
+        "fig11a",
+        fig11::headlines_11a(&fig11a_points),
+        Vec::new(),
+        &rec,
+    );
     let (fig11b_points, rec) = fig11::run_11b_recorded(&[1, 2, 4]);
     println!("{}", fig11::print_11b(&fig11b_points));
     dump_and_report("fig11b", &rec);
+    baseline::emit(
+        "fig11b",
+        fig11::headlines_11b(&fig11b_points),
+        Vec::new(),
+        &rec,
+    );
     let (rpc_costs, rec) = rpc_micro::run_recorded(1000);
     println!(
         "{}",
         rpc_micro::print(&rpc_costs, &rpc_micro::ring_sweep(400, &[1, 4, 16, 64]))
     );
+    print!("{}", rec.causal_report().render_text(8));
     dump_and_report("rpc_micro", &rec);
+    baseline::emit(
+        "rpc_micro",
+        rpc_micro::headlines(&rpc_costs),
+        vec![("calls".to_string(), "1000".to_string())],
+        &rec,
+    );
     println!("{}", tables::table3());
 }

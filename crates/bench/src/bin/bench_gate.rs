@@ -1,0 +1,102 @@
+//! The bench-regression gate.
+//!
+//! Compares the fresh `target/bench/BENCH_<name>.json` reports (written by
+//! the figure binaries) against the committed repo-root baselines and exits
+//! non-zero when any headline metric regressed past the tolerance
+//! (`BENCH_TOLERANCE_PCT`, default 10%). Figures without a fresh report are
+//! skipped, so `scripts/ci.sh --bench` can gate on a fast subset while a
+//! full `cargo run -p cronus-bench --bin all` enables gating on everything.
+//!
+//! To accept a deliberate metric change, run `scripts/rebaseline.sh` and
+//! commit the updated `BENCH_*.json` files.
+
+use cronus_bench::baseline::{self, BenchReport, DEFAULT_TOLERANCE_PCT};
+
+/// Every figure that can emit a report, in paper order.
+const FIGURES: &[&str] = &[
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10a",
+    "fig10b",
+    "fig11a",
+    "fig11b",
+    "rpc_micro",
+];
+
+fn load_or_warn(path: &std::path::Path) -> Option<BenchReport> {
+    match baseline::load(path) {
+        Ok(rep) => rep,
+        Err(e) => {
+            eprintln!("[gate] unreadable report: {e}");
+            None
+        }
+    }
+}
+
+fn main() {
+    let tol = std::env::var("BENCH_TOLERANCE_PCT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_TOLERANCE_PCT);
+    println!("[gate] tolerance {tol}% (override with BENCH_TOLERANCE_PCT)");
+
+    let mut compared = 0usize;
+    let mut failed = false;
+    for name in FIGURES {
+        let Some(fresh) = load_or_warn(&baseline::fresh_path(name)) else {
+            println!("[gate] {name}: no fresh report, skipped");
+            continue;
+        };
+        let Some(base) = load_or_warn(&baseline::baseline_path(name)) else {
+            println!(
+                "[gate] {name}: no committed baseline ({}), skipped — \
+                 run scripts/rebaseline.sh and commit it",
+                baseline::baseline_path(name).display()
+            );
+            continue;
+        };
+        if base.meta != fresh.meta {
+            println!(
+                "[gate] {name}: run parameters differ from baseline ({:?} vs {:?}), skipped",
+                base.meta, fresh.meta
+            );
+            continue;
+        }
+        compared += 1;
+        let regressions = baseline::compare(&base, &fresh, tol);
+        for b in &base.headlines {
+            if !fresh.headlines.iter().any(|f| f.key == b.key) {
+                eprintln!("[gate] {name}: headline `{}` missing from fresh run", b.key);
+                failed = true;
+            }
+        }
+        if regressions.is_empty() {
+            println!("[gate] {name}: ok ({} headlines)", base.headlines.len());
+            continue;
+        }
+        failed = true;
+        for r in &regressions {
+            eprintln!(
+                "[gate] {name}: REGRESSION {}: baseline {:.1} -> fresh {:.1} ({:+.1}%, {} is better)",
+                r.key,
+                r.baseline,
+                r.fresh,
+                r.delta_pct,
+                match r.better {
+                    baseline::Better::Lower => "lower",
+                    baseline::Better::Higher => "higher",
+                }
+            );
+        }
+    }
+
+    if failed {
+        eprintln!(
+            "[gate] FAILED — if the change is intentional, re-baseline with \
+             scripts/rebaseline.sh and commit the updated BENCH_*.json"
+        );
+        std::process::exit(1);
+    }
+    println!("[gate] passed ({compared} figures compared)");
+}

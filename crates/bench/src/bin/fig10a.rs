@@ -1,6 +1,6 @@
 //! Regenerates Figure 10a (vta-bench throughput).
-use cronus_bench::artifacts;
 use cronus_bench::experiments::fig10;
+use cronus_bench::{artifacts, baseline};
 
 fn main() {
     let scale = std::env::args()
@@ -10,4 +10,10 @@ fn main() {
     let (rows, rec) = fig10::run_10a_recorded(scale);
     print!("{}", fig10::print_10a(&rows));
     artifacts::dump_and_report("fig10a", &rec);
+    baseline::emit(
+        "fig10a",
+        fig10::headlines_10a(&rows),
+        vec![("scale".to_string(), scale.to_string())],
+        &rec,
+    );
 }

@@ -1,9 +1,10 @@
 //! Regenerates Figure 10b (NPU inference latency).
-use cronus_bench::artifacts;
 use cronus_bench::experiments::fig10;
+use cronus_bench::{artifacts, baseline};
 
 fn main() {
     let (rows, rec) = fig10::run_10b_recorded();
     print!("{}", fig10::print_10b(&rows));
     artifacts::dump_and_report("fig10b", &rec);
+    baseline::emit("fig10b", fig10::headlines_10b(&rows), Vec::new(), &rec);
 }

@@ -1,9 +1,10 @@
 //! Regenerates Figure 11a (spatial sharing of one GPU).
-use cronus_bench::artifacts;
 use cronus_bench::experiments::fig11;
+use cronus_bench::{artifacts, baseline};
 
 fn main() {
     let (points, rec) = fig11::run_11a_recorded(&[1, 2, 4]);
     print!("{}", fig11::print_11a(&points));
     artifacts::dump_and_report("fig11a", &rec);
+    baseline::emit("fig11a", fig11::headlines_11a(&points), Vec::new(), &rec);
 }

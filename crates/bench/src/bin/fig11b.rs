@@ -1,9 +1,10 @@
 //! Regenerates Figure 11b (multi-GPU gradient exchange paths).
-use cronus_bench::artifacts;
 use cronus_bench::experiments::fig11;
+use cronus_bench::{artifacts, baseline};
 
 fn main() {
     let (points, rec) = fig11::run_11b_recorded(&[1, 2, 4]);
     print!("{}", fig11::print_11b(&points));
     artifacts::dump_and_report("fig11b", &rec);
+    baseline::emit("fig11b", fig11::headlines_11b(&points), Vec::new(), &rec);
 }

@@ -1,6 +1,6 @@
 //! Regenerates Figure 7 (Rodinia computation time across systems).
-use cronus_bench::artifacts;
 use cronus_bench::experiments::fig7;
+use cronus_bench::{artifacts, baseline};
 
 fn main() {
     let scale = std::env::args()
@@ -10,4 +10,10 @@ fn main() {
     let (rows, rec) = fig7::run_recorded(scale);
     print!("{}", fig7::print(&rows));
     artifacts::dump_and_report("fig7", &rec);
+    baseline::emit(
+        "fig7",
+        fig7::headlines(&rows),
+        vec![("scale".to_string(), scale.to_string())],
+        &rec,
+    );
 }

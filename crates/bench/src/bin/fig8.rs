@@ -1,9 +1,10 @@
 //! Regenerates Figure 8 (DNN training time across systems).
-use cronus_bench::artifacts;
 use cronus_bench::experiments::fig8;
+use cronus_bench::{artifacts, baseline};
 
 fn main() {
     let (rows, rec) = fig8::run_recorded();
     print!("{}", fig8::print(&rows));
     artifacts::dump_and_report("fig8", &rec);
+    baseline::emit("fig8", fig8::headlines(&rows), Vec::new(), &rec);
 }

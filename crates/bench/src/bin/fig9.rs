@@ -1,9 +1,10 @@
 //! Regenerates Figure 9 (failover throughput timeline).
-use cronus_bench::artifacts;
 use cronus_bench::experiments::fig9;
+use cronus_bench::{artifacts, baseline};
 
 fn main() {
     let data = fig9::run();
     print!("{}", fig9::print(&data));
     artifacts::dump_and_report("fig9", &data.recorder);
+    baseline::emit("fig9", fig9::headlines(&data), Vec::new(), &data.recorder);
 }

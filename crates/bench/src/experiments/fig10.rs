@@ -150,6 +150,31 @@ pub fn print_10b(rows: &[InferenceRow]) -> String {
     t.render()
 }
 
+/// Headline metrics for Fig. 10a: average CRONUS throughput and its
+/// retention versus native.
+pub fn headlines_10a(rows: &[Fig10aRow]) -> Vec<crate::baseline::Headline> {
+    use crate::baseline::Headline;
+    let n = rows.len().max(1) as f64;
+    let avg_gops = rows.iter().map(|r| r.cronus_gops).sum::<f64>() / n;
+    let retention = rows
+        .iter()
+        .map(|r| r.cronus_gops / r.native_gops.max(1e-12))
+        .sum::<f64>()
+        / n;
+    vec![
+        Headline::higher("avg_cronus_gops", avg_gops, "gops"),
+        Headline::higher("avg_native_retention_pct", retention * 100.0, "%"),
+    ]
+}
+
+/// Headline metrics for Fig. 10b: per-model NPU inference latency.
+pub fn headlines_10b(rows: &[InferenceRow]) -> Vec<crate::baseline::Headline> {
+    use crate::baseline::Headline;
+    rows.iter()
+        .map(|r| Headline::ns(format!("{}_npu_ns", r.model), r.npu))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

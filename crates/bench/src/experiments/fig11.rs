@@ -229,6 +229,50 @@ pub fn print_11b(points: &[MultiGpuPoint]) -> String {
     t.render()
 }
 
+/// Headline metrics for Fig. 11a: single-tenant throughput and aggregate
+/// throughput at the highest sharing level.
+pub fn headlines_11a(points: &[SharingPoint]) -> Vec<crate::baseline::Headline> {
+    use crate::baseline::Headline;
+    let mut out = Vec::new();
+    if let Some(first) = points.first() {
+        out.push(Headline::higher(
+            "dedicated_samples_per_s",
+            first.throughput,
+            "samples/s",
+        ));
+    }
+    if let Some(last) = points.last() {
+        out.push(Headline::higher(
+            format!("shared_{}x_samples_per_s", last.enclaves),
+            last.throughput,
+            "samples/s",
+        ));
+    }
+    out
+}
+
+/// Headline metrics for Fig. 11b: throughput per exchange path at the
+/// highest GPU count.
+pub fn headlines_11b(points: &[MultiGpuPoint]) -> Vec<crate::baseline::Headline> {
+    use crate::baseline::Headline;
+    let max_gpus = points.iter().map(|p| p.gpus).max().unwrap_or(0);
+    points
+        .iter()
+        .filter(|p| p.gpus == max_gpus)
+        .map(|p| {
+            Headline::higher(
+                format!(
+                    "{}_{}gpu_samples_per_s",
+                    p.path.name().replace('-', "_"),
+                    p.gpus
+                ),
+                p.throughput,
+                "samples/s",
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

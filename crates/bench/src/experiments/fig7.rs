@@ -141,6 +141,21 @@ pub fn print(rows: &[Fig7Row]) -> String {
     out
 }
 
+/// Headline metrics for the bench-regression gate.
+pub fn headlines(rows: &[Fig7Row]) -> Vec<crate::baseline::Headline> {
+    use crate::baseline::Headline;
+    let n = rows.len().max(1) as f64;
+    let avg = rows.iter().map(Fig7Row::cronus_normalized).sum::<f64>() / n;
+    let worst = rows
+        .iter()
+        .map(Fig7Row::cronus_normalized)
+        .fold(0.0f64, f64::max);
+    vec![
+        Headline::lower("avg_cronus_overhead_pct", (avg - 1.0) * 100.0, "%"),
+        Headline::lower("worst_cronus_overhead_pct", (worst - 1.0) * 100.0, "%"),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -168,6 +168,20 @@ pub fn print(rows: &[Fig8Row]) -> String {
     t.render()
 }
 
+/// Headline metrics for the bench-regression gate: per-model CRONUS
+/// iteration time plus the average overhead over native.
+pub fn headlines(rows: &[Fig8Row]) -> Vec<crate::baseline::Headline> {
+    use crate::baseline::Headline;
+    let mut out: Vec<Headline> = rows
+        .iter()
+        .map(|r| Headline::ns(format!("{}_cronus_ns", r.model), r.cronus))
+        .collect();
+    let n = rows.len().max(1) as f64;
+    let avg = rows.iter().map(Fig8Row::cronus_overhead).sum::<f64>() / n;
+    out.push(Headline::lower("avg_cronus_overhead_pct", avg * 100.0, "%"));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -207,6 +207,19 @@ pub fn print(data: &Fig9Data) -> String {
     out
 }
 
+/// Headline metrics for the bench-regression gate: the three recovery
+/// stages, their total, and the whole-machine reboot baseline.
+pub fn headlines(data: &Fig9Data) -> Vec<crate::baseline::Headline> {
+    use crate::baseline::Headline;
+    vec![
+        Headline::ns("recovery_proceed_ns", data.recovery.proceed_time),
+        Headline::ns("recovery_clear_ns", data.recovery.clear_time),
+        Headline::ns("recovery_restart_ns", data.recovery.restart_time),
+        Headline::ns("recovery_total_ns", data.recovery.total()),
+        Headline::ns("reboot_total_ns", data.reboot_time),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

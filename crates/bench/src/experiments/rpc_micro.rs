@@ -155,7 +155,7 @@ pub fn ring_sweep(calls: u64, page_sizes: &[usize]) -> Vec<RingSweepPoint> {
             let t0 = sys.enclave_time(cpu);
             for _ in 0..calls {
                 match sys.call_async(stream, "echo", &[0u8; 32]) {
-                    Ok(()) => {}
+                    Ok(_) => {}
                     Err(SrpcError::Closed) => break,
                     Err(e) => panic!("unexpected srpc error: {e}"),
                 }
@@ -202,6 +202,30 @@ pub fn print(costs: &[RpcCost], sweep: &[RingSweepPoint]) -> String {
     out
 }
 
+/// Headline metrics for the bench-regression gate: per-call cost of each
+/// protocol plus sRPC's context switches per call.
+pub fn headlines(costs: &[RpcCost]) -> Vec<crate::baseline::Headline> {
+    use crate::baseline::Headline;
+    let mut out = Vec::new();
+    for c in costs {
+        let key = match c.protocol {
+            "srpc (cronus)" => "srpc_per_call_ns",
+            "synchronous rpc" => "sync_rpc_per_call_ns",
+            "encrypted rpc (hix)" => "encrypted_rpc_per_call_ns",
+            other => panic!("unknown protocol {other}"),
+        };
+        out.push(Headline::ns(key, c.per_call));
+    }
+    if let Some(srpc) = costs.iter().find(|c| c.protocol == "srpc (cronus)") {
+        out.push(Headline::lower(
+            "srpc_ctx_switches_per_call",
+            srpc.context_switches_per_call,
+            "switches",
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +247,62 @@ mod tests {
             sync.per_call
         );
         assert!(enc.per_call > sync.per_call);
+    }
+
+    #[test]
+    fn causal_split_sums_to_end_to_end_on_real_run() {
+        let (_, rec) = run_recorded(50);
+        let report = rec.causal_report();
+        assert!(
+            report.requests.len() >= 50,
+            "expected >= 50 traced requests, got {}",
+            report.requests.len()
+        );
+        for r in &report.requests {
+            let split: u64 = r.phases.iter().map(|(_, ns)| ns).sum();
+            assert_eq!(
+                split,
+                r.total_ns(),
+                "request {} split does not cover its latency",
+                r.req
+            );
+        }
+        // The ring protocol work and the 5 µs echo kernels must both show
+        // up in the overall critical path.
+        assert!(report.overall.iter().any(|(p, _)| p == "kernel"));
+        assert!(report.overall.iter().any(|(p, _)| p == "ring"));
+    }
+
+    #[test]
+    fn flow_events_pair_up_in_real_trace() {
+        use std::collections::BTreeMap;
+        let (_, rec) = run_recorded(20);
+        let trace = cronus_obs::parse(&rec.chrome_trace_json()).expect("trace parses");
+        let mut starts: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut finishes: BTreeMap<u64, u64> = BTreeMap::new();
+        for e in trace
+            .get("traceEvents")
+            .and_then(cronus_obs::Json::as_arr)
+            .expect("traceEvents")
+        {
+            let (Some(ph), Some(id)) = (
+                e.get("ph").and_then(cronus_obs::Json::as_str),
+                e.get("id").and_then(cronus_obs::Json::as_u64),
+            ) else {
+                continue;
+            };
+            match ph {
+                "s" => *starts.entry(id).or_insert(0) += 1,
+                "f" => *finishes.entry(id).or_insert(0) += 1,
+                _ => {}
+            }
+        }
+        assert!(!starts.is_empty(), "trace has no flow events");
+        assert_eq!(starts.len(), finishes.len());
+        for (id, n) in &starts {
+            assert_eq!(*n, 1, "flow {id} has {n} starts");
+            assert_eq!(finishes.get(id), Some(&1), "flow {id} unterminated");
+        }
     }
 
     #[test]

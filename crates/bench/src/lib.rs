@@ -24,6 +24,7 @@
 //! | `all`       | everything     | runs the lot, writes EXPERIMENTS data |
 
 pub mod artifacts;
+pub mod baseline;
 pub mod experiments;
 pub mod harness;
 pub mod report;

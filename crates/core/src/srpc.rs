@@ -17,6 +17,7 @@ use std::fmt;
 
 use cronus_mos::manifest::Eid;
 use cronus_mos::mos::MosError;
+use cronus_obs::ReqId;
 use cronus_sim::addr::VirtAddr;
 use cronus_sim::machine::AsId;
 use cronus_sim::{SimClock, SimNs};
@@ -147,6 +148,10 @@ pub struct StreamState {
     /// Enqueue timestamps of requests not yet executed, so the executor
     /// never starts a request before it was issued.
     pub pending_enqueue_times: VecDeque<SimNs>,
+    /// Request ids of requests not yet executed, in ring order; the
+    /// executor re-establishes each id as the ambient request when it
+    /// dispatches, so device/recovery spans inherit the right cause.
+    pub pending_reqs: VecDeque<ReqId>,
     /// True until closed or poisoned.
     pub open: bool,
     /// Counters.

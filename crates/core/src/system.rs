@@ -16,7 +16,7 @@ use cronus_devices::DeviceKind;
 use cronus_mos::manager::Owner;
 use cronus_mos::manifest::{Eid, Manifest};
 use cronus_mos::mos::MosError;
-use cronus_obs::{FlightRecorder, TimeCategory};
+use cronus_obs::{FlightRecorder, ReqId, TimeCategory};
 use cronus_sim::machine::AsId;
 use cronus_sim::trace::EventKind;
 use cronus_sim::{Fault, SimClock, SimNs};
@@ -205,8 +205,32 @@ impl CronusSystem {
     }
 
     /// A handle to the system's flight recorder (clones share state).
+    ///
+    /// Also refreshes the `eventlog.dropped` / `eventlog.total_recorded`
+    /// gauges from the simulator's [`cronus_sim::EventLog`], so snapshots
+    /// taken from the handle expose silent trace truncation.
     pub fn recorder(&self) -> FlightRecorder {
-        self.spm.recorder().cloned().unwrap_or_default()
+        let rec = self.spm.recorder().cloned().unwrap_or_default();
+        let log = self.spm.machine().log();
+        rec.gauge_set("eventlog.dropped", &[], log.dropped() as i64);
+        rec.gauge_set("eventlog.total_recorded", &[], log.total_recorded() as i64);
+        rec
+    }
+
+    /// Allocates the next request id (monotonic per system). Returns the
+    /// `ReqId(0)` sentinel when the system runs without a recorder.
+    pub fn alloc_req(&self) -> ReqId {
+        self.spm.recorder().map_or(ReqId(0), |r| r.alloc_req())
+    }
+
+    /// Sets (or clears) the ambient request on the recorder: spans opened
+    /// anywhere in the system while it is set — device HALs, DMA, recovery —
+    /// are attributed to that request. Runtime shims scope their staging
+    /// work with this so traps land on the causing request.
+    pub fn set_current_req(&self, req: Option<ReqId>) {
+        if let Some(rec) = self.spm.recorder() {
+            rec.set_current_req(req);
+        }
     }
 
     /// Records a phase marker in the event log (and as a trace instant):
@@ -412,6 +436,21 @@ impl CronusSystem {
                 return Err(SystemError::UnknownMcall(name.to_string()));
             }
         }
+        // Direct ecalls are requests too: trace them end to end.
+        let req = self.alloc_req();
+        self.set_current_req(Some(req));
+        let result = self.app_ecall_inner(app, target, name, payload);
+        self.set_current_req(None);
+        result
+    }
+
+    fn app_ecall_inner(
+        &mut self,
+        app: AppId,
+        target: EnclaveRef,
+        name: &str,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, SystemError> {
         let (result, exec) = self
             .run_handler(target, name, payload)
             .map_err(|e| match e {
@@ -596,6 +635,7 @@ impl CronusSystem {
                 sid: 0,
                 executor_clock,
                 pending_enqueue_times: VecDeque::new(),
+                pending_reqs: VecDeque::new(),
                 open: true,
                 stats: StreamStats::default(),
             },
@@ -684,6 +724,7 @@ impl CronusSystem {
             if let Some(s) = self.streams.get_mut(&id) {
                 s.open = false;
                 s.pending_enqueue_times.clear();
+                s.pending_reqs.clear();
             }
         }
         converted
@@ -732,8 +773,15 @@ impl CronusSystem {
         self.streams.get(&id).ok_or(SrpcError::UnknownStream(id))
     }
 
-    /// Enqueues a request into the ring on the caller side.
-    fn enqueue(&mut self, id: StreamId, name: &str, payload: &[u8]) -> Result<(), SrpcError> {
+    /// Enqueues a request into the ring on the caller side, recording it
+    /// under `req` for causal tracing.
+    fn enqueue(
+        &mut self,
+        id: StreamId,
+        name: &str,
+        payload: &[u8],
+        req: ReqId,
+    ) -> Result<(), SrpcError> {
         // Validate against the callee's static mECall list.
         {
             let s = self.stream(id)?;
@@ -800,6 +848,7 @@ impl CronusSystem {
         let s = self.streams.get_mut(&id).expect("checked");
         s.rid += 1;
         s.pending_enqueue_times.push_back(now);
+        s.pending_reqs.push_back(req);
         s.stats.calls += 1;
         s.stats.request_bytes += payload.len() as u64;
         let occupancy = (s.rid - s.sid) as i64;
@@ -809,6 +858,14 @@ impl CronusSystem {
                 "srpc.ring_occupancy",
                 &[("stream", &id.0.to_string())],
                 occupancy,
+            );
+            let track = rec.track(&format!("enclave:{}", caller.1));
+            rec.complete_span(
+                track,
+                format!("enqueue:{name}"),
+                "ring",
+                now - enqueue_cost,
+                now,
             );
         }
         Ok(())
@@ -824,7 +881,24 @@ impl CronusSystem {
     }
 
     /// Executes the oldest pending request, if any. Returns whether one ran.
+    ///
+    /// Re-establishes the drained request's id as the ambient request for
+    /// the duration of the dispatch, so handler-side spans (device DMA,
+    /// kernels, recovery on a trap) are attributed to the request that
+    /// caused them; the previous ambient request is restored afterwards.
     fn drain_one(&mut self, id: StreamId) -> Result<bool, SrpcError> {
+        let req = self
+            .streams
+            .get(&id)
+            .and_then(|s| s.pending_reqs.front().copied());
+        let prev = self.spm.recorder().and_then(|r| r.current_req());
+        self.set_current_req(req);
+        let result = self.drain_one_inner(id);
+        self.set_current_req(prev);
+        result
+    }
+
+    fn drain_one_inner(&mut self, id: StreamId) -> Result<bool, SrpcError> {
         {
             let (callee, callee_va, sid, slot_off) = {
                 let s = self.stream(id)?;
@@ -907,6 +981,7 @@ impl CronusSystem {
             let dequeue_cost = self.spm.machine().cost().srpc_dequeue;
             let s = self.streams.get_mut(&id).expect("checked");
             let enq_t = s.pending_enqueue_times.pop_front().unwrap_or(SimNs::ZERO);
+            s.pending_reqs.pop_front();
             // The executor starts this request when both it and the request
             // are ready; the gap from enqueue is the dispatch latency.
             let started = s.executor_clock.now().max(enq_t);
@@ -930,13 +1005,19 @@ impl CronusSystem {
                 let call = rec.begin_span(track, request.name.clone(), "srpc", started);
                 rec.complete_span(track, "exec", "kernel", started + dequeue_cost, finished);
                 rec.end_span(track, call, finished);
+                rec.observe(
+                    "srpc.request_latency",
+                    &[("stream", &stream_lbl)],
+                    finished - enq_t,
+                );
             }
         }
         Ok(true)
     }
 
     /// Issues an asynchronous mECall: the caller pays only the enqueue cost
-    /// and streams ahead without waiting.
+    /// and streams ahead without waiting. Returns the request id tracing the
+    /// call end-to-end.
     ///
     /// # Errors
     ///
@@ -946,8 +1027,30 @@ impl CronusSystem {
         id: StreamId,
         name: &str,
         payload: &[u8],
+    ) -> Result<ReqId, SrpcError> {
+        let req = self.alloc_req();
+        self.call_async_with_req(id, name, payload, req)?;
+        Ok(req)
+    }
+
+    /// [`CronusSystem::call_async`] under an already-allocated request id,
+    /// so runtime shims can attribute preparatory work (staging writes, DMA)
+    /// to the same request as the call itself.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CronusSystem::call_async`].
+    pub fn call_async_with_req(
+        &mut self,
+        id: StreamId,
+        name: &str,
+        payload: &[u8],
+        req: ReqId,
     ) -> Result<(), SrpcError> {
-        self.enqueue(id, name, payload)
+        self.set_current_req(Some(req));
+        let result = self.enqueue(id, name, payload, req);
+        self.set_current_req(None);
+        result
     }
 
     /// Issues a synchronous mECall: enqueues, drains the executor, merges
@@ -962,7 +1065,37 @@ impl CronusSystem {
         name: &str,
         payload: &[u8],
     ) -> Result<Vec<u8>, SrpcError> {
-        self.enqueue(id, name, payload)?;
+        let req = self.alloc_req();
+        self.call_sync_with_req(id, name, payload, req)
+    }
+
+    /// [`CronusSystem::call_sync`] under an already-allocated request id;
+    /// see [`CronusSystem::call_async_with_req`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CronusSystem::call_sync`].
+    pub fn call_sync_with_req(
+        &mut self,
+        id: StreamId,
+        name: &str,
+        payload: &[u8],
+        req: ReqId,
+    ) -> Result<Vec<u8>, SrpcError> {
+        self.set_current_req(Some(req));
+        let result = self.call_sync_inner(id, name, payload, req);
+        self.set_current_req(None);
+        result
+    }
+
+    fn call_sync_inner(
+        &mut self,
+        id: StreamId,
+        name: &str,
+        payload: &[u8],
+        req: ReqId,
+    ) -> Result<Vec<u8>, SrpcError> {
+        self.enqueue(id, name, payload, req)?;
         let result_index = self.stream(id)?.rid - 1;
         self.drain(id)?;
 
@@ -978,16 +1111,25 @@ impl CronusSystem {
                 s.executor_clock.now(),
             )
         };
-        {
+        let woke = {
             let c = self.clock_mut(caller.1);
             c.advance_to(executor_now);
             c.advance(wakeup);
-        }
+            c.now()
+        };
         self.spm
             .machine_mut()
             .record(EventKind::RpcSync { stream: id.0 });
         if let Some(rec) = self.spm.recorder() {
             rec.charge_detail(TimeCategory::Ring, "sync_wakeup", wakeup);
+            let track = rec.track(&format!("enclave:{}", caller.1));
+            rec.complete_span(
+                track,
+                format!("complete:{name}"),
+                "ring",
+                woke - wakeup,
+                woke,
+            );
         }
 
         let mut slot = vec![0u8; crate::ring::RESULT_SLOT_SIZE];

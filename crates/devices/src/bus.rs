@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use cronus_obs::FlightRecorder;
 use cronus_sim::addr::{PhysAddr, PhysRange};
 use cronus_sim::tzpc::DeviceId;
 use cronus_sim::{Fault, Machine, SimNs, StreamId, World};
@@ -62,12 +63,31 @@ impl From<Fault> for BusError {
 #[derive(Debug, Default)]
 pub struct PcieBus {
     slots: HashMap<DeviceId, PcieSlot>,
+    recorder: Option<FlightRecorder>,
 }
 
 impl PcieBus {
     /// Creates an empty bus.
     pub fn new() -> Self {
         PcieBus::default()
+    }
+
+    /// Installs a flight recorder: every DMA transfer then emits a span on
+    /// the `bus` track (stamped with the ambient request id) plus byte
+    /// counters.
+    pub fn set_recorder(&mut self, rec: FlightRecorder) {
+        self.recorder = Some(rec);
+    }
+
+    /// Records one DMA transfer of `bytes` taking `t`.
+    fn record_dma(&self, dir: &str, device: DeviceId, bytes: u64, t: SimNs) {
+        if let Some(rec) = &self.recorder {
+            rec.counter_add("bus.dma_bytes", &[("dir", dir)], bytes);
+            rec.counter_add("bus.dma_transfers", &[("dir", dir)], 1);
+            let track = rec.track("bus");
+            let start = rec.total_elapsed();
+            rec.complete_span(track, format!("{dir}:{device}"), "dma", start, start + t);
+        }
     }
 
     /// Registers a device slot.
@@ -126,7 +146,9 @@ impl PcieBus {
             .get(&device)
             .ok_or(BusError::UnknownDevice(device))?;
         machine.dma_read(slot.stream, slot.world, host_src, buf)?;
-        Ok(machine.cost().pcie_copy(buf.len() as u64))
+        let t = machine.cost().pcie_copy(buf.len() as u64);
+        self.record_dma("h2d", device, buf.len() as u64, t);
+        Ok(t)
     }
 
     /// DMA from a device buffer into host memory.
@@ -146,7 +168,9 @@ impl PcieBus {
             .get(&device)
             .ok_or(BusError::UnknownDevice(device))?;
         machine.dma_write(slot.stream, slot.world, host_dst, data)?;
-        Ok(machine.cost().pcie_copy(data.len() as u64))
+        let t = machine.cost().pcie_copy(data.len() as u64);
+        self.record_dma("d2h", device, data.len() as u64, t);
+        Ok(t)
     }
 
     /// Peer-to-peer DMA between two devices over PCIe (used by Fig. 11b's
@@ -169,7 +193,9 @@ impl PcieBus {
         if !self.slots.contains_key(&to) {
             return Err(BusError::UnknownDevice(to));
         }
-        Ok(machine.cost().pcie_copy(bytes))
+        let t = machine.cost().pcie_copy(bytes);
+        self.record_dma("p2p", from, bytes, t);
+        Ok(t)
     }
 }
 

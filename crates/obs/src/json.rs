@@ -1,8 +1,10 @@
-//! Hand-rolled JSON emission (and a small validating parser for tests).
+//! Hand-rolled JSON emission and a small recursive-descent parser.
 //!
 //! The workspace builds offline with no serde, so the observability exports
 //! build their documents from this value type. Integers are emitted
-//! losslessly (no f64 round-trip for `u64` nanosecond timestamps).
+//! losslessly (no f64 round-trip for `u64` nanosecond timestamps). The
+//! parser ([`parse`]) is what the bench baseline compare and the exporter
+//! tests use to read documents back.
 
 use std::fmt::Write as _;
 
@@ -70,6 +72,57 @@ impl Json {
                 .map(|(k, v)| (k.to_string(), v))
                 .collect(),
         )
+    }
+
+    /// Looks up a field of an object by key (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` (covers `U64`, `I64` and `F64`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(v) => Some(*v as f64),
+            Json::I64(v) => Some(*v as f64),
+            Json::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer value, if the token was one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            Json::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// String value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array items.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object fields.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
     }
 
     /// Renders the value as compact JSON.
@@ -150,16 +203,29 @@ fn write_escaped(out: &mut String, s: &str) {
 /// Validates that `input` is a single well-formed JSON document. Used by the
 /// export tests; intentionally strict (no trailing garbage, no NaN tokens).
 pub fn is_well_formed(input: &str) -> bool {
+    parse(input).is_ok()
+}
+
+/// Parses a single well-formed JSON document into a [`Json`] value.
+///
+/// Strict like [`is_well_formed`] (it is the same parser): no trailing
+/// garbage, no NaN/Infinity tokens. Numbers parse to `U64` when they are
+/// unsigned integers in range, `I64` for in-range negatives, `F64` otherwise.
+pub fn parse(input: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
     };
     p.skip_ws();
-    if p.value().is_err() {
-        return false;
-    }
+    let v = p
+        .value()
+        .map_err(|()| format!("invalid JSON at byte {}", p.pos))?;
     p.skip_ws();
-    p.pos == p.bytes.len()
+    if p.pos == p.bytes.len() {
+        Ok(v)
+    } else {
+        Err(format!("trailing garbage at byte {}", p.pos))
+    }
 }
 
 struct Parser<'a> {
@@ -193,26 +259,27 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> Result<(), ()> {
+    fn value(&mut self) -> Result<Json, ()> {
         self.skip_ws();
         match self.peek().ok_or(())? {
-            b'n' => self.eat("null"),
-            b't' => self.eat("true"),
-            b'f' => self.eat("false"),
-            b'"' => self.string(),
+            b'n' => self.eat("null").map(|()| Json::Null),
+            b't' => self.eat("true").map(|()| Json::Bool(true)),
+            b'f' => self.eat("false").map(|()| Json::Bool(false)),
+            b'"' => self.string().map(Json::Str),
             b'[' => {
                 self.pos += 1;
                 self.skip_ws();
+                let mut items = Vec::new();
                 if self.peek() == Some(b']') {
                     self.pos += 1;
-                    return Ok(());
+                    return Ok(Json::Arr(items));
                 }
                 loop {
-                    self.value()?;
+                    items.push(self.value()?);
                     self.skip_ws();
                     match self.bump().ok_or(())? {
                         b',' => continue,
-                        b']' => return Ok(()),
+                        b']' => return Ok(Json::Arr(items)),
                         _ => return Err(()),
                     }
                 }
@@ -220,22 +287,23 @@ impl Parser<'_> {
             b'{' => {
                 self.pos += 1;
                 self.skip_ws();
+                let mut fields = Vec::new();
                 if self.peek() == Some(b'}') {
                     self.pos += 1;
-                    return Ok(());
+                    return Ok(Json::Obj(fields));
                 }
                 loop {
                     self.skip_ws();
-                    self.string()?;
+                    let key = self.string()?;
                     self.skip_ws();
                     if self.bump() != Some(b':') {
                         return Err(());
                     }
-                    self.value()?;
+                    fields.push((key, self.value()?));
                     self.skip_ws();
                     match self.bump().ok_or(())? {
                         b',' => continue,
-                        b'}' => return Ok(()),
+                        b'}' => return Ok(Json::Obj(fields)),
                         _ => return Err(()),
                     }
                 }
@@ -245,31 +313,73 @@ impl Parser<'_> {
         }
     }
 
-    fn string(&mut self) -> Result<(), ()> {
+    fn string(&mut self) -> Result<String, ()> {
         if self.bump() != Some(b'"') {
             return Err(());
         }
+        let mut out = Vec::new();
         loop {
             match self.bump().ok_or(())? {
-                b'"' => return Ok(()),
+                b'"' => {
+                    return String::from_utf8(out).map_err(|_| ());
+                }
                 b'\\' => match self.bump().ok_or(())? {
-                    b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {}
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'/' => out.push(b'/'),
+                    b'b' => out.push(0x08),
+                    b'f' => out.push(0x0c),
+                    b'n' => out.push(b'\n'),
+                    b'r' => out.push(b'\r'),
+                    b't' => out.push(b'\t'),
                     b'u' => {
-                        for _ in 0..4 {
-                            if !self.bump().ok_or(())?.is_ascii_hexdigit() {
-                                return Err(());
+                        let unit = self.hex4()?;
+                        // Combine a high surrogate with a following \uXXXX
+                        // low surrogate; lone surrogates become U+FFFD.
+                        let cp = if (0xd800..0xdc00).contains(&unit) {
+                            let save = self.pos;
+                            if self.bump() == Some(b'\\') && self.bump() == Some(b'u') {
+                                let lo = self.hex4()?;
+                                if (0xdc00..0xe000).contains(&lo) {
+                                    0x10000 + ((unit - 0xd800) << 10) + (lo - 0xdc00)
+                                } else {
+                                    self.pos = save;
+                                    0xfffd
+                                }
+                            } else {
+                                self.pos = save;
+                                0xfffd
                             }
-                        }
+                        } else if (0xdc00..0xe000).contains(&unit) {
+                            0xfffd
+                        } else {
+                            unit
+                        };
+                        let c = char::from_u32(cp).unwrap_or('\u{fffd}');
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
                     }
                     _ => return Err(()),
                 },
                 b if b < 0x20 => return Err(()),
-                _ => {}
+                b => out.push(b),
             }
         }
     }
 
-    fn number(&mut self) -> Result<(), ()> {
+    fn hex4(&mut self) -> Result<u32, ()> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.bump().ok_or(())?;
+            let d = (b as char).to_digit(16).ok_or(())?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, ()> {
+        let start = self.pos;
+        let mut float = false;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
@@ -281,6 +391,7 @@ impl Parser<'_> {
             return Err(());
         }
         if self.peek() == Some(b'.') {
+            float = true;
             self.pos += 1;
             let frac_start = self.pos;
             while self.peek().is_some_and(|b| b.is_ascii_digit()) {
@@ -291,6 +402,7 @@ impl Parser<'_> {
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
+            float = true;
             self.pos += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
@@ -303,7 +415,16 @@ impl Parser<'_> {
                 return Err(());
             }
         }
-        Ok(())
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| ())?;
+        if !float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::I64(v));
+            }
+        }
+        text.parse::<f64>().map(Json::F64).map_err(|_| ())
     }
 }
 
@@ -359,5 +480,40 @@ mod tests {
         ] {
             assert!(!is_well_formed(bad), "{bad}");
         }
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let doc = Json::obj([
+            ("name", Json::from("квант \"q\" \\ path")),
+            ("big", Json::U64(u64::MAX)),
+            ("neg", Json::I64(-42)),
+            ("ratio", Json::F64(1.5)),
+            ("items", Json::Arr(vec![Json::Null, Json::Bool(true)])),
+        ]);
+        let parsed = parse(&doc.render()).expect("round trip");
+        assert_eq!(parsed, doc);
+        assert_eq!(parsed.get("big").and_then(Json::as_u64), Some(u64::MAX));
+        assert_eq!(parsed.get("ratio").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(
+            parsed.get("name").and_then(Json::as_str),
+            Some("квант \"q\" \\ path")
+        );
+        assert_eq!(
+            parsed.get("items").and_then(Json::as_arr).map(|a| a.len()),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn parse_decodes_unicode_escapes() {
+        assert_eq!(parse("\"\\u0041\""), Ok(Json::Str("A".to_string())));
+        // Surrogate pair → astral code point.
+        assert_eq!(parse("\"\\ud83d\\ude00\""), Ok(Json::Str("😀".to_string())));
+        // Lone surrogate degrades to the replacement character.
+        assert_eq!(
+            parse("\"\\ud800x\""),
+            Ok(Json::Str("\u{fffd}x".to_string()))
+        );
     }
 }

@@ -13,20 +13,26 @@
 //! - [`recorder`]: the [`FlightRecorder`] handle tying the three together,
 //!   plus the [`cronus_sim::EventSink`] bridge that keeps metric counters in
 //!   exact agreement with the simulator's event log.
-//! - [`json`]: the offline (serde-free) JSON emission all exports use.
+//! - [`causal`]: per-request timelines reconstructed from [`span::ReqId`]-
+//!   stamped spans, critical-path attribution (which category bounds
+//!   latency, per stream and overall) and the p99 outlier report.
+//! - [`json`]: the offline (serde-free) JSON emission and parsing all
+//!   exports and the bench baselines use.
 //!
 //! The crate sits between `cronus-sim` and the policy layers: `spm`, `core`,
 //! `devices` and `runtime` take an optional recorder and instrument their
 //! hot paths; the bench harness dumps snapshots next to its table output.
 
+pub mod causal;
 pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod recorder;
 pub mod span;
 
-pub use json::{is_well_formed, Json};
+pub use causal::{canonical_phase, CausalReport, RequestTimeline};
+pub use json::{is_well_formed, parse, Json};
 pub use metrics::{bucket_index, labels, Histogram, LabelSet, MetricsRegistry};
 pub use profile::{TimeCategory, TimeProfiler};
 pub use recorder::{charge_opt, FlightRecorder, RecorderInner, RecorderSink};
-pub use span::{Span, SpanId, SpanTracer, TrackId};
+pub use span::{ReqId, Span, SpanId, SpanTracer, TrackId};

@@ -202,12 +202,36 @@ impl Histogram {
     }
 }
 
+/// Default cap on distinct label sets per metric name. Request-scoped or
+/// otherwise unbounded labels overflow into the [`overflow_labels`] series
+/// instead of growing the registry without bound.
+pub const DEFAULT_MAX_LABEL_SETS: usize = 64;
+
+/// The label set that absorbs observations past the cardinality cap.
+pub fn overflow_labels() -> LabelSet {
+    LabelSet::from_pairs(&[("__overflow", "true")])
+}
+
 /// The registry: all counters, gauges and histograms for one run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct MetricsRegistry {
     counters: BTreeMap<(String, LabelSet), u64>,
     gauges: BTreeMap<(String, LabelSet), GaugeCell>,
     histograms: BTreeMap<(String, LabelSet), Histogram>,
+    max_label_sets: usize,
+    label_overflow: u64,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            max_label_sets: DEFAULT_MAX_LABEL_SETS,
+            label_overflow: 0,
+        }
+    }
 }
 
 #[derive(Clone, Debug, Default)]
@@ -216,14 +240,56 @@ struct GaugeCell {
     max: i64,
 }
 
+/// Distinct label sets currently recorded under `name` in one store.
+fn series_count<V>(map: &BTreeMap<(String, LabelSet), V>, name: &str) -> usize {
+    map.range((name.to_string(), LabelSet::empty())..)
+        .take_while(|((n, _), _)| n == name)
+        .count()
+}
+
+/// Applies the cardinality cap: returns `labels` unchanged when the series
+/// already exists or the metric is under its cap, otherwise redirects to the
+/// `__overflow` series and bumps `label_overflow`.
+fn admit<V>(
+    map: &BTreeMap<(String, LabelSet), V>,
+    name: &str,
+    labels: LabelSet,
+    cap: usize,
+    label_overflow: &mut u64,
+) -> LabelSet {
+    if map.contains_key(&(name.to_string(), labels.clone())) || series_count(map, name) < cap {
+        labels
+    } else {
+        *label_overflow += 1;
+        overflow_labels()
+    }
+}
+
 impl MetricsRegistry {
     /// Creates an empty registry.
     pub fn new() -> Self {
         MetricsRegistry::default()
     }
 
+    /// Changes the per-metric label-set cap (mostly for tests).
+    pub fn set_max_label_sets(&mut self, cap: usize) {
+        self.max_label_sets = cap.max(1);
+    }
+
+    /// Observations redirected to an `__overflow` series so far.
+    pub fn label_overflow(&self) -> u64 {
+        self.label_overflow
+    }
+
     /// Adds `delta` to the counter `name{labels}`.
     pub fn counter_add(&mut self, name: &str, labels: LabelSet, delta: u64) {
+        let labels = admit(
+            &self.counters,
+            name,
+            labels,
+            self.max_label_sets,
+            &mut self.label_overflow,
+        );
         *self.counters.entry((name.to_string(), labels)).or_insert(0) += delta;
     }
 
@@ -246,6 +312,13 @@ impl MetricsRegistry {
 
     /// Sets the gauge `name{labels}`, tracking its high-water mark.
     pub fn gauge_set(&mut self, name: &str, labels: LabelSet, value: i64) {
+        let labels = admit(
+            &self.gauges,
+            name,
+            labels,
+            self.max_label_sets,
+            &mut self.label_overflow,
+        );
         let cell = self.gauges.entry((name.to_string(), labels)).or_default();
         cell.value = value;
         cell.max = cell.max.max(value);
@@ -267,6 +340,13 @@ impl MetricsRegistry {
 
     /// Records one duration into the histogram `name{labels}`.
     pub fn observe(&mut self, name: &str, labels: LabelSet, d: SimNs) {
+        let labels = admit(
+            &self.histograms,
+            name,
+            labels,
+            self.max_label_sets,
+            &mut self.label_overflow,
+        );
         self.histograms
             .entry((name.to_string(), labels))
             .or_default()
@@ -327,6 +407,7 @@ impl MetricsRegistry {
             .iter()
             .map(|(k, v)| (k.to_string(), v.clone()))
             .collect();
+        doc.push(("label_overflow".to_string(), Json::U64(self.label_overflow)));
         doc.push(("counters".to_string(), Json::Arr(counters)));
         doc.push(("gauges".to_string(), Json::Arr(gauges)));
         doc.push(("histograms".to_string(), Json::Arr(histograms)));
@@ -438,6 +519,43 @@ mod tests {
         let a = labels(&[("partition", "2"), ("stream", "3")]);
         let b = labels(&[("stream", "3"), ("partition", "2")]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn label_cardinality_overflows_into_one_series() {
+        let mut m = MetricsRegistry::new();
+        m.set_max_label_sets(4);
+        for req in 0..100u64 {
+            m.counter_add("per_req.bytes", labels(&[("req", &req.to_string())]), 1);
+            m.observe("per_req.lat", labels(&[("req", &req.to_string())]), ns(req));
+        }
+        // Existing series keep accepting updates past the cap.
+        m.counter_add("per_req.bytes", labels(&[("req", "0")]), 10);
+        assert_eq!(m.counter("per_req.bytes", &labels(&[("req", "0")])), 11);
+        assert_eq!(
+            series_count(&m.counters, "per_req.bytes"),
+            5,
+            "4 + overflow"
+        );
+        assert_eq!(m.counter("per_req.bytes", &overflow_labels()), 96);
+        assert_eq!(m.counter_total("per_req.bytes"), 110, "no observation lost");
+        let h = m.histogram("per_req.lat", &overflow_labels()).unwrap();
+        assert_eq!(h.count(), 96);
+        assert_eq!(m.label_overflow(), 96 * 2);
+        let json = m.snapshot_json(&[]);
+        assert!(json.contains("\"label_overflow\":192"), "{json}");
+        assert!(json.contains("__overflow"));
+    }
+
+    #[test]
+    fn unlabeled_metrics_never_overflow() {
+        let mut m = MetricsRegistry::new();
+        m.set_max_label_sets(1);
+        for _ in 0..10 {
+            m.counter_add("plain", LabelSet::empty(), 1);
+        }
+        assert_eq!(m.counter("plain", &LabelSet::empty()), 10);
+        assert_eq!(m.label_overflow(), 0);
     }
 
     #[test]

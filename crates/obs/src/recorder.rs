@@ -9,10 +9,11 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use cronus_sim::{EventKind, EventSink, SimNs};
 
+use crate::causal::CausalReport;
 use crate::json::Json;
 use crate::metrics::{labels, LabelSet, MetricsRegistry};
 use crate::profile::{TimeCategory, TimeProfiler};
-use crate::span::{SpanId, SpanTracer, TrackId};
+use crate::span::{ReqId, SpanId, SpanTracer, TrackId};
 
 /// Everything one run records.
 #[derive(Default, Debug)]
@@ -23,6 +24,8 @@ pub struct RecorderInner {
     pub metrics: MetricsRegistry,
     /// Time attribution.
     pub profiler: TimeProfiler,
+    /// Last allocated request id (0 = none yet; ids start at 1).
+    next_req: u64,
 }
 
 /// A cheaply-cloneable handle to one run's observability state.
@@ -49,6 +52,27 @@ impl FlightRecorder {
     /// Runs `f` with the locked store.
     pub fn with<R>(&self, f: impl FnOnce(&mut RecorderInner) -> R) -> R {
         f(&mut self.lock())
+    }
+
+    // --- request ids ----------------------------------------------------
+
+    /// Allocates the next request id (monotonic per system, starting at 1).
+    pub fn alloc_req(&self) -> ReqId {
+        self.with(|r| {
+            r.next_req += 1;
+            ReqId(r.next_req)
+        })
+    }
+
+    /// Sets (or clears) the ambient request: every span opened while it is
+    /// set — on any track, from any layer — is attributed to that request.
+    pub fn set_current_req(&self, req: Option<ReqId>) {
+        self.with(|r| r.spans.set_current_req(req));
+    }
+
+    /// The ambient request, if any.
+    pub fn current_req(&self) -> Option<ReqId> {
+        self.with(|r| r.spans.current_req())
     }
 
     // --- span conveniences ---------------------------------------------
@@ -176,6 +200,11 @@ impl FlightRecorder {
     /// Renders folded-stack lines for flamegraph tooling.
     pub fn folded_stacks(&self) -> String {
         self.with(|r| r.profiler.folded_stacks())
+    }
+
+    /// Builds the causal critical-path report from the recorded spans.
+    pub fn causal_report(&self) -> CausalReport {
+        self.with(|r| CausalReport::from_tracer(&r.spans))
     }
 
     /// Boxes a sink for [`cronus_sim::Machine::set_event_sink`]; events then

@@ -16,6 +16,22 @@ use crate::json::Json;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SpanId(pub u64);
 
+/// Identifies one request end-to-end across the whole system.
+///
+/// Allocated by [`crate::FlightRecorder::alloc_req`] at sRPC enqueue time and
+/// carried through dispatch, DMA, kernel execution and completion, so every
+/// span a request causes — on any track — can be stitched back together.
+/// `ReqId(0)` is never allocated and acts as the "untracked" sentinel for
+/// systems running without a recorder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReqId(pub u64);
+
+impl std::fmt::Display for ReqId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req:{}", self.0)
+    }
+}
+
 /// Identifies a track (a Perfetto "thread row") within one tracer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TrackId(pub usize);
@@ -37,6 +53,8 @@ pub struct Span {
     pub start: SimNs,
     /// End instant; `None` while the span is still open.
     pub end: Option<SimNs>,
+    /// Request this span is causally attributed to, if any.
+    pub req: Option<ReqId>,
 }
 
 /// An instant marker (Chrome trace phase `"I"`), e.g. an experiment phase.
@@ -58,6 +76,9 @@ pub struct SpanTracer {
     /// Per-track stack of open span indices into `spans`.
     open: HashMap<TrackId, Vec<usize>>,
     next_id: u64,
+    /// Ambient request: stamped into every span opened while set, so deep
+    /// instrumentation sites (device HALs, recovery) need no plumbing.
+    current_req: Option<ReqId>,
 }
 
 impl SpanTracer {
@@ -75,6 +96,16 @@ impl SpanTracer {
         self.track_names.push(name.to_string());
         self.track_index.insert(name.to_string(), id);
         id
+    }
+
+    /// Sets (or clears) the ambient request stamped into new spans.
+    pub fn set_current_req(&mut self, req: Option<ReqId>) {
+        self.current_req = req;
+    }
+
+    /// The ambient request, if one is set.
+    pub fn current_req(&self) -> Option<ReqId> {
+        self.current_req
     }
 
     /// Opens a span at `at` on `track`, nested under the track's current top.
@@ -98,6 +129,7 @@ impl SpanTracer {
             cat,
             start: at,
             end: None,
+            req: self.current_req,
         });
         id
     }
@@ -143,6 +175,7 @@ impl SpanTracer {
             cat,
             start,
             end: Some(end.max(start)),
+            req: self.current_req,
         });
         id
     }
@@ -254,10 +287,12 @@ impl SpanTracer {
                     Json::obj([
                         ("span_id", Json::U64(span.id.0)),
                         ("parent", span.parent.map_or(Json::Null, |p| Json::U64(p.0))),
+                        ("req", span.req.map_or(Json::Null, |r| Json::U64(r.0))),
                     ]),
                 ),
             ]));
         }
+        events.extend(self.flow_events());
         for m in &self.instants {
             events.push(Json::obj([
                 ("name", Json::from(m.name.as_str())),
@@ -274,6 +309,65 @@ impl SpanTracer {
             ("displayTimeUnit", Json::from("ns")),
         ])
         .render()
+    }
+
+    /// Derives Chrome flow events (`ph` `"s"`/`"t"`/`"f"`) from request ids:
+    /// for every request that produced two or more closed spans, one flow
+    /// chain — start at the earliest span, steps through the middle ones,
+    /// finish at the latest — so Perfetto draws arrows connecting
+    /// enqueue → dispatch → kernel → completion across tracks. Requests with
+    /// a single span get no flow events (nothing to connect), which keeps the
+    /// start/finish pairing exact.
+    fn flow_events(&self) -> Vec<Json> {
+        let mut by_req: HashMap<ReqId, Vec<&Span>> = HashMap::new();
+        for span in &self.spans {
+            if span.end.is_none() {
+                continue;
+            }
+            if let Some(req) = span.req {
+                by_req.entry(req).or_default().push(span);
+            }
+        }
+        let mut reqs: Vec<_> = by_req.into_iter().collect();
+        reqs.sort_by_key(|(req, _)| *req);
+        let mut events = Vec::new();
+        for (req, mut spans) in reqs {
+            if spans.len() < 2 {
+                continue;
+            }
+            spans.sort_by_key(|s| (s.start, s.id.0));
+            let last = spans.len() - 1;
+            for (i, span) in spans.iter().enumerate() {
+                let ph = if i == 0 {
+                    "s"
+                } else if i == last {
+                    "f"
+                } else {
+                    "t"
+                };
+                let ts = if i == last {
+                    span.end.unwrap_or(span.start)
+                } else {
+                    span.start
+                };
+                let mut ev = vec![
+                    ("name".to_string(), Json::from("req")),
+                    ("cat".to_string(), Json::from("req")),
+                    ("ph".to_string(), Json::from(ph)),
+                    ("id".to_string(), Json::U64(req.0)),
+                    ("ts".to_string(), Json::F64(ts.as_nanos() as f64 / 1e3)),
+                    ("pid".to_string(), Json::U64(1)),
+                    ("tid".to_string(), Json::U64(span.track.0 as u64 + 1)),
+                ];
+                if i == last {
+                    // Bind the finish to the enclosing slice rather than the
+                    // next slice on the track.
+                    ev.push(("bp".to_string(), Json::from("e")));
+                }
+                events.push(Json::Obj(ev));
+            }
+        }
+        events
     }
 }
 
@@ -357,6 +451,38 @@ mod tests {
         assert!(json.contains("\"ph\":\"I\""));
         assert!(json.contains("\"ph\":\"M\""));
         assert!(json.contains("traceEvents"));
+    }
+
+    #[test]
+    fn current_req_stamps_spans_and_emits_flow_chain() {
+        let mut t = SpanTracer::new();
+        let caller = t.track("enclave:e1");
+        let stream = t.track("stream:1");
+        t.set_current_req(Some(ReqId(7)));
+        t.complete(caller, "enqueue:echo", "ring", ns(0), ns(10));
+        let call = t.begin(stream, "echo", "srpc", ns(10));
+        t.end(stream, call, ns(50));
+        t.set_current_req(None);
+        t.complete(caller, "unrelated", "mgmt", ns(60), ns(70));
+        assert!(t.spans()[0].req == Some(ReqId(7)) && t.spans()[1].req == Some(ReqId(7)));
+        assert_eq!(t.spans()[2].req, None);
+        let json = t.chrome_trace_json();
+        assert!(is_well_formed(&json));
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 1, "{json}");
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 1, "{json}");
+        assert!(json.contains("\"bp\":\"e\""));
+    }
+
+    #[test]
+    fn single_span_requests_emit_no_flow_events() {
+        let mut t = SpanTracer::new();
+        let track = t.track("x");
+        t.set_current_req(Some(ReqId(3)));
+        t.complete(track, "lonely", "ring", ns(0), ns(5));
+        t.set_current_req(None);
+        let json = t.chrome_trace_json();
+        assert!(!json.contains("\"ph\":\"s\""));
+        assert!(!json.contains("\"ph\":\"f\""));
     }
 
     #[test]

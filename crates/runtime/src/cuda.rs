@@ -398,6 +398,10 @@ impl CudaContext {
         while done < data.len() as u64 {
             let n = (data.len() as u64 - done).min(chunk_max);
             let off = self.stage_reserve(sys, n)?;
+            // One request per chunk: the staging write, any trap it takes,
+            // and the device-side copy all trace back to the same id.
+            let req = sys.alloc_req();
+            sys.set_current_req(Some(req));
             // Caller writes the chunk into staging (charged as a memcpy).
             sys.shared_write(
                 self.cpu,
@@ -409,10 +413,13 @@ impl CudaContext {
             let rec = sys.recorder();
             rec.charge_detail(TimeCategory::Memcpy, "staging_write", cost);
             rec.counter_add("cuda.memcpy_bytes", &[("dir", "h2d")], n);
+            let track = rec.track(&format!("enclave:{}", self.cpu.eid));
+            let now = sys.enclave_time(self.cpu);
+            rec.complete_span(track, "staging_write", "memcpy", now - cost, now);
 
             let mut w = Writer::new();
             w.u64(dst.0).u64(done).u64(off).u64(n);
-            sys.call_async(self.stream, "cuMemcpyH2D", &w.finish())?;
+            sys.call_async_with_req(self.stream, "cuMemcpyH2D", &w.finish(), req)?;
             done += n;
         }
         Ok(())
@@ -435,17 +442,25 @@ impl CudaContext {
         while done < len {
             let n = (len - done).min(chunk_max);
             let off = self.stage_reserve(sys, n)?;
+            let req = sys.alloc_req();
             let mut w = Writer::new();
             w.u64(src.0).u64(done).u64(off).u64(n);
-            sys.call_sync(self.stream, "cuMemcpyD2H", &w.finish())?;
-            // Caller reads the chunk out of staging.
+            sys.call_sync_with_req(self.stream, "cuMemcpyD2H", &w.finish(), req)?;
+            // Caller reads the chunk out of staging, still under the same
+            // request so the read-back traces to the device copy.
+            sys.set_current_req(Some(req));
             let mut buf = vec![0u8; n as usize];
-            sys.shared_read(self.cpu, self.staging_caller_va.add(off), &mut buf)?;
+            let read = sys.shared_read(self.cpu, self.staging_caller_va.add(off), &mut buf);
             let cost = sys.spm().machine().cost().memcpy(n);
             sys.advance_enclave(self.cpu, cost);
             let rec = sys.recorder();
             rec.charge_detail(TimeCategory::Memcpy, "staging_read", cost);
             rec.counter_add("cuda.memcpy_bytes", &[("dir", "d2h")], n);
+            let track = rec.track(&format!("enclave:{}", self.cpu.eid));
+            let now = sys.enclave_time(self.cpu);
+            rec.complete_span(track, "staging_read", "memcpy", now - cost, now);
+            sys.set_current_req(None);
+            read?;
             out.extend_from_slice(&buf);
             done += n;
         }

@@ -419,6 +419,9 @@ impl VtaContext {
         while done < data.len() as u64 {
             let n = (data.len() as u64 - done).min(chunk_max);
             let off = self.stage_reserve(sys, n)?;
+            // Same request id for the staging write and the device copy.
+            let req = sys.alloc_req();
+            sys.set_current_req(Some(req));
             sys.shared_write(
                 self.cpu,
                 self.staging_caller_va.add(off),
@@ -429,9 +432,12 @@ impl VtaContext {
             let rec = sys.recorder();
             rec.charge_detail(TimeCategory::Memcpy, "staging_write", cost);
             rec.counter_add("vta.memcpy_bytes", &[("dir", "h2d")], n);
+            let track = rec.track(&format!("enclave:{}", self.cpu.eid));
+            let now = sys.enclave_time(self.cpu);
+            rec.complete_span(track, "staging_write", "memcpy", now - cost, now);
             let mut w = Writer::new();
             w.u64(dst.0).u64(done).u64(off).u64(n);
-            sys.call_async(self.stream, "vtaMemcpyH2D", &w.finish())?;
+            sys.call_async_with_req(self.stream, "vtaMemcpyH2D", &w.finish(), req)?;
             done += n;
         }
         Ok(())
@@ -454,16 +460,23 @@ impl VtaContext {
         while done < len {
             let n = (len - done).min(chunk_max);
             let off = self.stage_reserve(sys, n)?;
+            let req = sys.alloc_req();
             let mut w = Writer::new();
             w.u64(src.0).u64(done).u64(off).u64(n);
-            sys.call_sync(self.stream, "vtaMemcpyD2H", &w.finish())?;
+            sys.call_sync_with_req(self.stream, "vtaMemcpyD2H", &w.finish(), req)?;
+            sys.set_current_req(Some(req));
             let mut buf = vec![0u8; n as usize];
-            sys.shared_read(self.cpu, self.staging_caller_va.add(off), &mut buf)?;
+            let read = sys.shared_read(self.cpu, self.staging_caller_va.add(off), &mut buf);
             let cost = sys.spm().machine().cost().memcpy(n);
             sys.advance_enclave(self.cpu, cost);
             let rec = sys.recorder();
             rec.charge_detail(TimeCategory::Memcpy, "staging_read", cost);
             rec.counter_add("vta.memcpy_bytes", &[("dir", "d2h")], n);
+            let track = rec.track(&format!("enclave:{}", self.cpu.eid));
+            let now = sys.enclave_time(self.cpu);
+            rec.complete_span(track, "staging_read", "memcpy", now - cost, now);
+            sys.set_current_req(None);
+            read?;
             out.extend_from_slice(&buf);
             done += n;
         }

@@ -365,6 +365,7 @@ impl Spm {
     /// spans and metrics.
     pub fn set_recorder(&mut self, rec: FlightRecorder) {
         self.machine.set_event_sink(rec.sink());
+        self.bus.set_recorder(rec.clone());
         for mos in self.partitions.values_mut() {
             match mos.hal_mut() {
                 DeviceHal::Gpu(g) => g.set_recorder(rec.clone()),

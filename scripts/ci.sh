@@ -3,8 +3,22 @@
 #
 # Everything runs offline (the workspace has no crates.io dependencies), so
 # this is exactly what a hermetic CI job would run.
+#
+# With --bench, also re-runs the gated figure binaries and compares their
+# fresh BENCH_*.json headline metrics against the committed repo-root
+# baselines, failing on any regression beyond the tolerance (default 10%,
+# override with BENCH_TOLERANCE_PCT). To accept a deliberate change, run
+# scripts/rebaseline.sh and commit the updated BENCH_*.json files.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+run_bench=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench) run_bench=1 ;;
+    *) echo "unknown flag: $arg (supported: --bench)" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -20,5 +34,16 @@ cargo test --offline -q
 
 echo "==> workspace tests"
 cargo test --offline -q --workspace
+
+if [[ "$run_bench" -eq 1 ]]; then
+  echo "==> bench gate: regenerate fresh reports"
+  # The fast subset: the gate skips figures without a fresh report, so run
+  # `cargo run -p cronus-bench --bin all` first for full coverage.
+  cargo run --offline --release -q -p cronus-bench --bin rpc_micro > /dev/null
+  cargo run --offline --release -q -p cronus-bench --bin fig9 > /dev/null
+
+  echo "==> bench gate: compare against committed baselines"
+  cargo run --offline --release -q -p cronus-bench --bin bench_gate
+fi
 
 echo "CI gate passed."

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Re-baselines the bench-regression gate: re-runs every figure binary and
+# promotes the fresh target/bench/BENCH_*.json reports to the committed
+# repo-root baselines. Run this after a deliberate performance change,
+# review the diff, and commit the updated BENCH_*.json files.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> regenerating all fresh reports"
+for fig in fig7 fig8 fig9 fig10a fig10b fig11a fig11b rpc_micro; do
+  cargo run --offline --release -q -p cronus-bench --bin "$fig" > /dev/null
+done
+
+echo "==> promoting fresh reports to repo-root baselines"
+for fresh in target/bench/BENCH_*.json; do
+  cp -v "$fresh" "$(basename "$fresh")"
+done
+
+echo "re-baselined; review 'git diff BENCH_*.json' and commit."
