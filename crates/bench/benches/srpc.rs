@@ -46,7 +46,10 @@ fn bench_srpc(c: &mut Criterion) {
         let (mut sys, _, _, stream) = echo_setup();
         let payload = [7u8; 64];
         b.iter(|| {
-            sys.call_async(stream, "echo", &payload).expect("call");
+            sys.call(stream, "echo")
+                .payload(&payload)
+                .start()
+                .expect("call");
             // Keep the ring from monotonically filling.
             if sys.stream_stats(stream).expect("stats").calls % 128 == 0 {
                 sys.sync(stream).expect("sync");
@@ -58,7 +61,10 @@ fn bench_srpc(c: &mut Criterion) {
         let (mut sys, _, _, stream) = echo_setup();
         let payload = [7u8; 64];
         b.iter(|| {
-            sys.call_sync(stream, "echo_sync", &payload).expect("call");
+            sys.call(stream, "echo_sync")
+                .payload(&payload)
+                .sync()
+                .expect("call");
         });
     });
 

@@ -22,6 +22,7 @@ const FIGURES: &[&str] = &[
     "fig11a",
     "fig11b",
     "rpc_micro",
+    "chaos",
 ];
 
 fn load_or_warn(path: &std::path::Path) -> Option<BenchReport> {

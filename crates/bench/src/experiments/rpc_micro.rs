@@ -67,7 +67,10 @@ pub fn run_recorded(calls: u64) -> (Vec<RpcCost>, FlightRecorder) {
     sys.mark("rpc_micro:srpc-measure");
     let t0 = sys.enclave_time(cpu);
     for _ in 0..calls {
-        sys.call_async(stream, "echo", &[0u8; 64]).expect("call");
+        sys.call(stream, "echo")
+            .payload(&[0u8; 64])
+            .start()
+            .expect("call");
     }
     let srpc_caller = (sys.enclave_time(cpu) - t0) / calls;
     sys.sync(stream).expect("sync");
@@ -154,7 +157,7 @@ pub fn ring_sweep(calls: u64, page_sizes: &[usize]) -> Vec<RingSweepPoint> {
             sys.mark("rpc_micro:ring-sweep");
             let t0 = sys.enclave_time(cpu);
             for _ in 0..calls {
-                match sys.call_async(stream, "echo", &[0u8; 32]) {
+                match sys.call(stream, "echo").payload(&[0u8; 32]).start() {
                     Ok(_) => {}
                     Err(SrpcError::Closed) => break,
                     Err(e) => panic!("unexpected srpc error: {e}"),

@@ -1,0 +1,315 @@
+//! The campaign runner: one fresh simulated machine per scenario.
+//!
+//! Each scenario boots the platform, builds its workload, arms exactly one
+//! fault, then drives a short burst of synchronous calls under a stream
+//! deadline and a bounded retry policy. Whatever the fault does — kill a
+//! partition, scribble a slot, revoke a mapping, stall the executor — the
+//! *normal* pipeline must surface it as a typed error on a named detection
+//! channel (or absorb it via retry), after which the runner recovers any
+//! failed partition, re-establishes the stream, and verifies that service
+//! is fully restored. [`crate::invariants`] then passes judgement.
+//!
+//! Everything is driven by the virtual clock and seeded RNG, so
+//! [`CampaignReport::render`] is byte-identical across runs of the same
+//! `(seed, plan)`.
+
+use cronus_core::reliability::detection_channel;
+use cronus_core::{ArmedFault, RetryPolicy, SrpcError, DEFAULT_RING_PAGES};
+use cronus_sim::{PagePerms, SimNs, SimRng};
+
+use crate::invariants::{self, Verdicts};
+use crate::plan::{InjectionPlan, Scenario};
+use crate::workload;
+
+/// Calls driven at the armed fault per scenario.
+pub const CALLS_PER_SCENARIO: u32 = 4;
+
+/// Post-recovery calls that must succeed with correct results.
+pub const VERIFY_CALLS: u32 = 2;
+
+/// The per-stream deadline: far above healthy call latency (tens of µs),
+/// far below the injected 50ms executor stall.
+fn call_deadline() -> SimNs {
+    SimNs::from_millis(5)
+}
+
+/// Executor lag beyond which the stall watchdog flags a stream.
+fn stall_bound() -> SimNs {
+    SimNs::from_millis(20)
+}
+
+/// What one scenario did and how it was judged.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioReport {
+    /// Scenario position in the plan.
+    pub id: u32,
+    /// Workload name.
+    pub workload: &'static str,
+    /// Injection phase name.
+    pub phase: &'static str,
+    /// Fault action name.
+    pub action: &'static str,
+    /// Whether the armed fault actually fired.
+    pub fired: bool,
+    /// Calls attempted at the fault (≤ [`CALLS_PER_SCENARIO`]).
+    pub calls_attempted: u32,
+    /// Calls that returned a verified-correct result.
+    pub calls_ok: u32,
+    /// The detection channel that caught the fault (`"none"` if nothing
+    /// surfaced, `"absorbed-by-retry"` if a retry hid a transient error).
+    pub detection: &'static str,
+    /// Rendered first error, `"-"` when none surfaced.
+    pub error: String,
+    /// `srpc.timeouts` counter at scenario end.
+    pub timeouts: u64,
+    /// `srpc.retries` counter at scenario end.
+    pub retries: u64,
+    /// Partitions recovered.
+    pub recovered: u32,
+    /// Total modeled recovery time (ns) across recovered partitions.
+    pub recovery_ns: u64,
+    /// Whether post-recovery calls returned correct results.
+    pub verified_after: bool,
+    /// Stall-watchdog findings at scenario end.
+    pub stalls: usize,
+    /// The three invariant verdicts.
+    pub verdicts: Verdicts,
+}
+
+impl ScenarioReport {
+    /// One stable report line.
+    pub fn line(&self) -> String {
+        let ok = |b: bool| if b { "ok" } else { "VIOLATED" };
+        format!(
+            "#{:03} wl={} phase={} action={} fired={} calls={}/{} detect={} err={} \
+             timeouts={} retries={} recovered={} recovery_ns={} verified={} stalls={} \
+             A1={} A2={} A3={}",
+            self.id,
+            self.workload,
+            self.phase,
+            self.action,
+            if self.fired { "yes" } else { "no" },
+            self.calls_ok,
+            self.calls_attempted,
+            self.detection,
+            self.error,
+            self.timeouts,
+            self.retries,
+            self.recovered,
+            self.recovery_ns,
+            if self.verified_after { "yes" } else { "no" },
+            self.stalls,
+            ok(self.verdicts.no_leak),
+            ok(self.verdicts.no_stuck),
+            ok(self.verdicts.bounded_recovery),
+        )
+    }
+}
+
+/// A full campaign run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// The plan seed.
+    pub seed: u64,
+    /// Per-scenario reports, in plan order.
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+impl CampaignReport {
+    /// Scenarios where at least one invariant was violated.
+    pub fn violations(&self) -> usize {
+        self.scenarios
+            .iter()
+            .filter(|s| !s.verdicts.all_hold())
+            .count()
+    }
+
+    /// Scenarios whose armed fault fired.
+    pub fn faults_fired(&self) -> usize {
+        self.scenarios.iter().filter(|s| s.fired).count()
+    }
+
+    /// The worst modeled recovery time across the campaign (ns).
+    pub fn max_recovery_ns(&self) -> u64 {
+        self.scenarios
+            .iter()
+            .map(|s| s.recovery_ns)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders the whole campaign as stable text; byte-identical across
+    /// runs of the same `(seed, plan)`.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "chaos campaign seed={} scenarios={}\n",
+            self.seed,
+            self.scenarios.len()
+        );
+        for s in &self.scenarios {
+            out.push_str(&s.line());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "summary: faults_fired={} violations={} max_recovery_ns={}\n",
+            self.faults_fired(),
+            self.violations(),
+            self.max_recovery_ns()
+        ));
+        out
+    }
+}
+
+/// Runs every scenario in the plan.
+pub fn run_campaign(plan: &InjectionPlan) -> CampaignReport {
+    CampaignReport {
+        seed: plan.seed,
+        scenarios: plan
+            .scenarios
+            .iter()
+            .map(|s| run_scenario(s, plan.seed))
+            .collect(),
+    }
+}
+
+/// Runs one scenario on a freshly booted machine.
+pub fn run_scenario(scn: &Scenario, seed: u64) -> ScenarioReport {
+    let mut rng = SimRng::new(seed).fork(scn.id as u64);
+    let mut sys = workload::boot();
+    let mut h = workload::build(&mut sys, scn.workload);
+    sys.set_stream_deadline(h.stream, Some(call_deadline()))
+        .expect("deadline");
+    let pages_at_arm = sys.stream_share_pages(h.stream).expect("share pages");
+    sys.arm_fault(ArmedFault {
+        phase: scn.phase,
+        action: scn.action,
+        stream: Some(h.stream),
+    });
+
+    // ---- drive calls into the armed fault --------------------------------
+    let mecall = scn.workload.mecall();
+    let mut calls_attempted = 0;
+    let mut calls_ok = 0;
+    let mut first_err: Option<SrpcError> = None;
+    for _ in 0..CALLS_PER_SCENARIO {
+        let payload = workload::request(scn.workload, &mut rng);
+        calls_attempted += 1;
+        match sys
+            .call(h.stream, mecall)
+            .payload(&payload)
+            .retry(RetryPolicy::attempts(2))
+            .sync()
+        {
+            Ok(out) => {
+                if out == workload::expected(scn.workload, &payload) {
+                    calls_ok += 1;
+                }
+                // Hit an explicit synchronization point so the streamCheck
+                // runs before the next enqueue can rewrite the header words
+                // (it would otherwise mask a corrupt-ring-header injection).
+                if let Err(e) = sys.sync(h.stream) {
+                    first_err = Some(e);
+                    break;
+                }
+            }
+            Err(e) => {
+                first_err = Some(e);
+                break;
+            }
+        }
+    }
+
+    // ---- recover failed partitions ---------------------------------------
+    let caller_died = sys.spm().machine().is_failed(h.caller.asid);
+    let callee_died = sys.spm().machine().is_failed(h.callee.asid);
+    let mut recovered = 0;
+    let mut recovery_ns = 0u64;
+    for asid in [h.caller.asid, h.callee.asid] {
+        if sys.spm().machine().is_failed(asid) {
+            let stats = sys.recover_partition(asid).expect("recovery");
+            recovery_ns += stats.total().as_nanos();
+            recovered += 1;
+        }
+    }
+
+    // ---- invariant A1 scan: post-recovery, before any page reuse ---------
+    let machine = sys.spm_mut().machine_mut();
+    let leak = (caller_died || callee_died) && invariants::secret_visible(machine, &pages_at_arm);
+    let tzasc_holds = invariants::normal_world_blocked(machine, &pages_at_arm);
+
+    // ---- re-establish service --------------------------------------------
+    if let Some(d) = h.dma {
+        // Re-grant the staging page: RevokeSmmu invalidated it, and a
+        // partition clear may have torn it down. Granting is idempotent.
+        sys.spm_mut()
+            .machine_mut()
+            .smmu_mut()
+            .grant(d.stream, d.ppn, PagePerms::RW);
+    }
+    if caller_died {
+        // The survivor was the device side; the application itself must
+        // rebuild from scratch against the recovered partition.
+        h = workload::build(&mut sys, scn.workload);
+        sys.set_stream_deadline(h.stream, Some(call_deadline()))
+            .expect("deadline");
+    } else if first_err.is_some() {
+        // The caller survived: spawn a fresh callee if its partition died
+        // (the old enclave went down with it), then re-open the stream.
+        if callee_died {
+            h.callee = workload::spawn_callee(&mut sys, scn.workload, h.caller, h.dma);
+        }
+        h.stream = sys
+            .reopen_stream(h.stream, h.callee, DEFAULT_RING_PAGES)
+            .expect("reopen");
+    }
+
+    // ---- verify restored service -----------------------------------------
+    let mut verified_after = true;
+    for _ in 0..VERIFY_CALLS {
+        let payload = workload::request(scn.workload, &mut rng);
+        match sys.call(h.stream, mecall).payload(&payload).sync() {
+            Ok(out) => verified_after &= out == workload::expected(scn.workload, &payload),
+            Err(_) => verified_after = false,
+        }
+    }
+    let stalls = sys.check_stalls(stall_bound()).len();
+
+    // ---- verdicts ---------------------------------------------------------
+    let rec = sys.recorder();
+    let (timeouts, retries) = rec.with(|r| {
+        (
+            r.metrics.counter_total("srpc.timeouts"),
+            r.metrics.counter_total("srpc.retries"),
+        )
+    });
+    let detection = match &first_err {
+        Some(e) => detection_channel(e),
+        None if retries > 0 => "absorbed-by-retry",
+        None => "none",
+    };
+    let bound = invariants::recovery_bound(sys.spm().machine().cost());
+    let verdicts = Verdicts {
+        no_leak: !leak && tzasc_holds,
+        no_stuck: verified_after && stalls == 0,
+        bounded_recovery: recovered == 0 || SimNs::from_nanos(recovery_ns) <= bound,
+    };
+
+    ScenarioReport {
+        id: scn.id,
+        workload: scn.workload.name(),
+        phase: scn.phase.name(),
+        action: scn.action.name(),
+        fired: !sys.fired_faults().is_empty(),
+        calls_attempted,
+        calls_ok,
+        detection,
+        error: first_err.map_or_else(|| "-".to_string(), |e| e.to_string()),
+        timeouts,
+        retries,
+        recovered,
+        recovery_ns,
+        verified_after,
+        stalls,
+        verdicts,
+    }
+}

@@ -1,0 +1,95 @@
+//! The three campaign invariants, checked after every scenario.
+//!
+//! * **A1 — no leak**: after a partition failure and recovery, none of the
+//!   dead stream's share pages still hold a secret byte (failover poisons
+//!   them and recovery scrubs them), and the normal world can never read
+//!   them (the TZASC filters the access) — failure or not.
+//! * **A2 — no stuck caller**: every call returns (a result or a typed
+//!   error), the virtual-clock stall watchdog reports nothing, and calls
+//!   issued after recovery succeed with correct results.
+//! * **A3 — bounded recovery**: the modeled recovery time stays under the
+//!   [`recovery_bound`] derived from the machine's cost model.
+
+use cronus_sim::{CostModel, Machine, PhysAddr, SimNs, World, PAGE_SIZE};
+
+use crate::workload::SECRET;
+
+/// Per-scenario invariant verdicts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Verdicts {
+    /// A1: no secret byte readable from the failed stream's pages, and the
+    /// normal world locked out of them.
+    pub no_leak: bool,
+    /// A2: every call returned, no stalls, post-recovery calls verified.
+    pub no_stuck: bool,
+    /// A3: recovery completed within the modeled bound.
+    pub bounded_recovery: bool,
+}
+
+impl Verdicts {
+    /// True when all three invariants hold.
+    pub fn all_hold(&self) -> bool {
+        self.no_leak && self.no_stuck && self.bounded_recovery
+    }
+}
+
+/// The modeled recovery-time budget per scenario: a campaign kills at most
+/// one partition, but the bound allows two full clear+restart cycles of
+/// slack so legitimate cost-model growth does not flake the campaign.
+pub fn recovery_bound(cost: &CostModel) -> SimNs {
+    SimNs::from_nanos((cost.partition_clear.as_nanos() + cost.mos_restart.as_nanos()) * 2)
+}
+
+/// Scans `pages` through the secure monitor's view for the [`SECRET`]
+/// bytes. Returns true if any page still holds them.
+pub fn secret_visible(machine: &mut Machine, pages: &[u64]) -> bool {
+    pages.iter().any(|ppn| {
+        let pa = PhysAddr::from_page_number(*ppn);
+        machine
+            .phys_read_vec(World::Secure, pa, PAGE_SIZE as usize)
+            .map(|bytes| bytes.windows(SECRET.len()).any(|w| w == SECRET))
+            .unwrap_or(false)
+    })
+}
+
+/// Checks that the normal world cannot read any of `pages` (the TZASC
+/// must deny every access). Returns true when all accesses are denied.
+pub fn normal_world_blocked(machine: &mut Machine, pages: &[u64]) -> bool {
+    pages.iter().all(|ppn| {
+        let pa = PhysAddr::from_page_number(*ppn);
+        machine.phys_read_vec(World::Normal, pa, 16).is_err()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cronus_sim::MachineConfig;
+
+    #[test]
+    fn bound_tracks_the_cost_model() {
+        let cost = CostModel::default();
+        let bound = recovery_bound(&cost);
+        assert!(bound >= cost.partition_clear + cost.mos_restart);
+    }
+
+    #[test]
+    fn secret_scan_finds_planted_bytes_and_clears_after_zeroing() {
+        let mut machine = Machine::new(MachineConfig::default());
+        let frame = machine.alloc_frame(World::Secure).expect("frame");
+        let ppn = frame.page();
+        machine
+            .phys_write(World::Secure, PhysAddr::from_page_number(ppn), SECRET)
+            .expect("write");
+        assert!(secret_visible(&mut machine, &[ppn]));
+        machine.zero_page(ppn);
+        assert!(!secret_visible(&mut machine, &[ppn]));
+    }
+
+    #[test]
+    fn normal_world_is_blocked_from_secure_pages() {
+        let mut machine = Machine::new(MachineConfig::default());
+        let frame = machine.alloc_frame(World::Secure).expect("frame");
+        assert!(normal_world_blocked(&mut machine, &[frame.page()]));
+    }
+}

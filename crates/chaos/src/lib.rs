@@ -1,0 +1,49 @@
+//! # cronus-chaos — deterministic fault-injection campaigns
+//!
+//! The paper's reliability claims (§IV-D) are universally quantified: *no
+//! matter where* a partition fails during an sRPC call, the survivor takes a
+//! proceed-trap, no secret leaks, and service is re-established within a
+//! bounded recovery time. A handful of hand-written failover tests cannot
+//! discharge a claim like that; this crate does it by *enumeration*.
+//!
+//! A campaign is a pure function of `(seed, plan)`:
+//!
+//! * [`plan::InjectionPlan`] enumerates scenarios — the cross product of
+//!   {sRPC pipeline phase} × {fault action} × {workload} — with all
+//!   randomness (corruption bytes, payloads) drawn from a seeded
+//!   [`cronus_sim::SimRng`];
+//! * [`workload::WorkloadKind`] supplies three representative mECall
+//!   workloads (CPU echo, GPU saxpy with device DMA, NPU gemm with device
+//!   DMA) built directly on the core API;
+//! * [`campaign`] boots a fresh simulated machine per scenario, arms the
+//!   fault via [`cronus_core::CronusSystem::arm_fault`], drives calls with
+//!   deadlines and retry policies, recovers failed partitions, and
+//!   re-establishes streams;
+//! * [`invariants`] checks the paper's three properties after every
+//!   scenario:
+//!   * **A1 (no leak):** no secret byte is readable from the dead stream's
+//!     share pages after recovery, and the normal world can never read them
+//!     at all;
+//!   * **A2 (no stuck caller):** every call returns (a value or a typed
+//!     error), the stall watchdog is clean, and post-recovery calls succeed;
+//!   * **A3 (bounded recovery):** modeled recovery time stays under the
+//!     cost-model bound.
+//!
+//! Because the machine is simulated and time is virtual, two runs with the
+//! same seed produce *byte-identical* reports — `tests/determinism.rs`
+//! enforces this, and `tests/coverage.rs` pins every [`cronus_sim::Fault`]
+//! variant to a concrete injection that raises it.
+//!
+//! Run the sweep with `cargo run --bin chaos` (add `--smoke` for the
+//! one-injection-per-phase CI subset). See `FAULTS.md` at the repo root for
+//! the taxonomy and how to read reports.
+
+pub mod campaign;
+pub mod invariants;
+pub mod plan;
+pub mod workload;
+
+pub use campaign::{run_campaign, run_scenario, CampaignReport, ScenarioReport};
+pub use invariants::{recovery_bound, Verdicts};
+pub use plan::{InjectionPlan, Scenario};
+pub use workload::{WorkloadKind, SECRET};

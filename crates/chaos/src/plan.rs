@@ -1,0 +1,172 @@
+//! Campaign plans: the enumerable cross product of injection points,
+//! fault actions and workloads.
+//!
+//! A plan is constructed from a seed alone, so two plans built from the
+//! same seed are identical — including the noise seeds embedded in the
+//! corruption actions, which are drawn from a [`SimRng`] in construction
+//! order.
+
+use cronus_core::{FaultAction, SrpcPhase};
+use cronus_sim::{SimNs, SimRng};
+
+use crate::workload::WorkloadKind;
+
+/// One campaign scenario: a single armed fault against a single workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scenario {
+    /// Position in the plan (stable across runs of the same plan).
+    pub id: u32,
+    /// The workload under attack.
+    pub workload: WorkloadKind,
+    /// The pipeline phase the fault strikes at.
+    pub phase: SrpcPhase,
+    /// What the fault does to the machine.
+    pub action: FaultAction,
+}
+
+/// A deterministic, enumerable set of scenarios.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InjectionPlan {
+    /// The seed the plan (and every run of it) derives from.
+    pub seed: u64,
+    /// The scenarios, in execution order.
+    pub scenarios: Vec<Scenario>,
+}
+
+/// The fault actions exercised at each phase. The set is chosen so every
+/// detection channel fires somewhere in the full sweep: proceed-traps
+/// (kills), streamCheck (header corruption), codec checks (slot
+/// corruption), stage-2 and SMMU revocation, and deadline enforcement
+/// (delay).
+fn actions_for(phase: SrpcPhase, rng: &mut SimRng) -> Vec<FaultAction> {
+    match phase {
+        SrpcPhase::Enqueue => vec![
+            FaultAction::KillCallee,
+            FaultAction::CorruptRingHeader {
+                seed: rng.next_u64(),
+            },
+        ],
+        SrpcPhase::Dispatch => vec![
+            FaultAction::KillCaller,
+            FaultAction::CorruptRequestSlot {
+                seed: rng.next_u64(),
+            },
+            FaultAction::ZeroRequestSlot,
+        ],
+        SrpcPhase::DmaIn => vec![FaultAction::RevokeSmmu, FaultAction::RevokeStage2],
+        SrpcPhase::Kernel => vec![
+            FaultAction::KillCallee,
+            FaultAction::DelayCompletion(SimNs::from_millis(50)),
+        ],
+        SrpcPhase::ResultWrite => vec![
+            FaultAction::CorruptResultSlot {
+                seed: rng.next_u64(),
+            },
+            FaultAction::ZeroResultSlot,
+        ],
+        SrpcPhase::SyncWakeup => vec![
+            FaultAction::CorruptRingHeader {
+                seed: rng.next_u64(),
+            },
+            FaultAction::KillCallee,
+        ],
+    }
+}
+
+impl InjectionPlan {
+    /// The full sweep: every workload × every phase × every action for
+    /// that phase.
+    pub fn full(seed: u64) -> InjectionPlan {
+        let mut rng = SimRng::new(seed);
+        let mut scenarios = Vec::new();
+        for workload in WorkloadKind::ALL {
+            for phase in SrpcPhase::ALL {
+                for action in actions_for(phase, &mut rng) {
+                    scenarios.push(Scenario {
+                        id: scenarios.len() as u32,
+                        workload,
+                        phase,
+                        action,
+                    });
+                }
+            }
+        }
+        InjectionPlan { seed, scenarios }
+    }
+
+    /// The CI smoke subset: one canonical injection per phase, against the
+    /// GPU saxpy workload (the one with device DMA, so the `DmaIn` phase
+    /// is exercised for real).
+    pub fn smoke(seed: u64) -> InjectionPlan {
+        let mut rng = SimRng::new(seed);
+        let scenarios = SrpcPhase::ALL
+            .into_iter()
+            .enumerate()
+            .map(|(i, phase)| Scenario {
+                id: i as u32,
+                workload: WorkloadKind::GpuSaxpy,
+                phase,
+                action: actions_for(phase, &mut rng)[0],
+            })
+            .collect();
+        InjectionPlan { seed, scenarios }
+    }
+
+    /// Number of scenarios in the plan.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        assert_eq!(InjectionPlan::full(7), InjectionPlan::full(7));
+        assert_eq!(InjectionPlan::smoke(7), InjectionPlan::smoke(7));
+    }
+
+    #[test]
+    fn full_plan_covers_every_phase_for_every_workload() {
+        let plan = InjectionPlan::full(1);
+        for workload in WorkloadKind::ALL {
+            for phase in SrpcPhase::ALL {
+                assert!(
+                    plan.scenarios
+                        .iter()
+                        .any(|s| s.workload == workload && s.phase == phase),
+                    "missing {workload:?} × {phase:?}"
+                );
+            }
+        }
+        // The acceptance floor: at least 6 injection points × 3 workloads.
+        assert!(plan.len() >= 6 * 3);
+    }
+
+    #[test]
+    fn smoke_plan_is_one_injection_per_phase() {
+        let plan = InjectionPlan::smoke(1);
+        assert_eq!(plan.len(), SrpcPhase::ALL.len());
+        for phase in SrpcPhase::ALL {
+            assert_eq!(
+                plan.scenarios.iter().filter(|s| s.phase == phase).count(),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_ids_are_positional() {
+        let plan = InjectionPlan::full(3);
+        for (i, s) in plan.scenarios.iter().enumerate() {
+            assert_eq!(s.id as usize, i);
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! The workloads a campaign drives calls through.
+//!
+//! Three mECall services built directly on the core API, each carrying a
+//! known secret in its request payload so the no-leak invariant has
+//! something concrete to scan for:
+//!
+//! * **Echo** — a trivial CPU-side round trip through the GPU partition's
+//!   ring (no device DMA);
+//! * **GpuSaxpy** — a byte-wise saxpy on the GPU partition whose handler
+//!   pulls its scale operands from a staging page over the SMMU, so
+//!   `RevokeSmmu` injections bite;
+//! * **NpuGemm** — a 4×4 byte matrix multiply on the NPU partition, also
+//!   with an SMMU-mapped staging page.
+//!
+//! All three mECalls are declared idempotent in their manifests, which is
+//! what legitimizes the campaign's retry policies.
+
+use std::collections::BTreeMap;
+
+use cronus_core::{
+    Actor, AppId, CronusError, CronusSystem, EnclaveRef, StreamId, DEFAULT_RING_PAGES,
+};
+use cronus_devices::DeviceKind;
+use cronus_mos::manifest::{Manifest, McallDecl, MosId};
+use cronus_sim::{PagePerms, PhysAddr, SimNs, SimRng, World};
+use cronus_spm::spm::{asid_of, BootConfig, DeviceSpec, PartitionSpec};
+
+/// The secret every request payload carries; invariant A1 scans share
+/// pages for these bytes after a failure.
+pub const SECRET: &[u8; 16] = b"CHAOS-SECRET-KEY";
+
+/// SMMU stream ids live in `cronus_sim`; alias to avoid colliding with the
+/// sRPC [`StreamId`].
+pub type DmaStreamId = cronus_sim::StreamId;
+
+/// The workload a scenario drives calls through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Round trip through the GPU partition, no device DMA.
+    Echo,
+    /// Byte-wise saxpy on the GPU partition with SMMU staging DMA.
+    GpuSaxpy,
+    /// 4×4 byte matmul on the NPU partition with SMMU staging DMA.
+    NpuGemm,
+}
+
+impl WorkloadKind {
+    /// All workloads, in sweep order.
+    pub const ALL: [WorkloadKind; 3] = [
+        WorkloadKind::Echo,
+        WorkloadKind::GpuSaxpy,
+        WorkloadKind::NpuGemm,
+    ];
+
+    /// Short stable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Echo => "echo",
+            WorkloadKind::GpuSaxpy => "gpu-saxpy",
+            WorkloadKind::NpuGemm => "npu-gemm",
+        }
+    }
+
+    /// The mECall the workload invokes.
+    pub fn mecall(self) -> &'static str {
+        match self {
+            WorkloadKind::Echo => "echo",
+            WorkloadKind::GpuSaxpy => "saxpy",
+            WorkloadKind::NpuGemm => "gemm",
+        }
+    }
+
+    /// The device kind (and thus partition) hosting the callee.
+    fn device(self) -> DeviceKind {
+        match self {
+            WorkloadKind::Echo | WorkloadKind::GpuSaxpy => DeviceKind::Gpu,
+            WorkloadKind::NpuGemm => DeviceKind::Npu,
+        }
+    }
+
+    /// The callee partition's mOS id under [`boot`]'s layout.
+    fn mos_id(self) -> MosId {
+        match self.device() {
+            DeviceKind::Gpu => MosId(2),
+            DeviceKind::Npu => MosId(3),
+            DeviceKind::Cpu => MosId(1),
+        }
+    }
+
+    /// Request data length (excluding the leading [`SECRET`]).
+    fn data_len(self) -> usize {
+        match self {
+            WorkloadKind::Echo | WorkloadKind::GpuSaxpy => 48,
+            // Two 4×4 byte matrices.
+            WorkloadKind::NpuGemm => 32,
+        }
+    }
+
+    /// Modeled kernel cost per call.
+    fn cost(self) -> SimNs {
+        match self {
+            WorkloadKind::Echo => SimNs::from_micros(5),
+            WorkloadKind::GpuSaxpy => SimNs::from_micros(20),
+            WorkloadKind::NpuGemm => SimNs::from_micros(40),
+        }
+    }
+}
+
+/// The deterministic contents of the workload's staging page (the operands
+/// the device DMAs in). Empty for workloads without device DMA.
+pub fn staging_pattern(kind: WorkloadKind) -> Vec<u8> {
+    match kind {
+        WorkloadKind::Echo => Vec::new(),
+        WorkloadKind::GpuSaxpy => (0..64u64).map(|i| (i * 7 + 13) as u8).collect(),
+        WorkloadKind::NpuGemm => (0..16u64).map(|i| (i * 5 + 3) as u8).collect(),
+    }
+}
+
+/// The workload's pure function of (request data, staging operands); the
+/// handler computes this on-device and the campaign recomputes it to
+/// verify results.
+fn transform_with(kind: WorkloadKind, data: &[u8], staging: &[u8]) -> Vec<u8> {
+    match kind {
+        WorkloadKind::Echo => data.to_vec(),
+        WorkloadKind::GpuSaxpy => data
+            .iter()
+            .enumerate()
+            .map(|(i, b)| b.wrapping_mul(3).wrapping_add(staging[i % staging.len()]))
+            .collect(),
+        WorkloadKind::NpuGemm => {
+            let (a, b) = (&data[..16], &data[16..32]);
+            let mut out = vec![0u8; 16];
+            for r in 0..4 {
+                for c in 0..4 {
+                    let mut acc = staging[r * 4 + c];
+                    for k in 0..4 {
+                        acc = acc.wrapping_add(a[r * 4 + k].wrapping_mul(b[k * 4 + c]));
+                    }
+                    out[r * 4 + c] = acc;
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Builds a request payload: the [`SECRET`] followed by seeded data bytes.
+pub fn request(kind: WorkloadKind, rng: &mut SimRng) -> Vec<u8> {
+    let mut payload = SECRET.to_vec();
+    let mut data = vec![0u8; kind.data_len()];
+    rng.fill_bytes(&mut data);
+    payload.extend_from_slice(&data);
+    payload
+}
+
+/// The result a correct handler must produce for `payload`.
+pub fn expected(kind: WorkloadKind, payload: &[u8]) -> Vec<u8> {
+    transform_with(kind, &payload[SECRET.len()..], &staging_pattern(kind))
+}
+
+/// The staging page a DMA workload's handler reads its operands from.
+#[derive(Clone, Copy, Debug)]
+pub struct DmaSetup {
+    /// The callee device's SMMU stream.
+    pub stream: DmaStreamId,
+    /// Physical page number of the staging page.
+    pub ppn: u64,
+}
+
+/// Everything a scenario needs to drive (and rebuild) a workload.
+pub struct Handles {
+    /// The owning application.
+    pub app: AppId,
+    /// The CPU-side caller enclave.
+    pub caller: EnclaveRef,
+    /// The device-side callee enclave.
+    pub callee: EnclaveRef,
+    /// The sRPC stream between them.
+    pub stream: StreamId,
+    /// Device DMA staging, if the workload uses it.
+    pub dma: Option<DmaSetup>,
+}
+
+/// Boots the campaign platform: CPU, GPU and NPU partitions.
+pub fn boot() -> CronusSystem {
+    CronusSystem::boot(BootConfig {
+        partitions: vec![
+            PartitionSpec::new(1, b"cpu-mos", "v1", DeviceSpec::Cpu),
+            PartitionSpec::new(
+                2,
+                b"cuda-mos",
+                "v3",
+                DeviceSpec::Gpu {
+                    memory: 1 << 26,
+                    sms: 46,
+                },
+            ),
+            PartitionSpec::new(3, b"vta-mos", "v2", DeviceSpec::Npu { memory: 1 << 24 }),
+        ],
+        ..Default::default()
+    })
+}
+
+/// Builds the workload from scratch: app, caller, staging page, callee,
+/// stream. Used at scenario setup and again after a caller-partition loss.
+pub fn build(sys: &mut CronusSystem, kind: WorkloadKind) -> Handles {
+    let app = sys.create_app();
+    let caller = sys
+        .create_enclave(
+            Actor::App(app),
+            Manifest::new(DeviceKind::Cpu).with_memory(1 << 20),
+            &BTreeMap::new(),
+        )
+        .expect("caller enclave");
+    let dma = setup_staging(sys, kind);
+    let callee = spawn_callee(sys, kind, caller, dma);
+    let stream = sys
+        .open_stream(caller, callee, DEFAULT_RING_PAGES)
+        .expect("stream");
+    Handles {
+        app,
+        caller,
+        callee,
+        stream,
+        dma,
+    }
+}
+
+/// Allocates and fills the staging page, granting it to the callee
+/// device's SMMU stream. Returns `None` for workloads without device DMA.
+fn setup_staging(sys: &mut CronusSystem, kind: WorkloadKind) -> Option<DmaSetup> {
+    let pattern = staging_pattern(kind);
+    if pattern.is_empty() {
+        return None;
+    }
+    let asid = asid_of(kind.mos_id());
+    let stream = sys.spm().mos(asid).expect("callee mos").hal().dma_stream();
+    let machine = sys.spm_mut().machine_mut();
+    let frame = machine.alloc_frame(World::Secure).expect("staging frame");
+    let ppn = frame.page();
+    machine
+        .phys_write(World::Secure, PhysAddr::from_page_number(ppn), &pattern)
+        .expect("staging write");
+    machine.smmu_mut().grant(stream, ppn, PagePerms::RW);
+    Some(DmaSetup { stream, ppn })
+}
+
+/// Creates the callee enclave and registers its handler. Used at build
+/// time and again after a callee-partition recovery (the handler died with
+/// the partition).
+pub fn spawn_callee(
+    sys: &mut CronusSystem,
+    kind: WorkloadKind,
+    caller: EnclaveRef,
+    dma: Option<DmaSetup>,
+) -> EnclaveRef {
+    let manifest = Manifest::new(kind.device())
+        .with_mecall(McallDecl::synchronous(kind.mecall()).idempotent())
+        .with_memory(1 << 20);
+    let callee = sys
+        .create_enclave(Actor::Enclave(caller), manifest, &BTreeMap::new())
+        .expect("callee enclave");
+    let cost = kind.cost();
+    sys.register_handler(
+        callee,
+        kind.mecall(),
+        Box::new(move |ctx, payload| {
+            let data = payload
+                .get(SECRET.len()..)
+                .filter(|d| d.len() == kind.data_len())
+                .ok_or(CronusError::BadRequest)?;
+            let staging = match dma {
+                Some(d) => {
+                    // The device pulls its operands from the staging page
+                    // over the SMMU; a revoked mapping faults right here.
+                    let mut buf = vec![0u8; staging_pattern(kind).len()];
+                    ctx.spm.machine_mut().dma_read(
+                        d.stream,
+                        World::Secure,
+                        PhysAddr::from_page_number(d.ppn),
+                        &mut buf,
+                    )?;
+                    buf
+                }
+                None => Vec::new(),
+            };
+            Ok((transform_with(kind, data, &staging), cost))
+        }),
+    );
+    callee
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_names_are_distinct() {
+        let mut names: Vec<&str> = WorkloadKind::ALL.iter().map(|w| w.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), WorkloadKind::ALL.len());
+    }
+
+    #[test]
+    fn requests_embed_the_secret_and_results_do_not() {
+        let mut rng = SimRng::new(9);
+        for kind in WorkloadKind::ALL {
+            let payload = request(kind, &mut rng);
+            assert!(payload.windows(SECRET.len()).any(|w| w == SECRET));
+            assert_eq!(payload.len(), SECRET.len() + kind.data_len());
+            let out = expected(kind, &payload);
+            assert!(!out.windows(SECRET.len()).any(|w| w == SECRET));
+        }
+    }
+
+    #[test]
+    fn every_workload_round_trips_through_the_ring() {
+        for kind in WorkloadKind::ALL {
+            let mut sys = boot();
+            let h = build(&mut sys, kind);
+            let mut rng = SimRng::new(3);
+            let payload = request(kind, &mut rng);
+            let out = sys
+                .call(h.stream, kind.mecall())
+                .payload(&payload)
+                .sync()
+                .expect("call");
+            assert_eq!(out, expected(kind, &payload), "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Fault-coverage regression: every `cronus_sim::Fault` variant is
+//! reachable by at least one concrete injection.
+//!
+//! The `variant_name` match below is deliberately exhaustive *without* a
+//! wildcard arm: adding a variant to `crates/sim/src/fault.rs` breaks this
+//! test's compilation until an injection raising the new variant is added
+//! here, keeping the campaign's reach in lock-step with the fault model.
+
+use std::collections::BTreeSet;
+
+use cronus_chaos::workload::{self, WorkloadKind};
+use cronus_chaos::{run_scenario, InjectionPlan};
+use cronus_core::SrpcError;
+use cronus_sim::machine::AsId;
+use cronus_sim::pagetable::Access;
+use cronus_sim::{
+    Fault, Machine, MachineConfig, PagePerms, PageTable, PhysAddr, SimNs, VirtAddr, World,
+};
+use cronus_spm::spm::asid_of;
+
+fn variant_name(f: &Fault) -> &'static str {
+    match f {
+        Fault::Stage1Unmapped { .. } => "stage1-unmapped",
+        Fault::Stage1Permission { .. } => "stage1-permission",
+        Fault::Stage2Unmapped { .. } => "stage2-unmapped",
+        Fault::Stage2Permission { .. } => "stage2-permission",
+        Fault::TzascDenied { .. } => "tzasc-denied",
+        Fault::SmmuDenied { .. } => "smmu-denied",
+        Fault::TzpcDenied { .. } => "tzpc-denied",
+        Fault::BusAbort { .. } => "bus-abort",
+        Fault::PartitionFailed { .. } => "partition-failed",
+    }
+}
+
+const ALL_VARIANTS: usize = 9;
+
+#[test]
+fn every_fault_variant_is_reachable_by_an_injection() {
+    let mut seen: BTreeSet<&'static str> = BTreeSet::new();
+    let mut hit = |f: Fault| {
+        seen.insert(variant_name(&f));
+    };
+
+    // --- stage-1: unmapped VA, then a write through a read-only PTE -------
+    let mut pt = PageTable::new();
+    let asid = AsId::new(7);
+    hit(pt
+        .translate(asid, VirtAddr::new(0x4000), Access::Read)
+        .unwrap_err());
+    pt.map(4, 44, PagePerms::RO);
+    hit(pt
+        .translate(asid, VirtAddr::new(0x4000), Access::Write)
+        .unwrap_err());
+
+    // --- machine-level injections on secure frames ------------------------
+    let mut m = Machine::new(MachineConfig::default());
+    m.register_partition(asid);
+    let frame = m.alloc_frame(World::Secure).expect("frame");
+    let (ppn, pa) = (frame.page(), frame.base());
+    let mut buf = [0u8; 4];
+
+    // Stage-2: invalidated entry, then a write through a read-only one.
+    m.stage2_grant(asid, ppn, PagePerms::RW).expect("grant");
+    m.mem_read(asid, World::Secure, pa, &mut buf).expect("read");
+    m.stage2_invalidate(asid, ppn);
+    hit(m.mem_read(asid, World::Secure, pa, &mut buf).unwrap_err());
+    m.stage2_grant(asid, ppn, PagePerms::RO).expect("re-grant");
+    hit(m.mem_write(asid, World::Secure, pa, &[1]).unwrap_err());
+
+    // TZASC: the normal world reaches for a secure frame.
+    hit(m.phys_read_vec(World::Normal, pa, 4).unwrap_err());
+
+    // Bus abort: an address far beyond modeled DRAM.
+    hit(m
+        .phys_read_vec(World::Secure, PhysAddr::from_page_number(1 << 40), 4)
+        .unwrap_err());
+
+    // Partition failure: any access from a failed partition traps.
+    m.mark_failed(asid);
+    hit(m.mem_read(asid, World::Secure, pa, &mut buf).unwrap_err());
+
+    // --- platform-level injections (SMMU, TZPC) ---------------------------
+    let mut sys = workload::boot();
+    let gpu_asid = asid_of(cronus_mos::manifest::MosId(2));
+    let (dma_stream, device) = {
+        let mos = sys.spm().mos(gpu_asid).expect("gpu mos");
+        (mos.hal().dma_stream(), mos.hal().device_id())
+    };
+    let machine = sys.spm_mut().machine_mut();
+    let staging = machine.alloc_frame(World::Secure).expect("staging");
+    // DMA without a grant: the SMMU denies it.
+    hit(machine
+        .dma_read(dma_stream, World::Secure, staging.base(), &mut buf)
+        .unwrap_err());
+    // The normal world pokes a secure-assigned device: the TZPC denies it.
+    hit(machine.tzpc().check(World::Normal, device).unwrap_err());
+
+    assert_eq!(seen.len(), ALL_VARIANTS, "fault variants reached: {seen:?}");
+}
+
+/// The pipeline-level campaign reaches architectural faults through the
+/// *normal* sRPC path too: a revoked SMMU mapping surfaces as a remote
+/// arch-fault from the handler, and a revoked stage-2 mapping surfaces as
+/// a typed mOS fault — no inspection backdoors involved.
+#[test]
+fn pipeline_injections_reach_smmu_and_stage2_faults() {
+    let plan = InjectionPlan::full(5);
+    let smmu = plan
+        .scenarios
+        .iter()
+        .find(|s| {
+            s.workload == WorkloadKind::GpuSaxpy && s.action == cronus_core::FaultAction::RevokeSmmu
+        })
+        .expect("revoke-smmu scenario");
+    let rep = run_scenario(smmu, plan.seed);
+    assert_eq!(rep.detection, "handler-remote", "{}", rep.line());
+    assert!(rep.error.contains("smmu"), "{}", rep.line());
+
+    let stage2 = plan
+        .scenarios
+        .iter()
+        .find(|s| {
+            s.workload == WorkloadKind::GpuSaxpy
+                && s.action == cronus_core::FaultAction::RevokeStage2
+        })
+        .expect("revoke-stage2 scenario");
+    let rep = run_scenario(stage2, plan.seed);
+    assert!(rep.error.contains("stage-2"), "{}", rep.line());
+    assert!(rep.verdicts.all_hold(), "{}", rep.line());
+}
+
+/// Killing a partition mid-kernel must surface as the proceed-trap failure
+/// signal (§IV-D), not as a generic mOS error — the regression the typed
+/// conversion in `stream_fault` exists to prevent.
+#[test]
+fn injected_kill_surfaces_as_peer_failed_with_recovery_under_bound() {
+    let mut sys = workload::boot();
+    let h = workload::build(&mut sys, WorkloadKind::Echo);
+    sys.arm_fault(cronus_core::ArmedFault {
+        phase: cronus_core::SrpcPhase::Kernel,
+        action: cronus_core::FaultAction::KillCallee,
+        stream: Some(h.stream),
+    });
+    let err = sys
+        .call(h.stream, "echo")
+        .payload(b"CHAOS-SECRET-KEY....................")
+        .sync()
+        .unwrap_err();
+    assert!(
+        matches!(err, SrpcError::PeerFailed { .. }),
+        "expected PeerFailed, got {err:?}"
+    );
+    let stats = sys.recover_partition(h.callee.asid).expect("recover");
+    let bound = cronus_chaos::recovery_bound(sys.spm().machine().cost());
+    assert!(stats.total() <= bound);
+    assert!(stats.total() > SimNs::from_nanos(0));
+}

@@ -1,0 +1,65 @@
+//! Determinism suite: a campaign is a pure function of `(seed, plan)`.
+//!
+//! The virtual clock, the seeded RNG and the absence of any wall-clock or
+//! OS entropy in the pipeline mean two runs of the same plan must produce
+//! *byte-identical* rendered reports — including every recovery-time
+//! figure, error message and detection label.
+
+use cronus_chaos::{run_campaign, run_scenario, InjectionPlan};
+
+#[test]
+fn same_seed_same_plan_renders_byte_identical_reports() {
+    let a = run_campaign(&InjectionPlan::smoke(42));
+    let b = run_campaign(&InjectionPlan::smoke(42));
+    assert_eq!(a.render(), b.render());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn recovery_figures_are_reproducible_scenario_by_scenario() {
+    let plan = InjectionPlan::smoke(7);
+    for scn in &plan.scenarios {
+        let a = run_scenario(scn, plan.seed);
+        let b = run_scenario(scn, plan.seed);
+        assert_eq!(a, b, "scenario #{} diverged across runs", scn.id);
+        assert_eq!(a.recovery_ns, b.recovery_ns);
+    }
+}
+
+#[test]
+fn smoke_campaign_upholds_all_invariants() {
+    let report = run_campaign(&InjectionPlan::smoke(1));
+    assert_eq!(report.violations(), 0, "{}", report.render());
+    // Every armed fault must actually fire — a campaign that arms faults
+    // nothing ever reaches would be vacuous.
+    assert_eq!(report.faults_fired(), report.scenarios.len());
+}
+
+#[test]
+fn full_campaign_upholds_all_invariants_across_seeds() {
+    for seed in [0, 1, 0xC401] {
+        let plan = InjectionPlan::full(seed);
+        // The acceptance floor: ≥6 injection points × ≥3 workloads.
+        assert!(plan.len() >= 18);
+        let report = run_campaign(&plan);
+        assert_eq!(report.violations(), 0, "seed {seed}:\n{}", report.render());
+        assert_eq!(report.faults_fired(), report.scenarios.len());
+    }
+}
+
+#[test]
+fn full_campaign_exercises_the_advertised_detection_channels() {
+    let report = run_campaign(&InjectionPlan::full(3));
+    for channel in ["proceed-trap", "stream-check", "codec", "handler-remote"] {
+        assert!(
+            report.scenarios.iter().any(|s| s.detection == channel),
+            "no scenario was detected via {channel}:\n{}",
+            report.render()
+        );
+    }
+    // Deadline enforcement fires somewhere (the delay-completion scenarios
+    // time out once before the retry absorbs the stall).
+    assert!(report.scenarios.iter().any(|s| s.timeouts > 0));
+    // And the proceed-trap scenarios actually recover partitions.
+    assert!(report.scenarios.iter().any(|s| s.recovered > 0));
+}

@@ -1,0 +1,238 @@
+//! Deterministic fault-injection hooks for the sRPC pipeline.
+//!
+//! A fault-injection campaign arms a [`FaultAction`] at one [`SrpcPhase`];
+//! when the pipeline reaches that phase on a matching stream,
+//! [`crate::system::CronusSystem`] fires the action *before* continuing, so
+//! the normal code path — not the injector — surfaces the resulting typed
+//! fault. Actions only mutate simulated machine state (kill a partition,
+//! scribble a ring slot, revoke a stage-2 or SMMU mapping, stall the
+//! executor clock); they never fabricate errors, which keeps the campaign
+//! honest about what the architecture actually detects.
+//!
+//! Everything here is driven by the simulated clock and the campaign's
+//! seeded RNG, so a campaign run is a pure function of `(seed, plan)`.
+
+use std::fmt;
+
+use cronus_sim::SimNs;
+
+use crate::srpc::StreamId;
+
+/// The distinct points in an sRPC call's lifetime where a fault can strike.
+///
+/// These map onto the pipeline stages of §IV-C: the caller appends a
+/// request (`Enqueue`), the executor picks it up (`Dispatch`), reads the
+/// request payload out of the ring (`DmaIn`), runs the handler (`Kernel`),
+/// writes the result slot and bumps `Sid` (`ResultWrite`), and finally the
+/// caller wakes at a synchronization point (`SyncWakeup`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SrpcPhase {
+    /// Before the caller writes the request slot and bumps `Rid`.
+    Enqueue,
+    /// At the top of executor dispatch, before the request slot is read.
+    Dispatch,
+    /// After the request slot is decoded, before the handler runs — the
+    /// window where device DMA pulls operands in.
+    DmaIn,
+    /// After the handler/kernel produced its result, before the result
+    /// slot is written.
+    Kernel,
+    /// After the result slot and `Sid` are published.
+    ResultWrite,
+    /// When the caller wakes at a synchronization point, before it reads
+    /// the result slot.
+    SyncWakeup,
+}
+
+impl SrpcPhase {
+    /// All phases, in pipeline order.
+    pub const ALL: [SrpcPhase; 6] = [
+        SrpcPhase::Enqueue,
+        SrpcPhase::Dispatch,
+        SrpcPhase::DmaIn,
+        SrpcPhase::Kernel,
+        SrpcPhase::ResultWrite,
+        SrpcPhase::SyncWakeup,
+    ];
+
+    /// Short stable name used in reports and span labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            SrpcPhase::Enqueue => "enqueue",
+            SrpcPhase::Dispatch => "dispatch",
+            SrpcPhase::DmaIn => "dma-in",
+            SrpcPhase::Kernel => "kernel",
+            SrpcPhase::ResultWrite => "result-write",
+            SrpcPhase::SyncWakeup => "sync-wakeup",
+        }
+    }
+}
+
+impl fmt::Display for SrpcPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What the injector does to the machine when its phase is reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Fail the callee's partition (the classic §IV-D scenario).
+    KillCallee,
+    /// Fail the caller's partition (the survivor is the device side).
+    KillCaller,
+    /// Overwrite the in-flight request slot with seeded noise.
+    CorruptRequestSlot {
+        /// Seed for the noise bytes (forked per scenario).
+        seed: u64,
+    },
+    /// Overwrite the in-flight result slot with seeded noise.
+    CorruptResultSlot {
+        /// Seed for the noise bytes (forked per scenario).
+        seed: u64,
+    },
+    /// Zero the in-flight request slot (decodes as `CodecError::Corrupt`).
+    ZeroRequestSlot,
+    /// Zero the in-flight result slot.
+    ZeroResultSlot,
+    /// Scribble the ring header's shared `Rid`/`Sid` words; streamCheck
+    /// must detect this at the next synchronization point.
+    CorruptRingHeader {
+        /// Seed for the bogus index values.
+        seed: u64,
+    },
+    /// Revoke the callee's stage-2 mapping of the ring pages mid-flight;
+    /// the next ring access from the callee takes a stage-2 fault.
+    RevokeStage2,
+    /// Revoke the device's SMMU mapping of the staging pages; the next
+    /// DMA takes an SMMU fault.
+    RevokeSmmu,
+    /// Stall the executor by the given amount of virtual time; deadline
+    /// enforcement must convert the stall into a typed timeout.
+    DelayCompletion(SimNs),
+}
+
+impl FaultAction {
+    /// Short stable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultAction::KillCallee => "kill-callee",
+            FaultAction::KillCaller => "kill-caller",
+            FaultAction::CorruptRequestSlot { .. } => "corrupt-request-slot",
+            FaultAction::CorruptResultSlot { .. } => "corrupt-result-slot",
+            FaultAction::ZeroRequestSlot => "zero-request-slot",
+            FaultAction::ZeroResultSlot => "zero-result-slot",
+            FaultAction::CorruptRingHeader { .. } => "corrupt-ring-header",
+            FaultAction::RevokeStage2 => "revoke-stage2",
+            FaultAction::RevokeSmmu => "revoke-smmu",
+            FaultAction::DelayCompletion(_) => "delay-completion",
+        }
+    }
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fault armed against the pipeline: fires the first time `phase` is
+/// reached on a matching stream, then disarms itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArmedFault {
+    /// The pipeline phase to strike at.
+    pub phase: SrpcPhase,
+    /// What to do to the machine.
+    pub action: FaultAction,
+    /// Restrict to one stream; `None` matches any stream.
+    pub stream: Option<StreamId>,
+}
+
+/// Record of a fault that actually fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FiredFault {
+    /// The armed fault that fired.
+    pub fault: ArmedFault,
+    /// The stream it fired on.
+    pub stream: StreamId,
+    /// The ring slot index in flight when it fired.
+    pub slot_index: u64,
+    /// Caller virtual time at the moment of firing.
+    pub at: SimNs,
+}
+
+/// The system's injector state: at most one armed fault at a time (a
+/// campaign scenario arms exactly one), plus the log of fired faults.
+#[derive(Debug, Default)]
+pub struct Injector {
+    pub(crate) armed: Option<ArmedFault>,
+    pub(crate) fired: Vec<FiredFault>,
+}
+
+impl Injector {
+    /// Takes the armed fault if it matches `phase` on `stream`.
+    pub(crate) fn take_matching(
+        &mut self,
+        phase: SrpcPhase,
+        stream: StreamId,
+    ) -> Option<ArmedFault> {
+        let hit = self
+            .armed
+            .is_some_and(|a| a.phase == phase && a.stream.is_none_or(|s| s == stream));
+        if hit {
+            self.armed.take()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_have_distinct_names() {
+        let mut names: Vec<&str> = SrpcPhase::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SrpcPhase::ALL.len());
+    }
+
+    #[test]
+    fn injector_fires_only_on_matching_phase_and_stream() {
+        let armed = ArmedFault {
+            phase: SrpcPhase::Kernel,
+            action: FaultAction::KillCallee,
+            stream: Some(StreamId(3)),
+        };
+        let mut inj = Injector {
+            armed: Some(armed),
+            fired: Vec::new(),
+        };
+        assert!(inj.take_matching(SrpcPhase::Enqueue, StreamId(3)).is_none());
+        assert!(inj.take_matching(SrpcPhase::Kernel, StreamId(4)).is_none());
+        assert_eq!(
+            inj.take_matching(SrpcPhase::Kernel, StreamId(3)),
+            Some(armed)
+        );
+        // One-shot: disarmed after firing.
+        assert!(inj.take_matching(SrpcPhase::Kernel, StreamId(3)).is_none());
+    }
+
+    #[test]
+    fn wildcard_stream_matches_any() {
+        let armed = ArmedFault {
+            phase: SrpcPhase::Dispatch,
+            action: FaultAction::ZeroRequestSlot,
+            stream: None,
+        };
+        let mut inj = Injector {
+            armed: Some(armed),
+            fired: Vec::new(),
+        };
+        assert!(inj
+            .take_matching(SrpcPhase::Dispatch, StreamId(77))
+            .is_some());
+    }
+}

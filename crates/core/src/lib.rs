@@ -55,20 +55,36 @@
 //!     Ok((args.to_vec(), SimNs::from_micros(50)))
 //! }));
 //! let stream = system.open_stream(cpu, gpu, DEFAULT_RING_PAGES)?;
-//! system.call_async(stream, "launch", &[1, 2, 3])?;
+//! system.call(stream, "launch").payload(&[1, 2, 3]).start()?;
 //! system.sync(stream)?;
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Reliability and fault injection
+//!
+//! The [`inject`] module exposes deterministic fault-injection hooks at the
+//! six phases of an sRPC call (used by the `cronus-chaos` campaign runner);
+//! [`reliability`] supplies retry policies, deadlines and the stall
+//! watchdog; [`error`] defines the typed [`error::CronusError`] hierarchy
+//! that replaced stringly-typed handler failures.
 
+pub mod call;
 pub mod dispatcher;
+pub mod error;
+pub mod inject;
 pub mod pipe;
+pub mod reliability;
 pub mod ring;
 pub mod srpc;
 pub mod system;
 
+pub use call::Call;
 pub use dispatcher::{Dispatcher, PartitionInfo};
+pub use error::{CronusError, FaultKind};
+pub use inject::{ArmedFault, FaultAction, FiredFault, SrpcPhase};
 pub use pipe::PipeId;
+pub use reliability::{retryable, RetryPolicy, StallWarning};
 pub use srpc::{SrpcError, StreamId, StreamStats};
 pub use system::{
     Actor, AppId, CronusSystem, EnclaveRef, McallHandler, ServerCtx, SystemError,

@@ -1,0 +1,161 @@
+//! Reliability policies layered over sRPC: retries, deadlines, stall
+//! detection.
+//!
+//! The paper's availability argument (§IV-D) is that a partition failure
+//! never wedges the rest of the machine: the survivor takes a trap,
+//! receives a failure signal, and can re-establish service against a
+//! recovered partition. This module supplies the caller-side policies that
+//! turn those typed signals into forward progress:
+//!
+//! * [`RetryPolicy`] — bounded retry with exponential backoff, permitted
+//!   only for mECalls the callee's manifest declares idempotent,
+//! * per-stream/per-call deadlines, enforced on the virtual clock and
+//!   surfaced as [`crate::srpc::SrpcError::Timeout`],
+//! * [`StallWarning`] — the watchdog's report of streams whose executor
+//!   clock has fallen pathologically behind the caller's.
+
+use cronus_sim::SimNs;
+
+use crate::error::CronusError;
+use crate::srpc::{SrpcError, StreamId};
+
+/// Bounded retry-with-backoff for idempotent mECalls.
+///
+/// The policy only ever applies to mECalls whose manifest entry is marked
+/// `.idempotent()`; replaying anything else is unsafe and rejected with
+/// [`SrpcError::NotIdempotent`] before the first attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` means "no retries").
+    pub max_attempts: u32,
+    /// Backoff charged to the caller's clock before the second attempt.
+    pub backoff: SimNs,
+    /// Double the backoff after each failed attempt.
+    pub exponential: bool,
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts` attempts and a fixed 1µs backoff.
+    pub fn attempts(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            backoff: SimNs::from_micros(1),
+            exponential: false,
+        }
+    }
+
+    /// Sets the initial backoff.
+    pub fn backoff(mut self, backoff: SimNs) -> RetryPolicy {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Enables exponential backoff (doubling after each failure).
+    pub fn exponential(mut self) -> RetryPolicy {
+        self.exponential = true;
+        self
+    }
+
+    /// Backoff to charge before attempt `attempt` (0-based; attempt 0 has
+    /// no backoff).
+    pub fn backoff_before(&self, attempt: u32) -> SimNs {
+        if attempt == 0 {
+            return SimNs::from_nanos(0);
+        }
+        if self.exponential {
+            let factor = 1u64 << (attempt - 1).min(32);
+            SimNs::from_nanos(self.backoff.as_nanos().saturating_mul(factor))
+        } else {
+            self.backoff
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::attempts(3)
+    }
+}
+
+/// Whether an error is worth retrying under a [`RetryPolicy`].
+///
+/// Transient transport-visible failures are retryable: timeouts, corrupted
+/// slots, and handler errors (the handler may have been killed mid-call).
+/// Structural errors — unknown mECall, ownership, attestation, quarantine —
+/// will fail identically on replay and are not.
+pub fn retryable(err: &SrpcError) -> bool {
+    matches!(
+        err,
+        SrpcError::Timeout { .. } | SrpcError::Codec(_) | SrpcError::Handler(_)
+    )
+}
+
+/// Classifies an [`SrpcError`] for campaign reports: a stable short label
+/// naming the detection channel that caught the fault.
+pub fn detection_channel(err: &SrpcError) -> &'static str {
+    match err {
+        SrpcError::PeerFailed { .. } => "proceed-trap",
+        SrpcError::Timeout { .. } => "deadline",
+        SrpcError::StreamCheckFailed { .. } => "stream-check",
+        SrpcError::Codec(_) => "codec",
+        SrpcError::Handler(e) => match e {
+            CronusError::Remote { .. } => "handler-remote",
+            _ => "handler-local",
+        },
+        SrpcError::Quarantined(_) => "quarantine",
+        SrpcError::NoHandler(_) => "no-handler",
+        SrpcError::NotIdempotent { .. } => "retry-policy",
+        SrpcError::Closed => "closed",
+        SrpcError::Mos(_) => "mos",
+        SrpcError::Spm(_) => "spm",
+        _ => "other",
+    }
+}
+
+/// One watchdog finding: a stream with backlog whose executor has not kept
+/// up with the caller's virtual clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StallWarning {
+    /// The stalled stream.
+    pub stream: StreamId,
+    /// Requests enqueued but not yet executed.
+    pub backlog: u64,
+    /// How far the executor clock trails the caller clock.
+    pub stalled_for: SimNs,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_backoff_is_flat() {
+        let p = RetryPolicy::attempts(4).backoff(SimNs::from_nanos(100));
+        assert_eq!(p.backoff_before(0), SimNs::from_nanos(0));
+        assert_eq!(p.backoff_before(1), SimNs::from_nanos(100));
+        assert_eq!(p.backoff_before(3), SimNs::from_nanos(100));
+    }
+
+    #[test]
+    fn exponential_backoff_doubles() {
+        let p = RetryPolicy::attempts(5)
+            .backoff(SimNs::from_nanos(100))
+            .exponential();
+        assert_eq!(p.backoff_before(1), SimNs::from_nanos(100));
+        assert_eq!(p.backoff_before(2), SimNs::from_nanos(200));
+        assert_eq!(p.backoff_before(3), SimNs::from_nanos(400));
+    }
+
+    #[test]
+    fn transient_errors_are_retryable_structural_are_not() {
+        assert!(retryable(&SrpcError::Timeout {
+            mecall: "m".into(),
+            deadline: SimNs::from_nanos(1),
+            elapsed: SimNs::from_nanos(2),
+        }));
+        assert!(retryable(&SrpcError::Handler(CronusError::app("x"))));
+        assert!(!retryable(&SrpcError::NotOwner));
+        assert!(!retryable(&SrpcError::Quarantined(StreamId(1))));
+        assert!(!retryable(&SrpcError::Closed));
+    }
+}

@@ -23,6 +23,7 @@ use cronus_sim::machine::AsId;
 use cronus_sim::{SimClock, SimNs};
 use cronus_spm::spm::{ShareHandle, SpmError};
 
+use crate::error::CronusError;
 use crate::ring::{CodecError, RingLayout};
 
 /// Handle to an open sRPC stream.
@@ -53,8 +54,11 @@ pub enum SrpcError {
     AttestationFailed,
     /// Slot encoding/decoding failure.
     Codec(CodecError),
-    /// The handler reported an application-level error.
-    HandlerFailed(String),
+    /// The handler reported a typed error. On the caller side of a ring
+    /// this is always [`CronusError::Remote`] (the typed payload cannot
+    /// cross the serialized trust boundary intact); match on
+    /// [`CronusError::kind`] for classification.
+    Handler(CronusError),
     /// No handler registered for a declared mECall (runtime not loaded).
     NoHandler(String),
     /// Underlying mOS error that is not a peer failure.
@@ -63,6 +67,36 @@ pub enum SrpcError {
     Spm(SpmError),
     /// Unknown stream id.
     UnknownStream(StreamId),
+    /// A synchronous call missed its deadline on the virtual clock.
+    Timeout {
+        /// The mECall that timed out.
+        mecall: String,
+        /// The deadline that applied (per-call or per-stream).
+        deadline: SimNs,
+        /// Modeled time the call actually took.
+        elapsed: SimNs,
+    },
+    /// streamCheck failed: after a full drain the shared `Sid` word must
+    /// equal the shared `Rid` word and both must match the caller's cached
+    /// indices. A mismatch means the ring header was corrupted or the
+    /// executor diverged (§IV-C integrity checking).
+    StreamCheckFailed {
+        /// The stream whose check failed.
+        stream: StreamId,
+        /// Shared producer index as read back from the ring.
+        rid: u64,
+        /// Shared consumer index as read back from the ring.
+        sid: u64,
+    },
+    /// The stream was quarantined after a peer failure; re-open it against
+    /// a recovered partition with `reopen_stream` before issuing calls.
+    Quarantined(StreamId),
+    /// A retry policy was supplied but the mECall is not declared
+    /// idempotent in the callee's manifest, so replay is unsafe.
+    NotIdempotent {
+        /// The offending mECall.
+        mecall: String,
+    },
 }
 
 impl fmt::Display for SrpcError {
@@ -82,16 +116,45 @@ impl fmt::Display for SrpcError {
             SrpcError::DcheckFailed => f.write_str("dcheck failed: shared memory peer mismatch"),
             SrpcError::AttestationFailed => f.write_str("local attestation failed"),
             SrpcError::Codec(e) => write!(f, "codec: {e}"),
-            SrpcError::HandlerFailed(msg) => write!(f, "handler failed: {msg}"),
+            SrpcError::Handler(e) => write!(f, "handler failed: {e}"),
             SrpcError::NoHandler(name) => write!(f, "no handler registered for {name:?}"),
             SrpcError::Mos(e) => write!(f, "mos: {e}"),
             SrpcError::Spm(e) => write!(f, "spm: {e}"),
             SrpcError::UnknownStream(id) => write!(f, "unknown stream {id:?}"),
+            SrpcError::Timeout {
+                mecall,
+                deadline,
+                elapsed,
+            } => write!(
+                f,
+                "mecall {mecall:?} missed its deadline: {elapsed} elapsed, {deadline} allowed"
+            ),
+            SrpcError::StreamCheckFailed { stream, rid, sid } => write!(
+                f,
+                "streamCheck failed on {stream:?}: shared Rid={rid} Sid={sid}"
+            ),
+            SrpcError::Quarantined(id) => {
+                write!(f, "stream {id:?} is quarantined after a peer failure")
+            }
+            SrpcError::NotIdempotent { mecall } => write!(
+                f,
+                "mecall {mecall:?} is not declared idempotent; retry is unsafe"
+            ),
         }
     }
 }
 
-impl std::error::Error for SrpcError {}
+impl std::error::Error for SrpcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SrpcError::Codec(e) => Some(e),
+            SrpcError::Handler(e) => Some(e),
+            SrpcError::Mos(e) => Some(e),
+            SrpcError::Spm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<CodecError> for SrpcError {
     fn from(e: CodecError) -> Self {
@@ -154,6 +217,12 @@ pub struct StreamState {
     pub pending_reqs: VecDeque<ReqId>,
     /// True until closed or poisoned.
     pub open: bool,
+    /// Set when a peer failure poisoned the stream; calls return
+    /// [`SrpcError::Quarantined`] until the stream is re-opened against a
+    /// recovered partition.
+    pub quarantined: bool,
+    /// Default deadline applied to synchronous calls on this stream.
+    pub deadline: Option<SimNs>,
     /// Counters.
     pub stats: StreamStats,
 }
@@ -177,9 +246,21 @@ mod tests {
             SrpcError::NotOwner,
             SrpcError::DcheckFailed,
             SrpcError::AttestationFailed,
-            SrpcError::HandlerFailed("boom".into()),
+            SrpcError::Handler(CronusError::app("boom")),
             SrpcError::NoHandler("g".into()),
             SrpcError::UnknownStream(StreamId(3)),
+            SrpcError::Timeout {
+                mecall: "gemm".into(),
+                deadline: SimNs::from_nanos(10),
+                elapsed: SimNs::from_nanos(20),
+            },
+            SrpcError::StreamCheckFailed {
+                stream: StreamId(7),
+                rid: 4,
+                sid: 3,
+            },
+            SrpcError::Quarantined(StreamId(9)),
+            SrpcError::NotIdempotent { mecall: "h".into() },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

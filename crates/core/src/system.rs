@@ -19,12 +19,16 @@ use cronus_mos::mos::MosError;
 use cronus_obs::{FlightRecorder, ReqId, TimeCategory};
 use cronus_sim::machine::AsId;
 use cronus_sim::trace::EventKind;
-use cronus_sim::{Fault, SimClock, SimNs};
+use cronus_sim::{Fault, PhysAddr, SimClock, SimNs, SimRng, World, PAGE_SIZE};
 use cronus_spm::attest::{LocalAttestation, SignedReport};
 use cronus_spm::spm::{BootConfig, RecoveryStats, Spm, SpmError};
 
+use crate::call::Call;
 use crate::dispatcher::{Dispatcher, PartitionInfo};
+use crate::error::{CronusError, FaultKind};
+use crate::inject::{ArmedFault, FaultAction, FiredFault, Injector, SrpcPhase};
 use crate::pipe::{PipeId, PipeState};
+use crate::reliability::{retryable, RetryPolicy, StallWarning};
 use crate::ring::{
     decode_request, decode_result, encode_request, encode_result, Request, ResultStatus,
     RingLayout, CLOSED_OFFSET, DCHECK_OFFSET, RID_OFFSET, SID_OFFSET,
@@ -75,9 +79,11 @@ pub struct ServerCtx<'a> {
 }
 
 /// An mECall implementation: takes serialized arguments, returns serialized
-/// results plus the simulated device-execution time.
+/// results plus the simulated device-execution time. Failures are typed
+/// [`CronusError`]s, so device/mOS errors propagate with `?` and campaigns
+/// can match on [`CronusError::kind`].
 pub type McallHandler =
-    Box<dyn FnMut(&mut ServerCtx<'_>, &[u8]) -> Result<(Vec<u8>, SimNs), String> + Send>;
+    Box<dyn FnMut(&mut ServerCtx<'_>, &[u8]) -> Result<(Vec<u8>, SimNs), CronusError> + Send>;
 
 /// Default number of shared pages per stream ring (256 KiB ≈ 268 slots).
 pub const DEFAULT_RING_PAGES: usize = 64;
@@ -95,8 +101,8 @@ pub enum SystemError {
     UnknownMcall(String),
     /// No handler registered.
     NoHandler(String),
-    /// Handler failed.
-    HandlerFailed(String),
+    /// Handler failed with a typed error.
+    Handler(CronusError),
     /// Unknown enclave reference.
     UnknownEnclave(Eid),
 }
@@ -111,13 +117,21 @@ impl std::fmt::Display for SystemError {
             SystemError::NotOwner => f.write_str("caller is not the owner"),
             SystemError::UnknownMcall(n) => write!(f, "mecall {n:?} not declared"),
             SystemError::NoHandler(n) => write!(f, "no handler for {n:?}"),
-            SystemError::HandlerFailed(m) => write!(f, "handler failed: {m}"),
+            SystemError::Handler(e) => write!(f, "handler failed: {e}"),
             SystemError::UnknownEnclave(e) => write!(f, "unknown enclave {e}"),
         }
     }
 }
 
-impl std::error::Error for SystemError {}
+impl std::error::Error for SystemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SystemError::Spm(e) => Some(e),
+            SystemError::Handler(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<SpmError> for SystemError {
     fn from(e: SpmError) -> Self {
@@ -135,6 +149,7 @@ pub struct CronusSystem {
     handlers: HashMap<(Eid, String), McallHandler>,
     streams: HashMap<StreamId, StreamState>,
     pub(crate) pipes: HashMap<PipeId, PipeState>,
+    injector: Injector,
     next_stream: u64,
     pub(crate) next_pipe: u64,
     next_app: u32,
@@ -181,6 +196,7 @@ impl CronusSystem {
             handlers: HashMap::new(),
             streams: HashMap::new(),
             pipes: HashMap::new(),
+            injector: Injector::default(),
             next_stream: 1,
             next_pipe: 1,
             next_app: 1,
@@ -455,8 +471,8 @@ impl CronusSystem {
             .run_handler(target, name, payload)
             .map_err(|e| match e {
                 SrpcError::NoHandler(n) => SystemError::NoHandler(n),
-                SrpcError::HandlerFailed(m) => SystemError::HandlerFailed(m),
-                other => SystemError::HandlerFailed(other.to_string()),
+                SrpcError::Handler(e) => SystemError::Handler(e),
+                other => SystemError::Handler(CronusError::app(other.to_string())),
             })?;
         let switches = self.spm.machine().cost().world_switch * 2;
         self.spm.machine_mut().record(EventKind::WorldSwitch);
@@ -501,7 +517,7 @@ impl CronusSystem {
         };
         let result = handler(&mut ctx, payload);
         self.handlers.insert(key, handler);
-        result.map_err(SrpcError::HandlerFailed)
+        result.map_err(SrpcError::Handler)
     }
 
     // ---- sRPC ---------------------------------------------------------------
@@ -637,10 +653,30 @@ impl CronusSystem {
                 pending_enqueue_times: VecDeque::new(),
                 pending_reqs: VecDeque::new(),
                 open: true,
+                quarantined: false,
+                deadline: None,
                 stats: StreamStats::default(),
             },
         );
         Ok(id)
+    }
+
+    /// Sets (or clears) the default deadline applied to every synchronous
+    /// call on `id`; a per-call [`Call::deadline`] overrides it.
+    ///
+    /// # Errors
+    ///
+    /// [`SrpcError::UnknownStream`].
+    pub fn set_stream_deadline(
+        &mut self,
+        id: StreamId,
+        deadline: Option<SimNs>,
+    ) -> Result<(), SrpcError> {
+        self.streams
+            .get_mut(&id)
+            .ok_or(SrpcError::UnknownStream(id))?
+            .deadline = deadline;
+        Ok(())
     }
 
     /// Physical pages backing a stream's ring (diagnostics and security
@@ -713,18 +749,62 @@ impl CronusSystem {
 
     /// Converts a stage-2 fault on a stream access into the proceed-trap
     /// failure signal, closing the stream.
-    fn stream_fault(&mut self, id: StreamId, survivor: AsId, err: MosError) -> SrpcError {
+    ///
+    /// `accessor` is the partition whose access raised `err`. When the
+    /// accessor's *own* partition is the dead one (the executor died
+    /// mid-dispatch), the other end of the stream is the survivor: the
+    /// failure signal is delivered to it instead, exactly as its next ring
+    /// access would have trapped.
+    fn stream_fault(&mut self, id: StreamId, accessor: AsId, err: MosError) -> SrpcError {
         let fallback = self
             .streams
             .get(&id)
             .map(|s| s.caller.1)
             .unwrap_or(Eid::new(cronus_mos::manifest::MosId(0), 0));
-        let converted = self.trap_convert(survivor, fallback, err);
+        let accessor_died = matches!(
+            err,
+            MosError::NotRunning | MosError::Fault(Fault::PartitionFailed { .. })
+        );
+        let converted = if accessor_died {
+            let survivor = self.streams.get(&id).map(|s| {
+                if s.caller.0 == accessor {
+                    s.callee
+                } else {
+                    s.caller
+                }
+            });
+            let ring_page = self.streams.get(&id).map(|s| s.share).and_then(|share| {
+                self.spm
+                    .share_pages(share)
+                    .ok()
+                    .and_then(|p| p.first().copied())
+            });
+            match (survivor, ring_page) {
+                (Some((sv_asid, sv_eid)), Some(ppn)) => {
+                    match self.spm.handle_trap(sv_asid, ppn) {
+                        Ok(outcome) => SrpcError::PeerFailed {
+                            signalled: outcome.signalled,
+                        },
+                        // The share was not poisoned (trap already handled,
+                        // or the partition is not actually failed): still
+                        // signal the survivor so the caller is never stuck.
+                        Err(_) => SrpcError::PeerFailed { signalled: sv_eid },
+                    }
+                }
+                _ => SrpcError::Mos(err),
+            }
+        } else {
+            self.trap_convert(accessor, fallback, err)
+        };
         if matches!(converted, SrpcError::PeerFailed { .. }) {
             if let Some(s) = self.streams.get_mut(&id) {
                 s.open = false;
+                s.quarantined = true;
                 s.pending_enqueue_times.clear();
                 s.pending_reqs.clear();
+            }
+            if let Some(rec) = self.spm.recorder() {
+                rec.counter_add("srpc.streams_quarantined", &[], 1);
             }
         }
         converted
@@ -785,6 +865,9 @@ impl CronusSystem {
         // Validate against the callee's static mECall list.
         {
             let s = self.stream(id)?;
+            if s.quarantined {
+                return Err(SrpcError::Quarantined(id));
+            }
             if !s.open {
                 return Err(SrpcError::Closed);
             }
@@ -822,6 +905,7 @@ impl CronusSystem {
             let s = self.stream(id)?;
             (s.caller, s.caller_va, s.rid, s.layout.request_slot(s.rid))
         };
+        self.injection_point(id, SrpcPhase::Enqueue, rid);
         {
             let (mos, machine) = self.spm.mos_and_machine(caller.0)?;
             let write = mos
@@ -907,6 +991,7 @@ impl CronusSystem {
                 }
                 (s.callee, s.callee_va, s.sid, s.layout.request_slot(s.sid))
             };
+            self.injection_point(id, SrpcPhase::Dispatch, sid);
 
             // Fetch + decode the request on the callee side.
             let mut slot = vec![0u8; crate::ring::SLOT_SIZE];
@@ -923,22 +1008,26 @@ impl CronusSystem {
                 .machine_mut()
                 .record(EventKind::RpcDispatch { stream: id.0 });
 
+            // The window where device DMA pulls the operands in.
+            self.injection_point(id, SrpcPhase::DmaIn, sid);
+
             // Execute.
             let target = EnclaveRef {
                 asid: callee.0,
                 eid: callee.1,
             };
             let outcome = self.run_handler(target, &request.name, &request.payload);
+            self.injection_point(id, SrpcPhase::Kernel, sid);
             let (status, result_bytes, exec_time) = match outcome {
                 Ok((bytes, t)) => (ResultStatus::Ok, bytes, t),
-                Err(SrpcError::NoHandler(n)) => (
-                    ResultStatus::Err,
-                    format!("no handler: {n}").into_bytes(),
-                    SimNs::ZERO,
-                ),
-                Err(SrpcError::HandlerFailed(m)) => {
-                    (ResultStatus::Err, m.into_bytes(), SimNs::ZERO)
+                Err(SrpcError::NoHandler(n)) => {
+                    // NoHandler crosses the ring under its own kind tag so
+                    // the caller can reconstruct `SrpcError::NoHandler`.
+                    let mut wire = vec![FaultKind::NoHandler.as_tag()];
+                    wire.extend_from_slice(n.as_bytes());
+                    (ResultStatus::Err, wire, SimNs::ZERO)
                 }
+                Err(SrpcError::Handler(e)) => (ResultStatus::Err, e.encode_wire(), SimNs::ZERO),
                 Err(other) => return Err(other),
             };
 
@@ -964,6 +1053,7 @@ impl CronusSystem {
                     return Err(self.stream_fault(id, callee.0, e));
                 }
             }
+            self.injection_point(id, SrpcPhase::ResultWrite, sid);
 
             // Service the device's completion interrupts raised by the
             // handler (the mOS HAL's ISR).
@@ -1015,6 +1105,26 @@ impl CronusSystem {
         Ok(true)
     }
 
+    /// Builds an mECall against `id`: the single entry point for issuing
+    /// sRPC calls. Configure the request fluently and commit with
+    /// [`Call::sync`] or [`Call::start`]:
+    ///
+    /// ```ignore
+    /// let out = sys.call(stream, "gemm").payload(&desc).sync()?;
+    /// sys.call(stream, "launch").payload(&desc).start()?;
+    /// ```
+    pub fn call(&mut self, id: StreamId, name: &str) -> Call<'_> {
+        Call {
+            sys: self,
+            stream: id,
+            name: name.to_string(),
+            payload: Vec::new(),
+            req: None,
+            deadline: None,
+            retry: None,
+        }
+    }
+
     /// Issues an asynchronous mECall: the caller pays only the enqueue cost
     /// and streams ahead without waiting. Returns the request id tracing the
     /// call end-to-end.
@@ -1022,15 +1132,17 @@ impl CronusSystem {
     /// # Errors
     ///
     /// sRPC errors, including [`SrpcError::PeerFailed`] on partition failure.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use sys.call(stream, name).payload(p).start()"
+    )]
     pub fn call_async(
         &mut self,
         id: StreamId,
         name: &str,
         payload: &[u8],
     ) -> Result<ReqId, SrpcError> {
-        let req = self.alloc_req();
-        self.call_async_with_req(id, name, payload, req)?;
-        Ok(req)
+        self.call_commit_start(id, name, payload, None)
     }
 
     /// [`CronusSystem::call_async`] under an already-allocated request id,
@@ -1040,6 +1152,10 @@ impl CronusSystem {
     /// # Errors
     ///
     /// Same conditions as [`CronusSystem::call_async`].
+    #[deprecated(
+        since = "0.4.0",
+        note = "use sys.call(stream, name).payload(p).req(r).start()"
+    )]
     pub fn call_async_with_req(
         &mut self,
         id: StreamId,
@@ -1047,10 +1163,8 @@ impl CronusSystem {
         payload: &[u8],
         req: ReqId,
     ) -> Result<(), SrpcError> {
-        self.set_current_req(Some(req));
-        let result = self.enqueue(id, name, payload, req);
-        self.set_current_req(None);
-        result
+        self.call_commit_start(id, name, payload, Some(req))
+            .map(|_| ())
     }
 
     /// Issues a synchronous mECall: enqueues, drains the executor, merges
@@ -1058,15 +1172,15 @@ impl CronusSystem {
     ///
     /// # Errors
     ///
-    /// sRPC errors; [`SrpcError::HandlerFailed`] if the handler errored.
+    /// sRPC errors; [`SrpcError::Handler`] if the handler errored.
+    #[deprecated(since = "0.4.0", note = "use sys.call(stream, name).payload(p).sync()")]
     pub fn call_sync(
         &mut self,
         id: StreamId,
         name: &str,
         payload: &[u8],
     ) -> Result<Vec<u8>, SrpcError> {
-        let req = self.alloc_req();
-        self.call_sync_with_req(id, name, payload, req)
+        self.call_commit_sync(id, name, payload, None, None, None)
     }
 
     /// [`CronusSystem::call_sync`] under an already-allocated request id;
@@ -1075,6 +1189,10 @@ impl CronusSystem {
     /// # Errors
     ///
     /// Same conditions as [`CronusSystem::call_sync`].
+    #[deprecated(
+        since = "0.4.0",
+        note = "use sys.call(stream, name).payload(p).req(r).sync()"
+    )]
     pub fn call_sync_with_req(
         &mut self,
         id: StreamId,
@@ -1082,8 +1200,100 @@ impl CronusSystem {
         payload: &[u8],
         req: ReqId,
     ) -> Result<Vec<u8>, SrpcError> {
+        self.call_commit_sync(id, name, payload, Some(req), None, None)
+    }
+
+    /// Commits an asynchronous call built by [`CronusSystem::call`].
+    pub(crate) fn call_commit_start(
+        &mut self,
+        id: StreamId,
+        name: &str,
+        payload: &[u8],
+        req: Option<ReqId>,
+    ) -> Result<ReqId, SrpcError> {
+        let req = req.unwrap_or_else(|| self.alloc_req());
         self.set_current_req(Some(req));
-        let result = self.call_sync_inner(id, name, payload, req);
+        let result = self.enqueue(id, name, payload, req);
+        self.set_current_req(None);
+        result.map(|()| req)
+    }
+
+    /// Commits a synchronous call built by [`CronusSystem::call`]: applies
+    /// the retry policy (idempotent mECalls only) around single attempts.
+    pub(crate) fn call_commit_sync(
+        &mut self,
+        id: StreamId,
+        name: &str,
+        payload: &[u8],
+        req: Option<ReqId>,
+        deadline: Option<SimNs>,
+        retry: Option<RetryPolicy>,
+    ) -> Result<Vec<u8>, SrpcError> {
+        let Some(policy) = retry else {
+            let req = req.unwrap_or_else(|| self.alloc_req());
+            return self.call_sync_attempt(id, name, payload, req, deadline);
+        };
+
+        // Replay is only safe for mECalls the callee's manifest declares
+        // idempotent; reject the policy up front otherwise.
+        let idempotent = {
+            let s = self.stream(id)?;
+            let callee = s.callee;
+            self.spm
+                .mos(callee.0)?
+                .manager()
+                .entry(callee.1)
+                .map_err(|_| SrpcError::Closed)?
+                .manifest
+                .mecall(name)
+                .ok_or_else(|| SrpcError::UnknownMcall(name.to_string()))?
+                .idempotent
+        };
+        if !idempotent {
+            return Err(SrpcError::NotIdempotent {
+                mecall: name.to_string(),
+            });
+        }
+
+        let attempts = policy.max_attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            let backoff = policy.backoff_before(attempt);
+            if backoff > SimNs::ZERO {
+                let caller_eid = self.stream(id)?.caller.1;
+                self.clock_mut(caller_eid).advance(backoff);
+                if let Some(rec) = self.spm.recorder() {
+                    rec.charge_detail(TimeCategory::Ring, "retry_backoff", backoff);
+                }
+            }
+            let attempt_req = match (attempt, req) {
+                (0, Some(r)) => r,
+                _ => self.alloc_req(),
+            };
+            match self.call_sync_attempt(id, name, payload, attempt_req, deadline) {
+                Ok(out) => return Ok(out),
+                Err(e) if retryable(&e) && attempt + 1 < attempts => {
+                    if let Some(rec) = self.spm.recorder() {
+                        rec.counter_add("srpc.retries", &[("mcall", name)], 1);
+                    }
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.expect("loop ran at least once"))
+    }
+
+    fn call_sync_attempt(
+        &mut self,
+        id: StreamId,
+        name: &str,
+        payload: &[u8],
+        req: ReqId,
+        deadline: Option<SimNs>,
+    ) -> Result<Vec<u8>, SrpcError> {
+        self.set_current_req(Some(req));
+        let result = self.call_sync_inner(id, name, payload, req, deadline);
         self.set_current_req(None);
         result
     }
@@ -1094,7 +1304,13 @@ impl CronusSystem {
         name: &str,
         payload: &[u8],
         req: ReqId,
+        deadline_override: Option<SimNs>,
     ) -> Result<Vec<u8>, SrpcError> {
+        let (caller_eid_pre, stream_deadline) = {
+            let s = self.stream(id)?;
+            (s.caller.1, s.deadline)
+        };
+        let started = self.clock_mut(caller_eid_pre).now();
         self.enqueue(id, name, payload, req)?;
         let result_index = self.stream(id)?.rid - 1;
         self.drain(id)?;
@@ -1132,6 +1348,24 @@ impl CronusSystem {
             );
         }
 
+        // Deadline enforcement on the virtual clock: the per-call override
+        // wins over the stream default.
+        if let Some(deadline) = deadline_override.or(stream_deadline) {
+            let elapsed = woke.saturating_sub(started);
+            if elapsed > deadline {
+                if let Some(rec) = self.spm.recorder() {
+                    rec.counter_add("srpc.timeouts", &[("mcall", name)], 1);
+                }
+                return Err(SrpcError::Timeout {
+                    mecall: name.to_string(),
+                    deadline,
+                    elapsed,
+                });
+            }
+        }
+
+        self.injection_point(id, SrpcPhase::SyncWakeup, result_index);
+
         let mut slot = vec![0u8; crate::ring::RESULT_SLOT_SIZE];
         {
             let (mos, machine) = self.spm.mos_and_machine(caller.0)?;
@@ -1146,28 +1380,59 @@ impl CronusSystem {
         s.stats.sync_calls += 1;
         match status {
             ResultStatus::Ok => Ok(payload),
-            ResultStatus::Err => Err(SrpcError::HandlerFailed(
-                String::from_utf8_lossy(&payload).into_owned(),
-            )),
+            ResultStatus::Err => Err(decode_wire_error(&payload)),
         }
     }
 
     /// Explicit synchronization: drains the executor and merges clocks.
-    /// Performs the streamCheck (`Sid == Rid`).
+    /// Performs the streamCheck: after a full drain, the *shared* `Rid`
+    /// and `Sid` words are read back from the ring and must equal each
+    /// other and the caller's cached indices. This is enforced (not just
+    /// debug-asserted), so ring-header corruption is detected in release
+    /// builds and surfaces as a typed error.
     ///
     /// # Errors
     ///
-    /// sRPC errors.
+    /// sRPC errors; [`SrpcError::StreamCheckFailed`] on index divergence.
     pub fn sync(&mut self, id: StreamId) -> Result<(), SrpcError> {
         self.drain(id)?;
+        let sync_slot = self.stream(id)?.sid;
+        self.injection_point(id, SrpcPhase::SyncWakeup, sync_slot);
         let wakeup = self.spm.machine().cost().srpc_sync_wakeup;
-        let (caller_eid, executor_now, check) = {
+        let (caller, caller_va, executor_now, cached_rid, cached_sid) = {
             let s = self.stream(id)?;
-            (s.caller.1, s.executor_clock.now(), s.sid == s.rid)
+            (s.caller, s.caller_va, s.executor_clock.now(), s.rid, s.sid)
         };
-        debug_assert!(check, "streamCheck: Sid must equal Rid after a full drain");
+
+        // streamCheck against the shared words, not just cached state.
+        let mut rid_buf = [0u8; 8];
+        let mut sid_buf = [0u8; 8];
         {
-            let c = self.clock_mut(caller_eid);
+            let (mos, machine) = self.spm.mos_and_machine(caller.0)?;
+            let read = mos
+                .enclave_read(machine, caller.1, caller_va.add(RID_OFFSET), &mut rid_buf)
+                .and_then(|()| {
+                    mos.enclave_read(machine, caller.1, caller_va.add(SID_OFFSET), &mut sid_buf)
+                });
+            if let Err(e) = read {
+                return Err(self.stream_fault(id, caller.0, e));
+            }
+        }
+        let shared_rid = u64::from_le_bytes(rid_buf);
+        let shared_sid = u64::from_le_bytes(sid_buf);
+        if shared_rid != shared_sid || shared_rid != cached_rid || shared_sid != cached_sid {
+            if let Some(rec) = self.spm.recorder() {
+                rec.counter_add("srpc.stream_check_failures", &[], 1);
+            }
+            return Err(SrpcError::StreamCheckFailed {
+                stream: id,
+                rid: shared_rid,
+                sid: shared_sid,
+            });
+        }
+
+        {
+            let c = self.clock_mut(caller.1);
             c.advance_to(executor_now);
             c.advance(wakeup);
         }
@@ -1231,6 +1496,245 @@ impl CronusSystem {
             .unwrap_or_else(|| (b"recovered-mos".to_vec(), "recovered".to_string()));
         Ok(self.spm.recover_partition(asid, &image, &version)?)
     }
+
+    /// Re-establishes service after a peer failure: discards the old
+    /// (typically quarantined) stream, reclaims its poisoned share pages,
+    /// and opens a fresh stream from the same caller to `callee` — usually
+    /// a fresh enclave on the recovered partition. The old stream's default
+    /// deadline carries over.
+    ///
+    /// # Errors
+    ///
+    /// [`SrpcError::UnknownStream`] for unknown streams, plus anything
+    /// [`CronusSystem::open_stream`] can raise.
+    pub fn reopen_stream(
+        &mut self,
+        old: StreamId,
+        callee: EnclaveRef,
+        pages: usize,
+    ) -> Result<StreamId, SrpcError> {
+        let s = self
+            .streams
+            .remove(&old)
+            .ok_or(SrpcError::UnknownStream(old))?;
+        let caller = EnclaveRef {
+            asid: s.caller.0,
+            eid: s.caller.1,
+        };
+        let deadline = s.deadline;
+        // Reclaim the old ring's pages: for a quarantined stream they were
+        // poisoned by failover and scrubbed during partition clear, so this
+        // returns them to the allocator; for a healthy stream it is a no-op.
+        let _ = self.spm.reclaim_share(s.share);
+        let new = self.open_stream(caller, callee, pages)?;
+        if let Some(ns) = self.streams.get_mut(&new) {
+            ns.deadline = deadline;
+        }
+        if let Some(rec) = self.spm.recorder() {
+            rec.counter_add("srpc.streams_reopened", &[], 1);
+        }
+        Ok(new)
+    }
+
+    /// The deadlock/stall watchdog, keyed off the virtual clock: reports
+    /// every open stream with backlog whose executor clock trails the
+    /// caller's clock by more than `bound`. A healthy pipeline drains at
+    /// sync points; a stream that accumulates lag beyond the bound means
+    /// the executor is wedged (or was delayed by an injected fault).
+    pub fn check_stalls(&self, bound: SimNs) -> Vec<StallWarning> {
+        let mut warnings: Vec<StallWarning> = self
+            .streams
+            .values()
+            .filter(|s| s.open && s.backlog() > 0)
+            .filter_map(|s| {
+                let caller_now = self
+                    .clocks
+                    .get(&s.caller.1)
+                    .map(|c| c.now())
+                    .unwrap_or(SimNs::ZERO);
+                let lag = caller_now.saturating_sub(s.executor_clock.now());
+                (lag > bound).then_some(StallWarning {
+                    stream: s.id,
+                    backlog: s.backlog(),
+                    stalled_for: lag,
+                })
+            })
+            .collect();
+        warnings.sort_by_key(|w| w.stream.0);
+        warnings
+    }
+
+    // ---- fault injection ------------------------------------------------------
+
+    /// Arms a fault against the sRPC pipeline. At most one fault is armed
+    /// at a time (a campaign scenario arms exactly one); arming replaces
+    /// and returns any previously armed fault. The fault fires — once —
+    /// when the pipeline next reaches its phase on a matching stream.
+    pub fn arm_fault(&mut self, fault: ArmedFault) -> Option<ArmedFault> {
+        self.injector.armed.replace(fault)
+    }
+
+    /// Disarms the armed fault, if any, returning it.
+    pub fn disarm_fault(&mut self) -> Option<ArmedFault> {
+        self.injector.armed.take()
+    }
+
+    /// Faults that actually fired, in firing order.
+    pub fn fired_faults(&self) -> &[FiredFault] {
+        &self.injector.fired
+    }
+
+    /// One of the six pipeline hooks: fires the armed fault if it matches
+    /// `phase` on `id`. The action mutates simulated machine state and lets
+    /// the *normal* pipeline surface the resulting typed fault — the
+    /// injector itself never fabricates errors.
+    fn injection_point(&mut self, id: StreamId, phase: SrpcPhase, slot_index: u64) {
+        let Some(armed) = self.injector.take_matching(phase, id) else {
+            return;
+        };
+        let at = self
+            .streams
+            .get(&id)
+            .and_then(|s| self.clocks.get(&s.caller.1))
+            .map(|c| c.now())
+            .unwrap_or(SimNs::ZERO);
+        self.apply_fault_action(id, armed.action, slot_index);
+        self.injector.fired.push(FiredFault {
+            fault: armed,
+            stream: id,
+            slot_index,
+            at,
+        });
+        self.spm
+            .machine_mut()
+            .record(EventKind::Marker("fault-injected"));
+        if let Some(rec) = self.spm.recorder() {
+            rec.counter_add(
+                "chaos.faults_fired",
+                &[("phase", phase.name()), ("action", armed.action.name())],
+                1,
+            );
+        }
+    }
+
+    fn apply_fault_action(&mut self, id: StreamId, action: FaultAction, slot_index: u64) {
+        let Some((caller_asid, callee_asid, layout, share)) = self
+            .streams
+            .get(&id)
+            .map(|s| (s.caller.0, s.callee.0, s.layout, s.share))
+        else {
+            return;
+        };
+        match action {
+            FaultAction::KillCallee => {
+                let _ = self.inject_partition_failure(callee_asid);
+            }
+            FaultAction::KillCaller => {
+                let _ = self.inject_partition_failure(caller_asid);
+            }
+            FaultAction::CorruptRequestSlot { seed } => {
+                let off = layout.request_slot(slot_index);
+                self.scribble_ring(share, off, crate::ring::SLOT_SIZE, Some(seed));
+            }
+            FaultAction::CorruptResultSlot { seed } => {
+                let off = layout.result_slot(slot_index);
+                self.scribble_ring(share, off, crate::ring::RESULT_SLOT_SIZE, Some(seed));
+            }
+            FaultAction::ZeroRequestSlot => {
+                let off = layout.request_slot(slot_index);
+                self.scribble_ring(share, off, crate::ring::SLOT_SIZE, None);
+            }
+            FaultAction::ZeroResultSlot => {
+                let off = layout.result_slot(slot_index);
+                self.scribble_ring(share, off, crate::ring::RESULT_SLOT_SIZE, None);
+            }
+            FaultAction::CorruptRingHeader { seed } => {
+                let mut rng = SimRng::new(seed);
+                let bogus_rid = rng.next_u64().to_le_bytes();
+                let bogus_sid = rng.next_u64().to_le_bytes();
+                self.write_ring_phys(share, RID_OFFSET, &bogus_rid);
+                self.write_ring_phys(share, SID_OFFSET, &bogus_sid);
+            }
+            FaultAction::RevokeStage2 => {
+                if let Ok(pages) = self.spm.share_pages(share).map(<[u64]>::to_vec) {
+                    for ppn in pages {
+                        self.spm.machine_mut().stage2_invalidate(callee_asid, ppn);
+                    }
+                }
+            }
+            FaultAction::RevokeSmmu => {
+                // Revoke every page the callee's DMA engine can currently
+                // reach (ring and staging alike): the device's next DMA
+                // takes an SMMU fault.
+                let stream = self.spm.mos(callee_asid).ok().map(|m| m.hal().dma_stream());
+                if let Some(stream) = stream {
+                    let machine = self.spm.machine_mut();
+                    let granted = machine.smmu().granted_pages(stream);
+                    machine.smmu_mut().invalidate_pages(stream, &granted);
+                }
+            }
+            FaultAction::DelayCompletion(d) => {
+                if let Some(s) = self.streams.get_mut(&id) {
+                    s.executor_clock.advance(d);
+                }
+            }
+        }
+    }
+
+    /// Overwrites `len` bytes of a share at ring offset `off`, through the
+    /// monitor's physical view (a peer scribbling memory does not go
+    /// through the victim's page tables). Seeded noise, or zeros.
+    fn scribble_ring(
+        &mut self,
+        share: cronus_spm::spm::ShareHandle,
+        off: u64,
+        len: usize,
+        seed: Option<u64>,
+    ) {
+        let mut bytes = vec![0u8; len];
+        if let Some(seed) = seed {
+            SimRng::new(seed).fill_bytes(&mut bytes);
+        }
+        self.write_ring_phys(share, off, &bytes);
+    }
+
+    /// Physically writes `data` at byte offset `off` into a share's pages,
+    /// splitting across page boundaries.
+    fn write_ring_phys(&mut self, share: cronus_spm::spm::ShareHandle, off: u64, data: &[u8]) {
+        let Ok(pages) = self.spm.share_pages(share).map(<[u64]>::to_vec) else {
+            return;
+        };
+        let mut pos = off;
+        let mut idx = 0usize;
+        while idx < data.len() {
+            let page = (pos / PAGE_SIZE) as usize;
+            let in_page = pos % PAGE_SIZE;
+            let Some(ppn) = pages.get(page) else {
+                return;
+            };
+            let chunk = (PAGE_SIZE - in_page).min((data.len() - idx) as u64) as usize;
+            let pa = PhysAddr::from_page_number(*ppn).add(in_page);
+            let _ = self
+                .spm
+                .machine_mut()
+                .phys_write(World::Secure, pa, &data[idx..idx + chunk]);
+            pos += chunk as u64;
+            idx += chunk;
+        }
+    }
+}
+
+/// Decodes the error payload of a result slot written by the executor: a
+/// [`FaultKind`] tag byte plus rendered detail. `NoHandler` round-trips to
+/// [`SrpcError::NoHandler`]; everything else becomes a
+/// [`CronusError::Remote`] behind [`SrpcError::Handler`].
+fn decode_wire_error(payload: &[u8]) -> SrpcError {
+    if let Some((tag, rest)) = payload.split_first() {
+        if FaultKind::from_tag(*tag) == Some(FaultKind::NoHandler) {
+            return SrpcError::NoHandler(String::from_utf8_lossy(rest).into_owned());
+        }
+    }
+    SrpcError::Handler(CronusError::decode_wire(payload))
 }
 
 #[cfg(test)]
@@ -1296,9 +1800,13 @@ mod tests {
         let mut sys = CronusSystem::boot(config());
         let (_cpu, _gpu, stream) = setup_pair(&mut sys);
         for i in 0..10u8 {
-            sys.call_async(stream, "launch", &[i]).unwrap();
+            sys.call(stream, "launch").payload(&[i]).start().unwrap();
         }
-        let result = sys.call_sync(stream, "memcpy_d2h", b"fetch").unwrap();
+        let result = sys
+            .call(stream, "memcpy_d2h")
+            .payload(b"fetch")
+            .sync()
+            .unwrap();
         assert_eq!(result, b"fetch");
         let stats = sys.stream_stats(stream).unwrap();
         assert_eq!(stats.calls, 11);
@@ -1312,7 +1820,7 @@ mod tests {
         let (cpu, _gpu, stream) = setup_pair(&mut sys);
         let t0 = sys.enclave_time(cpu);
         for _ in 0..100 {
-            sys.call_async(stream, "launch", &[0]).unwrap();
+            sys.call(stream, "launch").payload(&[0]).start().unwrap();
         }
         let t1 = sys.enclave_time(cpu);
         let caller_cost = t1 - t0;
@@ -1341,7 +1849,7 @@ mod tests {
         let mut sys = CronusSystem::boot(config());
         let (_cpu, _gpu, stream) = setup_pair(&mut sys);
         for _ in 0..50 {
-            sys.call_async(stream, "launch", &[1]).unwrap();
+            sys.call(stream, "launch").payload(&[1]).start().unwrap();
         }
         sys.sync(stream).unwrap();
         assert_eq!(sys.spm().machine().log().context_switches(), 0);
@@ -1352,7 +1860,7 @@ mod tests {
         let mut sys = CronusSystem::boot(config());
         let (_cpu, _gpu, stream) = setup_pair(&mut sys);
         assert_eq!(
-            sys.call_async(stream, "not_declared", &[]).unwrap_err(),
+            sys.call(stream, "not_declared").start().unwrap_err(),
             SrpcError::UnknownMcall("not_declared".into())
         );
     }
@@ -1434,7 +1942,7 @@ mod tests {
     fn partition_failure_surfaces_as_peer_failed() {
         let mut sys = CronusSystem::boot(config());
         let (cpu, gpu, stream) = setup_pair(&mut sys);
-        sys.call_async(stream, "launch", &[1]).unwrap();
+        sys.call(stream, "launch").payload(&[1]).start().unwrap();
         sys.sync(stream).unwrap();
 
         let (invalidated, t) = sys.inject_partition_failure(gpu.asid).unwrap();
@@ -1442,12 +1950,20 @@ mod tests {
         assert!(t > SimNs::ZERO);
 
         // The next call faults on the invalidated ring and converts into a
-        // failure signal; the stream closes and state clears automatically.
-        let err = sys.call_async(stream, "launch", &[2]).unwrap_err();
+        // failure signal; the stream is quarantined and state clears
+        // automatically.
+        let err = sys
+            .call(stream, "launch")
+            .payload(&[2])
+            .start()
+            .unwrap_err();
         assert_eq!(err, SrpcError::PeerFailed { signalled: cpu.eid });
         assert_eq!(
-            sys.call_async(stream, "launch", &[3]).unwrap_err(),
-            SrpcError::Closed
+            sys.call(stream, "launch")
+                .payload(&[3])
+                .start()
+                .unwrap_err(),
+            SrpcError::Quarantined(stream)
         );
 
         // Recovery restarts only the GPU partition; the CPU partition's
@@ -1459,7 +1975,7 @@ mod tests {
             .unwrap();
         sys.register_handler(gpu2, "launch", echo_handler(SimNs::from_micros(50)));
         let s2 = sys.open_stream(cpu, gpu2, DEFAULT_RING_PAGES).unwrap();
-        sys.call_async(s2, "launch", &[1]).unwrap();
+        sys.call(s2, "launch").payload(&[1]).start().unwrap();
         sys.sync(s2).unwrap();
     }
 
@@ -1469,7 +1985,10 @@ mod tests {
         let (_cpu, _gpu, stream) = setup_pair(&mut sys);
         let slots = sys.streams.get(&stream).unwrap().layout.slots;
         for i in 0..(slots as usize * 2 + 3) {
-            sys.call_async(stream, "launch", &[i as u8]).unwrap();
+            sys.call(stream, "launch")
+                .payload(&[i as u8])
+                .start()
+                .unwrap();
         }
         sys.sync(stream).unwrap();
         let stats = sys.stream_stats(stream).unwrap();
@@ -1484,21 +2003,32 @@ mod tests {
         sys.register_handler(
             gpu,
             "memcpy_d2h",
-            Box::new(|_, _| Err("device exploded".to_string())),
+            Box::new(|_, _| Err(CronusError::app("device exploded"))),
         );
-        let err = sys.call_sync(stream, "memcpy_d2h", &[]).unwrap_err();
-        assert_eq!(err, SrpcError::HandlerFailed("device exploded".into()));
+        let err = sys.call(stream, "memcpy_d2h").sync().unwrap_err();
+        // The typed error crossed the ring: kind survives, detail carries
+        // the rendered message.
+        match err {
+            SrpcError::Handler(e) => {
+                assert_eq!(e.kind(), FaultKind::App);
+                assert!(e.to_string().contains("device exploded"), "{e}");
+            }
+            other => panic!("expected Handler, got {other:?}"),
+        }
     }
 
     #[test]
     fn destroy_enclave_reclaims_streams() {
         let mut sys = CronusSystem::boot(config());
         let (cpu, gpu, stream) = setup_pair(&mut sys);
-        sys.call_async(stream, "launch", &[1]).unwrap();
+        sys.call(stream, "launch").payload(&[1]).start().unwrap();
         sys.sync(stream).unwrap();
         sys.destroy_enclave(gpu).unwrap();
         assert!(matches!(
-            sys.call_async(stream, "launch", &[1]).unwrap_err(),
+            sys.call(stream, "launch")
+                .payload(&[1])
+                .start()
+                .unwrap_err(),
             SrpcError::UnknownStream(_)
         ));
         // The CPU enclave survives.
@@ -1518,8 +2048,8 @@ mod tests {
         assert_ne!(s1, s2);
         // Both streams run independently against the same callee.
         for i in 0..20u8 {
-            sys.call_async(s1, "launch", &[i]).unwrap();
-            sys.call_async(s2, "launch", &[i]).unwrap();
+            sys.call(s1, "launch").payload(&[i]).start().unwrap();
+            sys.call(s2, "launch").payload(&[i]).start().unwrap();
         }
         sys.sync(s1).unwrap();
         sys.sync(s2).unwrap();
@@ -1537,7 +2067,7 @@ mod tests {
             "memcpy_d2h",
             Box::new(|_, _| Ok((vec![0u8; crate::ring::SLOT_PAYLOAD + 1], SimNs::ZERO))),
         );
-        let err = sys.call_sync(stream, "memcpy_d2h", &[]).unwrap_err();
+        let err = sys.call(stream, "memcpy_d2h").sync().unwrap_err();
         assert!(matches!(err, SrpcError::Codec(_)), "got {err:?}");
     }
 
@@ -1562,30 +2092,27 @@ mod tests {
             "launch",
             Box::new(|ctx, _| {
                 let cm = ctx.spm.machine().cost().clone();
-                let mos = ctx.spm.mos_mut(ctx.asid).map_err(|e| e.to_string())?;
-                let dev = mos.hal_mut().gpu_mut().map_err(|e| e.to_string())?;
-                let gctx = dev.create_context(4096).map_err(|e| e.to_string())?;
-                dev.register_kernel(gctx, "k", std::sync::Arc::new(|_, _| Ok(())))
-                    .map_err(|e| e.to_string())?;
-                let t = dev
-                    .launch(
-                        &cm,
-                        gctx,
-                        "k",
-                        &[],
-                        cronus_devices::gpu::GpuKernelDesc {
-                            flops: 1.0,
-                            mem_bytes: 0.0,
-                            sm_demand: 1,
-                        },
-                    )
-                    .map_err(|e| e.to_string())?;
-                dev.destroy_context(gctx).map_err(|e| e.to_string())?;
+                let mos = ctx.spm.mos_mut(ctx.asid)?;
+                let dev = mos.hal_mut().gpu_mut()?;
+                let gctx = dev.create_context(4096)?;
+                dev.register_kernel(gctx, "k", std::sync::Arc::new(|_, _| Ok(())))?;
+                let t = dev.launch(
+                    &cm,
+                    gctx,
+                    "k",
+                    &[],
+                    cronus_devices::gpu::GpuKernelDesc {
+                        flops: 1.0,
+                        mem_bytes: 0.0,
+                        sm_demand: 1,
+                    },
+                )?;
+                dev.destroy_context(gctx)?;
                 Ok((Vec::new(), t))
             }),
         );
         for _ in 0..5 {
-            sys.call_async(stream, "launch", &[]).unwrap();
+            sys.call(stream, "launch").start().unwrap();
         }
         sys.sync(stream).unwrap();
         let irqs: usize = sys
@@ -1609,5 +2136,234 @@ mod tests {
         let signed = sys.attestation_report(gpu).unwrap();
         assert_eq!(signed.report.enclaves.len(), 1);
         assert_eq!(signed.report.vendor, "nvidia");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_call_shims_still_work() {
+        let mut sys = CronusSystem::boot(config());
+        let (_cpu, _gpu, stream) = setup_pair(&mut sys);
+        sys.call_async(stream, "launch", &[1]).unwrap();
+        let req = sys.alloc_req();
+        sys.call_async_with_req(stream, "launch", &[2], req)
+            .unwrap();
+        let out = sys.call_sync(stream, "memcpy_d2h", b"x").unwrap();
+        assert_eq!(out, b"x");
+        let req = sys.alloc_req();
+        let out = sys
+            .call_sync_with_req(stream, "memcpy_d2h", b"y", req)
+            .unwrap();
+        assert_eq!(out, b"y");
+    }
+
+    #[test]
+    fn deadline_violation_is_a_typed_timeout() {
+        let mut sys = CronusSystem::boot(config());
+        let (_cpu, _gpu, stream) = setup_pair(&mut sys);
+        // The memcpy_d2h handler charges 10us of device time; a 1us stream
+        // deadline cannot be met.
+        sys.set_stream_deadline(stream, Some(SimNs::from_micros(1)))
+            .unwrap();
+        let err = sys.call(stream, "memcpy_d2h").sync().unwrap_err();
+        match err {
+            SrpcError::Timeout {
+                mecall,
+                deadline,
+                elapsed,
+            } => {
+                assert_eq!(mecall, "memcpy_d2h");
+                assert_eq!(deadline, SimNs::from_micros(1));
+                assert!(elapsed > deadline);
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        // A generous per-call override wins over the stream default.
+        let out = sys
+            .call(stream, "memcpy_d2h")
+            .payload(b"ok")
+            .deadline(SimNs::from_secs(1))
+            .sync()
+            .unwrap();
+        assert_eq!(out, b"ok");
+    }
+
+    #[test]
+    fn retry_requires_idempotence_declaration() {
+        let mut sys = CronusSystem::boot(config());
+        let (_cpu, _gpu, stream) = setup_pair(&mut sys);
+        // memcpy_d2h is not declared idempotent in gpu_manifest().
+        let err = sys
+            .call(stream, "memcpy_d2h")
+            .retry(RetryPolicy::attempts(3))
+            .sync()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SrpcError::NotIdempotent {
+                mecall: "memcpy_d2h".into()
+            }
+        );
+    }
+
+    #[test]
+    fn retry_recovers_transient_handler_failures() {
+        let mut sys = CronusSystem::boot(config());
+        let app = sys.create_app();
+        let cpu = sys
+            .create_enclave(Actor::App(app), cpu_manifest(), &BTreeMap::new())
+            .unwrap();
+        let gpu = sys
+            .create_enclave(
+                Actor::Enclave(cpu),
+                Manifest::new(DeviceKind::Gpu)
+                    .with_mecall(McallDecl::synchronous("fetch").idempotent())
+                    .with_memory(1 << 20),
+                &BTreeMap::new(),
+            )
+            .unwrap();
+        let mut failures_left = 2u32;
+        sys.register_handler(
+            gpu,
+            "fetch",
+            Box::new(move |_, payload| {
+                if failures_left > 0 {
+                    failures_left -= 1;
+                    Err(CronusError::app("transient glitch"))
+                } else {
+                    Ok((payload.to_vec(), SimNs::from_micros(1)))
+                }
+            }),
+        );
+        let stream = sys.open_stream(cpu, gpu, DEFAULT_RING_PAGES).unwrap();
+        let t0 = sys.enclave_time(cpu);
+        let out = sys
+            .call(stream, "fetch")
+            .payload(b"idem")
+            .retry(RetryPolicy::attempts(3).backoff(SimNs::from_micros(7)))
+            .sync()
+            .unwrap();
+        assert_eq!(out, b"idem");
+        // Two backoffs were charged to the caller's virtual clock.
+        assert!(sys.enclave_time(cpu) - t0 >= SimNs::from_micros(14));
+        // Exhausting the policy surfaces the last typed error.
+        let mut sys2 = CronusSystem::boot(config());
+        let app2 = sys2.create_app();
+        let cpu2 = sys2
+            .create_enclave(Actor::App(app2), cpu_manifest(), &BTreeMap::new())
+            .unwrap();
+        let gpu2 = sys2
+            .create_enclave(
+                Actor::Enclave(cpu2),
+                Manifest::new(DeviceKind::Gpu)
+                    .with_mecall(McallDecl::synchronous("fetch").idempotent())
+                    .with_memory(1 << 20),
+                &BTreeMap::new(),
+            )
+            .unwrap();
+        sys2.register_handler(
+            gpu2,
+            "fetch",
+            Box::new(|_, _| Err(CronusError::app("permanent"))),
+        );
+        let s2 = sys2.open_stream(cpu2, gpu2, DEFAULT_RING_PAGES).unwrap();
+        let err = sys2
+            .call(s2, "fetch")
+            .retry(RetryPolicy::attempts(2))
+            .sync()
+            .unwrap_err();
+        assert!(matches!(err, SrpcError::Handler(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn stream_check_detects_ring_header_corruption() {
+        let mut sys = CronusSystem::boot(config());
+        let (_cpu, _gpu, stream) = setup_pair(&mut sys);
+        sys.call(stream, "launch").payload(&[1]).start().unwrap();
+        sys.arm_fault(ArmedFault {
+            phase: SrpcPhase::SyncWakeup,
+            action: FaultAction::CorruptRingHeader { seed: 0xc0ffee },
+            stream: Some(stream),
+        });
+        let err = sys.sync(stream).unwrap_err();
+        assert!(
+            matches!(err, SrpcError::StreamCheckFailed { stream: s, .. } if s == stream),
+            "got {err:?}"
+        );
+        assert_eq!(sys.fired_faults().len(), 1);
+    }
+
+    #[test]
+    fn injected_callee_kill_surfaces_as_peer_failed_and_reopens() {
+        let mut sys = CronusSystem::boot(config());
+        let (cpu, gpu, stream) = setup_pair(&mut sys);
+        sys.set_stream_deadline(stream, Some(SimNs::from_secs(1)))
+            .unwrap();
+        sys.arm_fault(ArmedFault {
+            phase: SrpcPhase::Kernel,
+            action: FaultAction::KillCallee,
+            stream: Some(stream),
+        });
+        let err = sys.call(stream, "memcpy_d2h").sync().unwrap_err();
+        assert!(
+            matches!(err, SrpcError::PeerFailed { .. }),
+            "kernel-phase kill traps on the result write: {err:?}"
+        );
+        assert_eq!(sys.fired_faults().len(), 1);
+        assert_eq!(
+            sys.call(stream, "memcpy_d2h").sync().unwrap_err(),
+            SrpcError::Quarantined(stream)
+        );
+
+        // Recover the partition, stand up a fresh callee, re-open service.
+        sys.recover_partition(gpu.asid).unwrap();
+        let gpu2 = sys
+            .create_enclave(Actor::Enclave(cpu), gpu_manifest(), &BTreeMap::new())
+            .unwrap();
+        sys.register_handler(gpu2, "memcpy_d2h", echo_handler(SimNs::from_micros(10)));
+        let s2 = sys.reopen_stream(stream, gpu2, DEFAULT_RING_PAGES).unwrap();
+        assert_ne!(s2, stream);
+        // The old stream handle is gone; the deadline carried over.
+        assert!(matches!(
+            sys.stream_stats(stream).unwrap_err(),
+            SrpcError::UnknownStream(_)
+        ));
+        assert_eq!(
+            sys.streams.get(&s2).unwrap().deadline,
+            Some(SimNs::from_secs(1))
+        );
+        let out = sys.call(s2, "memcpy_d2h").payload(b"again").sync().unwrap();
+        assert_eq!(out, b"again");
+    }
+
+    #[test]
+    fn delayed_completion_trips_the_stall_watchdog() {
+        let mut sys = CronusSystem::boot(config());
+        let (cpu, _gpu, stream) = setup_pair(&mut sys);
+        for _ in 0..4 {
+            sys.call(stream, "launch").payload(&[1]).start().unwrap();
+        }
+        // The caller streams ahead; the executor has not been driven yet.
+        sys.advance_enclave(cpu, SimNs::from_millis(500));
+        let warnings = sys.check_stalls(SimNs::from_millis(100));
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].stream, stream);
+        assert_eq!(warnings[0].backlog, 4);
+        assert!(warnings[0].stalled_for >= SimNs::from_millis(500));
+        // After a sync the backlog drains and the watchdog is clean.
+        sys.sync(stream).unwrap();
+        assert!(sys.check_stalls(SimNs::from_millis(100)).is_empty());
+    }
+
+    #[test]
+    fn zeroed_result_slot_is_detected_as_corrupt() {
+        let mut sys = CronusSystem::boot(config());
+        let (_cpu, _gpu, stream) = setup_pair(&mut sys);
+        sys.arm_fault(ArmedFault {
+            phase: SrpcPhase::ResultWrite,
+            action: FaultAction::ZeroResultSlot,
+            stream: Some(stream),
+        });
+        let err = sys.call(stream, "memcpy_d2h").sync().unwrap_err();
+        assert!(matches!(err, SrpcError::Codec(_)), "got {err:?}");
     }
 }

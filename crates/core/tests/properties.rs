@@ -90,13 +90,13 @@ mod full {
 
             let mut expected = Vec::new();
             for (byte, sync_now) in &ops {
-                sys.call_async(stream, "append", &[*byte]).expect("append");
+                sys.call(stream, "append").payload(&[*byte]).start().expect("append");
                 expected.push(*byte);
                 if *sync_now {
                     sys.sync(stream).expect("sync");
                 }
             }
-            let observed = sys.call_sync(stream, "drain", &[]).expect("drain");
+            let observed = sys.call(stream, "drain").sync().expect("drain");
             prop_assert_eq!(observed, expected);
         }
 
@@ -148,7 +148,7 @@ mod full {
             let t0 = sys.enclave_time(cpu);
             let mut last = t0;
             for _ in 0..n.min(200) {
-                sys.call_async(stream, "append", &[1]).expect("call");
+                sys.call(stream, "append").payload(&[1]).start().expect("call");
                 let now = sys.enclave_time(cpu);
                 prop_assert!(now >= last, "clock is monotone");
                 last = now;
@@ -218,7 +218,10 @@ mod smoke {
             .open_stream(cpu, gpu, DEFAULT_RING_PAGES)
             .expect("stream");
         for i in 0..32u8 {
-            sys.call_async(stream, "append", &[i]).expect("call");
+            sys.call(stream, "append")
+                .payload(&[i])
+                .start()
+                .expect("call");
         }
         sys.sync(stream).expect("sync");
         assert_eq!(*seen.lock().expect("lock"), (0..32u8).collect::<Vec<u8>>());

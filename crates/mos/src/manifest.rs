@@ -79,6 +79,11 @@ pub struct McallDecl {
     /// `cudaMemcpy` back to host); if false it can stream (e.g.
     /// `cudaLaunchKernel`).
     pub synchronous: bool,
+    /// If true the call may be safely re-issued after a transient failure:
+    /// the reliability layer only permits retry-with-backoff for mECalls
+    /// that declare idempotence here, because the declaration is measured
+    /// into attestation like the rest of the manifest.
+    pub idempotent: bool,
 }
 
 impl McallDecl {
@@ -87,6 +92,7 @@ impl McallDecl {
         McallDecl {
             name: name.to_string(),
             synchronous: false,
+            idempotent: false,
         }
     }
 
@@ -95,7 +101,15 @@ impl McallDecl {
         McallDecl {
             name: name.to_string(),
             synchronous: true,
+            idempotent: false,
         }
+    }
+
+    /// Marks the mECall as idempotent (builder style), making it eligible
+    /// for bounded retry after timeouts or transient handler failures.
+    pub fn idempotent(mut self) -> Self {
+        self.idempotent = true;
+        self
     }
 }
 
@@ -254,6 +268,7 @@ impl Manifest {
         for m in &self.mecalls {
             out.extend_from_slice(m.name.as_bytes());
             out.push(if m.synchronous { 1 } else { 0 });
+            out.push(if m.idempotent { 1 } else { 0 });
         }
         out.extend_from_slice(&self.resources.memory_bytes.to_le_bytes());
         out
@@ -342,6 +357,22 @@ mod tests {
         assert_ne!(a.measurement(), b.measurement());
         assert_ne!(a.measurement(), c.measurement());
         assert_eq!(a.measurement(), a.clone().measurement());
+    }
+
+    #[test]
+    fn idempotence_is_declared_and_measured() {
+        let m = Manifest::new(DeviceKind::Gpu)
+            .with_mecall(McallDecl::asynchronous("cuLaunchKernel"))
+            .with_mecall(McallDecl::synchronous("cuMemcpyD2H").idempotent());
+        assert!(!m.mecall("cuLaunchKernel").unwrap().idempotent);
+        assert!(m.mecall("cuMemcpyD2H").unwrap().idempotent);
+
+        // Flipping the flag changes the measurement: retry eligibility is
+        // part of what gets attested, not a mutable runtime knob.
+        let flipped = Manifest::new(DeviceKind::Gpu)
+            .with_mecall(McallDecl::asynchronous("cuLaunchKernel").idempotent())
+            .with_mecall(McallDecl::synchronous("cuMemcpyD2H").idempotent());
+        assert_ne!(m.measurement(), flipped.measurement());
     }
 
     #[test]

@@ -60,7 +60,16 @@ impl fmt::Display for MosError {
     }
 }
 
-impl std::error::Error for MosError {}
+impl std::error::Error for MosError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MosError::Manager(e) => Some(e),
+            MosError::Hal(e) => Some(e),
+            MosError::Fault(e) => Some(e),
+            MosError::OutOfMemory | MosError::NotRunning => None,
+        }
+    }
+}
 
 impl From<ManagerError> for MosError {
     fn from(e: ManagerError) -> Self {

@@ -14,7 +14,10 @@
 
 use std::collections::BTreeMap;
 
-use cronus_core::{Actor, CronusSystem, EnclaveRef, SrpcError, StreamId, DEFAULT_RING_PAGES};
+use cronus_core::{
+    Actor, CronusError, CronusSystem, EnclaveRef, SrpcError, StreamId, SystemError,
+    DEFAULT_RING_PAGES,
+};
 use cronus_devices::gpu::{GpuBuffer, GpuContextId, GpuKernelDesc, KernelArg, KernelFn};
 use cronus_devices::DeviceKind;
 use cronus_mos::hal::DeviceCtx;
@@ -32,26 +35,42 @@ pub struct DevPtr(pub u64);
 
 /// Errors from the CUDA runtime.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum CudaError {
     /// sRPC transport error (including peer-partition failure).
     Srpc(SrpcError),
-    /// System-level error during setup.
-    System(String),
+    /// Enclave or stream setup rejected by the system layer.
+    Setup(SystemError),
+    /// Typed SPM/HAL/device error during setup or control operations.
+    System(CronusError),
     /// Malformed response descriptor.
     Protocol,
+    /// The enclave's device context is not a GPU context.
+    WrongDeviceCtx,
 }
 
 impl std::fmt::Display for CudaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CudaError::Srpc(e) => write!(f, "srpc: {e}"),
-            CudaError::System(m) => write!(f, "system: {m}"),
+            CudaError::Setup(e) => write!(f, "setup: {e}"),
+            CudaError::System(e) => write!(f, "system: {e}"),
             CudaError::Protocol => f.write_str("malformed cuda rpc response"),
+            CudaError::WrongDeviceCtx => f.write_str("enclave is not backed by a gpu context"),
         }
     }
 }
 
-impl std::error::Error for CudaError {}
+impl std::error::Error for CudaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CudaError::Srpc(e) => Some(e),
+            CudaError::Setup(e) => Some(e),
+            CudaError::System(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<SrpcError> for CudaError {
     fn from(e: SrpcError) -> Self {
@@ -85,8 +104,8 @@ pub fn cuda_manifest(memory: u64) -> Manifest {
     Manifest::new(DeviceKind::Gpu)
         .with_mecall(McallDecl::synchronous("cuMalloc"))
         .with_mecall(McallDecl::asynchronous("cuFree"))
-        .with_mecall(McallDecl::asynchronous("cuMemcpyH2D"))
-        .with_mecall(McallDecl::synchronous("cuMemcpyD2H"))
+        .with_mecall(McallDecl::asynchronous("cuMemcpyH2D").idempotent())
+        .with_mecall(McallDecl::synchronous("cuMemcpyD2H").idempotent())
         .with_mecall(McallDecl::asynchronous("cuLaunchKernel"))
         .with_memory(memory)
 }
@@ -124,25 +143,25 @@ impl CudaContext {
                 cuda_manifest(opts.memory),
                 &BTreeMap::new(),
             )
-            .map_err(|e| CudaError::System(e.to_string()))?;
+            .map_err(CudaError::Setup)?;
         let stream = sys.open_stream(cpu, gpu, opts.ring_pages)?;
 
         // Staging buffer: a second trusted shared region for bulk data.
         let (staging_share, staging_caller_va, staging_callee_va) = sys
             .spm_mut()
             .share_memory((cpu.asid, cpu.eid), (gpu.asid, gpu.eid), opts.staging_pages)
-            .map_err(|e| CudaError::System(e.to_string()))?;
+            .map_err(|e| CudaError::System(e.into()))?;
 
         // The GPU's DMA engine must reach the staging pages (SMMU grants).
         let pages = sys
             .spm()
             .share_pages(staging_share)
-            .map_err(|e| CudaError::System(e.to_string()))?
+            .map_err(|e| CudaError::System(e.into()))?
             .to_vec();
         let dma_stream = sys
             .spm()
             .mos(gpu.asid)
-            .map_err(|e| CudaError::System(e.to_string()))?
+            .map_err(|e| CudaError::System(e.into()))?
             .hal()
             .dma_stream();
         for ppn in &pages {
@@ -171,15 +190,13 @@ impl CudaContext {
         let entry = sys
             .spm()
             .mos(gpu.asid)
-            .map_err(|e| CudaError::System(e.to_string()))?
+            .map_err(|e| CudaError::System(e.into()))?
             .manager()
             .entry(gpu.eid)
-            .map_err(|e| CudaError::System(e.to_string()))?;
+            .map_err(|e| CudaError::System(e.into()))?;
         match entry.ctx {
             DeviceCtx::Gpu(ctx) => Ok(ctx),
-            other => Err(CudaError::System(format!(
-                "expected gpu ctx, got {other:?}"
-            ))),
+            _ => Err(CudaError::WrongDeviceCtx),
         }
     }
 
@@ -194,10 +211,10 @@ impl CudaContext {
             gpu,
             "cuMalloc",
             Box::new(move |ctx, payload| {
-                let len = Reader::new(payload).u64().map_err(|e| e.to_string())?;
-                let mos = ctx.spm.mos_mut(ctx.asid).map_err(|e| e.to_string())?;
-                let gpu_dev = mos.hal_mut().gpu_mut().map_err(|e| e.to_string())?;
-                let buf = gpu_dev.alloc(gctx, len).map_err(|e| e.to_string())?;
+                let len = Reader::new(payload).u64()?;
+                let mos = ctx.spm.mos_mut(ctx.asid)?;
+                let gpu_dev = mos.hal_mut().gpu_mut()?;
+                let buf = gpu_dev.alloc(gctx, len)?;
                 let mut w = Writer::new();
                 w.u64(buf.as_raw());
                 Ok((w.finish(), SimNs::from_micros(2)))
@@ -209,12 +226,10 @@ impl CudaContext {
             gpu,
             "cuFree",
             Box::new(move |ctx, payload| {
-                let raw = Reader::new(payload).u64().map_err(|e| e.to_string())?;
-                let mos = ctx.spm.mos_mut(ctx.asid).map_err(|e| e.to_string())?;
-                let gpu_dev = mos.hal_mut().gpu_mut().map_err(|e| e.to_string())?;
-                gpu_dev
-                    .free(gctx, GpuBuffer::from_raw(raw))
-                    .map_err(|e| e.to_string())?;
+                let raw = Reader::new(payload).u64()?;
+                let mos = ctx.spm.mos_mut(ctx.asid)?;
+                let gpu_dev = mos.hal_mut().gpu_mut()?;
+                gpu_dev.free(gctx, GpuBuffer::from_raw(raw))?;
                 Ok((Vec::new(), SimNs::from_micros(1)))
             }),
         );
@@ -225,27 +240,27 @@ impl CudaContext {
             "cuMemcpyH2D",
             Box::new(move |ctx, payload| {
                 let mut r = Reader::new(payload);
-                let dst = GpuBuffer::from_raw(r.u64().map_err(|e| e.to_string())?);
-                let dst_off = r.u64().map_err(|e| e.to_string())?;
-                let staging_off = r.u64().map_err(|e| e.to_string())?;
-                let len = r.u64().map_err(|e| e.to_string())?;
+                let dst = GpuBuffer::from_raw(r.u64()?);
+                let dst_off = r.u64()?;
+                let staging_off = r.u64()?;
+                let len = r.u64()?;
                 let eid = ctx.eid;
-                let (mos, machine, bus) = ctx
-                    .spm
-                    .mos_machine_bus(ctx.asid)
-                    .map_err(|e| e.to_string())?;
+                let (mos, machine, bus) = ctx.spm.mos_machine_bus(ctx.asid)?;
                 let mut total = SimNs::ZERO;
                 let mut done = 0u64;
                 while done < len {
                     let va = staging_va.add(staging_off + done);
-                    let pa = mos
-                        .translate(eid, va, Access::Read)
-                        .map_err(|e| e.to_string())?;
+                    let pa = mos.translate(eid, va, Access::Read)?;
                     let n = (len - done).min(PAGE_SIZE - va.page_offset());
-                    total += mos
-                        .hal_mut()
-                        .gpu_copy_h2d(machine, bus, gctx, dst, dst_off + done, pa, n as usize)
-                        .map_err(|e| e.to_string())?;
+                    total += mos.hal_mut().gpu_copy_h2d(
+                        machine,
+                        bus,
+                        gctx,
+                        dst,
+                        dst_off + done,
+                        pa,
+                        n as usize,
+                    )?;
                     done += n;
                 }
                 Ok((Vec::new(), total))
@@ -258,27 +273,27 @@ impl CudaContext {
             "cuMemcpyD2H",
             Box::new(move |ctx, payload| {
                 let mut r = Reader::new(payload);
-                let src = GpuBuffer::from_raw(r.u64().map_err(|e| e.to_string())?);
-                let src_off = r.u64().map_err(|e| e.to_string())?;
-                let staging_off = r.u64().map_err(|e| e.to_string())?;
-                let len = r.u64().map_err(|e| e.to_string())?;
+                let src = GpuBuffer::from_raw(r.u64()?);
+                let src_off = r.u64()?;
+                let staging_off = r.u64()?;
+                let len = r.u64()?;
                 let eid = ctx.eid;
-                let (mos, machine, bus) = ctx
-                    .spm
-                    .mos_machine_bus(ctx.asid)
-                    .map_err(|e| e.to_string())?;
+                let (mos, machine, bus) = ctx.spm.mos_machine_bus(ctx.asid)?;
                 let mut total = SimNs::ZERO;
                 let mut done = 0u64;
                 while done < len {
                     let va = staging_va.add(staging_off + done);
-                    let pa = mos
-                        .translate(eid, va, Access::Write)
-                        .map_err(|e| e.to_string())?;
+                    let pa = mos.translate(eid, va, Access::Write)?;
                     let n = (len - done).min(PAGE_SIZE - va.page_offset());
-                    total += mos
-                        .hal_mut()
-                        .gpu_copy_d2h(machine, bus, gctx, src, src_off + done, pa, n as usize)
-                        .map_err(|e| e.to_string())?;
+                    total += mos.hal_mut().gpu_copy_d2h(
+                        machine,
+                        bus,
+                        gctx,
+                        src,
+                        src_off + done,
+                        pa,
+                        n as usize,
+                    )?;
                     done += n;
                 }
                 Ok((Vec::new(), total))
@@ -291,31 +306,27 @@ impl CudaContext {
             "cuLaunchKernel",
             Box::new(move |ctx, payload| {
                 let mut r = Reader::new(payload);
-                let name = r.str().map_err(|e| e.to_string())?;
-                let argc = r.u32().map_err(|e| e.to_string())? as usize;
+                let name = r.str()?;
+                let argc = r.u32()? as usize;
                 let mut args = Vec::with_capacity(argc);
                 for _ in 0..argc {
-                    let tag = r.u8().map_err(|e| e.to_string())?;
+                    let tag = r.u8()?;
                     args.push(match tag {
-                        0 => KernelArg::Buffer(GpuBuffer::from_raw(
-                            r.u64().map_err(|e| e.to_string())?,
-                        )),
-                        1 => KernelArg::Int(r.i64().map_err(|e| e.to_string())?),
-                        2 => KernelArg::Float(r.f32().map_err(|e| e.to_string())?),
-                        _ => return Err("bad kernel arg tag".to_string()),
+                        0 => KernelArg::Buffer(GpuBuffer::from_raw(r.u64()?)),
+                        1 => KernelArg::Int(r.i64()?),
+                        2 => KernelArg::Float(r.f32()?),
+                        _ => return Err(CronusError::BadRequest),
                     });
                 }
                 let desc = GpuKernelDesc {
-                    flops: r.f64().map_err(|e| e.to_string())?,
-                    mem_bytes: r.f64().map_err(|e| e.to_string())?,
-                    sm_demand: r.u32().map_err(|e| e.to_string())?,
+                    flops: r.f64()?,
+                    mem_bytes: r.f64()?,
+                    sm_demand: r.u32()?,
                 };
                 let cm = ctx.spm.machine().cost().clone();
-                let mos = ctx.spm.mos_mut(ctx.asid).map_err(|e| e.to_string())?;
-                let gpu_dev = mos.hal_mut().gpu_mut().map_err(|e| e.to_string())?;
-                let t = gpu_dev
-                    .launch(&cm, gctx, &name, &args, desc)
-                    .map_err(|e| e.to_string())?;
+                let mos = ctx.spm.mos_mut(ctx.asid)?;
+                let gpu_dev = mos.hal_mut().gpu_mut()?;
+                let t = gpu_dev.launch(&cm, gctx, &name, &args, desc)?;
                 Ok((Vec::new(), t))
             }),
         );
@@ -335,12 +346,12 @@ impl CudaContext {
         let gctx = Self::gpu_ctx(sys, self.gpu)?;
         sys.spm_mut()
             .mos_mut(self.gpu.asid)
-            .map_err(|e| CudaError::System(e.to_string()))?
+            .map_err(|e| CudaError::System(e.into()))?
             .hal_mut()
             .gpu_mut()
-            .map_err(|e| CudaError::System(e.to_string()))?
+            .map_err(|e| CudaError::System(e.into()))?
             .register_kernel(gctx, name, f)
-            .map_err(|e| CudaError::System(e.to_string()))
+            .map_err(|e| CudaError::System(e.into()))
     }
 
     /// `cudaMalloc`.
@@ -351,7 +362,10 @@ impl CudaContext {
     pub fn malloc(&mut self, sys: &mut CronusSystem, len: u64) -> Result<DevPtr, CudaError> {
         let mut w = Writer::new();
         w.u64(len);
-        let out = sys.call_sync(self.stream, "cuMalloc", &w.finish())?;
+        let out = sys
+            .call(self.stream, "cuMalloc")
+            .payload(&w.finish())
+            .sync()?;
         let raw = Reader::new(&out).u64().map_err(|_| CudaError::Protocol)?;
         Ok(DevPtr(raw))
     }
@@ -364,7 +378,9 @@ impl CudaContext {
     pub fn free(&mut self, sys: &mut CronusSystem, ptr: DevPtr) -> Result<(), CudaError> {
         let mut w = Writer::new();
         w.u64(ptr.0);
-        sys.call_async(self.stream, "cuFree", &w.finish())?;
+        sys.call(self.stream, "cuFree")
+            .payload(&w.finish())
+            .start()?;
         Ok(())
     }
 
@@ -419,7 +435,10 @@ impl CudaContext {
 
             let mut w = Writer::new();
             w.u64(dst.0).u64(done).u64(off).u64(n);
-            sys.call_async_with_req(self.stream, "cuMemcpyH2D", &w.finish(), req)?;
+            sys.call(self.stream, "cuMemcpyH2D")
+                .payload(&w.finish())
+                .req(req)
+                .start()?;
             done += n;
         }
         Ok(())
@@ -445,7 +464,10 @@ impl CudaContext {
             let req = sys.alloc_req();
             let mut w = Writer::new();
             w.u64(src.0).u64(done).u64(off).u64(n);
-            sys.call_sync_with_req(self.stream, "cuMemcpyD2H", &w.finish(), req)?;
+            sys.call(self.stream, "cuMemcpyD2H")
+                .payload(&w.finish())
+                .req(req)
+                .sync()?;
             // Caller reads the chunk out of staging, still under the same
             // request so the read-back traces to the device copy.
             sys.set_current_req(Some(req));
@@ -495,7 +517,9 @@ impl CudaContext {
             }
         }
         w.f64(desc.flops).f64(desc.mem_bytes).u32(desc.sm_demand);
-        sys.call_async(self.stream, "cuLaunchKernel", &w.finish())?;
+        sys.call(self.stream, "cuLaunchKernel")
+            .payload(&w.finish())
+            .start()?;
         Ok(())
     }
 
@@ -526,20 +550,20 @@ impl CudaContext {
         let from = sys
             .spm()
             .mos(self.gpu.asid)
-            .map_err(|e| CudaError::System(e.to_string()))?
+            .map_err(|e| CudaError::System(e.into()))?
             .hal()
             .device_id();
         let to = sys
             .spm()
             .mos(other.gpu.asid)
-            .map_err(|e| CudaError::System(e.to_string()))?
+            .map_err(|e| CudaError::System(e.into()))?
             .hal()
             .device_id();
         let t = {
             let spm = sys.spm();
             spm.bus()
                 .dma_peer_to_peer(spm.machine(), from, to, bytes)
-                .map_err(|e| CudaError::System(e.to_string()))?
+                .map_err(|e| CudaError::System(e.into()))?
         };
         sys.advance_enclave(self.cpu, t);
         let rec = sys.recorder();

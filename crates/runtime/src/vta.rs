@@ -8,7 +8,10 @@
 
 use std::collections::BTreeMap;
 
-use cronus_core::{Actor, CronusSystem, EnclaveRef, SrpcError, StreamId, DEFAULT_RING_PAGES};
+use cronus_core::{
+    Actor, CronusError, CronusSystem, EnclaveRef, SrpcError, StreamId, SystemError,
+    DEFAULT_RING_PAGES,
+};
 use cronus_devices::npu::{AluOp, NpuBuffer, NpuContextId, VtaInsn, VtaProgram};
 use cronus_devices::DeviceKind;
 use cronus_mos::hal::DeviceCtx;
@@ -26,26 +29,42 @@ pub struct NpuPtr(pub u64);
 
 /// Errors from the VTA runtime.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum VtaError {
     /// sRPC transport error.
     Srpc(SrpcError),
-    /// Setup/system error.
-    System(String),
+    /// Enclave or stream setup rejected by the system layer.
+    Setup(SystemError),
+    /// Typed SPM/HAL/device error during setup or control operations.
+    System(CronusError),
     /// Malformed response.
     Protocol,
+    /// The enclave's device context is not an NPU context.
+    WrongDeviceCtx,
 }
 
 impl std::fmt::Display for VtaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             VtaError::Srpc(e) => write!(f, "srpc: {e}"),
-            VtaError::System(m) => write!(f, "system: {m}"),
+            VtaError::Setup(e) => write!(f, "setup: {e}"),
+            VtaError::System(e) => write!(f, "system: {e}"),
             VtaError::Protocol => f.write_str("malformed vta rpc response"),
+            VtaError::WrongDeviceCtx => f.write_str("enclave is not backed by an npu context"),
         }
     }
 }
 
-impl std::error::Error for VtaError {}
+impl std::error::Error for VtaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VtaError::Srpc(e) => Some(e),
+            VtaError::Setup(e) => Some(e),
+            VtaError::System(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<SrpcError> for VtaError {
     fn from(e: SrpcError) -> Self {
@@ -78,8 +97,8 @@ impl Default for VtaOptions {
 pub fn vta_manifest(memory: u64) -> Manifest {
     Manifest::new(DeviceKind::Npu)
         .with_mecall(McallDecl::synchronous("vtaAlloc"))
-        .with_mecall(McallDecl::asynchronous("vtaMemcpyH2D"))
-        .with_mecall(McallDecl::synchronous("vtaMemcpyD2H"))
+        .with_mecall(McallDecl::asynchronous("vtaMemcpyH2D").idempotent())
+        .with_mecall(McallDecl::synchronous("vtaMemcpyD2H").idempotent())
         .with_mecall(McallDecl::asynchronous("vtaRun"))
         .with_memory(memory)
 }
@@ -229,22 +248,22 @@ impl VtaContext {
                 vta_manifest(opts.memory),
                 &BTreeMap::new(),
             )
-            .map_err(|e| VtaError::System(e.to_string()))?;
+            .map_err(VtaError::Setup)?;
         let stream = sys.open_stream(cpu, npu, opts.ring_pages)?;
 
         let (staging_share, staging_caller_va, staging_callee_va) = sys
             .spm_mut()
             .share_memory((cpu.asid, cpu.eid), (npu.asid, npu.eid), opts.staging_pages)
-            .map_err(|e| VtaError::System(e.to_string()))?;
+            .map_err(|e| VtaError::System(e.into()))?;
         let pages = sys
             .spm()
             .share_pages(staging_share)
-            .map_err(|e| VtaError::System(e.to_string()))?
+            .map_err(|e| VtaError::System(e.into()))?
             .to_vec();
         let dma_stream = sys
             .spm()
             .mos(npu.asid)
-            .map_err(|e| VtaError::System(e.to_string()))?
+            .map_err(|e| VtaError::System(e.into()))?
             .hal()
             .dma_stream();
         for ppn in &pages {
@@ -271,13 +290,13 @@ impl VtaContext {
         let entry = sys
             .spm()
             .mos(npu.asid)
-            .map_err(|e| VtaError::System(e.to_string()))?
+            .map_err(|e| VtaError::System(e.into()))?
             .manager()
             .entry(npu.eid)
-            .map_err(|e| VtaError::System(e.to_string()))?;
+            .map_err(|e| VtaError::System(e.into()))?;
         match entry.ctx {
             DeviceCtx::Npu(ctx) => Ok(ctx),
-            other => Err(VtaError::System(format!("expected npu ctx, got {other:?}"))),
+            _ => Err(VtaError::WrongDeviceCtx),
         }
     }
 
@@ -291,10 +310,10 @@ impl VtaContext {
             npu,
             "vtaAlloc",
             Box::new(move |ctx, payload| {
-                let len = Reader::new(payload).u64().map_err(|e| e.to_string())?;
-                let mos = ctx.spm.mos_mut(ctx.asid).map_err(|e| e.to_string())?;
-                let dev = mos.hal_mut().npu_mut().map_err(|e| e.to_string())?;
-                let buf = dev.alloc(nctx, len).map_err(|e| e.to_string())?;
+                let len = Reader::new(payload).u64()?;
+                let mos = ctx.spm.mos_mut(ctx.asid)?;
+                let dev = mos.hal_mut().npu_mut()?;
+                let buf = dev.alloc(nctx, len)?;
                 let mut w = Writer::new();
                 w.u64(buf.as_raw());
                 Ok((w.finish(), SimNs::from_micros(2)))
@@ -306,27 +325,27 @@ impl VtaContext {
             "vtaMemcpyH2D",
             Box::new(move |ctx, payload| {
                 let mut r = Reader::new(payload);
-                let dst = NpuBuffer::from_raw(r.u64().map_err(|e| e.to_string())?);
-                let dst_off = r.u64().map_err(|e| e.to_string())?;
-                let staging_off = r.u64().map_err(|e| e.to_string())?;
-                let len = r.u64().map_err(|e| e.to_string())?;
+                let dst = NpuBuffer::from_raw(r.u64()?);
+                let dst_off = r.u64()?;
+                let staging_off = r.u64()?;
+                let len = r.u64()?;
                 let eid = ctx.eid;
-                let (mos, machine, bus) = ctx
-                    .spm
-                    .mos_machine_bus(ctx.asid)
-                    .map_err(|e| e.to_string())?;
+                let (mos, machine, bus) = ctx.spm.mos_machine_bus(ctx.asid)?;
                 let mut total = SimNs::ZERO;
                 let mut done = 0u64;
                 while done < len {
                     let va = staging_va.add(staging_off + done);
-                    let pa = mos
-                        .translate(eid, va, Access::Read)
-                        .map_err(|e| e.to_string())?;
+                    let pa = mos.translate(eid, va, Access::Read)?;
                     let n = (len - done).min(PAGE_SIZE - va.page_offset());
-                    total += mos
-                        .hal_mut()
-                        .npu_copy_h2d(machine, bus, nctx, dst, dst_off + done, pa, n as usize)
-                        .map_err(|e| e.to_string())?;
+                    total += mos.hal_mut().npu_copy_h2d(
+                        machine,
+                        bus,
+                        nctx,
+                        dst,
+                        dst_off + done,
+                        pa,
+                        n as usize,
+                    )?;
                     done += n;
                 }
                 Ok((Vec::new(), total))
@@ -338,27 +357,27 @@ impl VtaContext {
             "vtaMemcpyD2H",
             Box::new(move |ctx, payload| {
                 let mut r = Reader::new(payload);
-                let src = NpuBuffer::from_raw(r.u64().map_err(|e| e.to_string())?);
-                let src_off = r.u64().map_err(|e| e.to_string())?;
-                let staging_off = r.u64().map_err(|e| e.to_string())?;
-                let len = r.u64().map_err(|e| e.to_string())?;
+                let src = NpuBuffer::from_raw(r.u64()?);
+                let src_off = r.u64()?;
+                let staging_off = r.u64()?;
+                let len = r.u64()?;
                 let eid = ctx.eid;
-                let (mos, machine, bus) = ctx
-                    .spm
-                    .mos_machine_bus(ctx.asid)
-                    .map_err(|e| e.to_string())?;
+                let (mos, machine, bus) = ctx.spm.mos_machine_bus(ctx.asid)?;
                 let mut total = SimNs::ZERO;
                 let mut done = 0u64;
                 while done < len {
                     let va = staging_va.add(staging_off + done);
-                    let pa = mos
-                        .translate(eid, va, Access::Write)
-                        .map_err(|e| e.to_string())?;
+                    let pa = mos.translate(eid, va, Access::Write)?;
                     let n = (len - done).min(PAGE_SIZE - va.page_offset());
-                    total += mos
-                        .hal_mut()
-                        .npu_copy_d2h(machine, bus, nctx, src, src_off + done, pa, n as usize)
-                        .map_err(|e| e.to_string())?;
+                    total += mos.hal_mut().npu_copy_d2h(
+                        machine,
+                        bus,
+                        nctx,
+                        src,
+                        src_off + done,
+                        pa,
+                        n as usize,
+                    )?;
                     done += n;
                 }
                 Ok((Vec::new(), total))
@@ -369,11 +388,11 @@ impl VtaContext {
             npu,
             "vtaRun",
             Box::new(move |ctx, payload| {
-                let prog = decode_program(payload).map_err(|e| e.to_string())?;
+                let prog = decode_program(payload)?;
                 let cm = ctx.spm.machine().cost().clone();
-                let mos = ctx.spm.mos_mut(ctx.asid).map_err(|e| e.to_string())?;
-                let dev = mos.hal_mut().npu_mut().map_err(|e| e.to_string())?;
-                let t = dev.run(&cm, nctx, &prog).map_err(|e| e.to_string())?;
+                let mos = ctx.spm.mos_mut(ctx.asid)?;
+                let dev = mos.hal_mut().npu_mut()?;
+                let t = dev.run(&cm, nctx, &prog)?;
                 Ok((Vec::new(), t))
             }),
         );
@@ -387,7 +406,10 @@ impl VtaContext {
     pub fn alloc(&mut self, sys: &mut CronusSystem, len: u64) -> Result<NpuPtr, VtaError> {
         let mut w = Writer::new();
         w.u64(len);
-        let out = sys.call_sync(self.stream, "vtaAlloc", &w.finish())?;
+        let out = sys
+            .call(self.stream, "vtaAlloc")
+            .payload(&w.finish())
+            .sync()?;
         Ok(NpuPtr(
             Reader::new(&out).u64().map_err(|_| VtaError::Protocol)?,
         ))
@@ -437,7 +459,10 @@ impl VtaContext {
             rec.complete_span(track, "staging_write", "memcpy", now - cost, now);
             let mut w = Writer::new();
             w.u64(dst.0).u64(done).u64(off).u64(n);
-            sys.call_async_with_req(self.stream, "vtaMemcpyH2D", &w.finish(), req)?;
+            sys.call(self.stream, "vtaMemcpyH2D")
+                .payload(&w.finish())
+                .req(req)
+                .start()?;
             done += n;
         }
         Ok(())
@@ -463,7 +488,10 @@ impl VtaContext {
             let req = sys.alloc_req();
             let mut w = Writer::new();
             w.u64(src.0).u64(done).u64(off).u64(n);
-            sys.call_sync_with_req(self.stream, "vtaMemcpyD2H", &w.finish(), req)?;
+            sys.call(self.stream, "vtaMemcpyD2H")
+                .payload(&w.finish())
+                .req(req)
+                .sync()?;
             sys.set_current_req(Some(req));
             let mut buf = vec![0u8; n as usize];
             let read = sys.shared_read(self.cpu, self.staging_caller_va.add(off), &mut buf);
@@ -489,7 +517,9 @@ impl VtaContext {
     ///
     /// RPC errors.
     pub fn run(&mut self, sys: &mut CronusSystem, prog: &VtaProgram) -> Result<(), VtaError> {
-        sys.call_async(self.stream, "vtaRun", &encode_program(prog))?;
+        sys.call(self.stream, "vtaRun")
+            .payload(&encode_program(prog))
+            .start()?;
         Ok(())
     }
 

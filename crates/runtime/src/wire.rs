@@ -19,6 +19,14 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// A descriptor that fails to decode is a malformed request from the peer:
+/// handlers surface it as [`cronus_core::CronusError::BadRequest`].
+impl From<WireError> for cronus_core::CronusError {
+    fn from(_: WireError) -> Self {
+        cronus_core::CronusError::BadRequest
+    }
+}
+
 /// Serializer.
 #[derive(Debug, Default)]
 pub struct Writer {

@@ -40,6 +40,7 @@ pub mod fault;
 pub mod machine;
 pub mod mem;
 pub mod pagetable;
+pub mod rng;
 pub mod smmu;
 pub mod trace;
 pub mod tzasc;
@@ -52,6 +53,7 @@ pub use fault::Fault;
 pub use machine::{AsId, Frame, Machine, MachineConfig};
 pub use mem::{PhysMem, World};
 pub use pagetable::{PagePerms, PageTable, Stage2Table};
+pub use rng::SimRng;
 pub use smmu::{Smmu, StreamId};
 pub use trace::{Event, EventKind, EventLog, EventSink};
 pub use tzasc::Tzasc;

@@ -207,7 +207,14 @@ impl fmt::Display for SpmError {
     }
 }
 
-impl std::error::Error for SpmError {}
+impl std::error::Error for SpmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpmError::Mos(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<MosError> for SpmError {
     fn from(e: MosError) -> Self {

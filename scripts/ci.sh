@@ -9,14 +9,23 @@
 # baselines, failing on any regression beyond the tolerance (default 10%,
 # override with BENCH_TOLERANCE_PCT). To accept a deliberate change, run
 # scripts/rebaseline.sh and commit the updated BENCH_*.json files.
+#
+# With --chaos, also runs the fault-injection smoke campaign (one injection
+# per sRPC phase; see FAULTS.md), failing if any scenario violates an
+# invariant. Nightly jobs should run the full sweep instead — every
+# workload × phase × action, which also refreshes BENCH_chaos.json for the
+# bench gate:
+#   cargo run --offline --release --bin chaos
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_bench=0
+run_chaos=0
 for arg in "$@"; do
   case "$arg" in
     --bench) run_bench=1 ;;
-    *) echo "unknown flag: $arg (supported: --bench)" >&2; exit 2 ;;
+    --chaos) run_chaos=1 ;;
+    *) echo "unknown flag: $arg (supported: --bench, --chaos)" >&2; exit 2 ;;
   esac
 done
 
@@ -34,6 +43,11 @@ cargo test --offline -q
 
 echo "==> workspace tests"
 cargo test --offline -q --workspace
+
+if [[ "$run_chaos" -eq 1 ]]; then
+  echo "==> chaos gate: smoke fault-injection campaign"
+  cargo run --offline --release -q --bin chaos -- --smoke
+fi
 
 if [[ "$run_bench" -eq 1 ]]; then
   echo "==> bench gate: regenerate fresh reports"

@@ -1,0 +1,82 @@
+//! The fault-injection campaign runner.
+//!
+//! ```text
+//! cargo run --bin chaos                 # full sweep (every workload × phase × action)
+//! cargo run --bin chaos -- --smoke      # CI subset: one injection per phase
+//! cargo run --bin chaos -- --seed 7     # different (still deterministic) seed
+//! ```
+//!
+//! Exits non-zero if any scenario violates an invariant. The full sweep
+//! additionally emits `target/bench/BENCH_chaos.json` through the bench
+//! baseline machinery, so `cargo run -p cronus-bench --bin bench_gate`
+//! guards the campaign's headline numbers against regressions.
+//!
+//! See `FAULTS.md` for the injection taxonomy and how to read the report.
+
+use std::process::ExitCode;
+
+use cronus::bench::baseline::{emit, Headline};
+use cronus::chaos::{run_campaign, InjectionPlan};
+use cronus::obs::FlightRecorder;
+
+const DEFAULT_SEED: u64 = 0xC401;
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut seed = DEFAULT_SEED;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("--seed requires an integer value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: chaos [--smoke] [--seed N]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let plan = if smoke {
+        InjectionPlan::smoke(seed)
+    } else {
+        InjectionPlan::full(seed)
+    };
+    let report = run_campaign(&plan);
+    print!("{}", report.render());
+
+    if !smoke {
+        // Headline the full sweep for the bench-regression gate. The
+        // recorder is empty (each scenario had its own); the headlines are
+        // what the gate compares.
+        let headlines = vec![
+            Headline::higher("scenarios", report.scenarios.len() as f64, "count"),
+            Headline::higher("faults_fired", report.faults_fired() as f64, "count"),
+            Headline::lower("invariant_violations", report.violations() as f64, "count"),
+            Headline::lower("max_recovery_ns", report.max_recovery_ns() as f64, "ns"),
+        ];
+        let meta = vec![
+            ("seed".to_string(), seed.to_string()),
+            ("mode".to_string(), "full".to_string()),
+        ];
+        emit("chaos", headlines, meta, &FlightRecorder::default());
+    }
+
+    if report.violations() > 0 {
+        eprintln!(
+            "chaos: {} scenario(s) violated an invariant",
+            report.violations()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -14,6 +14,8 @@
 //!   and the proceed-trap failover protocol,
 //! * [`core`] — the MicroEnclave model, the Enclave Dispatcher and the
 //!   streaming RPC (sRPC) protocol — the paper's contribution,
+//! * [`chaos`] — deterministic fault-injection campaigns against the sRPC
+//!   pipeline (see `FAULTS.md`),
 //! * [`runtime`] — CUDA-like, VTA and CPU execution models,
 //! * [`workloads`] — Rodinia, vta-bench, DNN training/inference,
 //! * [`baselines`] — native Linux, monolithic TrustZone, HIX-TrustZone,
@@ -24,6 +26,7 @@
 
 pub use cronus_baselines as baselines;
 pub use cronus_bench as bench;
+pub use cronus_chaos as chaos;
 pub use cronus_core as core;
 pub use cronus_crypto as crypto;
 pub use cronus_devices as devices;

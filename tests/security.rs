@@ -68,7 +68,10 @@ fn normal_world_cannot_touch_srpc_state() {
     let stream = sys
         .open_stream(cpu, gpu, DEFAULT_RING_PAGES)
         .expect("stream");
-    sys.call_async(stream, "work", &[1, 2, 3]).expect("call");
+    sys.call(stream, "work")
+        .payload(&[1, 2, 3])
+        .start()
+        .expect("call");
 
     // The attacker targets the ring's physical pages directly.
     let ring_pages = sys.stream_share_pages(stream).expect("ring pages");
@@ -164,7 +167,7 @@ fn undeclared_mecalls_rejected() {
         .open_stream(cpu, gpu, DEFAULT_RING_PAGES)
         .expect("stream");
     assert_eq!(
-        sys.call_async(stream, "not_in_manifest", &[]).unwrap_err(),
+        sys.call(stream, "not_in_manifest").start().unwrap_err(),
         SrpcError::UnknownMcall("not_in_manifest".into())
     );
 }
@@ -178,20 +181,29 @@ fn toctou_window_is_closed_after_failure() {
     let stream = sys
         .open_stream(cpu, gpu, DEFAULT_RING_PAGES)
         .expect("stream");
-    sys.call_async(stream, "work", b"pre-crash").expect("call");
+    sys.call(stream, "work")
+        .payload(b"pre-crash")
+        .start()
+        .expect("call");
     sys.sync(stream).expect("sync");
 
     sys.inject_partition_failure(gpu.asid).expect("failure");
     // The caller does NOT know about the failure; its next send traps
     // instead of reaching a potentially substituted peer.
     let err = sys
-        .call_async(stream, "work", b"would-be-leak")
+        .call(stream, "work")
+        .payload(b"would-be-leak")
+        .start()
         .unwrap_err();
     assert_eq!(err, SrpcError::PeerFailed { signalled: cpu.eid });
-    // sRPC cleared its state automatically; the stream is unusable.
+    // sRPC quarantined the stream automatically; it stays unusable until
+    // explicitly re-opened against a recovered partition.
     assert_eq!(
-        sys.call_async(stream, "work", b"again").unwrap_err(),
-        SrpcError::Closed
+        sys.call(stream, "work")
+            .payload(b"again")
+            .start()
+            .unwrap_err(),
+        SrpcError::Quarantined(stream)
     );
 }
 
@@ -204,7 +216,9 @@ fn crashed_data_is_cleared_before_recovery() {
     let stream = sys
         .open_stream(cpu, gpu, DEFAULT_RING_PAGES)
         .expect("stream");
-    sys.call_async(stream, "work", b"SECRET-GRADIENTS")
+    sys.call(stream, "work")
+        .payload(b"SECRET-GRADIENTS")
+        .start()
         .expect("call");
 
     // Locate a ring page and confirm the secret is physically there.
