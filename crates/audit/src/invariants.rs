@@ -1,0 +1,494 @@
+//! The five mapping-state invariants (I1–I5).
+//!
+//! Each check is a pure function over an [`IsolationModel`]; violations
+//! carry the exact physical page, every party to the conflict, and the
+//! provenance (share handle / stream / device) needed to act on the report.
+//!
+//! * **I1 — exclusive writer**: no physical page is writable from two
+//!   partitions' stage-2 tables unless it belongs to an *active* share whose
+//!   two endpoints are exactly those partitions (R3.1: mutual isolation of
+//!   partitions; the sRPC ring is the one sanctioned double-writer).
+//! * **I2 — normal-world confinement**: every TZASC secure region stays
+//!   inside the secure DRAM pool, every valid stage-2 grant targets a
+//!   TZASC-secure page, and no normal-world device's SMMU stream reaches a
+//!   secure page (R3.2: enclave memory is unreadable from the normal world).
+//! * **I3 — device/DMA ownership**: each device-tree device is owned by
+//!   exactly one partition, and a partition's DMA stream only reaches pages
+//!   that partition owns, pages of a share it is an endpoint of, or
+//!   monitor-owned staging pages that no partition maps (defeats the TOCTOU
+//!   of retargeting another partition's DMA engine).
+//! * **I4 — revocation completeness**: for every poisoned share, the
+//!   survivor's stage-2 and SMMU entries for the share pages are invalid
+//!   (the proceed step actually cut access), and once the failed partition
+//!   has been recovered it retains *no* mapping of those pages at all
+//!   (crashed partitions leak no information, §IV-D).
+//! * **I5 — devtree/TZPC agreement**: the TZPC is locked down, enforces
+//!   exactly the worlds the attested device tree declares, and assigns no
+//!   device the tree does not know (defeats malicious reconfiguration and
+//!   MMIO remapping, §IV-A / §V-A).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use cronus_core::CronusSystem;
+use cronus_sim::{AsId, World};
+use cronus_spm::spm::ShareState;
+
+use crate::model::{share_state_name, world_name, IsolationModel, ShareModel};
+
+/// Identifier of one invariant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Invariant {
+    /// I1 — exclusive writer.
+    ExclusiveWriter,
+    /// I2 — normal-world confinement.
+    NormalWorldConfinement,
+    /// I3 — device/DMA ownership.
+    DeviceOwnership,
+    /// I4 — revocation completeness.
+    RevocationCompleteness,
+    /// I5 — devtree/TZPC agreement.
+    DevtreeTzpcAgreement,
+}
+
+impl Invariant {
+    /// All invariants, in report order.
+    pub const ALL: [Invariant; 5] = [
+        Invariant::ExclusiveWriter,
+        Invariant::NormalWorldConfinement,
+        Invariant::DeviceOwnership,
+        Invariant::RevocationCompleteness,
+        Invariant::DevtreeTzpcAgreement,
+    ];
+
+    /// Short code used in reports (`I1`..`I5`).
+    pub fn code(self) -> &'static str {
+        match self {
+            Invariant::ExclusiveWriter => "I1",
+            Invariant::NormalWorldConfinement => "I2",
+            Invariant::DeviceOwnership => "I3",
+            Invariant::RevocationCompleteness => "I4",
+            Invariant::DevtreeTzpcAgreement => "I5",
+        }
+    }
+
+    /// Human-readable name.
+    pub fn title(self) -> &'static str {
+        match self {
+            Invariant::ExclusiveWriter => "exclusive-writer",
+            Invariant::NormalWorldConfinement => "normal-world-confinement",
+            Invariant::DeviceOwnership => "device-ownership",
+            Invariant::RevocationCompleteness => "revocation-completeness",
+            Invariant::DevtreeTzpcAgreement => "devtree-tzpc-agreement",
+        }
+    }
+}
+
+impl std::fmt::Display for Invariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.code(), self.title())
+    }
+}
+
+/// One concrete counterexample to an invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The invariant that does not hold.
+    pub invariant: Invariant,
+    /// The physical page at the center of the counterexample, when the
+    /// violation is page-granular (device-level findings carry `None`).
+    pub ppn: Option<u64>,
+    /// Full story: every mapper involved and the provenance.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.ppn {
+            Some(ppn) => write!(f, "{}: ppn {:#x}: {}", self.invariant, ppn, self.detail),
+            None => write!(f, "{}: {}", self.invariant, self.detail),
+        }
+    }
+}
+
+/// The outcome of auditing one model.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct AuditReport {
+    /// Every counterexample found, in invariant order.
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    /// True when every invariant holds.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Counterexamples to one invariant.
+    pub fn of(&self, invariant: Invariant) -> Vec<&Violation> {
+        self.violations
+            .iter()
+            .filter(|v| v.invariant == invariant)
+            .collect()
+    }
+
+    /// Renders the per-invariant pass/fail report with counterexamples.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "isolation audit: {} invariant(s), {} violation(s)\n",
+            Invariant::ALL.len(),
+            self.violations.len()
+        );
+        for inv in Invariant::ALL {
+            let hits = self.of(inv);
+            if hits.is_empty() {
+                let _ = writeln!(out, "  {inv}: ok");
+            } else {
+                let _ = writeln!(out, "  {inv}: {} violation(s)", hits.len());
+                for v in hits {
+                    match v.ppn {
+                        Some(ppn) => {
+                            let _ = writeln!(out, "    ppn {:#x}: {}", ppn, v.detail);
+                        }
+                        None => {
+                            let _ = writeln!(out, "    {}", v.detail);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Extracts the model from a running system and checks all invariants.
+pub fn audit_system(sys: &CronusSystem) -> AuditReport {
+    check_model(&IsolationModel::extract(sys))
+}
+
+/// Checks all five invariants against a model.
+pub fn check_model(model: &IsolationModel) -> AuditReport {
+    let mut violations = Vec::new();
+    violations.extend(check_exclusive_writer(model));
+    violations.extend(check_normal_world_confinement(model));
+    violations.extend(check_device_ownership(model));
+    violations.extend(check_revocation_completeness(model));
+    violations.extend(check_devtree_tzpc_agreement(model));
+    AuditReport { violations }
+}
+
+fn share_provenance(model: &IsolationModel, share: &ShareModel) -> String {
+    let via = model
+        .streams
+        .iter()
+        .find(|s| s.share == share.handle)
+        .map(|s| format!(" via stream {}", s.id))
+        .unwrap_or_default();
+    format!(
+        "share h{} ({} <-> {}, {}){}",
+        share.handle,
+        share.owner.0,
+        share.peer.0,
+        share_state_name(share.state),
+        via
+    )
+}
+
+/// I1: at most one partition holds a valid writable stage-2 entry per page,
+/// except the two endpoints of an active share covering that page.
+pub fn check_exclusive_writer(model: &IsolationModel) -> Vec<Violation> {
+    let mut writers: BTreeMap<u64, Vec<AsId>> = BTreeMap::new();
+    for p in &model.partitions {
+        for e in &p.stage2 {
+            if e.valid && e.perms.write {
+                writers.entry(e.ppn).or_default().push(p.asid);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (ppn, mappers) in &writers {
+        if mappers.len() < 2 {
+            continue;
+        }
+        let sanctioned = model.shares.iter().any(|s| {
+            s.state == ShareState::Active
+                && s.pages.contains(ppn)
+                && s.endpoint_partitions() == *mappers
+        });
+        if sanctioned {
+            continue;
+        }
+        let provenance = model
+            .shares
+            .iter()
+            .filter(|s| s.pages.contains(ppn))
+            .map(|s| share_provenance(model, s))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let provenance = if provenance.is_empty() {
+            "no share covers this page".to_string()
+        } else {
+            format!("nearest grant: {provenance}")
+        };
+        out.push(Violation {
+            invariant: Invariant::ExclusiveWriter,
+            ppn: Some(*ppn),
+            detail: format!(
+                "writable from {} partitions [{}] without a sanctioning active share; {}",
+                mappers.len(),
+                join_asids(mappers),
+                provenance
+            ),
+        });
+    }
+    out
+}
+
+/// I2: TZASC secure regions stay inside the secure pool, stage-2 grants
+/// only target TZASC-secure pages, and normal-world devices never DMA into
+/// secure pages.
+pub fn check_normal_world_confinement(model: &IsolationModel) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for region in &model.tzasc_secure_regions {
+        if !model.secure_pages.contains_span(region) {
+            out.push(Violation {
+                invariant: Invariant::NormalWorldConfinement,
+                ppn: Some(region.start),
+                detail: format!(
+                    "tzasc secure region {} extends outside the secure dram pool {}",
+                    region, model.secure_pages
+                ),
+            });
+        }
+    }
+    for p in &model.partitions {
+        for e in &p.stage2 {
+            if e.valid && !model.tzasc_secure(e.ppn) {
+                out.push(Violation {
+                    invariant: Invariant::NormalWorldConfinement,
+                    ppn: Some(e.ppn),
+                    detail: format!(
+                        "partition {} holds a valid stage-2 grant to a page the tzasc \
+                         leaves readable from the normal world",
+                        p.asid
+                    ),
+                });
+            }
+        }
+    }
+    for d in &model.devices {
+        if d.tzpc_world != World::Normal {
+            continue;
+        }
+        if let Some(stream) = model.smmu_stream(d.device) {
+            for e in &stream.entries {
+                if e.valid && model.tzasc_secure(e.ppn) {
+                    out.push(Violation {
+                        invariant: Invariant::NormalWorldConfinement,
+                        ppn: Some(e.ppn),
+                        detail: format!(
+                            "normal-world device dev{} (smmu stream {}) holds a valid \
+                             grant into tzasc-secure memory",
+                            d.device, stream.stream
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// I3: one owner per device-tree device; each partition's DMA stream only
+/// reaches its own pages, its shares' pages, or pages no partition maps.
+pub fn check_device_ownership(model: &IsolationModel) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for d in &model.devices {
+        if d.devtree_world.is_some() && d.owners.len() != 1 {
+            out.push(Violation {
+                invariant: Invariant::DeviceOwnership,
+                ppn: None,
+                detail: format!(
+                    "device dev{} must be owned by exactly one partition, found [{}]",
+                    d.device,
+                    join_asids(&d.owners)
+                ),
+            });
+        }
+    }
+    for p in &model.partitions {
+        let Some(stream_id) = p.dma_stream else {
+            continue;
+        };
+        let Some(stream) = model.smmu_stream(stream_id) else {
+            continue;
+        };
+        for e in &stream.entries {
+            if !e.valid {
+                continue;
+            }
+            if p.stage2_entry(e.ppn).is_some_and(|s2| s2.valid) {
+                continue; // DMA into the partition's own memory.
+            }
+            let shared_with_p = model.shares.iter().any(|s| {
+                s.state != ShareState::Reclaimed
+                    && s.pages.contains(&e.ppn)
+                    && (s.owner.0 == p.asid || s.peer.0 == p.asid)
+            });
+            if shared_with_p {
+                continue; // DMA into a share this partition is party to.
+            }
+            let foreign_owners: Vec<AsId> = model
+                .partitions
+                .iter()
+                .filter(|q| q.asid != p.asid && q.stage2_entry(e.ppn).is_some_and(|s2| s2.valid))
+                .map(|q| q.asid)
+                .collect();
+            if foreign_owners.is_empty() {
+                continue; // Monitor-owned staging page: no partition maps it.
+            }
+            out.push(Violation {
+                invariant: Invariant::DeviceOwnership,
+                ppn: Some(e.ppn),
+                detail: format!(
+                    "smmu stream {} of partition {} (dev{}) reaches a page validly \
+                     mapped by [{}] with no covering share",
+                    stream.stream,
+                    p.asid,
+                    p.device.map_or("?".into(), |d| d.to_string()),
+                    join_asids(&foreign_owners)
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// I4: poisoned shares really are cut off — the survivor's mappings are
+/// invalid, and a recovered ex-failed endpoint retains no mapping at all.
+pub fn check_revocation_completeness(model: &IsolationModel) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for share in &model.shares {
+        let ShareState::Poisoned { survivor } = share.state else {
+            continue;
+        };
+        let provenance = share_provenance(model, share);
+        let failed = if share.owner.0 == survivor {
+            share.peer.0
+        } else {
+            share.owner.0
+        };
+        let survivor_part = model.partition(survivor);
+        let survivor_stream = survivor_part
+            .and_then(|p| p.dma_stream)
+            .and_then(|s| model.smmu_stream(s));
+        let failed_part = model.partition(failed);
+        let failed_stream = failed_part
+            .and_then(|p| p.dma_stream)
+            .and_then(|s| model.smmu_stream(s));
+        // Mid-failover (between proceed and recovery) the failed side's own
+        // mappings are still being torn down; only check it once recovered.
+        let failed_recovered = failed_part.is_some_and(|p| !p.failed);
+        for ppn in &share.pages {
+            if let Some(p) = survivor_part {
+                if p.stage2_entry(*ppn).is_some_and(|e| e.valid) {
+                    out.push(Violation {
+                        invariant: Invariant::RevocationCompleteness,
+                        ppn: Some(*ppn),
+                        detail: format!(
+                            "survivor {survivor} still holds a valid stage-2 entry for a \
+                             page of poisoned {provenance}"
+                        ),
+                    });
+                }
+            }
+            if let Some(s) = survivor_stream {
+                if s.entries.iter().any(|e| e.ppn == *ppn && e.valid) {
+                    out.push(Violation {
+                        invariant: Invariant::RevocationCompleteness,
+                        ppn: Some(*ppn),
+                        detail: format!(
+                            "survivor {survivor}'s smmu stream {} still holds a valid \
+                             grant for a page of poisoned {provenance}",
+                            s.stream
+                        ),
+                    });
+                }
+            }
+            if failed_recovered {
+                if let Some(p) = failed_part {
+                    if p.stage2_entry(*ppn).is_some() {
+                        out.push(Violation {
+                            invariant: Invariant::RevocationCompleteness,
+                            ppn: Some(*ppn),
+                            detail: format!(
+                                "recovered partition {failed} retains a stage-2 entry \
+                                 for a page of poisoned {provenance}"
+                            ),
+                        });
+                    }
+                }
+                if let Some(s) = failed_stream {
+                    if s.entries.iter().any(|e| e.ppn == *ppn && e.valid) {
+                        out.push(Violation {
+                            invariant: Invariant::RevocationCompleteness,
+                            ppn: Some(*ppn),
+                            detail: format!(
+                                "recovered partition {failed}'s smmu stream {} retains a \
+                                 valid grant for a page of poisoned {provenance}",
+                                s.stream
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// I5: the TZPC is locked and agrees with the attested device tree.
+pub fn check_devtree_tzpc_agreement(model: &IsolationModel) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if !model.tzpc_locked {
+        out.push(Violation {
+            invariant: Invariant::DevtreeTzpcAgreement,
+            ppn: None,
+            detail: "tzpc is not locked down after boot; device worlds can be \
+                     reconfigured at runtime"
+                .to_string(),
+        });
+    }
+    for d in &model.devices {
+        match d.devtree_world {
+            Some(world) if world != d.tzpc_world => out.push(Violation {
+                invariant: Invariant::DevtreeTzpcAgreement,
+                ppn: None,
+                detail: format!(
+                    "device dev{}: device tree attests world={} but the tzpc enforces {}",
+                    d.device,
+                    world_name(world),
+                    world_name(d.tzpc_world)
+                ),
+            }),
+            Some(_) => {}
+            None => out.push(Violation {
+                invariant: Invariant::DevtreeTzpcAgreement,
+                ppn: None,
+                detail: format!(
+                    "device dev{} is known to the tzpc or spm but has no attested \
+                     device-tree node",
+                    d.device
+                ),
+            }),
+        }
+    }
+    out
+}
+
+fn join_asids(ids: &[AsId]) -> String {
+    ids.iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}

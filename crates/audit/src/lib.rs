@@ -1,0 +1,62 @@
+//! # cronus-audit — the isolation auditor
+//!
+//! CRONUS's security argument (R3.1/R3.2, §IV) is a statement about
+//! *mapping state*: whatever the workloads and failures do, the TZASC,
+//! TZPC, stage-2, SMMU and devtree configurations must always compose into
+//! mutually isolated partitions. This crate verifies that statically, at
+//! any moment, against a live system:
+//!
+//! * [`model::IsolationModel::extract`] snapshots the complete mapping
+//!   state into plain sorted data (renderable with `audit --dump`);
+//! * [`invariants::check_model`] checks five named invariants I1–I5 and
+//!   reports per-invariant counterexamples down to the exact physical page,
+//!   every mapper involved, and the share/stream provenance;
+//! * [`install_hooks`] wires the audit into
+//!   [`cronus_core::CronusSystem`]'s reconfiguration points (enclave
+//!   create/destroy, stream open/close/reopen, ecall, failure injection,
+//!   recovery) via the `audit-hooks` feature, so every state transition is
+//!   re-verified during tests and campaigns;
+//! * [`lint::run_lint`] enforces four lexical repo rules (no deprecated
+//!   sRPC entry points, no `unwrap`/`expect` on trusted paths, no wall
+//!   clocks outside obs/bench, no `String` errors in public APIs).
+//!
+//! The chaos campaign runs the full audit after every scenario as its
+//! fourth invariant (A4); `cargo run --bin audit` drives it over every
+//! example workload; `scripts/ci.sh --audit` gates both plus the lint.
+//! See `AUDIT.md` for the model schema and the invariant catalogue.
+
+pub mod invariants;
+pub mod lint;
+pub mod model;
+
+pub use invariants::{audit_system, check_model, AuditReport, Invariant, Violation};
+pub use lint::{run_lint, LintFinding, LintReport};
+pub use model::IsolationModel;
+
+use cronus_core::CronusSystem;
+
+/// Installs a counting audit hook: the five invariants are re-checked at
+/// every reconfiguration point, violations are tallied in
+/// [`CronusSystem::audit_violations`] and the `audit.violations` metric,
+/// and execution continues (so a campaign can finish and report).
+pub fn install_hooks(sys: &mut CronusSystem) {
+    sys.set_audit_hook(Box::new(|sys| audit_system(sys).violations.len()));
+}
+
+/// Installs a failing-fast audit hook: panics with the rendered report at
+/// the first reconfiguration point where an invariant breaks. For tests.
+///
+/// # Panics
+///
+/// Panics when any invariant I1–I5 is violated.
+pub fn install_strict_hooks(sys: &mut CronusSystem) {
+    sys.set_audit_hook(Box::new(|sys| {
+        let report = audit_system(sys);
+        assert!(
+            report.passed(),
+            "isolation audit failed at a reconfiguration point:\n{}",
+            report.render()
+        );
+        0
+    }));
+}

@@ -1,0 +1,518 @@
+//! Extraction of the platform's complete mapping state into a plain model.
+//!
+//! [`IsolationModel::extract`] snapshots everything the isolation argument
+//! of the paper depends on — TZASC secure regions, TZPC device assignments,
+//! every partition's stage-1 and stage-2 tables, per-device SMMU tables,
+//! device-tree ownership, and the share-page grants behind sRPC streams —
+//! into ordinary sorted vectors. The invariant engine
+//! ([`crate::invariants`]) then reasons about the model alone, so a check
+//! can never perturb the system it is checking, and mutation tests can edit
+//! the model directly to prove the checks fire.
+
+use cronus_core::CronusSystem;
+use cronus_mos::manifest::Eid;
+use cronus_sim::addr::PhysRange;
+use cronus_sim::{AsId, PagePerms, World, PAGE_SIZE};
+use cronus_spm::spm::{ShareState, Spm};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A half-open span of physical page numbers `[start, end)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageSpan {
+    /// First page of the span.
+    pub start: u64,
+    /// One past the last page of the span.
+    pub end: u64,
+}
+
+impl PageSpan {
+    /// Converts a byte range into the page span covering it.
+    pub fn from_range(r: PhysRange) -> Self {
+        PageSpan {
+            start: r.start().page_number(),
+            end: r.end().as_u64().div_ceil(PAGE_SIZE),
+        }
+    }
+
+    /// True when `ppn` lies inside the span.
+    pub fn contains(&self, ppn: u64) -> bool {
+        self.start <= ppn && ppn < self.end
+    }
+
+    /// True when `other` lies entirely inside the span.
+    pub fn contains_span(&self, other: &PageSpan) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+}
+
+impl std::fmt::Display for PageSpan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:#x}, {:#x})", self.start, self.end)
+    }
+}
+
+/// One physical-page entry of a stage-2 or SMMU table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageEntry {
+    /// Physical page number.
+    pub ppn: u64,
+    /// Access permissions.
+    pub perms: PagePerms,
+    /// Validity bit; invalid entries trap (the proceed step of failover).
+    pub valid: bool,
+}
+
+/// One stage-1 mapping of an enclave.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Stage1Mapping {
+    /// The enclave owning the mapping.
+    pub eid: Eid,
+    /// Virtual page number.
+    pub vpn: u64,
+    /// Physical page number it resolves to.
+    pub ppn: u64,
+    /// Access permissions.
+    pub perms: PagePerms,
+}
+
+/// One I/O device as seen by the devtree, the TZPC and the SPM.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeviceModel {
+    /// Raw device id (bus/TZPC/devtree id space).
+    pub device: u32,
+    /// World recorded in the attested device tree, if the device has a node.
+    pub devtree_world: Option<World>,
+    /// World the TZPC currently enforces (normal if never assigned).
+    pub tzpc_world: World,
+    /// Partitions the SPM says own this device (must be exactly one).
+    pub owners: Vec<AsId>,
+}
+
+/// One S-EL2 partition and its full mapping state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionModel {
+    /// Partition address-space id.
+    pub asid: AsId,
+    /// True while the partition is marked failed (mid-failover).
+    pub failed: bool,
+    /// The device the SPM assigned to this partition's mOS.
+    pub device: Option<u32>,
+    /// The SMMU stream the partition's device DMAs through.
+    pub dma_stream: Option<u32>,
+    /// Stage-2 entries, sorted by ppn.
+    pub stage2: Vec<PageEntry>,
+    /// Stage-1 mappings across all enclaves, sorted by (eid, vpn).
+    pub stage1: Vec<Stage1Mapping>,
+}
+
+impl PartitionModel {
+    /// Looks up this partition's stage-2 entry for `ppn`.
+    pub fn stage2_entry(&self, ppn: u64) -> Option<&PageEntry> {
+        self.stage2.iter().find(|e| e.ppn == ppn)
+    }
+}
+
+/// One SMMU stream's grant table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SmmuStreamModel {
+    /// Raw stream id.
+    pub stream: u32,
+    /// Grant entries, sorted by ppn.
+    pub entries: Vec<PageEntry>,
+}
+
+/// One share-memory grant (the backing of an sRPC ring or pipe).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShareModel {
+    /// Raw share handle.
+    pub handle: u64,
+    /// Granting endpoint.
+    pub owner: (AsId, Eid),
+    /// Receiving endpoint.
+    pub peer: (AsId, Eid),
+    /// Physical pages of the share.
+    pub pages: Vec<u64>,
+    /// Lifecycle state (active / poisoned / reclaimed).
+    pub state: ShareState,
+}
+
+impl ShareModel {
+    /// The two endpoint partitions, sorted and deduplicated.
+    pub fn endpoint_partitions(&self) -> Vec<AsId> {
+        let mut ends = vec![self.owner.0, self.peer.0];
+        ends.sort();
+        ends.dedup();
+        ends
+    }
+}
+
+/// One sRPC stream (provenance for share grants in audit reports).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamModel {
+    /// Raw stream id.
+    pub id: u64,
+    /// Caller endpoint.
+    pub caller: (AsId, Eid),
+    /// Callee endpoint.
+    pub callee: (AsId, Eid),
+    /// Raw handle of the backing share.
+    pub share: u64,
+    /// True until closed or poisoned.
+    pub open: bool,
+    /// True after a peer failure until re-opened.
+    pub quarantined: bool,
+}
+
+/// The complete mapping state of a booted platform, in plain sorted data.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IsolationModel {
+    /// Normal-world DRAM pool.
+    pub normal_pages: PageSpan,
+    /// Secure DRAM pool.
+    pub secure_pages: PageSpan,
+    /// TZASC secure regions, as page spans.
+    pub tzasc_secure_regions: Vec<PageSpan>,
+    /// Whether the TZPC configuration is latched (must be, after boot).
+    pub tzpc_locked: bool,
+    /// Every device known to the devtree, the TZPC or the SPM.
+    pub devices: Vec<DeviceModel>,
+    /// Every S-EL2 partition.
+    pub partitions: Vec<PartitionModel>,
+    /// Every configured SMMU stream.
+    pub smmu: Vec<SmmuStreamModel>,
+    /// Every share-memory grant, live or reclaimed.
+    pub shares: Vec<ShareModel>,
+    /// Every sRPC stream ever opened this boot.
+    pub streams: Vec<StreamModel>,
+}
+
+impl IsolationModel {
+    /// Snapshots the full mapping state of a running [`CronusSystem`].
+    pub fn extract(sys: &CronusSystem) -> Self {
+        let streams = sys
+            .stream_states()
+            .into_iter()
+            .map(|s| StreamModel {
+                id: s.id.as_u64(),
+                caller: s.caller,
+                callee: s.callee,
+                share: s.share.as_u64(),
+                open: s.open,
+                quarantined: s.quarantined,
+            })
+            .collect();
+        Self::from_spm(sys.spm(), streams)
+    }
+
+    /// Snapshots the SPM-level mapping state; `streams` supplies the sRPC
+    /// provenance layer (empty when auditing below the core layer).
+    pub fn from_spm(spm: &Spm, streams: Vec<StreamModel>) -> Self {
+        let machine = spm.machine();
+
+        // Devices: the union of devtree nodes, TZPC assignments and
+        // SPM-owned devices, keyed by raw id so disagreements surface.
+        let mut devices: BTreeMap<u32, DeviceModel> = BTreeMap::new();
+        fn touch(
+            devices: &mut BTreeMap<u32, DeviceModel>,
+            id: u32,
+            tzpc_world: World,
+        ) -> &mut DeviceModel {
+            devices.entry(id).or_insert_with(|| DeviceModel {
+                device: id,
+                devtree_world: None,
+                tzpc_world,
+                owners: Vec::new(),
+            })
+        }
+        let world_of = |id: u32| machine.tzpc().world_of(cronus_sim::DeviceId::new(id));
+        for node in machine.devtree().map(|dt| dt.nodes()).unwrap_or_default() {
+            let id = node.device.as_u32();
+            touch(&mut devices, id, world_of(id)).devtree_world = Some(node.world);
+        }
+        for (device, _) in machine.tzpc().assignments() {
+            let id = device.as_u32();
+            touch(&mut devices, id, world_of(id));
+        }
+        for asid in spm.partition_ids() {
+            if let Some(device) = spm.device_of(asid) {
+                let id = device.as_u32();
+                touch(&mut devices, id, world_of(id)).owners.push(asid);
+            }
+        }
+        for d in devices.values_mut() {
+            d.owners.sort();
+        }
+
+        let partitions = spm
+            .partition_ids()
+            .into_iter()
+            .map(|asid| {
+                let mos = spm.mos(asid).ok();
+                let mut stage1: Vec<Stage1Mapping> = mos
+                    .map(|m| {
+                        m.stage1_tables()
+                            .into_iter()
+                            .flat_map(|(eid, pt)| {
+                                pt.entries().map(move |(vpn, ppn, perms)| Stage1Mapping {
+                                    eid,
+                                    vpn,
+                                    ppn,
+                                    perms,
+                                })
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                stage1.sort_by_key(|m| (m.eid, m.vpn));
+                PartitionModel {
+                    asid,
+                    failed: machine.is_failed(asid),
+                    device: spm.device_of(asid).map(|d| d.as_u32()),
+                    dma_stream: mos.map(|m| m.hal().dma_stream().as_u32()),
+                    stage2: machine
+                        .stage2_entries(asid)
+                        .into_iter()
+                        .map(|(ppn, perms, valid)| PageEntry { ppn, perms, valid })
+                        .collect(),
+                    stage1,
+                }
+            })
+            .collect();
+
+        let smmu = machine
+            .smmu()
+            .streams()
+            .into_iter()
+            .map(|(stream, table)| {
+                let mut entries: Vec<PageEntry> = table
+                    .entries()
+                    .map(|(ppn, perms, valid)| PageEntry { ppn, perms, valid })
+                    .collect();
+                entries.sort_by_key(|e| e.ppn);
+                SmmuStreamModel {
+                    stream: stream.as_u32(),
+                    entries,
+                }
+            })
+            .collect();
+
+        let shares = spm
+            .shares()
+            .map(|s| ShareModel {
+                handle: s.handle.as_u64(),
+                owner: s.owner,
+                peer: s.peer,
+                pages: s.pages.to_vec(),
+                state: s.state,
+            })
+            .collect();
+
+        IsolationModel {
+            normal_pages: PageSpan::from_range(machine.normal_range()),
+            secure_pages: PageSpan::from_range(machine.secure_range()),
+            tzasc_secure_regions: machine
+                .tzasc()
+                .secure_regions()
+                .iter()
+                .map(|r| PageSpan::from_range(*r))
+                .collect(),
+            tzpc_locked: machine.tzpc().is_locked(),
+            devices: devices.into_values().collect(),
+            partitions,
+            smmu,
+            shares,
+            streams,
+        }
+    }
+
+    /// The partition model for `asid`, if present.
+    pub fn partition(&self, asid: AsId) -> Option<&PartitionModel> {
+        self.partitions.iter().find(|p| p.asid == asid)
+    }
+
+    /// The SMMU stream model with raw id `stream`, if configured.
+    pub fn smmu_stream(&self, stream: u32) -> Option<&SmmuStreamModel> {
+        self.smmu.iter().find(|s| s.stream == stream)
+    }
+
+    /// True when some TZASC secure region covers `ppn`.
+    pub fn tzasc_secure(&self, ppn: u64) -> bool {
+        self.tzasc_secure_regions.iter().any(|r| r.contains(ppn))
+    }
+
+    /// Renders the model as stable, diff-friendly text (`audit --dump`).
+    pub fn render(&self) -> String {
+        let mut out = String::from("isolation model\n");
+        let _ = writeln!(
+            out,
+            "  dram: normal ppn {} secure ppn {}",
+            self.normal_pages, self.secure_pages
+        );
+        for r in &self.tzasc_secure_regions {
+            let _ = writeln!(out, "  tzasc secure region ppn {r}");
+        }
+        let _ = writeln!(
+            out,
+            "  tzpc locked={}",
+            if self.tzpc_locked { "yes" } else { "no" }
+        );
+        for d in &self.devices {
+            let _ = writeln!(
+                out,
+                "  device dev{} devtree={} tzpc={} owners=[{}]",
+                d.device,
+                d.devtree_world.map_or("-", world_name),
+                world_name(d.tzpc_world),
+                join(&d.owners),
+            );
+        }
+        for p in &self.partitions {
+            let _ = writeln!(
+                out,
+                "  partition {} failed={} device={} dma-stream={}",
+                p.asid,
+                if p.failed { "yes" } else { "no" },
+                p.device.map_or("-".into(), |d| format!("dev{d}")),
+                p.dma_stream.map_or("-".into(), |s| s.to_string()),
+            );
+            for e in &p.stage2 {
+                let _ = writeln!(
+                    out,
+                    "    stage2 ppn={:#x} perms={} valid={}",
+                    e.ppn,
+                    perms_name(e.perms),
+                    if e.valid { "yes" } else { "no" }
+                );
+            }
+            for m in &p.stage1 {
+                let _ = writeln!(
+                    out,
+                    "    stage1 {} vpn={:#x} ppn={:#x} perms={}",
+                    m.eid,
+                    m.vpn,
+                    m.ppn,
+                    perms_name(m.perms)
+                );
+            }
+        }
+        for s in &self.smmu {
+            let _ = writeln!(out, "  smmu stream={}", s.stream);
+            for e in &s.entries {
+                let _ = writeln!(
+                    out,
+                    "    grant ppn={:#x} perms={} valid={}",
+                    e.ppn,
+                    perms_name(e.perms),
+                    if e.valid { "yes" } else { "no" }
+                );
+            }
+        }
+        for s in &self.shares {
+            let _ = writeln!(
+                out,
+                "  share h={} owner=({}, {}) peer=({}, {}) state={} pages={}",
+                s.handle,
+                s.owner.0,
+                s.owner.1,
+                s.peer.0,
+                s.peer.1,
+                share_state_name(s.state),
+                compress_pages(&s.pages),
+            );
+        }
+        for s in &self.streams {
+            let _ = writeln!(
+                out,
+                "  stream id={} caller=({}, {}) callee=({}, {}) share=h{} open={} quarantined={}",
+                s.id,
+                s.caller.0,
+                s.caller.1,
+                s.callee.0,
+                s.callee.1,
+                s.share,
+                if s.open { "yes" } else { "no" },
+                if s.quarantined { "yes" } else { "no" },
+            );
+        }
+        out
+    }
+}
+
+/// Stable lowercase name of a world.
+pub fn world_name(w: World) -> &'static str {
+    match w {
+        World::Normal => "normal",
+        World::Secure => "secure",
+    }
+}
+
+/// Stable lowercase name of a permission set.
+pub fn perms_name(p: PagePerms) -> &'static str {
+    match (p.read, p.write) {
+        (true, true) => "rw",
+        (true, false) => "ro",
+        (false, true) => "wo",
+        (false, false) => "none",
+    }
+}
+
+/// Stable lowercase name of a share state.
+pub fn share_state_name(s: ShareState) -> String {
+    match s {
+        ShareState::Active => "active".into(),
+        ShareState::Poisoned { survivor } => format!("poisoned(survivor={survivor})"),
+        ShareState::Reclaimed => "reclaimed".into(),
+    }
+}
+
+fn join(ids: &[AsId]) -> String {
+    ids.iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Compresses a sorted-ish page list into `count: first..last` runs.
+fn compress_pages(pages: &[u64]) -> String {
+    let mut sorted = pages.to_vec();
+    sorted.sort_unstable();
+    let mut runs: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let start = sorted[i];
+        let mut end = start;
+        while i + 1 < sorted.len() && sorted[i + 1] == end + 1 {
+            end = sorted[i + 1];
+            i += 1;
+        }
+        runs.push(if start == end {
+            format!("{start:#x}")
+        } else {
+            format!("{start:#x}..{end:#x}")
+        });
+        i += 1;
+    }
+    format!("{}: {}", pages.len(), runs.join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cronus_sim::addr::PhysAddr;
+
+    #[test]
+    fn page_span_geometry() {
+        let span = PageSpan::from_range(PhysRange::from_base_len(PhysAddr::new(0x2000), 0x3000));
+        assert_eq!(span, PageSpan { start: 2, end: 5 });
+        assert!(span.contains(2) && span.contains(4) && !span.contains(5));
+        assert!(span.contains_span(&PageSpan { start: 3, end: 5 }));
+        assert!(!span.contains_span(&PageSpan { start: 3, end: 6 }));
+    }
+
+    #[test]
+    fn page_compression_folds_runs() {
+        assert_eq!(compress_pages(&[5, 6, 7, 9]), "4: 0x5..0x7 0x9");
+        assert_eq!(compress_pages(&[1]), "1: 0x1");
+    }
+}

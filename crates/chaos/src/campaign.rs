@@ -72,7 +72,7 @@ pub struct ScenarioReport {
     pub verified_after: bool,
     /// Stall-watchdog findings at scenario end.
     pub stalls: usize,
-    /// The three invariant verdicts.
+    /// The four invariant verdicts.
     pub verdicts: Verdicts,
 }
 
@@ -83,7 +83,7 @@ impl ScenarioReport {
         format!(
             "#{:03} wl={} phase={} action={} fired={} calls={}/{} detect={} err={} \
              timeouts={} retries={} recovered={} recovery_ns={} verified={} stalls={} \
-             A1={} A2={} A3={}",
+             A1={} A2={} A3={} A4={}",
             self.id,
             self.workload,
             self.phase,
@@ -102,6 +102,7 @@ impl ScenarioReport {
             ok(self.verdicts.no_leak),
             ok(self.verdicts.no_stuck),
             ok(self.verdicts.bounded_recovery),
+            ok(self.verdicts.audit),
         )
     }
 }
@@ -288,10 +289,13 @@ pub fn run_scenario(scn: &Scenario, seed: u64) -> ScenarioReport {
         None => "none",
     };
     let bound = invariants::recovery_bound(sys.spm().machine().cost());
+    // A4: the full static mapping-state audit, post-re-establishment.
+    let audit = cronus_audit::audit_system(&sys);
     let verdicts = Verdicts {
         no_leak: !leak && tzasc_holds,
         no_stuck: verified_after && stalls == 0,
         bounded_recovery: recovered == 0 || SimNs::from_nanos(recovery_ns) <= bound,
+        audit: audit.passed(),
     };
 
     ScenarioReport {

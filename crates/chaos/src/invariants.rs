@@ -1,4 +1,4 @@
-//! The three campaign invariants, checked after every scenario.
+//! The four campaign invariants, checked after every scenario.
 //!
 //! * **A1 — no leak**: after a partition failure and recovery, none of the
 //!   dead stream's share pages still hold a secret byte (failover poisons
@@ -9,6 +9,9 @@
 //!   issued after recovery succeed with correct results.
 //! * **A3 — bounded recovery**: the modeled recovery time stays under the
 //!   [`recovery_bound`] derived from the machine's cost model.
+//! * **A4 — isolation audit**: the full static mapping-state audit
+//!   ([`cronus_audit::audit_system`], invariants I1–I5 of `AUDIT.md`)
+//!   reports zero violations once service is re-established.
 
 use cronus_sim::{CostModel, Machine, PhysAddr, SimNs, World, PAGE_SIZE};
 
@@ -24,12 +27,14 @@ pub struct Verdicts {
     pub no_stuck: bool,
     /// A3: recovery completed within the modeled bound.
     pub bounded_recovery: bool,
+    /// A4: the static isolation audit (I1–I5) found no violation.
+    pub audit: bool,
 }
 
 impl Verdicts {
-    /// True when all three invariants hold.
+    /// True when all four invariants hold.
     pub fn all_hold(&self) -> bool {
-        self.no_leak && self.no_stuck && self.bounded_recovery
+        self.no_leak && self.no_stuck && self.bounded_recovery && self.audit
     }
 }
 

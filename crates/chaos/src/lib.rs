@@ -19,15 +19,17 @@
 //!   fault via [`cronus_core::CronusSystem::arm_fault`], drives calls with
 //!   deadlines and retry policies, recovers failed partitions, and
 //!   re-establishes streams;
-//! * [`invariants`] checks the paper's three properties after every
-//!   scenario:
+//! * [`invariants`] checks four properties after every scenario:
 //!   * **A1 (no leak):** no secret byte is readable from the dead stream's
 //!     share pages after recovery, and the normal world can never read them
 //!     at all;
 //!   * **A2 (no stuck caller):** every call returns (a value or a typed
 //!     error), the stall watchdog is clean, and post-recovery calls succeed;
 //!   * **A3 (bounded recovery):** modeled recovery time stays under the
-//!     cost-model bound.
+//!     cost-model bound;
+//!   * **A4 (isolation audit):** the `cronus-audit` static mapping-state
+//!     audit (invariants I1–I5 of `AUDIT.md`) is clean after service is
+//!     re-established.
 //!
 //! Because the machine is simulated and time is virtual, two runs with the
 //! same seed produce *byte-identical* reports — `tests/determinism.rs`

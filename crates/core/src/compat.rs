@@ -1,0 +1,182 @@
+//! Deprecated sRPC entry-point shims.
+//!
+//! The builder call API ([`CronusSystem::call`] → `.sync()` / `.start()`)
+//! is the only non-deprecated way to issue an mECall since 0.4.0. The
+//! pre-builder entry points live on as thin delegating shims for external
+//! callers that have not migrated yet; this module is the **only** place in
+//! the repo allowed to reference them — the `cronus-audit` source lint
+//! (`deprecated-srpc-entry-points`) rejects any use outside this file, so
+//! internal code cannot quietly regress onto the old API.
+
+use cronus_obs::ReqId;
+
+use crate::srpc::{SrpcError, StreamId};
+use crate::system::CronusSystem;
+
+impl CronusSystem {
+    /// Issues an asynchronous mECall: the caller pays only the enqueue cost
+    /// and streams ahead without waiting. Returns the request id tracing the
+    /// call end-to-end.
+    ///
+    /// # Errors
+    ///
+    /// sRPC errors, including [`SrpcError::PeerFailed`] on partition failure.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use sys.call(stream, name).payload(p).start()"
+    )]
+    pub fn call_async(
+        &mut self,
+        id: StreamId,
+        name: &str,
+        payload: &[u8],
+    ) -> Result<ReqId, SrpcError> {
+        self.call_commit_start(id, name, payload, None)
+    }
+
+    /// [`CronusSystem::call_async`] under an already-allocated request id,
+    /// so runtime shims can attribute preparatory work (staging writes, DMA)
+    /// to the same request as the call itself.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CronusSystem::call_async`].
+    #[deprecated(
+        since = "0.4.0",
+        note = "use sys.call(stream, name).payload(p).req(r).start()"
+    )]
+    pub fn call_async_with_req(
+        &mut self,
+        id: StreamId,
+        name: &str,
+        payload: &[u8],
+        req: ReqId,
+    ) -> Result<(), SrpcError> {
+        self.call_commit_start(id, name, payload, Some(req))
+            .map(|_| ())
+    }
+
+    /// Issues a synchronous mECall: enqueues, drains the executor, merges
+    /// clocks, and returns the result bytes.
+    ///
+    /// # Errors
+    ///
+    /// sRPC errors; [`SrpcError::Handler`] if the handler errored.
+    #[deprecated(since = "0.4.0", note = "use sys.call(stream, name).payload(p).sync()")]
+    pub fn call_sync(
+        &mut self,
+        id: StreamId,
+        name: &str,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, SrpcError> {
+        self.call_commit_sync(id, name, payload, None, None, None)
+    }
+
+    /// [`CronusSystem::call_sync`] under an already-allocated request id;
+    /// see [`CronusSystem::call_async_with_req`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CronusSystem::call_sync`].
+    #[deprecated(
+        since = "0.4.0",
+        note = "use sys.call(stream, name).payload(p).req(r).sync()"
+    )]
+    pub fn call_sync_with_req(
+        &mut self,
+        id: StreamId,
+        name: &str,
+        payload: &[u8],
+        req: ReqId,
+    ) -> Result<Vec<u8>, SrpcError> {
+        self.call_commit_sync(id, name, payload, Some(req), None, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The shims must keep delegating to the builder path bit-for-bit; this
+    // is the one test allowed to call them (it lives in the shim module the
+    // deprecated-use lint exempts).
+    #![allow(deprecated)]
+
+    use std::collections::BTreeMap;
+
+    use cronus_devices::DeviceKind;
+    use cronus_mos::manifest::{Manifest, McallDecl};
+    use cronus_sim::SimNs;
+    use cronus_spm::spm::{BootConfig, DeviceSpec, PartitionSpec};
+
+    use crate::system::{Actor, CronusSystem, EnclaveRef, DEFAULT_RING_PAGES};
+
+    fn boot_pair() -> (CronusSystem, crate::srpc::StreamId) {
+        let mut sys = CronusSystem::boot(BootConfig {
+            partitions: vec![
+                PartitionSpec::new(1, b"cpu-mos", "v1", DeviceSpec::Cpu),
+                PartitionSpec::new(
+                    2,
+                    b"cuda-mos",
+                    "v3",
+                    DeviceSpec::Gpu {
+                        memory: 1 << 26,
+                        sms: 4,
+                    },
+                ),
+            ],
+            ..Default::default()
+        });
+        let app = sys.create_app();
+        let cpu = sys
+            .create_enclave(
+                Actor::App(app),
+                Manifest::new(DeviceKind::Cpu).with_memory(1 << 20),
+                &BTreeMap::new(),
+            )
+            .expect("cpu enclave");
+        let gpu = sys
+            .create_enclave(
+                Actor::Enclave(cpu),
+                Manifest::new(DeviceKind::Gpu)
+                    .with_mecall(McallDecl::asynchronous("launch"))
+                    .with_mecall(McallDecl::synchronous("memcpy_d2h"))
+                    .with_memory(1 << 20),
+                &BTreeMap::new(),
+            )
+            .expect("gpu enclave");
+        register_echo(&mut sys, gpu);
+        let stream = sys
+            .open_stream(cpu, gpu, DEFAULT_RING_PAGES)
+            .expect("stream");
+        (sys, stream)
+    }
+
+    fn register_echo(sys: &mut CronusSystem, gpu: EnclaveRef) {
+        sys.register_handler(
+            gpu,
+            "launch",
+            Box::new(|_ctx, _p| Ok((Vec::new(), SimNs::from_micros(1)))),
+        );
+        sys.register_handler(
+            gpu,
+            "memcpy_d2h",
+            Box::new(|_ctx, p| Ok((p.to_vec(), SimNs::from_micros(1)))),
+        );
+    }
+
+    #[test]
+    fn deprecated_shims_delegate_to_the_builder_path() {
+        let (mut sys, stream) = boot_pair();
+        sys.call_async(stream, "launch", &[1]).unwrap();
+        let req = sys.alloc_req();
+        sys.call_async_with_req(stream, "launch", &[2], req)
+            .unwrap();
+        let out = sys.call_sync(stream, "memcpy_d2h", b"x").unwrap();
+        assert_eq!(out, b"x");
+        let req = sys.alloc_req();
+        let out = sys
+            .call_sync_with_req(stream, "memcpy_d2h", b"y", req)
+            .unwrap();
+        assert_eq!(out, b"y");
+        sys.sync(stream).unwrap();
+    }
+}

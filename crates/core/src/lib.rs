@@ -70,6 +70,7 @@
 //! that replaced stringly-typed handler failures.
 
 pub mod call;
+pub mod compat;
 pub mod dispatcher;
 pub mod error;
 pub mod inject;

@@ -148,11 +148,8 @@ pub fn encode_request(req: &Request) -> Result<Vec<u8>, CodecError> {
 ///
 /// [`CodecError::Corrupt`] on impossible lengths or non-UTF-8 names.
 pub fn decode_request(slot: &[u8]) -> Result<Request, CodecError> {
-    if slot.len() < 8 {
-        return Err(CodecError::Corrupt);
-    }
-    let name_len = u32::from_le_bytes(slot[0..4].try_into().expect("4 bytes")) as usize;
-    let payload_len = u32::from_le_bytes(slot[4..8].try_into().expect("4 bytes")) as usize;
+    let name_len = read_header_word(slot, 0)? as usize;
+    let payload_len = read_header_word(slot, 4)? as usize;
     if name_len + payload_len > SLOT_PAYLOAD || 8 + name_len + payload_len > slot.len() {
         return Err(CodecError::Corrupt);
     }
@@ -202,19 +199,27 @@ pub fn encode_result(status: ResultStatus, payload: &[u8]) -> Result<Vec<u8>, Co
 ///
 /// [`CodecError::Corrupt`].
 pub fn decode_result(slot: &[u8]) -> Result<(ResultStatus, Vec<u8>), CodecError> {
-    if slot.len() < 8 {
-        return Err(CodecError::Corrupt);
-    }
-    let status = match u32::from_le_bytes(slot[0..4].try_into().expect("4 bytes")) {
+    let status = match read_header_word(slot, 0)? {
         1 => ResultStatus::Ok,
         2 => ResultStatus::Err,
         _ => return Err(CodecError::Corrupt),
     };
-    let len = u32::from_le_bytes(slot[4..8].try_into().expect("4 bytes")) as usize;
+    let len = read_header_word(slot, 4)? as usize;
     if len > SLOT_PAYLOAD || 8 + len > slot.len() {
         return Err(CodecError::Corrupt);
     }
     Ok((status, slot[8..8 + len].to_vec()))
+}
+
+/// Reads the little-endian `u32` header word at `offset`, treating a
+/// truncated slot as corruption rather than panicking on it: the slot
+/// bytes come straight from shared ring memory the peer may have mangled.
+fn read_header_word(slot: &[u8], offset: usize) -> Result<u32, CodecError> {
+    let bytes = slot
+        .get(offset..offset + 4)
+        .and_then(|b| <[u8; 4]>::try_from(b).ok())
+        .ok_or(CodecError::Corrupt)?;
+    Ok(u32::from_le_bytes(bytes))
 }
 
 #[cfg(test)]

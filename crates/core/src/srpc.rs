@@ -30,6 +30,14 @@ use crate::ring::{CodecError, RingLayout};
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct StreamId(pub(crate) u64);
 
+impl StreamId {
+    /// Returns the raw stream number (stable within one boot; used by the
+    /// isolation auditor and reports).
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
 /// Errors raised by sRPC operations.
 #[derive(Clone, Debug, PartialEq)]
 pub enum SrpcError {

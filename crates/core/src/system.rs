@@ -88,6 +88,12 @@ pub type McallHandler =
 /// Default number of shared pages per stream ring (256 KiB ≈ 268 slots).
 pub const DEFAULT_RING_PAGES: usize = 64;
 
+/// An isolation-audit hook (see the `cronus-audit` crate): invoked with the
+/// whole system after every reconfiguration point, returns the number of
+/// invariant violations it found.
+#[cfg(feature = "audit-hooks")]
+pub type AuditHook = Box<dyn Fn(&CronusSystem) -> usize>;
+
 /// System-level errors (enclave lifecycle; sRPC errors are [`SrpcError`]).
 #[derive(Clone, Debug, PartialEq)]
 pub enum SystemError {
@@ -154,6 +160,10 @@ pub struct CronusSystem {
     pub(crate) next_pipe: u64,
     next_app: u32,
     next_dh: u64,
+    #[cfg(feature = "audit-hooks")]
+    audit_hook: Option<AuditHook>,
+    #[cfg(feature = "audit-hooks")]
+    audit_violations: usize,
 }
 
 impl std::fmt::Debug for CronusSystem {
@@ -201,8 +211,58 @@ impl CronusSystem {
             next_pipe: 1,
             next_app: 1,
             next_dh: 1,
+            #[cfg(feature = "audit-hooks")]
+            audit_hook: None,
+            #[cfg(feature = "audit-hooks")]
+            audit_violations: 0,
         }
     }
+
+    /// Installs the isolation-audit hook: it runs against `&self` after
+    /// every reconfiguration point (stream open/close/reopen, enclave
+    /// create/destroy, partition failure/recovery, app world switches) and
+    /// returns the number of invariant violations it found; non-zero counts
+    /// accumulate in [`CronusSystem::audit_violations`] and the
+    /// `audit.violations` metric. Hooks may also panic on violation for
+    /// fail-stop behavior — `cronus_audit::install_hooks` does.
+    #[cfg(feature = "audit-hooks")]
+    pub fn set_audit_hook(&mut self, hook: AuditHook) {
+        self.audit_hook = Some(hook);
+    }
+
+    /// Removes the installed audit hook, returning it.
+    #[cfg(feature = "audit-hooks")]
+    pub fn clear_audit_hook(&mut self) -> Option<AuditHook> {
+        self.audit_hook.take()
+    }
+
+    /// Total invariant violations reported by the audit hook so far.
+    #[cfg(feature = "audit-hooks")]
+    pub fn audit_violations(&self) -> usize {
+        self.audit_violations
+    }
+
+    /// Runs the installed audit hook, if any, attributing findings to the
+    /// reconfiguration point `point`.
+    #[cfg(feature = "audit-hooks")]
+    fn run_audit_hook(&mut self, point: &'static str) {
+        // Take/call/restore so the hook can borrow the whole system.
+        if let Some(hook) = self.audit_hook.take() {
+            let violations = hook(self);
+            self.audit_hook = Some(hook);
+            if violations > 0 {
+                self.audit_violations += violations;
+                if let Some(rec) = self.spm.recorder() {
+                    rec.counter_add("audit.violations", &[("point", point)], violations as u64);
+                }
+            }
+        }
+    }
+
+    /// Compiled to nothing without the `audit-hooks` feature.
+    #[cfg(not(feature = "audit-hooks"))]
+    #[inline(always)]
+    fn run_audit_hook(&mut self, _point: &'static str) {}
 
     /// The SPM (read side).
     pub fn spm(&self) -> &Spm {
@@ -368,6 +428,7 @@ impl CronusSystem {
             );
         }
         self.clocks.insert(eid, SimClock::at(start));
+        self.run_audit_hook("create_enclave");
         Ok(EnclaveRef { asid, eid })
     }
 
@@ -407,6 +468,7 @@ impl CronusSystem {
         self.clocks.remove(&e.eid);
         self.owner_secrets.remove(&e.eid);
         self.handlers.retain(|(eid, _), _| *eid != e.eid);
+        self.run_audit_hook("destroy_enclave");
         Ok(())
     }
 
@@ -457,6 +519,7 @@ impl CronusSystem {
         self.set_current_req(Some(req));
         let result = self.app_ecall_inner(app, target, name, payload);
         self.set_current_req(None);
+        self.run_audit_hook("app_ecall");
         result
     }
 
@@ -658,6 +721,7 @@ impl CronusSystem {
                 stats: StreamStats::default(),
             },
         );
+        self.run_audit_hook("open_stream");
         Ok(id)
     }
 
@@ -705,6 +769,15 @@ impl CronusSystem {
             .get(&id)
             .ok_or(SrpcError::UnknownStream(id))?
             .stats)
+    }
+
+    /// Read-only views of every stream (open, closed or quarantined),
+    /// sorted by stream id — used by the isolation auditor to tie share
+    /// grants back to the sRPC endpoints that justify them.
+    pub fn stream_states(&self) -> Vec<&StreamState> {
+        let mut streams: Vec<&StreamState> = self.streams.values().collect();
+        streams.sort_by_key(|s| s.id.0);
+        streams
     }
 
     /// The executor's current virtual time for a stream.
@@ -1125,84 +1198,6 @@ impl CronusSystem {
         }
     }
 
-    /// Issues an asynchronous mECall: the caller pays only the enqueue cost
-    /// and streams ahead without waiting. Returns the request id tracing the
-    /// call end-to-end.
-    ///
-    /// # Errors
-    ///
-    /// sRPC errors, including [`SrpcError::PeerFailed`] on partition failure.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use sys.call(stream, name).payload(p).start()"
-    )]
-    pub fn call_async(
-        &mut self,
-        id: StreamId,
-        name: &str,
-        payload: &[u8],
-    ) -> Result<ReqId, SrpcError> {
-        self.call_commit_start(id, name, payload, None)
-    }
-
-    /// [`CronusSystem::call_async`] under an already-allocated request id,
-    /// so runtime shims can attribute preparatory work (staging writes, DMA)
-    /// to the same request as the call itself.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`CronusSystem::call_async`].
-    #[deprecated(
-        since = "0.4.0",
-        note = "use sys.call(stream, name).payload(p).req(r).start()"
-    )]
-    pub fn call_async_with_req(
-        &mut self,
-        id: StreamId,
-        name: &str,
-        payload: &[u8],
-        req: ReqId,
-    ) -> Result<(), SrpcError> {
-        self.call_commit_start(id, name, payload, Some(req))
-            .map(|_| ())
-    }
-
-    /// Issues a synchronous mECall: enqueues, drains the executor, merges
-    /// clocks, and returns the result bytes.
-    ///
-    /// # Errors
-    ///
-    /// sRPC errors; [`SrpcError::Handler`] if the handler errored.
-    #[deprecated(since = "0.4.0", note = "use sys.call(stream, name).payload(p).sync()")]
-    pub fn call_sync(
-        &mut self,
-        id: StreamId,
-        name: &str,
-        payload: &[u8],
-    ) -> Result<Vec<u8>, SrpcError> {
-        self.call_commit_sync(id, name, payload, None, None, None)
-    }
-
-    /// [`CronusSystem::call_sync`] under an already-allocated request id;
-    /// see [`CronusSystem::call_async_with_req`].
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`CronusSystem::call_sync`].
-    #[deprecated(
-        since = "0.4.0",
-        note = "use sys.call(stream, name).payload(p).req(r).sync()"
-    )]
-    pub fn call_sync_with_req(
-        &mut self,
-        id: StreamId,
-        name: &str,
-        payload: &[u8],
-        req: ReqId,
-    ) -> Result<Vec<u8>, SrpcError> {
-        self.call_commit_sync(id, name, payload, Some(req), None, None)
-    }
-
     /// Commits an asynchronous call built by [`CronusSystem::call`].
     pub(crate) fn call_commit_start(
         &mut self,
@@ -1465,6 +1460,7 @@ impl CronusSystem {
         if let Some(s) = self.streams.get_mut(&id) {
             s.open = false;
         }
+        self.run_audit_hook("close_stream");
         Ok(())
     }
 
@@ -1479,7 +1475,9 @@ impl CronusSystem {
     /// Unknown partitions.
     pub fn inject_partition_failure(&mut self, asid: AsId) -> Result<(usize, SimNs), SystemError> {
         self.spm.mos_mut(asid)?.fail();
-        Ok(self.spm.fail_partition(asid)?)
+        let proceed = self.spm.fail_partition(asid)?;
+        self.run_audit_hook("inject_partition_failure");
+        Ok(proceed)
     }
 
     /// Runs failover step 2 using the dispatcher's recorded mOS image:
@@ -1494,7 +1492,9 @@ impl CronusSystem {
             .mos_image(asid)
             .map(|(i, v)| (i.to_vec(), v.to_string()))
             .unwrap_or_else(|| (b"recovered-mos".to_vec(), "recovered".to_string()));
-        Ok(self.spm.recover_partition(asid, &image, &version)?)
+        let stats = self.spm.recover_partition(asid, &image, &version)?;
+        self.run_audit_hook("recover_partition");
+        Ok(stats)
     }
 
     /// Re-establishes service after a peer failure: discards the old
@@ -1533,6 +1533,7 @@ impl CronusSystem {
         if let Some(rec) = self.spm.recorder() {
             rec.counter_add("srpc.streams_reopened", &[], 1);
         }
+        self.run_audit_hook("reopen_stream");
         Ok(new)
     }
 
@@ -2139,19 +2140,26 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_call_shims_still_work() {
+    fn builder_api_covers_every_shimmed_call_shape() {
+        // Migrated off the deprecated shims (they now live — and are tested —
+        // in `crate::compat`, the one module the deprecated-use lint exempts).
         let mut sys = CronusSystem::boot(config());
         let (_cpu, _gpu, stream) = setup_pair(&mut sys);
-        sys.call_async(stream, "launch", &[1]).unwrap();
+        sys.call(stream, "launch").payload(&[1]).start().unwrap();
         let req = sys.alloc_req();
-        sys.call_async_with_req(stream, "launch", &[2], req)
+        sys.call(stream, "launch")
+            .payload(&[2])
+            .req(req)
+            .start()
             .unwrap();
-        let out = sys.call_sync(stream, "memcpy_d2h", b"x").unwrap();
+        let out = sys.call(stream, "memcpy_d2h").payload(b"x").sync().unwrap();
         assert_eq!(out, b"x");
         let req = sys.alloc_req();
         let out = sys
-            .call_sync_with_req(stream, "memcpy_d2h", b"y", req)
+            .call(stream, "memcpy_d2h")
+            .payload(b"y")
+            .req(req)
+            .sync()
             .unwrap();
         assert_eq!(out, b"y");
     }

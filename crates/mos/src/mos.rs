@@ -180,6 +180,15 @@ impl MicroOs {
         &mut self.hal
     }
 
+    /// Every enclave's stage-1 table, sorted by enclave id — the full
+    /// stage-1 mapping state, used by the isolation auditor.
+    pub fn stage1_tables(&self) -> Vec<(Eid, &PageTable)> {
+        let mut tables: Vec<(Eid, &PageTable)> =
+            self.stage1.iter().map(|(eid, pt)| (*eid, pt)).collect();
+        tables.sort_by_key(|(eid, _)| *eid);
+        tables
+    }
+
     /// The shim kernel library.
     pub fn shim_mut(&mut self) -> &mut ShimKernel {
         &mut self.shim

@@ -368,6 +368,36 @@ impl Machine {
             .unwrap_or_default()
     }
 
+    /// Every registered partition, sorted by id (the normal world has no
+    /// stage-2 table and never appears here).
+    pub fn partitions(&self) -> Vec<AsId> {
+        let mut ids: Vec<AsId> = self.stage2.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// A partition's complete stage-2 state as `(ppn, perms, valid)`
+    /// triples, sorted by page number — used by the isolation auditor.
+    pub fn stage2_entries(&self, asid: AsId) -> Vec<(u64, PagePerms, bool)> {
+        let mut entries: Vec<(u64, PagePerms, bool)> = self
+            .stage2
+            .get(&asid)
+            .map(|t| t.entries().collect())
+            .unwrap_or_default();
+        entries.sort_by_key(|(ppn, _, _)| *ppn);
+        entries
+    }
+
+    /// The normal-world DRAM pool range.
+    pub fn normal_range(&self) -> crate::addr::PhysRange {
+        self.mem.normal_range()
+    }
+
+    /// The secure DRAM pool range.
+    pub fn secure_range(&self) -> crate::addr::PhysRange {
+        self.mem.secure_range()
+    }
+
     // ---- checked physical access -----------------------------------------
 
     fn stage2_check(&self, asid: AsId, pa: PhysAddr, access: Access) -> Result<(), Fault> {

@@ -120,6 +120,12 @@ impl PageTable {
         self.entries.iter().map(|(vpn, e)| (*vpn, e.ppn))
     }
 
+    /// Iterates over `(vpn, ppn, perms)` triples — the full mapping state,
+    /// used by the isolation auditor to extract a model of this table.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, u64, PagePerms)> + '_ {
+        self.entries.iter().map(|(vpn, e)| (*vpn, e.ppn, e.perms))
+    }
+
     /// Removes every mapping whose physical page satisfies `pred`, returning
     /// the removed `(vpn, ppn)` pairs. Used by trap handling: "CRONUS asks
     /// P_i to invalidate the mEnclave's page table entries that map memory to
@@ -226,6 +232,12 @@ impl Stage2Table {
     /// All granted physical pages (valid and invalidated).
     pub fn granted_pages(&self) -> impl Iterator<Item = u64> + '_ {
         self.entries.keys().copied()
+    }
+
+    /// Iterates over `(ppn, perms, valid)` triples — the full grant state,
+    /// used by the isolation auditor to extract a model of this table.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, PagePerms, bool)> + '_ {
+        self.entries.iter().map(|(ppn, e)| (*ppn, e.perms, e.valid))
     }
 
     /// Number of entries in the table.

@@ -106,6 +106,15 @@ impl Smmu {
             .map(|t| t.granted_pages().collect())
             .unwrap_or_default()
     }
+
+    /// Every configured stream and its grant table, sorted by stream id —
+    /// the full SMMU state, used by the isolation auditor.
+    pub fn streams(&self) -> Vec<(StreamId, &Stage2Table)> {
+        let mut streams: Vec<(StreamId, &Stage2Table)> =
+            self.streams.iter().map(|(id, t)| (*id, t)).collect();
+        streams.sort_by_key(|(id, _)| *id);
+        streams
+    }
 }
 
 #[cfg(test)]

@@ -121,14 +121,26 @@ impl Default for BootConfig {
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ShareHandle(u64);
 
+impl ShareHandle {
+    /// Returns the raw handle value (stable within one boot; used by the
+    /// isolation auditor to report share provenance).
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// Lifecycle state of a shared-memory region.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum ShareState {
+pub enum ShareState {
+    /// Both endpoints are healthy and mapped.
     Active,
     /// One side failed; stage-2 entries of the survivor are invalidated and
     /// the next access traps.
     Poisoned {
+        /// The endpoint partition that did *not* fail.
         survivor: AsId,
     },
+    /// Pages were scrubbed and returned to the allocator.
     Reclaimed,
 }
 
@@ -140,6 +152,22 @@ struct ShareRecord {
     pages: Vec<u64>,
     frames: Vec<cronus_sim::Frame>,
     state: ShareState,
+}
+
+/// A read-only view of one shared-memory grant, exposed so the isolation
+/// auditor can reconcile share provenance against the live mapping tables.
+#[derive(Clone, Copy, Debug)]
+pub struct ShareView<'a> {
+    /// The share's handle.
+    pub handle: ShareHandle,
+    /// Owning endpoint (partition, enclave).
+    pub owner: (AsId, Eid),
+    /// Peer endpoint (partition, enclave).
+    pub peer: (AsId, Eid),
+    /// The physical pages backing the region.
+    pub pages: &'a [u64],
+    /// Lifecycle state.
+    pub state: ShareState,
 }
 
 /// Statistics from one partition recovery (drives Fig. 9).
@@ -420,6 +448,23 @@ impl Spm {
         self.partition_ids()
             .into_iter()
             .find(|asid| self.partitions[asid].device_kind() == kind)
+    }
+
+    /// The device a partition owns, if any.
+    pub fn device_of(&self, asid: AsId) -> Option<DeviceId> {
+        self.device_of.get(&asid).copied()
+    }
+
+    /// Read-only views of every shared-memory grant, in creation order —
+    /// the share provenance the isolation auditor checks mappings against.
+    pub fn shares(&self) -> impl Iterator<Item = ShareView<'_>> {
+        self.shares.iter().map(|r| ShareView {
+            handle: r.handle,
+            owner: r.owner,
+            peer: r.peer,
+            pages: &r.pages,
+            state: r.state,
+        })
     }
 
     /// Immutable access to a partition's mOS.
@@ -803,14 +848,14 @@ impl Spm {
             })
             .ok_or(SpmError::NoPoisonedShare { ppn })?;
 
-        let (signalled, pages) = {
+        let (signalled, failed_asid, pages) = {
             let share = &self.shares[idx];
-            let eid = if share.owner.0 == survivor {
-                share.owner.1
+            let (eid, failed_asid) = if share.owner.0 == survivor {
+                (share.owner.1, share.peer.0)
             } else {
-                share.peer.1
+                (share.peer.1, share.owner.0)
             };
-            (eid, share.pages.clone())
+            (eid, failed_asid, share.pages.clone())
         };
 
         // Unmap the enclave's stage-1 entries mapping the share.
@@ -821,10 +866,15 @@ impl Spm {
             .unmap_phys_pages(signalled, &pages);
 
         // Reclaim: zero (defensive; step 2 already cleared if it ran) and
-        // revalidate the survivor's stage-2 entries.
+        // revalidate the survivor's stage-2 entries. The failed endpoint's
+        // entries are revoked *now*: once the share is marked reclaimed,
+        // recovery's sweep (which only visits poisoned shares) will never
+        // touch them, and they would otherwise survive as stale writable
+        // mappings of pages the survivor reuses (isolation invariant I1).
         for p in &pages {
             self.machine.zero_page(*p);
             self.machine.stage2_revalidate(survivor, *p);
+            self.machine.stage2_revoke(failed_asid, *p);
         }
         self.machine.record(EventKind::FailureSignal {
             partition: survivor,

@@ -12,20 +12,26 @@
 #
 # With --chaos, also runs the fault-injection smoke campaign (one injection
 # per sRPC phase; see FAULTS.md), failing if any scenario violates an
-# invariant. Nightly jobs should run the full sweep instead — every
-# workload × phase × action, which also refreshes BENCH_chaos.json for the
-# bench gate:
+# invariant — including A4, the full static isolation audit. Nightly jobs
+# should run the full sweep instead — every workload × phase × action,
+# which also refreshes BENCH_chaos.json for the bench gate:
 #   cargo run --offline --release --bin chaos
+#
+# With --audit, also runs the isolation auditor (see AUDIT.md): the
+# repo-rule source lint, then the mapping-state audit of every example
+# workload scenario, failing on any lint finding or invariant violation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_bench=0
 run_chaos=0
+run_audit=0
 for arg in "$@"; do
   case "$arg" in
     --bench) run_bench=1 ;;
     --chaos) run_chaos=1 ;;
-    *) echo "unknown flag: $arg (supported: --bench, --chaos)" >&2; exit 2 ;;
+    --audit) run_audit=1 ;;
+    *) echo "unknown flag: $arg (supported: --bench, --chaos, --audit)" >&2; exit 2 ;;
   esac
 done
 
@@ -43,6 +49,14 @@ cargo test --offline -q
 
 echo "==> workspace tests"
 cargo test --offline -q --workspace
+
+if [[ "$run_audit" -eq 1 ]]; then
+  echo "==> audit gate: repo-rule source lint"
+  cargo run --offline --release -q --bin audit -- --lint
+
+  echo "==> audit gate: mapping-state audit of the example workloads"
+  cargo run --offline --release -q --bin audit
+fi
 
 if [[ "$run_chaos" -eq 1 ]]; then
   echo "==> chaos gate: smoke fault-injection campaign"

@@ -14,6 +14,9 @@
 //!   and the proceed-trap failover protocol,
 //! * [`core`] — the MicroEnclave model, the Enclave Dispatcher and the
 //!   streaming RPC (sRPC) protocol — the paper's contribution,
+//! * [`audit`] — the isolation auditor: static verification of the
+//!   mapping-state invariants plus the repo-rule source lint (see
+//!   `AUDIT.md`),
 //! * [`chaos`] — deterministic fault-injection campaigns against the sRPC
 //!   pipeline (see `FAULTS.md`),
 //! * [`runtime`] — CUDA-like, VTA and CPU execution models,
@@ -24,6 +27,7 @@
 //! Start with `examples/quickstart.rs`, then `cargo run -p cronus-bench
 //! --bin all` to regenerate the paper's evaluation.
 
+pub use cronus_audit as audit;
 pub use cronus_baselines as baselines;
 pub use cronus_bench as bench;
 pub use cronus_chaos as chaos;
