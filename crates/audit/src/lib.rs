@@ -60,3 +60,14 @@ pub fn install_strict_hooks(sys: &mut CronusSystem) {
         0
     }));
 }
+
+/// Installs the mapping-state digest hook used by the forensics black box:
+/// on a proceed-trap, the snapshot records a digest of the full extracted
+/// [`IsolationModel`], so a post-mortem can prove which mapping state the
+/// survivor saw without dumping the mappings themselves.
+pub fn install_digest_hook(sys: &mut CronusSystem) {
+    sys.set_digest_hook(Box::new(|sys| {
+        let model = IsolationModel::extract(sys);
+        cronus_crypto::measure("mapping-state", model.render().as_bytes())
+    }));
+}

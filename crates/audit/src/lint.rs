@@ -108,17 +108,23 @@ const DEPRECATED_EXEMPT: &str = "crates/core/src/compat.rs";
 const SELF: &str = "crates/audit/src/lint.rs";
 
 /// Directories whose non-test code must be unwrap/expect-free (rule 2).
-const NO_UNWRAP_SCOPES: [&str; 3] = ["crates/core/src", "crates/spm/src", "crates/sim/src"];
+const NO_UNWRAP_SCOPES: [&str; 4] = [
+    "crates/core/src",
+    "crates/spm/src",
+    "crates/sim/src",
+    "crates/forensics/src",
+];
 
 /// Crates allowed to read the wall clock (rule 3).
 const WALL_CLOCK_EXEMPT: [&str; 2] = ["crates/obs", "crates/bench"];
 
 /// Directories whose public APIs must not use `String` errors (rule 4).
-const NO_STRING_ERROR_SCOPES: [&str; 4] = [
+const NO_STRING_ERROR_SCOPES: [&str; 5] = [
     "crates/core/src",
     "crates/spm/src",
     "crates/sim/src",
     "crates/mos/src",
+    "crates/forensics/src",
 ];
 
 /// Runs every rule over the repo rooted at `root`.

@@ -72,7 +72,7 @@ pub struct ScenarioReport {
     pub verified_after: bool,
     /// Stall-watchdog findings at scenario end.
     pub stalls: usize,
-    /// The four invariant verdicts.
+    /// The five invariant verdicts.
     pub verdicts: Verdicts,
 }
 
@@ -83,7 +83,7 @@ impl ScenarioReport {
         format!(
             "#{:03} wl={} phase={} action={} fired={} calls={}/{} detect={} err={} \
              timeouts={} retries={} recovered={} recovery_ns={} verified={} stalls={} \
-             A1={} A2={} A3={} A4={}",
+             A1={} A2={} A3={} A4={} A5={}",
             self.id,
             self.workload,
             self.phase,
@@ -103,6 +103,7 @@ impl ScenarioReport {
             ok(self.verdicts.no_stuck),
             ok(self.verdicts.bounded_recovery),
             ok(self.verdicts.audit),
+            ok(self.verdicts.ledger),
         )
     }
 }
@@ -291,11 +292,18 @@ pub fn run_scenario(scn: &Scenario, seed: u64) -> ScenarioReport {
     let bound = invariants::recovery_bound(sys.spm().machine().cost());
     // A4: the full static mapping-state audit, post-re-establishment.
     let audit = cronus_audit::audit_system(&sys);
+    // A5: the security-event ledger the scenario left behind must verify —
+    // intact hash chains and MACs, causally paired grants/opens, and record
+    // counts agreeing with the flight recorder.
+    let export = sys.spm().ledger().export();
+    let ledger = cronus_forensics::verify_export(&export).is_ok()
+        && cronus_forensics::verify_completeness(&export, |name| rec.counter_total(name)).is_ok();
     let verdicts = Verdicts {
         no_leak: !leak && tzasc_holds,
         no_stuck: verified_after && stalls == 0,
         bounded_recovery: recovered == 0 || SimNs::from_nanos(recovery_ns) <= bound,
         audit: audit.passed(),
+        ledger,
     };
 
     ScenarioReport {

@@ -1,4 +1,4 @@
-//! The four campaign invariants, checked after every scenario.
+//! The five campaign invariants, checked after every scenario.
 //!
 //! * **A1 — no leak**: after a partition failure and recovery, none of the
 //!   dead stream's share pages still hold a secret byte (failover poisons
@@ -12,6 +12,12 @@
 //! * **A4 — isolation audit**: the full static mapping-state audit
 //!   ([`cronus_audit::audit_system`], invariants I1–I5 of `AUDIT.md`)
 //!   reports zero violations once service is re-established.
+//! * **A5 — verifiable ledger**: the security-event ledger exported at
+//!   scenario end passes the full forensics verification —
+//!   [`cronus_forensics::verify_export`] (hash chains, MACs, causal
+//!   pairing) and [`cronus_forensics::verify_completeness`] against the
+//!   flight recorder's counters. Whatever the fault did, the evidence
+//!   trail it left behind must still be tamper-evident and complete.
 
 use cronus_sim::{CostModel, Machine, PhysAddr, SimNs, World, PAGE_SIZE};
 
@@ -29,12 +35,15 @@ pub struct Verdicts {
     pub bounded_recovery: bool,
     /// A4: the static isolation audit (I1–I5) found no violation.
     pub audit: bool,
+    /// A5: the security-event ledger verifies (chains, MACs, causal
+    /// pairing, completeness against the flight recorder).
+    pub ledger: bool,
 }
 
 impl Verdicts {
-    /// True when all four invariants hold.
+    /// True when all five invariants hold.
     pub fn all_hold(&self) -> bool {
-        self.no_leak && self.no_stuck && self.bounded_recovery && self.audit
+        self.no_leak && self.no_stuck && self.bounded_recovery && self.audit && self.ledger
     }
 }
 

@@ -19,7 +19,7 @@
 //!   fault via [`cronus_core::CronusSystem::arm_fault`], drives calls with
 //!   deadlines and retry policies, recovers failed partitions, and
 //!   re-establishes streams;
-//! * [`invariants`] checks four properties after every scenario:
+//! * [`invariants`] checks five properties after every scenario:
 //!   * **A1 (no leak):** no secret byte is readable from the dead stream's
 //!     share pages after recovery, and the normal world can never read them
 //!     at all;
@@ -29,7 +29,10 @@
 //!     cost-model bound;
 //!   * **A4 (isolation audit):** the `cronus-audit` static mapping-state
 //!     audit (invariants I1–I5 of `AUDIT.md`) is clean after service is
-//!     re-established.
+//!     re-established;
+//!   * **A5 (verifiable ledger):** the `cronus-forensics` security-event
+//!     ledger exported at scenario end passes chain/MAC/causal verification
+//!     and its record counts agree with the flight recorder (`FORENSICS.md`).
 //!
 //! Because the machine is simulated and time is virtual, two runs with the
 //! same seed produce *byte-identical* reports — `tests/determinism.rs`

@@ -183,7 +183,7 @@ pub struct Handles {
 
 /// Boots the campaign platform: CPU, GPU and NPU partitions.
 pub fn boot() -> CronusSystem {
-    CronusSystem::boot(BootConfig {
+    let mut sys = CronusSystem::boot(BootConfig {
         partitions: vec![
             PartitionSpec::new(1, b"cpu-mos", "v1", DeviceSpec::Cpu),
             PartitionSpec::new(
@@ -198,7 +198,11 @@ pub fn boot() -> CronusSystem {
             PartitionSpec::new(3, b"vta-mos", "v2", DeviceSpec::Npu { memory: 1 << 24 }),
         ],
         ..Default::default()
-    })
+    });
+    // Black boxes captured on proceed-traps should carry a real
+    // mapping-state digest, not the zero placeholder.
+    cronus_audit::install_digest_hook(&mut sys);
+    sys
 }
 
 /// Builds the workload from scratch: app, caller, staging page, callee,

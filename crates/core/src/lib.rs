@@ -81,6 +81,7 @@ pub mod srpc;
 pub mod system;
 
 pub use call::Call;
+pub use cronus_forensics::MONITOR_CHAIN;
 pub use dispatcher::{Dispatcher, PartitionInfo};
 pub use error::{CronusError, FaultKind};
 pub use inject::{ArmedFault, FaultAction, FiredFault, SrpcPhase};

@@ -124,6 +124,17 @@ pub struct StallWarning {
     pub stalled_for: SimNs,
 }
 
+impl StallWarning {
+    /// The security-event the watchdog appends to the monitor chain for
+    /// this finding.
+    pub fn ledger_event(&self) -> cronus_forensics::SecurityEvent {
+        cronus_forensics::SecurityEvent::StallDetected {
+            stream: self.stream.0,
+            backlog: self.backlog,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

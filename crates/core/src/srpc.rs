@@ -240,6 +240,19 @@ impl StreamState {
     pub fn backlog(&self) -> u64 {
         self.rid - self.sid
     }
+
+    /// Redacted snapshot for the proceed-trap black box: indices and state
+    /// bits only, never ring payload bytes.
+    pub fn forensic_snapshot(&self) -> cronus_forensics::StreamSnap {
+        cronus_forensics::StreamSnap {
+            stream: self.id.0,
+            rid: self.rid,
+            sid: self.sid,
+            backlog: self.backlog(),
+            open: self.open,
+            quarantined: self.quarantined,
+        }
+    }
 }
 
 #[cfg(test)]

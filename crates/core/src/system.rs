@@ -94,6 +94,13 @@ pub const DEFAULT_RING_PAGES: usize = 64;
 #[cfg(feature = "audit-hooks")]
 pub type AuditHook = Box<dyn Fn(&CronusSystem) -> usize>;
 
+/// A mapping-state digest hook (see `cronus_audit::install_digest_hook`):
+/// invoked at black-box capture time, returns a digest of the canonical
+/// isolation-model rendering so the crash snapshot commits to the exact
+/// mapping state at trap time.
+#[cfg(feature = "audit-hooks")]
+pub type DigestHook = Box<dyn Fn(&CronusSystem) -> cronus_crypto::Digest>;
+
 /// System-level errors (enclave lifecycle; sRPC errors are [`SrpcError`]).
 #[derive(Clone, Debug, PartialEq)]
 pub enum SystemError {
@@ -164,6 +171,8 @@ pub struct CronusSystem {
     audit_hook: Option<AuditHook>,
     #[cfg(feature = "audit-hooks")]
     audit_violations: usize,
+    #[cfg(feature = "audit-hooks")]
+    digest_hook: Option<DigestHook>,
 }
 
 impl std::fmt::Debug for CronusSystem {
@@ -215,6 +224,8 @@ impl CronusSystem {
             audit_hook: None,
             #[cfg(feature = "audit-hooks")]
             audit_violations: 0,
+            #[cfg(feature = "audit-hooks")]
+            digest_hook: None,
         }
     }
 
@@ -234,6 +245,13 @@ impl CronusSystem {
     #[cfg(feature = "audit-hooks")]
     pub fn clear_audit_hook(&mut self) -> Option<AuditHook> {
         self.audit_hook.take()
+    }
+
+    /// Installs the mapping-state digest hook: black boxes captured at
+    /// proceed-trap time carry its result as their `mapping_digest`.
+    #[cfg(feature = "audit-hooks")]
+    pub fn set_digest_hook(&mut self, hook: DigestHook) {
+        self.digest_hook = Some(hook);
     }
 
     /// Total invariant violations reported by the audit hook so far.
@@ -290,7 +308,20 @@ impl CronusSystem {
         let log = self.spm.machine().log();
         rec.gauge_set("eventlog.dropped", &[], log.dropped() as i64);
         rec.gauge_set("eventlog.total_recorded", &[], log.total_recorded() as i64);
+        // The companion pair for the security-event ledger: `ledger.evicted`
+        // staying at zero is what licenses the completeness check.
+        let ledger = self.spm.ledger();
+        rec.gauge_set("ledger.records", &[], ledger.records_total() as i64);
+        rec.gauge_set("ledger.evicted", &[], ledger.evicted_total() as i64);
         rec
+    }
+
+    /// Virtual time for ledger records appended by the core layer.
+    fn ledger_now(&self) -> SimNs {
+        self.spm
+            .recorder()
+            .map(FlightRecorder::total_elapsed)
+            .unwrap_or(SimNs::ZERO)
     }
 
     /// Allocates the next request id (monotonic per system). Returns the
@@ -428,6 +459,21 @@ impl CronusSystem {
             );
         }
         self.clocks.insert(eid, SimClock::at(start));
+        // Ledger the exchange before the creation record: key agreement is
+        // what makes the enclave addressable by its owner.
+        self.spm.ledger().append(
+            asid.as_u32(),
+            start,
+            cronus_forensics::SecurityEvent::KeyExchange {
+                eid: eid.as_u32(),
+                dh_public: enclave_dh_public,
+            },
+        );
+        self.spm.ledger().append(
+            asid.as_u32(),
+            start,
+            cronus_forensics::SecurityEvent::EnclaveCreated { eid: eid.as_u32() },
+        );
         self.run_audit_hook("create_enclave");
         Ok(EnclaveRef { asid, eid })
     }
@@ -468,6 +514,13 @@ impl CronusSystem {
         self.clocks.remove(&e.eid);
         self.owner_secrets.remove(&e.eid);
         self.handlers.retain(|(eid, _), _| *eid != e.eid);
+        self.spm.ledger().append(
+            e.asid.as_u32(),
+            self.ledger_now(),
+            cronus_forensics::SecurityEvent::EnclaveDestroyed {
+                eid: e.eid.as_u32(),
+            },
+        );
         self.run_audit_hook("destroy_enclave");
         Ok(())
     }
@@ -721,6 +774,37 @@ impl CronusSystem {
                 stats: StreamStats::default(),
             },
         );
+        // Ledger the attested open: the measurement on the callee's chain
+        // (that is what local attestation proved), the open on the caller's
+        // chain, the acceptance on the callee's — the verifier pairs the
+        // latter two across chains.
+        let ledger = self.spm.ledger();
+        ledger.append(
+            callee.asid.as_u32(),
+            opened,
+            cronus_forensics::SecurityEvent::AttestMeasurement {
+                subject: format!("enclave {}", callee.eid),
+                digest: measurement,
+            },
+        );
+        ledger.append(
+            caller.asid.as_u32(),
+            opened,
+            cronus_forensics::SecurityEvent::StreamOpened {
+                stream: id.0,
+                caller: caller.asid.as_u32(),
+                callee: callee.asid.as_u32(),
+            },
+        );
+        ledger.append(
+            callee.asid.as_u32(),
+            opened,
+            cronus_forensics::SecurityEvent::StreamAccepted {
+                stream: id.0,
+                caller: caller.asid.as_u32(),
+                callee: callee.asid.as_u32(),
+            },
+        );
         self.run_audit_hook("open_stream");
         Ok(id)
     }
@@ -838,7 +922,23 @@ impl CronusSystem {
             err,
             MosError::NotRunning | MosError::Fault(Fault::PartitionFailed { .. })
         );
+        let mut trapped = false;
         let converted = if accessor_died {
+            // The moment a dead peer's access converts into a failure is
+            // the detection instant: ledger it (with its span witness)
+            // before the survivor is signalled, so detection precedes the
+            // trap in both evidence streams the timeline cross-checks.
+            let det = self.ledger_now();
+            if let Some(rec) = self.spm.recorder() {
+                rec.with(|r| r.spans.instant("failure-detected:proceed-trap", det));
+            }
+            self.spm.ledger().append(
+                crate::MONITOR_CHAIN,
+                det,
+                cronus_forensics::SecurityEvent::FailureDetected {
+                    asid: accessor.as_u32(),
+                },
+            );
             let survivor = self.streams.get(&id).map(|s| {
                 if s.caller.0 == accessor {
                     s.callee
@@ -855,9 +955,12 @@ impl CronusSystem {
             match (survivor, ring_page) {
                 (Some((sv_asid, sv_eid)), Some(ppn)) => {
                     match self.spm.handle_trap(sv_asid, ppn) {
-                        Ok(outcome) => SrpcError::PeerFailed {
-                            signalled: outcome.signalled,
-                        },
+                        Ok(outcome) => {
+                            trapped = true;
+                            SrpcError::PeerFailed {
+                                signalled: outcome.signalled,
+                            }
+                        }
                         // The share was not poisoned (trap already handled,
                         // or the partition is not actually failed): still
                         // signal the survivor so the caller is never stuck.
@@ -876,11 +979,68 @@ impl CronusSystem {
                 s.pending_enqueue_times.clear();
                 s.pending_reqs.clear();
             }
+            let at = self.ledger_now();
+            let channel = crate::reliability::detection_channel(&converted);
             if let Some(rec) = self.spm.recorder() {
                 rec.counter_add("srpc.streams_quarantined", &[], 1);
+                // The marker is the span-stream's witness of the detection;
+                // the timeline reconstructor cross-checks it against the
+                // ledger record below.
+                rec.with(|r| r.spans.instant(format!("failure-detected:{channel}"), at));
             }
+            let chain = self
+                .streams
+                .get(&id)
+                .map(|s| {
+                    if s.caller.0 == accessor {
+                        s.callee.0
+                    } else {
+                        s.caller.0
+                    }
+                })
+                .unwrap_or(accessor);
+            self.spm.ledger().append(
+                chain.as_u32(),
+                at,
+                cronus_forensics::SecurityEvent::StreamQuarantined {
+                    stream: id.0,
+                    channel,
+                },
+            );
+        }
+        if trapped {
+            // The SPM captured the black-box skeleton inside handle_trap;
+            // the core layer owns the stream table and the audit hook, so it
+            // fills in the redacted snapshots and the mapping digest here.
+            let streams: Vec<cronus_forensics::StreamSnap> = self
+                .stream_states()
+                .iter()
+                .map(|s| s.forensic_snapshot())
+                .collect();
+            let digest = self.mapping_digest();
+            self.spm.ledger().annotate_last_blackbox(streams, digest);
         }
         converted
+    }
+
+    /// The isolation-audit mapping-state digest, if a digest hook is
+    /// installed (see `cronus_audit::install_digest_hook`); zero otherwise.
+    #[cfg(feature = "audit-hooks")]
+    fn mapping_digest(&mut self) -> cronus_crypto::Digest {
+        // Take/call/restore so the hook can borrow the whole system.
+        if let Some(hook) = self.digest_hook.take() {
+            let digest = hook(self);
+            self.digest_hook = Some(hook);
+            digest
+        } else {
+            cronus_crypto::Digest::ZERO
+        }
+    }
+
+    /// Compiled to a zero digest without the `audit-hooks` feature.
+    #[cfg(not(feature = "audit-hooks"))]
+    fn mapping_digest(&mut self) -> cronus_crypto::Digest {
+        cronus_crypto::Digest::ZERO
     }
 
     /// Writes into an enclave's (shared) memory, converting stage-2 faults
@@ -1460,6 +1620,12 @@ impl CronusSystem {
         if let Some(s) = self.streams.get_mut(&id) {
             s.open = false;
         }
+        let at = self.ledger_now();
+        self.spm.ledger().append(
+            callee.0.as_u32(),
+            at,
+            cronus_forensics::SecurityEvent::StreamClosed { stream: id.0 },
+        );
         self.run_audit_hook("close_stream");
         Ok(())
     }
@@ -1530,9 +1696,19 @@ impl CronusSystem {
         if let Some(ns) = self.streams.get_mut(&new) {
             ns.deadline = deadline;
         }
+        let at = self.ledger_now();
         if let Some(rec) = self.spm.recorder() {
             rec.counter_add("srpc.streams_reopened", &[], 1);
+            rec.with(|r| r.spans.instant("stream-reopened", at));
         }
+        self.spm.ledger().append(
+            caller.asid.as_u32(),
+            at,
+            cronus_forensics::SecurityEvent::StreamReopened {
+                old: old.0,
+                new: new.0,
+            },
+        );
         self.run_audit_hook("reopen_stream");
         Ok(new)
     }
@@ -1562,6 +1738,14 @@ impl CronusSystem {
             })
             .collect();
         warnings.sort_by_key(|w| w.stream.0);
+        // Every watchdog finding is a security event: a wedged stream is
+        // the liveness failure the proceed-trap design exists to bound.
+        let at = self.ledger_now();
+        for w in &warnings {
+            self.spm
+                .ledger()
+                .append(crate::MONITOR_CHAIN, at, w.ledger_event());
+        }
         warnings
     }
 
@@ -1615,7 +1799,23 @@ impl CronusSystem {
                 &[("phase", phase.name()), ("action", armed.action.name())],
                 1,
             );
+            // Span-stream witness on the recorder timebase (the machine
+            // marker above carries the machine-event clock instead).
+            rec.with(|r| {
+                r.spans
+                    .instant(format!("fault-injected:{}", armed.action.name()), at)
+            });
         }
+        // Injections belong to no partition; they go on the monitor chain.
+        self.spm.ledger().append(
+            crate::MONITOR_CHAIN,
+            at,
+            cronus_forensics::SecurityEvent::FaultInjected {
+                phase: phase.name(),
+                action: armed.action.name(),
+                stream: id.0,
+            },
+        );
     }
 
     fn apply_fault_action(&mut self, id: StreamId, action: FaultAction, slot_index: u64) {

@@ -55,6 +55,26 @@ pub fn measure(label: &str, data: &[u8]) -> Digest {
     h.finalize()
 }
 
+/// Extends a hash chain by one link: digests `prev || data` under a domain
+/// label. The security-event ledger uses this for its per-partition chains,
+/// so a record's digest commits to the entire prefix before it.
+///
+/// ```
+/// use cronus_crypto::{measure_chained, Digest};
+/// let a = measure_chained("chain", &Digest::ZERO, b"first");
+/// let b = measure_chained("chain", &a, b"second");
+/// // Re-linking from a different prefix changes the digest.
+/// assert_ne!(b, measure_chained("chain", &Digest::ZERO, b"second"));
+/// ```
+pub fn measure_chained(label: &str, prev: &Digest, data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(label.as_bytes());
+    h.update(&[0u8]);
+    h.update(prev.as_bytes());
+    h.update(data);
+    h.finalize()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

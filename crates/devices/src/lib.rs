@@ -76,6 +76,12 @@ pub trait SimDevice {
     /// Hardware root-of-trust public key (the paper's `PubK_acc`).
     fn rot_public(&self) -> PublicKey;
 
+    /// Digest of the root-of-trust public key, as recorded by the SPM's
+    /// security-event ledger in `device-endorsed` records.
+    fn rot_digest(&self) -> cronus_crypto::Digest {
+        cronus_crypto::measure("rot-public", &self.rot_public().0.to_le_bytes())
+    }
+
     /// Signs `config` with the hardware key, proving authenticity.
     fn sign_config(&self, config: &[u8]) -> cronus_crypto::Signature;
 

@@ -1,0 +1,167 @@
+//! The proceed-trap black box: a redacted crash snapshot.
+//!
+//! When the SPM handles a proceed-trap (failover step 3) it captures a
+//! black box so operators can reconstruct the failure after the fact.
+//! Redaction rules (see `FORENSICS.md`): the snapshot carries *indices,
+//! states and digests only* — never ring payload bytes, enclave memory or
+//! key material. Harnesses persist black boxes as JSON under
+//! `target/bench/forensics/`.
+
+use cronus_crypto::Digest;
+use cronus_obs::Json;
+use cronus_sim::SimNs;
+
+/// A redacted snapshot of one sRPC stream at trap time: header indices and
+/// lifecycle flags, no payload bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamSnap {
+    /// Raw stream id.
+    pub stream: u64,
+    /// Cached producer index.
+    pub rid: u64,
+    /// Cached consumer index.
+    pub sid: u64,
+    /// Requests enqueued but not executed.
+    pub backlog: u64,
+    /// True until closed or poisoned.
+    pub open: bool,
+    /// True once a peer failure poisoned the stream.
+    pub quarantined: bool,
+}
+
+impl StreamSnap {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("stream", Json::U64(self.stream)),
+            ("rid", Json::U64(self.rid)),
+            ("sid", Json::U64(self.sid)),
+            ("backlog", Json::U64(self.backlog)),
+            ("open", Json::Bool(self.open)),
+            ("quarantined", Json::Bool(self.quarantined)),
+        ])
+    }
+}
+
+/// One black box, captured by the SPM at [`trap`] time and annotated by the
+/// core layer with stream snapshots and the isolation-audit mapping digest.
+///
+/// [`trap`]: SecurityEvent::TrapHandled
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlackBox {
+    /// Capture sequence within this boot (0-based).
+    pub seq: u64,
+    /// Virtual capture time.
+    pub at: SimNs,
+    /// The surviving partition that trapped.
+    pub survivor: u32,
+    /// The faulting physical page.
+    pub ppn: u64,
+    /// Raw eid of the enclave that received the failure signal.
+    pub signalled: u32,
+    /// Redacted stream snapshots (filled in by the core layer, which owns
+    /// the stream table; empty for traps outside the sRPC path).
+    pub streams: Vec<StreamSnap>,
+    /// Rendered tail of the survivor's ledger chain (last N records) at
+    /// capture time.
+    pub ledger_tail: Vec<String>,
+    /// `cronus-audit` mapping-state digest at capture time;
+    /// [`Digest::ZERO`] when no digest hook is installed.
+    pub mapping_digest: Digest,
+}
+
+impl BlackBox {
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "black box #{} t={} survivor=p{} ppn={:#x} signalled={}\n",
+            self.seq,
+            self.at.as_nanos(),
+            self.survivor,
+            self.ppn,
+            self.signalled
+        );
+        out.push_str(&format!(
+            "  mapping_digest={}\n",
+            self.mapping_digest.to_hex()
+        ));
+        for s in &self.streams {
+            out.push_str(&format!(
+                "  stream {} rid={} sid={} backlog={} open={} quarantined={}\n",
+                s.stream, s.rid, s.sid, s.backlog, s.open, s.quarantined
+            ));
+        }
+        for line in &self.ledger_tail {
+            out.push_str(&format!("  tail {line}\n"));
+        }
+        out
+    }
+
+    /// JSON rendering (what harnesses write under `target/bench/forensics/`).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("seq", Json::U64(self.seq)),
+            ("at_ns", Json::U64(self.at.as_nanos())),
+            ("survivor", Json::U64(self.survivor as u64)),
+            ("ppn", Json::U64(self.ppn)),
+            ("signalled", Json::U64(self.signalled as u64)),
+            (
+                "streams",
+                Json::Arr(self.streams.iter().map(StreamSnap::to_json).collect()),
+            ),
+            (
+                "ledger_tail",
+                Json::Arr(
+                    self.ledger_tail
+                        .iter()
+                        .map(|l| Json::Str(l.clone()))
+                        .collect(),
+                ),
+            ),
+            ("mapping_digest", Json::Str(self.mapping_digest.to_hex())),
+            (
+                "redaction",
+                Json::Str("indices, states and digests only; no payload bytes".to_string()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BlackBox {
+        BlackBox {
+            seq: 0,
+            at: SimNs::from_nanos(42),
+            survivor: 1,
+            ppn: 0x1234,
+            signalled: 1 << 24,
+            streams: vec![StreamSnap {
+                stream: 1,
+                rid: 4,
+                sid: 3,
+                backlog: 1,
+                open: false,
+                quarantined: true,
+            }],
+            ledger_tail: vec!["tail-line".to_string()],
+            mapping_digest: Digest::ZERO,
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let r = sample().render();
+        assert!(r.contains("survivor=p1"));
+        assert!(r.contains("stream 1"));
+        assert!(r.contains("tail tail-line"));
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let text = sample().to_json().render();
+        assert!(cronus_obs::is_well_formed(&text), "{text}");
+        assert!(text.contains("redaction"));
+    }
+}

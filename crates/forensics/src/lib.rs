@@ -1,0 +1,47 @@
+//! # cronus-forensics — the tamper-evident security-event ledger
+//!
+//! CRONUS argues its monitor keeps misbehaving partitions from harming each
+//! other; this crate makes that argument *auditable after the fact*. Every
+//! security-relevant transition — attestation measurements, key exchanges,
+//! share grants and revocations, TZASC/TZPC lockdown, stream lifecycle,
+//! fault injections, proceed-traps and every recovery step — is appended to
+//! a per-partition hash chain ([`ledger`]) whose records are MACed with a
+//! per-partition key derived from the platform seed, so no partition can
+//! rewrite history it already emitted.
+//!
+//! - [`record`]: the typed [`SecurityEvent`] records and their canonical
+//!   (hashed) encoding.
+//! - [`ledger`]: the chained, bounded [`Ledger`]. Eviction writes
+//!   checkpoint records so verification survives it.
+//! - [`verify`]: the monitor-side verifier — chain integrity with a distinct
+//!   error per tamper class (bit flip, truncation, reorder, cross-chain MAC
+//!   forgery), cross-partition causal pairing, and completeness against the
+//!   flight recorder's counters.
+//! - [`blackbox`]: the redacted crash snapshot the SPM captures at
+//!   proceed-trap time.
+//! - [`timeline`]: the reconstructor merging ledger, black boxes and the
+//!   flight recorder's span/marker stream into one failure timeline, with
+//!   the failover-ordering cross-check.
+//!
+//! Dependency-wise the crate sits next to `cronus-obs`, below `spm` and
+//! `core`: records carry raw ids (`u32` asids, `u64` handles), and the
+//! layers that own the richer types translate at their append sites.
+//! `FORENSICS.md` at the repo root documents the record schema, chain
+//! construction, verifier guarantees and black-box redaction rules.
+
+pub mod blackbox;
+pub mod ledger;
+pub mod record;
+pub mod timeline;
+pub mod verify;
+
+pub use blackbox::{BlackBox, StreamSnap};
+pub use ledger::{chain_key, ChainExport, Ledger, LedgerExport, BLACKBOX_TAIL, DEFAULT_CAPACITY};
+pub use record::{chain_name, LedgerRecord, SecurityEvent, MONITOR_CHAIN};
+pub use timeline::{
+    reconstruct, MarkerEntry, Phase, RecoverySpan, Timeline, TimelineError, PHASES,
+};
+pub use verify::{
+    verify_causal, verify_chain, verify_completeness, verify_export, VerifyError,
+    COMPLETENESS_PAIRS,
+};

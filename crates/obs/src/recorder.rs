@@ -131,6 +131,12 @@ impl FlightRecorder {
         self.with(|r| r.metrics.gauge_set(name, labels(lbls), value));
     }
 
+    /// Sums a counter across all label sets (used by the forensics
+    /// verifier's ledger-vs-recorder completeness check).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.with(|r| r.metrics.counter_total(name))
+    }
+
     /// Records a histogram observation.
     pub fn observe(&self, name: &str, lbls: &[(&str, &str)], d: SimNs) {
         self.with(|r| r.metrics.observe(name, labels(lbls), d));

@@ -81,6 +81,15 @@ impl Tzasc {
     pub fn secure_regions(&self) -> &[PhysRange] {
         &self.secure_regions
     }
+
+    /// Canonical encoding of the configuration — sorted so the digest the
+    /// security-event ledger records at boot is independent of insertion
+    /// order.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut regions: Vec<String> = self.secure_regions.iter().map(|r| format!("{r}")).collect();
+        regions.sort();
+        regions.join(";").into_bytes()
+    }
 }
 
 #[cfg(test)]

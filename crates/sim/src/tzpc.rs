@@ -103,6 +103,20 @@ impl Tzpc {
     pub fn assignments(&self) -> impl Iterator<Item = (DeviceId, World)> + '_ {
         self.assignment.iter().map(|(d, w)| (*d, *w))
     }
+
+    /// Canonical encoding of the assignment plus the lockdown latch —
+    /// sorted by device id so the digest the security-event ledger records
+    /// at lockdown is independent of hash-map iteration order.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut entries: Vec<(DeviceId, World)> = self.assignments().collect();
+        entries.sort_by_key(|(d, _)| *d);
+        let mut out = String::new();
+        for (d, w) in entries {
+            out.push_str(&format!("{d}={w};"));
+        }
+        out.push_str(if self.locked { "locked" } else { "open" });
+        out.into_bytes()
+    }
 }
 
 /// Error returned when reconfiguring a locked-down TZPC.

@@ -25,6 +25,7 @@ use cronus_devices::cpu::CpuDevice;
 use cronus_devices::gpu::GpuDevice;
 use cronus_devices::npu::NpuDevice;
 use cronus_devices::{endorse_device, vendor_keypair, DeviceKind, SimDevice};
+use cronus_forensics::{Ledger, SecurityEvent, MONITOR_CHAIN};
 use cronus_mos::hal::DeviceHal;
 use cronus_mos::manager::Owner;
 use cronus_mos::manifest::{Eid, Manifest, MosId};
@@ -273,6 +274,7 @@ pub struct Spm {
     shares: Vec<ShareRecord>,
     next_share: u64,
     recorder: Option<FlightRecorder>,
+    ledger: Ledger,
 }
 
 impl fmt::Debug for Spm {
@@ -322,7 +324,24 @@ impl Spm {
             });
         }
         let dt = DeviceTree::validate(nodes).expect("boot device tree must be valid");
+        // Secure boot's first ledger entries: the measurements everything
+        // else chains from.
+        let ledger = Ledger::new(&config.platform_seed);
+        ledger.append(
+            MONITOR_CHAIN,
+            SimNs::ZERO,
+            SecurityEvent::DevtreeAttested {
+                digest: measure("devtree", &dt.canonical_bytes()),
+            },
+        );
         machine.install_devtree(dt);
+        ledger.append(
+            MONITOR_CHAIN,
+            SimNs::ZERO,
+            SecurityEvent::TzascConfigured {
+                digest: measure("tzasc", &machine.tzasc().canonical_bytes()),
+            },
+        );
 
         for spec in &config.partitions {
             let device = DeviceId::new(spec.mos_id.0 as u32);
@@ -365,12 +384,21 @@ impl Spm {
             // Vendor endorsement of the device's ROM key.
             let vendor_name = spec.device.vendor();
             let vendor = vendor_keypair(vendor_name);
-            let endorsement = match &hal {
-                DeviceHal::Cpu(d) => endorse_device(&vendor, d.rot_public()),
-                DeviceHal::Gpu(d) => endorse_device(&vendor, d.rot_public()),
-                DeviceHal::Npu(d) => endorse_device(&vendor, d.rot_public()),
+            let (endorsement, rot_digest) = match &hal {
+                DeviceHal::Cpu(d) => (endorse_device(&vendor, d.rot_public()), d.rot_digest()),
+                DeviceHal::Gpu(d) => (endorse_device(&vendor, d.rot_public()), d.rot_digest()),
+                DeviceHal::Npu(d) => (endorse_device(&vendor, d.rot_public()), d.rot_digest()),
             };
             vendors.insert(device, (vendor_name.to_string(), endorsement));
+            ledger.append(
+                asid.as_u32(),
+                SimNs::ZERO,
+                SecurityEvent::DeviceEndorsed {
+                    device: device.as_u32(),
+                    vendor: vendor_name.to_string(),
+                    rot_digest,
+                },
+            );
 
             machine.register_partition(asid);
             let mos = MicroOs::new(spec.mos_id, asid, &spec.image, &spec.version, hal);
@@ -380,6 +408,13 @@ impl Spm {
 
         // Lock down after boot so the untrusted OS cannot reassign devices.
         machine.tzpc_mut().lock_down();
+        ledger.append(
+            MONITOR_CHAIN,
+            SimNs::ZERO,
+            SecurityEvent::TzpcLockdown {
+                digest: measure("tzpc", &machine.tzpc().canonical_bytes()),
+            },
+        );
 
         Spm {
             machine,
@@ -391,7 +426,23 @@ impl Spm {
             shares: Vec::new(),
             next_share: 1,
             recorder: None,
+            ledger,
         }
+    }
+
+    /// Current virtual time for ledger records: the recorder's elapsed-time
+    /// watermark, or [`SimNs::ZERO`] before one is installed.
+    fn now(&self) -> SimNs {
+        self.recorder
+            .as_ref()
+            .map(FlightRecorder::total_elapsed)
+            .unwrap_or(SimNs::ZERO)
+    }
+
+    /// The security-event ledger (every SPM instance has one; the core
+    /// layer appends its stream/enclave lifecycle records through it too).
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
     }
 
     /// Installs a flight recorder: the machine's event stream feeds its
@@ -631,6 +682,28 @@ impl Spm {
             frames,
             state: ShareState::Active,
         });
+        // Grant on the owner's chain, acceptance on the peer's: the verifier
+        // pairs them across chains (causal consistency).
+        let at = self.now();
+        self.ledger.append(
+            owner_asid.as_u32(),
+            at,
+            SecurityEvent::ShareGranted {
+                share: handle.as_u64(),
+                owner: owner_asid.as_u32(),
+                peer: peer_asid.as_u32(),
+                pages: pages as u64,
+            },
+        );
+        self.ledger.append(
+            peer_asid.as_u32(),
+            at,
+            SecurityEvent::ShareAccepted {
+                share: handle.as_u64(),
+                owner: owner_asid.as_u32(),
+                peer: peer_asid.as_u32(),
+            },
+        );
         Ok((handle, owner_va, peer_va))
     }
 
@@ -665,6 +738,16 @@ impl Spm {
             rec.counter_add("failure.detect_sweeps", &[], 1);
             rec.counter_add("failure.detected", &[], newly.len() as u64);
         }
+        let at = self.now();
+        for asid in &newly {
+            self.ledger.append(
+                MONITOR_CHAIN,
+                at,
+                SecurityEvent::FailureDetected {
+                    asid: asid.as_u32(),
+                },
+            );
+        }
         newly
     }
 
@@ -682,6 +765,7 @@ impl Spm {
             .ok_or(SpmError::UnknownPartition(asid))?;
         mos.fail();
         let mut invalidated = 0usize;
+        let mut poisoned: Vec<(ShareHandle, AsId)> = Vec::new();
         for share in self
             .shares
             .iter_mut()
@@ -706,6 +790,7 @@ impl Spm {
                 }
             }
             share.state = ShareState::Poisoned { survivor };
+            poisoned.push((share.handle, survivor));
         }
         self.machine.mark_failed(asid);
         let t = self.machine.cost().page_unmap * (invalidated.max(1) as u64);
@@ -724,6 +809,25 @@ impl Spm {
                 start + t,
             );
             rec.charge_detail(TimeCategory::Recovery, "invalidate", t);
+        }
+        let at = self.now();
+        self.ledger.append(
+            asid.as_u32(),
+            at,
+            SecurityEvent::PartitionFailed {
+                asid: asid.as_u32(),
+                invalidated: invalidated as u64,
+            },
+        );
+        for (handle, survivor) in poisoned {
+            self.ledger.append(
+                survivor.as_u32(),
+                at,
+                SecurityEvent::SharePoisoned {
+                    share: handle.as_u64(),
+                    survivor: survivor.as_u32(),
+                },
+            );
         }
         Ok((invalidated, t))
     }
@@ -805,6 +909,17 @@ impl Spm {
             );
             rec.charge_detail(TimeCategory::Recovery, "clear", stats.clear_time);
             rec.charge_detail(TimeCategory::Recovery, "reload", stats.restart_time);
+        }
+        let at = self.now();
+        for step in ["clear", "reload"] {
+            self.ledger.append(
+                asid.as_u32(),
+                at,
+                SecurityEvent::RecoveryStep {
+                    asid: asid.as_u32(),
+                    step,
+                },
+            );
         }
         Ok(stats)
     }
@@ -893,6 +1008,21 @@ impl Spm {
             );
             rec.charge_detail(TimeCategory::Recovery, "trap", t);
         }
+        let at = self.now();
+        self.ledger.append(
+            survivor.as_u32(),
+            at,
+            SecurityEvent::TrapHandled {
+                survivor: survivor.as_u32(),
+                ppn,
+                signalled: signalled.as_u32(),
+            },
+        );
+        // Capture the black box *after* the trap record so the snapshot's
+        // ledger tail includes it. Stream snapshots and the mapping digest
+        // are annotated by the core layer, which owns those tables.
+        self.ledger
+            .capture_blackbox(at, survivor.as_u32(), ppn, signalled.as_u32());
         Ok(TrapOutcome {
             signalled,
             unmapped,
@@ -925,6 +1055,15 @@ impl Spm {
             self.machine.free_frame(frame);
         }
         share.state = ShareState::Reclaimed;
+        let owner_chain = share.owner.0.as_u32();
+        let at = self.now();
+        self.ledger.append(
+            owner_chain,
+            at,
+            SecurityEvent::ShareReclaimed {
+                share: handle.as_u64(),
+            },
+        );
         Ok(())
     }
 
@@ -953,6 +1092,16 @@ impl Spm {
             device_endorsement: endorsement,
         };
         let signature = self.monitor.sign_report(&report.digest());
+        // Ledger the measurement the monitor just signed (interior
+        // mutability: report generation is a read-only SPM operation).
+        self.ledger.append(
+            asid.as_u32(),
+            self.now(),
+            SecurityEvent::AttestMeasurement {
+                subject: format!("report {asid}"),
+                digest: report.digest(),
+            },
+        );
         Ok(SignedReport {
             report,
             atk_public: self.monitor.atk_public(),

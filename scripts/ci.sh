@@ -20,18 +20,27 @@
 # With --audit, also runs the isolation auditor (see AUDIT.md): the
 # repo-rule source lint, then the mapping-state audit of every example
 # workload scenario, failing on any lint finding or invariant violation.
+#
+# With --forensics, also runs the forensics gate (see FORENSICS.md): the
+# failover timeline reconstruction (ledger and span evidence must agree on
+# inject -> detect -> trap -> recover -> re-establish, byte-identically
+# across two same-seed runs) plus ledger verification over the smoke
+# campaign. --chaos also includes the ledger smoke verification, since A5
+# is a campaign invariant.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_bench=0
 run_chaos=0
 run_audit=0
+run_forensics=0
 for arg in "$@"; do
   case "$arg" in
     --bench) run_bench=1 ;;
     --chaos) run_chaos=1 ;;
     --audit) run_audit=1 ;;
-    *) echo "unknown flag: $arg (supported: --bench, --chaos, --audit)" >&2; exit 2 ;;
+    --forensics) run_forensics=1 ;;
+    *) echo "unknown flag: $arg (supported: --bench, --chaos, --audit, --forensics)" >&2; exit 2 ;;
   esac
 done
 
@@ -61,6 +70,17 @@ fi
 if [[ "$run_chaos" -eq 1 ]]; then
   echo "==> chaos gate: smoke fault-injection campaign"
   cargo run --offline --release -q --bin chaos -- --smoke
+
+  echo "==> chaos gate: ledger verification over the smoke campaign (A5)"
+  cargo run --offline --release -q --bin forensics -- --verify --smoke
+fi
+
+if [[ "$run_forensics" -eq 1 ]]; then
+  echo "==> forensics gate: failover timeline reconstruction + ordering"
+  cargo run --offline --release -q --bin forensics > /dev/null
+
+  echo "==> forensics gate: ledger verification over the smoke campaign"
+  cargo run --offline --release -q --bin forensics -- --verify --smoke
 fi
 
 if [[ "$run_bench" -eq 1 ]]; then

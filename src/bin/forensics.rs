@@ -1,0 +1,205 @@
+//! The forensics umbrella: merges security-event ledgers, proceed-trap
+//! black boxes, flight-recorder spans and chaos injection records into one
+//! reconstructed failure timeline, and verifies ledger integrity.
+//!
+//! ```text
+//! cargo run --bin forensics                    # failover timeline + artifacts
+//! cargo run --bin forensics -- --seed 7        # different (still deterministic) seed
+//! cargo run --bin forensics -- --verify        # full campaign: every ledger must verify (A5)
+//! cargo run --bin forensics -- --verify --smoke
+//! ```
+//!
+//! The default mode drives the classic §IV-D failover (kill the GPU callee
+//! mid-kernel), reconstructs the timeline from the ledger and the flight
+//! recorder *independently*, asserts the two sources agree on the failover
+//! ordering (inject → detect → trap → recover → re-establish), runs the
+//! whole thing twice to prove the reconstruction is byte-identical under
+//! the same seed, and writes artifacts under `target/bench/forensics/`.
+//!
+//! See `FORENSICS.md` for the record schema and the verifier guarantees.
+
+use std::process::ExitCode;
+
+use cronus::chaos::{run_campaign, workload, InjectionPlan, WorkloadKind};
+use cronus::core::{ArmedFault, CronusSystem, FaultAction, SrpcPhase, DEFAULT_RING_PAGES};
+use cronus::forensics::{reconstruct, verify_completeness, verify_export, Timeline};
+use cronus::sim::{PagePerms, SimNs, SimRng};
+
+const DEFAULT_SEED: u64 = 0xC401;
+
+const OUT_DIR: &str = "target/bench/forensics";
+
+fn main() -> ExitCode {
+    let mut verify = false;
+    let mut smoke = false;
+    let mut seed = DEFAULT_SEED;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--verify" => verify = true,
+            "--smoke" => smoke = true,
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("--seed requires an integer value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: forensics [--verify [--smoke]] [--seed N]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if verify {
+        verify_campaign(seed, smoke)
+    } else {
+        failover_timeline(seed)
+    }
+}
+
+/// `--verify`: every scenario in the campaign must leave a verifiable
+/// ledger behind (campaign invariant A5).
+fn verify_campaign(seed: u64, smoke: bool) -> ExitCode {
+    let plan = if smoke {
+        InjectionPlan::smoke(seed)
+    } else {
+        InjectionPlan::full(seed)
+    };
+    let report = run_campaign(&plan);
+    let mut bad = 0;
+    for s in &report.scenarios {
+        if !s.verdicts.ledger {
+            bad += 1;
+            eprintln!("forensics: ledger verification FAILED for {}", s.line());
+        }
+    }
+    println!(
+        "forensics --verify: seed={} scenarios={} ledger_violations={}",
+        seed,
+        report.scenarios.len(),
+        bad
+    );
+    if bad > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Default mode: drive a failover, reconstruct its timeline twice, check
+/// determinism and source agreement, emit artifacts.
+fn failover_timeline(seed: u64) -> ExitCode {
+    let (first, sys) = run_failover(seed);
+    let (second, _) = run_failover(seed);
+    if first.render() != second.render() {
+        eprintln!("forensics: timeline reconstruction is NOT deterministic for seed {seed}");
+        return ExitCode::FAILURE;
+    }
+
+    // The ledger itself must verify before we trust the timeline built
+    // from it.
+    let export = sys.spm().ledger().export();
+    if let Err(e) = verify_export(&export) {
+        eprintln!("forensics: ledger verification failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let rec = sys.recorder();
+    if let Err(e) = verify_completeness(&export, |name| rec.counter_total(name)) {
+        eprintln!("forensics: ledger/recorder completeness failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    print!("{}", first.render());
+    match first.check_failover() {
+        Ok(phases) => {
+            let names: Vec<&str> = phases.iter().map(|p| p.name()).collect();
+            println!(
+                "forensics: failover ordering agrees: {}",
+                names.join(" -> ")
+            );
+        }
+        Err(e) => {
+            eprintln!("forensics: failover ordering check failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = write_artifacts(&first) {
+        eprintln!("forensics: failed to write artifacts: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Kill the GPU callee mid-kernel, recover, re-establish, reconstruct.
+fn run_failover(seed: u64) -> (Timeline, CronusSystem) {
+    let mut rng = SimRng::new(seed);
+    let kind = WorkloadKind::GpuSaxpy;
+    let mut sys = workload::boot();
+    let mut h = workload::build(&mut sys, kind);
+    sys.set_stream_deadline(h.stream, Some(SimNs::from_millis(5)))
+        .expect("deadline");
+    sys.arm_fault(ArmedFault {
+        phase: SrpcPhase::Kernel,
+        action: FaultAction::KillCallee,
+        stream: Some(h.stream),
+    });
+
+    // The call dies on the armed fault; the survivor takes a proceed-trap.
+    let payload = workload::request(kind, &mut rng);
+    let err = sys
+        .call(h.stream, kind.mecall())
+        .payload(&payload)
+        .sync()
+        .expect_err("armed kill-callee must surface an error");
+    assert!(
+        sys.spm().machine().is_failed(h.callee.asid),
+        "callee partition should be failed after {err}"
+    );
+
+    // Recover and re-establish, exactly as the campaign runner does.
+    sys.recover_partition(h.callee.asid).expect("recovery");
+    if let Some(d) = h.dma {
+        sys.spm_mut()
+            .machine_mut()
+            .smmu_mut()
+            .grant(d.stream, d.ppn, PagePerms::RW);
+    }
+    h.callee = workload::spawn_callee(&mut sys, kind, h.caller, h.dma);
+    h.stream = sys
+        .reopen_stream(h.stream, h.callee, DEFAULT_RING_PAGES)
+        .expect("reopen");
+    let payload = workload::request(kind, &mut rng);
+    let out = sys
+        .call(h.stream, kind.mecall())
+        .payload(&payload)
+        .sync()
+        .expect("post-recovery call");
+    assert_eq!(out, workload::expected(kind, &payload), "restored service");
+
+    let export = sys.spm().ledger().export();
+    let blackboxes = sys.spm().ledger().blackboxes();
+    let rec = sys.recorder();
+    let timeline = reconstruct(&export, &blackboxes, &rec);
+    (timeline, sys)
+}
+
+fn write_artifacts(timeline: &Timeline) -> std::io::Result<()> {
+    std::fs::create_dir_all(OUT_DIR)?;
+    std::fs::write(format!("{OUT_DIR}/timeline.txt"), timeline.render())?;
+    std::fs::write(
+        format!("{OUT_DIR}/timeline.json"),
+        timeline.to_json().render(),
+    )?;
+    for bb in &timeline.blackboxes {
+        std::fs::write(
+            format!("{OUT_DIR}/blackbox-{}.json", bb.seq),
+            bb.to_json().render(),
+        )?;
+    }
+    println!("forensics: wrote {OUT_DIR}/timeline.{{txt,json}}");
+    Ok(())
+}

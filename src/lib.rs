@@ -19,6 +19,8 @@
 //!   `AUDIT.md`),
 //! * [`chaos`] — deterministic fault-injection campaigns against the sRPC
 //!   pipeline (see `FAULTS.md`),
+//! * [`forensics`] — the tamper-evident security-event ledger, proceed-trap
+//!   black box and failure-timeline reconstructor (see `FORENSICS.md`),
 //! * [`runtime`] — CUDA-like, VTA and CPU execution models,
 //! * [`workloads`] — Rodinia, vta-bench, DNN training/inference,
 //! * [`baselines`] — native Linux, monolithic TrustZone, HIX-TrustZone,
@@ -34,6 +36,7 @@ pub use cronus_chaos as chaos;
 pub use cronus_core as core;
 pub use cronus_crypto as crypto;
 pub use cronus_devices as devices;
+pub use cronus_forensics as forensics;
 pub use cronus_mos as mos;
 pub use cronus_obs as obs;
 pub use cronus_runtime as runtime;

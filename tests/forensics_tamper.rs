@@ -1,0 +1,167 @@
+//! Tamper-mutation tests for the security-event ledger.
+//!
+//! Each test builds a genuine ledger, exports it, applies exactly one
+//! mutation an attacker with write access to the exported evidence might
+//! attempt, and asserts the verifier pinpoints it — the exact record index
+//! and a distinct [`VerifyError`] variant per mutation class.
+
+use cronus::crypto::hmac_sha256;
+use cronus::forensics::{
+    chain_key, verify_chain, verify_export, Ledger, SecurityEvent, VerifyError,
+};
+use cronus::sim::SimNs;
+
+const SEED: &str = "tamper-test-platform";
+
+fn ns(v: u64) -> SimNs {
+    SimNs::from_nanos(v)
+}
+
+/// A small but realistic ledger: two partition chains with paired
+/// grant/accept and open/accept records, so the untampered export passes
+/// the full verification including the causal checks.
+fn build_ledger() -> Ledger {
+    let ledger = Ledger::new(SEED);
+    ledger.append(
+        1,
+        ns(10),
+        SecurityEvent::DeviceEndorsed {
+            device: 1,
+            vendor: "arm".to_string(),
+            rot_digest: cronus::crypto::measure("rot", b"cpu"),
+        },
+    );
+    ledger.append(1, ns(20), SecurityEvent::EnclaveCreated { eid: 7 });
+    ledger.append(
+        1,
+        ns(30),
+        SecurityEvent::ShareGranted {
+            share: 1,
+            owner: 1,
+            peer: 2,
+            pages: 16,
+        },
+    );
+    ledger.append(
+        2,
+        ns(30),
+        SecurityEvent::ShareAccepted {
+            share: 1,
+            owner: 1,
+            peer: 2,
+        },
+    );
+    ledger.append(
+        1,
+        ns(40),
+        SecurityEvent::StreamOpened {
+            stream: 1,
+            caller: 1,
+            callee: 2,
+        },
+    );
+    ledger.append(
+        2,
+        ns(40),
+        SecurityEvent::StreamAccepted {
+            stream: 1,
+            caller: 1,
+            callee: 2,
+        },
+    );
+    ledger.append(2, ns(50), SecurityEvent::StreamClosed { stream: 1 });
+    ledger
+}
+
+#[test]
+fn untampered_export_verifies() {
+    let export = build_ledger().export();
+    verify_export(&export).expect("genuine ledger must verify");
+}
+
+#[test]
+fn bit_flip_in_record_payload_is_caught_at_exact_index() {
+    let export = build_ledger().export();
+    let chains: Vec<u32> = export.chains.keys().copied().collect();
+    let mut chain1 = export.chains[&1].clone();
+    // Flip the grant's page count — record #2 on chain 1. The stored MAC
+    // no longer covers the recomputed digest.
+    match &mut chain1.records[2].event {
+        SecurityEvent::ShareGranted { pages, .. } => *pages ^= 1,
+        other => panic!("expected the grant at index 2, found {other:?}"),
+    }
+    assert_eq!(
+        verify_chain(SEED, &chain1, &chains),
+        Err(VerifyError::MacMismatch { chain: 1, index: 2 })
+    );
+}
+
+#[test]
+fn truncated_tail_is_caught() {
+    let export = build_ledger().export();
+    let chains: Vec<u32> = export.chains.keys().copied().collect();
+    let mut chain2 = export.chains[&2].clone();
+    // Drop the last record (the stream close) as if the evidence of the
+    // final action was suppressed.
+    chain2.records.pop();
+    assert_eq!(
+        verify_chain(SEED, &chain2, &chains),
+        Err(VerifyError::TruncatedTail {
+            chain: 2,
+            have: 2,
+            want: 3,
+        })
+    );
+}
+
+#[test]
+fn reordered_records_are_caught_at_exact_index() {
+    let export = build_ledger().export();
+    let chains: Vec<u32> = export.chains.keys().copied().collect();
+    let mut chain1 = export.chains[&1].clone();
+    chain1.records.swap(1, 2);
+    assert_eq!(
+        verify_chain(SEED, &chain1, &chains),
+        Err(VerifyError::OutOfOrder {
+            chain: 1,
+            index: 2,
+            expected: 1,
+        })
+    );
+}
+
+#[test]
+fn mac_forged_with_wrong_partition_key_is_attributed() {
+    let export = build_ledger().export();
+    let chains: Vec<u32> = export.chains.keys().copied().collect();
+    let mut chain1 = export.chains[&1].clone();
+    // An attacker holding partition 2's chain key re-MACs a chain-1 record
+    // after mutating it. The digest chain still links (prev fields are
+    // intact and the record is re-MACed), but the key is the wrong one —
+    // and the verifier names whose key was actually used.
+    let wrong_key = chain_key(SEED, 2);
+    let digest = chain1.records[1].digest();
+    chain1.records[1].mac = hmac_sha256(&wrong_key, digest.as_bytes());
+    assert_eq!(
+        verify_chain(SEED, &chain1, &chains),
+        Err(VerifyError::MacForged {
+            chain: 1,
+            index: 1,
+            actual_chain: 2,
+        })
+    );
+}
+
+#[test]
+fn tamper_errors_render_with_exact_indices() {
+    // The report strings carry the index so an operator can jump straight
+    // to the offending record.
+    let e = VerifyError::MacMismatch { chain: 1, index: 2 };
+    assert!(e.to_string().contains('2'), "{e}");
+    let e = VerifyError::TruncatedTail {
+        chain: 2,
+        have: 2,
+        want: 3,
+    };
+    assert!(e.to_string().contains("truncated"), "{e}");
+}
