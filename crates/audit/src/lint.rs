@@ -13,10 +13,13 @@
 //!    rot.
 //! 3. **`no-wall-clock`** — `std::time::{Instant, SystemTime}` only in
 //!    `crates/obs` and `crates/bench`; everything else runs on the
-//!    simulated clock so results stay deterministic.
+//!    simulated clock so results stay deterministic. The queue/SLO
+//!    analysis layers (`crates/obs/src/{queue,slo}.rs`) are carved *out*
+//!    of the exemption: their byte-identical-per-seed guarantee makes
+//!    them deterministic code despite living in the exporter crate.
 //! 4. **`no-string-errors`** — no `pub fn ... -> Result<_, String>` in
-//!    `crates/{core,spm,sim,mos}/src`; public fallible APIs must use typed
-//!    errors.
+//!    `crates/{core,spm,sim,mos}/src` (plus the strict observatory files
+//!    above); public fallible APIs must use typed errors.
 //!
 //! The scanner is line/token-level: it skips comment lines and
 //! `#[cfg(test)]`-gated blocks (tracked by brace depth), which is exactly
@@ -117,6 +120,12 @@ const NO_UNWRAP_SCOPES: [&str; 4] = [
 
 /// Crates allowed to read the wall clock (rule 3).
 const WALL_CLOCK_EXEMPT: [&str; 2] = ["crates/obs", "crates/bench"];
+
+/// Observatory analysis files held to the strict rules (3 and 4) despite
+/// living inside the otherwise-exempt `crates/obs`: the queue telemetry and
+/// SLO layers promise byte-identical output per seed, so wall-clock reads
+/// and stringly-typed errors are as much a bug there as in trusted code.
+const STRICT_OBS_FILES: [&str; 2] = ["crates/obs/src/queue.rs", "crates/obs/src/slo.rs"];
 
 /// Directories whose public APIs must not use `String` errors (rule 4).
 const NO_STRING_ERROR_SCOPES: [&str; 5] = [
@@ -251,8 +260,9 @@ fn scan_file(rel: &str, text: &str, allow: &mut [AllowEntry], findings: &mut Vec
     }
     let deprecated_applies = rel != DEPRECATED_EXEMPT;
     let unwrap_applies = in_scope(rel, &NO_UNWRAP_SCOPES);
-    let wall_clock_applies = !in_scope(rel, &WALL_CLOCK_EXEMPT);
-    let string_error_applies = in_scope(rel, &NO_STRING_ERROR_SCOPES);
+    let strict_obs = STRICT_OBS_FILES.contains(&rel);
+    let wall_clock_applies = !in_scope(rel, &WALL_CLOCK_EXEMPT) || strict_obs;
+    let string_error_applies = in_scope(rel, &NO_STRING_ERROR_SCOPES) || strict_obs;
 
     // Brace-tracked skipping of `#[cfg(test)] mod ... { ... }` regions.
     let mut pending_cfg_test = false;
@@ -446,6 +456,24 @@ mod tests {
         )
         .is_empty());
         assert!(scan("crates/obs/src/x.rs", "std::time::SystemTime::now();\n").is_empty());
+    }
+
+    #[test]
+    fn strict_obs_files_lose_the_obs_exemptions() {
+        // queue.rs/slo.rs promise determinism: wall clock flagged even
+        // though the rest of crates/obs is exempt.
+        let hits = scan(
+            "crates/obs/src/queue.rs",
+            "let t = std::time::Instant::now();\n",
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "no-wall-clock");
+        let hits = scan(
+            "crates/obs/src/slo.rs",
+            "pub fn f() -> Result<u32, String> {\n",
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "no-string-errors");
     }
 
     #[test]

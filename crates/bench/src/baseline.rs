@@ -309,10 +309,35 @@ pub fn report(
     rec: &FlightRecorder,
 ) -> BenchReport {
     let causal = rec.causal_report();
+    let mut headlines = headlines;
     let mut meta = meta;
     meta.push(("requests".to_string(), causal.requests.len().to_string()));
     if let Some(cat) = causal.bounding_category() {
         meta.push(("bounding_category".to_string(), cat.to_string()));
+    }
+    // Queue-observatory headlines, present only when the run instrumented
+    // queues (the chaos umbrella report is built from an empty recorder and
+    // must keep its old shape). All three gate lower-is-better: at a fixed
+    // workload, longer p99 waits, deeper backlogs or a busier bounding
+    // queue all mean the system moved toward saturation.
+    if rec.has_queues() {
+        let qr = rec.queue_report(cronus_obs::queue::DEFAULT_LITTLE_TOLERANCE);
+        if let Some(b) = qr.bounding_queue() {
+            headlines.push(Headline::lower(
+                "queue_p99_wait_ns",
+                b.p99_wait_ns as f64,
+                "ns",
+            ));
+            let max_depth = qr.queues.iter().map(|q| q.max_depth).max().unwrap_or(0);
+            headlines.push(Headline::lower(
+                "queue_max_depth",
+                max_depth as f64,
+                "slots",
+            ));
+            headlines.push(Headline::lower("queue_utilization", b.utilization, "frac"));
+            meta.push(("bounding_queue".to_string(), b.name.clone()));
+            meta.push(("little_ok".to_string(), qr.little_all_within().to_string()));
+        }
     }
     BenchReport {
         name: name.to_string(),
@@ -450,5 +475,35 @@ mod tests {
             .meta
             .iter()
             .any(|(k, v)| k == "bounding_category" && v == "kernel"));
+        // No queues were declared, so the queue headlines must be absent
+        // (the chaos umbrella report relies on this).
+        assert!(!rep.headlines.iter().any(|h| h.key.starts_with("queue_")));
+    }
+
+    #[test]
+    fn report_appends_queue_headlines_when_instrumented() {
+        let rec = FlightRecorder::new();
+        rec.queue_declare("srpc.ring:0", cronus_obs::QueueKind::Ring, 8);
+        rec.queue_enqueue("srpc.ring:0", SimNs::from_nanos(0));
+        rec.queue_dequeue(
+            "srpc.ring:0",
+            SimNs::from_nanos(100),
+            SimNs::from_nanos(40),
+            SimNs::from_nanos(60),
+        );
+        let rep = report("unit-q", Vec::new(), Vec::new(), &rec);
+        for key in ["queue_p99_wait_ns", "queue_max_depth", "queue_utilization"] {
+            let h = rep
+                .headlines
+                .iter()
+                .find(|h| h.key == key)
+                .unwrap_or_else(|| panic!("missing headline {key}"));
+            assert_eq!(h.better, Better::Lower, "{key} must gate lower-is-better");
+        }
+        assert!(rep
+            .meta
+            .iter()
+            .any(|(k, v)| k == "bounding_queue" && v == "srpc.ring:0"));
+        assert!(rep.meta.iter().any(|(k, _)| k == "little_ok"));
     }
 }

@@ -6,6 +6,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod rpc_micro;
+pub mod saturation;
 pub mod tables;
 
 use cronus_core::{Actor, CronusSystem, EnclaveRef};
@@ -58,6 +59,25 @@ pub fn multi_gpu_boot(gpus: u8) -> BootConfig {
         partitions,
         ..Default::default()
     }
+}
+
+/// Runs figure `name` at a reduced, diagnosis-friendly scale and returns
+/// its flight recorder, or `None` for an unknown name. `obs-report` and the
+/// queue-observatory umbrella test use this to point the analyzer at any
+/// figure's queues without paying for the full bench scale.
+pub fn recorded_figure(name: &str) -> Option<cronus_obs::FlightRecorder> {
+    Some(match name {
+        "fig7" => fig7::run_recorded(2).1,
+        "fig8" => fig8::run_recorded().1,
+        "fig9" => fig9::run().recorder,
+        "fig10a" => fig10::run_10a_recorded(2).1,
+        "fig10b" => fig10::run_10b_recorded().1,
+        "fig11a" => fig11::run_11a_recorded(&[1, 2]).1,
+        "fig11b" => fig11::run_11b_recorded(&[1, 2]).1,
+        "rpc_micro" => rpc_micro::run_recorded(200).1,
+        "saturation" => saturation::run_recorded(42, 400),
+        _ => return None,
+    })
 }
 
 /// Creates a driving CPU mEnclave owned by a fresh app.

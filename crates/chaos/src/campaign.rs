@@ -72,6 +72,12 @@ pub struct ScenarioReport {
     pub verified_after: bool,
     /// Stall-watchdog findings at scenario end.
     pub stalls: usize,
+    /// High-water sRPC-ring depth across the inject→recover window
+    /// (saturation telemetry from the queue observatory).
+    pub max_queue_depth: u64,
+    /// Whether every sRPC-ring queue (including the quarantined stream's)
+    /// drained to depth 0 by scenario end — folded into A2.
+    pub queues_drained: bool,
     /// The five invariant verdicts.
     pub verdicts: Verdicts,
 }
@@ -83,7 +89,7 @@ impl ScenarioReport {
         format!(
             "#{:03} wl={} phase={} action={} fired={} calls={}/{} detect={} err={} \
              timeouts={} retries={} recovered={} recovery_ns={} verified={} stalls={} \
-             A1={} A2={} A3={} A4={} A5={}",
+             maxq={} drained={} A1={} A2={} A3={} A4={} A5={}",
             self.id,
             self.workload,
             self.phase,
@@ -99,6 +105,8 @@ impl ScenarioReport {
             self.recovery_ns,
             if self.verified_after { "yes" } else { "no" },
             self.stalls,
+            self.max_queue_depth,
+            if self.queues_drained { "yes" } else { "no" },
             ok(self.verdicts.no_leak),
             ok(self.verdicts.no_stuck),
             ok(self.verdicts.bounded_recovery),
@@ -140,6 +148,20 @@ impl CampaignReport {
             .unwrap_or(0)
     }
 
+    /// The deepest sRPC-ring backlog any scenario reached.
+    pub fn max_queue_depth(&self) -> u64 {
+        self.scenarios
+            .iter()
+            .map(|s| s.max_queue_depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Scenarios that left an undrained sRPC ring behind.
+    pub fn undrained(&self) -> usize {
+        self.scenarios.iter().filter(|s| !s.queues_drained).count()
+    }
+
     /// Renders the whole campaign as stable text; byte-identical across
     /// runs of the same `(seed, plan)`.
     pub fn render(&self) -> String {
@@ -153,10 +175,13 @@ impl CampaignReport {
             out.push('\n');
         }
         out.push_str(&format!(
-            "summary: faults_fired={} violations={} max_recovery_ns={}\n",
+            "summary: faults_fired={} violations={} max_recovery_ns={} \
+             max_queue_depth={} undrained={}\n",
             self.faults_fired(),
             self.violations(),
-            self.max_recovery_ns()
+            self.max_recovery_ns(),
+            self.max_queue_depth(),
+            self.undrained()
         ));
         out
     }
@@ -278,6 +303,13 @@ pub fn run_scenario(scn: &Scenario, seed: u64) -> ScenarioReport {
 
     // ---- verdicts ---------------------------------------------------------
     let rec = sys.recorder();
+    // Saturation telemetry: how deep the rings backed up across the
+    // inject→recover window, and whether recovery (flush-on-quarantine plus
+    // the verification syncs) drained every ring back to depth 0. An
+    // undrained ring after a "successful" recovery is exactly the stuck-
+    // stream shape A2 exists to catch.
+    let max_queue_depth = rec.queue_high_water_depth("srpc.ring");
+    let queues_drained = rec.queue_current_depth("srpc.ring") == 0;
     let (timeouts, retries) = rec.with(|r| {
         (
             r.metrics.counter_total("srpc.timeouts"),
@@ -300,7 +332,7 @@ pub fn run_scenario(scn: &Scenario, seed: u64) -> ScenarioReport {
         && cronus_forensics::verify_completeness(&export, |name| rec.counter_total(name)).is_ok();
     let verdicts = Verdicts {
         no_leak: !leak && tzasc_holds,
-        no_stuck: verified_after && stalls == 0,
+        no_stuck: verified_after && stalls == 0 && queues_drained,
         bounded_recovery: recovered == 0 || SimNs::from_nanos(recovery_ns) <= bound,
         audit: audit.passed(),
         ledger,
@@ -322,6 +354,8 @@ pub fn run_scenario(scn: &Scenario, seed: u64) -> ScenarioReport {
         recovery_ns,
         verified_after,
         stalls,
+        max_queue_depth,
+        queues_drained,
         verdicts,
     }
 }

@@ -29,7 +29,9 @@ pub struct Verdicts {
     /// A1: no secret byte readable from the failed stream's pages, and the
     /// normal world locked out of them.
     pub no_leak: bool,
-    /// A2: every call returned, no stalls, post-recovery calls verified.
+    /// A2: every call returned, no stalls, post-recovery calls verified,
+    /// and every sRPC ring (including a quarantined stream's) drained back
+    /// to depth 0.
     pub no_stuck: bool,
     /// A3: recovery completed within the modeled bound.
     pub bounded_recovery: bool,

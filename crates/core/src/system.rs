@@ -16,7 +16,7 @@ use cronus_devices::DeviceKind;
 use cronus_mos::manager::Owner;
 use cronus_mos::manifest::{Eid, Manifest};
 use cronus_mos::mos::MosError;
-use cronus_obs::{FlightRecorder, ReqId, TimeCategory};
+use cronus_obs::{FlightRecorder, QueueKind, ReqId, TimeCategory};
 use cronus_sim::machine::AsId;
 use cronus_sim::trace::EventKind;
 use cronus_sim::{Fault, PhysAddr, SimClock, SimNs, SimRng, World, PAGE_SIZE};
@@ -457,6 +457,12 @@ impl CronusSystem {
                 start.saturating_sub(cost),
                 start,
             );
+            // The dispatcher's admission queue: routing + creation is the
+            // service; no cross-request contention is modeled, so the wait
+            // is zero by construction.
+            rec.queue_declare("dispatch.requests", QueueKind::Dispatch, 0);
+            rec.queue_enqueue("dispatch.requests", start.saturating_sub(cost));
+            rec.queue_dequeue("dispatch.requests", start, SimNs::ZERO, cost);
         }
         self.clocks.insert(eid, SimClock::at(start));
         // Ledger the exchange before the creation record: key agreement is
@@ -751,6 +757,11 @@ impl CronusSystem {
             rec.counter_add("srpc.streams_opened", &[], 1);
             let track = rec.track(&format!("stream:{}", id.0));
             rec.complete_span(track, "open", "srpc", opened.saturating_sub(setup), opened);
+            rec.queue_declare(
+                &format!("srpc.ring:{}", id.0),
+                QueueKind::Ring,
+                layout.slots,
+            );
         }
 
         self.streams.insert(
@@ -983,6 +994,10 @@ impl CronusSystem {
             let channel = crate::reliability::detection_channel(&converted);
             if let Some(rec) = self.spm.recorder() {
                 rec.counter_add("srpc.streams_quarantined", &[], 1);
+                // Quarantine discards everything in flight: reflect that in
+                // the queue station so drained-to-zero stays checkable.
+                let dropped = rec.queue_flush(&format!("srpc.ring:{}", id.0), at);
+                rec.counter_add("srpc.requests_flushed", &[], dropped);
                 // The marker is the span-stream's witness of the detection;
                 // the timeline reconstructor cross-checks it against the
                 // ledger record below.
@@ -1128,6 +1143,9 @@ impl CronusSystem {
             let executor_now = s.executor_clock.now();
             let caller_eid = s.caller.1;
             self.clock_mut(caller_eid).advance_to(executor_now);
+            if let Some(rec) = self.spm.recorder() {
+                rec.queue_error(&format!("srpc.ring:{}", id.0), executor_now);
+            }
         }
 
         let slot = encode_request(&Request {
@@ -1171,6 +1189,7 @@ impl CronusSystem {
         let occupancy = (s.rid - s.sid) as i64;
         if let Some(rec) = self.spm.recorder() {
             rec.charge_detail(TimeCategory::Ring, "enqueue", enqueue_cost);
+            rec.queue_enqueue(&format!("srpc.ring:{}", id.0), now);
             rec.gauge_set(
                 "srpc.ring_occupancy",
                 &[("stream", &id.0.to_string())],
@@ -1332,6 +1351,12 @@ impl CronusSystem {
                     "srpc.request_latency",
                     &[("stream", &stream_lbl)],
                     finished - enq_t,
+                );
+                rec.queue_dequeue(
+                    &format!("srpc.ring:{}", id.0),
+                    finished,
+                    started - enq_t,
+                    dequeue_cost + exec_time,
                 );
             }
         }
@@ -1700,6 +1725,14 @@ impl CronusSystem {
         if let Some(rec) = self.spm.recorder() {
             rec.counter_add("srpc.streams_reopened", &[], 1);
             rec.with(|r| r.spans.instant("stream-reopened", at));
+            // The old ring is abandoned along with any requests still queued
+            // on it (a faulted drain can leave one behind without going
+            // through quarantine). Flush its station so depth returns to 0
+            // and the Little check knows the residuals were discarded.
+            let dropped = rec.queue_flush(&format!("srpc.ring:{}", old.0), at);
+            if dropped > 0 {
+                rec.counter_add("srpc.requests_flushed", &[], dropped);
+            }
         }
         self.spm.ledger().append(
             caller.asid.as_u32(),

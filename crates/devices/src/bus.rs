@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use cronus_obs::FlightRecorder;
+use cronus_obs::{FlightRecorder, QueueKind};
 use cronus_sim::addr::{PhysAddr, PhysRange};
 use cronus_sim::tzpc::DeviceId;
 use cronus_sim::{Fault, Machine, SimNs, StreamId, World};
@@ -74,8 +74,11 @@ impl PcieBus {
 
     /// Installs a flight recorder: every DMA transfer then emits a span on
     /// the `bus` track (stamped with the ambient request id) plus byte
-    /// counters.
+    /// counters, and the transfer queue reports to the queue observatory.
     pub fn set_recorder(&mut self, rec: FlightRecorder) {
+        // One serial transfer engine; nothing waits in the simulated model,
+        // so the station's utilization is the interesting USE signal.
+        rec.queue_declare("bus.dma", QueueKind::Dma, 1);
         self.recorder = Some(rec);
     }
 
@@ -87,6 +90,8 @@ impl PcieBus {
             let track = rec.track("bus");
             let start = rec.total_elapsed();
             rec.complete_span(track, format!("{dir}:{device}"), "dma", start, start + t);
+            rec.queue_enqueue("bus.dma", start);
+            rec.queue_dequeue("bus.dma", start + t, SimNs::ZERO, t);
         }
     }
 

@@ -13,16 +13,19 @@
 //! * can be fully [`reset`](crate::SimDevice::reset) so failover clears all
 //!   tenant state (attack A3 in §IV-D).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
 use cronus_crypto::{KeyPair, PublicKey, Signature};
-use cronus_obs::FlightRecorder;
+use cronus_obs::{FlightRecorder, QueueKind};
 use cronus_sim::tzpc::DeviceId;
 use cronus_sim::{CostModel, SimNs, StreamId};
 
 use crate::{device_rot_keypair, DeviceKind, SimDevice};
+
+/// Completion-IRQ queue slots a driver ring would provide.
+pub const IRQ_QUEUE_SLOTS: u64 = 64;
 
 /// Handle to a GPU execution context (one spatially sharing tenant).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -243,6 +246,7 @@ pub struct GpuDevice {
     next_buf: u64,
     total_launches: u64,
     pending_irqs: u32,
+    irq_raised_at: VecDeque<SimNs>,
     recorder: Option<FlightRecorder>,
 }
 
@@ -273,13 +277,20 @@ impl GpuDevice {
             next_buf: 1,
             total_launches: 0,
             pending_irqs: 0,
+            irq_raised_at: VecDeque::new(),
             recorder: None,
         }
     }
 
     /// Installs a flight recorder: kernel launches gain spans on the
-    /// `gpu:<id>` track plus launch/latency/occupancy metrics.
+    /// `gpu:<id>` track plus launch/latency/occupancy metrics, and the
+    /// completion-IRQ queue reports to the queue observatory.
     pub fn set_recorder(&mut self, rec: FlightRecorder) {
+        rec.queue_declare(
+            &format!("gpu:{}.completion", self.id.as_u32()),
+            QueueKind::Completion,
+            IRQ_QUEUE_SLOTS,
+        );
         self.recorder = Some(rec);
     }
 
@@ -507,6 +518,11 @@ impl GpuDevice {
             let track = rec.track(&format!("gpu:{}", self.id.as_u32()));
             let start = rec.total_elapsed();
             rec.complete_span(track, kernel.to_string(), "kernel", start, start + t);
+            // The completion IRQ is raised when the kernel finishes; it sits
+            // queued until the driver's ISR (take_irqs) services it.
+            let raised = start + t;
+            self.irq_raised_at.push_back(raised);
+            rec.queue_enqueue(&format!("gpu:{}.completion", self.id.as_u32()), raised);
         }
         Ok(t)
     }
@@ -550,7 +566,22 @@ impl GpuDevice {
     /// Takes (and clears) the pending completion interrupts — the HAL's
     /// interrupt service routine.
     pub fn take_irqs(&mut self) -> u32 {
-        std::mem::take(&mut self.pending_irqs)
+        let n = std::mem::take(&mut self.pending_irqs);
+        if let Some(rec) = &self.recorder {
+            let now = rec.total_elapsed();
+            let qname = format!("gpu:{}.completion", self.id.as_u32());
+            while let Some(raised) = self.irq_raised_at.pop_front() {
+                rec.queue_dequeue(
+                    &qname,
+                    now.max(raised),
+                    now.saturating_sub(raised),
+                    SimNs::ZERO,
+                );
+            }
+        } else {
+            self.irq_raised_at.clear();
+        }
+        n
     }
 
     /// Device memory in use (context quotas reserved).
@@ -608,6 +639,13 @@ impl SimDevice for GpuDevice {
         self.used = 0;
         self.total_launches = 0;
         self.pending_irqs = 0;
+        // Reset discards in-flight completions: flush the queue station so
+        // the observatory sees the drop rather than a stuck depth.
+        if let Some(rec) = &self.recorder {
+            let now = rec.total_elapsed();
+            rec.queue_flush(&format!("gpu:{}.completion", self.id.as_u32()), now);
+        }
+        self.irq_raised_at.clear();
         self.next_ctx = 1;
         self.next_buf = 1;
     }

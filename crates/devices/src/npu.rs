@@ -7,11 +7,11 @@
 //! set (LOAD / GEMM / ALU / STORE) over int8 tensors with int32 accumulation,
 //! with per-context buffer isolation and a MAC-throughput cost model.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use cronus_crypto::{KeyPair, PublicKey, Signature};
-use cronus_obs::FlightRecorder;
+use cronus_obs::{FlightRecorder, QueueKind};
 use cronus_sim::tzpc::DeviceId;
 use cronus_sim::{CostModel, SimNs, StreamId};
 
@@ -198,6 +198,7 @@ pub struct NpuDevice {
     next_ctx: u32,
     next_buf: u64,
     pending_irqs: u32,
+    irq_raised_at: VecDeque<SimNs>,
     recorder: Option<FlightRecorder>,
 }
 
@@ -223,13 +224,20 @@ impl NpuDevice {
             next_ctx: 1,
             next_buf: 1,
             pending_irqs: 0,
+            irq_raised_at: VecDeque::new(),
             recorder: None,
         }
     }
 
     /// Installs a flight recorder: program runs gain spans on the `npu:<id>`
-    /// track plus run-count/latency metrics.
+    /// track plus run-count/latency metrics, and the completion-IRQ queue
+    /// reports to the queue observatory.
     pub fn set_recorder(&mut self, rec: FlightRecorder) {
+        rec.queue_declare(
+            &format!("npu:{}.completion", self.id.as_u32()),
+            QueueKind::Completion,
+            crate::gpu::IRQ_QUEUE_SLOTS,
+        );
         self.recorder = Some(rec);
     }
 
@@ -406,6 +414,11 @@ impl NpuDevice {
                 start,
                 start + total,
             );
+            // Completion IRQ raised when the program finishes; queued until
+            // the driver's ISR services it.
+            let raised = start + total;
+            self.irq_raised_at.push_back(raised);
+            rec.queue_enqueue(&format!("npu:{}.completion", self.id.as_u32()), raised);
         }
         Ok(total)
     }
@@ -565,7 +578,22 @@ impl NpuDevice {
 
     /// Takes (and clears) the pending completion interrupts.
     pub fn take_irqs(&mut self) -> u32 {
-        std::mem::take(&mut self.pending_irqs)
+        let n = std::mem::take(&mut self.pending_irqs);
+        if let Some(rec) = &self.recorder {
+            let now = rec.total_elapsed();
+            let qname = format!("npu:{}.completion", self.id.as_u32());
+            while let Some(raised) = self.irq_raised_at.pop_front() {
+                rec.queue_dequeue(
+                    &qname,
+                    now.max(raised),
+                    now.saturating_sub(raised),
+                    SimNs::ZERO,
+                );
+            }
+        } else {
+            self.irq_raised_at.clear();
+        }
+        n
     }
 
     /// Programs completed in a context.
@@ -619,6 +647,13 @@ impl SimDevice for NpuDevice {
         self.contexts.clear();
         self.used = 0;
         self.pending_irqs = 0;
+        // Reset discards in-flight completions: flush the queue station so
+        // the observatory sees the drop rather than a stuck depth.
+        if let Some(rec) = &self.recorder {
+            let now = rec.total_elapsed();
+            rec.queue_flush(&format!("npu:{}.completion", self.id.as_u32()), now);
+        }
+        self.irq_raised_at.clear();
         self.next_ctx = 1;
         self.next_buf = 1;
     }

@@ -16,6 +16,11 @@
 //! - [`causal`]: per-request timelines reconstructed from [`span::ReqId`]-
 //!   stamped spans, critical-path attribution (which category bounds
 //!   latency, per stream and overall) and the p99 outlier report.
+//! - [`queue`]: the queueing & saturation observatory — per-queue depth,
+//!   wait/service split, USE metrics, Little's-law cross-checks and the
+//!   ranked bottleneck-attribution report behind `cargo run --bin obs-report`.
+//! - [`slo`]: per-figure p50/p99 wait budgets with error-budget burn rates,
+//!   gated by `scripts/ci.sh --slo`.
 //! - [`json`]: the offline (serde-free) JSON emission and parsing all
 //!   exports and the bench baselines use.
 //!
@@ -27,12 +32,18 @@ pub mod causal;
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod queue;
 pub mod recorder;
+pub mod slo;
 pub mod span;
 
 pub use causal::{canonical_phase, CausalReport, RequestTimeline};
 pub use json::{is_well_formed, parse, Json};
 pub use metrics::{bucket_index, labels, Histogram, LabelSet, MetricsRegistry};
 pub use profile::{TimeCategory, TimeProfiler};
+pub use queue::{
+    LittleCheck, QueueKind, QueueObservatory, QueueReport, QueueSample, QueueStation, QueueUse,
+};
 pub use recorder::{charge_opt, FlightRecorder, RecorderInner, RecorderSink};
+pub use slo::{SloEval, SloObjective, SloPolicy, SloReport};
 pub use span::{ReqId, Span, SpanId, SpanTracer, TrackId};

@@ -3,8 +3,11 @@
 //! Every metric is keyed by name plus a sorted label set (e.g.
 //! `("partition","2"), ("stream","3")`), mirroring the Prometheus data model
 //! without any wire protocol. Histograms bucket by powers of two of
-//! nanoseconds — 64 buckets cover the full `u64` range — and report
-//! interpolated p50/p95/p99 plus the exact min/max.
+//! nanoseconds — 64 logical buckets cover the full `u64` range, stored
+//! sparsely so high-cardinality per-queue histograms stay bounded — and
+//! report interpolated p50/p95/p99/p999 plus the exact min/max. The
+//! registry exposes the total populated-bucket footprint as the synthetic
+//! `obs.histogram_buckets` gauge in every snapshot.
 
 use std::collections::BTreeMap;
 
@@ -52,11 +55,14 @@ pub const HISTOGRAM_BUCKETS: usize = 64;
 
 /// A log-bucketed histogram of simulated durations.
 ///
-/// Bucket `i` holds values whose floor(log2) is `i`, i.e. the interval
-/// `[2^i, 2^(i+1))`, with bucket 0 also holding the value 0.
+/// Logical bucket `i` holds values whose floor(log2) is `i`, i.e. the
+/// interval `[2^i, 2^(i+1))`, with bucket 0 also holding the value 0. Only
+/// populated buckets are stored — as `(index, count)` pairs sorted by index —
+/// so a typical latency distribution costs a handful of entries instead of a
+/// fixed 64-slot array per label set.
 #[derive(Clone, Debug)]
 pub struct Histogram {
-    buckets: [u64; HISTOGRAM_BUCKETS],
+    buckets: Vec<(u8, u64)>,
     count: u64,
     sum: u128,
     min: u64,
@@ -66,7 +72,7 @@ pub struct Histogram {
 impl Default for Histogram {
     fn default() -> Self {
         Histogram {
-            buckets: [0; HISTOGRAM_BUCKETS],
+            buckets: Vec::new(),
             count: 0,
             sum: 0,
             min: u64::MAX,
@@ -97,7 +103,11 @@ impl Histogram {
     /// Records one observation.
     pub fn observe(&mut self, d: SimNs) {
         let ns = d.as_nanos();
-        self.buckets[bucket_index(ns)] += 1;
+        let idx = bucket_index(ns) as u8;
+        match self.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+            Ok(pos) => self.buckets[pos].1 += 1,
+            Err(pos) => self.buckets.insert(pos, (idx, 1)),
+        }
         self.count += 1;
         self.sum += ns as u128;
         self.min = self.min.min(ns);
@@ -137,8 +147,8 @@ impl Histogram {
         SimNs::from_nanos(self.max)
     }
 
-    /// Raw bucket counts.
-    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+    /// Populated buckets as sorted `(bucket_index, count)` pairs.
+    pub fn nonzero_buckets(&self) -> &[(u8, u64)] {
         &self.buckets
     }
 
@@ -152,10 +162,8 @@ impl Histogram {
         // Rank of the target observation, 1-based.
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            if n == 0 {
-                continue;
-            }
+        for &(idx, n) in &self.buckets {
+            let i = idx as usize;
             if seen + n >= rank {
                 let lo = bucket_lower_bound(i) as f64;
                 let hi = if i >= 63 {
@@ -173,6 +181,36 @@ impl Histogram {
         SimNs::from_nanos(self.max)
     }
 
+    /// Estimated number of observations strictly greater than `threshold`,
+    /// counting whole buckets above it and linearly apportioning the bucket
+    /// that straddles it. Used by the SLO layer's burn-rate computation.
+    pub fn count_over(&self, threshold: SimNs) -> u64 {
+        let t = threshold.as_nanos();
+        if self.count == 0 || t >= self.max {
+            return 0;
+        }
+        if t < self.min {
+            return self.count;
+        }
+        let mut over = 0f64;
+        for &(idx, n) in &self.buckets {
+            let i = idx as usize;
+            let lo = bucket_lower_bound(i);
+            let hi = if i >= 63 {
+                u64::MAX
+            } else {
+                (1u64 << (i + 1)) - 1
+            };
+            if lo > t {
+                over += n as f64;
+            } else if hi > t {
+                let span = (hi - lo).max(1) as f64;
+                over += n as f64 * ((hi - t) as f64 / span);
+            }
+        }
+        (over.round() as u64).min(self.count)
+    }
+
     /// Median.
     pub fn p50(&self) -> SimNs {
         self.quantile(0.50)
@@ -188,6 +226,11 @@ impl Histogram {
         self.quantile(0.99)
     }
 
+    /// 99.9th percentile.
+    pub fn p999(&self) -> SimNs {
+        self.quantile(0.999)
+    }
+
     fn to_json(&self) -> Json {
         Json::obj([
             ("count", Json::U64(self.count)),
@@ -197,7 +240,9 @@ impl Histogram {
             ("p50_ns", Json::U64(self.p50().as_nanos())),
             ("p95_ns", Json::U64(self.p95().as_nanos())),
             ("p99_ns", Json::U64(self.p99().as_nanos())),
+            ("p999_ns", Json::U64(self.p999().as_nanos())),
             ("max_ns", Json::U64(self.max().as_nanos())),
+            ("buckets", Json::U64(self.buckets.len() as u64)),
         ])
     }
 }
@@ -363,6 +408,16 @@ impl MetricsRegistry {
         self.histograms.iter().map(|((n, l), h)| (n.as_str(), l, h))
     }
 
+    /// Total populated (non-zero) buckets across every histogram series —
+    /// the registry's histogram memory footprint, surfaced in snapshots as
+    /// the synthetic `obs.histogram_buckets` gauge.
+    pub fn histogram_buckets(&self) -> u64 {
+        self.histograms
+            .values()
+            .map(|h| h.nonzero_buckets().len() as u64)
+            .sum()
+    }
+
     /// Serializes the whole registry as a JSON snapshot. `meta` fields are
     /// placed at the top of the document (run name, simulated elapsed, …).
     pub fn snapshot_json(&self, meta: &[(&'static str, Json)]) -> String {
@@ -377,7 +432,7 @@ impl MetricsRegistry {
                 ])
             })
             .collect();
-        let gauges = self
+        let mut gauges: Vec<Json> = self
             .gauges
             .iter()
             .map(|((n, l), c)| {
@@ -389,6 +444,13 @@ impl MetricsRegistry {
                 ])
             })
             .collect();
+        let bucket_footprint = self.histogram_buckets() as i64;
+        gauges.push(Json::obj([
+            ("name", Json::from("obs.histogram_buckets")),
+            ("labels", LabelSet::empty().to_json()),
+            ("value", Json::I64(bucket_footprint)),
+            ("max", Json::I64(bucket_footprint)),
+        ]));
         let histograms = self
             .histograms
             .iter()
@@ -494,6 +556,56 @@ mod tests {
         assert_eq!(h.p50(), SimNs::ZERO);
         assert_eq!(h.min(), SimNs::ZERO);
         assert_eq!(h.max(), SimNs::ZERO);
+    }
+
+    #[test]
+    fn sparse_buckets_track_only_populated_indices() {
+        let mut h = Histogram::default();
+        h.observe(ns(1)); // bucket 0
+        h.observe(ns(1)); // bucket 0 again
+        h.observe(ns(1 << 20)); // bucket 20
+        h.observe(ns(u64::MAX)); // bucket 63
+        assert_eq!(h.nonzero_buckets(), &[(0, 2), (20, 1), (63, 1)]);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn p999_sits_between_p99_and_max() {
+        let mut h = Histogram::default();
+        for v in 1..=10_000u64 {
+            h.observe(ns(v));
+        }
+        assert!(h.p99() <= h.p999());
+        assert!(h.p999() <= h.max());
+        // The top permille of 1..=10000 starts near 9990.
+        assert!(h.p999().as_nanos() >= 8_192, "p999 = {}", h.p999());
+    }
+
+    #[test]
+    fn count_over_estimates_tail_fraction() {
+        let mut h = Histogram::default();
+        for v in 1..=1_000u64 {
+            h.observe(ns(v));
+        }
+        assert_eq!(h.count_over(ns(2_000)), 0, "nothing above the max");
+        assert_eq!(h.count_over(SimNs::ZERO), 1_000, "everything above zero");
+        let over = h.count_over(ns(500));
+        // Exactly 500 observations exceed 500ns; log-bucket apportioning is
+        // approximate but must land in the right ballpark.
+        assert!((300..=700).contains(&over), "count_over(500) = {over}");
+    }
+
+    #[test]
+    fn registry_reports_histogram_bucket_footprint() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.histogram_buckets(), 0);
+        m.observe("lat", labels(&[("q", "a")]), ns(10));
+        m.observe("lat", labels(&[("q", "a")]), ns(11));
+        m.observe("lat", labels(&[("q", "b")]), ns(1 << 30));
+        assert_eq!(m.histogram_buckets(), 2, "one bucket per series here");
+        let json = m.snapshot_json(&[]);
+        assert!(json.contains("\"obs.histogram_buckets\""), "{json}");
+        assert!(json.contains("\"p999_ns\""), "{json}");
     }
 
     #[test]

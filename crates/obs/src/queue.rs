@@ -1,0 +1,896 @@
+//! Queueing & saturation observatory.
+//!
+//! Every bounded queue in the system — sRPC rings, the dispatcher's routing
+//! queue, device DMA/completion queues, the SPM trap/recovery queue — reports
+//! its enqueue/dequeue edges to a [`QueueStation`] here. Each station keeps,
+//! entirely on the virtual clock (deterministic per seed):
+//!
+//! - instantaneous and maximum **depth**, plus a depth-time integral so the
+//!   time-averaged queue length `L` is exact, not sampled;
+//! - a decimating **sample stream** (depth at fixed virtual-time ticks) whose
+//!   byte-identical rendering is the determinism regression surface;
+//! - **wait vs service** split per request (log-bucketed histograms), busy
+//!   time for utilization, and error/flush counters.
+//!
+//! The analyzer turns stations into per-queue **USE** rows (utilization /
+//! saturation / errors), cross-validates the timestamp-derived mean depth
+//! (`(Σ deq_at − Σ enq_at) / window`) against Little's law (`L = λW`)
+//! computed from the *independently reported* per-request sojourns — a
+//! built-in self-test that the instrumentation is consistent — and ranks
+//! queues by total wait to name the **bounding queue**, replacing the
+//! coarse `bounding_category` string with evidence.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use cronus_sim::SimNs;
+
+use crate::json::Json;
+use crate::metrics::Histogram;
+
+/// Default relative-error tolerance for the Little's-law cross-check.
+pub const DEFAULT_LITTLE_TOLERANCE: f64 = 0.15;
+
+/// Minimum completed requests before the Little's-law check is meaningful.
+pub const MIN_LITTLE_DEQUEUES: u64 = 8;
+
+/// Initial virtual-time distance between depth samples.
+pub const SAMPLE_PERIOD: SimNs = SimNs::from_micros(64);
+
+/// Cap on retained samples per station; reaching it halves the resolution
+/// (every other sample dropped, period doubled) so memory stays bounded and
+/// the stream stays deterministic regardless of run length.
+pub const MAX_SAMPLES: usize = 512;
+
+/// What kind of queue a station instruments (the USE "resource" class).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum QueueKind {
+    /// An sRPC shared-memory request ring.
+    Ring,
+    /// The runtime dispatcher's routing/admission queue.
+    Dispatch,
+    /// A device completion (IRQ) queue.
+    Completion,
+    /// The PCIe DMA transfer queue.
+    Dma,
+    /// The SPM trap/recovery work queue.
+    Recovery,
+}
+
+impl QueueKind {
+    /// Stable lower-case label used in reports and SLO policies.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueueKind::Ring => "ring",
+            QueueKind::Dispatch => "dispatch",
+            QueueKind::Completion => "completion",
+            QueueKind::Dma => "dma",
+            QueueKind::Recovery => "recovery",
+        }
+    }
+}
+
+/// One depth sample on the virtual clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueSample {
+    /// Virtual instant the sample was taken.
+    pub at: SimNs,
+    /// Queue depth at that instant.
+    pub depth: u64,
+    /// Cumulative enqueues up to that instant.
+    pub enqueues: u64,
+    /// Cumulative dequeues up to that instant.
+    pub dequeues: u64,
+}
+
+/// Continuous telemetry for one instrumented queue.
+#[derive(Clone, Debug)]
+pub struct QueueStation {
+    name: String,
+    kind: QueueKind,
+    capacity: u64,
+    depth: u64,
+    max_depth: u64,
+    enqueues: u64,
+    dequeues: u64,
+    flushed: u64,
+    errors: u64,
+    wait: Histogram,
+    service: Histogram,
+    busy_ns: u128,
+    sojourn_ns: u128,
+    depth_integral: u128,
+    enq_at_sum: u128,
+    deq_at_sum: u128,
+    unmatched: u64,
+    first_at: Option<SimNs>,
+    watermark: SimNs,
+    samples: Vec<QueueSample>,
+    sample_period: SimNs,
+    next_sample_at: SimNs,
+}
+
+impl QueueStation {
+    /// Creates a standalone station (most callers go through
+    /// [`QueueObservatory::declare`]; direct construction is for analysis
+    /// tooling and tests).
+    pub fn new(name: &str, kind: QueueKind, capacity: u64) -> Self {
+        QueueStation {
+            name: name.to_string(),
+            kind,
+            capacity,
+            depth: 0,
+            max_depth: 0,
+            enqueues: 0,
+            dequeues: 0,
+            flushed: 0,
+            errors: 0,
+            wait: Histogram::default(),
+            service: Histogram::default(),
+            busy_ns: 0,
+            sojourn_ns: 0,
+            depth_integral: 0,
+            enq_at_sum: 0,
+            deq_at_sum: 0,
+            unmatched: 0,
+            first_at: None,
+            watermark: SimNs::ZERO,
+            samples: Vec::new(),
+            sample_period: SAMPLE_PERIOD,
+            next_sample_at: SimNs::ZERO,
+        }
+    }
+
+    /// Advances the station's monotonic watermark to `at` (clamped — actor
+    /// clocks may individually lag), accumulating the depth-time integral
+    /// and emitting periodic depth samples for the stretch covered.
+    fn advance(&mut self, at: SimNs) {
+        let at = at.max(self.watermark);
+        if self.first_at.is_none() {
+            self.first_at = Some(at);
+            self.watermark = at;
+            self.next_sample_at = at + self.sample_period;
+            self.push_sample(at);
+            return;
+        }
+        let dt = (at - self.watermark).as_nanos();
+        self.depth_integral += self.depth as u128 * dt as u128;
+        while self.next_sample_at <= at {
+            let tick = self.next_sample_at;
+            self.push_sample(tick);
+            self.next_sample_at = tick + self.sample_period;
+        }
+        self.watermark = at;
+    }
+
+    fn push_sample(&mut self, at: SimNs) {
+        self.samples.push(QueueSample {
+            at,
+            depth: self.depth,
+            enqueues: self.enqueues,
+            dequeues: self.dequeues,
+        });
+        if self.samples.len() >= MAX_SAMPLES {
+            // Decimate deterministically: keep every other sample and halve
+            // the resolution so long runs stay bounded.
+            let mut keep = 0usize;
+            for i in (0..self.samples.len()).step_by(2) {
+                self.samples[keep] = self.samples[i];
+                keep += 1;
+            }
+            self.samples.truncate(keep);
+            self.sample_period = self.sample_period * 2;
+        }
+    }
+
+    /// One item entered the queue at virtual instant `at`.
+    pub fn enqueue(&mut self, at: SimNs) {
+        self.advance(at);
+        // The *raw* timestamp feeds the residence sum: lazily-drained queues
+        // (e.g. an sRPC ring drained at `sync`) report completions whose
+        // timestamps interleave into the past relative to later enqueues,
+        // and Σdeq − Σenq is exact under any reporting order while the
+        // watermark-clamped integral is not.
+        self.enq_at_sum += at.as_nanos() as u128;
+        self.depth += 1;
+        self.max_depth = self.max_depth.max(self.depth);
+        self.enqueues += 1;
+    }
+
+    /// One item left the queue at `at` after waiting `wait` and being served
+    /// for `service`. The wait/service split is reported by the caller from
+    /// its own clocks — deliberately an *independent* path from the
+    /// enqueue/dequeue timestamps, which is what gives the Little's-law
+    /// cross-check its teeth.
+    pub fn dequeue(&mut self, at: SimNs, wait: SimNs, service: SimNs) {
+        self.advance(at);
+        self.deq_at_sum += at.as_nanos() as u128;
+        if self.depth == 0 {
+            // A dequeue without a matching enqueue is itself an
+            // instrumentation error worth surfacing; it also taints the
+            // residence sum, so it disqualifies the Little's-law check.
+            self.errors += 1;
+            self.unmatched += 1;
+        } else {
+            self.depth -= 1;
+        }
+        self.dequeues += 1;
+        self.wait.observe(wait);
+        self.service.observe(service);
+        self.busy_ns += service.as_nanos() as u128;
+        self.sojourn_ns += (wait + service).as_nanos() as u128;
+    }
+
+    /// Records a queue error (a full-ring stall, a dropped item) at `at`.
+    pub fn error(&mut self, at: SimNs) {
+        self.advance(at);
+        self.errors += 1;
+    }
+
+    /// Empties the queue at `at` (quarantine teardown), returning how many
+    /// items were discarded. Flushed items never complete, so a station with
+    /// flushes is excluded from the Little's-law check.
+    pub fn flush(&mut self, at: SimNs) -> u64 {
+        self.advance(at);
+        let n = self.depth;
+        self.flushed += n;
+        self.depth = 0;
+        n
+    }
+
+    /// Station name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Queue kind.
+    pub fn kind(&self) -> QueueKind {
+        self.kind
+    }
+
+    /// Declared capacity (slots).
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> u64 {
+        self.depth
+    }
+
+    /// High-water depth.
+    pub fn max_depth(&self) -> u64 {
+        self.max_depth
+    }
+
+    /// Total enqueues.
+    pub fn enqueues(&self) -> u64 {
+        self.enqueues
+    }
+
+    /// Total dequeues.
+    pub fn dequeues(&self) -> u64 {
+        self.dequeues
+    }
+
+    /// Items discarded by [`QueueStation::flush`].
+    pub fn flushed(&self) -> u64 {
+        self.flushed
+    }
+
+    /// Errors (stalls, drops, unmatched dequeues).
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Per-request wait-time histogram.
+    pub fn wait_histogram(&self) -> &Histogram {
+        &self.wait
+    }
+
+    /// Per-request service-time histogram.
+    pub fn service_histogram(&self) -> &Histogram {
+        &self.service
+    }
+
+    /// The retained depth-sample stream.
+    pub fn samples(&self) -> &[QueueSample] {
+        &self.samples
+    }
+
+    /// Observation window: first activity to last activity.
+    pub fn window(&self) -> SimNs {
+        match self.first_at {
+            Some(first) => self.watermark - first,
+            None => SimNs::ZERO,
+        }
+    }
+
+    /// Computes this station's USE row, with the Little's-law verdict at
+    /// relative tolerance `tolerance`.
+    pub fn use_metrics(&self, tolerance: f64) -> QueueUse {
+        let window = self.window().as_nanos();
+        let wf = window as f64;
+        let (utilization, mean_depth, arrival_rate_hz, completion_rate_hz) = if window == 0 {
+            (0.0, 0.0, 0.0, 0.0)
+        } else {
+            (
+                self.busy_ns as f64 / wf,
+                self.depth_integral as f64 / wf,
+                self.enqueues as f64 / wf * 1e9,
+                self.dequeues as f64 / wf * 1e9,
+            )
+        };
+        let occupancy_pct = if self.capacity == 0 {
+            0.0
+        } else {
+            self.max_depth as f64 * 100.0 / self.capacity as f64
+        };
+        // Little's law, two independent ways. Observed L comes from the
+        // enqueue/dequeue *timestamps*: once the queue has fully drained,
+        // Σ residence = Σ deq_at − Σ enq_at, and the sum form is exact even
+        // when lazily-processed completions are reported out of timestamp
+        // order (where a streaming depth-time integral would not be).
+        // Predicted λW = Σ sojourn / window comes from the caller-reported
+        // wait+service durations — a fully independent measurement path.
+        let l_observed = if window == 0 {
+            0.0
+        } else {
+            self.deq_at_sum.saturating_sub(self.enq_at_sum) as f64 / wf
+        };
+        let l_predicted = if window == 0 {
+            0.0
+        } else {
+            self.sojourn_ns as f64 / wf
+        };
+        let checked = self.dequeues >= MIN_LITTLE_DEQUEUES
+            && self.flushed == 0
+            && self.depth == 0
+            && self.unmatched == 0;
+        let denom = l_predicted.max(l_observed);
+        let rel_err = if denom < 1e-3 {
+            0.0
+        } else {
+            (l_observed - l_predicted).abs() / denom
+        };
+        let within = !checked || rel_err <= tolerance;
+        QueueUse {
+            name: self.name.clone(),
+            kind: self.kind,
+            capacity: self.capacity,
+            window_ns: window,
+            utilization,
+            mean_depth,
+            max_depth: self.max_depth,
+            occupancy_pct,
+            arrival_rate_hz,
+            completion_rate_hz,
+            errors: self.errors,
+            flushed: self.flushed,
+            mean_wait_ns: self.wait.mean().as_nanos(),
+            p50_wait_ns: self.wait.p50().as_nanos(),
+            p99_wait_ns: self.wait.p99().as_nanos(),
+            p999_wait_ns: self.wait.p999().as_nanos(),
+            max_wait_ns: self.wait.max().as_nanos(),
+            mean_service_ns: self.service.mean().as_nanos(),
+            wait_total_ns: self.wait.sum_ns(),
+            little: LittleCheck {
+                l_observed,
+                l_predicted,
+                rel_err,
+                checked,
+                within,
+            },
+        }
+    }
+}
+
+/// Verdict of the Little's-law cross-check for one queue.
+#[derive(Clone, Copy, Debug)]
+pub struct LittleCheck {
+    /// Time-averaged depth from the enqueue/dequeue timestamps
+    /// (`(Σ deq_at − Σ enq_at) / window`, exact once drained).
+    pub l_observed: f64,
+    /// `λW` from the independently reported per-request sojourns.
+    pub l_predicted: f64,
+    /// Relative disagreement between the two.
+    pub rel_err: f64,
+    /// Whether the check was applicable (enough completions, no flushes,
+    /// queue fully drained).
+    pub checked: bool,
+    /// `true` when not applicable or within tolerance.
+    pub within: bool,
+}
+
+/// One queue's USE (utilization / saturation / errors) row.
+#[derive(Clone, Debug)]
+pub struct QueueUse {
+    /// Station name, e.g. `srpc.ring:3`.
+    pub name: String,
+    /// Queue kind.
+    pub kind: QueueKind,
+    /// Declared capacity (slots); 0 when unbounded.
+    pub capacity: u64,
+    /// Observation window in nanoseconds.
+    pub window_ns: u64,
+    /// U: fraction of the window the server was busy (may exceed 1 for
+    /// multi-server stations).
+    pub utilization: f64,
+    /// S: time-averaged depth.
+    pub mean_depth: f64,
+    /// S: high-water depth.
+    pub max_depth: u64,
+    /// S: high-water depth as % of capacity.
+    pub occupancy_pct: f64,
+    /// Arrival rate λ in events/second.
+    pub arrival_rate_hz: f64,
+    /// Completion rate in events/second.
+    pub completion_rate_hz: f64,
+    /// E: stalls, drops, unmatched dequeues.
+    pub errors: u64,
+    /// Items discarded on flush (quarantine teardown).
+    pub flushed: u64,
+    /// Mean wait before service.
+    pub mean_wait_ns: u64,
+    /// Median wait.
+    pub p50_wait_ns: u64,
+    /// 99th-percentile wait.
+    pub p99_wait_ns: u64,
+    /// 99.9th-percentile wait.
+    pub p999_wait_ns: u64,
+    /// Worst wait.
+    pub max_wait_ns: u64,
+    /// Mean service time.
+    pub mean_service_ns: u64,
+    /// Total wait across all requests — the bottleneck-ranking evidence.
+    pub wait_total_ns: u128,
+    /// Little's-law cross-check verdict.
+    pub little: LittleCheck,
+}
+
+impl QueueUse {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("kind", Json::from(self.kind.as_str())),
+            ("capacity", Json::U64(self.capacity)),
+            ("window_ns", Json::U64(self.window_ns)),
+            ("utilization", Json::F64(self.utilization)),
+            ("mean_depth", Json::F64(self.mean_depth)),
+            ("max_depth", Json::U64(self.max_depth)),
+            ("occupancy_pct", Json::F64(self.occupancy_pct)),
+            ("arrival_rate_hz", Json::F64(self.arrival_rate_hz)),
+            ("completion_rate_hz", Json::F64(self.completion_rate_hz)),
+            ("errors", Json::U64(self.errors)),
+            ("flushed", Json::U64(self.flushed)),
+            ("mean_wait_ns", Json::U64(self.mean_wait_ns)),
+            ("p50_wait_ns", Json::U64(self.p50_wait_ns)),
+            ("p99_wait_ns", Json::U64(self.p99_wait_ns)),
+            ("p999_wait_ns", Json::U64(self.p999_wait_ns)),
+            ("max_wait_ns", Json::U64(self.max_wait_ns)),
+            ("mean_service_ns", Json::U64(self.mean_service_ns)),
+            ("wait_total_ns", Json::F64(self.wait_total_ns as f64)),
+            ("little_observed", Json::F64(self.little.l_observed)),
+            ("little_predicted", Json::F64(self.little.l_predicted)),
+            ("little_rel_err", Json::F64(self.little.rel_err)),
+            ("little_checked", Json::Bool(self.little.checked)),
+            ("little_within", Json::Bool(self.little.within)),
+        ])
+    }
+}
+
+/// The registry of every instrumented queue in one run.
+#[derive(Clone, Debug, Default)]
+pub struct QueueObservatory {
+    stations: BTreeMap<String, QueueStation>,
+}
+
+impl QueueObservatory {
+    /// Creates an empty observatory.
+    pub fn new() -> Self {
+        QueueObservatory::default()
+    }
+
+    /// Registers (or re-registers, keeping history) a queue.
+    pub fn declare(&mut self, name: &str, kind: QueueKind, capacity: u64) {
+        self.stations
+            .entry(name.to_string())
+            .or_insert_with(|| QueueStation::new(name, kind, capacity));
+    }
+
+    fn station_mut(&mut self, name: &str) -> Option<&mut QueueStation> {
+        self.stations.get_mut(name)
+    }
+
+    /// Records an enqueue on `name` (ignored when undeclared — call sites in
+    /// instrumented code never want to panic the workload).
+    pub fn enqueue(&mut self, name: &str, at: SimNs) {
+        if let Some(s) = self.station_mut(name) {
+            s.enqueue(at);
+        }
+    }
+
+    /// Records a dequeue on `name`.
+    pub fn dequeue(&mut self, name: &str, at: SimNs, wait: SimNs, service: SimNs) {
+        if let Some(s) = self.station_mut(name) {
+            s.dequeue(at, wait, service);
+        }
+    }
+
+    /// Records an error on `name`.
+    pub fn error(&mut self, name: &str, at: SimNs) {
+        if let Some(s) = self.station_mut(name) {
+            s.error(at);
+        }
+    }
+
+    /// Flushes `name`, returning the number of discarded items.
+    pub fn flush(&mut self, name: &str, at: SimNs) -> u64 {
+        self.station_mut(name).map_or(0, |s| s.flush(at))
+    }
+
+    /// Looks up a station.
+    pub fn station(&self, name: &str) -> Option<&QueueStation> {
+        self.stations.get(name)
+    }
+
+    /// All stations, sorted by name.
+    pub fn stations(&self) -> impl Iterator<Item = &QueueStation> {
+        self.stations.values()
+    }
+
+    /// Whether any queue has been declared.
+    pub fn is_empty(&self) -> bool {
+        self.stations.is_empty()
+    }
+
+    /// Highest current depth across stations matching `prefix` (empty prefix
+    /// matches everything). Chaos uses this to assert drained-after-recovery.
+    pub fn max_current_depth(&self, prefix: &str) -> u64 {
+        self.stations
+            .values()
+            .filter(|s| s.name.starts_with(prefix))
+            .map(|s| s.depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Highest high-water depth across stations matching `prefix`.
+    pub fn high_water_depth(&self, prefix: &str) -> u64 {
+        self.stations
+            .values()
+            .filter(|s| s.name.starts_with(prefix))
+            .map(|s| s.max_depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders every station's sample stream, one line per sample, in a
+    /// stable text form — the byte-identity surface for determinism tests.
+    pub fn samples_text(&self) -> String {
+        let mut out = String::new();
+        for s in self.stations.values() {
+            for q in &s.samples {
+                let _ = writeln!(
+                    out,
+                    "{} at={} depth={} enq={} deq={}",
+                    s.name,
+                    q.at.as_nanos(),
+                    q.depth,
+                    q.enqueues,
+                    q.dequeues
+                );
+            }
+        }
+        out
+    }
+
+    /// Builds the analysis report at the given Little's-law tolerance.
+    pub fn report(&self, tolerance: f64) -> QueueReport {
+        let mut queues: Vec<QueueUse> = self
+            .stations
+            .values()
+            .filter(|s| s.enqueues > 0 || s.errors > 0)
+            .map(|s| s.use_metrics(tolerance))
+            .collect();
+        queues.sort_by(|a, b| {
+            b.wait_total_ns
+                .cmp(&a.wait_total_ns)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        QueueReport { queues, tolerance }
+    }
+}
+
+/// Ranked bottleneck-attribution report over every active queue.
+#[derive(Clone, Debug)]
+pub struct QueueReport {
+    /// USE rows, ranked by total wait (descending) — the first row is the
+    /// bounding queue.
+    pub queues: Vec<QueueUse>,
+    /// Little's-law tolerance the verdicts were computed at.
+    pub tolerance: f64,
+}
+
+impl QueueReport {
+    /// The queue responsible for the most total waiting, if any was active.
+    pub fn bounding_queue(&self) -> Option<&QueueUse> {
+        self.queues.first()
+    }
+
+    /// Whether every applicable Little's-law check passed.
+    pub fn little_all_within(&self) -> bool {
+        self.queues.iter().all(|q| q.little.within)
+    }
+
+    /// Queues whose Little's-law check was applicable and failed.
+    pub fn little_violations(&self) -> Vec<&QueueUse> {
+        self.queues
+            .iter()
+            .filter(|q| q.little.checked && !q.little.within)
+            .collect()
+    }
+
+    /// Renders the ranked report as a deterministic text table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "queue observatory — bottleneck attribution");
+        let _ = writeln!(
+            out,
+            "rank  queue                      kind        util  meanL    maxD  occ%    p50 wait    p99 wait   total wait  err  little"
+        );
+        for (i, q) in self.queues.iter().enumerate() {
+            let little = if !q.little.checked {
+                "n/a".to_string()
+            } else if q.little.within {
+                format!("ok {:.3}", q.little.rel_err)
+            } else {
+                format!("FAIL {:.3}", q.little.rel_err)
+            };
+            let _ = writeln!(
+                out,
+                "{:>4}  {:<25}  {:<10}  {:>4.0}%  {:>5.2}  {:>6}  {:>4.0}  {:>10}  {:>10}  {:>11}  {:>3}  {}",
+                i + 1,
+                q.name,
+                q.kind.as_str(),
+                q.utilization * 100.0,
+                q.mean_depth,
+                q.max_depth,
+                q.occupancy_pct,
+                SimNs::from_nanos(q.p50_wait_ns).to_string(),
+                SimNs::from_nanos(q.p99_wait_ns).to_string(),
+                SimNs::from_nanos(q.wait_total_ns.min(u64::MAX as u128) as u64).to_string(),
+                q.errors,
+                little,
+            );
+        }
+        match self.bounding_queue() {
+            Some(b) => {
+                let _ = writeln!(
+                    out,
+                    "bounding queue: {} ({}) — {} total wait, mean depth {:.2}, max depth {}, {:.0}% utilized",
+                    b.name,
+                    b.kind.as_str(),
+                    SimNs::from_nanos(b.wait_total_ns.min(u64::MAX as u128) as u64),
+                    b.mean_depth,
+                    b.max_depth,
+                    b.utilization * 100.0,
+                );
+            }
+            None => {
+                let _ = writeln!(out, "bounding queue: none (no queue activity recorded)");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "little's-law cross-check: {} (tolerance {:.0}%)",
+            if self.little_all_within() {
+                "all within tolerance"
+            } else {
+                "VIOLATIONS — instrumentation disagrees with queueing theory"
+            },
+            self.tolerance * 100.0,
+        );
+        out
+    }
+
+    /// Serializes the report (same ranking) as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("tolerance", Json::F64(self.tolerance)),
+            (
+                "bounding_queue",
+                match self.bounding_queue() {
+                    Some(b) => Json::Str(b.name.clone()),
+                    None => Json::Str(String::new()),
+                },
+            ),
+            ("little_all_within", Json::Bool(self.little_all_within())),
+            (
+                "queues",
+                Json::Arr(self.queues.iter().map(|q| q.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: u64) -> SimNs {
+        SimNs::from_nanos(v)
+    }
+
+    /// Drives a deterministic single-server queue: `n` arrivals spaced
+    /// `gap` apart, each with service time `svc`, FIFO.
+    fn drive_mm1(st: &mut QueueStation, n: u64, gap: u64, svc: u64) {
+        let mut server_free = 0u64;
+        let mut backlog: Vec<u64> = Vec::new();
+        for i in 0..n {
+            let arrive = i * gap;
+            st.enqueue(ns(arrive));
+            backlog.push(arrive);
+            // Drain everything the server can finish before the next arrival.
+            let horizon = if i + 1 < n { (i + 1) * gap } else { u64::MAX };
+            while let Some(&a) = backlog.first() {
+                let start = server_free.max(a);
+                if start >= horizon {
+                    break;
+                }
+                backlog.remove(0);
+                let done = start + svc;
+                server_free = done;
+                st.dequeue(ns(done), ns(start - a), ns(svc));
+            }
+        }
+        // Final drain.
+        while let Some(a) = backlog.first().copied() {
+            backlog.remove(0);
+            let start = server_free.max(a);
+            let done = start + svc;
+            server_free = done;
+            st.dequeue(ns(done), ns(start - a), ns(svc));
+        }
+    }
+
+    #[test]
+    fn little_check_passes_on_consistent_queue() {
+        let mut st = QueueStation::new("q", QueueKind::Ring, 64);
+        // Saturated: arrivals every 100ns, service 150ns -> backlog grows.
+        drive_mm1(&mut st, 200, 100, 150);
+        assert_eq!(st.dequeues(), 200);
+        assert_eq!(st.depth(), 0);
+        let u = st.use_metrics(DEFAULT_LITTLE_TOLERANCE);
+        assert!(u.little.checked);
+        assert!(
+            u.little.within,
+            "rel_err {} L_obs {} L_pred {}",
+            u.little.rel_err, u.little.l_observed, u.little.l_predicted
+        );
+        assert!(u.mean_depth > 1.0, "backlog should accumulate");
+        assert!(u.utilization > 0.9, "server nearly always busy");
+    }
+
+    #[test]
+    fn little_check_flags_corrupted_waits() {
+        let mut st = QueueStation::new("q", QueueKind::Ring, 64);
+        let mut server_free = 0u64;
+        for i in 0..100u64 {
+            let arrive = i * 100;
+            st.enqueue(ns(arrive));
+            let start = server_free.max(arrive);
+            let done = start + 150;
+            server_free = done;
+            // Corrupted instrumentation: waits over-reported 4x.
+            st.dequeue(ns(done), ns((start - arrive) * 4), ns(150));
+        }
+        let u = st.use_metrics(DEFAULT_LITTLE_TOLERANCE);
+        assert!(u.little.checked);
+        assert!(!u.little.within, "4x wait inflation must be flagged");
+    }
+
+    #[test]
+    fn little_check_skips_flushed_and_tiny_queues() {
+        let mut st = QueueStation::new("q", QueueKind::Ring, 8);
+        st.enqueue(ns(0));
+        st.enqueue(ns(10));
+        assert_eq!(st.flush(ns(20)), 2);
+        let u = st.use_metrics(DEFAULT_LITTLE_TOLERANCE);
+        assert!(!u.little.checked, "flushed queues are not checkable");
+        assert!(u.little.within, "unchecked never fails");
+        assert_eq!(u.flushed, 2);
+    }
+
+    #[test]
+    fn depth_and_errors_track_edges() {
+        let mut st = QueueStation::new("q", QueueKind::Dma, 4);
+        st.enqueue(ns(0));
+        st.enqueue(ns(5));
+        st.enqueue(ns(10));
+        assert_eq!(st.depth(), 3);
+        assert_eq!(st.max_depth(), 3);
+        st.dequeue(ns(20), ns(20), ns(0));
+        assert_eq!(st.depth(), 2);
+        st.error(ns(25));
+        assert_eq!(st.errors(), 1);
+        // Unmatched dequeue counts as an error, not an underflow panic.
+        st.flush(ns(30));
+        st.dequeue(ns(40), ns(0), ns(0));
+        assert_eq!(st.errors(), 2);
+        assert_eq!(st.depth(), 0);
+    }
+
+    #[test]
+    fn watermark_clamps_non_monotonic_clocks() {
+        let mut st = QueueStation::new("q", QueueKind::Ring, 8);
+        st.enqueue(ns(1_000));
+        // A lagging actor clock reports an earlier instant; the integral
+        // must not go backwards.
+        st.enqueue(ns(500));
+        st.dequeue(ns(2_000), ns(100), ns(50));
+        st.dequeue(ns(2_000), ns(100), ns(50));
+        assert_eq!(st.depth(), 0);
+        assert_eq!(st.window(), ns(1_000));
+    }
+
+    #[test]
+    fn sampler_decimates_deterministically() {
+        let mut st = QueueStation::new("q", QueueKind::Ring, 8);
+        let period = SAMPLE_PERIOD.as_nanos();
+        for i in 0..(MAX_SAMPLES as u64 * 3) {
+            st.enqueue(ns(i * period));
+            st.dequeue(ns(i * period + 10), ns(0), ns(10));
+        }
+        assert!(st.samples().len() < MAX_SAMPLES);
+        assert!(st.sample_period > SAMPLE_PERIOD, "period doubled at cap");
+        // Samples stay strictly ordered after decimation.
+        for w in st.samples().windows(2) {
+            assert!(w[0].at < w[1].at);
+        }
+    }
+
+    #[test]
+    fn report_ranks_by_total_wait() {
+        let mut obs = QueueObservatory::new();
+        obs.declare("a.ring", QueueKind::Ring, 64);
+        obs.declare("b.dma", QueueKind::Dma, 16);
+        // a.ring: small waits; b.dma: one huge wait.
+        for i in 0..10u64 {
+            obs.enqueue("a.ring", ns(i * 100));
+            obs.dequeue("a.ring", ns(i * 100 + 50), ns(10), ns(40));
+        }
+        obs.enqueue("b.dma", ns(0));
+        obs.dequeue("b.dma", ns(1_000_000), ns(999_000), ns(1_000));
+        let report = obs.report(DEFAULT_LITTLE_TOLERANCE);
+        assert_eq!(report.queues.len(), 2);
+        assert_eq!(report.bounding_queue().unwrap().name, "b.dma");
+        let text = report.render_text();
+        assert!(text.contains("bounding queue: b.dma"), "{text}");
+        assert!(crate::json::is_well_formed(&report.to_json().render()));
+    }
+
+    #[test]
+    fn samples_text_is_stable_across_identical_runs() {
+        let run = || {
+            let mut obs = QueueObservatory::new();
+            obs.declare("q", QueueKind::Ring, 8);
+            for i in 0..100u64 {
+                obs.enqueue("q", ns(i * 70_000));
+                obs.dequeue("q", ns(i * 70_000 + 500), ns(100), ns(400));
+            }
+            (obs.samples_text(), obs.report(0.15).render_text())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn undeclared_queue_edges_are_ignored() {
+        let mut obs = QueueObservatory::new();
+        obs.enqueue("ghost", ns(0));
+        obs.dequeue("ghost", ns(1), ns(0), ns(1));
+        assert_eq!(obs.flush("ghost", ns(2)), 0);
+        assert!(obs.is_empty());
+        assert!(obs.report(0.15).bounding_queue().is_none());
+    }
+}

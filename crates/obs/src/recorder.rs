@@ -13,6 +13,7 @@ use crate::causal::CausalReport;
 use crate::json::Json;
 use crate::metrics::{labels, LabelSet, MetricsRegistry};
 use crate::profile::{TimeCategory, TimeProfiler};
+use crate::queue::{QueueKind, QueueObservatory, QueueReport};
 use crate::span::{ReqId, SpanId, SpanTracer, TrackId};
 
 /// Everything one run records.
@@ -24,6 +25,8 @@ pub struct RecorderInner {
     pub metrics: MetricsRegistry,
     /// Time attribution.
     pub profiler: TimeProfiler,
+    /// Per-queue depth/wait/service telemetry.
+    pub queues: QueueObservatory,
     /// Last allocated request id (0 = none yet; ids start at 1).
     next_req: u64,
 }
@@ -140,6 +143,66 @@ impl FlightRecorder {
     /// Records a histogram observation.
     pub fn observe(&self, name: &str, lbls: &[(&str, &str)], d: SimNs) {
         self.with(|r| r.metrics.observe(name, labels(lbls), d));
+    }
+
+    // --- queue observatory conveniences --------------------------------
+
+    /// Declares a queue station (idempotent).
+    pub fn queue_declare(&self, name: &str, kind: QueueKind, capacity: u64) {
+        self.with(|r| r.queues.declare(name, kind, capacity));
+    }
+
+    /// Records an enqueue edge on `name` at virtual instant `at`.
+    pub fn queue_enqueue(&self, name: &str, at: SimNs) {
+        self.with(|r| r.queues.enqueue(name, at));
+    }
+
+    /// Records a dequeue edge on `name`: the item left at `at` after
+    /// waiting `wait` and being served for `service`.
+    pub fn queue_dequeue(&self, name: &str, at: SimNs, wait: SimNs, service: SimNs) {
+        self.with(|r| r.queues.dequeue(name, at, wait, service));
+    }
+
+    /// Records a queue error (full-ring stall, drop) on `name`.
+    pub fn queue_error(&self, name: &str, at: SimNs) {
+        self.with(|r| r.queues.error(name, at));
+    }
+
+    /// Discards everything queued on `name` (quarantine teardown),
+    /// returning the number of flushed items.
+    pub fn queue_flush(&self, name: &str, at: SimNs) -> u64 {
+        self.with(|r| r.queues.flush(name, at))
+    }
+
+    /// Whether any queue station was declared in this run.
+    pub fn has_queues(&self) -> bool {
+        self.with(|r| !r.queues.is_empty())
+    }
+
+    /// Builds the ranked bottleneck-attribution report.
+    pub fn queue_report(&self, tolerance: f64) -> QueueReport {
+        self.with(|r| r.queues.report(tolerance))
+    }
+
+    /// Renders every station's depth-sample stream (determinism surface).
+    pub fn queue_samples_text(&self) -> String {
+        self.with(|r| r.queues.samples_text())
+    }
+
+    /// Evaluates an SLO policy against the queue observatory.
+    pub fn slo_report(&self, policy: &crate::slo::SloPolicy) -> crate::slo::SloReport {
+        self.with(|r| crate::slo::evaluate(policy, &r.queues))
+    }
+
+    /// High-water depth across queues whose name starts with `prefix`.
+    pub fn queue_high_water_depth(&self, prefix: &str) -> u64 {
+        self.with(|r| r.queues.high_water_depth(prefix))
+    }
+
+    /// Highest *current* depth across queues matching `prefix` — zero means
+    /// every matching queue has drained.
+    pub fn queue_current_depth(&self, prefix: &str) -> u64 {
+        self.with(|r| r.queues.max_current_depth(prefix))
     }
 
     // --- profiler conveniences -----------------------------------------

@@ -1,0 +1,197 @@
+//! Property-based tests for the queue observatory's Little's-law self-test.
+//!
+//! The full generated suite lives in the gated `full` module (enable with the
+//! non-default `proptest` feature, e.g. `cargo test --all-features`); the
+//! `smoke` module keeps a deterministic subset always on.
+//!
+//! The property under test: for an *honestly* instrumented FIFO single-server
+//! queue — enqueue/dequeue timestamps and caller-reported wait/service splits
+//! that describe the same physical history — the timestamp-derived mean depth
+//! `(Σ deq_at − Σ enq_at) / window` and the sojourn-derived `λW` agree within
+//! tolerance, for any arrival/service pattern. Corrupting the reported waits
+//! (while leaving the timestamps honest) must be flagged.
+
+/// Drives a FIFO single-server queue through a station honestly: item `i`
+/// arrives at the cumulative sum of `gaps[..i]`, starts service when both it
+/// and the server are ready, and reports its true wait/service split at its
+/// true completion instant. Returns the final virtual time.
+fn drive_honest(
+    st: &mut cronus_obs::queue::QueueStation,
+    gaps: &[u64],
+    svcs: &[u64],
+    wait_scale: u64,
+) -> u64 {
+    let ns = cronus_sim::SimNs::from_nanos;
+    let mut arrive = 0u64;
+    let mut server_free = 0u64;
+    let mut pending: Vec<(u64, u64)> = Vec::new(); // (arrive, svc)
+    let n = gaps.len().min(svcs.len());
+    for i in 0..n {
+        arrive += gaps[i];
+        st.enqueue(ns(arrive));
+        pending.push((arrive, svcs[i]));
+        // Complete everything the server finishes before the next arrival.
+        let horizon = if i + 1 < n {
+            arrive + gaps[i + 1]
+        } else {
+            u64::MAX
+        };
+        while let Some(&(a, s)) = pending.first() {
+            let start = server_free.max(a);
+            if start >= horizon {
+                break;
+            }
+            pending.remove(0);
+            let done = start + s;
+            server_free = done;
+            st.dequeue(ns(done), ns((start - a) * wait_scale), ns(s));
+        }
+    }
+    while let Some((a, s)) = pending.first().copied() {
+        pending.remove(0);
+        let start = server_free.max(a);
+        let done = start + s;
+        server_free = done;
+        st.dequeue(ns(done), ns((start - a) * wait_scale), ns(s));
+    }
+    server_free
+}
+
+#[cfg(feature = "proptest")]
+mod full {
+    use proptest::prelude::*;
+
+    use cronus_obs::queue::{
+        QueueKind, QueueStation, DEFAULT_LITTLE_TOLERANCE, MIN_LITTLE_DEQUEUES,
+    };
+    use cronus_sim::SimNs;
+
+    use super::drive_honest;
+
+    proptest! {
+        /// Any honest FIFO trace passes the cross-check: arrivals with
+        /// arbitrary gaps, arbitrary per-item service times (sub-critical,
+        /// critical, or saturated — the property does not depend on load).
+        #[test]
+        fn honest_traces_always_pass(
+            gaps in proptest::collection::vec(1u64..5_000, 8..80),
+            svcs in proptest::collection::vec(1u64..8_000, 8..80),
+        ) {
+            let mut st = QueueStation::new("q", QueueKind::Ring, 64);
+            drive_honest(&mut st, &gaps, &svcs, 1);
+            let n = gaps.len().min(svcs.len()) as u64;
+            prop_assume!(n >= MIN_LITTLE_DEQUEUES);
+            let u = st.use_metrics(DEFAULT_LITTLE_TOLERANCE);
+            prop_assert!(u.little.checked, "drained queue must be checkable");
+            prop_assert!(
+                u.little.within,
+                "honest trace flagged: rel_err {} L_obs {} L_pred {}",
+                u.little.rel_err, u.little.l_observed, u.little.l_predicted
+            );
+        }
+
+        /// Over-reporting waits by 4x on a *saturated* queue (service always
+        /// exceeds the arrival gap, so real waiting accumulates) must push the
+        /// predicted λW far enough from the observed L to be flagged.
+        #[test]
+        fn corrupted_waits_are_flagged(
+            gaps in proptest::collection::vec(50u64..500, 16..64),
+            extra in proptest::collection::vec(1u64..2_000, 16..64),
+        ) {
+            let n = gaps.len().min(extra.len());
+            // svc = 2*gap + extra guarantees a growing backlog, hence
+            // substantial genuine waits for the corruption to inflate.
+            let svcs: Vec<u64> = (0..n).map(|i| gaps[i] * 2 + extra[i]).collect();
+            let mut st = QueueStation::new("q", QueueKind::Ring, 64);
+            drive_honest(&mut st, &gaps[..n], &svcs, 4);
+            let u = st.use_metrics(DEFAULT_LITTLE_TOLERANCE);
+            prop_assert!(u.little.checked);
+            prop_assert!(
+                !u.little.within,
+                "4x wait inflation slipped through: rel_err {} L_obs {} L_pred {}",
+                u.little.rel_err, u.little.l_observed, u.little.l_predicted
+            );
+        }
+
+        /// The observed-L sum form is invariant under the order completions
+        /// are *reported* in: replaying the same physical history with the
+        /// dequeue calls arbitrarily permuted (as a lazily-drained ring does
+        /// at `sync`) yields the identical l_observed.
+        #[test]
+        fn observed_l_is_reporting_order_invariant(
+            gaps in proptest::collection::vec(1u64..1_000, 8..40),
+            svcs in proptest::collection::vec(1u64..2_000, 8..40),
+            rot in 1usize..16,
+        ) {
+            let n = gaps.len().min(svcs.len());
+            prop_assume!(n as u64 >= MIN_LITTLE_DEQUEUES);
+            // Compute the true completion schedule once.
+            let mut arrive = 0u64;
+            let mut server_free = 0u64;
+            let mut events: Vec<(u64, u64, u64)> = Vec::new(); // (enq, deq, wait)
+            for i in 0..n {
+                arrive += gaps[i];
+                let start = server_free.max(arrive);
+                let done = start + svcs[i];
+                server_free = done;
+                events.push((arrive, done, start - arrive));
+            }
+            let run = |order: &[usize]| {
+                let mut st = QueueStation::new("q", QueueKind::Ring, 64);
+                for &(enq, _, _) in &events {
+                    st.enqueue(SimNs::from_nanos(enq));
+                }
+                for &i in order {
+                    let (_, deq, wait) = events[i];
+                    st.dequeue(
+                        SimNs::from_nanos(deq),
+                        SimNs::from_nanos(wait),
+                        SimNs::from_nanos(svcs[i]),
+                    );
+                }
+                st.use_metrics(DEFAULT_LITTLE_TOLERANCE)
+            };
+            let fifo: Vec<usize> = (0..n).collect();
+            let mut rotated = fifo.clone();
+            rotated.rotate_left(rot % n);
+            let a = run(&fifo);
+            let b = run(&rotated);
+            prop_assert_eq!(a.little.l_observed.to_bits(), b.little.l_observed.to_bits());
+            prop_assert!(a.little.checked && b.little.checked);
+            prop_assert!(a.little.within && b.little.within);
+        }
+    }
+}
+
+mod smoke {
+    use cronus_obs::queue::{QueueKind, QueueStation, DEFAULT_LITTLE_TOLERANCE};
+
+    use super::drive_honest;
+
+    #[test]
+    fn honest_trace_passes_fixed() {
+        // Deterministic mixed-load trace: bursty gaps, varied service.
+        let gaps: Vec<u64> = (0..40u64).map(|i| 100 + (i * 37) % 900).collect();
+        let svcs: Vec<u64> = (0..40u64).map(|i| 50 + (i * 113) % 1_500).collect();
+        let mut st = QueueStation::new("q", QueueKind::Ring, 64);
+        drive_honest(&mut st, &gaps, &svcs, 1);
+        let u = st.use_metrics(DEFAULT_LITTLE_TOLERANCE);
+        assert!(u.little.checked);
+        assert!(
+            u.little.within,
+            "rel_err {} L_obs {} L_pred {}",
+            u.little.rel_err, u.little.l_observed, u.little.l_predicted
+        );
+    }
+
+    #[test]
+    fn corrupted_trace_flagged_fixed() {
+        let gaps = vec![100u64; 32];
+        let svcs = vec![250u64; 32]; // saturated: real waits accumulate
+        let mut st = QueueStation::new("q", QueueKind::Ring, 64);
+        drive_honest(&mut st, &gaps, &svcs, 4);
+        let u = st.use_metrics(DEFAULT_LITTLE_TOLERANCE);
+        assert!(u.little.checked);
+        assert!(!u.little.within, "rel_err {}", u.little.rel_err);
+    }
+}

@@ -30,7 +30,7 @@ use cronus_mos::hal::DeviceHal;
 use cronus_mos::manager::Owner;
 use cronus_mos::manifest::{Eid, Manifest, MosId};
 use cronus_mos::mos::{MicroOs, MosError, MosStatus};
-use cronus_obs::{FlightRecorder, TimeCategory};
+use cronus_obs::{FlightRecorder, QueueKind, TimeCategory};
 use cronus_sim::addr::{PhysAddr, PhysRange, VirtAddr};
 use cronus_sim::devtree::{DeviceTree, DtNode};
 use cronus_sim::machine::AsId;
@@ -274,6 +274,9 @@ pub struct Spm {
     shares: Vec<ShareRecord>,
     next_share: u64,
     recorder: Option<FlightRecorder>,
+    /// When each failed partition's recovery work item was enqueued (virtual
+    /// time), consumed by `recover_partition` for the `spm.recovery` queue.
+    recovery_enqueued: HashMap<AsId, SimNs>,
     ledger: Ledger,
 }
 
@@ -426,6 +429,7 @@ impl Spm {
             shares: Vec::new(),
             next_share: 1,
             recorder: None,
+            recovery_enqueued: HashMap::new(),
             ledger,
         }
     }
@@ -459,6 +463,7 @@ impl Spm {
                 DeviceHal::Cpu(_) => {}
             }
         }
+        rec.queue_declare("spm.recovery", QueueKind::Recovery, 0);
         self.recorder = Some(rec);
     }
 
@@ -809,6 +814,9 @@ impl Spm {
                 start + t,
             );
             rec.charge_detail(TimeCategory::Recovery, "invalidate", t);
+            // The clear+reload work item now waits for recover_partition.
+            rec.queue_enqueue("spm.recovery", start);
+            self.recovery_enqueued.insert(asid, start);
         }
         let at = self.now();
         self.ledger.append(
@@ -895,6 +903,7 @@ impl Spm {
             clear_time: cost.partition_clear,
             restart_time: cost.mos_restart,
         };
+        let recovery_enq = self.recovery_enqueued.remove(&asid);
         if let Some(rec) = &self.recorder {
             let track = rec.track("recovery");
             let t0 = rec.total_elapsed();
@@ -909,6 +918,15 @@ impl Spm {
             );
             rec.charge_detail(TimeCategory::Recovery, "clear", stats.clear_time);
             rec.charge_detail(TimeCategory::Recovery, "reload", stats.restart_time);
+            if let Some(enq_at) = recovery_enq {
+                let service = stats.clear_time + stats.restart_time;
+                rec.queue_dequeue(
+                    "spm.recovery",
+                    t1 + stats.restart_time,
+                    t0.saturating_sub(enq_at),
+                    service,
+                );
+            }
         }
         let at = self.now();
         for step in ["clear", "reload"] {
@@ -1007,6 +1025,10 @@ impl Spm {
                 start + t,
             );
             rec.charge_detail(TimeCategory::Recovery, "trap", t);
+            // Trap handling is serviced synchronously inside the fault path:
+            // zero wait, unmap-time service.
+            rec.queue_enqueue("spm.recovery", start);
+            rec.queue_dequeue("spm.recovery", start + t, SimNs::ZERO, t);
         }
         let at = self.now();
         self.ledger.append(

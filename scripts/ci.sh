@@ -27,6 +27,11 @@
 # across two same-seed runs) plus ledger verification over the smoke
 # campaign. --chaos also includes the ledger smoke verification, since A5
 # is a campaign invariant.
+#
+# With --slo, also runs the queue observatory gate (see OBSERVABILITY.md):
+# obs-report analyzes representative figure workloads, failing on any
+# Little's-law cross-check violation (the instrumentation self-test) or any
+# per-figure SLO burn-rate breach.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,13 +39,15 @@ run_bench=0
 run_chaos=0
 run_audit=0
 run_forensics=0
+run_slo=0
 for arg in "$@"; do
   case "$arg" in
     --bench) run_bench=1 ;;
     --chaos) run_chaos=1 ;;
     --audit) run_audit=1 ;;
     --forensics) run_forensics=1 ;;
-    *) echo "unknown flag: $arg (supported: --bench, --chaos, --audit, --forensics)" >&2; exit 2 ;;
+    --slo) run_slo=1 ;;
+    *) echo "unknown flag: $arg (supported: --bench, --chaos, --audit, --forensics, --slo)" >&2; exit 2 ;;
   esac
 done
 
@@ -81,6 +88,14 @@ if [[ "$run_forensics" -eq 1 ]]; then
 
   echo "==> forensics gate: ledger verification over the smoke campaign"
   cargo run --offline --release -q --bin forensics -- --verify --smoke
+fi
+
+if [[ "$run_slo" -eq 1 ]]; then
+  echo "==> slo gate: queue observatory + burn-rate budgets"
+  # Representative figures: the RPC microbenchmark (ring-bound), the
+  # failover path (recovery queue), and the mixed saturation workload.
+  cargo run --offline --release -q --bin obs-report -- \
+    --figure rpc_micro --figure fig9 --figure saturation --slo > /dev/null
 fi
 
 if [[ "$run_bench" -eq 1 ]]; then

@@ -63,6 +63,8 @@ fn main() -> ExitCode {
             Headline::higher("faults_fired", report.faults_fired() as f64, "count"),
             Headline::lower("invariant_violations", report.violations() as f64, "count"),
             Headline::lower("max_recovery_ns", report.max_recovery_ns() as f64, "ns"),
+            Headline::lower("max_queue_depth", report.max_queue_depth() as f64, "slots"),
+            Headline::lower("undrained_scenarios", report.undrained() as f64, "count"),
         ];
         let meta = vec![
             ("seed".to_string(), seed.to_string()),
