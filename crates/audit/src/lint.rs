@@ -13,10 +13,11 @@
 //!    rot.
 //! 3. **`no-wall-clock`** — `std::time::{Instant, SystemTime}` only in
 //!    `crates/obs` and `crates/bench`; everything else runs on the
-//!    simulated clock so results stay deterministic. The queue/SLO
-//!    analysis layers (`crates/obs/src/{queue,slo}.rs`) are carved *out*
-//!    of the exemption: their byte-identical-per-seed guarantee makes
-//!    them deterministic code despite living in the exporter crate.
+//!    simulated clock so results stay deterministic. The queue/SLO/
+//!    bundle/diff analysis layers
+//!    (`crates/obs/src/{queue,slo,bundle,diff}.rs`) are carved *out* of
+//!    the exemption: their byte-identical-per-seed guarantee makes them
+//!    deterministic code despite living in the exporter crate.
 //! 4. **`no-string-errors`** — no `pub fn ... -> Result<_, String>` in
 //!    `crates/{core,spm,sim,mos}/src` (plus the strict observatory files
 //!    above); public fallible APIs must use typed errors.
@@ -122,10 +123,16 @@ const NO_UNWRAP_SCOPES: [&str; 4] = [
 const WALL_CLOCK_EXEMPT: [&str; 2] = ["crates/obs", "crates/bench"];
 
 /// Observatory analysis files held to the strict rules (3 and 4) despite
-/// living inside the otherwise-exempt `crates/obs`: the queue telemetry and
-/// SLO layers promise byte-identical output per seed, so wall-clock reads
-/// and stringly-typed errors are as much a bug there as in trusted code.
-const STRICT_OBS_FILES: [&str; 2] = ["crates/obs/src/queue.rs", "crates/obs/src/slo.rs"];
+/// living inside the otherwise-exempt `crates/obs`: the queue telemetry,
+/// SLO, telemetry-bundle and diff layers promise byte-identical output per
+/// seed, so wall-clock reads and stringly-typed errors are as much a bug
+/// there as in trusted code.
+const STRICT_OBS_FILES: [&str; 4] = [
+    "crates/obs/src/bundle.rs",
+    "crates/obs/src/diff.rs",
+    "crates/obs/src/queue.rs",
+    "crates/obs/src/slo.rs",
+];
 
 /// Directories whose public APIs must not use `String` errors (rule 4).
 const NO_STRING_ERROR_SCOPES: [&str; 5] = [
@@ -460,20 +467,16 @@ mod tests {
 
     #[test]
     fn strict_obs_files_lose_the_obs_exemptions() {
-        // queue.rs/slo.rs promise determinism: wall clock flagged even
-        // though the rest of crates/obs is exempt.
-        let hits = scan(
-            "crates/obs/src/queue.rs",
-            "let t = std::time::Instant::now();\n",
-        );
-        assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].rule, "no-wall-clock");
-        let hits = scan(
-            "crates/obs/src/slo.rs",
-            "pub fn f() -> Result<u32, String> {\n",
-        );
-        assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].rule, "no-string-errors");
+        // queue.rs/slo.rs/bundle.rs/diff.rs promise determinism: wall clock
+        // flagged even though the rest of crates/obs is exempt.
+        for file in STRICT_OBS_FILES {
+            let hits = scan(file, "let t = std::time::Instant::now();\n");
+            assert_eq!(hits.len(), 1, "{file} must flag wall clock");
+            assert_eq!(hits[0].rule, "no-wall-clock");
+            let hits = scan(file, "pub fn f() -> Result<u32, String> {\n");
+            assert_eq!(hits.len(), 1, "{file} must flag string errors");
+            assert_eq!(hits[0].rule, "no-string-errors");
+        }
     }
 
     #[test]

@@ -18,14 +18,19 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use cronus_obs::{parse, FlightRecorder, Json};
+use cronus_obs::{parse, BundleHeadline, Direction, FlightRecorder, Json, TelemetryBundle};
 use cronus_sim::SimNs;
 
 /// Where fresh reports land (same directory as the other artifacts).
 pub const FRESH_DIR: &str = "target/bench";
 
 /// Report schema version, bumped on incompatible shape changes.
-pub const SCHEMA: u64 = 1;
+///
+/// Schema history: 1 = headline/critical-path report; 2 = same headline
+/// shape, emitted together with the `BUNDLE_<name>.json` telemetry archive
+/// (the differential-forensics input). A mismatch is a hard error, never a
+/// partial compare — re-run `scripts/rebaseline.sh` after upgrading.
+pub const SCHEMA: u64 = 2;
 
 /// Default regression tolerance in percent.
 pub const DEFAULT_TOLERANCE_PCT: f64 = 10.0;
@@ -168,7 +173,11 @@ impl BenchReport {
             .to_string();
         let schema = doc.get("schema").and_then(Json::as_u64).unwrap_or(0);
         if schema != SCHEMA {
-            return Err(format!("schema {schema} (expected {SCHEMA})"));
+            return Err(format!(
+                "schema {schema} does not match this binary's schema {SCHEMA}; \
+                 re-run scripts/rebaseline.sh and commit the refreshed BENCH_*.json \
+                 and BUNDLE_*.json baselines"
+            ));
         }
         let mut headlines = Vec::new();
         for h in doc
@@ -285,6 +294,16 @@ pub fn fresh_path(name: &str) -> PathBuf {
     Path::new(FRESH_DIR).join(format!("BENCH_{name}.json"))
 }
 
+/// Path of the committed telemetry bundle for figure `name` (repo root).
+pub fn bundle_baseline_path(name: &str) -> PathBuf {
+    PathBuf::from(format!("BUNDLE_{name}.json"))
+}
+
+/// Path of the fresh telemetry bundle for figure `name` (`target/bench/`).
+pub fn bundle_fresh_path(name: &str) -> PathBuf {
+    Path::new(FRESH_DIR).join(format!("BUNDLE_{name}.json"))
+}
+
 /// Loads and parses a report, or `None` when the file does not exist.
 ///
 /// # Errors
@@ -369,8 +388,69 @@ pub fn write(report: &BenchReport) -> std::io::Result<PathBuf> {
     Ok(fresh)
 }
 
-/// [`report`] + [`write`] + a one-line note; IO errors become a warning
-/// (the figure table is the primary artifact).
+/// Loads and parses a telemetry bundle, or `None` when the file does not
+/// exist.
+///
+/// # Errors
+///
+/// A message when the file exists but cannot be read or parsed; schema
+/// mismatches surface the typed error's rebaseline hint.
+pub fn load_bundle(path: &Path) -> Result<Option<TelemetryBundle>, String> {
+    if !path.exists() {
+        return Ok(None);
+    }
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    TelemetryBundle::from_json(&text)
+        .map(Some)
+        .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Builds the telemetry bundle matching a finished [`BenchReport`]: same
+/// figure name, enriched headlines and meta, plus the recorder's queue,
+/// flamegraph and exemplar archives.
+pub fn bundle_for(rep: &BenchReport, rec: &FlightRecorder) -> TelemetryBundle {
+    let headlines = rep
+        .headlines
+        .iter()
+        .map(|h| BundleHeadline {
+            key: h.key.clone(),
+            value: h.value,
+            unit: h.unit.clone(),
+            better: match h.better {
+                Better::Lower => Direction::Lower,
+                Better::Higher => Direction::Higher,
+            },
+        })
+        .collect();
+    TelemetryBundle::capture(&rep.name, headlines, rep.meta.clone(), rec)
+}
+
+/// Writes the fresh bundle to `target/bench/BUNDLE_<name>.json` and seeds
+/// the repo-root baseline when none is committed yet. Returns the fresh
+/// path.
+///
+/// # Errors
+///
+/// Propagates IO failures.
+pub fn write_bundle(bundle: &TelemetryBundle) -> std::io::Result<PathBuf> {
+    let json = bundle.to_json();
+    fs::create_dir_all(FRESH_DIR)?;
+    let fresh = bundle_fresh_path(&bundle.name);
+    fs::write(&fresh, &json)?;
+    let base = bundle_baseline_path(&bundle.name);
+    if !base.exists() {
+        fs::write(&base, &json)?;
+        println!(
+            "[bench] seeded bundle baseline {} — commit it to enable obs-diff",
+            base.display()
+        );
+    }
+    Ok(fresh)
+}
+
+/// [`report`] + [`write`] + the matching telemetry bundle + a one-line
+/// note; IO errors become a warning (the figure table is the primary
+/// artifact).
 pub fn emit(
     name: &str,
     headlines: Vec<Headline>,
@@ -381,6 +461,11 @@ pub fn emit(
     match write(&rep) {
         Ok(p) => println!("[bench] {name}: wrote {}", p.display()),
         Err(e) => eprintln!("[bench] {name}: failed to write report: {e}"),
+    }
+    let bundle = bundle_for(&rep, rec);
+    match write_bundle(&bundle) {
+        Ok(p) => println!("[bench] {name}: wrote {}", p.display()),
+        Err(e) => eprintln!("[bench] {name}: failed to write bundle: {e}"),
     }
 }
 
@@ -412,6 +497,45 @@ mod tests {
         assert_eq!(back.headlines[1].better, Better::Higher);
         assert_eq!(back.critical_path, rep.critical_path);
         assert_eq!(back.meta, rep.meta);
+    }
+
+    #[test]
+    fn schema_mismatch_is_a_hard_error_with_rebaseline_hint() {
+        let doc = sample().to_json().replace(
+            &format!("\"schema\":{SCHEMA}"),
+            &format!("\"schema\":{}", SCHEMA - 1),
+        );
+        let err = BenchReport::from_json(&doc).expect_err("old schema must fail");
+        assert!(err.contains("scripts/rebaseline.sh"), "{err}");
+    }
+
+    #[test]
+    fn bundle_for_mirrors_report_headlines_and_meta() {
+        let rec = FlightRecorder::new();
+        rec.queue_declare("srpc.ring:0", cronus_obs::QueueKind::Ring, 8);
+        rec.queue_enqueue("srpc.ring:0", SimNs::from_nanos(0));
+        rec.queue_dequeue(
+            "srpc.ring:0",
+            SimNs::from_nanos(100),
+            SimNs::from_nanos(40),
+            SimNs::from_nanos(60),
+        );
+        let rep = report(
+            "unit-bundle",
+            vec![Headline::lower("lat_ns", 1000.0, "ns")],
+            vec![("seed".to_string(), "42".to_string())],
+            &rec,
+        );
+        let bundle = bundle_for(&rep, &rec);
+        assert_eq!(bundle.name, "unit-bundle");
+        assert_eq!(bundle.headlines.len(), rep.headlines.len());
+        assert_eq!(bundle.headlines[0].key, "lat_ns");
+        assert_eq!(bundle.headlines[0].better, Direction::Lower);
+        assert_eq!(bundle.meta, rep.meta);
+        assert_eq!(bundle.queues.len(), 1);
+        // Round-trips through the committed-file format.
+        let back = TelemetryBundle::from_json(&bundle.to_json()).expect("round trip");
+        assert_eq!(back, bundle);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! baselines.
 use cronus_bench::artifacts::dump_and_report;
 use cronus_bench::baseline;
-use cronus_bench::experiments::{fig10, fig11, fig7, fig8, fig9, rpc_micro, tables};
+use cronus_bench::experiments::{fig10, fig11, fig7, fig8, fig9, rpc_micro, saturation, tables};
 
 fn main() {
     println!("{}", tables::table1());
@@ -80,6 +80,22 @@ fn main() {
         "rpc_micro",
         rpc_micro::headlines(&rpc_costs),
         vec![("calls".to_string(), "1000".to_string())],
+        &rec,
+    );
+    let rec = saturation::run_recorded(42, 400);
+    print!(
+        "{}",
+        rec.queue_report(cronus_obs::queue::DEFAULT_LITTLE_TOLERANCE)
+            .render_text()
+    );
+    dump_and_report("saturation", &rec);
+    baseline::emit(
+        "saturation",
+        vec![baseline::Headline::ns("total_sim_ns", rec.total_elapsed())],
+        vec![
+            ("seed".to_string(), "42".to_string()),
+            ("calls".to_string(), "400".to_string()),
+        ],
         &rec,
     );
     println!("{}", tables::table3());

@@ -6,11 +6,19 @@
 //! (`BENCH_TOLERANCE_PCT`, default 10%). Figures without a fresh report are
 //! skipped, so `scripts/ci.sh --bench` can gate on a fast subset while a
 //! full `cargo run -p cronus-bench --bin all` enables gating on everything.
+//! A report that *exists* but cannot be read (IO error, schema mismatch) is
+//! a hard failure, never a silent skip.
+//!
+//! When a headline regresses, the gate loads the figure's committed
+//! `BUNDLE_<name>.json` and the fresh bundle and prints the differential
+//! attribution verdict (ranked guilty queues/categories with evidence), so
+//! a red gate names the suspect instead of just the symptom.
 //!
 //! To accept a deliberate metric change, run `scripts/rebaseline.sh` and
-//! commit the updated `BENCH_*.json` files.
+//! commit the updated `BENCH_*.json` and `BUNDLE_*.json` files.
 
 use cronus_bench::baseline::{self, BenchReport, DEFAULT_TOLERANCE_PCT};
+use cronus_obs::diff::{diff, DiffConfig};
 
 /// Every figure that can emit a report, in paper order.
 const FIGURES: &[&str] = &[
@@ -22,16 +30,59 @@ const FIGURES: &[&str] = &[
     "fig11a",
     "fig11b",
     "rpc_micro",
+    "saturation",
     "chaos",
 ];
 
-fn load_or_warn(path: &std::path::Path) -> Option<BenchReport> {
+/// Loads a report. `Ok(None)` = file absent (skippable); `Err` = file
+/// present but unreadable (gate must fail).
+fn load_or_fail(path: &std::path::Path, failed: &mut bool) -> Option<BenchReport> {
     match baseline::load(path) {
         Ok(rep) => rep,
         Err(e) => {
             eprintln!("[gate] unreadable report: {e}");
+            *failed = true;
             None
         }
+    }
+}
+
+/// Prints the attribution verdict for a regressed figure, when both bundles
+/// are available.
+fn print_verdict(name: &str, tol: f64) {
+    let base = match baseline::load_bundle(&baseline::bundle_baseline_path(name)) {
+        Ok(Some(b)) => b,
+        Ok(None) => {
+            eprintln!(
+                "[gate] {name}: no committed bundle ({}) — run scripts/rebaseline.sh \
+                 to enable regression attribution",
+                baseline::bundle_baseline_path(name).display()
+            );
+            return;
+        }
+        Err(e) => {
+            eprintln!("[gate] {name}: unreadable bundle: {e}");
+            return;
+        }
+    };
+    let fresh = match baseline::load_bundle(&baseline::bundle_fresh_path(name)) {
+        Ok(Some(b)) => b,
+        Ok(None) => {
+            eprintln!("[gate] {name}: no fresh bundle, cannot attribute");
+            return;
+        }
+        Err(e) => {
+            eprintln!("[gate] {name}: unreadable fresh bundle: {e}");
+            return;
+        }
+    };
+    let cfg = DiffConfig {
+        tolerance_pct: tol,
+        ..DiffConfig::default()
+    };
+    let verdict = diff(&base, &fresh, cfg).verdict_text();
+    for line in verdict.lines() {
+        eprintln!("[gate] {name}: {line}");
     }
 }
 
@@ -45,11 +96,11 @@ fn main() {
     let mut compared = 0usize;
     let mut failed = false;
     for name in FIGURES {
-        let Some(fresh) = load_or_warn(&baseline::fresh_path(name)) else {
+        let Some(fresh) = load_or_fail(&baseline::fresh_path(name), &mut failed) else {
             println!("[gate] {name}: no fresh report, skipped");
             continue;
         };
-        let Some(base) = load_or_warn(&baseline::baseline_path(name)) else {
+        let Some(base) = load_or_fail(&baseline::baseline_path(name), &mut failed) else {
             println!(
                 "[gate] {name}: no committed baseline ({}), skipped — \
                  run scripts/rebaseline.sh and commit it",
@@ -90,12 +141,13 @@ fn main() {
                 }
             );
         }
+        print_verdict(name, tol);
     }
 
     if failed {
         eprintln!(
             "[gate] FAILED — if the change is intentional, re-baseline with \
-             scripts/rebaseline.sh and commit the updated BENCH_*.json"
+             scripts/rebaseline.sh and commit the updated BENCH_*.json and BUNDLE_*.json"
         );
         std::process::exit(1);
     }

@@ -5,7 +5,7 @@
 //! \[of\] HIX-TrustZone's expensive RPC protocol and more frequent RPCs."
 
 use cronus_baselines::direct::{hix_backend, native_backend, trustzone_backend};
-use cronus_core::CronusSystem;
+use cronus_core::{ArmedFault, CronusSystem};
 use cronus_obs::FlightRecorder;
 use cronus_runtime::{CudaContext, CudaOptions};
 use cronus_sim::SimNs;
@@ -68,6 +68,17 @@ pub fn run(scale: usize) -> Vec<Fig7Row> {
 /// [`run`], also returning the CRONUS system's flight recorder (the three
 /// baselines run outside the simulated platform and record nothing).
 pub fn run_recorded(scale: usize) -> (Vec<Fig7Row>, FlightRecorder) {
+    run_recorded_faulted(scale, None)
+}
+
+/// [`run_recorded`] with an optional armed fault on the CRONUS system (the
+/// baselines never see it). This is the synthetic-regression entry point the
+/// differential-forensics tests use: arm a completion-delay fault, capture
+/// the bundle, and `obs-diff` must rank the slowed queue as top offender.
+pub fn run_recorded_faulted(
+    scale: usize,
+    fault: Option<ArmedFault>,
+) -> (Vec<Fig7Row>, FlightRecorder) {
     let mut native = native_backend();
     let native_runs = run_suite_on(&mut native, scale);
     let mut tz = trustzone_backend();
@@ -81,6 +92,9 @@ pub fn run_recorded(scale: usize) -> (Vec<Fig7Row>, FlightRecorder) {
     let cuda = CudaContext::new(&mut sys, cpu, CudaOptions::default()).expect("cuda ctx");
     sys.mark("fig7:rodinia-suite");
     let rec = sys.recorder();
+    if let Some(fault) = fault {
+        sys.arm_fault(fault);
+    }
     let mut cronus = CronusGpuBackend::new(&mut sys, cuda);
     let cronus_runs = run_suite_on(&mut cronus, scale);
 

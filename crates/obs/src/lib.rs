@@ -21,6 +21,14 @@
 //!   ranked bottleneck-attribution report behind `cargo run --bin obs-report`.
 //! - [`slo`]: per-figure p50/p99 wait budgets with error-budget burn rates,
 //!   gated by `scripts/ci.sh --slo`.
+//! - [`bundle`]: schema-versioned [`bundle::TelemetryBundle`] archives —
+//!   headlines, critical-path splits, per-queue USE stats with worst-N wait
+//!   exemplars, folded stacks and exemplar timelines — committed per figure
+//!   as `BUNDLE_<name>.json` next to the bench baselines.
+//! - [`diff`]: the differential forensics engine behind
+//!   `cargo run --bin obs-diff` — ranked per-queue/per-category attribution
+//!   verdicts, flamegraph frame diffs and bounding-queue transitions that
+//!   make a red bench gate self-explaining.
 //! - [`json`]: the offline (serde-free) JSON emission and parsing all
 //!   exports and the bench baselines use.
 //!
@@ -28,7 +36,9 @@
 //! `devices` and `runtime` take an optional recorder and instrument their
 //! hot paths; the bench harness dumps snapshots next to its table output.
 
+pub mod bundle;
 pub mod causal;
+pub mod diff;
 pub mod json;
 pub mod metrics;
 pub mod profile;
@@ -37,12 +47,21 @@ pub mod recorder;
 pub mod slo;
 pub mod span;
 
+pub use bundle::{
+    BundleError, BundleExemplar, BundleHeadline, BundleQueue, Direction, TelemetryBundle,
+    BUNDLE_SCHEMA,
+};
 pub use causal::{canonical_phase, CausalReport, RequestTimeline};
+pub use diff::{
+    diff, diff_documents, Attribution, AttributionKind, BundleDiff, DiffConfig, DiffError,
+    ExemplarDiff, FrameDelta, FrameStatus, HeadlineDelta,
+};
 pub use json::{is_well_formed, parse, Json};
 pub use metrics::{bucket_index, labels, Histogram, LabelSet, MetricsRegistry};
 pub use profile::{TimeCategory, TimeProfiler};
 pub use queue::{
     LittleCheck, QueueKind, QueueObservatory, QueueReport, QueueSample, QueueStation, QueueUse,
+    WaitExemplar, MAX_EXEMPLARS,
 };
 pub use recorder::{charge_opt, FlightRecorder, RecorderInner, RecorderSink};
 pub use slo::{SloEval, SloObjective, SloPolicy, SloReport};

@@ -27,9 +27,15 @@ use cronus_sim::SimNs;
 
 use crate::json::Json;
 use crate::metrics::Histogram;
+use crate::span::ReqId;
 
 /// Default relative-error tolerance for the Little's-law cross-check.
 pub const DEFAULT_LITTLE_TOLERANCE: f64 = 0.15;
+
+/// Cap on retained worst-wait exemplars per station. Small on purpose: the
+/// exemplars exist to de-anonymize the p99 tail of the wait histogram, not
+/// to archive every request.
+pub const MAX_EXEMPLARS: usize = 8;
 
 /// Minimum completed requests before the Little's-law check is meaningful.
 pub const MIN_LITTLE_DEQUEUES: u64 = 8;
@@ -70,6 +76,16 @@ impl QueueKind {
     }
 }
 
+/// One worst-wait exemplar: a request id attached to the wait it suffered,
+/// so the p99 tail of a station's wait histogram is no longer anonymous.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitExemplar {
+    /// How long the request waited before service.
+    pub wait: SimNs,
+    /// The request that suffered it.
+    pub req: ReqId,
+}
+
 /// One depth sample on the virtual clock.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct QueueSample {
@@ -108,6 +124,10 @@ pub struct QueueStation {
     samples: Vec<QueueSample>,
     sample_period: SimNs,
     next_sample_at: SimNs,
+    /// Worst-N waits with their request ids, descending by wait; equal
+    /// waits keep first-captured order so the ring is deterministic.
+    exemplars: Vec<WaitExemplar>,
+    exemplars_dropped: u64,
 }
 
 impl QueueStation {
@@ -138,6 +158,8 @@ impl QueueStation {
             samples: Vec::new(),
             sample_period: SAMPLE_PERIOD,
             next_sample_at: SimNs::ZERO,
+            exemplars: Vec::new(),
+            exemplars_dropped: 0,
         }
     }
 
@@ -203,6 +225,14 @@ impl QueueStation {
     /// enqueue/dequeue timestamps, which is what gives the Little's-law
     /// cross-check its teeth.
     pub fn dequeue(&mut self, at: SimNs, wait: SimNs, service: SimNs) {
+        self.dequeue_req(at, wait, service, None);
+    }
+
+    /// [`QueueStation::dequeue`], additionally attributing the wait to a
+    /// request id when the caller knows one. Identified waits feed the
+    /// bounded worst-N exemplar ring, which is what lets the telemetry
+    /// bundle name the exact requests in the p99 tail.
+    pub fn dequeue_req(&mut self, at: SimNs, wait: SimNs, service: SimNs, req: Option<ReqId>) {
         self.advance(at);
         self.deq_at_sum += at.as_nanos() as u128;
         if self.depth == 0 {
@@ -219,6 +249,25 @@ impl QueueStation {
         self.service.observe(service);
         self.busy_ns += service.as_nanos() as u128;
         self.sojourn_ns += (wait + service).as_nanos() as u128;
+        if let Some(req) = req {
+            self.capture_exemplar(wait, req);
+        }
+    }
+
+    /// Inserts into the worst-N ring: strictly longer waits rank first,
+    /// equal waits keep first-captured order (stable, hence deterministic
+    /// per seed). Whatever does not fit bumps `exemplars_dropped`.
+    fn capture_exemplar(&mut self, wait: SimNs, req: ReqId) {
+        let pos = self.exemplars.partition_point(|e| e.wait >= wait);
+        if pos >= MAX_EXEMPLARS {
+            self.exemplars_dropped += 1;
+            return;
+        }
+        self.exemplars.insert(pos, WaitExemplar { wait, req });
+        if self.exemplars.len() > MAX_EXEMPLARS {
+            self.exemplars.pop();
+            self.exemplars_dropped += 1;
+        }
     }
 
     /// Records a queue error (a full-ring stall, a dropped item) at `at`.
@@ -298,6 +347,17 @@ impl QueueStation {
         &self.samples
     }
 
+    /// Worst-N identified waits, descending by wait.
+    pub fn exemplars(&self) -> &[WaitExemplar] {
+        &self.exemplars
+    }
+
+    /// Identified waits that did not fit the worst-N ring (the
+    /// `exemplars.dropped` counter of the bundle format).
+    pub fn exemplars_dropped(&self) -> u64 {
+        self.exemplars_dropped
+    }
+
     /// Observation window: first activity to last activity.
     pub fn window(&self) -> SimNs {
         match self.first_at {
@@ -374,6 +434,8 @@ impl QueueStation {
             max_wait_ns: self.wait.max().as_nanos(),
             mean_service_ns: self.service.mean().as_nanos(),
             wait_total_ns: self.wait.sum_ns(),
+            exemplars: self.exemplars.clone(),
+            exemplars_dropped: self.exemplars_dropped,
             little: LittleCheck {
                 l_observed,
                 l_predicted,
@@ -444,6 +506,10 @@ pub struct QueueUse {
     pub mean_service_ns: u64,
     /// Total wait across all requests — the bottleneck-ranking evidence.
     pub wait_total_ns: u128,
+    /// Worst-N identified waits (wait, request), descending by wait.
+    pub exemplars: Vec<WaitExemplar>,
+    /// Identified waits evicted from (or rejected by) the worst-N ring.
+    pub exemplars_dropped: u64,
     /// Little's-law cross-check verdict.
     pub little: LittleCheck,
 }
@@ -470,6 +536,21 @@ impl QueueUse {
             ("max_wait_ns", Json::U64(self.max_wait_ns)),
             ("mean_service_ns", Json::U64(self.mean_service_ns)),
             ("wait_total_ns", Json::F64(self.wait_total_ns as f64)),
+            (
+                "exemplars",
+                Json::Arr(
+                    self.exemplars
+                        .iter()
+                        .map(|e| {
+                            Json::obj([
+                                ("req", Json::U64(e.req.0)),
+                                ("wait_ns", Json::U64(e.wait.as_nanos())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("exemplars_dropped", Json::U64(self.exemplars_dropped)),
             ("little_observed", Json::F64(self.little.l_observed)),
             ("little_predicted", Json::F64(self.little.l_predicted)),
             ("little_rel_err", Json::F64(self.little.rel_err)),
@@ -512,8 +593,21 @@ impl QueueObservatory {
 
     /// Records a dequeue on `name`.
     pub fn dequeue(&mut self, name: &str, at: SimNs, wait: SimNs, service: SimNs) {
+        self.dequeue_req(name, at, wait, service, None);
+    }
+
+    /// Records a dequeue on `name`, attributing the wait to `req` when the
+    /// caller knows which request suffered it (exemplar capture).
+    pub fn dequeue_req(
+        &mut self,
+        name: &str,
+        at: SimNs,
+        wait: SimNs,
+        service: SimNs,
+        req: Option<ReqId>,
+    ) {
         if let Some(s) = self.station_mut(name) {
-            s.dequeue(at, wait, service);
+            s.dequeue_req(at, wait, service, req);
         }
     }
 
@@ -882,6 +976,68 @@ mod tests {
             (obs.samples_text(), obs.report(0.15).render_text())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn exemplar_ring_keeps_worst_n_and_counts_drops() {
+        let mut st = QueueStation::new("q", QueueKind::Ring, 8);
+        // Feed 3x the capacity with distinct waits; worst MAX_EXEMPLARS must
+        // survive, everything else must tick the dropped counter.
+        let total = MAX_EXEMPLARS as u64 * 3;
+        for i in 0..total {
+            st.enqueue(ns(i * 100));
+            st.dequeue_req(ns(i * 100 + 1), ns(i + 1), ns(1), Some(ReqId(i)));
+        }
+        let ex = st.exemplars();
+        assert_eq!(ex.len(), MAX_EXEMPLARS);
+        assert_eq!(st.exemplars_dropped(), total - MAX_EXEMPLARS as u64);
+        // Sorted worst-first, and exactly the largest waits survived.
+        for w in ex.windows(2) {
+            assert!(w[0].wait >= w[1].wait);
+        }
+        assert_eq!(ex[0].wait, ns(total));
+        assert_eq!(ex[0].req, ReqId(total - 1));
+        assert_eq!(
+            ex[MAX_EXEMPLARS - 1].wait,
+            ns(total - MAX_EXEMPLARS as u64 + 1)
+        );
+    }
+
+    #[test]
+    fn exemplars_without_req_are_not_captured() {
+        let mut st = QueueStation::new("q", QueueKind::Ring, 8);
+        st.enqueue(ns(0));
+        st.dequeue(ns(10), ns(10), ns(0));
+        assert!(st.exemplars().is_empty());
+        assert_eq!(st.exemplars_dropped(), 0);
+    }
+
+    #[test]
+    fn exemplar_capture_is_deterministic() {
+        let run = || {
+            let mut obs = QueueObservatory::new();
+            obs.declare("q", QueueKind::Ring, 8);
+            for i in 0..40u64 {
+                obs.enqueue("q", ns(i * 50));
+                // Repeating wait pattern exercises tie-breaking.
+                let wait = ns((i % 7) * 13);
+                obs.dequeue_req("q", ns(i * 50 + 5), wait, ns(5), Some(ReqId(i)));
+            }
+            let report = obs.report(DEFAULT_LITTLE_TOLERANCE);
+            (report.render_text(), report.to_json().render())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn exemplar_ties_keep_first_seen_order() {
+        let mut st = QueueStation::new("q", QueueKind::Ring, 8);
+        for i in 0..4u64 {
+            st.enqueue(ns(i));
+            st.dequeue_req(ns(i + 1), ns(500), ns(1), Some(ReqId(i)));
+        }
+        let reqs: Vec<u64> = st.exemplars().iter().map(|e| e.req.0).collect();
+        assert_eq!(reqs, vec![0, 1, 2, 3], "equal waits keep arrival order");
     }
 
     #[test]

@@ -158,9 +158,14 @@ impl FlightRecorder {
     }
 
     /// Records a dequeue edge on `name`: the item left at `at` after
-    /// waiting `wait` and being served for `service`.
+    /// waiting `wait` and being served for `service`. When an ambient
+    /// request is active its ReqId is attached as a wait exemplar, so the
+    /// p99 tail of each wait histogram stays attributable.
     pub fn queue_dequeue(&self, name: &str, at: SimNs, wait: SimNs, service: SimNs) {
-        self.with(|r| r.queues.dequeue(name, at, wait, service));
+        self.with(|r| {
+            let req = r.spans.current_req();
+            r.queues.dequeue_req(name, at, wait, service, req);
+        });
     }
 
     /// Records a queue error (full-ring stall, drop) on `name`.

@@ -32,6 +32,12 @@
 # obs-report analyzes representative figure workloads, failing on any
 # Little's-law cross-check violation (the instrumentation self-test) or any
 # per-figure SLO burn-rate breach.
+#
+# With --diff, also runs the differential-forensics gate (see
+# OBSERVABILITY.md, "Explaining a regression"): regenerates fresh telemetry
+# bundles for representative figures and self-diffs them against the
+# committed BUNDLE_*.json baselines with obs-diff, which must report "no
+# significant deltas" (exit 0) on a clean tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +46,7 @@ run_chaos=0
 run_audit=0
 run_forensics=0
 run_slo=0
+run_diff=0
 for arg in "$@"; do
   case "$arg" in
     --bench) run_bench=1 ;;
@@ -47,7 +54,8 @@ for arg in "$@"; do
     --audit) run_audit=1 ;;
     --forensics) run_forensics=1 ;;
     --slo) run_slo=1 ;;
-    *) echo "unknown flag: $arg (supported: --bench, --chaos, --audit, --forensics, --slo)" >&2; exit 2 ;;
+    --diff) run_diff=1 ;;
+    *) echo "unknown flag: $arg (supported: --bench, --chaos, --audit, --forensics, --slo, --diff)" >&2; exit 2 ;;
   esac
 done
 
@@ -96,6 +104,28 @@ if [[ "$run_slo" -eq 1 ]]; then
   # failover path (recovery queue), and the mixed saturation workload.
   cargo run --offline --release -q --bin obs-report -- \
     --figure rpc_micro --figure fig9 --figure saturation --slo > /dev/null
+fi
+
+if [[ "$run_diff" -eq 1 ]]; then
+  echo "==> diff gate: regenerate fresh bundles"
+  # Same representative subset as --bench; the self-diff below compares
+  # whichever fresh bundles exist against their committed baselines.
+  cargo run --offline --release -q -p cronus-bench --bin rpc_micro > /dev/null
+  cargo run --offline --release -q -p cronus-bench --bin fig9 > /dev/null
+  cargo run --offline --release -q -p cronus-bench --bin saturation > /dev/null
+
+  echo "==> diff gate: self-diff fresh bundles vs committed BUNDLE_*.json"
+  for fresh in target/bench/BUNDLE_*.json; do
+    name="$(basename "$fresh" .json)"; name="${name#BUNDLE_}"
+    base="BUNDLE_${name}.json"
+    if [[ ! -f "$base" ]]; then
+      echo "diff gate: missing committed baseline $base — run scripts/rebaseline.sh and commit it" >&2
+      exit 1
+    fi
+    echo "--- obs-diff $name"
+    cargo run --offline --release -q --bin obs-diff -- \
+      --baseline "$base" --candidate "$fresh" --verdict
+  done
 fi
 
 if [[ "$run_bench" -eq 1 ]]; then

@@ -1,19 +1,26 @@
 #!/usr/bin/env bash
 # Re-baselines the bench-regression gate: re-runs every figure binary and
-# promotes the fresh target/bench/BENCH_*.json reports to the committed
-# repo-root baselines. Run this after a deliberate performance change,
-# review the diff, and commit the updated BENCH_*.json files.
+# promotes the fresh target/bench/BENCH_*.json headline reports AND the
+# target/bench/BUNDLE_*.json telemetry bundles (the obs-diff inputs) to the
+# committed repo-root baselines. Run this after a deliberate performance
+# change, review the diff, and commit the updated BENCH_*.json and
+# BUNDLE_*.json files together — the gate and obs-diff refuse mismatched
+# schemas rather than partially comparing.
+#
+# BENCH_chaos.json is the one exception: it is refreshed by the nightly
+# full fault-injection sweep (`cargo run --offline --release --bin chaos`),
+# not by this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> regenerating all fresh reports"
-for fig in fig7 fig8 fig9 fig10a fig10b fig11a fig11b rpc_micro; do
+echo "==> regenerating all fresh reports and bundles"
+for fig in fig7 fig8 fig9 fig10a fig10b fig11a fig11b rpc_micro saturation; do
   cargo run --offline --release -q -p cronus-bench --bin "$fig" > /dev/null
 done
 
-echo "==> promoting fresh reports to repo-root baselines"
-for fresh in target/bench/BENCH_*.json; do
+echo "==> promoting fresh reports and bundles to repo-root baselines"
+for fresh in target/bench/BENCH_*.json target/bench/BUNDLE_*.json; do
   cp -v "$fresh" "$(basename "$fresh")"
 done
 
-echo "re-baselined; review 'git diff BENCH_*.json' and commit."
+echo "re-baselined; review 'git diff BENCH_*.json BUNDLE_*.json' and commit."
