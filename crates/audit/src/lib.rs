@@ -31,7 +31,7 @@ pub mod model;
 
 pub use invariants::{audit_system, check_model, AuditReport, Invariant, Violation};
 pub use lint::{run_lint, LintFinding, LintReport};
-pub use model::IsolationModel;
+pub use model::{IsolationModel, ShareModel};
 
 use cronus_core::CronusSystem;
 

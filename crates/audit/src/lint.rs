@@ -97,11 +97,18 @@ struct AllowEntry {
 
 /// Deprecated sRPC entry-point tokens (rule 1). `.call_sync_attempt(` is
 /// safe: the trailing `(` keeps these from matching longer method names.
-const DEPRECATED_TOKENS: [&str; 5] = [
+/// The stream/dispatch redesign adds the positional `open_stream`/
+/// `reopen_stream` constructors and the split `route_*` methods, all
+/// superseded by `sys.stream(..)` and `route(kind, RoutePolicy)`.
+const DEPRECATED_TOKENS: [&str; 9] = [
     ".call_async(",
     ".call_async_with_req(",
     ".call_sync(",
     ".call_sync_with_req(",
+    ".open_stream(",
+    ".reopen_stream(",
+    ".route_with_balancing(",
+    ".route_least_loaded(",
     "#[allow(deprecated)]",
 ];
 

@@ -7,7 +7,7 @@ use cronus_bench::harness::{BatchSize, Criterion, Throughput};
 use cronus_bench::{criterion_group, criterion_main};
 
 use cronus_bench::experiments::{cpu_enclave, standard_boot};
-use cronus_core::{Actor, CronusSystem, EnclaveRef, StreamId, DEFAULT_RING_PAGES};
+use cronus_core::{Actor, CronusSystem, EnclaveRef, StreamId};
 use cronus_devices::DeviceKind;
 use cronus_mos::manifest::{Manifest, McallDecl};
 use cronus_sim::SimNs;
@@ -32,9 +32,7 @@ fn echo_setup() -> (CronusSystem, EnclaveRef, EnclaveRef, StreamId) {
             Box::new(|_, p| Ok((p.to_vec(), SimNs::from_nanos(100)))),
         );
     }
-    let stream = sys
-        .open_stream(cpu, gpu, DEFAULT_RING_PAGES)
-        .expect("stream");
+    let stream = sys.stream(cpu, gpu).open().expect("stream");
     (sys, cpu, gpu, stream)
 }
 
@@ -85,8 +83,7 @@ fn bench_srpc(c: &mut Criterion) {
                 (sys, cpu, gpu)
             },
             |(mut sys, cpu, gpu)| {
-                sys.open_stream(cpu, gpu, DEFAULT_RING_PAGES)
-                    .expect("stream");
+                sys.stream(cpu, gpu).open().expect("stream");
             },
             BatchSize::SmallInput,
         );

@@ -355,6 +355,9 @@ pub fn report(
             ));
             headlines.push(Headline::lower("queue_utilization", b.utilization, "frac"));
             meta.push(("bounding_queue".to_string(), b.name.clone()));
+            if let Some(s) = qr.bounding_stream() {
+                meta.push(("bounding_stream".to_string(), s.stream));
+            }
             meta.push(("little_ok".to_string(), qr.little_all_within().to_string()));
         }
     }

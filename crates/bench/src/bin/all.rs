@@ -69,16 +69,17 @@ fn main() {
         Vec::new(),
         &rec,
     );
-    let (rpc_costs, rec) = rpc_micro::run_recorded(1000);
+    let (rpc_costs, rpc_stats, rec) = rpc_micro::run_recorded(1000);
     println!(
         "{}",
         rpc_micro::print(&rpc_costs, &rpc_micro::ring_sweep(400, &[1, 4, 16, 64]))
     );
     print!("{}", rec.causal_report().render_text(8));
     dump_and_report("rpc_micro", &rec);
+    let (grant_per_call, _) = rpc_micro::grant_micro(256);
     baseline::emit(
         "rpc_micro",
-        rpc_micro::headlines(&rpc_costs),
+        rpc_micro::headlines(&rpc_costs, &rpc_stats, grant_per_call),
         vec![("calls".to_string(), "1000".to_string())],
         &rec,
     );

@@ -16,6 +16,13 @@
 //!
 //! To accept a deliberate metric change, run `scripts/rebaseline.sh` and
 //! commit the updated `BENCH_*.json` and `BUNDLE_*.json` files.
+//!
+//! The gate also enforces the multi-queue fast path's standing contract:
+//! no figure — committed baseline or fresh run — may report
+//! `bounding_category == "queue"`. Per-stream rings and doorbell batching
+//! removed protocol queueing from every critical path; a figure drifting
+//! back to queue-bound is a regression even if its headline numbers are
+//! still inside tolerance.
 
 use cronus_bench::baseline::{self, BenchReport, DEFAULT_TOLERANCE_PCT};
 use cronus_obs::diff::{diff, DiffConfig};
@@ -44,6 +51,24 @@ fn load_or_fail(path: &std::path::Path, failed: &mut bool) -> Option<BenchReport
             *failed = true;
             None
         }
+    }
+}
+
+/// Fails the gate if a report's critical path is bounded by protocol
+/// queueing. Since the per-stream multi-queue rings landed, every figure is
+/// expected to be kernel-, backlog- or recovery-bound; `"queue"` means the
+/// sRPC fast path stopped doing its job.
+fn assert_not_queue_bound(name: &str, which: &str, rep: &BenchReport, failed: &mut bool) {
+    let is_queue_bound = rep
+        .meta
+        .iter()
+        .any(|(k, v)| k == "bounding_category" && v == "queue");
+    if is_queue_bound {
+        eprintln!(
+            "[gate] {name}: {which} is queue-bound (meta bounding_category == \"queue\") — \
+             the multi-queue sRPC fast path must keep figures off protocol queueing"
+        );
+        *failed = true;
     }
 }
 
@@ -96,11 +121,18 @@ fn main() {
     let mut compared = 0usize;
     let mut failed = false;
     for name in FIGURES {
+        // Queue-boundedness is checked on every rebaselined figure, even
+        // ones the current run produced no fresh report for.
+        let base = load_or_fail(&baseline::baseline_path(name), &mut failed);
+        if let Some(base) = &base {
+            assert_not_queue_bound(name, "committed baseline", base, &mut failed);
+        }
         let Some(fresh) = load_or_fail(&baseline::fresh_path(name), &mut failed) else {
             println!("[gate] {name}: no fresh report, skipped");
             continue;
         };
-        let Some(base) = load_or_fail(&baseline::baseline_path(name), &mut failed) else {
+        assert_not_queue_bound(name, "fresh report", &fresh, &mut failed);
+        let Some(base) = base else {
             println!(
                 "[gate] {name}: no committed baseline ({}), skipped — \
                  run scripts/rebaseline.sh and commit it",

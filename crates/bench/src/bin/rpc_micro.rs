@@ -4,14 +4,15 @@ use cronus_bench::experiments::rpc_micro;
 use cronus_bench::{artifacts, baseline};
 
 fn main() {
-    let (costs, rec) = rpc_micro::run_recorded(1000);
+    let (costs, stats, rec) = rpc_micro::run_recorded(1000);
     let sweep = rpc_micro::ring_sweep(400, &[1, 4, 16, 64]);
+    let (grant_per_call, _) = rpc_micro::grant_micro(256);
     print!("{}", rpc_micro::print(&costs, &sweep));
     print!("{}", rec.causal_report().render_text(8));
     artifacts::dump_and_report("rpc_micro", &rec);
     baseline::emit(
         "rpc_micro",
-        rpc_micro::headlines(&costs),
+        rpc_micro::headlines(&costs, &stats, grant_per_call),
         vec![("calls".to_string(), "1000".to_string())],
         &rec,
     );

@@ -74,7 +74,7 @@ pub fn recorded_figure(name: &str) -> Option<cronus_obs::FlightRecorder> {
         "fig10b" => fig10::run_10b_recorded().1,
         "fig11a" => fig11::run_11a_recorded(&[1, 2]).1,
         "fig11b" => fig11::run_11b_recorded(&[1, 2]).1,
-        "rpc_micro" => rpc_micro::run_recorded(200).1,
+        "rpc_micro" => rpc_micro::run_recorded(200).2,
         "saturation" => saturation::run_recorded(42, 400),
         _ => return None,
     })

@@ -14,7 +14,7 @@
 //! `(seed, plan)`.
 
 use cronus_core::reliability::detection_channel;
-use cronus_core::{ArmedFault, RetryPolicy, SrpcError, DEFAULT_RING_PAGES};
+use cronus_core::{ArmedFault, RetryPolicy, SrpcError};
 use cronus_sim::{PagePerms, SimNs, SimRng};
 
 use crate::invariants::{self, Verdicts};
@@ -286,7 +286,8 @@ pub fn run_scenario(scn: &Scenario, seed: u64) -> ScenarioReport {
             h.callee = workload::spawn_callee(&mut sys, scn.workload, h.caller, h.dma);
         }
         h.stream = sys
-            .reopen_stream(h.stream, h.callee, DEFAULT_RING_PAGES)
+            .stream(h.caller, h.callee)
+            .reopen(h.stream)
             .expect("reopen");
     }
 

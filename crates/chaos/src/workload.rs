@@ -17,9 +17,7 @@
 
 use std::collections::BTreeMap;
 
-use cronus_core::{
-    Actor, AppId, CronusError, CronusSystem, EnclaveRef, StreamId, DEFAULT_RING_PAGES,
-};
+use cronus_core::{Actor, AppId, CronusError, CronusSystem, EnclaveRef, StreamId};
 use cronus_devices::DeviceKind;
 use cronus_mos::manifest::{Manifest, McallDecl, MosId};
 use cronus_sim::{PagePerms, PhysAddr, SimNs, SimRng, World};
@@ -218,9 +216,7 @@ pub fn build(sys: &mut CronusSystem, kind: WorkloadKind) -> Handles {
         .expect("caller enclave");
     let dma = setup_staging(sys, kind);
     let callee = spawn_callee(sys, kind, caller, dma);
-    let stream = sys
-        .open_stream(caller, callee, DEFAULT_RING_PAGES)
-        .expect("stream");
+    let stream = sys.stream(caller, callee).open().expect("stream");
     Handles {
         app,
         caller,

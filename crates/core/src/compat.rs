@@ -1,17 +1,22 @@
 //! Deprecated sRPC entry-point shims.
 //!
 //! The builder call API ([`CronusSystem::call`] → `.sync()` / `.start()`)
-//! is the only non-deprecated way to issue an mECall since 0.4.0. The
-//! pre-builder entry points live on as thin delegating shims for external
-//! callers that have not migrated yet; this module is the **only** place in
-//! the repo allowed to reference them — the `cronus-audit` source lint
+//! is the only non-deprecated way to issue an mECall since 0.4.0, and the
+//! builder stream API ([`CronusSystem::stream`] → `.open()` / `.reopen(old)`)
+//! the only non-deprecated way to open one since 0.5.0. The pre-builder
+//! entry points live on as thin delegating shims for external callers that
+//! have not migrated yet; this module is the **only** place in the repo
+//! allowed to reference them — the `cronus-audit` source lint
 //! (`deprecated-srpc-entry-points`) rejects any use outside this file, so
 //! internal code cannot quietly regress onto the old API.
 
+use cronus_devices::DeviceKind;
 use cronus_obs::ReqId;
+use cronus_sim::machine::AsId;
 
+use crate::dispatcher::{Dispatcher, RoutePolicy};
 use crate::srpc::{SrpcError, StreamId};
-use crate::system::CronusSystem;
+use crate::system::{CronusSystem, EnclaveRef};
 
 impl CronusSystem {
     /// Issues an asynchronous mECall: the caller pays only the enqueue cost
@@ -90,6 +95,71 @@ impl CronusSystem {
         req: ReqId,
     ) -> Result<Vec<u8>, SrpcError> {
         self.call_commit_sync(id, name, payload, Some(req), None, None)
+    }
+
+    /// Opens an sRPC stream over a `pages`-page shared ring budget.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::stream::StreamBuilder::open`].
+    #[deprecated(
+        since = "0.5.0",
+        note = "use sys.stream(caller, callee).pages(p).open()"
+    )]
+    pub fn open_stream(
+        &mut self,
+        caller: EnclaveRef,
+        callee: EnclaveRef,
+        pages: usize,
+    ) -> Result<StreamId, SrpcError> {
+        self.stream(caller, callee).pages(pages).open()
+    }
+
+    /// Re-establishes service after a peer failure on a fresh stream to
+    /// `callee` over a `pages`-page ring budget.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::stream::StreamBuilder::reopen`].
+    #[deprecated(
+        since = "0.5.0",
+        note = "use sys.stream(caller, callee).pages(p).reopen(old)"
+    )]
+    pub fn reopen_stream(
+        &mut self,
+        old: StreamId,
+        callee: EnclaveRef,
+        pages: usize,
+    ) -> Result<StreamId, SrpcError> {
+        // The builder needs the caller up front; recover it from the old
+        // stream's state (reopen always reuses the surviving caller end).
+        let caller = {
+            let s = self
+                .stream_states()
+                .into_iter()
+                .find(|s| s.id == old)
+                .ok_or(SrpcError::UnknownStream(old))?;
+            EnclaveRef {
+                asid: s.caller.0,
+                eid: s.caller.1,
+            }
+        };
+        self.stream(caller, callee).pages(pages).reopen(old)
+    }
+}
+
+impl Dispatcher {
+    /// Routes a request for `kind`, balancing across same-kind partitions
+    /// by total dispatch count.
+    #[deprecated(since = "0.5.0", note = "use route(kind, RoutePolicy::LeastLoaded)")]
+    pub fn route_with_balancing(&mut self, kind: DeviceKind) -> Option<AsId> {
+        self.route(kind, RoutePolicy::LeastLoaded)
+    }
+
+    /// Routes a request for `kind` to the least-loaded partition.
+    #[deprecated(since = "0.5.0", note = "use route(kind, RoutePolicy::LeastLoaded)")]
+    pub fn route_least_loaded(&mut self, kind: DeviceKind) -> Option<AsId> {
+        self.route(kind, RoutePolicy::LeastLoaded)
     }
 }
 

@@ -8,12 +8,15 @@
 //!   (`cronus-mos` supplies the Enclave Manager; this crate supplies the
 //!   application-facing lifecycle in [`system::CronusSystem`]);
 //! * the **Enclave Dispatcher** ([`dispatcher`]) in the untrusted normal
-//!   world, including malicious-dispatch attack injection;
-//! * **streaming RPC (sRPC)** ([`ring`], [`srpc`], driven by
-//!   [`system::CronusSystem`]): requests flow through a ring in trusted
-//!   shared TEE memory with `Rid`/`Sid` indices, dCheck channel
-//!   authentication and streamCheck completion checks. Callers stream
-//!   without context switches and synchronize only when they need data;
+//!   world, with policy-driven routing ([`dispatcher::RoutePolicy`],
+//!   including work stealing) and malicious-dispatch attack injection;
+//! * **streaming RPC (sRPC)** ([`ring`], [`srpc`], [`stream`], driven by
+//!   [`system::CronusSystem`]): requests flow through per-stream multi-lane
+//!   rings in trusted shared TEE memory with per-lane `Rid`/`Sid` indices,
+//!   doorbell-batched enqueue notifications, zero-copy payload grants,
+//!   dCheck channel authentication and streamCheck completion checks.
+//!   Callers stream without context switches and synchronize only when they
+//!   need data;
 //! * **secure failover**: stage-2 faults on streams convert into the
 //!   proceed-trap failure signals of §IV-D (the heavy lifting lives in
 //!   `cronus-spm`; this crate wires it into the RPC path);
@@ -24,7 +27,7 @@
 //!
 //! ```
 //! use std::collections::BTreeMap;
-//! use cronus_core::{Actor, CronusSystem, DEFAULT_RING_PAGES};
+//! use cronus_core::{Actor, CronusSystem};
 //! use cronus_devices::DeviceKind;
 //! use cronus_mos::manifest::{Manifest, McallDecl};
 //! use cronus_sim::SimNs;
@@ -54,7 +57,7 @@
 //! system.register_handler(gpu, "launch", Box::new(|_ctx, args| {
 //!     Ok((args.to_vec(), SimNs::from_micros(50)))
 //! }));
-//! let stream = system.open_stream(cpu, gpu, DEFAULT_RING_PAGES)?;
+//! let stream = system.stream(cpu, gpu).rings(4).open()?;
 //! system.call(stream, "launch").payload(&[1, 2, 3]).start()?;
 //! system.sync(stream)?;
 //! # Ok(())
@@ -78,17 +81,19 @@ pub mod pipe;
 pub mod reliability;
 pub mod ring;
 pub mod srpc;
+pub mod stream;
 pub mod system;
 
 pub use call::Call;
 pub use cronus_forensics::MONITOR_CHAIN;
-pub use dispatcher::{Dispatcher, PartitionInfo};
+pub use dispatcher::{Dispatcher, PartitionInfo, RoutePolicy};
 pub use error::{CronusError, FaultKind};
 pub use inject::{ArmedFault, FaultAction, FiredFault, SrpcPhase};
 pub use pipe::PipeId;
 pub use reliability::{retryable, RetryPolicy, StallWarning};
 pub use srpc::{SrpcError, StreamId, StreamStats};
+pub use stream::{StreamBuilder, StreamConfig};
 pub use system::{
     Actor, AppId, CronusSystem, EnclaveRef, McallHandler, ServerCtx, SystemError,
-    DEFAULT_RING_PAGES,
+    DEFAULT_ARENA_PAGES, DEFAULT_RING_PAGES, DEFAULT_STREAM_LANES,
 };

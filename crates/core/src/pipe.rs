@@ -218,7 +218,7 @@ impl CronusSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::system::{Actor, DEFAULT_RING_PAGES};
+    use crate::system::Actor;
     use cronus_devices::DeviceKind;
     use cronus_mos::manifest::Manifest;
     use cronus_spm::spm::{BootConfig, DeviceSpec, PartitionSpec};
@@ -349,7 +349,7 @@ mod tests {
         // A stream needs mECalls; reuse the pipe pair with a fresh manifest
         // is not possible, so just verify both objects can be open at once.
         let pipe = sys.open_pipe(cpu, gpu, 1).unwrap();
-        let stream = sys.open_stream(cpu, gpu, DEFAULT_RING_PAGES).unwrap();
+        let stream = sys.stream(cpu, gpu).open().unwrap();
         sys.pipe_write(pipe, b"data-plane").unwrap();
         assert_eq!(sys.pipe_read(pipe, 16).unwrap(), b"data-plane");
         sys.sync(stream).unwrap();

@@ -7,16 +7,25 @@
 //! moves these bytes through the simulated machine so every access is
 //! checked by stage-1/stage-2/TZASC.
 //!
-//! Layout within the shared region (`pages * 4096` bytes):
+//! Since the multi-queue fast path, one stream's shared region is divided
+//! into `lanes` equally-sized lane regions, each a self-contained ring pair
+//! with its own producer/consumer indices. Layout of one lane region
+//! (`lane_pages * 4096` bytes; the stream region is `lanes` of these
+//! back-to-back):
 //!
 //! ```text
 //! 0x000  rid: u64           next request index (producer-owned)
 //! 0x008  sid: u64           executed-request count (consumer-owned)
-//! 0x010  dcheck: [u8; 32]   HMAC(secret_dhke, nonce) written by the callee
-//! 0x030  closed: u8         stream close flag
+//! 0x010  dcheck: [u8; 32]   HMAC(secret_dhke, nonce) — lane 0 only
+//! 0x030  closed: u8         stream close flag — lane 0 only
 //! 0x040  request slots      (half of the remaining space)
 //! ....   result slots       (the other half)
 //! ```
+//!
+//! The dCheck tag and the close flag are global to the stream and live only
+//! in lane 0's header; every other lane uses just its index words. A
+//! single-lane [`MultiRingLayout`] is byte-identical to the pre-multi-queue
+//! format.
 
 use cronus_sim::addr::PAGE_SIZE;
 
@@ -61,8 +70,20 @@ impl RingLayout {
     ///
     /// Panics if the region is too small for at least one slot pair.
     pub fn new(pages: usize) -> Self {
+        RingLayout::with_slot_cap(pages, u64::MAX)
+    }
+
+    /// [`RingLayout::new`] with the slot count additionally capped at
+    /// `cap` — a shallow ring deliberately bounds in-flight requests (and
+    /// with them queue wait) below what the region could hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is too small for at least one slot pair or
+    /// `cap` is zero.
+    pub fn with_slot_cap(pages: usize, cap: u64) -> Self {
         let total = pages as u64 * PAGE_SIZE - HEADER_SIZE;
-        let slots = total / (SLOT_SIZE as u64 + RESULT_SLOT_SIZE as u64);
+        let slots = (total / (SLOT_SIZE as u64 + RESULT_SLOT_SIZE as u64)).min(cap);
         assert!(slots >= 1, "shared region too small for an sRPC ring");
         RingLayout {
             pages,
@@ -86,6 +107,97 @@ impl RingLayout {
     /// ("checks the progress of mE_B ... when it needs synchronization").
     pub fn is_full(&self, rid: u64, sid: u64) -> bool {
         rid - sid >= self.slots
+    }
+}
+
+/// Geometry of a multi-queue stream: `lanes` independent ring pairs packed
+/// back-to-back in one shared region, each occupying `lane_pages` pages
+/// with identical internal geometry.
+///
+/// Lane regions are self-contained [`RingLayout`]s, so every byte offset a
+/// single-ring stream used still exists — lane 0 of an L-lane stream is the
+/// old single ring, and the stream-global dCheck/closed words stay at their
+/// lane-0 header offsets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MultiRingLayout {
+    /// Independent ring pairs.
+    pub lanes: usize,
+    /// Pages per lane region.
+    pub lane_pages: usize,
+    /// Geometry within one lane region.
+    pub lane: RingLayout,
+}
+
+impl MultiRingLayout {
+    /// Computes the layout for `lanes` rings of `lane_pages` pages each,
+    /// with per-lane depth capped at `depth` slots when given.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a lane region cannot hold one slot pair, `lanes` is
+    /// zero, or `depth` is `Some(0)`.
+    pub fn new(lanes: usize, lane_pages: usize, depth: Option<u64>) -> Self {
+        assert!(lanes >= 1, "a stream needs at least one lane");
+        MultiRingLayout {
+            lanes,
+            lane_pages,
+            lane: RingLayout::with_slot_cap(lane_pages, depth.unwrap_or(u64::MAX)),
+        }
+    }
+
+    /// Splits a legacy `pages`-page region into at most `max_lanes` equal
+    /// lanes (fewer when the region is too small), preserving the region's
+    /// total size and roughly its total slot capacity — the geometry the
+    /// deprecated `open_stream(caller, callee, pages)` shim maps onto.
+    pub fn split(pages: usize, max_lanes: usize) -> Self {
+        let lanes = max_lanes.clamp(1, pages.max(1));
+        MultiRingLayout::new(lanes, pages / lanes, None)
+    }
+
+    /// Total pages across all lane regions.
+    pub fn pages(&self) -> usize {
+        self.lanes * self.lane_pages
+    }
+
+    /// Request slots per lane.
+    pub fn slots_per_lane(&self) -> u64 {
+        self.lane.slots
+    }
+
+    /// Total in-flight capacity across lanes.
+    pub fn total_slots(&self) -> u64 {
+        self.lanes as u64 * self.lane.slots
+    }
+
+    /// Byte offset of lane `lane`'s region within the shared mapping.
+    pub fn lane_base(&self, lane: usize) -> u64 {
+        debug_assert!(lane < self.lanes);
+        lane as u64 * self.lane_pages as u64 * PAGE_SIZE
+    }
+
+    /// Byte offset of lane `lane`'s `Rid` word.
+    pub fn rid_offset(&self, lane: usize) -> u64 {
+        self.lane_base(lane) + RID_OFFSET
+    }
+
+    /// Byte offset of lane `lane`'s `Sid` word.
+    pub fn sid_offset(&self, lane: usize) -> u64 {
+        self.lane_base(lane) + SID_OFFSET
+    }
+
+    /// Byte offset of request slot `index` in lane `lane` (wrapped).
+    pub fn request_slot(&self, lane: usize, index: u64) -> u64 {
+        self.lane_base(lane) + self.lane.request_slot(index)
+    }
+
+    /// Byte offset of result slot `index` in lane `lane` (wrapped).
+    pub fn result_slot(&self, lane: usize, index: u64) -> u64 {
+        self.lane_base(lane) + self.lane.result_slot(index)
+    }
+
+    /// Whether a lane with the given indices is full.
+    pub fn lane_full(&self, rid: u64, sid: u64) -> bool {
+        self.lane.is_full(rid, sid)
     }
 }
 
@@ -158,6 +270,90 @@ pub fn decode_request(slot: &[u8]) -> Result<Request, CodecError> {
         .to_string();
     let payload = slot[8 + name_len..8 + name_len + payload_len].to_vec();
     Ok(Request { name, payload })
+}
+
+/// Flag bit set in a slot's `payload_len` word when the payload travels by
+/// page grant instead of inline bytes: the slot then carries a 16-byte
+/// [`GrantRef`] descriptor naming where in the stream's grant arena the
+/// callee finds the real payload.
+pub const GRANT_FLAG: u32 = 1 << 31;
+
+/// A zero-copy payload descriptor: the payload lives at `offset..offset+len`
+/// in the stream's grant arena (a share-ledger-tracked region mapped into
+/// both endpoints' stage-1), not in the ring slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GrantRef {
+    /// Byte offset within the grant arena.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+}
+
+/// A decoded request slot: either a classic inline-payload request or a
+/// zero-copy grant descriptor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SlotRequest {
+    /// Payload travelled through the slot.
+    Inline(Request),
+    /// Payload travelled by page grant; resolve `grant` against the arena.
+    Grant {
+        /// mECall name.
+        name: String,
+        /// Arena descriptor.
+        grant: GrantRef,
+    },
+}
+
+/// Encodes a grant-descriptor request into a `SLOT_SIZE` buffer.
+///
+/// # Errors
+///
+/// [`CodecError::TooLarge`] when the name plus the 16-byte descriptor
+/// exceed the slot capacity.
+pub fn encode_grant_request(name: &str, grant: GrantRef) -> Result<Vec<u8>, CodecError> {
+    let total = name.len() + 16;
+    if total > SLOT_PAYLOAD {
+        return Err(CodecError::TooLarge { size: total });
+    }
+    let mut out = vec![0u8; SLOT_SIZE];
+    out[0..4].copy_from_slice(&(name.len() as u32).to_le_bytes());
+    out[4..8].copy_from_slice(&(16u32 | GRANT_FLAG).to_le_bytes());
+    out[8..8 + name.len()].copy_from_slice(name.as_bytes());
+    out[8 + name.len()..8 + name.len() + 8].copy_from_slice(&grant.offset.to_le_bytes());
+    out[8 + name.len() + 8..8 + total].copy_from_slice(&grant.len.to_le_bytes());
+    Ok(out)
+}
+
+/// Decodes a request slot into either form. Inline slots decode exactly as
+/// [`decode_request`]; slots with [`GRANT_FLAG`] set yield the descriptor.
+///
+/// # Errors
+///
+/// [`CodecError::Corrupt`] on impossible lengths, a malformed descriptor,
+/// or a non-UTF-8 name.
+pub fn decode_slot_request(slot: &[u8]) -> Result<SlotRequest, CodecError> {
+    let payload_word = read_header_word(slot, 4)?;
+    if payload_word & GRANT_FLAG == 0 {
+        return Ok(SlotRequest::Inline(decode_request(slot)?));
+    }
+    let name_len = read_header_word(slot, 0)? as usize;
+    if payload_word & !GRANT_FLAG != 16 || name_len + 16 > SLOT_PAYLOAD {
+        return Err(CodecError::Corrupt);
+    }
+    let name = std::str::from_utf8(slot.get(8..8 + name_len).ok_or(CodecError::Corrupt)?)
+        .map_err(|_| CodecError::Corrupt)?
+        .to_string();
+    let word = |at: usize| -> Result<u64, CodecError> {
+        slot.get(at..at + 8)
+            .and_then(|b| <[u8; 8]>::try_from(b).ok())
+            .map(u64::from_le_bytes)
+            .ok_or(CodecError::Corrupt)
+    };
+    let grant = GrantRef {
+        offset: word(8 + name_len)?,
+        len: word(8 + name_len + 8)?,
+    };
+    Ok(SlotRequest::Grant { name, grant })
 }
 
 /// Execution status stored in a result slot.
@@ -253,6 +449,89 @@ mod tests {
         assert!(!l.is_full(l.slots - 1, 0));
         assert!(l.is_full(l.slots, 0));
         assert!(!l.is_full(l.slots, 1));
+    }
+
+    #[test]
+    fn multi_ring_lanes_do_not_overlap() {
+        let m = MultiRingLayout::new(4, 1, None);
+        assert_eq!(m.pages(), 4);
+        assert_eq!(m.total_slots(), 4 * m.slots_per_lane());
+        for lane in 0..4 {
+            let base = m.lane_base(lane);
+            let end = base + PAGE_SIZE;
+            assert!(m.rid_offset(lane) >= base && m.sid_offset(lane) < end);
+            let last = m.result_slot(lane, m.slots_per_lane() - 1) + RESULT_SLOT_SIZE as u64;
+            assert!(last <= end, "lane {lane} spills past its region");
+        }
+        assert_eq!(m.rid_offset(0), RID_OFFSET, "lane 0 keeps the old header");
+    }
+
+    #[test]
+    fn single_lane_matches_legacy_layout() {
+        let m = MultiRingLayout::new(1, 4, None);
+        let l = RingLayout::new(4);
+        assert_eq!(m.lane, l);
+        assert_eq!(m.request_slot(0, 3), l.request_slot(3));
+        assert_eq!(m.result_slot(0, 3), l.result_slot(3));
+    }
+
+    #[test]
+    fn depth_cap_shrinks_lanes() {
+        let m = MultiRingLayout::new(8, 1, Some(1));
+        assert_eq!(m.slots_per_lane(), 1);
+        assert_eq!(m.total_slots(), 8);
+        assert!(m.lane_full(1, 0));
+        assert!(!m.lane_full(1, 1));
+        // Wraparound at depth 1: every index maps to the single slot.
+        assert_eq!(m.request_slot(3, 0), m.request_slot(3, 7));
+    }
+
+    #[test]
+    fn split_preserves_region_and_caps_lanes() {
+        let m = MultiRingLayout::split(64, 16);
+        assert_eq!((m.lanes, m.lane_pages), (16, 4));
+        assert_eq!(m.pages(), 64);
+        // A small region gets fewer lanes rather than sub-page lanes.
+        let small = MultiRingLayout::split(4, 16);
+        assert_eq!((small.lanes, small.lane_pages), (4, 1));
+        assert_eq!(MultiRingLayout::split(1, 16).lanes, 1);
+    }
+
+    #[test]
+    fn grant_request_round_trip() {
+        let grant = GrantRef {
+            offset: 0x3000,
+            len: 9001,
+        };
+        let enc = encode_grant_request("cuMemcpyH2D", grant).unwrap();
+        assert_eq!(enc.len(), SLOT_SIZE);
+        match decode_slot_request(&enc).unwrap() {
+            SlotRequest::Grant { name, grant: g } => {
+                assert_eq!(name, "cuMemcpyH2D");
+                assert_eq!(g, grant);
+            }
+            other => panic!("expected grant, got {other:?}"),
+        }
+        // The legacy decoder refuses grant slots instead of misreading them.
+        assert_eq!(decode_request(&enc), Err(CodecError::Corrupt));
+    }
+
+    #[test]
+    fn inline_slots_decode_identically_through_both_decoders() {
+        let req = Request {
+            name: "echo".into(),
+            payload: vec![7; 32],
+        };
+        let enc = encode_request(&req).unwrap();
+        assert_eq!(decode_slot_request(&enc).unwrap(), SlotRequest::Inline(req));
+    }
+
+    #[test]
+    fn corrupt_grant_descriptor_rejected() {
+        let mut enc = encode_grant_request("f", GrantRef { offset: 0, len: 8 }).unwrap();
+        // Claim a descriptor length other than 16.
+        enc[4..8].copy_from_slice(&(8u32 | GRANT_FLAG).to_le_bytes());
+        assert_eq!(decode_slot_request(&enc), Err(CodecError::Corrupt));
     }
 
     #[test]

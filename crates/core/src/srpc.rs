@@ -1,13 +1,22 @@
 //! sRPC stream state and errors.
 //!
-//! A stream connects one caller mEnclave to one callee mEnclave through a
-//! trusted shared-memory ring (§IV-C). The caller continuously appends
-//! requests (bumping `Rid`) without waiting; a per-stream executor thread in
-//! the callee drains them (bumping `Sid`); the caller only synchronizes when
-//! it needs data or ordering. Virtual time models this with two clocks: the
-//! caller's enclave clock advances by enqueue costs only, the executor clock
-//! advances by dequeue + execution costs, and synchronization points merge
-//! them with `max` — which is precisely why sRPC beats lock-step RPC.
+//! A stream connects one caller mEnclave to one callee mEnclave through
+//! trusted shared-memory rings (§IV-C). The caller continuously appends
+//! requests (bumping a lane's `Rid`) without waiting; executor workers in
+//! the callee drain them (bumping `Sid`); the caller only synchronizes when
+//! it needs data or ordering. Virtual time models this with clocks: the
+//! caller's enclave clock advances by enqueue costs only, each lane's
+//! executor clock advances by dequeue + execution costs, and
+//! synchronization points merge them with `max` — which is precisely why
+//! sRPC beats lock-step RPC.
+//!
+//! Since the multi-queue fast path a stream owns `lanes` independent ring
+//! pairs ([`crate::ring::MultiRingLayout`]), each drained by its own
+//! executor worker (its own virtual clock), so up to `lanes` requests
+//! execute concurrently while dispatch order still follows global enqueue
+//! order ([`StreamState::pending`] is the stream-FIFO work list). Payloads
+//! at or above the stream's zero-copy threshold skip the ring slots and
+//! travel through a [`GrantArena`] mapped into both endpoints' stage-1.
 //!
 //! The protocol driver lives in [`crate::system::CronusSystem`], which owns
 //! the SPM and the handler registry.
@@ -24,7 +33,7 @@ use cronus_sim::{SimClock, SimNs};
 use cronus_spm::spm::{ShareHandle, SpmError};
 
 use crate::error::CronusError;
-use crate::ring::{CodecError, RingLayout};
+use crate::ring::{CodecError, MultiRingLayout};
 
 /// Handle to an open sRPC stream.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -97,7 +106,8 @@ pub enum SrpcError {
         sid: u64,
     },
     /// The stream was quarantined after a peer failure; re-open it against
-    /// a recovered partition with `reopen_stream` before issuing calls.
+    /// a recovered partition with `stream(..).reopen(old)` before issuing
+    /// calls.
     Quarantined(StreamId),
     /// A retry policy was supplied but the mECall is not declared
     /// idempotent in the callee's manifest, so replay is unsafe.
@@ -189,8 +199,83 @@ pub struct StreamStats {
     pub request_bytes: u64,
     /// Result payload bytes returned.
     pub result_bytes: u64,
-    /// Times the producer found the ring full and had to drain.
+    /// Times the producer found every lane full and had to drain.
     pub ring_full_stalls: u64,
+    /// Doorbells actually rung (one consumer wakeup each).
+    pub doorbells_rung: u64,
+    /// Enqueues that coalesced onto an already-pending doorbell.
+    pub doorbells_coalesced: u64,
+    /// Drains where an idle worker took the stream head from another
+    /// lane's ring (work stealing across lanes).
+    pub steals: u64,
+    /// Payloads that travelled as zero-copy page grants instead of being
+    /// memcpy'd through ring slots.
+    pub zero_copy_grants: u64,
+    /// Bytes moved through the grant arena.
+    pub zero_copy_bytes: u64,
+}
+
+/// One ring lane: its cached shared indices and the virtual clock of the
+/// executor worker that drains it. Lanes execute independently, which is
+/// what lets a multi-lane stream overlap up to `lanes` requests.
+#[derive(Debug)]
+pub struct LaneState {
+    /// Producer index (cached copy of the lane's shared word).
+    pub rid: u64,
+    /// Consumer index (cached copy of the lane's shared word).
+    pub sid: u64,
+    /// The lane worker's virtual clock.
+    pub executor_clock: SimClock,
+}
+
+impl LaneState {
+    /// Requests sitting in this lane's ring, enqueued but not drained.
+    pub fn backlog(&self) -> u64 {
+        self.rid - self.sid
+    }
+}
+
+/// One enqueued-but-not-executed request, in global stream order. The
+/// executor workers always dispatch the front of the stream FIFO (stealing
+/// from whichever lane holds it), so per-stream ordering survives lane
+/// parallelism.
+#[derive(Debug)]
+pub struct PendingRequest {
+    /// Lane whose ring holds the slot.
+    pub lane: usize,
+    /// Lane-local ring index the slot was written at (the lane `Rid` at
+    /// enqueue time).
+    pub slot: u64,
+    /// Global per-stream sequence number (enqueue order).
+    pub seq: u64,
+    /// Virtual time of the enqueue; the executor never starts a request
+    /// before it was issued.
+    pub enqueued_at: SimNs,
+    /// Ambient request id re-established at dispatch so device/recovery
+    /// spans inherit the right cause.
+    pub req: ReqId,
+}
+
+/// Zero-copy payload arena: a second shared region through which payloads
+/// at or above `threshold` travel as page grants (descriptor in the ring
+/// slot, bytes mapped into the callee's stage-1) instead of memcpy'd
+/// through slot payload space. It rides the same share-ledger machinery as
+/// the ring itself, so grant/revoke events keep audit invariants I1–I5.
+#[derive(Debug)]
+pub struct GrantArena {
+    /// Payload size (bytes) at which enqueue switches to a grant.
+    pub threshold: usize,
+    /// Backing shared-memory region (distinct from the ring share).
+    pub share: ShareHandle,
+    /// Arena base VA in the caller's address space.
+    pub caller_va: VirtAddr,
+    /// Arena base VA in the callee's address space.
+    pub callee_va: VirtAddr,
+    /// Arena size in bytes.
+    pub bytes: u64,
+    /// Bump cursor for the next grant (wraps; slots in flight are bounded
+    /// by ring capacity so a full wrap never overtakes a live grant).
+    pub cursor: u64,
 }
 
 /// The state of one open stream.
@@ -202,27 +287,28 @@ pub struct StreamState {
     pub caller: (AsId, Eid),
     /// Callee (partition, enclave).
     pub callee: (AsId, Eid),
-    /// Backing shared-memory region.
+    /// Backing shared-memory region for the rings.
     pub share: ShareHandle,
     /// Ring base VA in the caller's address space.
     pub caller_va: VirtAddr,
     /// Ring base VA in the callee's address space.
     pub callee_va: VirtAddr,
-    /// Ring geometry.
-    pub layout: RingLayout,
-    /// Producer index (cached copy of the shared word).
-    pub rid: u64,
-    /// Consumer index (cached copy of the shared word).
-    pub sid: u64,
-    /// The executor thread's virtual clock.
-    pub executor_clock: SimClock,
-    /// Enqueue timestamps of requests not yet executed, so the executor
-    /// never starts a request before it was issued.
-    pub pending_enqueue_times: VecDeque<SimNs>,
-    /// Request ids of requests not yet executed, in ring order; the
-    /// executor re-establishes each id as the ambient request when it
-    /// dispatches, so device/recovery spans inherit the right cause.
-    pub pending_reqs: VecDeque<ReqId>,
+    /// Multi-lane ring geometry.
+    pub layout: MultiRingLayout,
+    /// Per-lane indices and executor clocks (`layout.lanes` entries).
+    pub lanes: Vec<LaneState>,
+    /// Global stream FIFO of requests enqueued but not yet executed.
+    pub pending: VecDeque<PendingRequest>,
+    /// Next global sequence number == total requests ever enqueued.
+    pub next_seq: u64,
+    /// Total requests executed (trails `next_seq` by `pending.len()`).
+    pub executed: u64,
+    /// True while an enqueue batch has rung the doorbell and the executor
+    /// has not yet drained past it; further enqueues coalesce for free.
+    pub doorbell_pending: bool,
+    /// Zero-copy grant arena, present when the stream was opened with a
+    /// zero-copy threshold.
+    pub arena: Option<GrantArena>,
     /// True until closed or poisoned.
     pub open: bool,
     /// Set when a peer failure poisoned the stream; calls return
@@ -238,16 +324,33 @@ pub struct StreamState {
 impl StreamState {
     /// Number of requests enqueued but not yet executed.
     pub fn backlog(&self) -> u64 {
-        self.rid - self.sid
+        self.next_seq - self.executed
     }
 
-    /// Redacted snapshot for the proceed-trap black box: indices and state
-    /// bits only, never ring payload bytes.
+    /// The lane with the smallest ring backlog (ties go to the lowest
+    /// index); enqueue targets this lane so load spreads evenly.
+    pub fn least_loaded_lane(&self) -> usize {
+        let mut best = 0usize;
+        let mut best_backlog = u64::MAX;
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let b = lane.backlog();
+            if b < best_backlog {
+                best = i;
+                best_backlog = b;
+            }
+        }
+        best
+    }
+
+    /// Redacted snapshot for the proceed-trap black box: aggregate indices
+    /// and state bits only, never ring payload bytes. `rid`/`sid` report
+    /// the stream-global produce/consume counts so backlog stays
+    /// `rid - sid` regardless of lane geometry.
     pub fn forensic_snapshot(&self) -> cronus_forensics::StreamSnap {
         cronus_forensics::StreamSnap {
             stream: self.id.0,
-            rid: self.rid,
-            sid: self.sid,
+            rid: self.next_seq,
+            sid: self.executed,
             backlog: self.backlog(),
             open: self.open,
             quarantined: self.quarantined,

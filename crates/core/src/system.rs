@@ -24,16 +24,19 @@ use cronus_spm::attest::{LocalAttestation, SignedReport};
 use cronus_spm::spm::{BootConfig, RecoveryStats, Spm, SpmError};
 
 use crate::call::Call;
-use crate::dispatcher::{Dispatcher, PartitionInfo};
+use crate::dispatcher::{Dispatcher, PartitionInfo, RoutePolicy};
 use crate::error::{CronusError, FaultKind};
 use crate::inject::{ArmedFault, FaultAction, FiredFault, Injector, SrpcPhase};
 use crate::pipe::{PipeId, PipeState};
 use crate::reliability::{retryable, RetryPolicy, StallWarning};
 use crate::ring::{
-    decode_request, decode_result, encode_request, encode_result, Request, ResultStatus,
-    RingLayout, CLOSED_OFFSET, DCHECK_OFFSET, RID_OFFSET, SID_OFFSET,
+    decode_result, decode_slot_request, encode_grant_request, encode_request, encode_result,
+    GrantRef, Request, ResultStatus, SlotRequest, CLOSED_OFFSET, DCHECK_OFFSET,
 };
-use crate::srpc::{SrpcError, StreamId, StreamState, StreamStats};
+use crate::srpc::{
+    GrantArena, LaneState, PendingRequest, SrpcError, StreamId, StreamState, StreamStats,
+};
+use crate::stream::{StreamBuilder, StreamConfig};
 
 /// A handle to a created mEnclave.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -85,8 +88,17 @@ pub struct ServerCtx<'a> {
 pub type McallHandler =
     Box<dyn FnMut(&mut ServerCtx<'_>, &[u8]) -> Result<(Vec<u8>, SimNs), CronusError> + Send>;
 
-/// Default number of shared pages per stream ring (256 KiB ≈ 268 slots).
+/// Default number of shared pages per stream ring (256 KiB; split across
+/// [`DEFAULT_STREAM_LANES`] lanes ≈ 256 slots).
 pub const DEFAULT_RING_PAGES: usize = 64;
+
+/// Default number of ring lanes per stream: independent ring pairs drained
+/// by independent executor workers, so up to this many requests of one
+/// stream execute concurrently on the virtual clock.
+pub const DEFAULT_STREAM_LANES: usize = 16;
+
+/// Pages backing a stream's zero-copy grant arena (256 KiB).
+pub const DEFAULT_ARENA_PAGES: usize = 64;
 
 /// An isolation-audit hook (see the `cronus-audit` crate): invoked with the
 /// whole system after every reconfiguration point, returns the number of
@@ -400,7 +412,7 @@ impl CronusSystem {
         let kind = manifest.device_type;
         let asid = self
             .dispatcher
-            .route_with_balancing(kind)
+            .route(kind, RoutePolicy::LeastLoaded)
             .ok_or(SystemError::NoPartitionFor(kind))?;
 
         // Owner-side DH share.
@@ -501,6 +513,9 @@ impl CronusSystem {
         for id in stream_ids {
             if let Some(s) = self.streams.remove(&id) {
                 let _ = self.spm.reclaim_share(s.share);
+                if let Some(arena) = &s.arena {
+                    let _ = self.spm.reclaim_share(arena.share);
+                }
             }
         }
         let pipe_ids: Vec<PipeId> = self
@@ -644,18 +659,39 @@ impl CronusSystem {
 
     // ---- sRPC ---------------------------------------------------------------
 
-    /// Opens an sRPC stream from `caller` to a `callee` it owns: local
-    /// attestation, trusted shared memory establishment, and dCheck (§IV-C).
+    /// Builds an sRPC stream from `caller` to a `callee` it owns: the
+    /// single entry point for opening streams. Configure the ring geometry
+    /// fluently and commit with [`StreamBuilder::open`] or
+    /// [`StreamBuilder::reopen`]:
     ///
-    /// # Errors
-    ///
-    /// [`SrpcError::NotOwner`], attestation/dCheck failures, SPM errors.
-    pub fn open_stream(
+    /// ```ignore
+    /// let s = sys.stream(cpu, gpu).rings(16).depth(1).open()?;
+    /// let s2 = sys.stream(cpu, gpu2).reopen(s)?;
+    /// ```
+    pub fn stream(&mut self, caller: EnclaveRef, callee: EnclaveRef) -> StreamBuilder<'_> {
+        StreamBuilder {
+            sys: self,
+            caller,
+            callee,
+            lanes: DEFAULT_STREAM_LANES,
+            pages: None,
+            depth: None,
+            zero_copy: None,
+            deadline: None,
+        }
+    }
+
+    /// Opens a stream from a resolved [`StreamConfig`]: local attestation,
+    /// trusted shared memory establishment, and dCheck (§IV-C); one ring
+    /// pair per lane, plus the grant arena when zero-copy is enabled.
+    pub(crate) fn open_stream_config(
         &mut self,
         caller: EnclaveRef,
         callee: EnclaveRef,
-        pages: usize,
+        cfg: StreamConfig,
     ) -> Result<StreamId, SrpcError> {
+        let layout = cfg.layout;
+        let pages = layout.pages();
         // Ownership assurance.
         self.spm
             .mos(callee.asid)?
@@ -695,13 +731,12 @@ impl CronusSystem {
         let (share, caller_va, callee_va) =
             self.spm
                 .share_memory((caller.asid, caller.eid), (callee.asid, callee.eid), pages)?;
-        let layout = RingLayout::new(pages);
         let id = StreamId(self.next_stream);
         self.next_stream += 1;
 
         // dCheck: the callee proves ownership of secret_dhke *through the
         // shared memory*, so the caller knows smem really is shared with the
-        // authenticated peer.
+        // authenticated peer. The dCheck tag lives in lane 0's header.
         let dcheck = hmac_sha256(&secret, &id.0.to_le_bytes());
         {
             let (mos, machine) = self.spm.mos_and_machine(callee.asid)?;
@@ -712,21 +747,23 @@ impl CronusSystem {
                 dcheck.as_bytes(),
             )
             .map_err(SrpcError::Mos)?;
-            // Initialize indices.
-            mos.enclave_write(
-                machine,
-                callee.eid,
-                callee_va.add(RID_OFFSET),
-                &0u64.to_le_bytes(),
-            )
-            .map_err(SrpcError::Mos)?;
-            mos.enclave_write(
-                machine,
-                callee.eid,
-                callee_va.add(SID_OFFSET),
-                &0u64.to_le_bytes(),
-            )
-            .map_err(SrpcError::Mos)?;
+            // Initialize every lane's shared indices.
+            for lane in 0..layout.lanes {
+                mos.enclave_write(
+                    machine,
+                    callee.eid,
+                    callee_va.add(layout.rid_offset(lane)),
+                    &0u64.to_le_bytes(),
+                )
+                .map_err(SrpcError::Mos)?;
+                mos.enclave_write(
+                    machine,
+                    callee.eid,
+                    callee_va.add(layout.sid_offset(lane)),
+                    &0u64.to_le_bytes(),
+                )
+                .map_err(SrpcError::Mos)?;
+            }
         }
         let observed = {
             let (mos, machine) = self.spm.mos_and_machine(caller.asid)?;
@@ -739,16 +776,41 @@ impl CronusSystem {
             return Err(SrpcError::DcheckFailed);
         }
 
+        // The zero-copy grant arena: a second shared region through the
+        // same share-ledger machinery as the ring, so the audit invariants
+        // cover granted payload pages exactly like ring pages.
+        let arena = match cfg.zero_copy {
+            Some(threshold) => {
+                let arena_pages = cfg.arena_pages.max(1);
+                let (a_share, a_caller_va, a_callee_va) = self.spm.share_memory(
+                    (caller.asid, caller.eid),
+                    (callee.asid, callee.eid),
+                    arena_pages,
+                )?;
+                Some(GrantArena {
+                    threshold,
+                    share: a_share,
+                    caller_va: a_caller_va,
+                    callee_va: a_callee_va,
+                    bytes: arena_pages as u64 * PAGE_SIZE,
+                    cursor: 0,
+                })
+            }
+            None => None,
+        };
+
         // Costs: local attestation + mapping + stream setup on the caller;
-        // the executor thread starts at the caller's time.
+        // the executor workers start at the caller's time.
+        let arena_pages = arena.as_ref().map_or(0, |a| a.bytes / PAGE_SIZE);
         let setup = {
             let cm = self.spm.machine().cost();
-            cm.local_attest + cm.page_map * (2 * pages as u64) + cm.srpc_stream_setup
+            cm.local_attest
+                + cm.page_map * (2 * (pages as u64 + arena_pages))
+                + cm.srpc_stream_setup
         };
         let c = self.clock_mut(caller.eid);
         c.advance(setup);
         let opened = c.now();
-        let executor_clock = SimClock::at(opened);
         if let Some(rec) = self.spm.recorder() {
             let cm = self.spm.machine().cost();
             // The page_map share is charged by the SPM's share_memory.
@@ -757,13 +819,25 @@ impl CronusSystem {
             rec.counter_add("srpc.streams_opened", &[], 1);
             let track = rec.track(&format!("stream:{}", id.0));
             rec.complete_span(track, "open", "srpc", opened.saturating_sub(setup), opened);
-            rec.queue_declare(
-                &format!("srpc.ring:{}", id.0),
-                QueueKind::Ring,
-                layout.slots,
-            );
+            // One queue station per lane: per-stream (and per-lane)
+            // attribution is what lets obs-report name the bounding stream
+            // instead of one aggregate `srpc.ring:1`.
+            for lane in 0..layout.lanes {
+                rec.queue_declare(
+                    &lane_station(id, lane),
+                    QueueKind::Ring,
+                    layout.slots_per_lane(),
+                );
+            }
         }
 
+        let lanes = (0..layout.lanes)
+            .map(|_| LaneState {
+                rid: 0,
+                sid: 0,
+                executor_clock: SimClock::at(opened),
+            })
+            .collect();
         self.streams.insert(
             id,
             StreamState {
@@ -774,14 +848,15 @@ impl CronusSystem {
                 caller_va,
                 callee_va,
                 layout,
-                rid: 0,
-                sid: 0,
-                executor_clock,
-                pending_enqueue_times: VecDeque::new(),
-                pending_reqs: VecDeque::new(),
+                lanes,
+                pending: VecDeque::new(),
+                next_seq: 0,
+                executed: 0,
+                doorbell_pending: false,
+                arena,
                 open: true,
                 quarantined: false,
-                deadline: None,
+                deadline: cfg.deadline,
                 stats: StreamStats::default(),
             },
         );
@@ -875,7 +950,8 @@ impl CronusSystem {
         streams
     }
 
-    /// The executor's current virtual time for a stream.
+    /// The stream's executor frontier: the most advanced lane worker's
+    /// virtual time.
     ///
     /// # Errors
     ///
@@ -885,8 +961,11 @@ impl CronusSystem {
             .streams
             .get(&id)
             .ok_or(SrpcError::UnknownStream(id))?
-            .executor_clock
-            .now())
+            .lanes
+            .iter()
+            .map(|l| l.executor_clock.now())
+            .max()
+            .unwrap_or(SimNs::ZERO))
     }
 
     /// Converts a stage-2 fault on a shared-memory access into the
@@ -984,19 +1063,25 @@ impl CronusSystem {
             self.trap_convert(accessor, fallback, err)
         };
         if matches!(converted, SrpcError::PeerFailed { .. }) {
-            if let Some(s) = self.streams.get_mut(&id) {
+            let lane_count = if let Some(s) = self.streams.get_mut(&id) {
                 s.open = false;
                 s.quarantined = true;
-                s.pending_enqueue_times.clear();
-                s.pending_reqs.clear();
-            }
+                s.pending.clear();
+                s.doorbell_pending = false;
+                s.lanes.len()
+            } else {
+                0
+            };
             let at = self.ledger_now();
             let channel = crate::reliability::detection_channel(&converted);
             if let Some(rec) = self.spm.recorder() {
                 rec.counter_add("srpc.streams_quarantined", &[], 1);
                 // Quarantine discards everything in flight: reflect that in
-                // the queue station so drained-to-zero stays checkable.
-                let dropped = rec.queue_flush(&format!("srpc.ring:{}", id.0), at);
+                // every lane's queue station so drained-to-zero stays
+                // checkable.
+                let dropped: u64 = (0..lane_count)
+                    .map(|lane| rec.queue_flush(&lane_station(id, lane), at))
+                    .sum();
                 rec.counter_add("srpc.requests_flushed", &[], dropped);
                 // The marker is the span-stream's witness of the detection;
                 // the timeline reconstructor cross-checks it against the
@@ -1097,7 +1182,7 @@ impl CronusSystem {
         result.map_err(|err| self.trap_convert(e.asid, e.eid, err))
     }
 
-    fn stream(&self, id: StreamId) -> Result<&StreamState, SrpcError> {
+    fn stream_ref(&self, id: StreamId) -> Result<&StreamState, SrpcError> {
         self.streams.get(&id).ok_or(SrpcError::UnknownStream(id))
     }
 
@@ -1112,7 +1197,7 @@ impl CronusSystem {
     ) -> Result<(), SrpcError> {
         // Validate against the callee's static mECall list.
         {
-            let s = self.stream(id)?;
+            let s = self.stream_ref(id)?;
             if s.quarantined {
                 return Err(SrpcError::Quarantined(id));
             }
@@ -1130,33 +1215,98 @@ impl CronusSystem {
             }
         }
 
-        // Ring full? The producer waits until the consumer frees one slot
-        // (bounded-buffer pipelining, not a full synchronization).
-        let full = {
-            let s = self.stream(id)?;
-            s.layout.is_full(s.rid, s.sid)
-        };
-        if full {
-            self.drain_one(id)?;
-            let s = self.streams.get_mut(&id).expect("checked");
-            s.stats.ring_full_stalls += 1;
-            let executor_now = s.executor_clock.now();
-            let caller_eid = s.caller.1;
-            self.clock_mut(caller_eid).advance_to(executor_now);
-            if let Some(rec) = self.spm.recorder() {
-                rec.queue_error(&format!("srpc.ring:{}", id.0), executor_now);
+        // Pick the least-backlogged lane. If even that lane is full, every
+        // lane is full: the producer waits until the executor frees one
+        // slot (bounded-buffer pipelining, not a full synchronization) by
+        // draining the stream head, then re-targets the freed lane.
+        let lane_idx = {
+            let s = self.stream_ref(id)?;
+            let lane = s.least_loaded_lane();
+            let l = &s.lanes[lane];
+            if s.layout.lane_full(l.rid, l.sid) {
+                None
+            } else {
+                Some(lane)
             }
-        }
-
-        let slot = encode_request(&Request {
-            name: name.to_string(),
-            payload: payload.to_vec(),
-        })?;
-        let (caller, caller_va, rid, slot_off) = {
-            let s = self.stream(id)?;
-            (s.caller, s.caller_va, s.rid, s.layout.request_slot(s.rid))
         };
-        self.injection_point(id, SrpcPhase::Enqueue, rid);
+        let lane_idx = match lane_idx {
+            Some(lane) => lane,
+            None => {
+                let drained = self.drain_one(id)?.ok_or(SrpcError::UnknownStream(id))?;
+                let s = self.streams.get_mut(&id).expect("checked");
+                s.stats.ring_full_stalls += 1;
+                let caller_eid = s.caller.1;
+                // The slot frees the moment its request finishes executing.
+                self.clock_mut(caller_eid).advance_to(drained.finished);
+                if let Some(rec) = self.spm.recorder() {
+                    rec.queue_error(&lane_station(id, drained.lane), drained.finished);
+                }
+                drained.lane
+            }
+        };
+
+        // Zero-copy grant: payloads at or above the stream's threshold
+        // travel through the arena; the ring slot carries only a
+        // descriptor. The arena pages are already granted (mapped at open
+        // through the share ledger), so the cost is page bookkeeping, not
+        // a per-byte copy.
+        let mut grant_cost = SimNs::ZERO;
+        let use_grant = {
+            let s = self.stream_ref(id)?;
+            s.arena
+                .as_ref()
+                .is_some_and(|a| payload.len() >= a.threshold)
+        };
+        let slot = if use_grant {
+            let (caller, grant, arena_caller_va) = {
+                let s = self.streams.get_mut(&id).expect("checked");
+                let arena = s.arena.as_mut().expect("checked use_grant");
+                let len = payload.len() as u64;
+                // Bump allocation with wraparound; in-flight grants are
+                // bounded by total ring capacity, which the arena outsizes.
+                if arena.cursor + len > arena.bytes {
+                    arena.cursor = 0;
+                }
+                let offset = arena.cursor;
+                arena.cursor += len;
+                s.stats.zero_copy_grants += 1;
+                s.stats.zero_copy_bytes += len;
+                (s.caller, GrantRef { offset, len }, arena.caller_va)
+            };
+            {
+                let (mos, machine) = self.spm.mos_and_machine(caller.0)?;
+                if let Err(e) = mos.enclave_write(
+                    machine,
+                    caller.1,
+                    arena_caller_va.add(grant.offset),
+                    payload,
+                ) {
+                    return Err(self.stream_fault(id, caller.0, e));
+                }
+            }
+            let pages_spanned =
+                (grant.offset + grant.len).div_ceil(PAGE_SIZE) - grant.offset / PAGE_SIZE;
+            grant_cost = self.spm.machine().cost().page_map * pages_spanned;
+            encode_grant_request(name, grant)?
+        } else {
+            encode_request(&Request {
+                name: name.to_string(),
+                payload: payload.to_vec(),
+            })?
+        };
+
+        let (caller, caller_va, lane_rid, slot_off, rid_off) = {
+            let s = self.stream_ref(id)?;
+            let rid = s.lanes[lane_idx].rid;
+            (
+                s.caller,
+                s.caller_va,
+                rid,
+                s.layout.request_slot(lane_idx, rid),
+                s.layout.rid_offset(lane_idx),
+            )
+        };
+        self.injection_point(id, SrpcPhase::Enqueue, lane_idx, lane_rid);
         {
             let (mos, machine) = self.spm.mos_and_machine(caller.0)?;
             let write = mos
@@ -1165,31 +1315,61 @@ impl CronusSystem {
                     mos.enclave_write(
                         machine,
                         caller.1,
-                        caller_va.add(RID_OFFSET),
-                        &(rid + 1).to_le_bytes(),
+                        caller_va.add(rid_off),
+                        &(lane_rid + 1).to_le_bytes(),
                     )
                 });
             if let Err(e) = write {
                 return Err(self.stream_fault(id, caller.0, e));
             }
         }
-        let enqueue_cost = self.spm.machine().cost().srpc_enqueue;
+        // The doorbell: one wakeup per enqueue *batch*. While the executor
+        // still has undrained work the doorbell is already pending, so
+        // back-to-back enqueues coalesce for free.
+        let (base_enqueue, doorbell) = {
+            let cm = self.spm.machine().cost();
+            (cm.srpc_enqueue, cm.srpc_doorbell)
+        };
+        let enqueue_cost = base_enqueue + grant_cost;
+        let doorbell_cost = if self.stream_ref(id)?.doorbell_pending {
+            SimNs::ZERO
+        } else {
+            doorbell
+        };
         let c = self.clock_mut(caller.1);
-        c.advance(enqueue_cost);
+        c.advance(enqueue_cost + doorbell_cost);
         let now = c.now();
         self.spm
             .machine_mut()
             .record(EventKind::RpcEnqueue { stream: id.0 });
         let s = self.streams.get_mut(&id).expect("checked");
-        s.rid += 1;
-        s.pending_enqueue_times.push_back(now);
-        s.pending_reqs.push_back(req);
+        s.lanes[lane_idx].rid += 1;
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.pending.push_back(PendingRequest {
+            lane: lane_idx,
+            slot: lane_rid,
+            seq,
+            enqueued_at: now,
+            req,
+        });
+        if s.doorbell_pending {
+            s.stats.doorbells_coalesced += 1;
+        } else {
+            s.doorbell_pending = true;
+            s.stats.doorbells_rung += 1;
+        }
         s.stats.calls += 1;
         s.stats.request_bytes += payload.len() as u64;
-        let occupancy = (s.rid - s.sid) as i64;
+        let callee_asid = s.callee.0;
+        let occupancy = s.backlog() as i64;
+        self.dispatcher.note_enqueue(callee_asid);
         if let Some(rec) = self.spm.recorder() {
             rec.charge_detail(TimeCategory::Ring, "enqueue", enqueue_cost);
-            rec.queue_enqueue(&format!("srpc.ring:{}", id.0), now);
+            if doorbell_cost > SimNs::ZERO {
+                rec.charge_detail(TimeCategory::Ring, "doorbell", doorbell_cost);
+            }
+            rec.queue_enqueue(&lane_station(id, lane_idx), now);
             rec.gauge_set(
                 "srpc.ring_occupancy",
                 &[("stream", &id.0.to_string())],
@@ -1200,33 +1380,33 @@ impl CronusSystem {
                 track,
                 format!("enqueue:{name}"),
                 "ring",
-                now - enqueue_cost,
+                now - (enqueue_cost + doorbell_cost),
                 now,
             );
         }
         Ok(())
     }
 
-    /// The executor loop: drains all pending requests (Sid → Rid),
-    /// dispatching each to its registered handler sequentially — "the
-    /// execution loop fetches RPC requests only when there are no executing
-    /// RPC, so all RPC calls are executed sequentially" (§IV-C).
+    /// The executor loop: drains the whole stream FIFO, dispatching each
+    /// request to its registered handler. Dispatch order is global enqueue
+    /// order; execution overlaps across lane workers on the virtual clock.
     fn drain(&mut self, id: StreamId) -> Result<(), SrpcError> {
-        while self.drain_one(id)? {}
+        while self.drain_one(id)?.is_some() {}
         Ok(())
     }
 
-    /// Executes the oldest pending request, if any. Returns whether one ran.
+    /// Executes the oldest pending request, if any. Returns the lane it
+    /// occupied and the virtual time its execution finished.
     ///
     /// Re-establishes the drained request's id as the ambient request for
     /// the duration of the dispatch, so handler-side spans (device DMA,
     /// kernels, recovery on a trap) are attributed to the request that
     /// caused them; the previous ambient request is restored afterwards.
-    fn drain_one(&mut self, id: StreamId) -> Result<bool, SrpcError> {
+    fn drain_one(&mut self, id: StreamId) -> Result<Option<Drained>, SrpcError> {
         let req = self
             .streams
             .get(&id)
-            .and_then(|s| s.pending_reqs.front().copied());
+            .and_then(|s| s.pending.front().map(|p| p.req));
         let prev = self.spm.recorder().and_then(|r| r.current_req());
         self.set_current_req(req);
         let result = self.drain_one_inner(id);
@@ -1234,133 +1414,198 @@ impl CronusSystem {
         result
     }
 
-    fn drain_one_inner(&mut self, id: StreamId) -> Result<bool, SrpcError> {
+    fn drain_one_inner(&mut self, id: StreamId) -> Result<Option<Drained>, SrpcError> {
+        let (callee, callee_va, lane_idx, slot_idx, slot_off) = {
+            let s = self.stream_ref(id)?;
+            let Some(p) = s.pending.front() else {
+                return Ok(None);
+            };
+            (
+                s.callee,
+                s.callee_va,
+                p.lane,
+                p.slot,
+                s.layout.request_slot(p.lane, p.slot),
+            )
+        };
+        self.injection_point(id, SrpcPhase::Dispatch, lane_idx, slot_idx);
+
+        // Fetch + decode the request on the callee side.
+        let mut slot = vec![0u8; crate::ring::SLOT_SIZE];
         {
-            let (callee, callee_va, sid, slot_off) = {
-                let s = self.stream(id)?;
-                if s.sid >= s.rid {
-                    return Ok(false);
-                }
-                (s.callee, s.callee_va, s.sid, s.layout.request_slot(s.sid))
-            };
-            self.injection_point(id, SrpcPhase::Dispatch, sid);
-
-            // Fetch + decode the request on the callee side.
-            let mut slot = vec![0u8; crate::ring::SLOT_SIZE];
+            let (mos, machine) = self.spm.mos_and_machine(callee.0)?;
+            if let Err(e) = mos.enclave_read(machine, callee.1, callee_va.add(slot_off), &mut slot)
             {
-                let (mos, machine) = self.spm.mos_and_machine(callee.0)?;
-                if let Err(e) =
-                    mos.enclave_read(machine, callee.1, callee_va.add(slot_off), &mut slot)
-                {
-                    return Err(self.stream_fault(id, callee.0, e));
-                }
-            }
-            let request = decode_request(&slot)?;
-            self.spm
-                .machine_mut()
-                .record(EventKind::RpcDispatch { stream: id.0 });
-
-            // The window where device DMA pulls the operands in.
-            self.injection_point(id, SrpcPhase::DmaIn, sid);
-
-            // Execute.
-            let target = EnclaveRef {
-                asid: callee.0,
-                eid: callee.1,
-            };
-            let outcome = self.run_handler(target, &request.name, &request.payload);
-            self.injection_point(id, SrpcPhase::Kernel, sid);
-            let (status, result_bytes, exec_time) = match outcome {
-                Ok((bytes, t)) => (ResultStatus::Ok, bytes, t),
-                Err(SrpcError::NoHandler(n)) => {
-                    // NoHandler crosses the ring under its own kind tag so
-                    // the caller can reconstruct `SrpcError::NoHandler`.
-                    let mut wire = vec![FaultKind::NoHandler.as_tag()];
-                    wire.extend_from_slice(n.as_bytes());
-                    (ResultStatus::Err, wire, SimNs::ZERO)
-                }
-                Err(SrpcError::Handler(e)) => (ResultStatus::Err, e.encode_wire(), SimNs::ZERO),
-                Err(other) => return Err(other),
-            };
-
-            // Write the result and bump Sid.
-            let result_slot = encode_result(status, &result_bytes)?;
-            let result_off = {
-                let s = self.stream(id)?;
-                s.layout.result_slot(sid)
-            };
-            {
-                let (mos, machine) = self.spm.mos_and_machine(callee.0)?;
-                let write = mos
-                    .enclave_write(machine, callee.1, callee_va.add(result_off), &result_slot)
-                    .and_then(|()| {
-                        mos.enclave_write(
-                            machine,
-                            callee.1,
-                            callee_va.add(SID_OFFSET),
-                            &(sid + 1).to_le_bytes(),
-                        )
-                    });
-                if let Err(e) = write {
-                    return Err(self.stream_fault(id, callee.0, e));
-                }
-            }
-            self.injection_point(id, SrpcPhase::ResultWrite, sid);
-
-            // Service the device's completion interrupts raised by the
-            // handler (the mOS HAL's ISR).
-            let serviced = self
-                .spm
-                .mos_mut(callee.0)
-                .map(|mos| mos.hal_mut().service_irqs())
-                .unwrap_or(0);
-            if serviced > 0 {
-                self.spm
-                    .machine_mut()
-                    .record(EventKind::DeviceIrq { count: serviced });
-            }
-
-            let dequeue_cost = self.spm.machine().cost().srpc_dequeue;
-            let s = self.streams.get_mut(&id).expect("checked");
-            let enq_t = s.pending_enqueue_times.pop_front().unwrap_or(SimNs::ZERO);
-            s.pending_reqs.pop_front();
-            // The executor starts this request when both it and the request
-            // are ready; the gap from enqueue is the dispatch latency.
-            let started = s.executor_clock.now().max(enq_t);
-            s.executor_clock.advance_to(enq_t);
-            s.executor_clock.advance(dequeue_cost + exec_time);
-            s.sid += 1;
-            s.stats.result_bytes += result_bytes.len() as u64;
-            let occupancy = (s.rid - s.sid) as i64;
-            if let Some(rec) = self.spm.recorder() {
-                let stream_lbl = id.0.to_string();
-                rec.observe(
-                    "srpc.enqueue_to_dispatch",
-                    &[("stream", &stream_lbl)],
-                    started - enq_t,
-                );
-                rec.gauge_set("srpc.ring_occupancy", &[("stream", &stream_lbl)], occupancy);
-                rec.charge_detail(TimeCategory::Ring, "dequeue", dequeue_cost);
-                rec.charge_detail(TimeCategory::Kernel, &request.name, exec_time);
-                let track = rec.track(&format!("stream:{}", id.0));
-                let finished = started + dequeue_cost + exec_time;
-                let call = rec.begin_span(track, request.name.clone(), "srpc", started);
-                rec.complete_span(track, "exec", "kernel", started + dequeue_cost, finished);
-                rec.end_span(track, call, finished);
-                rec.observe(
-                    "srpc.request_latency",
-                    &[("stream", &stream_lbl)],
-                    finished - enq_t,
-                );
-                rec.queue_dequeue(
-                    &format!("srpc.ring:{}", id.0),
-                    finished,
-                    started - enq_t,
-                    dequeue_cost + exec_time,
-                );
+                return Err(self.stream_fault(id, callee.0, e));
             }
         }
-        Ok(true)
+        let request = match decode_slot_request(&slot)? {
+            SlotRequest::Inline(r) => r,
+            SlotRequest::Grant { name, grant } => {
+                // Resolve the grant from the arena on the callee side: the
+                // pages are already in the callee's stage-1, so this is the
+                // zero-copy read the descriptor promised.
+                let arena_va = self
+                    .stream_ref(id)?
+                    .arena
+                    .as_ref()
+                    .map(|a| a.callee_va)
+                    .ok_or(SrpcError::Codec(crate::ring::CodecError::Corrupt))?;
+                let mut payload = vec![0u8; grant.len as usize];
+                {
+                    let (mos, machine) = self.spm.mos_and_machine(callee.0)?;
+                    if let Err(e) = mos.enclave_read(
+                        machine,
+                        callee.1,
+                        arena_va.add(grant.offset),
+                        &mut payload,
+                    ) {
+                        return Err(self.stream_fault(id, callee.0, e));
+                    }
+                }
+                Request { name, payload }
+            }
+        };
+        self.spm
+            .machine_mut()
+            .record(EventKind::RpcDispatch { stream: id.0 });
+
+        // The window where device DMA pulls the operands in.
+        self.injection_point(id, SrpcPhase::DmaIn, lane_idx, slot_idx);
+
+        // Execute.
+        let target = EnclaveRef {
+            asid: callee.0,
+            eid: callee.1,
+        };
+        let outcome = self.run_handler(target, &request.name, &request.payload);
+        self.injection_point(id, SrpcPhase::Kernel, lane_idx, slot_idx);
+        let (status, result_bytes, exec_time) = match outcome {
+            Ok((bytes, t)) => (ResultStatus::Ok, bytes, t),
+            Err(SrpcError::NoHandler(n)) => {
+                // NoHandler crosses the ring under its own kind tag so
+                // the caller can reconstruct `SrpcError::NoHandler`.
+                let mut wire = vec![FaultKind::NoHandler.as_tag()];
+                wire.extend_from_slice(n.as_bytes());
+                (ResultStatus::Err, wire, SimNs::ZERO)
+            }
+            Err(SrpcError::Handler(e)) => (ResultStatus::Err, e.encode_wire(), SimNs::ZERO),
+            Err(other) => return Err(other),
+        };
+
+        // Write the result and bump the lane's Sid.
+        let result_slot = encode_result(status, &result_bytes)?;
+        let (result_off, sid_off, lane_sid) = {
+            let s = self.stream_ref(id)?;
+            (
+                s.layout.result_slot(lane_idx, slot_idx),
+                s.layout.sid_offset(lane_idx),
+                s.lanes[lane_idx].sid,
+            )
+        };
+        {
+            let (mos, machine) = self.spm.mos_and_machine(callee.0)?;
+            let write = mos
+                .enclave_write(machine, callee.1, callee_va.add(result_off), &result_slot)
+                .and_then(|()| {
+                    mos.enclave_write(
+                        machine,
+                        callee.1,
+                        callee_va.add(sid_off),
+                        &(lane_sid + 1).to_le_bytes(),
+                    )
+                });
+            if let Err(e) = write {
+                return Err(self.stream_fault(id, callee.0, e));
+            }
+        }
+        self.injection_point(id, SrpcPhase::ResultWrite, lane_idx, slot_idx);
+
+        // Service the device's completion interrupts raised by the
+        // handler (the mOS HAL's ISR).
+        let serviced = self
+            .spm
+            .mos_mut(callee.0)
+            .map(|mos| mos.hal_mut().service_irqs())
+            .unwrap_or(0);
+        if serviced > 0 {
+            self.spm
+                .machine_mut()
+                .record(EventKind::DeviceIrq { count: serviced });
+        }
+
+        let dequeue_cost = self.spm.machine().cost().srpc_dequeue;
+        let s = self.streams.get_mut(&id).expect("checked");
+        let pending = s.pending.pop_front().expect("checked front above");
+        let enq_t = pending.enqueued_at;
+        // Work stealing: the earliest-available lane worker takes the
+        // stream head even when the request sits in another lane's ring,
+        // so one slow lane never serializes the stream.
+        let worker = s
+            .lanes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.executor_clock.now())
+            .map(|(i, _)| i)
+            .expect("streams have at least one lane");
+        if worker != lane_idx {
+            s.stats.steals += 1;
+        }
+        // The worker starts this request when both it and the request are
+        // ready; the gap from enqueue is the dispatch latency.
+        let wclock = &mut s.lanes[worker].executor_clock;
+        let started = wclock.now().max(enq_t);
+        wclock.advance_to(enq_t);
+        wclock.advance(dequeue_cost + exec_time);
+        let finished = started + dequeue_cost + exec_time;
+        s.lanes[lane_idx].sid += 1;
+        s.executed += 1;
+        if s.pending.is_empty() {
+            // The batch is fully drained; the next enqueue rings again.
+            s.doorbell_pending = false;
+        }
+        s.stats.result_bytes += result_bytes.len() as u64;
+        let callee_asid = s.callee.0;
+        let occupancy = s.backlog() as i64;
+        self.dispatcher.note_complete(callee_asid);
+        if let Some(rec) = self.spm.recorder() {
+            let stream_lbl = id.0.to_string();
+            rec.observe(
+                "srpc.enqueue_to_dispatch",
+                &[("stream", &stream_lbl)],
+                started - enq_t,
+            );
+            rec.gauge_set("srpc.ring_occupancy", &[("stream", &stream_lbl)], occupancy);
+            rec.charge_detail(TimeCategory::Ring, "dequeue", dequeue_cost);
+            rec.charge_detail(TimeCategory::Kernel, &request.name, exec_time);
+            let track = rec.track(&format!("stream:{}", id.0));
+            // Time between enqueue and the worker picking the request up is
+            // executor *backlog* (the device was busy with earlier work),
+            // not a protocol queue bottleneck: cover it with its own span so
+            // the causal report attributes it as "backlog" instead of
+            // falling through to the coarse "queue" gap category.
+            if started > enq_t {
+                rec.complete_span(track, "await-executor", "backlog", enq_t, started);
+            }
+            let call = rec.begin_span(track, request.name.clone(), "srpc", started);
+            rec.complete_span(track, "exec", "kernel", started + dequeue_cost, finished);
+            rec.end_span(track, call, finished);
+            rec.observe(
+                "srpc.request_latency",
+                &[("stream", &stream_lbl)],
+                finished - enq_t,
+            );
+            rec.queue_dequeue(
+                &lane_station(id, lane_idx),
+                finished,
+                started - enq_t,
+                dequeue_cost + exec_time,
+            );
+        }
+        Ok(Some(Drained {
+            lane: lane_idx,
+            finished,
+        }))
     }
 
     /// Builds an mECall against `id`: the single entry point for issuing
@@ -1417,7 +1662,7 @@ impl CronusSystem {
         // Replay is only safe for mECalls the callee's manifest declares
         // idempotent; reject the policy up front otherwise.
         let idempotent = {
-            let s = self.stream(id)?;
+            let s = self.stream_ref(id)?;
             let callee = s.callee;
             self.spm
                 .mos(callee.0)?
@@ -1440,7 +1685,7 @@ impl CronusSystem {
         for attempt in 0..attempts {
             let backoff = policy.backoff_before(attempt);
             if backoff > SimNs::ZERO {
-                let caller_eid = self.stream(id)?.caller.1;
+                let caller_eid = self.stream_ref(id)?.caller.1;
                 self.clock_mut(caller_eid).advance(backoff);
                 if let Some(rec) = self.spm.recorder() {
                     rec.charge_detail(TimeCategory::Ring, "retry_backoff", backoff);
@@ -1487,29 +1732,40 @@ impl CronusSystem {
         deadline_override: Option<SimNs>,
     ) -> Result<Vec<u8>, SrpcError> {
         let (caller_eid_pre, stream_deadline) = {
-            let s = self.stream(id)?;
+            let s = self.stream_ref(id)?;
             (s.caller.1, s.deadline)
         };
         let started = self.clock_mut(caller_eid_pre).now();
         self.enqueue(id, name, payload, req)?;
-        let result_index = self.stream(id)?.rid - 1;
-        self.drain(id)?;
+        // Our call entered the stream FIFO last; remember which lane slot
+        // it landed in so the result read targets the right ring.
+        let (result_lane, result_slot) = {
+            let s = self.stream_ref(id)?;
+            let p = s.pending.back().expect("enqueue just pushed");
+            (p.lane, p.slot)
+        };
+        // Drain to empty — our request is the last one out.
+        let mut last_finished = None;
+        while let Some(d) = self.drain_one(id)? {
+            last_finished = Some(d.finished);
+        }
 
         // Synchronization point: the caller waits for the executor, plus
         // the shared-memory polling wakeup latency.
         let wakeup = self.spm.machine().cost().srpc_sync_wakeup;
-        let (caller, caller_va, result_off, executor_now) = {
-            let s = self.stream(id)?;
+        let (caller, caller_va, result_off) = {
+            let s = self.stream_ref(id)?;
             (
                 s.caller,
                 s.caller_va,
-                s.layout.result_slot(result_index),
-                s.executor_clock.now(),
+                s.layout.result_slot(result_lane, result_slot),
             )
         };
         let woke = {
             let c = self.clock_mut(caller.1);
-            c.advance_to(executor_now);
+            if let Some(f) = last_finished {
+                c.advance_to(f);
+            }
             c.advance(wakeup);
             c.now()
         };
@@ -1544,7 +1800,7 @@ impl CronusSystem {
             }
         }
 
-        self.injection_point(id, SrpcPhase::SyncWakeup, result_index);
+        self.injection_point(id, SrpcPhase::SyncWakeup, result_lane, result_slot);
 
         let mut slot = vec![0u8; crate::ring::RESULT_SLOT_SIZE];
         {
@@ -1576,39 +1832,53 @@ impl CronusSystem {
     /// sRPC errors; [`SrpcError::StreamCheckFailed`] on index divergence.
     pub fn sync(&mut self, id: StreamId) -> Result<(), SrpcError> {
         self.drain(id)?;
-        let sync_slot = self.stream(id)?.sid;
-        self.injection_point(id, SrpcPhase::SyncWakeup, sync_slot);
+        let sync_slot = self.stream_ref(id)?.lanes[0].sid;
+        self.injection_point(id, SrpcPhase::SyncWakeup, 0, sync_slot);
         let wakeup = self.spm.machine().cost().srpc_sync_wakeup;
-        let (caller, caller_va, executor_now, cached_rid, cached_sid) = {
-            let s = self.stream(id)?;
-            (s.caller, s.caller_va, s.executor_clock.now(), s.rid, s.sid)
+        let executor_now = self.executor_time(id)?;
+        let (caller, caller_va, lane_count) = {
+            let s = self.stream_ref(id)?;
+            (s.caller, s.caller_va, s.lanes.len())
         };
 
-        // streamCheck against the shared words, not just cached state.
-        let mut rid_buf = [0u8; 8];
-        let mut sid_buf = [0u8; 8];
-        {
-            let (mos, machine) = self.spm.mos_and_machine(caller.0)?;
-            let read = mos
-                .enclave_read(machine, caller.1, caller_va.add(RID_OFFSET), &mut rid_buf)
-                .and_then(|()| {
-                    mos.enclave_read(machine, caller.1, caller_va.add(SID_OFFSET), &mut sid_buf)
+        // streamCheck against each lane's shared words, not just cached
+        // state: every lane must be fully drained (Rid == Sid) and agree
+        // with the caller's cached indices.
+        for lane in 0..lane_count {
+            let (rid_off, sid_off, cached_rid, cached_sid) = {
+                let s = self.stream_ref(id)?;
+                (
+                    s.layout.rid_offset(lane),
+                    s.layout.sid_offset(lane),
+                    s.lanes[lane].rid,
+                    s.lanes[lane].sid,
+                )
+            };
+            let mut rid_buf = [0u8; 8];
+            let mut sid_buf = [0u8; 8];
+            {
+                let (mos, machine) = self.spm.mos_and_machine(caller.0)?;
+                let read = mos
+                    .enclave_read(machine, caller.1, caller_va.add(rid_off), &mut rid_buf)
+                    .and_then(|()| {
+                        mos.enclave_read(machine, caller.1, caller_va.add(sid_off), &mut sid_buf)
+                    });
+                if let Err(e) = read {
+                    return Err(self.stream_fault(id, caller.0, e));
+                }
+            }
+            let shared_rid = u64::from_le_bytes(rid_buf);
+            let shared_sid = u64::from_le_bytes(sid_buf);
+            if shared_rid != shared_sid || shared_rid != cached_rid || shared_sid != cached_sid {
+                if let Some(rec) = self.spm.recorder() {
+                    rec.counter_add("srpc.stream_check_failures", &[], 1);
+                }
+                return Err(SrpcError::StreamCheckFailed {
+                    stream: id,
+                    rid: shared_rid,
+                    sid: shared_sid,
                 });
-            if let Err(e) = read {
-                return Err(self.stream_fault(id, caller.0, e));
             }
-        }
-        let shared_rid = u64::from_le_bytes(rid_buf);
-        let shared_sid = u64::from_le_bytes(sid_buf);
-        if shared_rid != shared_sid || shared_rid != cached_rid || shared_sid != cached_sid {
-            if let Some(rec) = self.spm.recorder() {
-                rec.counter_add("srpc.stream_check_failures", &[], 1);
-            }
-            return Err(SrpcError::StreamCheckFailed {
-                stream: id,
-                rid: shared_rid,
-                sid: shared_sid,
-            });
         }
 
         {
@@ -1637,7 +1907,7 @@ impl CronusSystem {
     pub fn close_stream(&mut self, id: StreamId) -> Result<(), SrpcError> {
         self.sync(id)?;
         let (callee, callee_va) = {
-            let s = self.stream(id)?;
+            let s = self.stream_ref(id)?;
             (s.callee, s.callee_va)
         };
         let (mos, machine) = self.spm.mos_and_machine(callee.0)?;
@@ -1688,21 +1958,22 @@ impl CronusSystem {
         Ok(stats)
     }
 
-    /// Re-establishes service after a peer failure: discards the old
-    /// (typically quarantined) stream, reclaims its poisoned share pages,
-    /// and opens a fresh stream from the same caller to `callee` — usually
-    /// a fresh enclave on the recovered partition. The old stream's default
-    /// deadline carries over.
+    /// Re-establishes service after a peer failure (the commit path behind
+    /// [`crate::stream::StreamBuilder::reopen`]): discards the old
+    /// (typically quarantined) stream, reclaims its poisoned ring and arena
+    /// pages, and opens a fresh stream from the same caller to `callee` —
+    /// usually a fresh enclave on the recovered partition. The old stream's
+    /// default deadline carries over unless the builder set a new one.
     ///
     /// # Errors
     ///
     /// [`SrpcError::UnknownStream`] for unknown streams, plus anything
-    /// [`CronusSystem::open_stream`] can raise.
-    pub fn reopen_stream(
+    /// stream opening can raise.
+    pub(crate) fn reopen_stream_config(
         &mut self,
         old: StreamId,
         callee: EnclaveRef,
-        pages: usize,
+        mut cfg: StreamConfig,
     ) -> Result<StreamId, SrpcError> {
         let s = self
             .streams
@@ -1712,24 +1983,29 @@ impl CronusSystem {
             asid: s.caller.0,
             eid: s.caller.1,
         };
-        let deadline = s.deadline;
-        // Reclaim the old ring's pages: for a quarantined stream they were
-        // poisoned by failover and scrubbed during partition clear, so this
-        // returns them to the allocator; for a healthy stream it is a no-op.
+        cfg.deadline = cfg.deadline.or(s.deadline);
+        let old_lanes = s.lanes.len();
+        // Reclaim the old ring's (and arena's) pages: for a quarantined
+        // stream they were poisoned by failover and scrubbed during
+        // partition clear, so this returns them to the allocator; for a
+        // healthy stream it is a no-op.
         let _ = self.spm.reclaim_share(s.share);
-        let new = self.open_stream(caller, callee, pages)?;
-        if let Some(ns) = self.streams.get_mut(&new) {
-            ns.deadline = deadline;
+        if let Some(arena) = &s.arena {
+            let _ = self.spm.reclaim_share(arena.share);
         }
+        let new = self.open_stream_config(caller, callee, cfg)?;
         let at = self.ledger_now();
         if let Some(rec) = self.spm.recorder() {
             rec.counter_add("srpc.streams_reopened", &[], 1);
             rec.with(|r| r.spans.instant("stream-reopened", at));
-            // The old ring is abandoned along with any requests still queued
-            // on it (a faulted drain can leave one behind without going
-            // through quarantine). Flush its station so depth returns to 0
-            // and the Little check knows the residuals were discarded.
-            let dropped = rec.queue_flush(&format!("srpc.ring:{}", old.0), at);
+            // The old rings are abandoned along with any requests still
+            // queued on them (a faulted drain can leave one behind without
+            // going through quarantine). Flush every lane's station so depth
+            // returns to 0 and the Little check knows the residuals were
+            // discarded.
+            let dropped: u64 = (0..old_lanes)
+                .map(|lane| rec.queue_flush(&lane_station(old, lane), at))
+                .sum();
             if dropped > 0 {
                 rec.counter_add("srpc.requests_flushed", &[], dropped);
             }
@@ -1762,7 +2038,13 @@ impl CronusSystem {
                     .get(&s.caller.1)
                     .map(|c| c.now())
                     .unwrap_or(SimNs::ZERO);
-                let lag = caller_now.saturating_sub(s.executor_clock.now());
+                let executor_now = s
+                    .lanes
+                    .iter()
+                    .map(|l| l.executor_clock.now())
+                    .max()
+                    .unwrap_or(SimNs::ZERO);
+                let lag = caller_now.saturating_sub(executor_now);
                 (lag > bound).then_some(StallWarning {
                     stream: s.id,
                     backlog: s.backlog(),
@@ -1806,7 +2088,7 @@ impl CronusSystem {
     /// `phase` on `id`. The action mutates simulated machine state and lets
     /// the *normal* pipeline surface the resulting typed fault — the
     /// injector itself never fabricates errors.
-    fn injection_point(&mut self, id: StreamId, phase: SrpcPhase, slot_index: u64) {
+    fn injection_point(&mut self, id: StreamId, phase: SrpcPhase, lane: usize, slot_index: u64) {
         let Some(armed) = self.injector.take_matching(phase, id) else {
             return;
         };
@@ -1816,7 +2098,7 @@ impl CronusSystem {
             .and_then(|s| self.clocks.get(&s.caller.1))
             .map(|c| c.now())
             .unwrap_or(SimNs::ZERO);
-        self.apply_fault_action(id, armed.action, slot_index);
+        self.apply_fault_action(id, armed.action, lane, slot_index);
         self.injector.fired.push(FiredFault {
             fault: armed,
             stream: id,
@@ -1851,7 +2133,13 @@ impl CronusSystem {
         );
     }
 
-    fn apply_fault_action(&mut self, id: StreamId, action: FaultAction, slot_index: u64) {
+    fn apply_fault_action(
+        &mut self,
+        id: StreamId,
+        action: FaultAction,
+        lane: usize,
+        slot_index: u64,
+    ) {
         let Some((caller_asid, callee_asid, layout, share)) = self
             .streams
             .get(&id)
@@ -1867,27 +2155,27 @@ impl CronusSystem {
                 let _ = self.inject_partition_failure(caller_asid);
             }
             FaultAction::CorruptRequestSlot { seed } => {
-                let off = layout.request_slot(slot_index);
+                let off = layout.request_slot(lane, slot_index);
                 self.scribble_ring(share, off, crate::ring::SLOT_SIZE, Some(seed));
             }
             FaultAction::CorruptResultSlot { seed } => {
-                let off = layout.result_slot(slot_index);
+                let off = layout.result_slot(lane, slot_index);
                 self.scribble_ring(share, off, crate::ring::RESULT_SLOT_SIZE, Some(seed));
             }
             FaultAction::ZeroRequestSlot => {
-                let off = layout.request_slot(slot_index);
+                let off = layout.request_slot(lane, slot_index);
                 self.scribble_ring(share, off, crate::ring::SLOT_SIZE, None);
             }
             FaultAction::ZeroResultSlot => {
-                let off = layout.result_slot(slot_index);
+                let off = layout.result_slot(lane, slot_index);
                 self.scribble_ring(share, off, crate::ring::RESULT_SLOT_SIZE, None);
             }
             FaultAction::CorruptRingHeader { seed } => {
                 let mut rng = SimRng::new(seed);
                 let bogus_rid = rng.next_u64().to_le_bytes();
                 let bogus_sid = rng.next_u64().to_le_bytes();
-                self.write_ring_phys(share, RID_OFFSET, &bogus_rid);
-                self.write_ring_phys(share, SID_OFFSET, &bogus_sid);
+                self.write_ring_phys(share, layout.rid_offset(lane), &bogus_rid);
+                self.write_ring_phys(share, layout.sid_offset(lane), &bogus_sid);
             }
             FaultAction::RevokeStage2 => {
                 if let Ok(pages) = self.spm.share_pages(share).map(<[u64]>::to_vec) {
@@ -1909,7 +2197,10 @@ impl CronusSystem {
             }
             FaultAction::DelayCompletion(d) => {
                 if let Some(s) = self.streams.get_mut(&id) {
-                    s.executor_clock.advance(d);
+                    // A stalled executor stalls every lane worker at once.
+                    for l in &mut s.lanes {
+                        l.executor_clock.advance(d);
+                    }
                 }
             }
         }
@@ -1956,6 +2247,18 @@ impl CronusSystem {
             idx += chunk;
         }
     }
+}
+
+/// Queue-station name for one ring lane: `srpc.ring:<stream>.<lane>`.
+fn lane_station(id: StreamId, lane: usize) -> String {
+    format!("srpc.ring:{}.{}", id.0, lane)
+}
+
+/// What one `drain_one` step executed: the lane whose slot it freed and the
+/// virtual time its worker finished.
+struct Drained {
+    lane: usize,
+    finished: SimNs,
 }
 
 /// Decodes the error payload of a result slot written by the executor: a
@@ -2025,7 +2328,7 @@ mod tests {
             .unwrap();
         sys.register_handler(gpu, "launch", echo_handler(SimNs::from_micros(50)));
         sys.register_handler(gpu, "memcpy_d2h", echo_handler(SimNs::from_micros(10)));
-        let stream = sys.open_stream(cpu, gpu, DEFAULT_RING_PAGES).unwrap();
+        let stream = sys.stream(cpu, gpu).open().unwrap();
         (cpu, gpu, stream)
     }
 
@@ -2065,9 +2368,12 @@ mod tests {
         );
         sys.sync(stream).unwrap();
         let t2 = sys.enclave_time(cpu);
+        // 100 kernels at 50us spread over 16 lane workers: the sync still
+        // waits for real executor time, just 16-way overlapped.
         assert!(
-            t2 - t1 >= SimNs::from_millis(4),
-            "sync waits for ~100x50us of work"
+            t2 - t1 >= SimNs::from_micros(250),
+            "sync waits for the overlapped kernel work: {}",
+            t2 - t1
         );
     }
 
@@ -2114,7 +2420,7 @@ mod tests {
             .unwrap();
         // cpu2 did not create gpu; it may not call into it.
         assert_eq!(
-            sys.open_stream(cpu2, gpu, DEFAULT_RING_PAGES).unwrap_err(),
+            sys.stream(cpu2, gpu).open().unwrap_err(),
             SrpcError::NotOwner
         );
     }
@@ -2208,7 +2514,7 @@ mod tests {
             .create_enclave(Actor::Enclave(cpu), gpu_manifest(), &BTreeMap::new())
             .unwrap();
         sys.register_handler(gpu2, "launch", echo_handler(SimNs::from_micros(50)));
-        let s2 = sys.open_stream(cpu, gpu2, DEFAULT_RING_PAGES).unwrap();
+        let s2 = sys.stream(cpu, gpu2).open().unwrap();
         sys.call(s2, "launch").payload(&[1]).start().unwrap();
         sys.sync(s2).unwrap();
     }
@@ -2217,7 +2523,7 @@ mod tests {
     fn ring_wraps_and_stalls_when_full() {
         let mut sys = CronusSystem::boot(config());
         let (_cpu, _gpu, stream) = setup_pair(&mut sys);
-        let slots = sys.streams.get(&stream).unwrap().layout.slots;
+        let slots = sys.streams.get(&stream).unwrap().layout.total_slots();
         for i in 0..(slots as usize * 2 + 3) {
             sys.call(stream, "launch")
                 .payload(&[i as u8])
@@ -2278,7 +2584,7 @@ mod tests {
             let (cpu, gpu, s1) = setup_pair(&mut sys);
             (cpu, gpu, s1)
         };
-        let s2 = sys.open_stream(cpu, gpu, DEFAULT_RING_PAGES).unwrap();
+        let s2 = sys.stream(cpu, gpu).open().unwrap();
         assert_ne!(s1, s2);
         // Both streams run independently against the same callee.
         for i in 0..20u8 {
@@ -2475,7 +2781,7 @@ mod tests {
                 }
             }),
         );
-        let stream = sys.open_stream(cpu, gpu, DEFAULT_RING_PAGES).unwrap();
+        let stream = sys.stream(cpu, gpu).open().unwrap();
         let t0 = sys.enclave_time(cpu);
         let out = sys
             .call(stream, "fetch")
@@ -2506,7 +2812,7 @@ mod tests {
             "fetch",
             Box::new(|_, _| Err(CronusError::app("permanent"))),
         );
-        let s2 = sys2.open_stream(cpu2, gpu2, DEFAULT_RING_PAGES).unwrap();
+        let s2 = sys2.stream(cpu2, gpu2).open().unwrap();
         let err = sys2
             .call(s2, "fetch")
             .retry(RetryPolicy::attempts(2))
@@ -2561,7 +2867,7 @@ mod tests {
             .create_enclave(Actor::Enclave(cpu), gpu_manifest(), &BTreeMap::new())
             .unwrap();
         sys.register_handler(gpu2, "memcpy_d2h", echo_handler(SimNs::from_micros(10)));
-        let s2 = sys.reopen_stream(stream, gpu2, DEFAULT_RING_PAGES).unwrap();
+        let s2 = sys.stream(cpu, gpu2).reopen(stream).unwrap();
         assert_ne!(s2, stream);
         // The old stream handle is gone; the deadline carried over.
         assert!(matches!(

@@ -73,8 +73,8 @@ impl PcieBus {
     }
 
     /// Installs a flight recorder: every DMA transfer then emits a span on
-    /// the `bus` track (stamped with the ambient request id) plus byte
-    /// counters, and the transfer queue reports to the queue observatory.
+    /// the `bus` track plus byte counters, and the transfer queue reports
+    /// to the queue observatory.
     pub fn set_recorder(&mut self, rec: FlightRecorder) {
         // One serial transfer engine; nothing waits in the simulated model,
         // so the station's utilization is the interesting USE signal.
@@ -87,9 +87,16 @@ impl PcieBus {
         if let Some(rec) = &self.recorder {
             rec.counter_add("bus.dma_bytes", &[("dir", dir)], bytes);
             rec.counter_add("bus.dma_transfers", &[("dir", dir)], 1);
+            // Device-timebase span, not attributed to the ambient request:
+            // the sRPC layer covers the request's transfer time on the
+            // stream/enclave tracks, and mixing the bus timebase into the
+            // request window would surface as a phantom queue gap.
             let track = rec.track("bus");
             let start = rec.total_elapsed();
+            let req = rec.current_req();
+            rec.set_current_req(None);
             rec.complete_span(track, format!("{dir}:{device}"), "dma", start, start + t);
+            rec.set_current_req(req);
             rec.queue_enqueue("bus.dma", start);
             rec.queue_dequeue("bus.dma", start + t, SimNs::ZERO, t);
         }

@@ -514,10 +514,18 @@ impl GpuDevice {
             let pct = (sms_used * active as f64 / sm_count as f64 * 100.0).min(100.0);
             rec.gauge_set("gpu.sm_occupancy_pct", &[], pct as i64);
             // Span on the device track (time profiling stays in the sRPC
-            // layer, which charges the handler's execution time).
+            // layer, which charges the handler's execution time). The span
+            // is deliberately not attributed to the ambient request: it uses
+            // the device's own timebase, and the sRPC layer already covers
+            // the request's kernel phase on the stream track — attaching
+            // this one too would stretch the request window with a
+            // clock-skew gap the causal report would misread as queueing.
             let track = rec.track(&format!("gpu:{}", self.id.as_u32()));
             let start = rec.total_elapsed();
+            let req = rec.current_req();
+            rec.set_current_req(None);
             rec.complete_span(track, kernel.to_string(), "kernel", start, start + t);
+            rec.set_current_req(req);
             // The completion IRQ is raised when the kernel finishes; it sits
             // queued until the driver's ISR (take_irqs) services it.
             let raised = start + t;

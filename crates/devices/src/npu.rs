@@ -405,8 +405,13 @@ impl NpuDevice {
             rec.counter_add("npu.programs_run", &[], 1);
             rec.counter_add("npu.insns_run", &[], program.insns.len() as u64);
             rec.observe("npu.program_ns", &[], total);
+            // Device-timebase span, not attributed to the ambient request
+            // (the sRPC layer covers the request's kernel phase on the
+            // stream track; see the GPU device for the rationale).
             let track = rec.track(&format!("npu:{}", self.id.as_u32()));
             let start = rec.total_elapsed();
+            let req = rec.current_req();
+            rec.set_current_req(None);
             rec.complete_span(
                 track,
                 "vta-program".to_string(),
@@ -414,6 +419,7 @@ impl NpuDevice {
                 start,
                 start + total,
             );
+            rec.set_current_req(req);
             // Completion IRQ raised when the program finishes; queued until
             // the driver's ISR services it.
             let raised = start + total;

@@ -696,6 +696,22 @@ impl QueueObservatory {
     }
 }
 
+/// Aggregated view of one stream's ring lanes (`srpc.ring:<stream>.*`).
+#[derive(Clone, Debug)]
+pub struct StreamUse {
+    /// The stream's station prefix, e.g. `srpc.ring:1`.
+    pub stream: String,
+    /// Number of active lane stations.
+    pub lanes: usize,
+    /// Total wait summed across the lanes.
+    pub wait_total_ns: u128,
+    /// Worst per-lane p99 wait.
+    pub max_p99_wait_ns: u64,
+    /// Sum of per-lane utilizations (can exceed 1: the lanes are
+    /// independent servers).
+    pub utilization_sum: f64,
+}
+
 /// Ranked bottleneck-attribution report over every active queue.
 #[derive(Clone, Debug)]
 pub struct QueueReport {
@@ -710,6 +726,55 @@ impl QueueReport {
     /// The queue responsible for the most total waiting, if any was active.
     pub fn bounding_queue(&self) -> Option<&QueueUse> {
         self.queues.first()
+    }
+
+    /// Per-stream aggregates of the multi-lane ring stations
+    /// (`srpc.ring:<stream>.<lane>`), ranked like the stations: total wait
+    /// first, then aggregate utilization, then name. Streams whose waits
+    /// all collapsed to zero still rank by how busy their lanes were, so
+    /// the report can name the stream that bounds a run even when nothing
+    /// queued on it.
+    pub fn streams(&self) -> Vec<StreamUse> {
+        let mut by_stream: std::collections::BTreeMap<String, StreamUse> =
+            std::collections::BTreeMap::new();
+        for q in &self.queues {
+            if q.kind != QueueKind::Ring {
+                continue;
+            }
+            let Some((stream, lane)) = q.name.rsplit_once('.') else {
+                continue;
+            };
+            if lane.parse::<usize>().is_err() || !stream.contains(':') {
+                continue;
+            }
+            let e = by_stream
+                .entry(stream.to_string())
+                .or_insert_with(|| StreamUse {
+                    stream: stream.to_string(),
+                    lanes: 0,
+                    wait_total_ns: 0,
+                    max_p99_wait_ns: 0,
+                    utilization_sum: 0.0,
+                });
+            e.lanes += 1;
+            e.wait_total_ns += q.wait_total_ns;
+            e.max_p99_wait_ns = e.max_p99_wait_ns.max(q.p99_wait_ns);
+            e.utilization_sum += q.utilization;
+        }
+        let mut out: Vec<StreamUse> = by_stream.into_values().collect();
+        out.sort_by(|a, b| {
+            b.wait_total_ns
+                .cmp(&a.wait_total_ns)
+                .then_with(|| b.utilization_sum.total_cmp(&a.utilization_sum))
+                .then_with(|| a.stream.cmp(&b.stream))
+        });
+        out
+    }
+
+    /// The stream whose ring lanes bound the run (most total wait, busiest
+    /// lanes on a tie), if any stream station was active.
+    pub fn bounding_stream(&self) -> Option<StreamUse> {
+        self.streams().into_iter().next()
     }
 
     /// Whether every applicable Little's-law check passed.
@@ -774,6 +839,17 @@ impl QueueReport {
             None => {
                 let _ = writeln!(out, "bounding queue: none (no queue activity recorded)");
             }
+        }
+        if let Some(s) = self.bounding_stream() {
+            let _ = writeln!(
+                out,
+                "bounding stream: {} — {} lane(s), {} total wait, p99 lane wait {}, aggregate lane utilization {:.0}%",
+                s.stream,
+                s.lanes,
+                SimNs::from_nanos(s.wait_total_ns.min(u64::MAX as u128) as u64),
+                SimNs::from_nanos(s.max_p99_wait_ns),
+                s.utilization_sum * 100.0,
+            );
         }
         let _ = writeln!(
             out,

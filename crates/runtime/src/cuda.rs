@@ -144,7 +144,15 @@ impl CudaContext {
                 &BTreeMap::new(),
             )
             .map_err(CudaError::Setup)?;
-        let stream = sys.open_stream(cpu, gpu, opts.ring_pages)?;
+        // A device context models one in-order command queue (CUDA default-
+        // stream / VTA instruction-fetch semantics), so its sRPC stream is
+        // pinned to a single lane: commands must not overlap on the virtual
+        // clock. Multi-lane geometry is for independent service streams.
+        let stream = sys
+            .stream(cpu, gpu)
+            .rings(1)
+            .pages(opts.ring_pages)
+            .open()?;
 
         // Staging buffer: a second trusted shared region for bulk data.
         let (staging_share, staging_caller_va, staging_callee_va) = sys

@@ -249,7 +249,15 @@ impl VtaContext {
                 &BTreeMap::new(),
             )
             .map_err(VtaError::Setup)?;
-        let stream = sys.open_stream(cpu, npu, opts.ring_pages)?;
+        // A device context models one in-order command queue (CUDA default-
+        // stream / VTA instruction-fetch semantics), so its sRPC stream is
+        // pinned to a single lane: commands must not overlap on the virtual
+        // clock. Multi-lane geometry is for independent service streams.
+        let stream = sys
+            .stream(cpu, npu)
+            .rings(1)
+            .pages(opts.ring_pages)
+            .open()?;
 
         let (staging_share, staging_caller_va, staging_callee_va) = sys
             .spm_mut()

@@ -212,6 +212,10 @@ pub struct CostModel {
     /// Latency for the caller to observe the executor's progress at a
     /// synchronization point (shared-memory polling wakeup).
     pub srpc_sync_wakeup: SimNs,
+    /// Ringing the executor's doorbell (one MMIO store + consumer wakeup).
+    /// Paid once per enqueue *batch*: back-to-back enqueues behind an
+    /// already-pending doorbell coalesce onto the first ring.
+    pub srpc_doorbell: SimNs,
     /// Fixed cost of an encrypted RPC message (key schedule, MAC) — the
     /// HIX-TrustZone baseline pays this per call.
     pub encrypt_base: SimNs,
@@ -266,6 +270,7 @@ impl Default for CostModel {
             srpc_dequeue: SimNs::from_nanos(150),
             srpc_stream_setup: SimNs::from_micros(25),
             srpc_sync_wakeup: SimNs::from_nanos(800),
+            srpc_doorbell: SimNs::from_nanos(60),
             encrypt_base: SimNs::from_nanos(600),
             encrypt_per_byte_ns: 0.35,
             hash_per_byte_ns: 0.5,

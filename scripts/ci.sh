@@ -7,8 +7,12 @@
 # With --bench, also re-runs the gated figure binaries and compares their
 # fresh BENCH_*.json headline metrics against the committed repo-root
 # baselines, failing on any regression beyond the tolerance (default 10%,
-# override with BENCH_TOLERANCE_PCT). To accept a deliberate change, run
-# scripts/rebaseline.sh and commit the updated BENCH_*.json files.
+# override with BENCH_TOLERANCE_PCT). The gate additionally asserts that no
+# rebaselined figure reports meta bounding_category == "queue": the
+# multi-queue sRPC fast path keeps every figure off protocol queueing, and
+# a queue-bound baseline or fresh run fails the gate outright. To accept a
+# deliberate change, run scripts/rebaseline.sh and commit the updated
+# BENCH_*.json files.
 #
 # With --chaos, also runs the fault-injection smoke campaign (one injection
 # per sRPC phase; see FAULTS.md), failing if any scenario violates an
@@ -135,7 +139,7 @@ if [[ "$run_bench" -eq 1 ]]; then
   cargo run --offline --release -q -p cronus-bench --bin rpc_micro > /dev/null
   cargo run --offline --release -q -p cronus-bench --bin fig9 > /dev/null
 
-  echo "==> bench gate: compare against committed baselines"
+  echo "==> bench gate: compare against committed baselines (+ no figure queue-bound)"
   cargo run --offline --release -q -p cronus-bench --bin bench_gate
 fi
 

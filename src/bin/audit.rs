@@ -16,7 +16,7 @@ use std::process::ExitCode;
 
 use cronus::audit::{audit_system, run_lint, AuditReport, IsolationModel};
 use cronus::chaos::workload::{self, WorkloadKind};
-use cronus::core::{CronusSystem, DEFAULT_RING_PAGES};
+use cronus::core::CronusSystem;
 use cronus::sim::SimRng;
 
 /// Fixed payload seed: the auditor checks mapping state, not data paths,
@@ -185,7 +185,8 @@ fn failover_scenario(checkpoints: &mut Vec<Checkpoint>) {
 
     h.callee = workload::spawn_callee(&mut sys, kind, h.caller, h.dma);
     h.stream = sys
-        .reopen_stream(h.stream, h.callee, DEFAULT_RING_PAGES)
+        .stream(h.caller, h.callee)
+        .reopen(h.stream)
         .expect("reopen");
     let mut rng = SimRng::new(PAYLOAD_SEED);
     let payload = workload::request(kind, &mut rng);

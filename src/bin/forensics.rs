@@ -21,7 +21,7 @@
 use std::process::ExitCode;
 
 use cronus::chaos::{run_campaign, workload, InjectionPlan, WorkloadKind};
-use cronus::core::{ArmedFault, CronusSystem, FaultAction, SrpcPhase, DEFAULT_RING_PAGES};
+use cronus::core::{ArmedFault, CronusSystem, FaultAction, SrpcPhase};
 use cronus::forensics::{reconstruct, verify_completeness, verify_export, Timeline};
 use cronus::sim::{PagePerms, SimNs, SimRng};
 
@@ -170,7 +170,8 @@ fn run_failover(seed: u64) -> (Timeline, CronusSystem) {
     }
     h.callee = workload::spawn_callee(&mut sys, kind, h.caller, h.dma);
     h.stream = sys
-        .reopen_stream(h.stream, h.callee, DEFAULT_RING_PAGES)
+        .stream(h.caller, h.callee)
+        .reopen(h.stream)
         .expect("reopen");
     let payload = workload::request(kind, &mut rng);
     let out = sys

@@ -49,13 +49,14 @@ fn injected_delay_is_attributed_to_the_slowed_queue() {
     assert!(d.has_significant_deltas(), "500ms delay must be visible");
 
     // The fault strikes at dispatch on the CRONUS GPU stream, so the ring
-    // the suite queues on must be the top-ranked *queue* suspect...
+    // the suite queues on (lane 0 of its single-lane device stream)
+    // must be the top-ranked *queue* suspect...
     let top_queue = d
         .top_of_kind(AttributionKind::Queue)
         .expect("a queue suspect");
     assert_eq!(
         top_queue.subject,
-        "srpc.ring:1",
+        "srpc.ring:1.0",
         "wrong queue blamed: {}",
         d.verdict_text()
     );
@@ -75,13 +76,15 @@ fn injected_delay_is_attributed_to_the_slowed_queue() {
         top_queue.delta_ns,
     );
 
-    // The critical-path view must agree: the `queue` category grew most.
+    // The critical-path view must agree: a completion delay shows up as
+    // requests waiting behind the stalled executor, i.e. the `backlog`
+    // category grew most.
     let top_cat = d
         .top_of_kind(AttributionKind::Category)
         .expect("a category suspect");
     assert_eq!(
         top_cat.subject,
-        "queue",
+        "backlog",
         "wrong category blamed: {}",
         d.verdict_text()
     );
@@ -91,7 +94,7 @@ fn injected_delay_is_attributed_to_the_slowed_queue() {
     // injected stall.
     let top = d.top_attribution().expect("a top suspect");
     assert!(
-        top.subject == "srpc.ring:1" || top.subject == "queue",
+        top.subject == "srpc.ring:1.0" || top.subject == "backlog",
         "top suspect {} is neither view of the stall: {}",
         top.subject,
         d.verdict_text()
@@ -99,7 +102,7 @@ fn injected_delay_is_attributed_to_the_slowed_queue() {
 
     // The verdict names the guilty queue.
     let verdict = d.verdict_text();
-    assert!(verdict.contains("queue srpc.ring:1"), "{verdict}");
+    assert!(verdict.contains("queue srpc.ring:1.0"), "{verdict}");
 }
 
 #[test]

@@ -20,7 +20,6 @@ use cronus::audit::{
     IsolationModel,
 };
 use cronus::chaos::workload::{self, WorkloadKind};
-use cronus::core::DEFAULT_RING_PAGES;
 use cronus::sim::{PagePerms, SimRng, StreamId};
 use cronus::spm::spm::ShareState;
 
@@ -94,7 +93,8 @@ fn failover_with_trap_audits_clean_at_every_step() {
 
     h.callee = workload::spawn_callee(&mut sys, kind, h.caller, h.dma);
     h.stream = sys
-        .reopen_stream(h.stream, h.callee, DEFAULT_RING_PAGES)
+        .stream(h.caller, h.callee)
+        .reopen(h.stream)
         .expect("reopen");
     let mut rng = SimRng::new(12);
     let payload = workload::request(kind, &mut rng);
@@ -231,6 +231,189 @@ fn stale_smmu_grant_after_recovery_trips_exactly_i4() {
 }
 
 // ---------------------------------------------------------------------------
+// Zero-copy grant lifecycle
+// ---------------------------------------------------------------------------
+//
+// The grant arena is a second share through the same ledger as the ring, so
+// I1 (exclusive writer) and I4 (revocation completeness) must hold for
+// granted payload pages across the whole grant -> call -> revoke ->
+// trap-recovery lifecycle, exactly as they do for ring pages.
+
+/// The grant arena's share: the only share no stream claims as its ring.
+fn arena_share(model: &IsolationModel) -> &cronus::audit::ShareModel {
+    model
+        .shares
+        .iter()
+        .find(|s| model.streams.iter().all(|st| st.share != s.handle))
+        .expect("zero-copy stream has a grant arena share")
+}
+
+#[test]
+fn zero_copy_grant_lifecycle_audits_clean_at_every_step() {
+    let kind = WorkloadKind::Echo;
+    let mut sys = workload::boot();
+    let mut h = workload::build(&mut sys, kind);
+
+    // Swap the default stream for a zero-copy one: every request payload
+    // (16-byte secret + 48 data bytes) clears the 32-byte threshold, so
+    // all calls travel through the granted arena, not the ring slots.
+    sys.close_stream(h.stream).expect("close default stream");
+    h.stream = sys
+        .stream(h.caller, h.callee)
+        .zero_copy(32)
+        .open()
+        .expect("zero-copy stream");
+    assert_clean(&sys, "grant (arena mapped)");
+
+    let mut rng = SimRng::new(21);
+    let payload = workload::request(kind, &mut rng);
+    let out = sys
+        .call(h.stream, kind.mecall())
+        .payload(&payload)
+        .sync()
+        .expect("granted call");
+    assert_eq!(out, workload::expected(kind, &payload));
+    let stats = sys.stream_stats(h.stream).expect("stats");
+    assert_eq!(
+        stats.zero_copy_grants, 1,
+        "payload must take the grant path"
+    );
+    assert_clean(&sys, "call");
+
+    sys.inject_partition_failure(h.callee.asid).expect("inject");
+    sys.call(h.stream, kind.mecall())
+        .payload(&payload)
+        .sync()
+        .expect_err("peer is down");
+    assert_clean(&sys, "trap");
+
+    // Recovery must poison the arena alongside the ring and cut every
+    // grant to its pages (I4 checks both shares at this checkpoint).
+    sys.recover_partition(h.callee.asid).expect("recovery");
+    assert_clean(&sys, "recovery");
+    let model = IsolationModel::extract(&sys);
+    assert!(
+        matches!(
+            arena_share(&model).state,
+            ShareState::Poisoned { .. } | ShareState::Reclaimed
+        ),
+        "recovery must not leave the arena share active"
+    );
+
+    // Re-establishment reclaims the poisoned arena and grants a fresh one;
+    // the zero-copy path must work again end to end.
+    h.callee = workload::spawn_callee(&mut sys, kind, h.caller, h.dma);
+    h.stream = sys
+        .stream(h.caller, h.callee)
+        .zero_copy(32)
+        .reopen(h.stream)
+        .expect("reopen");
+    let payload = workload::request(kind, &mut rng);
+    let out = sys
+        .call(h.stream, kind.mecall())
+        .payload(&payload)
+        .sync()
+        .expect("post-recovery granted call");
+    assert_eq!(out, workload::expected(kind, &payload));
+    assert_eq!(
+        sys.stream_stats(h.stream).expect("stats").zero_copy_grants,
+        1,
+        "reopened stream must grant through its fresh arena"
+    );
+    assert_clean(&sys, "reestablish");
+
+    // Revocation: close reclaims ring and arena pages together.
+    sys.close_stream(h.stream).expect("close");
+    assert_clean(&sys, "revoke");
+}
+
+#[test]
+fn double_mapping_a_granted_arena_page_trips_exactly_i1() {
+    let kind = WorkloadKind::Echo;
+    let mut sys = workload::boot();
+    let mut h = workload::build(&mut sys, kind);
+    sys.close_stream(h.stream).expect("close default stream");
+    h.stream = sys
+        .stream(h.caller, h.callee)
+        .zero_copy(32)
+        .open()
+        .expect("zero-copy stream");
+    let mut rng = SimRng::new(22);
+    let payload = workload::request(kind, &mut rng);
+    sys.call(h.stream, kind.mecall())
+        .payload(&payload)
+        .sync()
+        .expect("granted call");
+
+    // The mutation: map a live granted payload page into a partition that
+    // is neither endpoint — a leak of request plaintext, exactly what I1
+    // must catch on arena pages as well as ring pages.
+    let model = IsolationModel::extract(&sys);
+    let victim = arena_share(&model).pages[0];
+    let interloper = model
+        .partitions
+        .iter()
+        .map(|p| p.asid)
+        .find(|a| *a != h.caller.asid && *a != h.callee.asid)
+        .expect("third partition");
+    sys.spm_mut()
+        .machine_mut()
+        .stage2_grant(interloper, victim, PagePerms::RW)
+        .expect("mutation grant");
+
+    let report = audit_system(&sys);
+    assert_only(&report, Invariant::ExclusiveWriter);
+    let hits = report.of(Invariant::ExclusiveWriter);
+    assert_eq!(hits.len(), 1, "one arena page, one counterexample");
+    assert_eq!(hits[0].ppn, Some(victim), "counterexample names the page");
+}
+
+#[test]
+fn stale_grant_on_poisoned_arena_page_trips_exactly_i4() {
+    let kind = WorkloadKind::GpuSaxpy;
+    let mut sys = workload::boot();
+    let mut h = workload::build(&mut sys, kind);
+    sys.close_stream(h.stream).expect("close default stream");
+    h.stream = sys
+        .stream(h.caller, h.callee)
+        .zero_copy(32)
+        .open()
+        .expect("zero-copy stream");
+    let mut rng = SimRng::new(23);
+    let payload = workload::request(kind, &mut rng);
+    sys.call(h.stream, kind.mecall())
+        .payload(&payload)
+        .sync()
+        .expect("granted call");
+
+    sys.inject_partition_failure(h.callee.asid).expect("inject");
+    sys.recover_partition(h.callee.asid).expect("recovery");
+    assert_clean(&sys, "recovery");
+
+    // The mutation: re-grant the recovered partition's DMA engine a page
+    // of the poisoned *arena* — a stale payload-page grant recovery
+    // failed to cut.
+    let model = IsolationModel::extract(&sys);
+    let arena = arena_share(&model);
+    assert!(matches!(arena.state, ShareState::Poisoned { .. }));
+    let stale = arena.pages[0];
+    let stream = model
+        .partition(h.callee.asid)
+        .and_then(|p| p.dma_stream)
+        .expect("gpu partition has a dma stream");
+    sys.spm_mut()
+        .machine_mut()
+        .smmu_mut()
+        .grant(StreamId::new(stream), stale, PagePerms::RW);
+
+    let report = audit_system(&sys);
+    assert_only(&report, Invariant::RevocationCompleteness);
+    let hits = report.of(Invariant::RevocationCompleteness);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].ppn, Some(stale), "counterexample names the page");
+}
+
+// ---------------------------------------------------------------------------
 // Audit-hook wiring
 // ---------------------------------------------------------------------------
 
@@ -257,7 +440,8 @@ fn strict_hooks_stay_silent_across_a_full_lifecycle() {
     sys.recover_partition(h.callee.asid).expect("recovery");
     h.callee = workload::spawn_callee(&mut sys, kind, h.caller, h.dma);
     h.stream = sys
-        .reopen_stream(h.stream, h.callee, DEFAULT_RING_PAGES)
+        .stream(h.caller, h.callee)
+        .reopen(h.stream)
         .expect("reopen");
     sys.close_stream(h.stream).expect("close");
 }

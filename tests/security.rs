@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use cronus::core::{Actor, CronusSystem, SrpcError, SystemError, DEFAULT_RING_PAGES};
+use cronus::core::{Actor, CronusSystem, SrpcError, SystemError};
 use cronus::devices::DeviceKind;
 use cronus::mos::manifest::{Manifest, McallDecl};
 use cronus::sim::machine::AsId;
@@ -65,9 +65,7 @@ fn setup() -> (
 #[test]
 fn normal_world_cannot_touch_srpc_state() {
     let (mut sys, cpu, gpu) = setup();
-    let stream = sys
-        .open_stream(cpu, gpu, DEFAULT_RING_PAGES)
-        .expect("stream");
+    let stream = sys.stream(cpu, gpu).open().expect("stream");
     sys.call(stream, "work")
         .payload(&[1, 2, 3])
         .start()
@@ -120,8 +118,7 @@ fn non_owner_mecall_rejected() {
         )
         .expect("intruder cpu enclave");
     assert_eq!(
-        sys.open_stream(intruder, gpu, DEFAULT_RING_PAGES)
-            .unwrap_err(),
+        sys.stream(intruder, gpu).open().unwrap_err(),
         SrpcError::NotOwner
     );
     // Direct app ECall into someone else's enclave also fails.
@@ -163,9 +160,7 @@ fn malicious_dispatch_rejected_by_mos() {
 #[test]
 fn undeclared_mecalls_rejected() {
     let (mut sys, cpu, gpu) = setup();
-    let stream = sys
-        .open_stream(cpu, gpu, DEFAULT_RING_PAGES)
-        .expect("stream");
+    let stream = sys.stream(cpu, gpu).open().expect("stream");
     assert_eq!(
         sys.call(stream, "not_in_manifest").start().unwrap_err(),
         SrpcError::UnknownMcall("not_in_manifest".into())
@@ -178,9 +173,7 @@ fn undeclared_mecalls_rejected() {
 #[test]
 fn toctou_window_is_closed_after_failure() {
     let (mut sys, cpu, gpu) = setup();
-    let stream = sys
-        .open_stream(cpu, gpu, DEFAULT_RING_PAGES)
-        .expect("stream");
+    let stream = sys.stream(cpu, gpu).open().expect("stream");
     sys.call(stream, "work")
         .payload(b"pre-crash")
         .start()
@@ -213,9 +206,7 @@ fn toctou_window_is_closed_after_failure() {
 #[test]
 fn crashed_data_is_cleared_before_recovery() {
     let (mut sys, cpu, gpu) = setup();
-    let stream = sys
-        .open_stream(cpu, gpu, DEFAULT_RING_PAGES)
-        .expect("stream");
+    let stream = sys.stream(cpu, gpu).open().expect("stream");
     sys.call(stream, "work")
         .payload(b"SECRET-GRADIENTS")
         .start()
