@@ -1,0 +1,248 @@
+//! The finding-count ratchet against `LINT_BASELINE.json`.
+//!
+//! The baseline commits, per `(rule, file)` pair, how many findings are
+//! currently accepted. Counts may only go *down*: a run producing more
+//! findings than baselined for a pair fails with every finding of that
+//! pair shown, and a run producing fewer (or a pair that vanished) flags
+//! the baseline entry as stale — mirroring the allowlist's zero-unused
+//! invariant, so the baseline cannot rot. `scripts/relint.sh`
+//! regenerates the file for intentional ratchet updates.
+//!
+//! The format is a deliberately small JSON subset written and read only
+//! by this module (std-only; no parser dependency):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "entries": [
+//!     { "rule": "panic-reachability", "path": "crates/core/src/ring.rs", "count": 2 }
+//!   ]
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::rules::Finding;
+
+/// Parsed baseline: `(rule, path)` → accepted count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Accepted finding counts.
+    pub entries: BTreeMap<(String, String), u64>,
+}
+
+impl Baseline {
+    /// Parses the committed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed entry; an empty or
+    /// whitespace-only file is an empty baseline.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        if text.trim().is_empty() {
+            return Ok(Baseline { entries });
+        }
+        // Entry objects are `{ "rule": "...", "path": "...", "count": N }`.
+        for (i, chunk) in text.split('{').skip(1).enumerate() {
+            let body = chunk.split('}').next().unwrap_or("");
+            if !body.contains("\"rule\"") {
+                continue; // the outer object header
+            }
+            let rule = field(body, "rule")
+                .ok_or_else(|| format!("baseline entry {} lacks \"rule\"", i + 1))?;
+            let path = field(body, "path")
+                .ok_or_else(|| format!("baseline entry {} lacks \"path\"", i + 1))?;
+            let count = num_field(body, "count")
+                .ok_or_else(|| format!("baseline entry {} lacks \"count\"", i + 1))?;
+            if entries
+                .insert((rule.clone(), path.clone()), count)
+                .is_some()
+            {
+                return Err(format!("duplicate baseline entry for {rule} / {path}"));
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Builds a baseline from a finding set (what `--write-baseline`
+    /// persists).
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for f in findings {
+            *entries
+                .entry((f.rule.to_string(), f.path.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Renders the committed JSON form (sorted; byte-stable).
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [\n");
+        let n = self.entries.len();
+        for (i, ((rule, path), count)) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"rule\": \"{rule}\", \"path\": \"{path}\", \"count\": {count} }}{}\n",
+                if i + 1 == n { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn field(body: &str, name: &str) -> Option<String> {
+    let key = format!("\"{name}\"");
+    let after = &body[body.find(&key)? + key.len()..];
+    let after = after.trim_start().strip_prefix(':')?.trim_start();
+    let after = after.strip_prefix('"')?;
+    Some(after[..after.find('"')?].to_string())
+}
+
+fn num_field(body: &str, name: &str) -> Option<u64> {
+    let key = format!("\"{name}\"");
+    let after = &body[body.find(&key)? + key.len()..];
+    let after = after.trim_start().strip_prefix(':')?.trim_start();
+    let digits: String = after.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Applies the ratchet: returns the findings that remain visible (new
+/// findings over baseline plus stale-entry findings) and how many were
+/// suppressed by the baseline.
+pub fn apply(findings: Vec<Finding>, base: &Baseline) -> (Vec<Finding>, usize) {
+    let mut groups: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+    for f in findings {
+        groups
+            .entry((f.rule.to_string(), f.path.clone()))
+            .or_default()
+            .push(f);
+    }
+    let mut visible = Vec::new();
+    let mut suppressed = 0usize;
+    for (key, group) in &groups {
+        let accepted = base.entries.get(key).copied().unwrap_or(0);
+        let fresh = group.len() as u64;
+        if fresh > accepted {
+            // Over budget: show the whole group (we cannot know which of
+            // the sites is the new one) with the budget in the message.
+            for f in group {
+                let mut f = f.clone();
+                if accepted > 0 {
+                    f.message = format!(
+                        "{} [baseline accepts {} for this rule+file, found {}]",
+                        f.message, accepted, fresh
+                    );
+                }
+                visible.push(f);
+            }
+        } else {
+            suppressed += group.len();
+            if fresh < accepted {
+                visible.push(stale(key, accepted, fresh));
+            }
+        }
+    }
+    // Entries with no findings at all this run are stale too.
+    for (key, &accepted) in &base.entries {
+        if !groups.contains_key(key) && accepted > 0 {
+            visible.push(stale(key, accepted, 0));
+        }
+    }
+    visible.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
+    (visible, suppressed)
+}
+
+fn stale(key: &(String, String), accepted: u64, fresh: u64) -> Finding {
+    Finding {
+        rule: "baseline-ratchet",
+        path: "LINT_BASELINE.json".into(),
+        line: 0,
+        message: format!(
+            "stale entry: {} / {} accepts {} finding(s) but the run produced {}; \
+             ratchet down with scripts/relint.sh",
+            key.0, key.1, accepted, fresh
+        ),
+        chain: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            path: path.into(),
+            line,
+            message: format!("m{line}"),
+            chain: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let b = Baseline::from_findings(&[
+            finding("panic-reachability", "crates/core/src/ring.rs", 5),
+            finding("panic-reachability", "crates/core/src/ring.rs", 9),
+            finding("secret-taint", "crates/core/src/system.rs", 2),
+        ]);
+        let parsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(
+            parsed.entries[&(
+                "panic-reachability".to_string(),
+                "crates/core/src/ring.rs".to_string()
+            )],
+            2
+        );
+    }
+
+    #[test]
+    fn empty_and_malformed() {
+        assert!(Baseline::parse("").unwrap().entries.is_empty());
+        assert!(
+            Baseline::parse("{\n \"version\": 1,\n \"entries\": []\n}\n")
+                .unwrap()
+                .entries
+                .is_empty()
+        );
+        assert!(Baseline::parse("{ \"entries\": [ { \"rule\": \"x\" } ] }").is_err());
+    }
+
+    #[test]
+    fn ratchet_suppresses_at_budget_and_fails_over() {
+        let base = Baseline::from_findings(&[finding("secret-taint", "a.rs", 1)]);
+        // At budget: suppressed.
+        let (vis, sup) = apply(vec![finding("secret-taint", "a.rs", 7)], &base);
+        assert!(vis.is_empty(), "{vis:?}");
+        assert_eq!(sup, 1);
+        // Over budget: the whole group surfaces.
+        let (vis, _) = apply(
+            vec![
+                finding("secret-taint", "a.rs", 7),
+                finding("secret-taint", "a.rs", 8),
+            ],
+            &base,
+        );
+        assert_eq!(vis.len(), 2);
+        assert!(vis[0].message.contains("baseline accepts 1"));
+    }
+
+    #[test]
+    fn stale_entries_are_findings() {
+        let base = Baseline::from_findings(&[
+            finding("secret-taint", "a.rs", 1),
+            finding("panic-reachability", "b.rs", 2),
+        ]);
+        // One pair under-counts, the other vanished entirely.
+        let (vis, _) = apply(Vec::new(), &base);
+        assert_eq!(vis.len(), 2, "{vis:?}");
+        assert!(vis.iter().all(|f| f.rule == "baseline-ratchet"));
+        assert!(vis[0].message.contains("relint"));
+    }
+}

@@ -1,0 +1,571 @@
+//! A hand-written Rust lexer: the foundation of the static-analysis engine.
+//!
+//! The previous repo lint was line/substring based and had three known
+//! blind spots that this lexer closes (each pinned by a regression test in
+//! `tests/static_analysis.rs`):
+//!
+//! * **raw strings** — `r"..."` / `r#"..."#` (any number of `#`s, plus the
+//!   `br` byte variants) used to leak their *contents* into the scan, so a
+//!   string mentioning `.unwrap()` produced a false positive and, worse, a
+//!   raw string containing `*/` or `"` could desynchronize a naive scanner
+//!   so that *real* tokens after it were missed;
+//! * **nested block comments** — Rust block comments nest
+//!   (`/* outer /* inner */ still a comment */`); a non-counting scanner
+//!   resumes scanning one `*/` too early and reports commented-out code;
+//! * **char/byte literals vs lifetimes** — `'a'`, `b'"'`, and `'\''`
+//!   contain quote characters that must not open or close a string, while
+//!   `'static` is a lifetime and contains no closing quote at all.
+//!
+//! The lexer is deliberately *lossy where loss is safe*: it produces a
+//! flat token stream with 1-based line numbers and normalizes multi-char
+//! operators (so `->` never looks like a `>` closing a generic list), but
+//! it does not interpret numeric suffixes or unescape string contents —
+//! the analyses above it only need token identity, shape, and position.
+//! String literal *text* is preserved verbatim (without delimiters) so the
+//! taint analysis can see `format!("{secret}")` inline captures.
+
+/// Token kind plus payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `let`, names, ...). Raw identifiers
+    /// (`r#match`) are stored without the `r#` prefix.
+    Ident(String),
+    /// Lifetime (`'a`, `'static`), stored without the leading `'`.
+    Lifetime(String),
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`), stored as
+    /// its verbatim contents without delimiters or prefix.
+    Str(String),
+    /// Char or byte literal (`'x'`, `b'\n'`), stored without delimiters.
+    Char(String),
+    /// Numeric literal, stored verbatim (`0xFF`, `1_000u64`, `1.5e3`).
+    Num(String),
+    /// Punctuation / operator, normalized by maximal munch (`::`, `->`,
+    /// `=>`, `==`, `..=`, `<<=`, ... are each a single token).
+    Punct(&'static str),
+    /// Opening delimiter: one of `(`, `[`, `{`.
+    Open(char),
+    /// Closing delimiter: one of `)`, `]`, `}`.
+    Close(char),
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub tok: Tok,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(&self.tok, Tok::Punct(q) if *q == p)
+    }
+
+    /// True when this token is the identifier `id`.
+    pub fn is_ident(&self, id: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(s) if s == id)
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch is a simple
+/// prefix scan.
+const OPERATORS: [&str; 25] = [
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..", "?",
+];
+
+/// Single-character punctuation (everything else structural).
+const SINGLES: &str = "+-*/%^!&|<>=.,;:#$?@~'";
+
+/// Lexes `text` into a token stream. Never fails: unexpected bytes are
+/// skipped (the analyses treat them as opaque), unterminated literals run
+/// to end of file — garbage-in stays localized instead of aborting an
+/// entire repo scan.
+pub fn lex(text: &str) -> Vec<Token> {
+    Lexer {
+        src: text.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(0),
+                b'\'' => self.quote(),
+                b'0'..=b'9' => self.number(),
+                b'(' | b'[' | b'{' => {
+                    self.push(Tok::Open(c as char));
+                    self.pos += 1;
+                }
+                b')' | b']' | b'}' => {
+                    self.push(Tok::Close(c as char));
+                    self.pos += 1;
+                }
+                c if is_ident_start(c) => self.ident_or_prefixed(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, tok: Tok) {
+        self.out.push(Token {
+            tok,
+            line: self.line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+    }
+
+    /// Block comments nest: `/* /* */ */` is one comment. Depth-counted.
+    fn block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            match (self.src[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// A normal (escaped) string literal; `self.pos` sits on the opening
+    /// quote. `skip_prefix` bytes were already consumed by the caller for
+    /// `b"..."` forms.
+    fn string(&mut self, _skip_prefix: usize) {
+        let start_line = self.line;
+        self.pos += 1; // opening quote
+        let body_start = self.pos;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => {
+                    // An escape consumes the next byte wholesale, so \" and
+                    // \\ can never terminate the literal.
+                    if self.peek(1) == Some(b'\n') {
+                        self.line += 1;
+                    }
+                    self.pos = (self.pos + 2).min(self.src.len());
+                }
+                b'"' => {
+                    let body = text_of(&self.src[body_start..self.pos]);
+                    self.out.push(Token {
+                        tok: Tok::Str(body),
+                        line: start_line,
+                    });
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        // Unterminated: emit what we have.
+        let body = text_of(&self.src[body_start..self.pos]);
+        self.out.push(Token {
+            tok: Tok::Str(body),
+            line: start_line,
+        });
+    }
+
+    /// A raw string; `self.pos` sits on the first `#` or the `"` after the
+    /// `r`/`br` prefix. The closing delimiter is `"` followed by exactly
+    /// `hashes` `#`s — quotes and backslashes inside are plain content.
+    fn raw_string(&mut self) {
+        let start_line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.peek(0) != Some(b'"') {
+            // `r#ident` raw identifier, not a raw string: re-lex as ident.
+            self.ident_raw();
+            return;
+        }
+        self.pos += 1;
+        let body_start = self.pos;
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+                continue;
+            }
+            if self.src[self.pos] == b'"' {
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(1 + i) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    let body = text_of(&self.src[body_start..self.pos]);
+                    self.out.push(Token {
+                        tok: Tok::Str(body),
+                        line: start_line,
+                    });
+                    self.pos += 1 + hashes;
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+        let body = text_of(&self.src[body_start..self.pos]);
+        self.out.push(Token {
+            tok: Tok::Str(body),
+            line: start_line,
+        });
+    }
+
+    /// After an `r#` that is not a raw string: a raw identifier.
+    fn ident_raw(&mut self) {
+        let start = self.pos;
+        while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+            self.pos += 1;
+        }
+        self.push(Tok::Ident(text_of(&self.src[start..self.pos])));
+    }
+
+    /// `'` starts either a char literal or a lifetime. Disambiguation:
+    /// `'\...'` and `'x'` (any single char followed by `'`) are chars;
+    /// `'ident` with no closing quote is a lifetime.
+    fn quote(&mut self) {
+        let start_line = self.line;
+        self.pos += 1;
+        if self.peek(0) == Some(b'\\') {
+            // Escaped char literal: consume escape then to closing quote.
+            let body_start = self.pos;
+            self.pos = (self.pos + 2).min(self.src.len());
+            while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                self.pos += 1;
+            }
+            let body = text_of(&self.src[body_start..self.pos]);
+            self.pos = (self.pos + 1).min(self.src.len());
+            self.out.push(Token {
+                tok: Tok::Char(body),
+                line: start_line,
+            });
+            return;
+        }
+        let is_char = match (self.peek(0), self.peek(1)) {
+            // 'x' — one scalar then a quote. Multi-byte UTF-8 chars: scan
+            // forward to a quote within 6 bytes with no intervening
+            // whitespace.
+            (Some(_), Some(b'\'')) => true,
+            (Some(c), _) if !is_ident_start(c) => true,
+            _ => {
+                // `'abc'`? Only a char if a quote appears before a
+                // non-ident char; otherwise a lifetime.
+                let mut i = 0;
+                loop {
+                    match self.peek(i) {
+                        Some(b'\'') => break i > 0,
+                        Some(c) if is_ident_continue(c) && i < 6 => i += 1,
+                        _ => break false,
+                    }
+                }
+            }
+        };
+        if is_char {
+            let body_start = self.pos;
+            while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                if self.src[self.pos] == b'\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+            let body = text_of(&self.src[body_start..self.pos]);
+            self.pos = (self.pos + 1).min(self.src.len());
+            self.out.push(Token {
+                tok: Tok::Char(body),
+                line: start_line,
+            });
+        } else {
+            let start = self.pos;
+            while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+                self.pos += 1;
+            }
+            self.out.push(Token {
+                tok: Tok::Lifetime(text_of(&self.src[start..self.pos])),
+                line: start_line,
+            });
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        // Radix prefix.
+        if self.src[self.pos] == b'0'
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'b' | b'B' | b'o' | b'O'))
+        {
+            self.pos += 2;
+        }
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        // Fractional part — but `1..2` is a range, and `1.method()` keeps
+        // the dot as punctuation.
+        if self.peek(0) == Some(b'.')
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+            && self.peek(1) != Some(b'.')
+        {
+            self.pos += 1;
+            while self.pos < self.src.len()
+                && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+            {
+                self.pos += 1;
+            }
+        }
+        self.push(Tok::Num(text_of(&self.src[start..self.pos])));
+    }
+
+    /// Identifier, keyword, or a string/char prefix (`r"…"`, `b'…'`,
+    /// `br#"…"#`, `r#raw_ident`).
+    fn ident_or_prefixed(&mut self) {
+        let start = self.pos;
+        while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+            self.pos += 1;
+        }
+        let word = text_of(&self.src[start..self.pos]);
+        match (word.as_str(), self.peek(0)) {
+            ("r" | "br" | "cr", Some(b'"' | b'#')) => self.raw_string(),
+            ("b" | "c", Some(b'"')) => self.string(1),
+            ("b", Some(b'\'')) => self.quote(),
+            _ => self.push(Tok::Ident(word)),
+        }
+    }
+
+    fn punct(&mut self) {
+        let rest = &self.src[self.pos..];
+        for op in OPERATORS {
+            if rest.starts_with(op.as_bytes()) {
+                self.push(Tok::Punct(op));
+                self.pos += op.len();
+                return;
+            }
+        }
+        let c = self.src[self.pos] as char;
+        if let Some(i) = SINGLES.find(c) {
+            // Safety: SINGLES is ASCII, so byte slicing at i..i+1 is valid.
+            let s: &'static str = &SINGLES[i..i + 1];
+            self.push(Tok::Punct(s));
+        }
+        self.pos += 1;
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+fn text_of(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<Tok> {
+        lex(text).into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_and_operators() {
+        assert_eq!(
+            kinds("fn f() -> u32 { a::b(x) }"),
+            vec![
+                Tok::Ident("fn".into()),
+                Tok::Ident("f".into()),
+                Tok::Open('('),
+                Tok::Close(')'),
+                Tok::Punct("->"),
+                Tok::Ident("u32".into()),
+                Tok::Open('{'),
+                Tok::Ident("a".into()),
+                Tok::Punct("::"),
+                Tok::Ident("b".into()),
+                Tok::Open('('),
+                Tok::Ident("x".into()),
+                Tok::Close(')'),
+                Tok::Close('}'),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        // Regression (lexical-scanner gap #1): the old substring scanner
+        // saw `.unwrap()` inside this raw string. The lexer yields one Str.
+        let toks = kinds(r####"let s = r#"x.unwrap() "quoted" "#;"####);
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("let".into()),
+                Tok::Ident("s".into()),
+                Tok::Punct("="),
+                Tok::Str("x.unwrap() \"quoted\" ".into()),
+                Tok::Punct(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_more_hashes_and_byte_variant() {
+        let toks = kinds("br##\"a\"# b\"##");
+        assert_eq!(toks, vec![Tok::Str("a\"# b".into())]);
+        let toks = kinds("r\"plain\"");
+        assert_eq!(toks, vec![Tok::Str("plain".into())]);
+    }
+
+    #[test]
+    fn nested_block_comments_fully_skipped() {
+        // Regression (lexical-scanner gap #2): `/* /* */ x.unwrap() */`
+        // is entirely a comment; a non-nesting scanner resumes at the
+        // first `*/` and sees the unwrap.
+        let toks = kinds("a /* outer /* inner */ x.unwrap() */ b");
+        assert_eq!(toks, vec![Tok::Ident("a".into()), Tok::Ident("b".into())]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        assert_eq!(
+            kinds("'a' 'static '\\'' b'\"' '{'"),
+            vec![
+                Tok::Char("a".into()),
+                Tok::Lifetime("static".into()),
+                Tok::Char("\\'".into()),
+                Tok::Char("\"".into()),
+                Tok::Char("{".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn char_quote_does_not_open_a_string() {
+        // `'"'` then real code: a naive scanner treats the quote in the
+        // char literal as a string opener and swallows the unwrap.
+        let toks = kinds("let c = '\"'; x.unwrap()");
+        assert!(toks.contains(&Tok::Ident("unwrap".into())));
+    }
+
+    #[test]
+    fn strings_with_escapes_and_continuations() {
+        assert_eq!(
+            kinds(r#""a\"b" "c\\""#),
+            vec![Tok::Str("a\\\"b".into()), Tok::Str("c\\\\".into())]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("0xFF 1_000u64 1.5e3 1..2 3.min(4)"),
+            vec![
+                Tok::Num("0xFF".into()),
+                Tok::Num("1_000u64".into()),
+                Tok::Num("1.5e3".into()),
+                Tok::Num("1".into()),
+                Tok::Punct(".."),
+                Tok::Num("2".into()),
+                Tok::Num("3".into()),
+                Tok::Punct("."),
+                Tok::Ident("min".into()),
+                Tok::Open('('),
+                Tok::Num("4".into()),
+                Tok::Close(')'),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(
+            kinds("r#match r#fn"),
+            vec![Tok::Ident("match".into()), Tok::Ident("fn".into())]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_all_multiline_forms() {
+        let text = "a\n/* c\nc */ b\n\"s\ns\" d\nr#\"r\nr\"# e";
+        let toks = lex(text);
+        let find = |name: &str| toks.iter().find(|t| t.is_ident(name)).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 3);
+        assert_eq!(find("d"), 5);
+        assert_eq!(find("e"), 7);
+    }
+
+    #[test]
+    fn shift_operators_are_single_tokens() {
+        assert_eq!(
+            kinds("a << b >>= c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<<"),
+                Tok::Ident("b".into()),
+                Tok::Punct(">>="),
+                Tok::Ident("c".into()),
+            ]
+        );
+    }
+}

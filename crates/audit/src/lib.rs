@@ -16,22 +16,39 @@
 //!   create/destroy, stream open/close/reopen, ecall, failure injection,
 //!   recovery) via the `audit-hooks` feature, so every state transition is
 //!   re-verified during tests and campaigns;
-//! * [`lint::run_lint`] enforces four lexical repo rules (no deprecated
-//!   sRPC entry points, no `unwrap`/`expect` on trusted paths, no wall
-//!   clocks outside obs/bench, no `String` errors in public APIs).
+//! * the **cronus-lint v2** static-analysis engine — a hand-written
+//!   lexer ([`lex`]), brace-tree item parser ([`syntax`]), per-function
+//!   fact extraction ([`facts`]), a repo-wide call graph ([`graph`]),
+//!   the interprocedural secret-taint analysis ([`taint`]) and the rule
+//!   catalog ([`rules`]) — orchestrated by [`engine::run`], ratcheted
+//!   against `LINT_BASELINE.json` by [`baseline`], and exposed as
+//!   `cargo run --bin lint` with [`lint::run_lint`] kept as the
+//!   `audit --lint` shim.
 //!
 //! The chaos campaign runs the full audit after every scenario as its
 //! fourth invariant (A4); `cargo run --bin audit` drives it over every
-//! example workload; `scripts/ci.sh --audit` gates both plus the lint.
-//! See `AUDIT.md` for the model schema and the invariant catalogue.
+//! example workload; `scripts/ci.sh --audit` gates both and
+//! `scripts/ci.sh --lint` gates the static analyses. See `AUDIT.md` for
+//! the model schema, the invariant catalogue and the lint rule catalog.
 
+pub mod baseline;
+pub mod engine;
+pub mod facts;
+pub mod graph;
 pub mod invariants;
+pub mod lex;
 pub mod lint;
 pub mod model;
+pub mod rules;
+pub mod syntax;
+pub mod taint;
 
+pub use baseline::Baseline;
+pub use engine::{Report, SourceSet};
 pub use invariants::{audit_system, check_model, AuditReport, Invariant, Violation};
 pub use lint::{run_lint, LintFinding, LintReport};
 pub use model::{IsolationModel, ShareModel};
+pub use rules::{Finding, Rule, RULES};
 
 use cronus_core::CronusSystem;
 

@@ -265,10 +265,13 @@ pub fn decode_request(slot: &[u8]) -> Result<Request, CodecError> {
     if name_len + payload_len > SLOT_PAYLOAD || 8 + name_len + payload_len > slot.len() {
         return Err(CodecError::Corrupt);
     }
-    let name = std::str::from_utf8(&slot[8..8 + name_len])
+    let name = std::str::from_utf8(slot.get(8..8 + name_len).ok_or(CodecError::Corrupt)?)
         .map_err(|_| CodecError::Corrupt)?
         .to_string();
-    let payload = slot[8 + name_len..8 + name_len + payload_len].to_vec();
+    let payload = slot
+        .get(8 + name_len..8 + name_len + payload_len)
+        .ok_or(CodecError::Corrupt)?
+        .to_vec();
     Ok(Request { name, payload })
 }
 
@@ -404,7 +407,10 @@ pub fn decode_result(slot: &[u8]) -> Result<(ResultStatus, Vec<u8>), CodecError>
     if len > SLOT_PAYLOAD || 8 + len > slot.len() {
         return Err(CodecError::Corrupt);
     }
-    Ok((status, slot[8..8 + len].to_vec()))
+    Ok((
+        status,
+        slot.get(8..8 + len).ok_or(CodecError::Corrupt)?.to_vec(),
+    ))
 }
 
 /// Reads the little-endian `u32` header word at `offset`, treating a

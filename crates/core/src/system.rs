@@ -1832,7 +1832,7 @@ impl CronusSystem {
     /// sRPC errors; [`SrpcError::StreamCheckFailed`] on index divergence.
     pub fn sync(&mut self, id: StreamId) -> Result<(), SrpcError> {
         self.drain(id)?;
-        let sync_slot = self.stream_ref(id)?.lanes[0].sid;
+        let sync_slot = self.stream_ref(id)?.lanes.first().map_or(0, |l| l.sid);
         self.injection_point(id, SrpcPhase::SyncWakeup, 0, sync_slot);
         let wakeup = self.spm.machine().cost().srpc_sync_wakeup;
         let executor_now = self.executor_time(id)?;
@@ -1847,11 +1847,12 @@ impl CronusSystem {
         for lane in 0..lane_count {
             let (rid_off, sid_off, cached_rid, cached_sid) = {
                 let s = self.stream_ref(id)?;
+                let Some(l) = s.lanes.get(lane) else { break };
                 (
                     s.layout.rid_offset(lane),
                     s.layout.sid_offset(lane),
-                    s.lanes[lane].rid,
-                    s.lanes[lane].sid,
+                    l.rid,
+                    l.sid,
                 )
             };
             let mut rid_buf = [0u8; 8];

@@ -196,7 +196,11 @@ impl Ledger {
             .get(&chain)
             .map(|c| {
                 let skip = c.records.len().saturating_sub(n);
-                c.records[skip..].iter().map(LedgerRecord::line).collect()
+                c.records
+                    .iter()
+                    .skip(skip)
+                    .map(LedgerRecord::line)
+                    .collect()
             })
             .unwrap_or_default()
     }
@@ -278,8 +282,14 @@ impl LedgerInner {
         if chain.records.len() < self.capacity {
             return;
         }
+        // A capacity below 2 would make `drop_n` zero; there is then no
+        // boundary record to checkpoint against, so skip eviction rather
+        // than underflowing.
         let drop_n = self.capacity / 2;
-        let prefix_digest = chain.records[drop_n - 1].digest();
+        let Some(boundary) = drop_n.checked_sub(1).and_then(|i| chain.records.get(i)) else {
+            return;
+        };
+        let prefix_digest = boundary.digest();
         chain.records.drain(..drop_n);
         chain.evicted += drop_n as u64;
         let evicted_total = chain.evicted;

@@ -21,6 +21,13 @@
 # which also refreshes BENCH_chaos.json for the bench gate:
 #   cargo run --offline --release --bin chaos
 #
+# With --lint, also runs the cronus-lint v2 static-analysis gate (see
+# AUDIT.md): secret-taint, panic-reachability and deprecated-API analysis
+# over every workspace crate, ratcheted against LINT_BASELINE.json. Any
+# new finding, stale baseline entry or unused allowlist entry fails the
+# gate. To accept a deliberate finding, run scripts/relint.sh and commit
+# the shrunk-or-justified LINT_BASELINE.json.
+#
 # With --audit, also runs the isolation auditor (see AUDIT.md): the
 # repo-rule source lint, then the mapping-state audit of every example
 # workload scenario, failing on any lint finding or invariant violation.
@@ -48,6 +55,7 @@ cd "$(dirname "$0")/.."
 run_bench=0
 run_chaos=0
 run_audit=0
+run_lint=0
 run_forensics=0
 run_slo=0
 run_diff=0
@@ -56,10 +64,11 @@ for arg in "$@"; do
     --bench) run_bench=1 ;;
     --chaos) run_chaos=1 ;;
     --audit) run_audit=1 ;;
+    --lint) run_lint=1 ;;
     --forensics) run_forensics=1 ;;
     --slo) run_slo=1 ;;
     --diff) run_diff=1 ;;
-    *) echo "unknown flag: $arg (supported: --bench, --chaos, --audit, --forensics, --slo, --diff)" >&2; exit 2 ;;
+    *) echo "unknown flag: $arg (supported: --bench, --chaos, --audit, --lint, --forensics, --slo, --diff)" >&2; exit 2 ;;
   esac
 done
 
@@ -77,6 +86,11 @@ cargo test --offline -q
 
 echo "==> workspace tests"
 cargo test --offline -q --workspace
+
+if [[ "$run_lint" -eq 1 ]]; then
+  echo "==> lint gate: cronus-lint v2 (taint + panic-reachability, ratcheted)"
+  cargo run --offline --release -q --bin lint
+fi
 
 if [[ "$run_audit" -eq 1 ]]; then
   echo "==> audit gate: repo-rule source lint"

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Re-baselines the cronus-lint v2 ratchet: re-runs the full static
+# analysis and rewrites LINT_BASELINE.json from the fresh findings.
+#
+# The baseline is a ratchet — per-(rule, file) counts may only go DOWN.
+# Run this after fixing findings (to shrink the accepted counts, which
+# would otherwise surface as stale-entry findings) or after a deliberate,
+# reviewed decision to accept new ones. Review the diff before
+# committing: every count that goes UP is a new accepted finding and
+# needs a justification in the PR description. See AUDIT.md, "The
+# baseline ratchet".
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> current findings (before ratchet rewrite)"
+cargo run --offline --release -q --bin lint -- --no-baseline || true
+
+echo "==> rewriting LINT_BASELINE.json"
+cargo run --offline --release -q --bin lint -- --write-baseline
+
+echo "re-linted; review 'git diff LINT_BASELINE.json' and commit."
