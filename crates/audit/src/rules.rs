@@ -93,8 +93,8 @@ findings so the list cannot rot.",
         explain: "std::time::{Instant,SystemTime} reads outside crates/obs and \
 crates/bench break simulation determinism; everything else runs on the \
 simulated clock. The deterministic observatory files \
-crates/obs/src/{queue,slo,bundle,diff}.rs are carved out of the exemption: \
-they promise byte-identical output per seed.",
+crates/obs/src/{queue,slo,bundle,diff,meter,fairness}.rs are carved out of \
+the exemption: they promise byte-identical output per seed.",
     },
     Rule {
         name: "no-string-errors",
@@ -136,9 +136,11 @@ pub const WALL_CLOCK_EXEMPT: [&str; 2] = ["crates/obs", "crates/bench"];
 
 /// Observatory analysis files held to the strict rules despite living in
 /// the otherwise-exempt `crates/obs`.
-pub const STRICT_OBS_FILES: [&str; 4] = [
+pub const STRICT_OBS_FILES: [&str; 6] = [
     "crates/obs/src/bundle.rs",
     "crates/obs/src/diff.rs",
+    "crates/obs/src/fairness.rs",
+    "crates/obs/src/meter.rs",
     "crates/obs/src/queue.rs",
     "crates/obs/src/slo.rs",
 ];
@@ -196,7 +198,7 @@ pub const SOURCE_PATHS: [&str; 10] = [
 ];
 
 /// Functions whose arguments become normal-world observable.
-pub const SINK_PATHS: [&str; 17] = [
+pub const SINK_PATHS: [&str; 23] = [
     // Recorder / metrics labels and values.
     "FlightRecorder::counter_add",
     "MetricsRegistry::counter_add",
@@ -217,6 +219,14 @@ pub const SINK_PATHS: [&str; 17] = [
     "baseline::write",
     "baseline::write_bundle",
     "baseline::emit",
+    // Resource-meter usage records: ledgers hold sizes and counts only;
+    // payload or grant-arena *bytes* must never reach them.
+    "FlightRecorder::meter_count",
+    "FlightRecorder::meter_occupy",
+    "FlightRecorder::meter_wait",
+    "ResourceMeter::add_count",
+    "ResourceMeter::record_occupancy",
+    "ResourceMeter::record_wait",
 ];
 
 /// Functions that launder taint: one-way measurement / redaction.

@@ -39,6 +39,7 @@ const FIGURES: &[&str] = &[
     "rpc_micro",
     "saturation",
     "chaos",
+    "fig_interference",
 ];
 
 /// Loads a report. `Ok(None)` = file absent (skippable); `Err` = file
@@ -59,6 +60,13 @@ fn load_or_fail(path: &std::path::Path, failed: &mut bool) -> Option<BenchReport
 /// expected to be kernel-, backlog- or recovery-bound; `"queue"` means the
 /// sRPC fast path stopped doing its job.
 fn assert_not_queue_bound(name: &str, which: &str, rep: &BenchReport, failed: &mut bool) {
+    // fig_interference is contended by design: a noisy neighbor is
+    // injected precisely so the victim queues behind it, and the meter's
+    // interference matrix — not this gate — is the check that the blame
+    // lands on the right partition.
+    if name == "fig_interference" {
+        return;
+    }
     let is_queue_bound = rep
         .meta
         .iter()

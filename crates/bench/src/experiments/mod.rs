@@ -5,6 +5,7 @@ pub mod fig11;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod interference;
 pub mod rpc_micro;
 pub mod saturation;
 pub mod tables;
@@ -76,6 +77,7 @@ pub fn recorded_figure(name: &str) -> Option<cronus_obs::FlightRecorder> {
         "fig11b" => fig11::run_11b_recorded(&[1, 2]).1,
         "rpc_micro" => rpc_micro::run_recorded(200).2,
         "saturation" => saturation::run_recorded(42, 400),
+        "fig_interference" => interference::run_recorded(42, 24).recorder,
         _ => return None,
     })
 }

@@ -26,7 +26,7 @@ use std::fmt;
 
 use cronus_mos::manifest::Eid;
 use cronus_mos::mos::MosError;
-use cronus_obs::ReqId;
+use cronus_obs::{ExecClass, ReqId};
 use cronus_sim::addr::VirtAddr;
 use cronus_sim::machine::AsId;
 use cronus_sim::{SimClock, SimNs};
@@ -317,6 +317,18 @@ pub struct StreamState {
     pub quarantined: bool,
     /// Default deadline applied to synchronous calls on this stream.
     pub deadline: Option<SimNs>,
+    /// True when the stream executes on the callee partition's shared
+    /// worker pool instead of private per-lane executors. Shared-pool
+    /// streams contend for workers, which is what makes noisy-neighbor
+    /// interference observable (and meterable) across streams.
+    pub shared_pool: bool,
+    /// Executor class of the callee partition (CPU / GPU SM / NPU), used
+    /// by the resource meter to charge kernel time to the right ledger.
+    pub class: ExecClass,
+    /// Virtual time of the most recently finished request; pooled streams
+    /// have no private lane clocks to consult, so synchronization points
+    /// merge against this instead.
+    pub last_finished: SimNs,
     /// Counters.
     pub stats: StreamStats,
 }
@@ -325,6 +337,20 @@ impl StreamState {
     /// Number of requests enqueued but not yet executed.
     pub fn backlog(&self) -> u64 {
         self.next_seq - self.executed
+    }
+
+    /// The executor-side notion of "now": the latest of the private lane
+    /// clocks and the last pooled completion. Synchronization points and
+    /// stall detection merge against this, which keeps both private-lane
+    /// and shared-pool streams on one code path.
+    pub fn executor_now(&self) -> SimNs {
+        let lanes = self
+            .lanes
+            .iter()
+            .map(|l| l.executor_clock.now())
+            .max()
+            .unwrap_or(SimNs::ZERO);
+        lanes.max(self.last_finished)
     }
 
     /// The lane with the smallest ring backlog (ties go to the lowest

@@ -32,6 +32,9 @@ pub struct StreamConfig {
     pub arena_pages: usize,
     /// Default deadline for synchronous calls.
     pub deadline: Option<SimNs>,
+    /// Execute on the callee partition's shared worker pool instead of
+    /// private per-lane executors.
+    pub shared: bool,
 }
 
 /// A pending stream, built up fluently and committed with
@@ -46,6 +49,7 @@ pub struct StreamBuilder<'a> {
     pub(crate) depth: Option<u64>,
     pub(crate) zero_copy: Option<usize>,
     pub(crate) deadline: Option<SimNs>,
+    pub(crate) shared: bool,
 }
 
 impl<'a> StreamBuilder<'a> {
@@ -88,6 +92,18 @@ impl<'a> StreamBuilder<'a> {
         self
     }
 
+    /// Executes this stream's requests on the callee partition's shared
+    /// worker pool (one pool per partition, sized to the widest shared
+    /// stream) instead of private per-lane executors. Streams sharing a
+    /// pool contend for workers, so a noisy neighbor's occupancy delays
+    /// this stream — exactly the contention the resource meter's
+    /// interference matrix attributes. Default: private executors
+    /// (pre-existing behavior; existing figures are unaffected).
+    pub fn shared(mut self) -> Self {
+        self.shared = true;
+        self
+    }
+
     /// Resolves the ring geometry from the collected knobs.
     fn layout(&self) -> MultiRingLayout {
         match (self.pages, self.depth) {
@@ -118,6 +134,7 @@ impl<'a> StreamBuilder<'a> {
             zero_copy: self.zero_copy,
             arena_pages: DEFAULT_ARENA_PAGES,
             deadline: self.deadline,
+            shared: self.shared,
         }
     }
 

@@ -16,7 +16,10 @@ use cronus_devices::DeviceKind;
 use cronus_mos::manager::Owner;
 use cronus_mos::manifest::{Eid, Manifest};
 use cronus_mos::mos::MosError;
-use cronus_obs::{FlightRecorder, QueueKind, ReqId, TimeCategory};
+use cronus_obs::{
+    CountResource, ExecClass, FlightRecorder, MeterScope, Principal, QueueKind, ReqId,
+    TimeCategory, WorkerId,
+};
 use cronus_sim::machine::AsId;
 use cronus_sim::trace::EventKind;
 use cronus_sim::{Fault, PhysAddr, SimClock, SimNs, SimRng, World, PAGE_SIZE};
@@ -164,6 +167,15 @@ impl From<SpmError> for SystemError {
     }
 }
 
+/// A partition's shared executor pool: worker virtual clocks that drain
+/// every `.shared()` stream targeting the partition. Streams contend for
+/// the earliest-free worker, so one stream's burst delays another's
+/// requests — the contention the interference matrix attributes.
+#[derive(Debug, Default)]
+struct ExecPool {
+    workers: Vec<SimClock>,
+}
+
 /// The CRONUS system.
 pub struct CronusSystem {
     spm: Spm,
@@ -173,6 +185,7 @@ pub struct CronusSystem {
     owner_secrets: HashMap<Eid, [u8; 32]>,
     handlers: HashMap<(Eid, String), McallHandler>,
     streams: HashMap<StreamId, StreamState>,
+    exec_pools: BTreeMap<AsId, ExecPool>,
     pub(crate) pipes: HashMap<PipeId, PipeState>,
     injector: Injector,
     next_stream: u64,
@@ -226,6 +239,7 @@ impl CronusSystem {
             owner_secrets: HashMap::new(),
             handlers: HashMap::new(),
             streams: HashMap::new(),
+            exec_pools: BTreeMap::new(),
             pipes: HashMap::new(),
             injector: Injector::default(),
             next_stream: 1,
@@ -293,6 +307,56 @@ impl CronusSystem {
     #[cfg(not(feature = "audit-hooks"))]
     #[inline(always)]
     fn run_audit_hook(&mut self, _point: &'static str) {}
+
+    /// Runs `f` with the resource meter's ambient scope set to `scope`,
+    /// restoring the previous scope afterwards (even across `?`-style early
+    /// returns inside `f`, since the restore happens here). `None` scope —
+    /// or no recorder — runs `f` unscoped.
+    fn metered<T>(&mut self, scope: Option<MeterScope>, f: impl FnOnce(&mut Self) -> T) -> T {
+        let prev = match (scope, self.spm.recorder()) {
+            (Some(sc), Some(rec)) => Some(rec.set_meter_scope(sc)),
+            _ => None,
+        };
+        let out = f(self);
+        if let Some(prev) = prev {
+            if let Some(rec) = self.spm.recorder() {
+                rec.set_meter_scope(prev);
+            }
+        }
+        out
+    }
+
+    /// The executor class a partition's kernel time belongs to, from its
+    /// mOS device kind (CPU partitions and unknown partitions meter as CPU).
+    fn exec_class_of(&self, asid: AsId) -> ExecClass {
+        match self.spm.mos(asid).map(|m| m.device_kind()) {
+            Ok(DeviceKind::Gpu) => ExecClass::Gpu,
+            Ok(DeviceKind::Npu) => ExecClass::Npu,
+            _ => ExecClass::Cpu,
+        }
+    }
+
+    /// Meter scope for caller-side work on a stream (enqueue, sync,
+    /// retries): the caller partition pays, under a stream sub-account.
+    fn caller_scope(&self, id: StreamId) -> Option<MeterScope> {
+        self.streams.get(&id).map(|s| MeterScope {
+            principal: Principal(s.caller.0.as_u32()),
+            stream: Some(s.id.as_u64()),
+            class: ExecClass::Cpu,
+        })
+    }
+
+    /// Meter scope for executor-side work on a stream (dequeue + kernel
+    /// execution): still charged to the *caller* principal — the tenant
+    /// driving the work — but under the callee's executor class, so a GPU
+    /// partition's SM time lands in the caller's `sm_ns` ledger.
+    fn drain_scope(&self, id: StreamId) -> Option<MeterScope> {
+        self.streams.get(&id).map(|s| MeterScope {
+            principal: Principal(s.caller.0.as_u32()),
+            stream: Some(s.id.as_u64()),
+            class: s.class,
+        })
+    }
 
     /// The SPM (read side).
     pub fn spm(&self) -> &Spm {
@@ -414,7 +478,21 @@ impl CronusSystem {
             .dispatcher
             .route(kind, RoutePolicy::LeastLoaded)
             .ok_or(SystemError::NoPartitionFor(kind))?;
+        // Creation costs (mgmt, crypto, world switches) are metered against
+        // the partition the enclave lands on.
+        let scope = Some(MeterScope::principal(Principal(asid.as_u32())));
+        self.metered(scope, |sys| {
+            sys.create_enclave_routed(actor, asid, manifest, images)
+        })
+    }
 
+    fn create_enclave_routed(
+        &mut self,
+        actor: Actor,
+        asid: AsId,
+        manifest: Manifest,
+        images: &BTreeMap<String, Vec<u8>>,
+    ) -> Result<EnclaveRef, SystemError> {
         // Owner-side DH share.
         let dh = DhKeyPair::from_seed(&format!("owner-dh:{}", self.next_dh));
         self.next_dh += 1;
@@ -588,10 +666,16 @@ impl CronusSystem {
                 return Err(SystemError::UnknownMcall(name.to_string()));
             }
         }
-        // Direct ecalls are requests too: trace them end to end.
+        // Direct ecalls are requests too: trace them end to end. World
+        // switches and kernel time are metered against the target partition
+        // under its executor class.
         let req = self.alloc_req();
         self.set_current_req(Some(req));
-        let result = self.app_ecall_inner(app, target, name, payload);
+        let scope = Some(
+            MeterScope::principal(Principal(target.asid.as_u32()))
+                .with_class(self.exec_class_of(target.asid)),
+        );
+        let result = self.metered(scope, |sys| sys.app_ecall_inner(app, target, name, payload));
         self.set_current_req(None);
         self.run_audit_hook("app_ecall");
         result
@@ -678,6 +762,7 @@ impl CronusSystem {
             depth: None,
             zero_copy: None,
             deadline: None,
+            shared: false,
         }
     }
 
@@ -685,6 +770,21 @@ impl CronusSystem {
     /// trusted shared memory establishment, and dCheck (§IV-C); one ring
     /// pair per lane, plus the grant arena when zero-copy is enabled.
     pub(crate) fn open_stream_config(
+        &mut self,
+        caller: EnclaveRef,
+        callee: EnclaveRef,
+        cfg: StreamConfig,
+    ) -> Result<StreamId, SrpcError> {
+        // Setup costs — attestation crypto, stage-2 page maps for the ring
+        // and arena, the setup charge — are metered against the caller
+        // partition (also covers reopen, which lands here).
+        let scope = Some(MeterScope::principal(Principal(caller.asid.as_u32())));
+        self.metered(scope, |sys| {
+            sys.open_stream_config_inner(caller, callee, cfg)
+        })
+    }
+
+    fn open_stream_config_inner(
         &mut self,
         caller: EnclaveRef,
         callee: EnclaveRef,
@@ -857,9 +957,22 @@ impl CronusSystem {
                 open: true,
                 quarantined: false,
                 deadline: cfg.deadline,
+                shared_pool: cfg.shared,
+                class: self.exec_class_of(callee.asid),
+                last_finished: opened,
                 stats: StreamStats::default(),
             },
         );
+        // Shared-pool streams drain on the callee partition's worker pool;
+        // size it to the widest shared stream so a lone stream keeps its
+        // full lane parallelism while co-tenants contend for the same
+        // workers.
+        if cfg.shared {
+            let pool = self.exec_pools.entry(callee.asid).or_default();
+            while pool.workers.len() < layout.lanes.max(1) {
+                pool.workers.push(SimClock::at(opened));
+            }
+        }
         // Ledger the attested open: the measurement on the callee's chain
         // (that is what local attestation proved), the open on the caller's
         // chain, the acceptance on the callee's — the verifier pairs the
@@ -961,11 +1074,7 @@ impl CronusSystem {
             .streams
             .get(&id)
             .ok_or(SrpcError::UnknownStream(id))?
-            .lanes
-            .iter()
-            .map(|l| l.executor_clock.now())
-            .max()
-            .unwrap_or(SimNs::ZERO))
+            .executor_now())
     }
 
     /// Converts a stage-2 fault on a shared-memory access into the
@@ -1287,6 +1396,10 @@ impl CronusSystem {
             let pages_spanned =
                 (grant.offset + grant.len).div_ceil(PAGE_SIZE) - grant.offset / PAGE_SIZE;
             grant_cost = self.spm.machine().cost().page_map * pages_spanned;
+            // Meter arena occupancy by grant *size*, never payload bytes.
+            if let Some(rec) = self.spm.recorder() {
+                rec.meter_count(CountResource::ArenaBytes, grant.len);
+            }
             encode_grant_request(name, grant)?
         } else {
             encode_request(&Request {
@@ -1409,7 +1522,10 @@ impl CronusSystem {
             .and_then(|s| s.pending.front().map(|p| p.req));
         let prev = self.spm.recorder().and_then(|r| r.current_req());
         self.set_current_req(req);
-        let result = self.drain_one_inner(id);
+        // Executor-side costs (dequeue, kernel, result write) are metered
+        // against the caller principal under the callee's executor class.
+        let scope = self.drain_scope(id);
+        let result = self.metered(scope, |sys| sys.drain_one_inner(id));
         self.set_current_req(prev);
         result
     }
@@ -1535,29 +1651,63 @@ impl CronusSystem {
         }
 
         let dequeue_cost = self.spm.machine().cost().srpc_dequeue;
-        let s = self.streams.get_mut(&id).expect("checked");
+        let CronusSystem {
+            ref mut streams,
+            ref mut exec_pools,
+            ..
+        } = *self;
+        let s = streams.get_mut(&id).expect("checked");
         let pending = s.pending.pop_front().expect("checked front above");
         let enq_t = pending.enqueued_at;
-        // Work stealing: the earliest-available lane worker takes the
-        // stream head even when the request sits in another lane's ring,
-        // so one slow lane never serializes the stream.
-        let worker = s
-            .lanes
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, l)| l.executor_clock.now())
-            .map(|(i, _)| i)
-            .expect("streams have at least one lane");
-        if worker != lane_idx {
-            s.stats.steals += 1;
-        }
-        // The worker starts this request when both it and the request are
-        // ready; the gap from enqueue is the dispatch latency.
-        let wclock = &mut s.lanes[worker].executor_clock;
-        let started = wclock.now().max(enq_t);
-        wclock.advance_to(enq_t);
-        wclock.advance(dequeue_cost + exec_time);
+        let (worker_meter, started) = if s.shared_pool {
+            // Shared pool: the earliest-free worker of the callee
+            // partition's pool takes the stream head, so co-tenant streams
+            // contend for the same executors — a noisy neighbor's burst
+            // shows up as backlog wait here, attributed by the meter.
+            let pool = exec_pools.entry(s.callee.0).or_default();
+            while pool.workers.len() < s.lanes.len().max(1) {
+                pool.workers.push(SimClock::at(enq_t));
+            }
+            let mut pick = 0usize;
+            let mut best: Option<SimNs> = None;
+            for (i, w) in pool.workers.iter().enumerate() {
+                let now = w.now();
+                if best.is_none_or(|b| now < b) {
+                    pick = i;
+                    best = Some(now);
+                }
+            }
+            let mut started = enq_t;
+            if let Some(w) = pool.workers.get_mut(pick) {
+                started = w.now().max(enq_t);
+                w.advance_to(enq_t);
+                w.advance(dequeue_cost + exec_time);
+            }
+            (WorkerId::pool(s.callee.0.as_u32(), pick as u32), started)
+        } else {
+            // Work stealing: the earliest-available lane worker takes the
+            // stream head even when the request sits in another lane's ring,
+            // so one slow lane never serializes the stream.
+            let worker = s
+                .lanes
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.executor_clock.now())
+                .map(|(i, _)| i)
+                .expect("streams have at least one lane");
+            if worker != lane_idx {
+                s.stats.steals += 1;
+            }
+            // The worker starts this request when both it and the request
+            // are ready; the gap from enqueue is the dispatch latency.
+            let wclock = &mut s.lanes[worker].executor_clock;
+            let started = wclock.now().max(enq_t);
+            wclock.advance_to(enq_t);
+            wclock.advance(dequeue_cost + exec_time);
+            (WorkerId::lane(id.0, worker as u32), started)
+        };
         let finished = started + dequeue_cost + exec_time;
+        s.last_finished = s.last_finished.max(finished);
         s.lanes[lane_idx].sid += 1;
         s.executed += 1;
         if s.pending.is_empty() {
@@ -1601,6 +1751,12 @@ impl CronusSystem {
                 started - enq_t,
                 dequeue_cost + exec_time,
             );
+            // Meter the ring-slot occupancy (enqueue → finish), the wait
+            // behind the executor, and the worker occupancy interval the
+            // interference matrix attributes waits against.
+            rec.meter_count(CountResource::RingSlotNs, (finished - enq_t).as_nanos());
+            rec.meter_wait(worker_meter, enq_t, started);
+            rec.meter_occupy(worker_meter, started, finished);
         }
         Ok(Some(Drained {
             lane: lane_idx,
@@ -1638,7 +1794,8 @@ impl CronusSystem {
     ) -> Result<ReqId, SrpcError> {
         let req = req.unwrap_or_else(|| self.alloc_req());
         self.set_current_req(Some(req));
-        let result = self.enqueue(id, name, payload, req);
+        let scope = self.caller_scope(id);
+        let result = self.metered(scope, |sys| sys.enqueue(id, name, payload, req));
         self.set_current_req(None);
         result.map(|()| req)
     }
@@ -1646,6 +1803,23 @@ impl CronusSystem {
     /// Commits a synchronous call built by [`CronusSystem::call`]: applies
     /// the retry policy (idempotent mECalls only) around single attempts.
     pub(crate) fn call_commit_sync(
+        &mut self,
+        id: StreamId,
+        name: &str,
+        payload: &[u8],
+        req: Option<ReqId>,
+        deadline: Option<SimNs>,
+        retry: Option<RetryPolicy>,
+    ) -> Result<Vec<u8>, SrpcError> {
+        // Caller-side work (enqueue, sync wakeups, retry backoff) meters
+        // against the caller partition; the drain inside re-scopes itself.
+        let scope = self.caller_scope(id);
+        self.metered(scope, |sys| {
+            sys.call_commit_sync_inner(id, name, payload, req, deadline, retry)
+        })
+    }
+
+    fn call_commit_sync_inner(
         &mut self,
         id: StreamId,
         name: &str,
@@ -1831,6 +2005,11 @@ impl CronusSystem {
     ///
     /// sRPC errors; [`SrpcError::StreamCheckFailed`] on index divergence.
     pub fn sync(&mut self, id: StreamId) -> Result<(), SrpcError> {
+        let scope = self.caller_scope(id);
+        self.metered(scope, |sys| sys.sync_inner(id))
+    }
+
+    fn sync_inner(&mut self, id: StreamId) -> Result<(), SrpcError> {
         self.drain(id)?;
         let sync_slot = self.stream_ref(id)?.lanes.first().map_or(0, |l| l.sid);
         self.injection_point(id, SrpcPhase::SyncWakeup, 0, sync_slot);
@@ -1936,10 +2115,15 @@ impl CronusSystem {
     ///
     /// Unknown partitions.
     pub fn inject_partition_failure(&mut self, asid: AsId) -> Result<(usize, SimNs), SystemError> {
-        self.spm.mos_mut(asid)?.fail();
-        let proceed = self.spm.fail_partition(asid)?;
-        self.run_audit_hook("inject_partition_failure");
-        Ok(proceed)
+        // Failover work (stage-2 invalidation, trap handling) meters
+        // against the failed partition: the tenant whose crash caused it.
+        let scope = Some(MeterScope::principal(Principal(asid.as_u32())));
+        self.metered(scope, |sys| {
+            sys.spm.mos_mut(asid)?.fail();
+            let proceed = sys.spm.fail_partition(asid)?;
+            sys.run_audit_hook("inject_partition_failure");
+            Ok(proceed)
+        })
     }
 
     /// Runs failover step 2 using the dispatcher's recorded mOS image:
@@ -1954,7 +2138,12 @@ impl CronusSystem {
             .mos_image(asid)
             .map(|(i, v)| (i.to_vec(), v.to_string()))
             .unwrap_or_else(|| (b"recovered-mos".to_vec(), "recovered".to_string()));
-        let stats = self.spm.recover_partition(asid, &image, &version)?;
+        // Recovery (clear, reload, re-init) meters against the recovering
+        // partition.
+        let scope = Some(MeterScope::principal(Principal(asid.as_u32())));
+        let stats = self.metered(scope, |sys| {
+            sys.spm.recover_partition(asid, &image, &version)
+        })?;
         self.run_audit_hook("recover_partition");
         Ok(stats)
     }
@@ -2039,12 +2228,7 @@ impl CronusSystem {
                     .get(&s.caller.1)
                     .map(|c| c.now())
                     .unwrap_or(SimNs::ZERO);
-                let executor_now = s
-                    .lanes
-                    .iter()
-                    .map(|l| l.executor_clock.now())
-                    .max()
-                    .unwrap_or(SimNs::ZERO);
+                let executor_now = s.executor_now();
                 let lag = caller_now.saturating_sub(executor_now);
                 (lag > bound).then_some(StallWarning {
                     stream: s.id,

@@ -17,6 +17,7 @@ use std::fmt;
 use std::fmt::Write as _;
 
 use crate::bundle::{BundleError, Direction, TelemetryBundle};
+use crate::json::Json;
 
 /// Default minimum absolute delta (ns) considered significant. Filters out
 /// sub-microsecond jitter that a percentage threshold alone would flag on
@@ -574,6 +575,112 @@ impl BundleDiff {
         }
         out.push_str(&self.verdict_text());
         out
+    }
+
+    /// Machine-readable form of the full diff, for the shared
+    /// [`crate::json::report_document`] envelope behind `obs-diff --json`.
+    /// Field order (and therefore rendered bytes) is deterministic.
+    pub fn to_json(&self) -> Json {
+        let pair = |(b, c): &(Option<String>, Option<String>)| {
+            Json::obj([
+                ("base", b.as_deref().map_or(Json::Null, Json::from)),
+                ("cand", c.as_deref().map_or(Json::Null, Json::from)),
+            ])
+        };
+        Json::obj([
+            ("base_name", Json::from(self.base_name.as_str())),
+            ("cand_name", Json::from(self.cand_name.as_str())),
+            (
+                "config",
+                Json::obj([
+                    ("tolerance_pct", Json::from(self.config.tolerance_pct)),
+                    ("min_delta_ns", Json::from(self.config.min_delta_ns)),
+                ]),
+            ),
+            ("significant", Json::from(self.has_significant_deltas())),
+            (
+                "headlines",
+                Json::Arr(
+                    self.headlines
+                        .iter()
+                        .map(|h| {
+                            Json::obj([
+                                ("key", Json::from(h.key.as_str())),
+                                ("unit", Json::from(h.unit.as_str())),
+                                ("base", Json::from(h.base)),
+                                ("cand", Json::from(h.cand)),
+                                ("delta_pct", Json::from(h.delta_pct)),
+                                ("regressed", Json::from(h.regressed)),
+                                ("improved", Json::from(h.improved)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "attributions",
+                Json::Arr(
+                    self.attributions
+                        .iter()
+                        .map(|a| {
+                            Json::obj([
+                                ("kind", Json::from(a.kind.as_str())),
+                                ("subject", Json::from(a.subject.as_str())),
+                                ("base_ns", Json::from(a.base_ns)),
+                                ("cand_ns", Json::from(a.cand_ns)),
+                                ("delta_ns", Json::from(a.delta_ns)),
+                                ("delta_pct", Json::from(a.delta_pct)),
+                                ("evidence", Json::from(a.evidence.as_str())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "frames",
+                Json::Arr(
+                    self.frames
+                        .iter()
+                        .map(|f| {
+                            Json::obj([
+                                ("stack", Json::from(f.stack.as_str())),
+                                ("base_ns", Json::from(f.base_ns)),
+                                ("cand_ns", Json::from(f.cand_ns)),
+                                ("status", Json::from(f.status.as_str())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("bounding_queue", pair(&self.bounding_queue)),
+            ("bounding_category", pair(&self.bounding_category)),
+            (
+                "exemplar",
+                self.exemplar.as_ref().map_or(Json::Null, |ex| {
+                    Json::obj([
+                        ("base_req", Json::from(ex.base_req)),
+                        ("cand_req", Json::from(ex.cand_req)),
+                        ("base_queue", Json::from(ex.base_queue.as_str())),
+                        ("cand_queue", Json::from(ex.cand_queue.as_str())),
+                        (
+                            "phases",
+                            Json::Arr(
+                                ex.phases
+                                    .iter()
+                                    .map(|(p, b, c)| {
+                                        Json::obj([
+                                            ("phase", Json::from(p.as_str())),
+                                            ("base_ns", Json::from(*b)),
+                                            ("cand_ns", Json::from(*c)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                }),
+            ),
+        ])
     }
 }
 

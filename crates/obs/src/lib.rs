@@ -29,6 +29,15 @@
 //!   `cargo run --bin obs-diff` — ranked per-queue/per-category attribution
 //!   verdicts, flamegraph frame diffs and bounding-queue transitions that
 //!   make a red bench gate self-explaining.
+//! - [`meter`]: per-principal resource metering — every simulated quantum
+//!   (CPU/SM/NPU time, DMA bytes, ring-slot and arena occupancy, stage-2
+//!   pages, world switches, crypto) charged to an owning partition with
+//!   stream sub-accounts, balanced against the profiler by an exact
+//!   conservation self-test; behind `cargo run --bin obs-meter`.
+//! - [`fairness`]: Jain's index and dominant-resource shares over the meter
+//!   ledgers, plus the deterministic noisy-neighbor interference matrix
+//!   (backlog waits attributed to the principals occupying the contended
+//!   executor, with exemplar ReqIds).
 //! - [`json`]: the offline (serde-free) JSON emission and parsing all
 //!   exports and the bench baselines use.
 //!
@@ -39,7 +48,9 @@
 pub mod bundle;
 pub mod causal;
 pub mod diff;
+pub mod fairness;
 pub mod json;
+pub mod meter;
 pub mod metrics;
 pub mod profile;
 pub mod queue;
@@ -56,7 +67,15 @@ pub use diff::{
     diff, diff_documents, Attribution, AttributionKind, BundleDiff, DiffConfig, DiffError,
     ExemplarDiff, FrameDelta, FrameStatus, HeadlineDelta,
 };
-pub use json::{is_well_formed, parse, Json};
+pub use fairness::{
+    jain_index, DominantShare, FairnessReport, InterferenceCell, InterferenceExemplar,
+    InterferenceMatrix,
+};
+pub use json::{is_well_formed, parse, report_document, Json, REPORT_SCHEMA};
+pub use meter::{
+    ConservationRow, CountResource, ExecClass, MeterError, MeterScope, Principal, ResourceMeter,
+    WorkerId,
+};
 pub use metrics::{bucket_index, labels, Histogram, LabelSet, MetricsRegistry};
 pub use profile::{TimeCategory, TimeProfiler};
 pub use queue::{

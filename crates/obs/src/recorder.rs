@@ -11,6 +11,9 @@ use cronus_sim::{EventKind, EventSink, SimNs};
 
 use crate::causal::CausalReport;
 use crate::json::Json;
+use crate::meter::{
+    ConservationRow, CountResource, MeterError, MeterScope, ResourceMeter, WorkerId,
+};
 use crate::metrics::{labels, LabelSet, MetricsRegistry};
 use crate::profile::{TimeCategory, TimeProfiler};
 use crate::queue::{QueueKind, QueueObservatory, QueueReport};
@@ -27,6 +30,8 @@ pub struct RecorderInner {
     pub profiler: TimeProfiler,
     /// Per-queue depth/wait/service telemetry.
     pub queues: QueueObservatory,
+    /// Per-principal resource ledgers (fed in lockstep with the profiler).
+    pub meter: ResourceMeter,
     /// Last allocated request id (0 = none yet; ids start at 1).
     next_req: u64,
 }
@@ -212,14 +217,82 @@ impl FlightRecorder {
 
     // --- profiler conveniences -----------------------------------------
 
-    /// Charges simulated time to a category.
+    /// Charges simulated time to a category — to the profiler and, in the
+    /// same locked step, to the ambient meter scope's ledger. Feeding both
+    /// from one call site is what makes the meter's conservation check an
+    /// exact equality.
     pub fn charge(&self, cat: TimeCategory, d: SimNs) {
-        self.with(|r| r.profiler.charge(cat, d));
+        self.with(|r| {
+            r.profiler.charge(cat, d);
+            r.meter.charge_time(cat, d);
+        });
     }
 
     /// Charges simulated time to a category with a detail frame.
     pub fn charge_detail(&self, cat: TimeCategory, detail: &str, d: SimNs) {
-        self.with(|r| r.profiler.charge_detail(cat, detail, d));
+        self.with(|r| {
+            r.profiler.charge_detail(cat, detail, d);
+            r.meter.charge_time(cat, d);
+        });
+    }
+
+    // --- resource meter conveniences ------------------------------------
+
+    /// Replaces the ambient meter scope, returning the previous one so the
+    /// caller can save/restore around nested work (the ambient-ReqId
+    /// pattern, applied to ownership).
+    pub fn set_meter_scope(&self, scope: MeterScope) -> MeterScope {
+        self.with(|r| r.meter.set_scope(scope))
+    }
+
+    /// The ambient meter scope.
+    pub fn meter_scope(&self) -> MeterScope {
+        self.with(|r| r.meter.scope())
+    }
+
+    /// Adds `amount` of a count resource to the ambient scope's ledger.
+    pub fn meter_count(&self, res: CountResource, amount: u64) {
+        self.with(|r| r.meter.add_count(res, amount));
+    }
+
+    /// Records that the ambient scope's current request occupied `worker`
+    /// for `[start, end)` (interference-matrix raw material).
+    pub fn meter_occupy(&self, worker: WorkerId, start: SimNs, end: SimNs) {
+        self.with(|r| {
+            let req = r.spans.current_req();
+            r.meter.record_occupancy(worker, req, start, end);
+        });
+    }
+
+    /// Records that the ambient scope's current request waited on `worker`
+    /// from `enqueued` until `started`.
+    pub fn meter_wait(&self, worker: WorkerId, enqueued: SimNs, started: SimNs) {
+        self.with(|r| {
+            let req = r.spans.current_req();
+            r.meter.record_wait(worker, req, enqueued, started);
+        });
+    }
+
+    /// Runs the meter's conservation self-test against the profiler and
+    /// event counters.
+    ///
+    /// # Errors
+    ///
+    /// [`MeterError::Conservation`] naming the first imbalanced resource.
+    pub fn meter_conservation(&self) -> Result<Vec<ConservationRow>, MeterError> {
+        self.with(|r| r.meter.check_conservation(&r.profiler, &r.metrics))
+    }
+
+    /// Fairness metrics (per-resource Jain indices, dominant shares)
+    /// computed over the meter's per-principal ledgers.
+    pub fn fairness_report(&self) -> crate::fairness::FairnessReport {
+        self.with(|r| crate::fairness::FairnessReport::compute(&r.meter))
+    }
+
+    /// The noisy-neighbor interference matrix: each principal's backlog
+    /// waits attributed to whoever occupied the contended executor.
+    pub fn interference_matrix(&self) -> crate::fairness::InterferenceMatrix {
+        self.with(|r| crate::fairness::InterferenceMatrix::build(&r.meter))
     }
 
     /// Advances the elapsed-time watermark.
@@ -310,6 +383,7 @@ impl EventSink for RecorderSink {
             match kind {
                 EventKind::WorldSwitch => {
                     m.counter_add("world_switches", LabelSet::empty(), 1);
+                    r.meter.add_count(CountResource::WorldSwitches, 1);
                 }
                 EventKind::ContextSwitch { to, .. } => {
                     m.counter_add("context_switches", labels(&[("to", &to.to_string())]), 1);
@@ -361,6 +435,7 @@ impl EventSink for RecorderSink {
                 }
                 EventKind::MemoryShared { pages, .. } => {
                     m.counter_add("memory.shared_pages", LabelSet::empty(), *pages as u64);
+                    r.meter.add_count(CountResource::Stage2Pages, *pages as u64);
                 }
                 EventKind::FailureSignal { partition } => {
                     m.counter_add(
@@ -371,6 +446,7 @@ impl EventSink for RecorderSink {
                 }
                 EventKind::DeviceIrq { count } => {
                     m.counter_add("device.irqs", LabelSet::empty(), *count as u64);
+                    r.meter.add_count(CountResource::DeviceIrqs, *count as u64);
                 }
                 EventKind::Marker(label) => {
                     m.counter_add("markers", LabelSet::empty(), 1);

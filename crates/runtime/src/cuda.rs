@@ -22,7 +22,7 @@ use cronus_devices::gpu::{GpuBuffer, GpuContextId, GpuKernelDesc, KernelArg, Ker
 use cronus_devices::DeviceKind;
 use cronus_mos::hal::DeviceCtx;
 use cronus_mos::manifest::{Manifest, McallDecl};
-use cronus_obs::TimeCategory;
+use cronus_obs::{CountResource, MeterScope, Principal, TimeCategory};
 use cronus_sim::addr::{VirtAddr, PAGE_SIZE};
 use cronus_sim::pagetable::{Access, PagePerms};
 use cronus_sim::SimNs;
@@ -435,7 +435,13 @@ impl CudaContext {
             let cost = sys.spm().machine().cost().memcpy(n);
             sys.advance_enclave(self.cpu, cost);
             let rec = sys.recorder();
+            let prev = rec.set_meter_scope(
+                MeterScope::principal(Principal(self.cpu.asid.as_u32()))
+                    .with_stream(self.stream.as_u64()),
+            );
             rec.charge_detail(TimeCategory::Memcpy, "staging_write", cost);
+            rec.meter_count(CountResource::DmaBytes, n);
+            rec.set_meter_scope(prev);
             rec.counter_add("cuda.memcpy_bytes", &[("dir", "h2d")], n);
             let track = rec.track(&format!("enclave:{}", self.cpu.eid));
             let now = sys.enclave_time(self.cpu);
@@ -484,7 +490,13 @@ impl CudaContext {
             let cost = sys.spm().machine().cost().memcpy(n);
             sys.advance_enclave(self.cpu, cost);
             let rec = sys.recorder();
+            let prev = rec.set_meter_scope(
+                MeterScope::principal(Principal(self.cpu.asid.as_u32()))
+                    .with_stream(self.stream.as_u64()),
+            );
             rec.charge_detail(TimeCategory::Memcpy, "staging_read", cost);
+            rec.meter_count(CountResource::DmaBytes, n);
+            rec.set_meter_scope(prev);
             rec.counter_add("cuda.memcpy_bytes", &[("dir", "d2h")], n);
             let track = rec.track(&format!("enclave:{}", self.cpu.eid));
             let now = sys.enclave_time(self.cpu);
@@ -575,7 +587,13 @@ impl CudaContext {
         };
         sys.advance_enclave(self.cpu, t);
         let rec = sys.recorder();
+        let prev = rec.set_meter_scope(
+            MeterScope::principal(Principal(self.cpu.asid.as_u32()))
+                .with_stream(self.stream.as_u64()),
+        );
         rec.charge_detail(TimeCategory::Memcpy, "p2p", t);
+        rec.meter_count(CountResource::DmaBytes, bytes);
+        rec.set_meter_scope(prev);
         rec.counter_add("cuda.memcpy_bytes", &[("dir", "p2p")], bytes);
         Ok(t)
     }

@@ -16,7 +16,7 @@ use cronus_devices::npu::{AluOp, NpuBuffer, NpuContextId, VtaInsn, VtaProgram};
 use cronus_devices::DeviceKind;
 use cronus_mos::hal::DeviceCtx;
 use cronus_mos::manifest::{Manifest, McallDecl};
-use cronus_obs::TimeCategory;
+use cronus_obs::{CountResource, MeterScope, Principal, TimeCategory};
 use cronus_sim::addr::{VirtAddr, PAGE_SIZE};
 use cronus_sim::pagetable::{Access, PagePerms};
 use cronus_sim::SimNs;
@@ -460,7 +460,13 @@ impl VtaContext {
             let cost = sys.spm().machine().cost().memcpy(n);
             sys.advance_enclave(self.cpu, cost);
             let rec = sys.recorder();
+            let prev = rec.set_meter_scope(
+                MeterScope::principal(Principal(self.cpu.asid.as_u32()))
+                    .with_stream(self.stream.as_u64()),
+            );
             rec.charge_detail(TimeCategory::Memcpy, "staging_write", cost);
+            rec.meter_count(CountResource::DmaBytes, n);
+            rec.set_meter_scope(prev);
             rec.counter_add("vta.memcpy_bytes", &[("dir", "h2d")], n);
             let track = rec.track(&format!("enclave:{}", self.cpu.eid));
             let now = sys.enclave_time(self.cpu);
@@ -506,7 +512,13 @@ impl VtaContext {
             let cost = sys.spm().machine().cost().memcpy(n);
             sys.advance_enclave(self.cpu, cost);
             let rec = sys.recorder();
+            let prev = rec.set_meter_scope(
+                MeterScope::principal(Principal(self.cpu.asid.as_u32()))
+                    .with_stream(self.stream.as_u64()),
+            );
             rec.charge_detail(TimeCategory::Memcpy, "staging_read", cost);
+            rec.meter_count(CountResource::DmaBytes, n);
+            rec.set_meter_scope(prev);
             rec.counter_add("vta.memcpy_bytes", &[("dir", "d2h")], n);
             let track = rec.track(&format!("enclave:{}", self.cpu.eid));
             let now = sys.enclave_time(self.cpu);

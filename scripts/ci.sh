@@ -49,6 +49,14 @@
 # bundles for representative figures and self-diffs them against the
 # committed BUNDLE_*.json baselines with obs-diff, which must report "no
 # significant deltas" (exit 0) on a clean tree.
+#
+# With --meter, also runs the resource-metering gate (see OBSERVABILITY.md,
+# "Who is using the machine?"): obs-meter replays every figure plus the
+# rpc_micro/saturation/fig_interference workloads and fails if any
+# per-principal ledger does not sum exactly to the profiler's category
+# totals (the conservation self-test), or if fig_interference's
+# interference matrix fails to convict the injected noisy GEMM partition
+# (p4) as the top interferer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -59,6 +67,7 @@ run_lint=0
 run_forensics=0
 run_slo=0
 run_diff=0
+run_meter=0
 for arg in "$@"; do
   case "$arg" in
     --bench) run_bench=1 ;;
@@ -68,7 +77,8 @@ for arg in "$@"; do
     --forensics) run_forensics=1 ;;
     --slo) run_slo=1 ;;
     --diff) run_diff=1 ;;
-    *) echo "unknown flag: $arg (supported: --bench, --chaos, --audit, --lint, --forensics, --slo, --diff)" >&2; exit 2 ;;
+    --meter) run_meter=1 ;;
+    *) echo "unknown flag: $arg (supported: --bench, --chaos, --audit, --lint, --forensics, --slo, --diff, --meter)" >&2; exit 2 ;;
   esac
 done
 
@@ -144,6 +154,15 @@ if [[ "$run_diff" -eq 1 ]]; then
     cargo run --offline --release -q --bin obs-diff -- \
       --baseline "$base" --candidate "$fresh" --verdict
   done
+fi
+
+if [[ "$run_meter" -eq 1 ]]; then
+  echo "==> meter gate: conservation self-test over every figure"
+  cargo run --offline --release -q --bin obs-meter -- --all > /dev/null
+
+  echo "==> meter gate: fig_interference must convict the noisy GEMM partition"
+  cargo run --offline --release -q --bin obs-meter -- \
+    --figure fig_interference --expect-top p4 > /dev/null
 fi
 
 if [[ "$run_bench" -eq 1 ]]; then

@@ -22,12 +22,14 @@
 use std::process::ExitCode;
 
 use cronus::obs::diff::{diff_documents, DiffConfig};
+use cronus::obs::report_document;
 
 struct Options {
     baseline: Option<String>,
     candidate: Option<String>,
     config: DiffConfig,
     verdict_only: bool,
+    json: bool,
 }
 
 fn parse_args() -> Result<Option<Options>, String> {
@@ -36,6 +38,7 @@ fn parse_args() -> Result<Option<Options>, String> {
         candidate: None,
         config: DiffConfig::default(),
         verdict_only: false,
+        json: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -64,10 +67,11 @@ fn parse_args() -> Result<Option<Options>, String> {
                     .ok_or("--min-delta-ns requires an integer")?;
             }
             "--verdict" => opts.verdict_only = true,
+            "--json" => opts.json = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: obs-diff (--figure NAME | --baseline PATH --candidate PATH) \
-                     [--tolerance PCT] [--min-delta-ns N] [--verdict]"
+                     [--tolerance PCT] [--min-delta-ns N] [--verdict] [--json]"
                 );
                 return Ok(None);
             }
@@ -117,7 +121,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if opts.verdict_only {
+    if opts.json {
+        println!("{}", report_document("diff", result.to_json()).render());
+    } else if opts.verdict_only {
         print!("{}", result.verdict_text());
     } else {
         print!("{}", result.render_text());

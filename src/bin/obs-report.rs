@@ -19,7 +19,7 @@ use std::process::ExitCode;
 
 use cronus::bench::experiments::{recorded_figure, saturation};
 use cronus::obs::queue::DEFAULT_LITTLE_TOLERANCE;
-use cronus::obs::{FlightRecorder, SloPolicy, SloReport};
+use cronus::obs::{report_document, FlightRecorder, Json, SloPolicy, SloReport};
 
 const DEFAULT_SEED: u64 = 42;
 const DEFAULT_CALLS: u64 = 400;
@@ -29,6 +29,7 @@ struct Options {
     calls: u64,
     figures: Vec<String>,
     slo: bool,
+    json: bool,
     tolerance: f64,
 }
 
@@ -38,6 +39,7 @@ fn parse_args() -> Result<Option<Options>, String> {
         calls: DEFAULT_CALLS,
         figures: Vec::new(),
         slo: false,
+        json: false,
         tolerance: DEFAULT_LITTLE_TOLERANCE,
     };
     let mut args = std::env::args().skip(1);
@@ -66,10 +68,11 @@ fn parse_args() -> Result<Option<Options>, String> {
                     .ok_or("--tolerance requires a number")?;
             }
             "--slo" => opts.slo = true,
+            "--json" => opts.json = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: obs-report [--seed N] [--calls N] [--figure NAME]... \
-                     [--slo] [--tolerance X]"
+                     [--slo] [--json] [--tolerance X]"
                 );
                 return Ok(None);
             }
@@ -77,6 +80,32 @@ fn parse_args() -> Result<Option<Options>, String> {
         }
     }
     Ok(Some(opts))
+}
+
+/// Builds the JSON body for one figure: the queue report plus (with
+/// `--slo`) the SLO evaluation, in the shared `cronus-report/v1` envelope's
+/// figure shape. Gate verdicts are carried as booleans so `--json` runs
+/// exit exactly like text runs.
+fn analyze_json(figure: &str, rec: &FlightRecorder, opts: &Options) -> (Json, bool) {
+    let report = rec.queue_report(opts.tolerance);
+    let mut ok = report.little_all_within();
+    let mut fields = vec![
+        ("figure".to_string(), Json::Str(figure.to_string())),
+        ("queue".to_string(), report.to_json()),
+        (
+            "little_ok".to_string(),
+            Json::Bool(report.little_all_within()),
+        ),
+    ];
+    if opts.slo {
+        let policy = SloPolicy::for_figure(figure);
+        let slo: SloReport = rec.slo_report(&policy);
+        if !slo.passed() {
+            ok = false;
+        }
+        fields.push(("slo".to_string(), slo.to_json()));
+    }
+    (Json::Obj(fields), ok)
 }
 
 /// Runs one workload and reports on it; returns `false` on a gate failure.
@@ -122,29 +151,42 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut ok = true;
-    if opts.figures.is_empty() {
-        let rec = saturation::run_recorded(opts.seed, opts.calls);
-        println!(
-            "workload: saturation (seed {}, {} calls)",
-            opts.seed, opts.calls
-        );
-        ok &= analyze("saturation", &rec, &opts);
+    let figures = if opts.figures.is_empty() {
+        if !opts.json {
+            println!(
+                "workload: saturation (seed {}, {} calls)",
+                opts.seed, opts.calls
+            );
+        }
+        vec!["saturation".to_string()]
     } else {
-        for figure in &opts.figures {
-            let rec = if figure == "saturation" {
-                Some(saturation::run_recorded(opts.seed, opts.calls))
-            } else {
-                recorded_figure(figure)
-            };
-            match rec {
-                Some(rec) => ok &= analyze(figure, &rec, &opts),
-                None => {
-                    eprintln!("obs-report: unknown figure `{figure}`");
-                    ok = false;
-                }
+        opts.figures.clone()
+    };
+
+    let mut ok = true;
+    let mut bodies = Vec::new();
+    for figure in &figures {
+        let rec = if figure == "saturation" {
+            Some(saturation::run_recorded(opts.seed, opts.calls))
+        } else {
+            recorded_figure(figure)
+        };
+        match rec {
+            Some(rec) if opts.json => {
+                let (body, figure_ok) = analyze_json(figure, &rec, &opts);
+                bodies.push(body);
+                ok &= figure_ok;
+            }
+            Some(rec) => ok &= analyze(figure, &rec, &opts),
+            None => {
+                eprintln!("obs-report: unknown figure `{figure}`");
+                ok = false;
             }
         }
+    }
+    if opts.json {
+        let body = Json::obj([("figures", Json::Arr(bodies))]);
+        println!("{}", report_document("report", body).render());
     }
 
     if ok {
